@@ -1,0 +1,52 @@
+package clinfl_test
+
+import (
+	"context"
+	"testing"
+
+	"clinfl"
+	"clinfl/internal/ehr"
+)
+
+// TestPublicAPIFederatedRun exercises the facade end to end at tiny scale.
+func TestPublicAPIFederatedRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	cfg := clinfl.DefaultConfig(clinfl.TaskFinetune, clinfl.ModeFederated, "lstm")
+	cfg.TrainSize, cfg.ValidSize = 64, 32
+	cfg.Rounds = 2
+	cfg.MaxLen = 12
+	cfg.EHR = ehr.Config{
+		Seed: 1, Patients: 200, TargetPositiveRate: 0.211,
+		CorpusSentences: 10, LabelNoise: 0.05,
+		MinVisitTokens: 6, MaxVisitTokens: 10,
+	}
+	rep, err := clinfl.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accuracy <= 0 || rep.Accuracy > 1 {
+		t.Fatalf("accuracy %v", rep.Accuracy)
+	}
+	if rep.Config.Mode != clinfl.ModeFederated {
+		t.Fatal("report lost its config")
+	}
+}
+
+func TestPublicAPIRejectsBadConfig(t *testing.T) {
+	cfg := clinfl.DefaultConfig(clinfl.TaskFinetune, clinfl.ModeFederated, "lstm")
+	cfg.Rounds = 0
+	if _, err := clinfl.Run(context.Background(), cfg); err == nil {
+		t.Fatal("want config error")
+	}
+}
+
+func TestDefaultConfigPerModel(t *testing.T) {
+	for _, m := range []string{"lstm", "bert", "bert-mini"} {
+		cfg := clinfl.DefaultConfig(clinfl.TaskFinetune, clinfl.ModeCentralized, m)
+		if cfg.ModelName != m || cfg.Clients != 8 || cfg.LR <= 0 {
+			t.Fatalf("default config for %s malformed: %+v", m, cfg)
+		}
+	}
+}

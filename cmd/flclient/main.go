@@ -1,0 +1,129 @@
+// Command flclient runs one networked federation client for ADR
+// fine-tuning. It loads its provision startup kit, regenerates its local
+// shard of the synthetic cohort (standing in for the site's private EHR
+// database — every site sees only its own shard), dials the server over
+// mutual TLS, registers with its admission token, and trains when tasked.
+//
+// Usage (site 3 of 8):
+//
+//	flclient -kit kits/clinic-3 -server localhost:8443 -shard 2 -shards 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clinfl/internal/data"
+	"clinfl/internal/ehr"
+	"clinfl/internal/fl"
+	"clinfl/internal/model"
+	"clinfl/internal/provision"
+	"clinfl/internal/tensor"
+	"clinfl/internal/token"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		kitDir     = flag.String("kit", "", "client startup-kit directory")
+		serverAddr = flag.String("server", "localhost:8443", "server address")
+		shard      = flag.Int("shard", 0, "this site's shard index (0-based)")
+		shards     = flag.Int("shards", 8, "total shard count")
+		imbalanced = flag.Bool("imbalanced", true, "use the paper's imbalanced ratios")
+		modelName  = flag.String("model", "lstm", "model architecture (must match server)")
+		maxLen     = flag.Int("maxlen", 24, "sequence length (must match server)")
+		seed       = flag.Int64("seed", 1, "model/data seed (must match server)")
+		epochs     = flag.Int("epochs", 1, "local epochs per round")
+		lr         = flag.Float64("lr", 5e-3, "Adam learning rate")
+		trainSize  = flag.Int("train", 640, "total federation train examples")
+		patients   = flag.Int("patients", 8638, "synthetic cohort size")
+	)
+	flag.Parse()
+	if *kitDir == "" {
+		return fmt.Errorf("missing -kit")
+	}
+	if *shard < 0 || *shard >= *shards {
+		return fmt.Errorf("shard %d out of range [0,%d)", *shard, *shards)
+	}
+
+	kit, err := provision.ReadKit(*kitDir)
+	if err != nil {
+		return err
+	}
+
+	// Regenerate the shared synthetic cohort and keep only our shard; the
+	// deterministic seed plays the role of each site's local database.
+	ecfg := ehr.DefaultConfig()
+	ecfg.Seed = *seed
+	ecfg.Patients = *patients
+	ecfg.CorpusSentences = 1 // unused by fine-tuning
+	cohort, err := ehr.GenerateCohort(ecfg)
+	if err != nil {
+		return err
+	}
+	streams := make([][]string, len(cohort))
+	for i, p := range cohort {
+		streams[i] = p.Tokens
+	}
+	vocab, err := token.BuildVocab(streams, 1, 0)
+	if err != nil {
+		return err
+	}
+	tok, err := token.NewTokenizer(vocab, *maxLen)
+	if err != nil {
+		return err
+	}
+	all := make(data.Dataset, len(cohort))
+	for i, p := range cohort {
+		ids, padMask := tok.Encode(p.Tokens)
+		all[i] = data.Example{IDs: ids, PadMask: padMask, Label: p.Outcome}
+	}
+	all = all.Shuffled(tensor.NewRNG(*seed + 17))
+	if *trainSize > len(all) {
+		return fmt.Errorf("train size %d exceeds cohort %d", *trainSize, len(all))
+	}
+	trainSet := all[:*trainSize]
+	var parts []data.Dataset
+	if *imbalanced && *shards == len(data.PaperImbalancedRatios) {
+		parts, err = data.PartitionRatios(trainSet, data.PaperImbalancedRatios)
+	} else {
+		parts, err = data.PartitionBalanced(trainSet, *shards)
+	}
+	if err != nil {
+		return err
+	}
+	local := parts[*shard]
+	fmt.Printf("flclient %s: local shard %d/%d has %d examples (vocab %d)\n",
+		kit.Name, *shard+1, *shards, len(local), vocab.Size())
+
+	spec, err := model.SpecByName(*modelName)
+	if err != nil {
+		return err
+	}
+	mdl, err := model.New(spec, vocab.Size(), *maxLen, 2, *seed)
+	if err != nil {
+		return err
+	}
+	exec, err := fl.NewClassifierExecutor(kit.Name, mdl, local, nil, fl.LocalConfig{
+		Epochs: *epochs, LR: *lr, Seed: *seed + int64(*shard)*37,
+	})
+	if err != nil {
+		return err
+	}
+	client, err := fl.NewClient(fl.ClientConfig{ServerAddr: *serverAddr}, kit, exec)
+	if err != nil {
+		return err
+	}
+	if _, err := client.Run(); err != nil {
+		return err
+	}
+	fmt.Printf("flclient %s: done\n", kit.Name)
+	return nil
+}

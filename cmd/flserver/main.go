@@ -1,0 +1,81 @@
+// Command flserver runs the networked federation server for ADR
+// fine-tuning: it loads its provision startup kit, waits for the expected
+// clients to register with valid tokens over mutual TLS, drives E
+// scatter-and-gather rounds, and writes the final global model.
+//
+// Usage:
+//
+//	provision -project demo -server localhost -clients c1,c2 -out kits
+//	flserver -kit kits/server -addr :8443 -clients 2 -rounds 5 -out global.weights
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clinfl/internal/fl"
+	"clinfl/internal/nn"
+	"clinfl/internal/provision"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		kitDir    = flag.String("kit", "kits/server", "server startup-kit directory")
+		addr      = flag.String("addr", ":8443", "listen address")
+		clients   = flag.Int("clients", 8, "expected client count")
+		rounds    = flag.Int("rounds", 8, "communication rounds E")
+		modelName = flag.String("model", "lstm", "model architecture: lstm | bert | bert-mini")
+		vocabSize = flag.Int("vocab", 256, "vocabulary size (must match clients)")
+		maxLen    = flag.Int("maxlen", 24, "sequence length (must match clients)")
+		seed      = flag.Int64("seed", 1, "global model init seed (must match clients)")
+		out       = flag.String("out", "global.weights", "output path for the final model")
+	)
+	flag.Parse()
+
+	kit, err := provision.ReadKit(*kitDir)
+	if err != nil {
+		return err
+	}
+	verify, err := provision.TokenVerifier(*kitDir)
+	if err != nil {
+		return err
+	}
+	initial, err := initialWeights(*modelName, *vocabSize, *maxLen, *seed)
+	if err != nil {
+		return err
+	}
+	srv, err := fl.NewServer(fl.ServerConfig{
+		Addr:            *addr,
+		ExpectedClients: *clients,
+		Rounds:          *rounds,
+		VerifyToken:     verify,
+	}, kit)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("flserver: listening on %s, waiting for %d clients\n", srv.Addr(), *clients)
+
+	res, err := srv.Run(initial)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := nn.WriteWeightMap(f, res.FinalWeights); err != nil {
+		return err
+	}
+	fmt.Printf("flserver: wrote final global model to %s (%d rounds)\n", *out, len(res.History.Rounds))
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"fmt"
+
+	"clinfl/internal/model"
+	"clinfl/internal/nn"
+	"clinfl/internal/tensor"
+)
+
+// initialWeights builds the architecture deterministically and snapshots
+// its initialization as the round-0 global model. Clients construct the
+// same architecture from the same flags, so shapes always agree.
+func initialWeights(modelName string, vocabSize, maxLen int, seed int64) (map[string]*tensor.Matrix, error) {
+	spec, err := model.SpecByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	mdl, err := model.New(spec, vocabSize, maxLen, 2, seed)
+	if err != nil {
+		return nil, fmt.Errorf("build %s: %w", modelName, err)
+	}
+	return nn.SnapshotWeights(mdl.Params()), nil
+}

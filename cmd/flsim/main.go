@@ -1,0 +1,62 @@
+// Command flsim runs the paper's experiments in NVFlare-simulator style
+// (all sites in one process) and prints the corresponding table or figure.
+//
+// Usage:
+//
+//	flsim -exp table3            # reproduce Table III at reference scale
+//	flsim -exp fig2 -scale 4     # quick smoke run of Fig. 2
+//	flsim -list
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"clinfl/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp     = flag.String("exp", "", "experiment id (see -list)")
+		scale   = flag.Int("scale", 1, "workload divisor: 1 = reference scale, larger = faster smoke runs")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		timeout = flag.Duration("timeout", 2*time.Hour, "overall run timeout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			r, err := experiments.ByID(id)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-8s %s\n", id, r.Describe())
+		}
+		return nil
+	}
+	if *exp == "" {
+		return fmt.Errorf("missing -exp (one of %v, or -list)", experiments.IDs())
+	}
+	r, err := experiments.ByID(*exp)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	start := time.Now()
+	if err := r.Run(ctx, os.Stdout, experiments.Scale(*scale)); err != nil {
+		return err
+	}
+	fmt.Printf("\n[%s completed in %v at scale %d]\n", *exp, time.Since(start).Round(time.Second), *scale)
+	return nil
+}

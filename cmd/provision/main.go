@@ -1,0 +1,52 @@
+// Command provision generates NVFlare-style startup kits: a project CA,
+// mutual-TLS certificates and admission tokens for the server and every
+// client site, written as per-site directories.
+//
+// Usage:
+//
+//	provision -project clinfl -server localhost -clients clinic-1,clinic-2 -out ./kits
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"clinfl/internal/provision"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "provision:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		project = flag.String("project", "clinfl", "federation project name")
+		server  = flag.String("server", "localhost", "server DNS name (certificate SAN)")
+		clients = flag.String("clients", "", "comma-separated client site names")
+		out     = flag.String("out", "kits", "output directory")
+	)
+	flag.Parse()
+	if *clients == "" {
+		return fmt.Errorf("missing -clients (comma-separated site names)")
+	}
+	names := strings.Split(*clients, ",")
+	proj, err := provision.Provision(provision.Config{
+		ProjectName: *project,
+		ServerName:  *server,
+		ClientNames: names,
+	})
+	if err != nil {
+		return err
+	}
+	if err := provision.WriteProject(*out, proj); err != nil {
+		return err
+	}
+	fmt.Printf("provisioned project %q: server kit + %d client kits under %s/\n",
+		*project, len(names), *out)
+	return nil
+}

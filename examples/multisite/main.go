@@ -1,0 +1,26 @@
+// Multisite: the paper's Fig. 3 demonstration — a real NVFlare-style
+// deployment on localhost: provisioning (CA, mutual-TLS certificates,
+// admission tokens), a networked federation server, and 8 networked
+// clients, fine-tuning the LSTM ADR classifier with the full secure
+// lifecycle logged.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"clinfl/internal/experiments"
+)
+
+func main() {
+	fmt.Println("multi-site secure federation demonstration (paper Fig. 3)")
+	res, err := experiments.RunFig3(context.Background(), os.Stdout, 4)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "multisite:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n%d clinics, %d rounds, mean local epoch %v, best val acc %.1f%%\n",
+		res.Clients, res.Rounds, res.MeanEpochTime.Round(time.Millisecond), 100*res.FinalValAcc)
+}

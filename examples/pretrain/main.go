@@ -1,0 +1,66 @@
+// Pretrain: the paper's Fig. 2 feasibility study — federated BERT
+// masked-language-model pretraining under four data schemes, with the
+// held-out MLM loss trajectory printed per round.
+//
+// Usage:
+//
+//	go run ./examples/pretrain               # BERT-mini for speed
+//	go run ./examples/pretrain -model bert   # the paper's configuration
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"clinfl"
+	"clinfl/internal/metrics"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pretrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	modelName := flag.String("model", "bert-mini", "architecture: bert | bert-mini")
+	sentences := flag.Int("sentences", 320, "training sentences")
+	rounds := flag.Int("rounds", 3, "communication rounds")
+	flag.Parse()
+
+	schemes := []struct {
+		name      string
+		mode      clinfl.Mode
+		partition clinfl.Partition
+	}{
+		{"centralized", clinfl.ModeCentralized, clinfl.PartitionBalanced},
+		{"small-dataset", clinfl.ModeStandalone, clinfl.PartitionBalanced},
+		{"fl-imbalanced", clinfl.ModeFederated, clinfl.PartitionImbalanced},
+		{"fl-balanced", clinfl.ModeFederated, clinfl.PartitionBalanced},
+	}
+	var curves []*metrics.Curve
+	for _, s := range schemes {
+		cfg := clinfl.DefaultConfig(clinfl.TaskPretrain, s.mode, *modelName)
+		cfg.Partition = s.partition
+		cfg.TrainSize, cfg.ValidSize = *sentences, 120
+		cfg.Rounds = *rounds
+		cfg.EHR.CorpusSentences = *sentences + 200
+
+		rep, err := clinfl.Run(context.Background(), cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		rep.EvalCurve.Name = s.name
+		curves = append(curves, rep.EvalCurve)
+		fmt.Printf("%-14s MLM loss %.3f -> %.3f over %d rounds\n",
+			s.name, rep.EvalCurve.First(), rep.EvalCurve.Last(), *rounds)
+	}
+	fmt.Println()
+	fmt.Print(metrics.ASCIIPlot(curves, 48, 10))
+	fmt.Println("\nExpected shape (paper Fig. 2): the three full-data schemes converge")
+	fmt.Println("together; the small-dataset curve plateaus higher.")
+	return nil
+}

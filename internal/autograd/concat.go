@@ -1,0 +1,35 @@
+package autograd
+
+import (
+	"fmt"
+
+	"clinfl/internal/tensor"
+)
+
+// ConcatRows stacks nodes vertically (all must share a column count).
+// Used to gather per-example hidden states back into a batch matrix.
+func (t *Tape) ConcatRows(nodes ...*Node) (*Node, error) {
+	if len(nodes) == 0 {
+		return t.Constant(tensor.New(0, 0)), nil
+	}
+	mats := make([]*tensor.Matrix, len(nodes))
+	for i, n := range nodes {
+		mats[i] = n.Value
+	}
+	v, err := tensor.Concat(mats...)
+	if err != nil {
+		return nil, fmt.Errorf("autograd: %w", err)
+	}
+	parents := append([]*Node(nil), nodes...)
+	return t.newOp(v, func(n *Node) {
+		off := 0
+		for _, p := range parents {
+			r := p.Value.Rows()
+			if p.requiresGrad {
+				g, _ := n.Grad.SliceRows(off, off+r)
+				p.accumulate(g)
+			}
+			off += r
+		}
+	}, parents...), nil
+}

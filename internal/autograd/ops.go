@@ -1,0 +1,490 @@
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"clinfl/internal/tensor"
+)
+
+// mustAdd wraps tensor shape errors that indicate internal bugs.
+func mustAdd(dst, src *tensor.Matrix) {
+	if err := dst.AddInPlace(src); err != nil {
+		panic(fmt.Sprintf("autograd: internal shape bug: %v", err))
+	}
+}
+
+// Add returns a+b.
+func (t *Tape) Add(a, b *Node) (*Node, error) {
+	v, err := tensor.Add(a.Value, b.Value)
+	if err != nil {
+		return nil, fmt.Errorf("autograd: %w", err)
+	}
+	return t.newOp(v, func(n *Node) {
+		a.accumulate(n.Grad)
+		b.accumulate(n.Grad)
+	}, a, b), nil
+}
+
+// Sub returns a-b.
+func (t *Tape) Sub(a, b *Node) (*Node, error) {
+	v, err := tensor.Sub(a.Value, b.Value)
+	if err != nil {
+		return nil, fmt.Errorf("autograd: %w", err)
+	}
+	return t.newOp(v, func(n *Node) {
+		a.accumulate(n.Grad)
+		b.accumulate(tensor.Scale(-1, n.Grad))
+	}, a, b), nil
+}
+
+// Mul returns the elementwise (Hadamard) product a⊙b.
+func (t *Tape) Mul(a, b *Node) (*Node, error) {
+	v, err := tensor.Mul(a.Value, b.Value)
+	if err != nil {
+		return nil, fmt.Errorf("autograd: %w", err)
+	}
+	return t.newOp(v, func(n *Node) {
+		if a.requiresGrad {
+			ga, _ := tensor.Mul(n.Grad, b.Value)
+			a.accumulate(ga)
+		}
+		if b.requiresGrad {
+			gb, _ := tensor.Mul(n.Grad, a.Value)
+			b.accumulate(gb)
+		}
+	}, a, b), nil
+}
+
+// Scale returns alpha*a for a compile-time constant alpha.
+func (t *Tape) Scale(alpha float64, a *Node) *Node {
+	v := tensor.Scale(alpha, a.Value)
+	return t.newOp(v, func(n *Node) {
+		a.accumulate(tensor.Scale(alpha, n.Grad))
+	}, a)
+}
+
+// MatMul returns a×b.
+func (t *Tape) MatMul(a, b *Node) (*Node, error) {
+	v, err := tensor.MatMul(a.Value, b.Value)
+	if err != nil {
+		return nil, fmt.Errorf("autograd: %w", err)
+	}
+	return t.newOp(v, func(n *Node) {
+		if a.requiresGrad {
+			ga, _ := tensor.MatMulTransB(n.Grad, b.Value)
+			a.accumulate(ga)
+		}
+		if b.requiresGrad {
+			gb, _ := tensor.MatMulTransA(a.Value, n.Grad)
+			b.accumulate(gb)
+		}
+	}, a, b), nil
+}
+
+// MatMulTransB returns a×bᵀ, used by attention score computation.
+func (t *Tape) MatMulTransB(a, b *Node) (*Node, error) {
+	v, err := tensor.MatMulTransB(a.Value, b.Value)
+	if err != nil {
+		return nil, fmt.Errorf("autograd: %w", err)
+	}
+	return t.newOp(v, func(n *Node) {
+		if a.requiresGrad {
+			// d a = g × b
+			ga, _ := tensor.MatMul(n.Grad, b.Value)
+			a.accumulate(ga)
+		}
+		if b.requiresGrad {
+			// d b = gᵀ × a
+			gb, _ := tensor.MatMulTransA(n.Grad, a.Value)
+			b.accumulate(gb)
+		}
+	}, a, b), nil
+}
+
+// AddRowVector returns x with the 1×C bias b added to every row.
+func (t *Tape) AddRowVector(x, b *Node) (*Node, error) {
+	v, err := tensor.AddRowVector(x.Value, b.Value)
+	if err != nil {
+		return nil, fmt.Errorf("autograd: %w", err)
+	}
+	return t.newOp(v, func(n *Node) {
+		x.accumulate(n.Grad)
+		if b.requiresGrad {
+			b.accumulate(tensor.SumRows(n.Grad))
+		}
+	}, x, b), nil
+}
+
+// Tanh applies tanh elementwise.
+func (t *Tape) Tanh(a *Node) *Node {
+	v := a.Value.Apply(math.Tanh)
+	return t.newOp(v, func(n *Node) {
+		g := tensor.New(v.Rows(), v.Cols())
+		gd, vd, ud := g.Data(), v.Data(), n.Grad.Data()
+		for i := range gd {
+			gd[i] = ud[i] * (1 - vd[i]*vd[i])
+		}
+		a.accumulate(g)
+	}, a)
+}
+
+// Sigmoid applies the logistic function elementwise.
+func (t *Tape) Sigmoid(a *Node) *Node {
+	v := a.Value.Apply(func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+	return t.newOp(v, func(n *Node) {
+		g := tensor.New(v.Rows(), v.Cols())
+		gd, vd, ud := g.Data(), v.Data(), n.Grad.Data()
+		for i := range gd {
+			gd[i] = ud[i] * vd[i] * (1 - vd[i])
+		}
+		a.accumulate(g)
+	}, a)
+}
+
+// ReLU applies max(0, x) elementwise.
+func (t *Tape) ReLU(a *Node) *Node {
+	v := a.Value.Apply(func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+	return t.newOp(v, func(n *Node) {
+		g := tensor.New(v.Rows(), v.Cols())
+		gd, xd, ud := g.Data(), a.Value.Data(), n.Grad.Data()
+		for i := range gd {
+			if xd[i] > 0 {
+				gd[i] = ud[i]
+			}
+		}
+		a.accumulate(g)
+	}, a)
+}
+
+// geluCoeff is sqrt(2/pi) used by the tanh approximation of GELU.
+var geluCoeff = math.Sqrt(2 / math.Pi)
+
+// GELU applies the Gaussian error linear unit (tanh approximation), the
+// activation BERT uses in its feed-forward blocks.
+func (t *Tape) GELU(a *Node) *Node {
+	v := a.Value.Apply(func(x float64) float64 {
+		return 0.5 * x * (1 + math.Tanh(geluCoeff*(x+0.044715*x*x*x)))
+	})
+	return t.newOp(v, func(n *Node) {
+		g := tensor.New(v.Rows(), v.Cols())
+		gd, xd, ud := g.Data(), a.Value.Data(), n.Grad.Data()
+		for i := range gd {
+			x := xd[i]
+			u := geluCoeff * (x + 0.044715*x*x*x)
+			th := math.Tanh(u)
+			du := geluCoeff * (1 + 3*0.044715*x*x)
+			gd[i] = ud[i] * (0.5*(1+th) + 0.5*x*(1-th*th)*du)
+		}
+		a.accumulate(g)
+	}, a)
+}
+
+// SoftmaxRows applies a numerically-stable softmax along every row.
+func (t *Tape) SoftmaxRows(a *Node) *Node {
+	s := tensor.SoftmaxRows(a.Value)
+	return t.newOp(s, func(n *Node) {
+		rows, cols := s.Rows(), s.Cols()
+		g := tensor.New(rows, cols)
+		for i := 0; i < rows; i++ {
+			srow, urow, grow := s.Row(i), n.Grad.Row(i), g.Row(i)
+			var dot float64
+			for j := range srow {
+				dot += urow[j] * srow[j]
+			}
+			for j := range srow {
+				grow[j] = srow[j] * (urow[j] - dot)
+			}
+		}
+		a.accumulate(g)
+	}, a)
+}
+
+// LayerNorm normalizes every row of x to zero mean / unit variance, then
+// applies the learned gain and bias (both 1×C).
+func (t *Tape) LayerNorm(x, gain, bias *Node, eps float64) (*Node, error) {
+	rows, cols := x.Value.Rows(), x.Value.Cols()
+	if gain.Value.Rows() != 1 || gain.Value.Cols() != cols ||
+		bias.Value.Rows() != 1 || bias.Value.Cols() != cols {
+		return nil, fmt.Errorf("autograd: %w: LayerNorm gain/bias must be 1x%d", tensor.ErrShape, cols)
+	}
+	v := tensor.New(rows, cols)
+	xhat := tensor.New(rows, cols)
+	invStd := make([]float64, rows)
+	gd, bd := gain.Value.Data(), bias.Value.Data()
+	for i := 0; i < rows; i++ {
+		xr, vr, hr := x.Value.Row(i), v.Row(i), xhat.Row(i)
+		var mean float64
+		for _, xv := range xr {
+			mean += xv
+		}
+		mean /= float64(cols)
+		var variance float64
+		for _, xv := range xr {
+			d := xv - mean
+			variance += d * d
+		}
+		variance /= float64(cols)
+		is := 1 / math.Sqrt(variance+eps)
+		invStd[i] = is
+		for j, xv := range xr {
+			h := (xv - mean) * is
+			hr[j] = h
+			vr[j] = h*gd[j] + bd[j]
+		}
+	}
+	return t.newOp(v, func(n *Node) {
+		if bias.requiresGrad {
+			bias.accumulate(tensor.SumRows(n.Grad))
+		}
+		if gain.requiresGrad {
+			gg, _ := tensor.Mul(n.Grad, xhat)
+			gain.accumulate(tensor.SumRows(gg))
+		}
+		if !x.requiresGrad {
+			return
+		}
+		gx := tensor.New(rows, cols)
+		for i := 0; i < rows; i++ {
+			ur, hr, gr := n.Grad.Row(i), xhat.Row(i), gx.Row(i)
+			// gy = upstream ⊙ gain; dx = (gy - mean(gy) - xhat*mean(gy⊙xhat)) * invStd
+			var m1, m2 float64
+			for j := range ur {
+				gy := ur[j] * gd[j]
+				m1 += gy
+				m2 += gy * hr[j]
+			}
+			m1 /= float64(cols)
+			m2 /= float64(cols)
+			for j := range ur {
+				gy := ur[j] * gd[j]
+				gr[j] = (gy - m1 - hr[j]*m2) * invStd[i]
+			}
+		}
+		x.accumulate(gx)
+	}, x, gain, bias), nil
+}
+
+// Embedding gathers rows of table by ids: out row i = table row ids[i].
+// The backward pass scatter-adds into the table gradient, so padding rows
+// still receive (zero) updates only when referenced.
+func (t *Tape) Embedding(table *Node, ids []int) (*Node, error) {
+	cols := table.Value.Cols()
+	v := tensor.New(len(ids), cols)
+	for i, id := range ids {
+		if id < 0 || id >= table.Value.Rows() {
+			return nil, fmt.Errorf("autograd: embedding id %d out of range [0,%d)", id, table.Value.Rows())
+		}
+		copy(v.Row(i), table.Value.Row(id))
+	}
+	idsCopy := make([]int, len(ids))
+	copy(idsCopy, ids)
+	return t.newOp(v, func(n *Node) {
+		g := table.ensureGrad()
+		for i, id := range idsCopy {
+			dst, src := g.Row(id), n.Grad.Row(i)
+			for j, u := range src {
+				dst[j] += u
+			}
+		}
+	}, table), nil
+}
+
+// ConcatCols concatenates a (R×Ca) and b (R×Cb) into R×(Ca+Cb).
+func (t *Tape) ConcatCols(a, b *Node) (*Node, error) {
+	if a.Value.Rows() != b.Value.Rows() {
+		return nil, fmt.Errorf("autograd: %w: ConcatCols rows %d vs %d",
+			tensor.ErrShape, a.Value.Rows(), b.Value.Rows())
+	}
+	rows, ca, cb := a.Value.Rows(), a.Value.Cols(), b.Value.Cols()
+	v := tensor.New(rows, ca+cb)
+	for i := 0; i < rows; i++ {
+		copy(v.Row(i)[:ca], a.Value.Row(i))
+		copy(v.Row(i)[ca:], b.Value.Row(i))
+	}
+	return t.newOp(v, func(n *Node) {
+		if a.requiresGrad {
+			ga := tensor.New(rows, ca)
+			for i := 0; i < rows; i++ {
+				copy(ga.Row(i), n.Grad.Row(i)[:ca])
+			}
+			a.accumulate(ga)
+		}
+		if b.requiresGrad {
+			gb := tensor.New(rows, cb)
+			for i := 0; i < rows; i++ {
+				copy(gb.Row(i), n.Grad.Row(i)[ca:])
+			}
+			b.accumulate(gb)
+		}
+	}, a, b), nil
+}
+
+// SliceCols returns columns [lo, hi) of a.
+func (t *Tape) SliceCols(a *Node, lo, hi int) (*Node, error) {
+	v, err := a.Value.SliceCols(lo, hi)
+	if err != nil {
+		return nil, fmt.Errorf("autograd: %w", err)
+	}
+	return t.newOp(v, func(n *Node) {
+		g := tensor.New(a.Value.Rows(), a.Value.Cols())
+		for i := 0; i < v.Rows(); i++ {
+			copy(g.Row(i)[lo:hi], n.Grad.Row(i))
+		}
+		a.accumulate(g)
+	}, a), nil
+}
+
+// SliceRows returns rows [lo, hi) of a.
+func (t *Tape) SliceRows(a *Node, lo, hi int) (*Node, error) {
+	v, err := a.Value.SliceRows(lo, hi)
+	if err != nil {
+		return nil, fmt.Errorf("autograd: %w", err)
+	}
+	return t.newOp(v, func(n *Node) {
+		g := tensor.New(a.Value.Rows(), a.Value.Cols())
+		for i := lo; i < hi; i++ {
+			copy(g.Row(i), n.Grad.Row(i-lo))
+		}
+		a.accumulate(g)
+	}, a), nil
+}
+
+// MeanRows returns a 1×C node holding the column means of a; used for mean
+// pooling over sequence positions.
+func (t *Tape) MeanRows(a *Node) *Node {
+	rows := a.Value.Rows()
+	v := tensor.SumRows(a.Value)
+	if rows > 0 {
+		v.ScaleInPlace(1 / float64(rows))
+	}
+	return t.newOp(v, func(n *Node) {
+		if rows == 0 {
+			return
+		}
+		g := tensor.New(rows, a.Value.Cols())
+		inv := 1 / float64(rows)
+		for i := 0; i < rows; i++ {
+			row := g.Row(i)
+			for j, u := range n.Grad.Row(0) {
+				row[j] = u * inv
+			}
+		}
+		a.accumulate(g)
+	}, a)
+}
+
+// Mean returns the scalar mean of all elements of a.
+func (t *Tape) Mean(a *Node) *Node {
+	size := a.Value.Size()
+	v := tensor.New(1, 1)
+	v.Set(0, 0, a.Value.Mean())
+	return t.newOp(v, func(n *Node) {
+		if size == 0 {
+			return
+		}
+		g := tensor.New(a.Value.Rows(), a.Value.Cols())
+		g.Fill(n.Grad.At(0, 0) / float64(size))
+		a.accumulate(g)
+	}, a)
+}
+
+// SumScalars adds a set of 1×1 nodes; used to combine per-example losses.
+func (t *Tape) SumScalars(nodes ...*Node) (*Node, error) {
+	v := tensor.New(1, 1)
+	for _, a := range nodes {
+		if a.Value.Rows() != 1 || a.Value.Cols() != 1 {
+			return nil, fmt.Errorf("autograd: SumScalars got %dx%d node", a.Value.Rows(), a.Value.Cols())
+		}
+		v.Set(0, 0, v.At(0, 0)+a.Value.At(0, 0))
+	}
+	parents := append([]*Node(nil), nodes...)
+	return t.newOp(v, func(n *Node) {
+		for _, a := range parents {
+			a.accumulate(n.Grad)
+		}
+	}, parents...), nil
+}
+
+// Dropout zeroes elements with probability p at train time, scaling the
+// survivors by 1/(1-p) (inverted dropout). When training is false it is the
+// identity.
+func (t *Tape) Dropout(a *Node, p float64, rng *tensor.RNG, training bool) *Node {
+	if !training || p <= 0 {
+		return a
+	}
+	keep := 1 - p
+	mask := tensor.New(a.Value.Rows(), a.Value.Cols())
+	md := mask.Data()
+	for i := range md {
+		if rng.Float64() < keep {
+			md[i] = 1 / keep
+		}
+	}
+	v, _ := tensor.Mul(a.Value, mask)
+	return t.newOp(v, func(n *Node) {
+		g, _ := tensor.Mul(n.Grad, mask)
+		a.accumulate(g)
+	}, a)
+}
+
+// IgnoreIndex marks a target position excluded from the cross-entropy loss
+// (non-masked positions in MLM training).
+const IgnoreIndex = -1
+
+// CrossEntropy computes the mean negative log-likelihood of targets under
+// softmax(logits). Rows whose target is IgnoreIndex contribute nothing.
+// Returns the scalar loss node and the number of counted rows.
+func (t *Tape) CrossEntropy(logits *Node, targets []int) (*Node, int, error) {
+	rows, cols := logits.Value.Rows(), logits.Value.Cols()
+	if len(targets) != rows {
+		return nil, 0, fmt.Errorf("autograd: CrossEntropy %d targets for %d rows", len(targets), rows)
+	}
+	probs := tensor.SoftmaxRows(logits.Value)
+	counted := 0
+	var total float64
+	for i, tgt := range targets {
+		if tgt == IgnoreIndex {
+			continue
+		}
+		if tgt < 0 || tgt >= cols {
+			return nil, 0, fmt.Errorf("autograd: CrossEntropy target %d out of range [0,%d)", tgt, cols)
+		}
+		counted++
+		p := probs.At(i, tgt)
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		total -= math.Log(p)
+	}
+	v := tensor.New(1, 1)
+	if counted > 0 {
+		v.Set(0, 0, total/float64(counted))
+	}
+	tgtCopy := make([]int, len(targets))
+	copy(tgtCopy, targets)
+	node := t.newOp(v, func(n *Node) {
+		if counted == 0 {
+			return
+		}
+		scale := n.Grad.At(0, 0) / float64(counted)
+		g := tensor.New(rows, cols)
+		for i, tgt := range tgtCopy {
+			if tgt == IgnoreIndex {
+				continue
+			}
+			grow, prow := g.Row(i), probs.Row(i)
+			for j, p := range prow {
+				grow[j] = p * scale
+			}
+			grow[tgt] -= scale
+		}
+		logits.accumulate(g)
+	}, logits)
+	return node, counted, nil
+}

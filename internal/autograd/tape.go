@@ -1,0 +1,140 @@
+// Package autograd implements tape-based reverse-mode automatic
+// differentiation over tensor.Matrix values.
+//
+// A Tape records every differentiable operation in execution order; calling
+// Backward on a scalar output node walks the tape in reverse, invoking each
+// node's vector-Jacobian product to accumulate gradients into parameters.
+// The design mirrors the define-by-run model of PyTorch's autograd, which
+// the paper's reference implementation relies on.
+package autograd
+
+import (
+	"errors"
+	"fmt"
+
+	"clinfl/internal/tensor"
+)
+
+// ErrNotScalar is returned by Backward when called on a non-1x1 node.
+var ErrNotScalar = errors.New("autograd: Backward requires a scalar (1x1) node")
+
+// Node is a value in the computation graph together with its gradient slot
+// and the closure that propagates gradients to its parents.
+type Node struct {
+	// Value is the forward result held by this node.
+	Value *tensor.Matrix
+	// Grad accumulates dLoss/dValue during Backward. It is nil until first
+	// needed.
+	Grad *tensor.Matrix
+
+	requiresGrad bool
+	backward     func()
+	tape         *Tape
+}
+
+// RequiresGrad reports whether gradients flow into this node.
+func (n *Node) RequiresGrad() bool { return n.requiresGrad }
+
+// ensureGrad allocates the gradient buffer on first use.
+func (n *Node) ensureGrad() *tensor.Matrix {
+	if n.Grad == nil {
+		n.Grad = tensor.New(n.Value.Rows(), n.Value.Cols())
+	}
+	return n.Grad
+}
+
+// accumulate adds g into the node's gradient if the node participates in
+// differentiation.
+func (n *Node) accumulate(g *tensor.Matrix) {
+	if n == nil || !n.requiresGrad {
+		return
+	}
+	if err := n.ensureGrad().AddInPlace(g); err != nil {
+		// Shapes are constructed by the ops themselves; a mismatch is a
+		// programming error inside this package, not a user error.
+		panic(fmt.Sprintf("autograd: gradient shape mismatch: %v", err))
+	}
+}
+
+// Tape records operations for reverse-mode differentiation.
+//
+// Tapes are single-goroutine objects: one forward pass and its backward pass
+// must happen on the same tape without concurrent use. Federated clients
+// each own their tapes.
+type Tape struct {
+	nodes []*Node
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape {
+	return &Tape{nodes: make([]*Node, 0, 256)}
+}
+
+// Reset clears the tape for reuse between training steps, retaining the
+// backing array.
+func (t *Tape) Reset() {
+	for i := range t.nodes {
+		t.nodes[i] = nil
+	}
+	t.nodes = t.nodes[:0]
+}
+
+// Len returns the number of recorded nodes.
+func (t *Tape) Len() int { return len(t.nodes) }
+
+// record appends a node produced by an operation.
+func (t *Tape) record(n *Node) *Node {
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Leaf wraps a parameter matrix as a differentiable graph input. The same
+// matrix may be wrapped on many tapes across steps; gradients accumulate in
+// the returned node, not the matrix.
+func (t *Tape) Leaf(v *tensor.Matrix) *Node {
+	return t.record(&Node{Value: v, requiresGrad: true, tape: t})
+}
+
+// Constant wraps a matrix that does not require gradients (inputs, masks).
+func (t *Tape) Constant(v *tensor.Matrix) *Node {
+	return t.record(&Node{Value: v, requiresGrad: false, tape: t})
+}
+
+// newOp records an op node whose parents' requiresGrad union decides its own.
+func (t *Tape) newOp(v *tensor.Matrix, backward func(n *Node), parents ...*Node) *Node {
+	req := false
+	for _, p := range parents {
+		if p != nil && p.requiresGrad {
+			req = true
+			break
+		}
+	}
+	n := &Node{Value: v, requiresGrad: req, tape: t}
+	if req && backward != nil {
+		n.backward = func() { backward(n) }
+	}
+	return t.record(n)
+}
+
+// Backward runs reverse-mode accumulation from the scalar node loss.
+// After it returns, every Leaf that influenced loss holds dLoss/dLeaf in
+// its Grad field.
+func (t *Tape) Backward(loss *Node) error {
+	if loss.Value.Rows() != 1 || loss.Value.Cols() != 1 {
+		return fmt.Errorf("%w: got %dx%d", ErrNotScalar, loss.Value.Rows(), loss.Value.Cols())
+	}
+	if loss.tape != t {
+		return errors.New("autograd: loss node belongs to a different tape")
+	}
+	seed := loss.ensureGrad()
+	seed.Set(0, 0, seed.At(0, 0)+1)
+	// Nodes were appended in execution order, so reverse order is a valid
+	// topological order of the DAG.
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.backward != nil && n.Grad != nil {
+			n.backward()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+// Package core implements the paper's primary contribution: the integrated
+// system pipeline of Fig. 1 — task allocation (pretraining / fine-tuning),
+// NVFlare-style provisioning and execution, and result collection — gluing
+// the NLP models, the synthetic clinical substrate, and the FL framework
+// into one reproducible harness.
+package core
+
+import (
+	"fmt"
+
+	"clinfl/internal/data"
+	"clinfl/internal/ehr"
+)
+
+// Task selects the workload (Fig. 1 "tasks allocation").
+type Task string
+
+// Supported tasks.
+const (
+	// TaskFinetune is ADR binary classification (Table III).
+	TaskFinetune Task = "finetune"
+	// TaskPretrain is masked-language-model pretraining (Fig. 2).
+	TaskPretrain Task = "pretrain"
+)
+
+// Mode selects the training scheme compared in the paper.
+type Mode string
+
+// Supported training schemes.
+const (
+	// ModeCentralized pools all data at one site (upper bound).
+	ModeCentralized Mode = "centralized"
+	// ModeFederated trains across clients with FedAvg aggregation.
+	ModeFederated Mode = "fl"
+	// ModeStandalone trains each site alone on its own shard (the paper's
+	// "standalone" / "small dataset" lower bound).
+	ModeStandalone Mode = "standalone"
+)
+
+// Partition selects how client shards are drawn.
+type Partition string
+
+// Supported partitions.
+const (
+	// PartitionBalanced gives every client the same data volume.
+	PartitionBalanced Partition = "balanced"
+	// PartitionImbalanced uses the paper's ratio vector
+	// {0.29, 0.22, 0.17, 0.14, 0.09, 0.04, 0.03, 0.02}.
+	PartitionImbalanced Partition = "imbalanced"
+)
+
+// Config fully describes one pipeline run.
+type Config struct {
+	Task      Task
+	Mode      Mode
+	Partition Partition
+	// ModelName is "bert", "bert-mini" or "lstm" (Table II).
+	ModelName string
+
+	// Clients is the federation size (paper: 8).
+	Clients int
+	// Rounds is E, the communication-round count. For centralized and
+	// standalone modes each "round" is one eval checkpoint of
+	// LocalEpochs epochs, keeping curves comparable across modes.
+	Rounds int
+	// LocalEpochs per round.
+	LocalEpochs int
+	// StandaloneLimit caps how many sites are trained in standalone mode
+	// (mean is reported); 0 trains every site.
+	StandaloneLimit int
+
+	// LR / BatchSize / Workers / ClipNorm parameterize local Adam training.
+	LR        float64
+	BatchSize int
+	Workers   int
+	ClipNorm  float64
+
+	// MaxLen is the encoded sequence length (with [CLS]/[SEP]).
+	MaxLen int
+	// TrainSize / ValidSize subsample the generated data (0 = use all).
+	// The paper's full sizes are 6,927/1,732 for fine-tuning.
+	TrainSize, ValidSize int
+	// EHR configures the synthetic clinical substrate.
+	EHR ehr.Config
+	// Seed drives model init and training streams.
+	Seed int64
+}
+
+// Default returns the scaled-down reference configuration used by the
+// experiment harness (see DESIGN.md for the scaling rationale). Model
+// geometry always follows Table II; data volume and sequence length are
+// CPU-budget substitutions.
+func Default(task Task, mode Mode, modelName string) Config {
+	cfg := Config{
+		Task:        task,
+		Mode:        mode,
+		Partition:   PartitionImbalanced,
+		ModelName:   modelName,
+		Clients:     8,
+		Rounds:      8,
+		LocalEpochs: 1,
+		BatchSize:   32,
+		ClipNorm:    1,
+		MaxLen:      24,
+		TrainSize:   640,
+		ValidSize:   200,
+		EHR:         ehr.DefaultConfig(),
+		Seed:        1,
+	}
+	// Per-model stable learning rates. The paper's Table I lists Adam 1e-2,
+	// which diverges for transformers trained from scratch in this stack;
+	// the substitution is documented in DESIGN.md and EXPERIMENTS.md.
+	switch modelName {
+	case "lstm":
+		cfg.LR = 5e-3
+	case "bert-mini":
+		cfg.LR = 2e-3
+	default:
+		cfg.LR = 1e-3
+	}
+	if task == TaskPretrain {
+		cfg.TrainSize = 800
+		cfg.ValidSize = 240
+		cfg.MaxLen = 20
+		cfg.Rounds = 5
+	}
+	return cfg
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch c.Task {
+	case TaskFinetune, TaskPretrain:
+	default:
+		return fmt.Errorf("core: unknown task %q", c.Task)
+	}
+	switch c.Mode {
+	case ModeCentralized, ModeFederated, ModeStandalone:
+	default:
+		return fmt.Errorf("core: unknown mode %q", c.Mode)
+	}
+	switch c.Partition {
+	case PartitionBalanced, PartitionImbalanced:
+	default:
+		return fmt.Errorf("core: unknown partition %q", c.Partition)
+	}
+	if c.Clients <= 0 {
+		return fmt.Errorf("core: Clients %d must be positive", c.Clients)
+	}
+	if c.Partition == PartitionImbalanced && c.Mode != ModeCentralized && c.Clients != len(data.PaperImbalancedRatios) {
+		return fmt.Errorf("core: imbalanced partition requires %d clients, got %d",
+			len(data.PaperImbalancedRatios), c.Clients)
+	}
+	if c.Rounds <= 0 || c.LocalEpochs <= 0 {
+		return fmt.Errorf("core: Rounds/LocalEpochs must be positive")
+	}
+	if c.MaxLen < 3 {
+		return fmt.Errorf("core: MaxLen %d too small", c.MaxLen)
+	}
+	if err := c.EHR.Validate(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"clinfl/internal/ehr"
+)
+
+// tinyConfig returns a fast-running pipeline config for tests.
+func tinyConfig(task Task, mode Mode, modelName string) Config {
+	cfg := Default(task, mode, modelName)
+	cfg.TrainSize = 64
+	cfg.ValidSize = 32
+	cfg.Rounds = 2
+	cfg.MaxLen = 12
+	cfg.StandaloneLimit = 2
+	cfg.EHR = ehr.Config{
+		Seed: 1, Patients: 200, TargetPositiveRate: 0.211,
+		CorpusSentences: 160, LabelNoise: 0.05,
+		MinVisitTokens: 6, MaxVisitTokens: 10,
+	}
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := tinyConfig(TaskFinetune, ModeFederated, "lstm")
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"bad task", func(c *Config) { c.Task = "guess" }},
+		{"bad mode", func(c *Config) { c.Mode = "solo" }},
+		{"bad partition", func(c *Config) { c.Partition = "zipf" }},
+		{"zero clients", func(c *Config) { c.Clients = 0 }},
+		{"imbalanced wrong clients", func(c *Config) { c.Clients = 4 }},
+		{"zero rounds", func(c *Config) { c.Rounds = 0 }},
+		{"tiny maxlen", func(c *Config) { c.MaxLen = 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := good
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatal("want validation error")
+			}
+		})
+	}
+}
+
+func TestDefaultConfigsValid(t *testing.T) {
+	for _, task := range []Task{TaskFinetune, TaskPretrain} {
+		for _, mode := range []Mode{ModeCentralized, ModeFederated, ModeStandalone} {
+			for _, m := range []string{"lstm", "bert", "bert-mini"} {
+				if err := Default(task, mode, m).Validate(); err != nil {
+					t.Fatalf("%s/%s/%s: %v", task, mode, m, err)
+				}
+			}
+		}
+	}
+}
+
+func TestFinetuneFederatedPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	cfg := tinyConfig(TaskFinetune, ModeFederated, "lstm")
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accuracy <= 0 || rep.Accuracy > 1 {
+		t.Fatalf("accuracy %v out of range", rep.Accuracy)
+	}
+	if len(rep.History.Rounds) != cfg.Rounds {
+		t.Fatalf("rounds %d, want %d", len(rep.History.Rounds), cfg.Rounds)
+	}
+	if rep.EvalCurve == nil || len(rep.EvalCurve.Points) != cfg.Rounds {
+		t.Fatal("eval curve missing points")
+	}
+	if rep.EpochTimes.Count() == 0 {
+		t.Fatal("no epoch timings recorded")
+	}
+	if rep.VocabSize <= 0 {
+		t.Fatal("vocab size missing")
+	}
+}
+
+func TestFinetuneStandalonePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	cfg := tinyConfig(TaskFinetune, ModeStandalone, "lstm")
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerSite) != cfg.StandaloneLimit {
+		t.Fatalf("per-site results %d, want %d", len(rep.PerSite), cfg.StandaloneLimit)
+	}
+	// Weighted mean must lie within the per-site range.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range rep.PerSite {
+		lo, hi = math.Min(lo, s.Accuracy), math.Max(hi, s.Accuracy)
+	}
+	if rep.Accuracy < lo-1e-9 || rep.Accuracy > hi+1e-9 {
+		t.Fatalf("mean accuracy %v outside per-site range [%v,%v]", rep.Accuracy, lo, hi)
+	}
+}
+
+func TestPretrainCentralizedPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	cfg := tinyConfig(TaskPretrain, ModeCentralized, "bert-mini")
+	cfg.TrainSize = 48
+	cfg.ValidSize = 24
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Curve has the untrained baseline plus one point per round.
+	if len(rep.EvalCurve.Points) != cfg.Rounds+1 {
+		t.Fatalf("curve points %d, want %d", len(rep.EvalCurve.Points), cfg.Rounds+1)
+	}
+	// The untrained loss should be near ln|V| and training must reduce it.
+	start := rep.EvalCurve.First()
+	lnV := math.Log(float64(rep.VocabSize))
+	if math.Abs(start-lnV) > 2.5 {
+		t.Fatalf("untrained MLM loss %.2f far from ln|V| = %.2f", start, lnV)
+	}
+	if rep.EvalLoss >= start {
+		t.Fatalf("MLM loss did not improve: %.3f -> %.3f", start, rep.EvalLoss)
+	}
+}
+
+func TestPretrainRejectsLSTM(t *testing.T) {
+	cfg := tinyConfig(TaskPretrain, ModeCentralized, "lstm")
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(context.Background()); err == nil {
+		t.Fatal("want error: LSTM cannot pretrain with MLM")
+	}
+}
+
+func TestPipelineDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	run := func() float64 {
+		cfg := tinyConfig(TaskFinetune, ModeCentralized, "lstm")
+		p, err := NewPipeline(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := p.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Accuracy
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same-seed pipelines diverged: %v vs %v", a, b)
+	}
+}
+
+func TestPipelineRejectsInvalidConfig(t *testing.T) {
+	cfg := tinyConfig(TaskFinetune, ModeFederated, "lstm")
+	cfg.Rounds = 0
+	if _, err := NewPipeline(cfg); err == nil {
+		t.Fatal("want config error")
+	}
+}

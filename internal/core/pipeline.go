@@ -1,0 +1,475 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"clinfl/internal/data"
+	"clinfl/internal/ehr"
+	"clinfl/internal/fl"
+	"clinfl/internal/metrics"
+	"clinfl/internal/mlm"
+	"clinfl/internal/model"
+	"clinfl/internal/nn"
+	"clinfl/internal/tensor"
+	"clinfl/internal/token"
+)
+
+// SiteResult is one standalone site's outcome.
+type SiteResult struct {
+	Site     string
+	Samples  int
+	Accuracy float64 // finetune
+	EvalLoss float64 // pretrain
+}
+
+// Report is the pipeline output (Fig. 1 "obtaining results").
+type Report struct {
+	Config    Config
+	VocabSize int
+
+	// Accuracy is the selected global model's top-1 validation accuracy
+	// (finetune). For standalone mode it is the sample-weighted mean over
+	// trained sites.
+	Accuracy float64
+	// EvalLoss is the final held-out MLM loss (pretrain).
+	EvalLoss float64
+	// PerSite holds standalone per-site outcomes.
+	PerSite []SiteResult
+
+	// EvalCurve tracks validation accuracy (finetune) or held-out MLM loss
+	// (pretrain) per round — the Fig. 2 trajectories.
+	EvalCurve *metrics.Curve
+	// TrainCurve tracks mean local training loss per round.
+	TrainCurve *metrics.Curve
+	// EpochTimes aggregates local-epoch wall-clock times (Fig. 3).
+	EpochTimes *metrics.Timing
+	// History is the federated run record (nil for standalone).
+	History *fl.History
+	// Duration is total pipeline wall-clock time.
+	Duration time.Duration
+}
+
+// Pipeline executes the paper's system pipeline for one configuration.
+type Pipeline struct {
+	cfg Config
+}
+
+// NewPipeline validates cfg and returns a runnable pipeline.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Pipeline{cfg: cfg}, nil
+}
+
+// Run executes the pipeline: data generation → tokenization → model
+// construction → (centralized | federated | standalone) training →
+// results.
+func (p *Pipeline) Run(ctx context.Context) (*Report, error) {
+	start := time.Now()
+	var (
+		rep *Report
+		err error
+	)
+	switch p.cfg.Task {
+	case TaskFinetune:
+		rep, err = p.runFinetune(ctx)
+	case TaskPretrain:
+		rep, err = p.runPretrain(ctx)
+	default:
+		return nil, fmt.Errorf("core: unknown task %q", p.cfg.Task)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep.Config = p.cfg
+	rep.Duration = time.Since(start)
+	return rep, nil
+}
+
+// ---- data preparation ----
+
+// prepareFinetune generates the cohort, builds the vocabulary and encodes
+// train/validation example sets.
+func (p *Pipeline) prepareFinetune() (train, valid data.Dataset, vocabSize int, err error) {
+	patients, err := ehr.GenerateCohort(p.cfg.EHR)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("core: cohort: %w", err)
+	}
+	streams := make([][]string, len(patients))
+	for i, pt := range patients {
+		streams[i] = pt.Tokens
+	}
+	vocab, err := token.BuildVocab(streams, 1, 0)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("core: vocab: %w", err)
+	}
+	tok, err := token.NewTokenizer(vocab, p.cfg.MaxLen)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	all := make(data.Dataset, len(patients))
+	for i, pt := range patients {
+		ids, padMask := tok.Encode(pt.Tokens)
+		all[i] = data.Example{IDs: ids, PadMask: padMask, Label: pt.Outcome}
+	}
+	all = all.Shuffled(tensor.NewRNG(p.cfg.Seed + 17))
+
+	trainSize, validSize := p.cfg.TrainSize, p.cfg.ValidSize
+	if trainSize <= 0 || validSize <= 0 {
+		// Paper split: 6,927 train / 1,732 valid of 8,638 (~80/20).
+		trainSize = len(all) * 8 / 10
+		validSize = len(all) - trainSize
+	}
+	if trainSize+validSize > len(all) {
+		return nil, nil, 0, fmt.Errorf("core: train+valid %d exceeds cohort %d", trainSize+validSize, len(all))
+	}
+	return all[:trainSize], all[trainSize : trainSize+validSize], vocab.Size(), nil
+}
+
+// preparePretrain generates the corpus and encodes train/validation id
+// sequences.
+func (p *Pipeline) preparePretrain() (train, valid [][]int, vocabSize int, err error) {
+	corpus, err := ehr.GenerateCorpus(p.cfg.EHR)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("core: corpus: %w", err)
+	}
+	vocab, err := token.BuildVocab(corpus, 1, 0)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("core: vocab: %w", err)
+	}
+	tok, err := token.NewTokenizer(vocab, p.cfg.MaxLen)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	all := make([][]int, len(corpus))
+	for i, sent := range corpus {
+		ids, _ := tok.Encode(sent)
+		all[i] = ids
+	}
+	rng := tensor.NewRNG(p.cfg.Seed + 23)
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+
+	trainSize, validSize := p.cfg.TrainSize, p.cfg.ValidSize
+	if trainSize <= 0 || validSize <= 0 {
+		trainSize = len(all) * 9 / 10
+		validSize = len(all) - trainSize
+	}
+	if trainSize+validSize > len(all) {
+		return nil, nil, 0, fmt.Errorf("core: train+valid %d exceeds corpus %d", trainSize+validSize, len(all))
+	}
+	return all[:trainSize], all[trainSize : trainSize+validSize], vocab.Size(), nil
+}
+
+// newClassifier instantiates the configured Table II model.
+func (p *Pipeline) newClassifier(vocabSize int, seed int64) (model.Classifier, error) {
+	spec, err := model.SpecByName(p.cfg.ModelName)
+	if err != nil {
+		return nil, err
+	}
+	return model.New(spec, vocabSize, p.cfg.MaxLen, 2, seed)
+}
+
+// localConfig builds the per-client training configuration.
+func (p *Pipeline) localConfig(timing *metrics.Timing) fl.LocalConfig {
+	lc := fl.LocalConfig{
+		Epochs:    p.cfg.LocalEpochs,
+		LR:        p.cfg.LR,
+		BatchSize: p.cfg.BatchSize,
+		Workers:   p.cfg.Workers,
+		ClipNorm:  p.cfg.ClipNorm,
+		Seed:      p.cfg.Seed,
+	}
+	if timing != nil {
+		lc.EpochHook = func(_ string, _, _ int, d time.Duration) { timing.Add(d) }
+	}
+	return lc
+}
+
+// partition splits the training set per the configured scheme.
+func (p *Pipeline) partition(train data.Dataset) ([]data.Dataset, error) {
+	switch p.cfg.Partition {
+	case PartitionBalanced:
+		return data.PartitionBalanced(train, p.cfg.Clients)
+	case PartitionImbalanced:
+		return data.PartitionRatios(train, data.PaperImbalancedRatios)
+	default:
+		return nil, fmt.Errorf("core: unknown partition %q", p.cfg.Partition)
+	}
+}
+
+// partitionIDs splits pretraining sequences per the configured scheme.
+func (p *Pipeline) partitionIDs(train [][]int) ([][][]int, error) {
+	// Reuse the dataset partitioners via index datasets to keep the ratio
+	// logic in one place.
+	idx := make(data.Dataset, len(train))
+	for i := range idx {
+		idx[i] = data.Example{Label: i}
+	}
+	var parts []data.Dataset
+	var err error
+	switch p.cfg.Partition {
+	case PartitionBalanced:
+		parts, err = data.PartitionBalanced(idx, p.cfg.Clients)
+	case PartitionImbalanced:
+		parts, err = data.PartitionRatios(idx, data.PaperImbalancedRatios)
+	default:
+		return nil, fmt.Errorf("core: unknown partition %q", p.cfg.Partition)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([][][]int, len(parts))
+	for ci, part := range parts {
+		shard := make([][]int, len(part))
+		for i, e := range part {
+			shard[i] = train[e.Label]
+		}
+		out[ci] = shard
+	}
+	return out, nil
+}
+
+// ---- fine-tuning (Table III) ----
+
+func (p *Pipeline) runFinetune(ctx context.Context) (*Report, error) {
+	trainSet, validSet, vocabSize, err := p.prepareFinetune()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		VocabSize:  vocabSize,
+		EvalCurve:  &metrics.Curve{Name: string(p.cfg.Mode) + "/" + p.cfg.ModelName + "/val_acc"},
+		TrainCurve: &metrics.Curve{Name: string(p.cfg.Mode) + "/" + p.cfg.ModelName + "/train_loss"},
+		EpochTimes: metrics.NewTiming("local_epoch"),
+	}
+
+	valModel, err := p.newClassifier(vocabSize, p.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	validate := func(weights map[string]*tensor.Matrix) (float64, error) {
+		if err := nn.LoadWeights(valModel.Params(), weights); err != nil {
+			return 0, err
+		}
+		preds, err := valModel.Predict(validSet)
+		if err != nil {
+			return 0, err
+		}
+		acc, err := metrics.Accuracy(preds, validSet.Labels())
+		if err != nil {
+			return 0, err
+		}
+		return acc, nil
+	}
+
+	switch p.cfg.Mode {
+	case ModeStandalone:
+		return p.runStandaloneFinetune(ctx, rep, trainSet, validate)
+	case ModeCentralized, ModeFederated:
+	default:
+		return nil, fmt.Errorf("core: unknown mode %q", p.cfg.Mode)
+	}
+
+	shards := []data.Dataset{trainSet}
+	if p.cfg.Mode == ModeFederated {
+		if shards, err = p.partition(trainSet); err != nil {
+			return nil, err
+		}
+	}
+	executors := make([]fl.Executor, len(shards))
+	for i, shard := range shards {
+		mdl, err := p.newClassifier(vocabSize, p.cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		lc := p.localConfig(rep.EpochTimes)
+		lc.Seed = p.cfg.Seed + int64(i)*37
+		exec, err := fl.NewClassifierExecutor(fmt.Sprintf("site-%d", i+1), mdl, shard, nil, lc)
+		if err != nil {
+			return nil, err
+		}
+		executors[i] = exec
+	}
+
+	ctrl, err := fl.NewController(fl.ControllerConfig{
+		Rounds:   p.cfg.Rounds,
+		Validate: validate,
+	}, executors)
+	if err != nil {
+		return nil, err
+	}
+	initial := nn.SnapshotWeights(valModel.Params())
+	res, err := ctrl.Run(ctx, initial)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range res.History.Rounds {
+		rep.EvalCurve.Add(r.Round, r.ValScore)
+		rep.TrainCurve.Add(r.Round, r.MeanTrainLoss)
+	}
+	rep.History = &res.History
+	rep.Accuracy = res.History.BestScore
+	return rep, nil
+}
+
+// runStandaloneFinetune trains each site alone and reports the
+// sample-weighted mean validation accuracy.
+func (p *Pipeline) runStandaloneFinetune(ctx context.Context, rep *Report, trainSet data.Dataset, validate func(map[string]*tensor.Matrix) (float64, error)) (*Report, error) {
+	shards, err := p.partition(trainSet)
+	if err != nil {
+		return nil, err
+	}
+	limit := p.cfg.StandaloneLimit
+	if limit <= 0 || limit > len(shards) {
+		limit = len(shards)
+	}
+	var accSum, weightSum float64
+	for i := 0; i < limit; i++ {
+		mdl, err := p.newClassifier(rep.VocabSize, p.cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		lc := p.localConfig(rep.EpochTimes)
+		lc.Seed = p.cfg.Seed + int64(i)*37
+		site := fmt.Sprintf("site-%d", i+1)
+		exec, err := fl.NewClassifierExecutor(site, mdl, shards[i], nil, lc)
+		if err != nil {
+			return nil, err
+		}
+		ctrl, err := fl.NewController(fl.ControllerConfig{
+			Rounds:   p.cfg.Rounds,
+			Validate: validate,
+		}, []fl.Executor{exec})
+		if err != nil {
+			return nil, err
+		}
+		res, err := ctrl.Run(ctx, nn.SnapshotWeights(mdl.Params()))
+		if err != nil {
+			return nil, fmt.Errorf("core: standalone %s: %w", site, err)
+		}
+		acc := res.History.BestScore
+		rep.PerSite = append(rep.PerSite, SiteResult{Site: site, Samples: len(shards[i]), Accuracy: acc})
+		accSum += acc * float64(len(shards[i]))
+		weightSum += float64(len(shards[i]))
+	}
+	rep.Accuracy = accSum / weightSum
+	return rep, nil
+}
+
+// ---- pretraining (Fig. 2) ----
+
+func (p *Pipeline) runPretrain(ctx context.Context) (*Report, error) {
+	if p.cfg.ModelName == "lstm" {
+		return nil, errors.New("core: MLM pretraining requires a BERT-family model")
+	}
+	trainSeqs, validSeqs, vocabSize, err := p.preparePretrain()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		VocabSize:  vocabSize,
+		EvalCurve:  &metrics.Curve{Name: string(p.cfg.Mode) + "/" + string(p.cfg.Partition) + "/mlm_loss"},
+		TrainCurve: &metrics.Curve{Name: string(p.cfg.Mode) + "/" + string(p.cfg.Partition) + "/train_loss"},
+		EpochTimes: metrics.NewTiming("local_epoch"),
+	}
+	maskCfg := mlm.DefaultConfig(vocabSize)
+
+	newBERT := func(seed int64) (*model.BERT, error) {
+		spec, err := model.SpecByName(p.cfg.ModelName)
+		if err != nil {
+			return nil, err
+		}
+		c, err := model.New(spec, vocabSize, p.cfg.MaxLen, 2, seed)
+		if err != nil {
+			return nil, err
+		}
+		b, ok := c.(*model.BERT)
+		if !ok {
+			return nil, fmt.Errorf("core: %s is not a BERT-family model", p.cfg.ModelName)
+		}
+		return b, nil
+	}
+
+	evalModel, err := newBERT(p.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	evalExec, err := fl.NewMLMExecutor("eval", evalModel, evalModel.Params(), trainSeqs[:1], maskCfg, p.localConfig(nil))
+	if err != nil {
+		return nil, err
+	}
+	// Record the untrained baseline (round -1 in spirit; plotted at 0 with
+	// trained rounds at 1..E). The paper's Fig. 2 starting loss ≈ ln|V|.
+	baseLoss, err := evalExec.EvalMLMLoss(nn.SnapshotWeights(evalModel.Params()), validSeqs, p.cfg.Seed+101)
+	if err != nil {
+		return nil, err
+	}
+	rep.EvalCurve.Add(0, baseLoss)
+
+	validate := func(weights map[string]*tensor.Matrix) (float64, error) {
+		loss, err := evalExec.EvalMLMLoss(weights, validSeqs, p.cfg.Seed+101)
+		if err != nil {
+			return 0, err
+		}
+		return -loss, nil // higher is better for model selection
+	}
+
+	var shards [][][]int
+	switch p.cfg.Mode {
+	case ModeCentralized:
+		shards = [][][]int{trainSeqs}
+	case ModeFederated:
+		if shards, err = p.partitionIDs(trainSeqs); err != nil {
+			return nil, err
+		}
+	case ModeStandalone:
+		// The paper's "BERT utilizing a small dataset": one site training
+		// alone on a balanced-shard-sized subset.
+		allShards, err := p.partitionIDs(trainSeqs)
+		if err != nil {
+			return nil, err
+		}
+		limit := p.cfg.StandaloneLimit
+		if limit <= 0 || limit > 1 {
+			limit = 1
+		}
+		shards = allShards[:limit]
+	}
+
+	executors := make([]fl.Executor, len(shards))
+	for i, shard := range shards {
+		mdl, err := newBERT(p.cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		lc := p.localConfig(rep.EpochTimes)
+		lc.Seed = p.cfg.Seed + int64(i)*37
+		exec, err := fl.NewMLMExecutor(fmt.Sprintf("site-%d", i+1), mdl, mdl.Params(), shard, maskCfg, lc)
+		if err != nil {
+			return nil, err
+		}
+		executors[i] = exec
+	}
+	ctrl, err := fl.NewController(fl.ControllerConfig{
+		Rounds:   p.cfg.Rounds,
+		Validate: validate,
+	}, executors)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ctrl.Run(ctx, nn.SnapshotWeights(evalModel.Params()))
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range res.History.Rounds {
+		rep.EvalCurve.Add(r.Round+1, -r.ValScore)
+		rep.TrainCurve.Add(r.Round+1, r.MeanTrainLoss)
+	}
+	rep.History = &res.History
+	rep.EvalLoss = rep.EvalCurve.Last()
+	return rep, nil
+}

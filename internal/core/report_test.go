@@ -1,0 +1,194 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"clinfl/internal/data"
+	"clinfl/internal/ehr"
+	"clinfl/internal/metrics"
+)
+
+// These tests exercise pipeline plumbing that the training integration
+// tests don't reach: data preparation invariants, partition dispatch and
+// report bookkeeping — all cheap enough to run in -short mode.
+
+func TestPrepareFinetuneSplitsAndEncodes(t *testing.T) {
+	cfg := tinyConfig(TaskFinetune, ModeFederated, "lstm")
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, valid, vocabSize, err := p.prepareFinetune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train) != cfg.TrainSize || len(valid) != cfg.ValidSize {
+		t.Fatalf("split %d/%d, want %d/%d", len(train), len(valid), cfg.TrainSize, cfg.ValidSize)
+	}
+	if vocabSize <= 0 {
+		t.Fatal("empty vocab")
+	}
+	for i, ex := range train {
+		if len(ex.IDs) != cfg.MaxLen || len(ex.PadMask) != cfg.MaxLen {
+			t.Fatalf("example %d not padded to MaxLen", i)
+		}
+		if ex.Label != 0 && ex.Label != 1 {
+			t.Fatalf("example %d label %d", i, ex.Label)
+		}
+	}
+	// Class balance should roughly match the cohort's.
+	rate := data.Dataset(train).PositiveRate()
+	if rate < 0.1 || rate > 0.4 {
+		t.Fatalf("train positive rate %.3f implausible", rate)
+	}
+}
+
+func TestPrepareFinetuneRejectsOversizedSplit(t *testing.T) {
+	cfg := tinyConfig(TaskFinetune, ModeCentralized, "lstm")
+	cfg.TrainSize = 10000
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := p.prepareFinetune(); err == nil {
+		t.Fatal("want error for train+valid exceeding cohort")
+	}
+}
+
+func TestPreparePretrainEncodes(t *testing.T) {
+	cfg := tinyConfig(TaskPretrain, ModeCentralized, "bert-mini")
+	cfg.TrainSize, cfg.ValidSize = 40, 20
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, valid, vocabSize, err := p.preparePretrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train) != 40 || len(valid) != 20 {
+		t.Fatalf("split %d/%d", len(train), len(valid))
+	}
+	if vocabSize <= 0 {
+		t.Fatal("empty vocab")
+	}
+	for i, ids := range train {
+		if len(ids) != cfg.MaxLen {
+			t.Fatalf("sequence %d length %d, want %d", i, len(ids), cfg.MaxLen)
+		}
+	}
+}
+
+func TestPartitionDispatch(t *testing.T) {
+	cfg := tinyConfig(TaskFinetune, ModeFederated, "lstm")
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := make(data.Dataset, 100)
+	imb, err := p.partition(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imb) != 8 || len(imb[0]) <= len(imb[7]) {
+		t.Fatal("imbalanced partition shape wrong")
+	}
+
+	cfg.Partition = PartitionBalanced
+	p2, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal, err := p2.partition(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bal) != 8 {
+		t.Fatalf("balanced shards %d", len(bal))
+	}
+	for _, s := range bal {
+		if len(s) != 12 && len(s) != 13 {
+			t.Fatalf("balanced shard size %d", len(s))
+		}
+	}
+}
+
+func TestPartitionIDsPreservesSequences(t *testing.T) {
+	cfg := tinyConfig(TaskPretrain, ModeFederated, "bert-mini")
+	cfg.Partition = PartitionBalanced
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := make([][]int, 64)
+	for i := range seqs {
+		seqs[i] = []int{i, i + 1}
+	}
+	shards, err := p.partitionIDs(seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != cfg.Clients {
+		t.Fatalf("shards %d", len(shards))
+	}
+	seen := 0
+	for _, shard := range shards {
+		for _, ids := range shard {
+			if ids[1] != ids[0]+1 {
+				t.Fatal("sequence corrupted by partition")
+			}
+			seen++
+		}
+	}
+	if seen != 64 {
+		t.Fatalf("partition covers %d of 64", seen)
+	}
+}
+
+func TestLocalConfigTimingHook(t *testing.T) {
+	cfg := tinyConfig(TaskFinetune, ModeCentralized, "lstm")
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timing := metrics.NewTiming("test")
+	lc := p.localConfig(timing)
+	if lc.EpochHook == nil {
+		t.Fatal("no epoch hook wired")
+	}
+	lc.EpochHook("site", 0, 0, 5*time.Millisecond)
+	if timing.Count() != 1 {
+		t.Fatal("hook did not record")
+	}
+	if p.localConfig(nil).EpochHook != nil {
+		t.Fatal("nil timing should not wire a hook")
+	}
+}
+
+func TestDefaultUsesPaperCohort(t *testing.T) {
+	cfg := Default(TaskFinetune, ModeFederated, "lstm")
+	if cfg.EHR.Patients != 8638 {
+		t.Fatalf("cohort %d, want the paper's 8,638", cfg.EHR.Patients)
+	}
+	want := 1824.0 / 8638.0
+	if diff := cfg.EHR.TargetPositiveRate - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("positive rate %v, want %v", cfg.EHR.TargetPositiveRate, want)
+	}
+	if _, err := ehr.GenerateCorpus(ehr.Config{}); err == nil {
+		t.Fatal("zero ehr config should not validate")
+	}
+}
+
+func TestRunUnknownTaskRejected(t *testing.T) {
+	cfg := tinyConfig(TaskFinetune, ModeFederated, "lstm")
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.cfg.Task = "bogus" // bypass NewPipeline validation deliberately
+	if _, err := p.Run(context.Background()); err == nil {
+		t.Fatal("want unknown-task error")
+	}
+}

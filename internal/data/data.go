@@ -1,0 +1,162 @@
+// Package data provides dataset abstractions, train/validation splitting
+// and the federated client partitioners the paper's experiments use:
+// balanced equal-size splits, the imbalanced split with ratios
+// {0.29, 0.22, 0.17, 0.14, 0.09, 0.04, 0.03, 0.02}, and small single-site
+// subsets.
+package data
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"clinfl/internal/tensor"
+)
+
+// Example is one encoded training instance: a fixed-length token id
+// sequence with its padding mask and (for classification) a label.
+type Example struct {
+	IDs     []int
+	PadMask []bool
+	Label   int
+}
+
+// Len returns the number of non-padding positions.
+func (e Example) Len() int {
+	n := 0
+	for _, pad := range e.PadMask {
+		if !pad {
+			n++
+		}
+	}
+	return n
+}
+
+// Dataset is an ordered collection of examples.
+type Dataset []Example
+
+// Labels returns the label column.
+func (d Dataset) Labels() []int {
+	out := make([]int, len(d))
+	for i, e := range d {
+		out[i] = e.Label
+	}
+	return out
+}
+
+// PositiveRate returns the fraction of label-1 examples.
+func (d Dataset) PositiveRate() float64 {
+	if len(d) == 0 {
+		return 0
+	}
+	n := 0
+	for _, e := range d {
+		n += e.Label
+	}
+	return float64(n) / float64(len(d))
+}
+
+// Shuffled returns a copy of d in a seeded random order.
+func (d Dataset) Shuffled(rng *tensor.RNG) Dataset {
+	out := append(Dataset(nil), d...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Split divides d into a train set of trainFrac and the remaining
+// validation set, preserving order (shuffle first for a random split).
+func (d Dataset) Split(trainFrac float64) (train, valid Dataset, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("data: trainFrac %v out of (0,1)", trainFrac)
+	}
+	n := int(math.Round(float64(len(d)) * trainFrac))
+	if n == 0 || n == len(d) {
+		return nil, nil, errors.New("data: split produced an empty side")
+	}
+	return d[:n], d[n:], nil
+}
+
+// Batches cuts d into contiguous batches of at most size examples.
+func (d Dataset) Batches(size int) []Dataset {
+	if size <= 0 {
+		size = 1
+	}
+	var out []Dataset
+	for lo := 0; lo < len(d); lo += size {
+		hi := lo + size
+		if hi > len(d) {
+			hi = len(d)
+		}
+		out = append(out, d[lo:hi])
+	}
+	return out
+}
+
+// PaperImbalancedRatios is the client data-share vector from the paper's
+// feasibility study (Sec. IV-B1), summing to 1 across 8 clients.
+var PaperImbalancedRatios = []float64{0.29, 0.22, 0.17, 0.14, 0.09, 0.04, 0.03, 0.02}
+
+// PartitionBalanced splits d into n near-equal shards (the paper's
+// "balanced data" scheme: identical data volume per client).
+func PartitionBalanced(d Dataset, n int) ([]Dataset, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("data: PartitionBalanced n=%d", n)
+	}
+	if len(d) < n {
+		return nil, fmt.Errorf("data: %d examples cannot cover %d clients", len(d), n)
+	}
+	out := make([]Dataset, n)
+	for i := range out {
+		lo := i * len(d) / n
+		hi := (i + 1) * len(d) / n
+		out[i] = d[lo:hi]
+	}
+	return out, nil
+}
+
+// PartitionRatios splits d by the given share ratios (the paper's
+// "imbalanced data" scheme). Ratios must be positive and sum to ~1.
+func PartitionRatios(d Dataset, ratios []float64) ([]Dataset, error) {
+	if len(ratios) == 0 {
+		return nil, errors.New("data: empty ratios")
+	}
+	var sum float64
+	for _, r := range ratios {
+		if r <= 0 {
+			return nil, fmt.Errorf("data: non-positive ratio %v", r)
+		}
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return nil, fmt.Errorf("data: ratios sum to %v, want 1", sum)
+	}
+	out := make([]Dataset, len(ratios))
+	lo := 0
+	var acc float64
+	for i, r := range ratios {
+		acc += r
+		hi := int(math.Round(acc * float64(len(d))))
+		if i == len(ratios)-1 {
+			hi = len(d)
+		}
+		if hi <= lo {
+			return nil, fmt.Errorf("data: ratio %d produced empty shard", i)
+		}
+		out[i] = d[lo:hi]
+		lo = hi
+	}
+	return out, nil
+}
+
+// SmallSubset returns the first frac of d (the paper's "small dataset"
+// lower-bound scheme: a single site training alone on its own shard).
+func SmallSubset(d Dataset, frac float64) (Dataset, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("data: SmallSubset frac %v out of (0,1]", frac)
+	}
+	n := int(math.Round(frac * float64(len(d))))
+	if n == 0 {
+		return nil, errors.New("data: SmallSubset is empty")
+	}
+	return d[:n], nil
+}

@@ -1,0 +1,215 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clinfl/internal/tensor"
+)
+
+func makeDataset(n int) Dataset {
+	ds := make(Dataset, n)
+	for i := range ds {
+		ds[i] = Example{
+			IDs:     []int{2, 10 + i, 3, 0},
+			PadMask: []bool{false, false, false, true},
+			Label:   i % 2,
+		}
+	}
+	return ds
+}
+
+func TestExampleLen(t *testing.T) {
+	e := Example{PadMask: []bool{false, false, true, true}}
+	if e.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", e.Len())
+	}
+}
+
+func TestLabelsAndPositiveRate(t *testing.T) {
+	ds := makeDataset(10)
+	labels := ds.Labels()
+	if len(labels) != 10 || labels[1] != 1 {
+		t.Fatalf("labels %v", labels)
+	}
+	if r := ds.PositiveRate(); r != 0.5 {
+		t.Fatalf("positive rate %v", r)
+	}
+	if r := (Dataset{}).PositiveRate(); r != 0 {
+		t.Fatalf("empty positive rate %v", r)
+	}
+}
+
+func TestShuffledIsPermutationAndDeterministic(t *testing.T) {
+	ds := makeDataset(50)
+	a := ds.Shuffled(tensor.NewRNG(7))
+	b := ds.Shuffled(tensor.NewRNG(7))
+	if len(a) != 50 {
+		t.Fatal("length changed")
+	}
+	seen := make(map[int]bool)
+	for i := range a {
+		seen[a[i].IDs[1]] = true
+		if a[i].IDs[1] != b[i].IDs[1] {
+			t.Fatal("same seed shuffles differ")
+		}
+	}
+	if len(seen) != 50 {
+		t.Fatal("shuffle dropped or duplicated examples")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ds := makeDataset(10)
+	tr, va, err := ds.Split(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 8 || len(va) != 2 {
+		t.Fatalf("split %d/%d", len(tr), len(va))
+	}
+	if _, _, err := ds.Split(0); err == nil {
+		t.Fatal("want error for frac 0")
+	}
+	if _, _, err := ds.Split(1); err == nil {
+		t.Fatal("want error for frac 1")
+	}
+}
+
+func TestBatches(t *testing.T) {
+	ds := makeDataset(10)
+	bs := ds.Batches(4)
+	if len(bs) != 3 || len(bs[0]) != 4 || len(bs[2]) != 2 {
+		t.Fatalf("batches %v", len(bs))
+	}
+	total := 0
+	for _, b := range bs {
+		total += len(b)
+	}
+	if total != 10 {
+		t.Fatal("batches lost examples")
+	}
+}
+
+func TestPartitionBalanced(t *testing.T) {
+	ds := makeDataset(17)
+	parts, err := PartitionBalanced(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range parts {
+		if len(p) < 4 || len(p) > 5 {
+			t.Fatalf("unbalanced shard size %d", len(p))
+		}
+		total += len(p)
+	}
+	if total != 17 {
+		t.Fatalf("partition covers %d of 17", total)
+	}
+	if _, err := PartitionBalanced(ds, 0); err == nil {
+		t.Fatal("want error for 0 clients")
+	}
+	if _, err := PartitionBalanced(makeDataset(2), 4); err == nil {
+		t.Fatal("want error for too few examples")
+	}
+}
+
+func TestPaperRatiosSumToOne(t *testing.T) {
+	var sum float64
+	for _, r := range PaperImbalancedRatios {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("paper ratios sum to %v", sum)
+	}
+	if len(PaperImbalancedRatios) != 8 {
+		t.Fatalf("paper has 8 clients, ratios have %d", len(PaperImbalancedRatios))
+	}
+}
+
+func TestPartitionRatios(t *testing.T) {
+	ds := makeDataset(100)
+	parts, err := PartitionRatios(ds, PaperImbalancedRatios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 8 {
+		t.Fatalf("%d shards", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != 100 {
+		t.Fatalf("ratio partition covers %d of 100", total)
+	}
+	// Largest shard ~29, smallest ~2.
+	if len(parts[0]) < 25 || len(parts[0]) > 33 {
+		t.Fatalf("first shard %d, want ~29", len(parts[0]))
+	}
+	if len(parts[7]) < 1 || len(parts[7]) > 4 {
+		t.Fatalf("last shard %d, want ~2", len(parts[7]))
+	}
+}
+
+func TestPartitionRatiosErrors(t *testing.T) {
+	ds := makeDataset(100)
+	if _, err := PartitionRatios(ds, nil); err == nil {
+		t.Fatal("want error for empty ratios")
+	}
+	if _, err := PartitionRatios(ds, []float64{0.5, 0.4}); err == nil {
+		t.Fatal("want error for ratios not summing to 1")
+	}
+	if _, err := PartitionRatios(ds, []float64{1.2, -0.2}); err == nil {
+		t.Fatal("want error for negative ratio")
+	}
+	if _, err := PartitionRatios(makeDataset(4), PaperImbalancedRatios); err == nil {
+		t.Fatal("want error when a shard is empty")
+	}
+}
+
+func TestSmallSubset(t *testing.T) {
+	ds := makeDataset(80)
+	sub, err := SmallSubset(ds, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 10 {
+		t.Fatalf("subset %d, want 10", len(sub))
+	}
+	if _, err := SmallSubset(ds, 0); err == nil {
+		t.Fatal("want error for frac 0")
+	}
+	if _, err := SmallSubset(ds, 1.5); err == nil {
+		t.Fatal("want error for frac > 1")
+	}
+}
+
+// Property: any valid ratio partition covers the dataset exactly, in order,
+// without overlap.
+func TestPartitionCoverageProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 40 + rng.Intn(100)
+		ds := makeDataset(n)
+		parts, err := PartitionRatios(ds, PaperImbalancedRatios)
+		if err != nil {
+			return n < 40 // only tiny datasets may fail
+		}
+		idx := 0
+		for _, p := range parts {
+			for _, e := range p {
+				if e.IDs[1] != ds[idx].IDs[1] {
+					return false
+				}
+				idx++
+			}
+		}
+		return idx == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

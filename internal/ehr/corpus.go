@@ -1,0 +1,102 @@
+package ehr
+
+import (
+	"math"
+	"sort"
+
+	"clinfl/internal/tensor"
+)
+
+// GenerateCorpus produces cfg.CorpusSentences templated clinical "visit
+// sentences" for masked-language-model pretraining. Sentences have strong,
+// learnable structure: an encounter-type token, demographics, one or two
+// diagnoses, then the medications and labs those diagnoses typically pull
+// in (per dxAssociations), plus a Zipf tail of rare codes — so an MLM that
+// learns co-occurrence statistics drives its loss well below the uniform
+// baseline ln|V|.
+func GenerateCorpus(cfg Config) ([][]string, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(cfg.Seed + 7919) // decouple from cohort stream
+
+	dxPool := make([]string, 0, len(dxAssociations))
+	for dx := range dxAssociations {
+		dxPool = append(dxPool, dx)
+	}
+	// Map iteration order is random; sort for determinism.
+	sortStrings(dxPool)
+
+	out := make([][]string, cfg.CorpusSentences)
+	for i := range out {
+		out[i] = generateSentence(rng, dxPool)
+	}
+	return out, nil
+}
+
+// generateSentence emits one visit sentence.
+func generateSentence(rng *tensor.RNG, dxPool []string) []string {
+	sent := make([]string, 0, 16)
+	sent = append(sent, visitTokens[rng.Intn(len(visitTokens))])
+	if rng.Float64() < 0.5 {
+		sent = append(sent, tokSexM)
+	} else {
+		sent = append(sent, tokSexF)
+	}
+	if rng.Float64() < 0.3 {
+		sent = append(sent, tokElderly)
+	} else {
+		sent = append(sent, tokAdult)
+	}
+
+	nDx := 1 + rng.Intn(2)
+	for d := 0; d < nDx; d++ {
+		dx := dxPool[rng.Intn(len(dxPool))]
+		sent = append(sent, dx)
+		assoc := dxAssociations[dx]
+		for _, med := range assoc.meds {
+			if rng.Float64() < 0.75 {
+				sent = append(sent, med)
+			}
+		}
+		for _, lab := range assoc.labs {
+			if rng.Float64() < 0.6 {
+				sent = append(sent, lab)
+			}
+		}
+	}
+
+	// The clopidogrel+PPI+genotype motif appears in the corpus too, so
+	// pretraining exposes BERT to the fine-tuning domain.
+	if rng.Float64() < 0.15 {
+		sent = append(sent, tokPriorMI, tokClopidogrel)
+		if rng.Float64() < 0.4 {
+			sent = append(sent, tokOmeprazole)
+		}
+		if rng.Float64() < 0.3 {
+			sent = append(sent, tokCYP2C19LOF)
+		}
+	}
+
+	// Noise tail.
+	nNoise := rng.Intn(4)
+	for k := 0; k < nNoise; k++ {
+		if rng.Float64() < 0.7 {
+			sent = append(sent, labTokens[rng.Intn(len(labTokens))])
+		} else {
+			u := rng.Float64()
+			idx := int(math.Floor(float64(extraRareTokens) * u * u * u))
+			if idx >= extraRareTokens {
+				idx = extraRareTokens - 1
+			}
+			sent = append(sent, rareToken(idx))
+		}
+	}
+	return sent
+}
+
+// sortStrings sorts s in place (map iteration order is randomized, so the
+// diagnosis pool must be sorted for deterministic generation).
+func sortStrings(s []string) {
+	sort.Strings(s)
+}

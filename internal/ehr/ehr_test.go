@@ -1,0 +1,284 @@
+package ehr
+
+import (
+	"math"
+	"testing"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Patients = 800
+	cfg.CorpusSentences = 500
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero patients", func(c *Config) { c.Patients = 0 }},
+		{"rate too high", func(c *Config) { c.TargetPositiveRate = 1 }},
+		{"rate zero", func(c *Config) { c.TargetPositiveRate = 0 }},
+		{"label noise half", func(c *Config) { c.LabelNoise = 0.5 }},
+		{"bad visit bounds", func(c *Config) { c.MaxVisitTokens = c.MinVisitTokens - 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig()
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatal("want validation error")
+			}
+		})
+	}
+	if err := testConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestCohortPositiveRateCalibration(t *testing.T) {
+	cfg := testConfig()
+	patients, err := GenerateCohort(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Stats(patients)
+	if st.Patients != cfg.Patients {
+		t.Fatalf("patients %d, want %d", st.Patients, cfg.Patients)
+	}
+	// Realized rate = target adjusted by label noise:
+	// r' = r(1-noise) + (1-r)noise.
+	want := cfg.TargetPositiveRate*(1-cfg.LabelNoise) + (1-cfg.TargetPositiveRate)*cfg.LabelNoise
+	if math.Abs(st.PositiveRate-want) > 0.05 {
+		t.Fatalf("positive rate %.3f far from calibrated %.3f", st.PositiveRate, want)
+	}
+}
+
+func TestCohortDeterminism(t *testing.T) {
+	a, err := GenerateCohort(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCohort(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Outcome != b[i].Outcome || len(a[i].Tokens) != len(b[i].Tokens) {
+			t.Fatalf("patient %d differs across same-seed generation", i)
+		}
+		for j := range a[i].Tokens {
+			if a[i].Tokens[j] != b[i].Tokens[j] {
+				t.Fatalf("patient %d token %d differs", i, j)
+			}
+		}
+	}
+	cfg := testConfig()
+	cfg.Seed = 99
+	c, err := GenerateCohort(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i].Outcome == c[i].Outcome {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical outcomes")
+	}
+}
+
+func TestEveryPatientHasClopidogrel(t *testing.T) {
+	patients, err := GenerateCohort(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range patients {
+		found := false
+		for _, tok := range p.Tokens {
+			if tok == tokClopidogrel {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("patient %d lacks the clopidogrel anchor", i)
+		}
+	}
+}
+
+func TestPPIOrderEncodedInStream(t *testing.T) {
+	patients, err := GenerateCohort(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, p := range patients {
+		if !p.PPIUse {
+			continue
+		}
+		ppiIdx, clopiIdx := -1, -1
+		for i, tok := range p.Tokens {
+			switch tok {
+			case tokOmeprazole:
+				ppiIdx = i
+			case tokClopidogrel:
+				clopiIdx = i
+			}
+		}
+		if ppiIdx < 0 {
+			t.Fatal("PPI user without PPI token")
+		}
+		if p.PPIBeforeClopidogrel && ppiIdx > clopiIdx {
+			t.Fatal("PPI-before patient has PPI after clopidogrel in stream")
+		}
+		if !p.PPIBeforeClopidogrel && ppiIdx < clopiIdx {
+			t.Fatal("PPI-after patient has PPI before clopidogrel in stream")
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no PPI users generated")
+	}
+}
+
+func TestRiskFactorsRaisePositiveRate(t *testing.T) {
+	patients, err := GenerateCohort(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lofPos, lofN, noLofPos, noLofN int
+	for _, p := range patients {
+		if p.CYP2C19LOF {
+			lofN++
+			lofPos += p.Outcome
+		} else {
+			noLofN++
+			noLofPos += p.Outcome
+		}
+	}
+	lofRate := float64(lofPos) / float64(lofN)
+	noLofRate := float64(noLofPos) / float64(noLofN)
+	if lofRate <= noLofRate {
+		t.Fatalf("LOF carriers should fail more: %.3f vs %.3f", lofRate, noLofRate)
+	}
+}
+
+func TestSequenceLengthBounds(t *testing.T) {
+	cfg := testConfig()
+	patients, err := GenerateCohort(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range patients {
+		// Risk-factor-rich patients can exceed the filler target slightly,
+		// but the stream must stay within a sane envelope.
+		if len(p.Tokens) < 4 || len(p.Tokens) > cfg.MaxVisitTokens+8 {
+			t.Fatalf("patient %d stream length %d outside envelope", i, len(p.Tokens))
+		}
+	}
+}
+
+func TestCorpusGeneration(t *testing.T) {
+	cfg := testConfig()
+	corpus, err := GenerateCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) != cfg.CorpusSentences {
+		t.Fatalf("corpus %d sentences, want %d", len(corpus), cfg.CorpusSentences)
+	}
+	for i, sent := range corpus {
+		if len(sent) < 3 {
+			t.Fatalf("sentence %d too short: %v", i, sent)
+		}
+	}
+}
+
+func TestCorpusDeterminismAndIndependenceFromCohort(t *testing.T) {
+	a, err := GenerateCorpus(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generating the cohort in between must not perturb the corpus stream.
+	if _, err := GenerateCohort(testConfig()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCorpus(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("sentence %d differs", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("sentence %d token %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestCorpusCooccurrence(t *testing.T) {
+	corpus, err := GenerateCorpus(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diabetes sentences should frequently carry metformin: the structure
+	// the MLM objective learns.
+	var dmSent, dmWithMet int
+	for _, sent := range corpus {
+		hasDM, hasMet := false, false
+		for _, tok := range sent {
+			if tok == tokDiabetes {
+				hasDM = true
+			}
+			if tok == "RX_METFORMIN_500MG" {
+				hasMet = true
+			}
+		}
+		if hasDM {
+			dmSent++
+			if hasMet {
+				dmWithMet++
+			}
+		}
+	}
+	if dmSent == 0 {
+		t.Fatal("no diabetes sentences")
+	}
+	if frac := float64(dmWithMet) / float64(dmSent); frac < 0.5 {
+		t.Fatalf("metformin co-occurrence %.2f too weak for MLM learnability", frac)
+	}
+}
+
+func TestAllTokensInventory(t *testing.T) {
+	toks := AllTokens()
+	seen := make(map[string]bool, len(toks))
+	for _, tok := range toks {
+		if seen[tok] {
+			t.Fatalf("duplicate token %q in inventory", tok)
+		}
+		seen[tok] = true
+	}
+	if !seen[tokClopidogrel] || !seen[tokCYP2C19LOF] {
+		t.Fatal("anchor tokens missing from inventory")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	patients, err := GenerateCohort(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Stats(patients).String(); s == "" {
+		t.Fatal("empty stats string")
+	}
+	if s := Stats(nil); s.Patients != 0 || s.PositiveRate != 0 {
+		t.Fatal("empty cohort stats should be zero")
+	}
+}

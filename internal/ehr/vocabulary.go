@@ -1,0 +1,96 @@
+package ehr
+
+import "fmt"
+
+// Clinical code inventories. These are synthetic but shaped like real
+// prescription / ICD-10 / LOINC-style streams so tokenization behaves as it
+// would on the paper's data.
+
+// Core risk-factor and anchor tokens referenced by the outcome model.
+const (
+	tokClopidogrel = "RX_CLOPIDOGREL_75MG"
+	tokOmeprazole  = "RX_OMEPRAZOLE_20MG" // PPI that inhibits CYP2C19
+	tokCYP2C19LOF  = "GEN_CYP2C19_LOF"    // loss-of-function genotype
+	tokDiabetes    = "DX_E11_9"           // type 2 diabetes
+	tokPriorMI     = "DX_I21_4"           // prior myocardial infarction
+	tokSmoker      = "SOC_TOBACCO_USE"
+	tokElderly     = "AGE_75_84"
+	tokAdult       = "AGE_45_54"
+	tokSexM        = "SEX_M"
+	tokSexF        = "SEX_F"
+)
+
+// benignMeds are filler prescriptions with no outcome effect.
+var benignMeds = []string{
+	"RX_ATORVASTATIN_40MG", "RX_LISINOPRIL_10MG", "RX_METOPROLOL_50MG",
+	"RX_AMLODIPINE_5MG", "RX_METFORMIN_500MG", "RX_ASPIRIN_81MG",
+	"RX_LEVOTHYROXINE_50MCG", "RX_ALBUTEROL_INH", "RX_GABAPENTIN_300MG",
+	"RX_FUROSEMIDE_20MG", "RX_PANTOPRAZOLE_40MG", "RX_SERTRALINE_50MG",
+}
+
+// benignDx are filler diagnosis codes.
+var benignDx = []string{
+	"DX_I10", "DX_E78_5", "DX_J44_9", "DX_K21_9", "DX_M54_5",
+	"DX_F41_1", "DX_N18_3", "DX_G47_33", "DX_H40_11", "DX_L40_0",
+	"DX_E03_9", "DX_J45_909", "DX_R07_9", "DX_I48_91", "DX_M17_11",
+}
+
+// labTokens are lab-result tokens (value-binned LOINC style).
+var labTokens = []string{
+	"LAB_HGB_LOW", "LAB_HGB_NORMAL", "LAB_PLT_LOW", "LAB_PLT_NORMAL",
+	"LAB_CREAT_HIGH", "LAB_CREAT_NORMAL", "LAB_HBA1C_HIGH", "LAB_HBA1C_NORMAL",
+	"LAB_LDL_HIGH", "LAB_LDL_NORMAL", "LAB_INR_HIGH", "LAB_INR_NORMAL",
+	"LAB_TROP_HIGH", "LAB_TROP_NORMAL", "LAB_BNP_HIGH", "LAB_BNP_NORMAL",
+}
+
+// procTokens are procedure codes.
+var procTokens = []string{
+	"PX_PCI_STENT", "PX_CABG", "PX_ECHO", "PX_STRESS_TEST",
+	"PX_CATH_DIAG", "PX_EKG", "PX_CT_ANGIO", "PX_ENDOSCOPY",
+}
+
+// visitTokens delimit encounters in the event stream.
+var visitTokens = []string{
+	"ENC_OUTPATIENT", "ENC_INPATIENT", "ENC_ED", "ENC_TELEHEALTH",
+}
+
+// dxAssociations captures the co-occurrence structure the pretraining
+// corpus teaches: each diagnosis pulls in its typical medications and labs.
+var dxAssociations = map[string]struct {
+	meds []string
+	labs []string
+}{
+	"DX_I10":    {meds: []string{"RX_LISINOPRIL_10MG", "RX_AMLODIPINE_5MG"}, labs: []string{"LAB_CREAT_NORMAL"}},
+	"DX_E78_5":  {meds: []string{"RX_ATORVASTATIN_40MG"}, labs: []string{"LAB_LDL_HIGH"}},
+	tokDiabetes: {meds: []string{"RX_METFORMIN_500MG"}, labs: []string{"LAB_HBA1C_HIGH"}},
+	tokPriorMI:  {meds: []string{"RX_ASPIRIN_81MG", "RX_METOPROLOL_50MG", tokClopidogrel}, labs: []string{"LAB_TROP_HIGH"}},
+	"DX_K21_9":  {meds: []string{tokOmeprazole, "RX_PANTOPRAZOLE_40MG"}, labs: []string{}},
+	"DX_E03_9":  {meds: []string{"RX_LEVOTHYROXINE_50MCG"}, labs: []string{}},
+	"DX_J44_9":  {meds: []string{"RX_ALBUTEROL_INH"}, labs: []string{}},
+	"DX_N18_3":  {meds: []string{"RX_FUROSEMIDE_20MG"}, labs: []string{"LAB_CREAT_HIGH"}},
+}
+
+// AllTokens returns the full clinical token inventory (used to seed
+// vocabulary construction and for generator tests).
+func AllTokens() []string {
+	out := []string{
+		tokClopidogrel, tokOmeprazole, tokCYP2C19LOF, tokDiabetes,
+		tokPriorMI, tokSmoker, tokElderly, tokAdult, tokSexM, tokSexF,
+	}
+	out = append(out, benignMeds...)
+	out = append(out, benignDx...)
+	out = append(out, labTokens...)
+	out = append(out, procTokens...)
+	out = append(out, visitTokens...)
+	for i := 0; i < extraRareTokens; i++ {
+		out = append(out, rareToken(i))
+	}
+	return out
+}
+
+// extraRareTokens pads the vocabulary with a long Zipf tail of rare codes,
+// as real code systems have.
+const extraRareTokens = 60
+
+// rareToken names the i-th rare filler code.
+func rareToken(i int) string { return fmt.Sprintf("DX_RARE_%03d", i) }

@@ -1,0 +1,117 @@
+// Package fl implements the federated-learning stack modeled on NVFlare's
+// scatter-and-gather workflow (Fig. 1): a server-side controller that
+// dispatches the global model each round, client-side executors that train
+// locally, weighted FedAvg aggregation, model selection, and both an
+// in-process simulator (NVFlare's simulator mode) and a networked
+// deployment over the provision/transport substrate.
+package fl
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"clinfl/internal/nn"
+	"clinfl/internal/tensor"
+)
+
+// ClientUpdate is one client's contribution for a round.
+type ClientUpdate struct {
+	ClientName string
+	Round      int
+	// Weights are the client's post-training parameters.
+	Weights map[string]*tensor.Matrix
+	// NumSamples weights this update during aggregation.
+	NumSamples int
+	// TrainLoss is the client's mean local training loss for the round.
+	TrainLoss float64
+}
+
+// Aggregator combines client updates into a new global model.
+type Aggregator interface {
+	// Aggregate merges updates; the result maps parameter names to new
+	// global values.
+	Aggregate(updates []*ClientUpdate) (map[string]*tensor.Matrix, error)
+	// Name identifies the strategy in logs and experiment records.
+	Name() string
+}
+
+// FedAvg is the sample-count-weighted parameter average of McMahan et al.,
+// NVFlare's default aggregator and the one the paper's pipeline uses.
+type FedAvg struct{}
+
+// Name implements Aggregator.
+func (FedAvg) Name() string { return "fedavg" }
+
+// Aggregate implements Aggregator.
+func (FedAvg) Aggregate(updates []*ClientUpdate) (map[string]*tensor.Matrix, error) {
+	return weightedAverage(updates, func(u *ClientUpdate) float64 {
+		return float64(u.NumSamples)
+	})
+}
+
+// MeanAggregator averages updates uniformly regardless of client data
+// volume; included as the ablation baseline DESIGN.md calls out.
+type MeanAggregator struct{}
+
+// Name implements Aggregator.
+func (MeanAggregator) Name() string { return "mean" }
+
+// Aggregate implements Aggregator.
+func (MeanAggregator) Aggregate(updates []*ClientUpdate) (map[string]*tensor.Matrix, error) {
+	return weightedAverage(updates, func(*ClientUpdate) float64 { return 1 })
+}
+
+// weightedAverage merges updates with the given weight function.
+func weightedAverage(updates []*ClientUpdate, weightOf func(*ClientUpdate) float64) (map[string]*tensor.Matrix, error) {
+	if len(updates) == 0 {
+		return nil, errors.New("fl: no updates to aggregate")
+	}
+	var total float64
+	for _, u := range updates {
+		w := weightOf(u)
+		if w <= 0 {
+			return nil, fmt.Errorf("fl: client %q has non-positive weight %v", u.ClientName, w)
+		}
+		total += w
+	}
+	ref := updates[0].Weights
+	out := make(map[string]*tensor.Matrix, len(ref))
+	for name, m := range ref {
+		out[name] = tensor.New(m.Rows(), m.Cols())
+	}
+	for _, u := range updates {
+		if len(u.Weights) != len(ref) {
+			return nil, fmt.Errorf("fl: client %q sent %d params, want %d", u.ClientName, len(u.Weights), len(ref))
+		}
+		w := weightOf(u) / total
+		for name, acc := range out {
+			m, ok := u.Weights[name]
+			if !ok {
+				return nil, fmt.Errorf("fl: client %q missing param %q", u.ClientName, name)
+			}
+			if err := acc.AddScaledInPlace(w, m); err != nil {
+				return nil, fmt.Errorf("fl: aggregate %q from %q: %w", name, u.ClientName, err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// EncodeWeights serializes a weight map for transport.
+func EncodeWeights(weights map[string]*tensor.Matrix) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := nn.WriteWeightMap(&buf, weights); err != nil {
+		return nil, fmt.Errorf("fl: encode weights: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeWeights parses a transported weight map.
+func DecodeWeights(blob []byte) (map[string]*tensor.Matrix, error) {
+	weights, err := nn.ReadWeights(bytes.NewReader(blob))
+	if err != nil {
+		return nil, fmt.Errorf("fl: decode weights: %w", err)
+	}
+	return weights, nil
+}

@@ -1,0 +1,123 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"strconv"
+	"time"
+
+	"clinfl/internal/provision"
+	"clinfl/internal/tensor"
+	"clinfl/internal/transport"
+)
+
+// ClientConfig parameterizes the networked FL client.
+type ClientConfig struct {
+	// ServerAddr is the host:port to dial.
+	ServerAddr string
+	// DialTimeout bounds connection establishment (default 10s).
+	DialTimeout time.Duration
+	// Logf receives progress lines (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Client is the networked federation participant: it dials the server with
+// its startup-kit credentials, registers with its admission token, then
+// serves task messages by running its executor until MsgFinish.
+type Client struct {
+	cfg  ClientConfig
+	kit  *provision.StartupKit
+	exec Executor
+}
+
+// NewClient builds a networked client around an executor.
+func NewClient(cfg ClientConfig, kit *provision.StartupKit, exec Executor) (*Client, error) {
+	if kit.Role != provision.RoleClient {
+		return nil, fmt.Errorf("fl: client needs a client kit, got %s", kit.Role)
+	}
+	if exec == nil {
+		return nil, errors.New("fl: client needs an executor")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	return &Client{cfg: cfg, kit: kit, exec: exec}, nil
+}
+
+// Run connects, registers, and participates until the server finishes.
+// It returns the final global weights distributed by the server.
+func (c *Client) Run() (map[string]*tensor.Matrix, error) {
+	tlsCfg, err := c.kit.ClientTLS()
+	if err != nil {
+		return nil, err
+	}
+	conn, err := transport.Dial(c.cfg.ServerAddr, tlsCfg, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	if err := conn.Write(&transport.Message{
+		Type: transport.MsgRegister, Sender: c.kit.Name, Token: c.kit.Token,
+	}); err != nil {
+		return nil, fmt.Errorf("fl: %s register: %w", c.kit.Name, err)
+	}
+	ack, err := conn.Read()
+	if err != nil {
+		return nil, fmt.Errorf("fl: %s register ack: %w", c.kit.Name, err)
+	}
+	if ack.Type != transport.MsgRegisterAck || ack.Meta["accepted"] != "true" {
+		return nil, fmt.Errorf("fl: %s registration rejected: %s", c.kit.Name, ack.Meta["reason"])
+	}
+	c.cfg.Logf("fl client %s: registered with server", c.kit.Name)
+
+	for {
+		msg, err := conn.Read()
+		if err != nil {
+			return nil, fmt.Errorf("fl: %s read: %w", c.kit.Name, err)
+		}
+		switch msg.Type {
+		case transport.MsgTask:
+			global, err := DecodeWeights(msg.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("fl: %s decode global: %w", c.kit.Name, err)
+			}
+			update, err := c.exec.ExecuteRound(msg.Round, global)
+			if err != nil {
+				// Report the failure so the server can drop us from the
+				// round instead of timing out.
+				_ = conn.Write(&transport.Message{
+					Type: transport.MsgError, Sender: c.kit.Name, Round: msg.Round,
+					Meta: map[string]string{"error": err.Error()},
+				})
+				return nil, fmt.Errorf("fl: %s round %d: %w", c.kit.Name, msg.Round, err)
+			}
+			blob, err := EncodeWeights(update.Weights)
+			if err != nil {
+				return nil, fmt.Errorf("fl: %s encode update: %w", c.kit.Name, err)
+			}
+			if err := conn.Write(&transport.Message{
+				Type: transport.MsgUpdate, Sender: c.kit.Name, Round: msg.Round,
+				Payload: blob, NumSamples: update.NumSamples,
+				Meta: map[string]string{"train_loss": strconv.FormatFloat(update.TrainLoss, 'g', -1, 64)},
+			}); err != nil {
+				return nil, fmt.Errorf("fl: %s send update: %w", c.kit.Name, err)
+			}
+		case transport.MsgFinish:
+			final, err := DecodeWeights(msg.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("fl: %s decode final: %w", c.kit.Name, err)
+			}
+			c.cfg.Logf("fl client %s: training complete", c.kit.Name)
+			return final, nil
+		case transport.MsgError:
+			return nil, fmt.Errorf("fl: %s server error: %s", c.kit.Name, msg.Meta["error"])
+		default:
+			return nil, fmt.Errorf("fl: %s unexpected message %s", c.kit.Name, msg.Type)
+		}
+	}
+}

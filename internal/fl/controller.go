@@ -1,0 +1,242 @@
+package fl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"clinfl/internal/tensor"
+)
+
+// ControllerConfig parameterizes the server-side scatter-and-gather
+// workflow.
+type ControllerConfig struct {
+	// Rounds is E, the number of communication rounds (Fig. 1).
+	Rounds int
+	// MinClients is the quorum required per round; fewer successful
+	// updates fail the round. 0 means all clients must respond.
+	MinClients int
+	// RoundTimeout bounds one round's local training (0 = no limit).
+	RoundTimeout time.Duration
+	// Aggregator combines updates (default FedAvg).
+	Aggregator Aggregator
+	// Filters run over every client update before aggregation (NVFlare's
+	// privacy-filter chain); nil means no filtering.
+	Filters []Filter
+	// Validate, if non-nil, scores each round's aggregated model; the
+	// controller keeps the best-scoring weights as the selected model
+	// (NVFlare's IntimeModelSelector).
+	Validate func(weights map[string]*tensor.Matrix) (float64, error)
+	// Patience, when > 0 and Validate is set, stops the run early after
+	// this many consecutive rounds without a new best validation score.
+	Patience int
+}
+
+// withDefaults fills zero fields.
+func (c ControllerConfig) withDefaults(numClients int) ControllerConfig {
+	if c.Rounds <= 0 {
+		c.Rounds = 1
+	}
+	if c.MinClients <= 0 || c.MinClients > numClients {
+		c.MinClients = numClients
+	}
+	if c.Aggregator == nil {
+		c.Aggregator = FedAvg{}
+	}
+	return c
+}
+
+// RoundRecord captures one communication round for the run history.
+type RoundRecord struct {
+	Round int
+	// MeanTrainLoss averages the participating clients' local losses,
+	// weighted by sample count.
+	MeanTrainLoss float64
+	// ValScore is the post-aggregation validation score (NaN if no
+	// validator configured).
+	ValScore float64
+	// Participants lists clients whose updates were aggregated.
+	Participants []string
+	// Duration is the wall-clock round time.
+	Duration time.Duration
+}
+
+// History is the full federated run record.
+type History struct {
+	Rounds []RoundRecord
+	// BestRound holds the round index whose validation score was highest
+	// (-1 when no validation was configured).
+	BestRound int
+	// BestScore is the corresponding score.
+	BestScore float64
+}
+
+// Result is the controller's output: the final and selected models plus
+// the run history.
+type Result struct {
+	// FinalWeights is the last round's aggregated model.
+	FinalWeights map[string]*tensor.Matrix
+	// BestWeights is the highest-validation-score model (== FinalWeights
+	// when no validator is configured).
+	BestWeights map[string]*tensor.Matrix
+	History     History
+}
+
+// Controller drives the federated run over a set of executors in-process
+// (NVFlare simulator mode: every client is a goroutine rather than a
+// remote site; the networked deployment in server.go shares this logic).
+type Controller struct {
+	cfg       ControllerConfig
+	executors []Executor
+}
+
+// NewController builds a controller over executors.
+func NewController(cfg ControllerConfig, executors []Executor) (*Controller, error) {
+	if len(executors) == 0 {
+		return nil, errors.New("fl: controller needs at least one executor")
+	}
+	names := make(map[string]bool, len(executors))
+	for _, e := range executors {
+		if names[e.Name()] {
+			return nil, fmt.Errorf("fl: duplicate executor name %q", e.Name())
+		}
+		names[e.Name()] = true
+	}
+	return &Controller{cfg: cfg.withDefaults(len(executors)), executors: executors}, nil
+}
+
+// Run executes the scatter-and-gather workflow for E rounds starting from
+// initialWeights, honoring ctx cancellation between rounds.
+func (c *Controller) Run(ctx context.Context, initialWeights map[string]*tensor.Matrix) (*Result, error) {
+	global := cloneWeights(initialWeights)
+	res := &Result{History: History{BestRound: -1}}
+	sinceBest := 0
+
+	for round := 0; round < c.cfg.Rounds; round++ {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("fl: cancelled before round %d: %w", round, ctx.Err())
+		default:
+		}
+		start := time.Now()
+		updates, err := c.scatterGather(ctx, round, global)
+		if err != nil {
+			return nil, err
+		}
+		if err := applyFilters(c.cfg.Filters, updates, global); err != nil {
+			return nil, fmt.Errorf("fl: round %d: %w", round, err)
+		}
+		aggregated, err := c.cfg.Aggregator.Aggregate(updates)
+		if err != nil {
+			return nil, fmt.Errorf("fl: round %d: %w", round, err)
+		}
+		global = aggregated
+
+		rec := RoundRecord{Round: round, Duration: time.Since(start)}
+		var lossSum, weightSum float64
+		for _, u := range updates {
+			rec.Participants = append(rec.Participants, u.ClientName)
+			lossSum += u.TrainLoss * float64(u.NumSamples)
+			weightSum += float64(u.NumSamples)
+		}
+		if weightSum > 0 {
+			rec.MeanTrainLoss = lossSum / weightSum
+		}
+		if c.cfg.Validate != nil {
+			score, err := c.cfg.Validate(global)
+			if err != nil {
+				return nil, fmt.Errorf("fl: round %d validate: %w", round, err)
+			}
+			rec.ValScore = score
+			if res.History.BestRound < 0 || score > res.History.BestScore {
+				res.History.BestRound = round
+				res.History.BestScore = score
+				res.BestWeights = cloneWeights(global)
+				sinceBest = 0
+			} else {
+				sinceBest++
+			}
+		}
+		res.History.Rounds = append(res.History.Rounds, rec)
+		if c.cfg.Patience > 0 && c.cfg.Validate != nil && sinceBest >= c.cfg.Patience {
+			break // early stop: no validation improvement for Patience rounds
+		}
+	}
+	res.FinalWeights = global
+	if res.BestWeights == nil {
+		res.BestWeights = cloneWeights(global)
+	}
+	return res, nil
+}
+
+// scatterGather runs one round: every executor trains concurrently on the
+// current global model; updates are gathered with quorum/timeout handling.
+func (c *Controller) scatterGather(ctx context.Context, round int, global map[string]*tensor.Matrix) ([]*ClientUpdate, error) {
+	type outcome struct {
+		update *ClientUpdate
+		err    error
+		name   string
+	}
+	results := make(chan outcome, len(c.executors))
+	var wg sync.WaitGroup
+	for _, ex := range c.executors {
+		wg.Add(1)
+		go func(ex Executor) {
+			defer wg.Done()
+			u, err := ex.ExecuteRound(round, global)
+			results <- outcome{update: u, err: err, name: ex.Name()}
+		}(ex)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	var timeout <-chan time.Time
+	if c.cfg.RoundTimeout > 0 {
+		timer := time.NewTimer(c.cfg.RoundTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+
+	var updates []*ClientUpdate
+	var failures []string
+	remaining := len(c.executors)
+gather:
+	for remaining > 0 {
+		select {
+		case o := <-results:
+			remaining--
+			if o.err != nil {
+				failures = append(failures, fmt.Sprintf("%s: %v", o.name, o.err))
+				continue
+			}
+			updates = append(updates, o.update)
+		case <-timeout:
+			// Stragglers are dropped for this round (NVFlare's
+			// wait_time_after_min_received semantics, simplified).
+			break gather
+		case <-ctx.Done():
+			<-done
+			return nil, fmt.Errorf("fl: round %d cancelled: %w", round, ctx.Err())
+		}
+	}
+	if len(updates) < c.cfg.MinClients {
+		<-done
+		return nil, fmt.Errorf("fl: round %d quorum not met: %d/%d updates (failures: %v)",
+			round, len(updates), c.cfg.MinClients, failures)
+	}
+	return updates, nil
+}
+
+// cloneWeights deep-copies a weight map.
+func cloneWeights(w map[string]*tensor.Matrix) map[string]*tensor.Matrix {
+	out := make(map[string]*tensor.Matrix, len(w))
+	for name, m := range w {
+		out[name] = m.Clone()
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"clinfl/internal/data"
+	"clinfl/internal/mlm"
+	"clinfl/internal/model"
+	"clinfl/internal/nn"
+	"clinfl/internal/opt"
+	"clinfl/internal/tensor"
+	"clinfl/internal/train"
+)
+
+// Executor is the client-side workload NVFlare calls an "executor": it
+// receives the global model, performs local work, and returns an update.
+type Executor interface {
+	// Name is the client/site identity.
+	Name() string
+	// NumSamples is the client's local data volume (aggregation weight).
+	NumSamples() int
+	// ExecuteRound trains locally starting from the global weights.
+	ExecuteRound(round int, global map[string]*tensor.Matrix) (*ClientUpdate, error)
+}
+
+// Validator is optionally implemented by executors that can score a global
+// model on local validation data (used for server-side model selection).
+type Validator interface {
+	Validate(global map[string]*tensor.Matrix) (float64, error)
+}
+
+// LocalConfig controls a client's local optimization.
+type LocalConfig struct {
+	// Epochs per federated round (paper Fig. 3 times one local epoch).
+	Epochs int
+	// LR is the Adam learning rate (paper Table I: 1e-2; the experiment
+	// configs use smaller stable values, see DESIGN.md).
+	LR float64
+	// BatchSize / Workers / ClipNorm feed train.Config.
+	BatchSize int
+	Workers   int
+	ClipNorm  float64
+	// Seed derives per-round shuffling and dropout streams.
+	Seed int64
+	// EpochHook, if non-nil, observes each completed local epoch (used by
+	// the Fig. 3 demonstration to report per-epoch wall-clock times).
+	EpochHook func(client string, round, epoch int, d time.Duration)
+}
+
+// withDefaults fills zero fields.
+func (c LocalConfig) withDefaults() LocalConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 1
+	}
+	if c.LR <= 0 {
+		c.LR = 1e-3
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	return c
+}
+
+// ClassifierExecutor fine-tunes a classification model on a local shard
+// (the paper's ADR fine-tuning task).
+type ClassifierExecutor struct {
+	name      string
+	mdl       model.Classifier
+	trainSet  data.Dataset
+	validSet  data.Dataset
+	cfg       LocalConfig
+	optimizer opt.Optimizer
+}
+
+var (
+	_ Executor  = (*ClassifierExecutor)(nil)
+	_ Validator = (*ClassifierExecutor)(nil)
+)
+
+// NewClassifierExecutor builds a client for classification fine-tuning.
+// validSet may be empty (no local validation).
+func NewClassifierExecutor(name string, mdl model.Classifier, trainSet, validSet data.Dataset, cfg LocalConfig) (*ClassifierExecutor, error) {
+	if name == "" {
+		return nil, errors.New("fl: executor needs a name")
+	}
+	if len(trainSet) == 0 {
+		return nil, fmt.Errorf("fl: executor %q has no training data", name)
+	}
+	cfg = cfg.withDefaults()
+	return &ClassifierExecutor{
+		name:      name,
+		mdl:       mdl,
+		trainSet:  trainSet,
+		validSet:  validSet,
+		cfg:       cfg,
+		optimizer: opt.NewAdam(cfg.LR),
+	}, nil
+}
+
+// Name implements Executor.
+func (e *ClassifierExecutor) Name() string { return e.name }
+
+// NumSamples implements Executor.
+func (e *ClassifierExecutor) NumSamples() int { return len(e.trainSet) }
+
+// ExecuteRound implements Executor: load global weights, train Epochs
+// local epochs, return the new local weights.
+func (e *ClassifierExecutor) ExecuteRound(round int, global map[string]*tensor.Matrix) (*ClientUpdate, error) {
+	if err := nn.LoadWeights(e.mdl.Params(), global); err != nil {
+		return nil, fmt.Errorf("fl: %s load global: %w", e.name, err)
+	}
+	tcfg := train.Config{
+		BatchSize: e.cfg.BatchSize,
+		Workers:   e.cfg.Workers,
+		ClipNorm:  e.cfg.ClipNorm,
+	}
+	var lastLoss float64
+	for ep := 0; ep < e.cfg.Epochs; ep++ {
+		tcfg.Seed = e.cfg.Seed + int64(round)*1000 + int64(ep)
+		start := time.Now()
+		loss, err := train.Epoch(e.mdl.Params(), []data.Example(e.trainSet), e.mdl.LossBatch, e.optimizer, tcfg)
+		if err != nil {
+			return nil, fmt.Errorf("fl: %s round %d epoch %d: %w", e.name, round, ep, err)
+		}
+		if e.cfg.EpochHook != nil {
+			e.cfg.EpochHook(e.name, round, ep, time.Since(start))
+		}
+		lastLoss = loss
+	}
+	return &ClientUpdate{
+		ClientName: e.name,
+		Round:      round,
+		Weights:    nn.SnapshotWeights(e.mdl.Params()),
+		NumSamples: len(e.trainSet),
+		TrainLoss:  lastLoss,
+	}, nil
+}
+
+// Validate implements Validator: top-1 accuracy of the global model on the
+// client's validation shard.
+func (e *ClassifierExecutor) Validate(global map[string]*tensor.Matrix) (float64, error) {
+	if len(e.validSet) == 0 {
+		return 0, errors.New("fl: no validation data")
+	}
+	if err := nn.LoadWeights(e.mdl.Params(), global); err != nil {
+		return 0, fmt.Errorf("fl: %s load global: %w", e.name, err)
+	}
+	preds, err := e.mdl.Predict(e.validSet)
+	if err != nil {
+		return 0, err
+	}
+	hit := 0
+	for i, p := range preds {
+		if p == e.validSet[i].Label {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(e.validSet)), nil
+}
+
+// MLMExecutor pretrains a BERT-family model with the masked-language-model
+// objective on a local corpus shard (the paper's federated pretraining
+// feasibility study, Fig. 2).
+type MLMExecutor struct {
+	name      string
+	mdl       model.Pretrainer
+	params    []*nn.Param
+	sequences [][]int // encoded, unmasked id sequences
+	maskCfg   mlm.Config
+	cfg       LocalConfig
+	optimizer opt.Optimizer
+}
+
+var _ Executor = (*MLMExecutor)(nil)
+
+// NewMLMExecutor builds a pretraining client. sequences are full (unmasked)
+// id sequences; masking is re-randomized every epoch as mlm-pytorch does.
+func NewMLMExecutor(name string, mdl model.Pretrainer, params []*nn.Param, sequences [][]int, maskCfg mlm.Config, cfg LocalConfig) (*MLMExecutor, error) {
+	if name == "" {
+		return nil, errors.New("fl: executor needs a name")
+	}
+	if len(sequences) == 0 {
+		return nil, fmt.Errorf("fl: executor %q has no corpus", name)
+	}
+	if err := maskCfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &MLMExecutor{
+		name:      name,
+		mdl:       mdl,
+		params:    params,
+		sequences: sequences,
+		maskCfg:   maskCfg,
+		cfg:       cfg.withDefaults(),
+		optimizer: opt.NewAdam(cfg.withDefaults().LR),
+	}, nil
+}
+
+// Name implements Executor.
+func (e *MLMExecutor) Name() string { return e.name }
+
+// NumSamples implements Executor.
+func (e *MLMExecutor) NumSamples() int { return len(e.sequences) }
+
+// maskAll corrupts every sequence with a round/epoch-specific RNG.
+func (e *MLMExecutor) maskAll(seed int64) ([]mlm.MaskedExample, error) {
+	rng := tensor.NewRNG(seed)
+	out := make([]mlm.MaskedExample, len(e.sequences))
+	for i, ids := range e.sequences {
+		me, err := mlm.Mask(e.maskCfg, ids, rng)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = me
+	}
+	return out, nil
+}
+
+// ExecuteRound implements Executor.
+func (e *MLMExecutor) ExecuteRound(round int, global map[string]*tensor.Matrix) (*ClientUpdate, error) {
+	if err := nn.LoadWeights(e.params, global); err != nil {
+		return nil, fmt.Errorf("fl: %s load global: %w", e.name, err)
+	}
+	tcfg := train.Config{
+		BatchSize: e.cfg.BatchSize,
+		Workers:   e.cfg.Workers,
+		ClipNorm:  e.cfg.ClipNorm,
+	}
+	var lastLoss float64
+	for ep := 0; ep < e.cfg.Epochs; ep++ {
+		seed := e.cfg.Seed + int64(round)*1000 + int64(ep)
+		masked, err := e.maskAll(seed)
+		if err != nil {
+			return nil, fmt.Errorf("fl: %s mask: %w", e.name, err)
+		}
+		tcfg.Seed = seed
+		start := time.Now()
+		loss, err := train.Epoch(e.params, masked, e.mdl.MLMLossBatch, e.optimizer, tcfg)
+		if err != nil {
+			return nil, fmt.Errorf("fl: %s round %d epoch %d: %w", e.name, round, ep, err)
+		}
+		if e.cfg.EpochHook != nil {
+			e.cfg.EpochHook(e.name, round, ep, time.Since(start))
+		}
+		lastLoss = loss
+	}
+	return &ClientUpdate{
+		ClientName: e.name,
+		Round:      round,
+		Weights:    nn.SnapshotWeights(e.params),
+		NumSamples: len(e.sequences),
+		TrainLoss:  lastLoss,
+	}, nil
+}
+
+// EvalMLMLoss scores the global weights' MLM loss on held-out sequences
+// with deterministic masking, for Fig. 2 curves.
+func (e *MLMExecutor) EvalMLMLoss(global map[string]*tensor.Matrix, heldOut [][]int, seed int64) (float64, error) {
+	if err := nn.LoadWeights(e.params, global); err != nil {
+		return 0, err
+	}
+	rng := tensor.NewRNG(seed)
+	masked := make([]mlm.MaskedExample, len(heldOut))
+	for i, ids := range heldOut {
+		me, err := mlm.Mask(e.maskCfg, ids, rng)
+		if err != nil {
+			return 0, err
+		}
+		masked[i] = me
+	}
+	return train.EvalLoss(masked, e.mdl.MLMLossBatch, e.cfg.BatchSize, seed)
+}

@@ -1,0 +1,348 @@
+package fl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"clinfl/internal/tensor"
+)
+
+// fakeExecutor returns canned weights for controller tests.
+type fakeExecutor struct {
+	name    string
+	samples int
+	value   float64 // every weight element is set to this after "training"
+	fail    bool
+	delay   time.Duration
+	calls   int
+}
+
+func (f *fakeExecutor) Name() string    { return f.name }
+func (f *fakeExecutor) NumSamples() int { return f.samples }
+
+func (f *fakeExecutor) ExecuteRound(round int, global map[string]*tensor.Matrix) (*ClientUpdate, error) {
+	f.calls++
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	if f.fail {
+		return nil, errors.New("injected failure")
+	}
+	weights := make(map[string]*tensor.Matrix, len(global))
+	for name, m := range global {
+		w := tensor.New(m.Rows(), m.Cols())
+		w.Fill(f.value)
+		weights[name] = w
+	}
+	return &ClientUpdate{
+		ClientName: f.name, Round: round, Weights: weights,
+		NumSamples: f.samples, TrainLoss: 1.0 / float64(round+1),
+	}, nil
+}
+
+func initialWeights() map[string]*tensor.Matrix {
+	return map[string]*tensor.Matrix{
+		"layer.w": tensor.New(2, 3),
+		"layer.b": tensor.New(1, 3),
+	}
+}
+
+func TestFedAvgWeightsBySampleCount(t *testing.T) {
+	mk := func(v float64, n int) *ClientUpdate {
+		w := tensor.New(1, 2)
+		w.Fill(v)
+		return &ClientUpdate{ClientName: fmt.Sprint(v), Weights: map[string]*tensor.Matrix{"w": w}, NumSamples: n}
+	}
+	out, err := FedAvg{}.Aggregate([]*ClientUpdate{mk(1, 30), mk(5, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1.0*30 + 5.0*10) / 40
+	if got := out["w"].At(0, 0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("fedavg %v, want %v", got, want)
+	}
+}
+
+func TestMeanAggregatorIgnoresSampleCount(t *testing.T) {
+	mk := func(v float64, n int) *ClientUpdate {
+		w := tensor.New(1, 1)
+		w.Fill(v)
+		return &ClientUpdate{ClientName: fmt.Sprint(v), Weights: map[string]*tensor.Matrix{"w": w}, NumSamples: n}
+	}
+	out, err := MeanAggregator{}.Aggregate([]*ClientUpdate{mk(1, 1000), mk(5, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out["w"].At(0, 0); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("mean %v, want 3", got)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	if _, err := (FedAvg{}).Aggregate(nil); err == nil {
+		t.Fatal("want error for no updates")
+	}
+	w := tensor.New(1, 1)
+	bad := []*ClientUpdate{
+		{ClientName: "a", Weights: map[string]*tensor.Matrix{"w": w}, NumSamples: 0},
+	}
+	if _, err := (FedAvg{}).Aggregate(bad); err == nil {
+		t.Fatal("want error for zero samples")
+	}
+	mismatch := []*ClientUpdate{
+		{ClientName: "a", Weights: map[string]*tensor.Matrix{"w": w}, NumSamples: 1},
+		{ClientName: "b", Weights: map[string]*tensor.Matrix{"v": w}, NumSamples: 1},
+	}
+	if _, err := (FedAvg{}).Aggregate(mismatch); err == nil {
+		t.Fatal("want error for missing param")
+	}
+}
+
+// Property: FedAvg of identical updates is identity, regardless of weights.
+func TestFedAvgIdentityProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		clients := int(n%7) + 1
+		rng := tensor.NewRNG(seed)
+		base := rng.Normal(3, 4, 0, 1)
+		updates := make([]*ClientUpdate, clients)
+		for i := range updates {
+			updates[i] = &ClientUpdate{
+				ClientName: fmt.Sprint(i),
+				Weights:    map[string]*tensor.Matrix{"w": base.Clone()},
+				NumSamples: 1 + rng.Intn(100),
+			}
+		}
+		out, err := FedAvg{}.Aggregate(updates)
+		if err != nil {
+			return false
+		}
+		return out["w"].AllClose(base, 1e-9, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: aggregation output is bounded by the min/max of client values.
+func TestFedAvgConvexityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		clients := 2 + rng.Intn(5)
+		updates := make([]*ClientUpdate, clients)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range updates {
+			v := rng.Float64()*10 - 5
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+			w := tensor.New(1, 1)
+			w.Fill(v)
+			updates[i] = &ClientUpdate{
+				ClientName: fmt.Sprint(i),
+				Weights:    map[string]*tensor.Matrix{"w": w},
+				NumSamples: 1 + rng.Intn(50),
+			}
+		}
+		out, err := FedAvg{}.Aggregate(updates)
+		if err != nil {
+			return false
+		}
+		got := out["w"].At(0, 0)
+		return got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControllerRunsAllRounds(t *testing.T) {
+	execs := []Executor{
+		&fakeExecutor{name: "a", samples: 10, value: 1},
+		&fakeExecutor{name: "b", samples: 30, value: 2},
+	}
+	ctrl, err := NewController(ControllerConfig{Rounds: 3}, execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.Run(context.Background(), initialWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History.Rounds) != 3 {
+		t.Fatalf("rounds %d", len(res.History.Rounds))
+	}
+	// FedAvg: (1*10 + 2*30)/40 = 1.75 everywhere.
+	if got := res.FinalWeights["layer.w"].At(0, 0); math.Abs(got-1.75) > 1e-12 {
+		t.Fatalf("final weight %v, want 1.75", got)
+	}
+	for _, e := range execs {
+		if e.(*fakeExecutor).calls != 3 {
+			t.Fatalf("executor called %d times", e.(*fakeExecutor).calls)
+		}
+	}
+}
+
+func TestControllerModelSelectionKeepsBest(t *testing.T) {
+	execs := []Executor{&fakeExecutor{name: "a", samples: 1, value: 1}}
+	scores := []float64{0.5, 0.9, 0.7}
+	i := 0
+	ctrl, err := NewController(ControllerConfig{
+		Rounds: 3,
+		Validate: func(map[string]*tensor.Matrix) (float64, error) {
+			s := scores[i]
+			i++
+			return s, nil
+		},
+	}, execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.Run(context.Background(), initialWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History.BestRound != 1 || res.History.BestScore != 0.9 {
+		t.Fatalf("best round %d score %v", res.History.BestRound, res.History.BestScore)
+	}
+}
+
+func TestControllerEarlyStopsOnPatience(t *testing.T) {
+	execs := []Executor{&fakeExecutor{name: "a", samples: 1, value: 1}}
+	scores := []float64{0.9, 0.5, 0.5, 0.5, 0.5}
+	i := 0
+	ctrl, err := NewController(ControllerConfig{
+		Rounds:   5,
+		Patience: 2,
+		Validate: func(map[string]*tensor.Matrix) (float64, error) {
+			s := scores[i]
+			i++
+			return s, nil
+		},
+	}, execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.Run(context.Background(), initialWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best at round 0, then 2 stale rounds → stop after round 2.
+	if len(res.History.Rounds) != 3 {
+		t.Fatalf("ran %d rounds, want early stop at 3", len(res.History.Rounds))
+	}
+	if res.History.BestRound != 0 || res.History.BestScore != 0.9 {
+		t.Fatalf("best %d/%v", res.History.BestRound, res.History.BestScore)
+	}
+}
+
+func TestControllerQuorumFailure(t *testing.T) {
+	execs := []Executor{
+		&fakeExecutor{name: "a", samples: 1, value: 1, fail: true},
+		&fakeExecutor{name: "b", samples: 1, value: 2},
+	}
+	ctrl, err := NewController(ControllerConfig{Rounds: 1}, execs) // MinClients defaults to all
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Run(context.Background(), initialWeights()); err == nil {
+		t.Fatal("want quorum error")
+	}
+}
+
+func TestControllerToleratesFailureWithQuorum(t *testing.T) {
+	execs := []Executor{
+		&fakeExecutor{name: "a", samples: 1, value: 1, fail: true},
+		&fakeExecutor{name: "b", samples: 1, value: 2},
+	}
+	ctrl, err := NewController(ControllerConfig{Rounds: 2, MinClients: 1}, execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.Run(context.Background(), initialWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.FinalWeights["layer.w"].At(0, 0); got != 2 {
+		t.Fatalf("surviving client's weights not used: %v", got)
+	}
+	if len(res.History.Rounds[0].Participants) != 1 {
+		t.Fatal("failed client recorded as participant")
+	}
+}
+
+func TestControllerCancellation(t *testing.T) {
+	execs := []Executor{&fakeExecutor{name: "a", samples: 1, value: 1}}
+	ctrl, err := NewController(ControllerConfig{Rounds: 100}, execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ctrl.Run(ctx, initialWeights()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestControllerRejectsDuplicateNames(t *testing.T) {
+	execs := []Executor{
+		&fakeExecutor{name: "a", samples: 1},
+		&fakeExecutor{name: "a", samples: 1},
+	}
+	if _, err := NewController(ControllerConfig{}, execs); err == nil {
+		t.Fatal("want duplicate-name error")
+	}
+	if _, err := NewController(ControllerConfig{}, nil); err == nil {
+		t.Fatal("want empty-executors error")
+	}
+}
+
+func TestControllerStragglerTimeout(t *testing.T) {
+	execs := []Executor{
+		&fakeExecutor{name: "fast", samples: 1, value: 1},
+		&fakeExecutor{name: "slow", samples: 1, value: 9, delay: 2 * time.Second},
+	}
+	ctrl, err := NewController(ControllerConfig{
+		Rounds: 1, MinClients: 1, RoundTimeout: 200 * time.Millisecond,
+	}, execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := ctrl.Run(context.Background(), initialWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 1500*time.Millisecond {
+		t.Fatal("controller waited for the straggler")
+	}
+	if got := res.FinalWeights["layer.w"].At(0, 0); got != 1 {
+		t.Fatalf("straggler's update should be dropped, got %v", got)
+	}
+}
+
+func TestEncodeDecodeWeightsRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	weights := map[string]*tensor.Matrix{
+		"a": rng.Normal(3, 4, 0, 1),
+		"b": rng.Normal(1, 7, 0, 1),
+	}
+	blob, err := EncodeWeights(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWeights(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range weights {
+		if !got[name].Equal(m) {
+			t.Fatalf("weight %q changed in transit", name)
+		}
+	}
+	if _, err := DecodeWeights([]byte("junk")); err == nil {
+		t.Fatal("want decode error")
+	}
+}

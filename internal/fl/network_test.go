@@ -1,0 +1,190 @@
+package fl
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"clinfl/internal/provision"
+	"clinfl/internal/tensor"
+)
+
+// testProject provisions a tiny federation for networked tests.
+func testProject(t *testing.T, clients ...string) *provision.Project {
+	t.Helper()
+	proj, err := provision.Provision(provision.Config{
+		ProjectName: "fl-test",
+		ServerName:  "localhost",
+		ClientNames: clients,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proj
+}
+
+func quietLogf(format string, args ...any) {}
+
+func TestNetworkedFederationEndToEnd(t *testing.T) {
+	proj := testProject(t, "c1", "c2")
+	srv, err := NewServer(ServerConfig{
+		Addr:            "127.0.0.1:0",
+		ExpectedClients: 2,
+		Rounds:          3,
+		RegisterTimeout: 10 * time.Second,
+		VerifyToken:     proj.VerifyToken,
+		Logf:            quietLogf,
+	}, proj.ServerKit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	execs := map[string]*fakeExecutor{
+		"c1": {name: "c1", samples: 10, value: 1},
+		"c2": {name: "c2", samples: 30, value: 2},
+	}
+	var wg sync.WaitGroup
+	finals := make(map[string]map[string]*tensor.Matrix)
+	var mu sync.Mutex
+	for name, exec := range execs {
+		cl, err := NewClient(ClientConfig{ServerAddr: srv.Addr(), Logf: quietLogf}, proj.ClientKits[name], exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			final, err := cl.Run()
+			if err != nil {
+				t.Errorf("client %s: %v", name, err)
+				return
+			}
+			mu.Lock()
+			finals[name] = final
+			mu.Unlock()
+		}(name)
+	}
+
+	res, err := srv.Run(initialWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if len(res.History.Rounds) != 3 {
+		t.Fatalf("rounds %d", len(res.History.Rounds))
+	}
+	// FedAvg of 1 (n=10) and 2 (n=30) = 1.75.
+	want := 1.75
+	if got := res.FinalWeights["layer.w"].At(0, 0); got != want {
+		t.Fatalf("server final weight %v, want %v", got, want)
+	}
+	// Every client received the identical final model.
+	for name, final := range finals {
+		if got := final["layer.w"].At(0, 0); got != want {
+			t.Fatalf("client %s final weight %v, want %v", name, got, want)
+		}
+	}
+	for _, exec := range execs {
+		if exec.calls != 3 {
+			t.Fatalf("executor ran %d rounds, want 3", exec.calls)
+		}
+	}
+}
+
+func TestServerRejectsBadToken(t *testing.T) {
+	proj := testProject(t, "c1")
+	srv, err := NewServer(ServerConfig{
+		Addr:            "127.0.0.1:0",
+		ExpectedClients: 1,
+		Rounds:          1,
+		RegisterTimeout: 2 * time.Second,
+		VerifyToken:     proj.VerifyToken,
+		Logf:            quietLogf,
+	}, proj.ServerKit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	kit := *proj.ClientKits["c1"]
+	kit.Token = "forged-token"
+	cl, err := NewClient(ClientConfig{ServerAddr: srv.Addr(), Logf: quietLogf}, &kit, &fakeExecutor{name: "c1", samples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clientDone := make(chan error, 1)
+	go func() {
+		_, err := cl.Run()
+		clientDone <- err
+	}()
+
+	// Registration never completes, so the server times out.
+	if _, err := srv.Run(initialWeights()); err == nil || !strings.Contains(err.Error(), "registration timed out") {
+		t.Fatalf("want registration timeout, got %v", err)
+	}
+	if cerr := <-clientDone; cerr == nil || !strings.Contains(cerr.Error(), "rejected") {
+		t.Fatalf("client should see rejection, got %v", cerr)
+	}
+}
+
+func TestServerRejectsUnprovisionedTLSPeer(t *testing.T) {
+	proj := testProject(t, "c1")
+	// A second, unrelated project's client has a cert from a different CA;
+	// the mutual-TLS handshake must fail before any protocol exchange.
+	other := testProject(t, "c1")
+
+	srv, err := NewServer(ServerConfig{
+		Addr:            "127.0.0.1:0",
+		ExpectedClients: 1,
+		Rounds:          1,
+		RegisterTimeout: 1500 * time.Millisecond,
+		VerifyToken:     proj.VerifyToken,
+		Logf:            quietLogf,
+	}, proj.ServerKit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := NewClient(ClientConfig{
+		ServerAddr: srv.Addr(), DialTimeout: time.Second, Logf: quietLogf,
+	}, other.ClientKits["c1"], &fakeExecutor{name: "c1", samples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientDone := make(chan error, 1)
+	go func() {
+		_, err := cl.Run()
+		clientDone <- err
+	}()
+	if _, err := srv.Run(initialWeights()); err == nil {
+		t.Fatal("server should time out waiting for a valid client")
+	}
+	if cerr := <-clientDone; cerr == nil {
+		t.Fatal("cross-CA client should fail")
+	}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	proj := testProject(t, "c1")
+	if _, err := NewClient(ClientConfig{}, proj.ServerKit, &fakeExecutor{name: "x"}); err == nil {
+		t.Fatal("want error for server kit used as client")
+	}
+	if _, err := NewClient(ClientConfig{}, proj.ClientKits["c1"], nil); err == nil {
+		t.Fatal("want error for nil executor")
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	proj := testProject(t, "c1")
+	if _, err := NewServer(ServerConfig{ExpectedClients: 0, VerifyToken: proj.VerifyToken}, proj.ServerKit); err == nil {
+		t.Fatal("want error for zero clients")
+	}
+	if _, err := NewServer(ServerConfig{ExpectedClients: 1, Addr: "127.0.0.1:0"}, proj.ServerKit); err == nil {
+		t.Fatal("want error for missing VerifyToken")
+	}
+}

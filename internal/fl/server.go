@@ -1,0 +1,318 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"clinfl/internal/provision"
+	"clinfl/internal/tensor"
+	"clinfl/internal/transport"
+)
+
+// ServerConfig parameterizes the networked FL server.
+type ServerConfig struct {
+	// Addr is the TCP listen address (e.g. ":8443" or "127.0.0.1:0").
+	Addr string
+	// ExpectedClients is how many registrations to wait for before
+	// starting round 0.
+	ExpectedClients int
+	// RegisterTimeout bounds the registration phase.
+	RegisterTimeout time.Duration
+	// Controller settings reused round-by-round.
+	Rounds       int
+	RoundTimeout time.Duration
+	Aggregator   Aggregator
+	// Filters run over every client update before aggregation.
+	Filters []Filter
+	// Validate, if non-nil, scores each aggregated model for selection.
+	Validate func(weights map[string]*tensor.Matrix) (float64, error)
+	// VerifyToken authenticates a client's admission token (required).
+	// Use (*provision.Project).VerifyToken in-process or
+	// provision.TokenVerifier over a tokens file for disk-based kits.
+	VerifyToken func(name, token string) bool
+	// Logf receives progress lines (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Server is the networked federation server: it terminates mutual-TLS
+// connections from provisioned clients, verifies admission tokens, and
+// drives the same scatter-and-gather workflow as the in-process Controller
+// over the wire.
+type Server struct {
+	cfg ServerConfig
+	kit *provision.StartupKit
+	ln  net.Listener
+
+	mu      sync.Mutex
+	clients map[string]*transport.Conn
+}
+
+// NewServer builds a server from its startup kit.
+func NewServer(cfg ServerConfig, kit *provision.StartupKit) (*Server, error) {
+	if cfg.ExpectedClients <= 0 {
+		return nil, errors.New("fl: server needs ExpectedClients > 0")
+	}
+	if cfg.VerifyToken == nil {
+		return nil, errors.New("fl: server needs a VerifyToken function")
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 1
+	}
+	if cfg.Aggregator == nil {
+		cfg.Aggregator = FedAvg{}
+	}
+	if cfg.RegisterTimeout <= 0 {
+		cfg.RegisterTimeout = 30 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	tlsCfg, err := kit.ServerTLS()
+	if err != nil {
+		return nil, err
+	}
+	ln, err := transport.Listen(cfg.Addr, tlsCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:     cfg,
+		kit:     kit,
+		ln:      ln,
+		clients: make(map[string]*transport.Conn),
+	}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener and all client connections.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.clients {
+		_ = c.Close()
+	}
+	return err
+}
+
+// acceptClients runs the registration phase until ExpectedClients have
+// presented valid tokens.
+func (s *Server) acceptClients() error {
+	deadline := time.Now().Add(s.cfg.RegisterTimeout)
+	for {
+		s.mu.Lock()
+		n := len(s.clients)
+		s.mu.Unlock()
+		if n >= s.cfg.ExpectedClients {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fl: registration timed out with %d/%d clients", n, s.cfg.ExpectedClients)
+		}
+		type deadliner interface{ SetDeadline(time.Time) error }
+		if d, ok := s.ln.(deadliner); ok {
+			_ = d.SetDeadline(time.Now().Add(time.Second))
+		}
+		nc, err := s.ln.Accept()
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return fmt.Errorf("fl: accept: %w", err)
+		}
+		conn := transport.NewConn(nc)
+		if err := s.register(conn); err != nil {
+			s.cfg.Logf("fl server: rejected registration from %s: %v", conn.RemoteAddr(), err)
+			_ = conn.Close()
+		}
+	}
+}
+
+// register handles one client's MsgRegister handshake.
+func (s *Server) register(conn *transport.Conn) error {
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	msg, err := conn.Read()
+	if err != nil {
+		return err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	if msg.Type != transport.MsgRegister {
+		return fmt.Errorf("fl: expected register, got %s", msg.Type)
+	}
+	if !s.cfg.VerifyToken(msg.Sender, msg.Token) {
+		_ = conn.Write(&transport.Message{
+			Type: transport.MsgRegisterAck, Sender: s.kit.Name,
+			Meta: map[string]string{"accepted": "false", "reason": "bad token"},
+		})
+		return fmt.Errorf("fl: bad token from %q", msg.Sender)
+	}
+	s.mu.Lock()
+	if _, dup := s.clients[msg.Sender]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("fl: duplicate client %q", msg.Sender)
+	}
+	s.clients[msg.Sender] = conn
+	s.mu.Unlock()
+	s.cfg.Logf("fl server: client %q registered (token ok)", msg.Sender)
+	return conn.Write(&transport.Message{
+		Type: transport.MsgRegisterAck, Sender: s.kit.Name,
+		Meta: map[string]string{"accepted": "true"},
+	})
+}
+
+// Run performs registration then E federated rounds, returning the result.
+// Meta round parameters (epochs etc.) are the clients' concern: each client
+// was provisioned with its own local config.
+func (s *Server) Run(initialWeights map[string]*tensor.Matrix) (*Result, error) {
+	if err := s.acceptClients(); err != nil {
+		return nil, err
+	}
+	global := cloneWeights(initialWeights)
+	res := &Result{History: History{BestRound: -1}}
+
+	for round := 0; round < s.cfg.Rounds; round++ {
+		start := time.Now()
+		updates, err := s.runRound(round, global)
+		if err != nil {
+			return nil, err
+		}
+		if err := applyFilters(s.cfg.Filters, updates, global); err != nil {
+			return nil, fmt.Errorf("fl: round %d: %w", round, err)
+		}
+		global, err = s.cfg.Aggregator.Aggregate(updates)
+		if err != nil {
+			return nil, fmt.Errorf("fl: round %d aggregate: %w", round, err)
+		}
+		rec := RoundRecord{Round: round, Duration: time.Since(start)}
+		var lossSum, weightSum float64
+		for _, u := range updates {
+			rec.Participants = append(rec.Participants, u.ClientName)
+			lossSum += u.TrainLoss * float64(u.NumSamples)
+			weightSum += float64(u.NumSamples)
+		}
+		if weightSum > 0 {
+			rec.MeanTrainLoss = lossSum / weightSum
+		}
+		if s.cfg.Validate != nil {
+			score, err := s.cfg.Validate(global)
+			if err != nil {
+				return nil, fmt.Errorf("fl: round %d validate: %w", round, err)
+			}
+			rec.ValScore = score
+			if res.History.BestRound < 0 || score > res.History.BestScore {
+				res.History.BestRound = round
+				res.History.BestScore = score
+				res.BestWeights = cloneWeights(global)
+			}
+		}
+		res.History.Rounds = append(res.History.Rounds, rec)
+		s.cfg.Logf("fl server: round %d/%d done in %v (mean loss %.4f)",
+			round+1, s.cfg.Rounds, rec.Duration.Round(time.Millisecond), rec.MeanTrainLoss)
+	}
+
+	// Distribute the final model and release the clients.
+	blob, err := EncodeWeights(global)
+	if err != nil {
+		return nil, err
+	}
+	s.broadcast(&transport.Message{Type: transport.MsgFinish, Sender: s.kit.Name, Payload: blob})
+	res.FinalWeights = global
+	if res.BestWeights == nil {
+		res.BestWeights = cloneWeights(global)
+	}
+	return res, nil
+}
+
+// runRound scatters the global model to every registered client and
+// gathers their updates.
+func (s *Server) runRound(round int, global map[string]*tensor.Matrix) ([]*ClientUpdate, error) {
+	blob, err := EncodeWeights(global)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	conns := make(map[string]*transport.Conn, len(s.clients))
+	for name, c := range s.clients {
+		conns[name] = c
+	}
+	s.mu.Unlock()
+
+	type outcome struct {
+		update *ClientUpdate
+		err    error
+		name   string
+	}
+	results := make(chan outcome, len(conns))
+	for name, conn := range conns {
+		go func(name string, conn *transport.Conn) {
+			task := &transport.Message{
+				Type: transport.MsgTask, Sender: s.kit.Name, Round: round, Payload: blob,
+				Meta: map[string]string{"round": strconv.Itoa(round)},
+			}
+			if err := conn.Write(task); err != nil {
+				results <- outcome{err: err, name: name}
+				return
+			}
+			if s.cfg.RoundTimeout > 0 {
+				_ = conn.SetDeadline(time.Now().Add(s.cfg.RoundTimeout))
+			}
+			reply, err := conn.Read()
+			_ = conn.SetDeadline(time.Time{})
+			if err != nil {
+				results <- outcome{err: err, name: name}
+				return
+			}
+			if reply.Type != transport.MsgUpdate {
+				results <- outcome{err: fmt.Errorf("expected update, got %s: %s", reply.Type, reply.Meta["error"]), name: name}
+				return
+			}
+			weights, err := DecodeWeights(reply.Payload)
+			if err != nil {
+				results <- outcome{err: err, name: name}
+				return
+			}
+			loss, _ := strconv.ParseFloat(reply.Meta["train_loss"], 64)
+			results <- outcome{name: name, update: &ClientUpdate{
+				ClientName: name, Round: round, Weights: weights,
+				NumSamples: reply.NumSamples, TrainLoss: loss,
+			}}
+		}(name, conn)
+	}
+
+	var updates []*ClientUpdate
+	var failures []string
+	for i := 0; i < len(conns); i++ {
+		o := <-results
+		if o.err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", o.name, o.err))
+			continue
+		}
+		updates = append(updates, o.update)
+	}
+	if len(updates) == 0 {
+		return nil, fmt.Errorf("fl: round %d: no updates (failures: %v)", round, failures)
+	}
+	if len(failures) > 0 {
+		s.cfg.Logf("fl server: round %d proceeded with %d/%d clients (failures: %v)",
+			round, len(updates), len(conns), failures)
+	}
+	return updates, nil
+}
+
+// broadcast best-effort sends msg to every client.
+func (s *Server) broadcast(msg *transport.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, conn := range s.clients {
+		if err := conn.Write(msg); err != nil {
+			s.cfg.Logf("fl server: broadcast to %q: %v", name, err)
+		}
+	}
+}

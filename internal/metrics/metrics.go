@@ -1,0 +1,278 @@
+// Package metrics provides the evaluation measures reported in the paper:
+// top-1 accuracy (Table III), loss curves over training (Fig. 2), and
+// round/epoch timing summaries (Fig. 3).
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ErrLength is returned when prediction and label vectors disagree in size.
+var ErrLength = errors.New("metrics: length mismatch")
+
+// Accuracy returns the top-1 accuracy of preds against labels.
+func Accuracy(preds, labels []int) (float64, error) {
+	if len(preds) != len(labels) {
+		return 0, fmt.Errorf("%w: %d preds vs %d labels", ErrLength, len(preds), len(labels))
+	}
+	if len(preds) == 0 {
+		return 0, errors.New("metrics: empty inputs")
+	}
+	hit := 0
+	for i, p := range preds {
+		if p == labels[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(preds)), nil
+}
+
+// Confusion is a binary-classification confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// NewConfusion tallies preds against labels (1 = positive class).
+func NewConfusion(preds, labels []int) (Confusion, error) {
+	if len(preds) != len(labels) {
+		return Confusion{}, fmt.Errorf("%w: %d preds vs %d labels", ErrLength, len(preds), len(labels))
+	}
+	var c Confusion
+	for i, p := range preds {
+		switch {
+		case p == 1 && labels[i] == 1:
+			c.TP++
+		case p == 1 && labels[i] == 0:
+			c.FP++
+		case p == 0 && labels[i] == 0:
+			c.TN++
+		default:
+			c.FN++
+		}
+	}
+	return c, nil
+}
+
+// Precision returns TP/(TP+FP), or 0 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when undefined.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// AUC computes the area under the ROC curve from positive-class scores.
+func AUC(scores []float64, labels []int) (float64, error) {
+	if len(scores) != len(labels) {
+		return 0, fmt.Errorf("%w: %d scores vs %d labels", ErrLength, len(scores), len(labels))
+	}
+	type pair struct {
+		s float64
+		y int
+	}
+	ps := make([]pair, len(scores))
+	var pos, neg int
+	for i := range scores {
+		ps[i] = pair{scores[i], labels[i]}
+		if labels[i] == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0, errors.New("metrics: AUC needs both classes")
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].s < ps[j].s })
+	// Rank-sum (Mann–Whitney) formulation with tie-averaged ranks.
+	ranks := make([]float64, len(ps))
+	for i := 0; i < len(ps); {
+		j := i
+		for j < len(ps) && ps[j].s == ps[i].s {
+			j++
+		}
+		avg := float64(i+j-1)/2 + 1
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		i = j
+	}
+	var rankSum float64
+	for i, p := range ps {
+		if p.y == 1 {
+			rankSum += ranks[i]
+		}
+	}
+	u := rankSum - float64(pos)*float64(pos+1)/2
+	return u / (float64(pos) * float64(neg)), nil
+}
+
+// Point is one sample of a training curve.
+type Point struct {
+	Step  int
+	Value float64
+}
+
+// Curve accumulates a named training trajectory (e.g. MLM loss per round,
+// as plotted in Fig. 2).
+type Curve struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (c *Curve) Add(step int, value float64) {
+	c.Points = append(c.Points, Point{Step: step, Value: value})
+}
+
+// Last returns the final value (NaN when empty).
+func (c *Curve) Last() float64 {
+	if len(c.Points) == 0 {
+		return math.NaN()
+	}
+	return c.Points[len(c.Points)-1].Value
+}
+
+// First returns the initial value (NaN when empty).
+func (c *Curve) First() float64 {
+	if len(c.Points) == 0 {
+		return math.NaN()
+	}
+	return c.Points[0].Value
+}
+
+// Min returns the minimum value (NaN when empty).
+func (c *Curve) Min() float64 {
+	if len(c.Points) == 0 {
+		return math.NaN()
+	}
+	m := c.Points[0].Value
+	for _, p := range c.Points[1:] {
+		if p.Value < m {
+			m = p.Value
+		}
+	}
+	return m
+}
+
+// String renders the curve as "name: v0 -> vN (min m)".
+func (c *Curve) String() string {
+	return fmt.Sprintf("%s: %.3f -> %.3f (min %.3f, %d pts)",
+		c.Name, c.First(), c.Last(), c.Min(), len(c.Points))
+}
+
+// ASCIIPlot renders the curve as a small terminal chart, used by the
+// experiment harness to show Fig. 2-style trajectories.
+func ASCIIPlot(curves []*Curve, width, height int) string {
+	if len(curves) == 0 || width < 8 || height < 2 {
+		return ""
+	}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	maxStep := 0
+	for _, c := range curves {
+		for _, p := range c.Points {
+			minV = math.Min(minV, p.Value)
+			maxV = math.Max(maxV, p.Value)
+			if p.Step > maxStep {
+				maxStep = p.Step
+			}
+		}
+	}
+	if math.IsInf(minV, 1) || maxV == minV {
+		return ""
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "*o+x#@%&"
+	for ci, c := range curves {
+		mark := marks[ci%len(marks)]
+		for _, p := range c.Points {
+			x := 0
+			if maxStep > 0 {
+				x = p.Step * (width - 1) / maxStep
+			}
+			y := int((maxV - p.Value) / (maxV - minV) * float64(height-1))
+			grid[y][x] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8.3f ┤\n", maxV)
+	for _, row := range grid {
+		b.WriteString("         │")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%8.3f └%s\n", minV, strings.Repeat("─", width))
+	for ci, c := range curves {
+		fmt.Fprintf(&b, "         %c = %s\n", marks[ci%len(marks)], c.Name)
+	}
+	return b.String()
+}
+
+// Timing aggregates wall-clock durations (e.g. local-epoch times for the
+// Fig. 3 demonstration).
+type Timing struct {
+	Name    string
+	samples []time.Duration
+}
+
+// NewTiming returns a named timing aggregator.
+func NewTiming(name string) *Timing { return &Timing{Name: name} }
+
+// Add records one duration.
+func (t *Timing) Add(d time.Duration) { t.samples = append(t.samples, d) }
+
+// Count returns the number of samples.
+func (t *Timing) Count() int { return len(t.samples) }
+
+// Mean returns the mean duration (0 when empty).
+func (t *Timing) Mean() time.Duration {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range t.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(t.samples))
+}
+
+// Max returns the longest sample (0 when empty).
+func (t *Timing) Max() time.Duration {
+	var m time.Duration
+	for _, d := range t.samples {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// String summarizes the aggregate.
+func (t *Timing) String() string {
+	return fmt.Sprintf("%s: n=%d mean=%v max=%v", t.Name, t.Count(), t.Mean(), t.Max())
+}

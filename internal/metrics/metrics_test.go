@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAccuracy(t *testing.T) {
+	acc, err := Accuracy([]int{1, 0, 1, 1}, []int{1, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 0.75 {
+		t.Fatalf("accuracy %v, want 0.75", acc)
+	}
+}
+
+func TestAccuracyErrors(t *testing.T) {
+	if _, err := Accuracy([]int{1}, []int{1, 0}); !errors.Is(err, ErrLength) {
+		t.Fatalf("want ErrLength, got %v", err)
+	}
+	if _, err := Accuracy(nil, nil); err == nil {
+		t.Fatal("want error for empty input")
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	c, err := NewConfusion([]int{1, 1, 0, 0, 1}, []int{1, 0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TP != 2 || c.FP != 1 || c.TN != 1 || c.FN != 1 {
+		t.Fatalf("confusion %+v", c)
+	}
+	if p := c.Precision(); math.Abs(p-2.0/3) > 1e-12 {
+		t.Fatalf("precision %v", p)
+	}
+	if r := c.Recall(); math.Abs(r-2.0/3) > 1e-12 {
+		t.Fatalf("recall %v", r)
+	}
+	if f := c.F1(); math.Abs(f-2.0/3) > 1e-12 {
+		t.Fatalf("f1 %v", f)
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	c := Confusion{}
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Fatal("degenerate confusion should return zeros")
+	}
+}
+
+func TestAUCPerfectAndRandom(t *testing.T) {
+	auc, err := AUC([]float64{0.9, 0.8, 0.2, 0.1}, []int{1, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1 {
+		t.Fatalf("perfect AUC %v", auc)
+	}
+	auc, err = AUC([]float64{0.1, 0.2, 0.8, 0.9}, []int{1, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 0 {
+		t.Fatalf("inverted AUC %v", auc)
+	}
+	// All-tied scores give 0.5 by the tie-averaged rank convention.
+	auc, err = AUC([]float64{0.5, 0.5, 0.5, 0.5}, []int{1, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("tied AUC %v, want 0.5", auc)
+	}
+}
+
+func TestAUCErrors(t *testing.T) {
+	if _, err := AUC([]float64{0.5}, []int{1, 0}); !errors.Is(err, ErrLength) {
+		t.Fatalf("want ErrLength, got %v", err)
+	}
+	if _, err := AUC([]float64{0.5, 0.6}, []int{1, 1}); err == nil {
+		t.Fatal("want error for single-class labels")
+	}
+}
+
+func TestCurve(t *testing.T) {
+	c := &Curve{Name: "loss"}
+	if !math.IsNaN(c.Last()) || !math.IsNaN(c.First()) || !math.IsNaN(c.Min()) {
+		t.Fatal("empty curve should be NaN")
+	}
+	c.Add(0, 10.7)
+	c.Add(1, 5.0)
+	c.Add(2, 3.5)
+	if c.First() != 10.7 || c.Last() != 3.5 || c.Min() != 3.5 {
+		t.Fatalf("curve stats %v %v %v", c.First(), c.Last(), c.Min())
+	}
+	if !strings.Contains(c.String(), "loss") {
+		t.Fatalf("String() = %q", c.String())
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	a := &Curve{Name: "a"}
+	b := &Curve{Name: "b"}
+	for i := 0; i < 10; i++ {
+		a.Add(i, 10-float64(i))
+		b.Add(i, 10-0.5*float64(i))
+	}
+	plot := ASCIIPlot([]*Curve{a, b}, 40, 8)
+	if plot == "" {
+		t.Fatal("empty plot")
+	}
+	if !strings.Contains(plot, "* = a") || !strings.Contains(plot, "o = b") {
+		t.Fatalf("legend missing:\n%s", plot)
+	}
+	if ASCIIPlot(nil, 40, 8) != "" {
+		t.Fatal("nil curves should render nothing")
+	}
+	flat := &Curve{Name: "flat"}
+	flat.Add(0, 1)
+	flat.Add(1, 1)
+	if ASCIIPlot([]*Curve{flat}, 40, 8) != "" {
+		t.Fatal("flat curve cannot be scaled; expect empty plot")
+	}
+}
+
+func TestTiming(t *testing.T) {
+	tm := NewTiming("epoch")
+	if tm.Mean() != 0 || tm.Max() != 0 || tm.Count() != 0 {
+		t.Fatal("empty timing should be zero")
+	}
+	tm.Add(2 * time.Second)
+	tm.Add(4 * time.Second)
+	if tm.Mean() != 3*time.Second {
+		t.Fatalf("mean %v", tm.Mean())
+	}
+	if tm.Max() != 4*time.Second {
+		t.Fatalf("max %v", tm.Max())
+	}
+	if !strings.Contains(tm.String(), "epoch") {
+		t.Fatalf("String() = %q", tm.String())
+	}
+}

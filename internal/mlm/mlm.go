@@ -1,0 +1,109 @@
+// Package mlm implements the BERT masked-language-model pretraining
+// objective as described in the paper (Sec. III-B): 15% of tokens are
+// selected for prediction; of those, 80% are replaced by [MASK], 10% by a
+// random vocabulary token, and 10% are kept unchanged but still included in
+// the loss ("to regulate the BERT model, 10% of the tokens were not masked
+// but were included in the loss calculation").
+package mlm
+
+import (
+	"fmt"
+
+	"clinfl/internal/autograd"
+	"clinfl/internal/tensor"
+	"clinfl/internal/token"
+)
+
+// Config controls masking behaviour.
+type Config struct {
+	// MaskProb is the probability a (non-special) position is selected for
+	// prediction. Paper: 0.15.
+	MaskProb float64
+	// MaskTokenFrac of selected positions become [MASK]. Paper: 0.8.
+	MaskTokenFrac float64
+	// RandomTokenFrac of selected positions become a random token.
+	// Paper: 0.1 (the remaining 0.1 are kept unchanged).
+	RandomTokenFrac float64
+	// VocabSize bounds random replacement tokens.
+	VocabSize int
+}
+
+// DefaultConfig returns the paper's masking parameters for vocabSize.
+func DefaultConfig(vocabSize int) Config {
+	return Config{MaskProb: 0.15, MaskTokenFrac: 0.8, RandomTokenFrac: 0.1, VocabSize: vocabSize}
+}
+
+// Validate checks config invariants.
+func (c Config) Validate() error {
+	if c.MaskProb <= 0 || c.MaskProb >= 1 {
+		return fmt.Errorf("mlm: MaskProb %v out of (0,1)", c.MaskProb)
+	}
+	if c.MaskTokenFrac < 0 || c.RandomTokenFrac < 0 || c.MaskTokenFrac+c.RandomTokenFrac > 1 {
+		return fmt.Errorf("mlm: mask/random fractions %v/%v invalid", c.MaskTokenFrac, c.RandomTokenFrac)
+	}
+	if c.VocabSize <= token.NumSpecial {
+		return fmt.Errorf("mlm: VocabSize %d too small", c.VocabSize)
+	}
+	return nil
+}
+
+// MaskedExample is a masked input sequence with its prediction targets.
+type MaskedExample struct {
+	// Input is the corrupted id sequence fed to the model.
+	Input []int
+	// Targets holds the original id at predicted positions and
+	// autograd.IgnoreIndex elsewhere, aligned with Input.
+	Targets []int
+	// NumMasked counts predicted positions.
+	NumMasked int
+}
+
+// Mask corrupts ids per cfg. Special tokens ([PAD], [CLS], [SEP], ...) are
+// never selected. At least one position is always selected (falling back to
+// a random eligible position) so every example contributes loss.
+func Mask(cfg Config, ids []int, rng *tensor.RNG) (MaskedExample, error) {
+	if err := cfg.Validate(); err != nil {
+		return MaskedExample{}, err
+	}
+	me := MaskedExample{
+		Input:   make([]int, len(ids)),
+		Targets: make([]int, len(ids)),
+	}
+	copy(me.Input, ids)
+	eligible := make([]int, 0, len(ids))
+	for i := range me.Targets {
+		me.Targets[i] = autograd.IgnoreIndex
+		if !token.IsSpecial(ids[i]) {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(eligible) == 0 {
+		return me, nil
+	}
+	for _, i := range eligible {
+		if rng.Float64() >= cfg.MaskProb {
+			continue
+		}
+		me.maskPosition(cfg, ids, i, rng)
+	}
+	if me.NumMasked == 0 {
+		i := eligible[rng.Intn(len(eligible))]
+		me.maskPosition(cfg, ids, i, rng)
+	}
+	return me, nil
+}
+
+// maskPosition applies the 80/10/10 corruption rule at position i.
+func (me *MaskedExample) maskPosition(cfg Config, ids []int, i int, rng *tensor.RNG) {
+	me.Targets[i] = ids[i]
+	me.NumMasked++
+	switch r := rng.Float64(); {
+	case r < cfg.MaskTokenFrac:
+		me.Input[i] = token.MASK
+	case r < cfg.MaskTokenFrac+cfg.RandomTokenFrac:
+		// Draw a random non-special token.
+		me.Input[i] = token.NumSpecial + rng.Intn(cfg.VocabSize-token.NumSpecial)
+	default:
+		// Keep the original token; still predicted.
+	}
+}

@@ -1,0 +1,210 @@
+package mlm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clinfl/internal/autograd"
+	"clinfl/internal/tensor"
+	"clinfl/internal/token"
+)
+
+func testIDs(n int) []int {
+	ids := make([]int, n)
+	ids[0] = token.CLS
+	for i := 1; i < n-1; i++ {
+		ids[i] = token.NumSpecial + i
+	}
+	ids[n-1] = token.SEP
+	return ids
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig(100)
+	if cfg.MaskProb != 0.15 {
+		t.Fatalf("MaskProb %v, want paper's 0.15", cfg.MaskProb)
+	}
+	if cfg.MaskTokenFrac != 0.8 || cfg.RandomTokenFrac != 0.1 {
+		t.Fatalf("corruption split %v/%v, want 0.8/0.1", cfg.MaskTokenFrac, cfg.RandomTokenFrac)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{MaskProb: 0, MaskTokenFrac: 0.8, RandomTokenFrac: 0.1, VocabSize: 100},
+		{MaskProb: 1, MaskTokenFrac: 0.8, RandomTokenFrac: 0.1, VocabSize: 100},
+		{MaskProb: 0.15, MaskTokenFrac: 0.8, RandomTokenFrac: 0.3, VocabSize: 100},
+		{MaskProb: 0.15, MaskTokenFrac: 0.8, RandomTokenFrac: 0.1, VocabSize: 3},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("case %d: want validation error", i)
+		}
+	}
+}
+
+func TestMaskNeverTouchesSpecials(t *testing.T) {
+	cfg := DefaultConfig(64)
+	rng := tensor.NewRNG(1)
+	ids := testIDs(32)
+	for trial := 0; trial < 50; trial++ {
+		me, err := Mask(cfg, ids, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if me.Input[0] != token.CLS || me.Input[len(ids)-1] != token.SEP {
+			t.Fatal("special positions corrupted")
+		}
+		if me.Targets[0] != autograd.IgnoreIndex || me.Targets[len(ids)-1] != autograd.IgnoreIndex {
+			t.Fatal("special positions targeted")
+		}
+	}
+}
+
+func TestMaskAlwaysSelectsAtLeastOne(t *testing.T) {
+	cfg := DefaultConfig(64)
+	cfg.MaskProb = 0.01 // would usually select nothing on a short sequence
+	rng := tensor.NewRNG(2)
+	ids := testIDs(6)
+	for trial := 0; trial < 100; trial++ {
+		me, err := Mask(cfg, ids, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if me.NumMasked == 0 {
+			t.Fatal("no positions selected")
+		}
+	}
+}
+
+func TestMaskTargetsAlignWithOriginals(t *testing.T) {
+	cfg := DefaultConfig(64)
+	rng := tensor.NewRNG(3)
+	ids := testIDs(24)
+	me, err := Mask(cfg, ids, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for i, tgt := range me.Targets {
+		if tgt == autograd.IgnoreIndex {
+			// Unselected positions must pass through unmodified.
+			if me.Input[i] != ids[i] {
+				t.Fatalf("unselected position %d modified", i)
+			}
+			continue
+		}
+		count++
+		if tgt != ids[i] {
+			t.Fatalf("target at %d is %d, want original %d", i, tgt, ids[i])
+		}
+	}
+	if count != me.NumMasked {
+		t.Fatalf("NumMasked %d != counted %d", me.NumMasked, count)
+	}
+}
+
+func TestMaskCorruptionDistribution(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	rng := tensor.NewRNG(4)
+	ids := testIDs(400)
+	var masked, random, kept, selected int
+	for trial := 0; trial < 50; trial++ {
+		me, err := Mask(cfg, ids, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tgt := range me.Targets {
+			if tgt == autograd.IgnoreIndex {
+				continue
+			}
+			selected++
+			switch {
+			case me.Input[i] == token.MASK:
+				masked++
+			case me.Input[i] == ids[i]:
+				kept++
+			default:
+				random++
+			}
+		}
+	}
+	mf := float64(masked) / float64(selected)
+	rf := float64(random) / float64(selected)
+	kf := float64(kept) / float64(selected)
+	if mf < 0.74 || mf > 0.86 {
+		t.Fatalf("[MASK] fraction %.3f far from 0.8", mf)
+	}
+	// Random replacements can coincide with the original token, shifting a
+	// little mass from "random" to "kept".
+	if rf < 0.05 || rf > 0.15 {
+		t.Fatalf("random fraction %.3f far from 0.1", rf)
+	}
+	if kf < 0.05 || kf > 0.16 {
+		t.Fatalf("kept fraction %.3f far from 0.1", kf)
+	}
+}
+
+func TestMaskSelectionRate(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	rng := tensor.NewRNG(5)
+	ids := testIDs(1000)
+	var selected, eligible int
+	for trial := 0; trial < 30; trial++ {
+		me, err := Mask(cfg, ids, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		selected += me.NumMasked
+		eligible += len(ids) - 2 // CLS and SEP excluded
+	}
+	rate := float64(selected) / float64(eligible)
+	if rate < 0.12 || rate > 0.18 {
+		t.Fatalf("selection rate %.3f far from p=0.15", rate)
+	}
+}
+
+func TestMaskAllPadSequence(t *testing.T) {
+	cfg := DefaultConfig(64)
+	rng := tensor.NewRNG(6)
+	ids := []int{token.CLS, token.SEP, token.PAD, token.PAD}
+	me, err := Mask(cfg, ids, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if me.NumMasked != 0 {
+		t.Fatal("all-special sequence should select nothing")
+	}
+}
+
+// Property: Input and Targets always have the sequence's length, and
+// random replacements are never special tokens.
+func TestMaskShapeProperty(t *testing.T) {
+	cfg := DefaultConfig(128)
+	f := func(seed int64, n uint8) bool {
+		ln := int(n%30) + 5
+		ids := testIDs(ln)
+		me, err := Mask(cfg, ids, tensor.NewRNG(seed))
+		if err != nil {
+			return false
+		}
+		if len(me.Input) != ln || len(me.Targets) != ln {
+			return false
+		}
+		for i, tgt := range me.Targets {
+			if tgt == autograd.IgnoreIndex {
+				continue
+			}
+			if me.Input[i] != token.MASK && me.Input[i] != ids[i] && token.IsSpecial(me.Input[i]) {
+				return false // random replacement drew a special token
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,271 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"clinfl/internal/autograd"
+	"clinfl/internal/data"
+	"clinfl/internal/mlm"
+	"clinfl/internal/nn"
+	"clinfl/internal/tensor"
+	"clinfl/internal/token"
+)
+
+// BERTConfig parameterizes a BERT-style encoder (Table II rows "BERT" and
+// "BERT-mini").
+type BERTConfig struct {
+	Name       string
+	VocabSize  int
+	MaxLen     int
+	Dim        int
+	Layers     int
+	Heads      int
+	HeadDim    int // 0 derives ceil(Dim/Heads)
+	FFNHidden  int // 0 derives 4*Dim
+	Dropout    float64
+	NumClasses int
+}
+
+// Validate checks the configuration.
+func (c BERTConfig) Validate() error {
+	if c.VocabSize <= token.NumSpecial {
+		return fmt.Errorf("model: bert vocab %d too small", c.VocabSize)
+	}
+	if c.MaxLen < 3 || c.Dim <= 0 || c.Layers <= 0 || c.Heads <= 0 {
+		return errors.New("model: bert geometry must be positive")
+	}
+	if c.NumClasses < 2 {
+		return fmt.Errorf("model: bert needs >=2 classes, got %d", c.NumClasses)
+	}
+	return nil
+}
+
+// BERT is a bidirectional transformer encoder with MLM and classification
+// heads. Forward passes are per-sequence (seq×dim matrices); minibatch
+// parallelism happens across goroutines in the trainer.
+type BERT struct {
+	cfg BERTConfig
+
+	tokEmb *nn.Embedding
+	posEmb *nn.Embedding
+	embLN  *nn.LayerNorm
+	enc    *nn.Encoder
+
+	// MLM head: dense + GELU + LN + vocab projection.
+	mlmDense *nn.Linear
+	mlmLN    *nn.LayerNorm
+	mlmOut   *nn.Linear
+
+	// Classification head: tanh pooler over [CLS] + output projection.
+	pooler *nn.Linear
+	clsOut *nn.Linear
+
+	params []*nn.Param
+}
+
+var (
+	_ Classifier = (*BERT)(nil)
+	_ Pretrainer = (*BERT)(nil)
+)
+
+// NewBERT builds a BERT model with deterministic seed-derived init.
+func NewBERT(cfg BERTConfig, seed int64) (*BERT, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(seed)
+	name := cfg.Name
+	if name == "" {
+		name = "bert"
+	}
+	enc, err := nn.NewEncoder(name+".encoder", cfg.Layers, cfg.Dim, cfg.Heads, cfg.HeadDim, cfg.FFNHidden, cfg.Dropout, rng)
+	if err != nil {
+		return nil, fmt.Errorf("model: %s encoder: %w", name, err)
+	}
+	b := &BERT{
+		cfg:      cfg,
+		tokEmb:   nn.NewEmbedding(name+".tok_emb", cfg.VocabSize, cfg.Dim, rng),
+		posEmb:   nn.NewEmbedding(name+".pos_emb", cfg.MaxLen, cfg.Dim, rng),
+		embLN:    nn.NewLayerNorm(name+".emb_ln", cfg.Dim),
+		enc:      enc,
+		mlmDense: nn.NewLinear(name+".mlm_dense", cfg.Dim, cfg.Dim, rng),
+		mlmLN:    nn.NewLayerNorm(name+".mlm_ln", cfg.Dim),
+		mlmOut:   nn.NewLinear(name+".mlm_out", cfg.Dim, cfg.VocabSize, rng),
+		pooler:   nn.NewLinear(name+".pooler", cfg.Dim, cfg.Dim, rng),
+		clsOut:   nn.NewLinear(name+".cls_out", cfg.Dim, cfg.NumClasses, rng),
+	}
+	b.params, err = nn.CollectParams(b.tokEmb, b.posEmb, b.embLN, b.enc, b.mlmDense, b.mlmLN, b.mlmOut, b.pooler, b.clsOut)
+	if err != nil {
+		return nil, fmt.Errorf("model: %s params: %w", name, err)
+	}
+	return b, nil
+}
+
+// Name implements Classifier.
+func (b *BERT) Name() string { return b.cfg.Name }
+
+// Config returns the model configuration.
+func (b *BERT) Config() BERTConfig { return b.cfg }
+
+// Params implements Classifier.
+func (b *BERT) Params() []*nn.Param { return b.params }
+
+// encode runs embeddings + encoder over one sequence, returning seq×dim
+// hidden states.
+func (b *BERT) encode(ctx *nn.Ctx, ids []int, padMask []bool) (*autograd.Node, error) {
+	if len(ids) > b.cfg.MaxLen {
+		return nil, fmt.Errorf("model: %s sequence length %d exceeds max %d", b.cfg.Name, len(ids), b.cfg.MaxLen)
+	}
+	tok, err := b.tokEmb.Forward(ctx, ids)
+	if err != nil {
+		return nil, err
+	}
+	positions := make([]int, len(ids))
+	for i := range positions {
+		positions[i] = i
+	}
+	pos, err := b.posEmb.Forward(ctx, positions)
+	if err != nil {
+		return nil, err
+	}
+	x, err := ctx.Tape.Add(tok, pos)
+	if err != nil {
+		return nil, err
+	}
+	x, err = b.embLN.Forward(ctx, x)
+	if err != nil {
+		return nil, err
+	}
+	x = ctx.Tape.Dropout(x, b.cfg.Dropout, ctx.RNG, ctx.Training)
+	return b.enc.Forward(ctx, x, padMask)
+}
+
+// classifyLogits returns the 1×NumClasses logits for one sequence using the
+// [CLS] pooler.
+func (b *BERT) classifyLogits(ctx *nn.Ctx, ids []int, padMask []bool) (*autograd.Node, error) {
+	h, err := b.encode(ctx, ids, padMask)
+	if err != nil {
+		return nil, err
+	}
+	cls, err := ctx.Tape.SliceRows(h, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	p, err := b.pooler.Forward(ctx, cls)
+	if err != nil {
+		return nil, err
+	}
+	p = ctx.Tape.Tanh(p)
+	return b.clsOut.Forward(ctx, p)
+}
+
+// LossBatch implements Classifier: summed cross-entropy over the batch.
+func (b *BERT) LossBatch(ctx *nn.Ctx, batch []data.Example) (*autograd.Node, int, error) {
+	if len(batch) == 0 {
+		return nil, 0, errors.New("model: empty batch")
+	}
+	losses := make([]*autograd.Node, 0, len(batch))
+	for _, ex := range batch {
+		logits, err := b.classifyLogits(ctx, ex.IDs, ex.PadMask)
+		if err != nil {
+			return nil, 0, err
+		}
+		loss, _, err := ctx.Tape.CrossEntropy(logits, []int{ex.Label})
+		if err != nil {
+			return nil, 0, err
+		}
+		losses = append(losses, loss)
+	}
+	sum, err := ctx.Tape.SumScalars(losses...)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sum, len(batch), nil
+}
+
+// Predict implements Classifier.
+func (b *BERT) Predict(batch []data.Example) ([]int, error) {
+	out := make([]int, len(batch))
+	for i, ex := range batch {
+		ctx := nn.NewCtx(false, nil)
+		logits, err := b.classifyLogits(ctx, ex.IDs, ex.PadMask)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = tensor.ArgmaxRows(logits.Value)[0]
+	}
+	return out, nil
+}
+
+// PredictProbs returns positive-class probabilities for AUC computation.
+func (b *BERT) PredictProbs(batch []data.Example) ([]float64, error) {
+	out := make([]float64, len(batch))
+	for i, ex := range batch {
+		ctx := nn.NewCtx(false, nil)
+		logits, err := b.classifyLogits(ctx, ex.IDs, ex.PadMask)
+		if err != nil {
+			return nil, err
+		}
+		probs := tensor.SoftmaxRows(logits.Value)
+		out[i] = probs.At(0, 1)
+	}
+	return out, nil
+}
+
+// mlmLogits returns seq×vocab logits for the MLM head over one sequence.
+func (b *BERT) mlmLogits(ctx *nn.Ctx, ids []int, padMask []bool) (*autograd.Node, error) {
+	h, err := b.encode(ctx, ids, padMask)
+	if err != nil {
+		return nil, err
+	}
+	d, err := b.mlmDense.Forward(ctx, h)
+	if err != nil {
+		return nil, err
+	}
+	d = ctx.Tape.GELU(d)
+	d, err = b.mlmLN.Forward(ctx, d)
+	if err != nil {
+		return nil, err
+	}
+	return b.mlmOut.Forward(ctx, d)
+}
+
+// MLMLossBatch implements Pretrainer: summed masked-LM cross-entropy over
+// all predicted positions in the batch.
+func (b *BERT) MLMLossBatch(ctx *nn.Ctx, batch []mlm.MaskedExample) (*autograd.Node, int, error) {
+	if len(batch) == 0 {
+		return nil, 0, errors.New("model: empty MLM batch")
+	}
+	var losses []*autograd.Node
+	total := 0
+	for _, me := range batch {
+		padMask := make([]bool, len(me.Input))
+		for i, id := range me.Input {
+			padMask[i] = id == token.PAD
+		}
+		logits, err := b.mlmLogits(ctx, me.Input, padMask)
+		if err != nil {
+			return nil, 0, err
+		}
+		loss, counted, err := ctx.Tape.CrossEntropy(logits, me.Targets)
+		if err != nil {
+			return nil, 0, err
+		}
+		if counted == 0 {
+			continue
+		}
+		total += counted
+		// CrossEntropy returns the mean over counted positions; rescale to
+		// a sum so batch aggregation weights positions equally.
+		losses = append(losses, ctx.Tape.Scale(float64(counted), loss))
+	}
+	if total == 0 {
+		return nil, 0, errors.New("model: MLM batch has no masked positions")
+	}
+	sum, err := ctx.Tape.SumScalars(losses...)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sum, total, nil
+}

@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"fmt"
+
+	"clinfl/internal/autograd"
+	"clinfl/internal/tensor"
+)
+
+// Linear is a fully-connected layer: y = xW + b, with W in R^{in×out}.
+type Linear struct {
+	In, Out int
+	W, B    *Param
+}
+
+// NewLinear builds a Linear layer with Xavier-initialized weights.
+func NewLinear(name string, in, out int, rng *tensor.RNG) *Linear {
+	return &Linear{
+		In:  in,
+		Out: out,
+		W:   NewParam(name+".weight", rng.Xavier(in, out)),
+		B:   NewParam(name+".bias", tensor.New(1, out)),
+	}
+}
+
+// Forward applies the layer to x (N×in) returning N×out.
+func (l *Linear) Forward(ctx *Ctx, x *autograd.Node) (*autograd.Node, error) {
+	h, err := ctx.Tape.MatMul(x, ctx.Node(l.W))
+	if err != nil {
+		return nil, fmt.Errorf("nn: linear %s: %w", l.W.Name, err)
+	}
+	h, err = ctx.Tape.AddRowVector(h, ctx.Node(l.B))
+	if err != nil {
+		return nil, fmt.Errorf("nn: linear %s bias: %w", l.B.Name, err)
+	}
+	return h, nil
+}
+
+// Params implements Module.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+var _ Module = (*Linear)(nil)
+
+// Embedding maps token ids to dense vectors via a learned table.
+type Embedding struct {
+	Vocab, Dim int
+	Table      *Param
+}
+
+// NewEmbedding builds a vocab×dim embedding table with N(0, 0.02²) init
+// (BERT's initializer).
+func NewEmbedding(name string, vocab, dim int, rng *tensor.RNG) *Embedding {
+	return &Embedding{
+		Vocab: vocab,
+		Dim:   dim,
+		Table: NewParam(name+".weight", rng.Normal(vocab, dim, 0, 0.02)),
+	}
+}
+
+// Forward gathers embeddings for ids, returning len(ids)×dim.
+func (e *Embedding) Forward(ctx *Ctx, ids []int) (*autograd.Node, error) {
+	n, err := ctx.Tape.Embedding(ctx.Node(e.Table), ids)
+	if err != nil {
+		return nil, fmt.Errorf("nn: embedding %s: %w", e.Table.Name, err)
+	}
+	return n, nil
+}
+
+// Params implements Module.
+func (e *Embedding) Params() []*Param { return []*Param{e.Table} }
+
+var _ Module = (*Embedding)(nil)
+
+// LayerNorm normalizes rows and applies a learned affine transform, as used
+// after every transformer sub-layer.
+type LayerNorm struct {
+	Dim        int
+	Eps        float64
+	Gain, Bias *Param
+}
+
+// NewLayerNorm builds a LayerNorm over dim features (gain=1, bias=0).
+func NewLayerNorm(name string, dim int) *LayerNorm {
+	gain := tensor.New(1, dim)
+	gain.Fill(1)
+	return &LayerNorm{
+		Dim:  dim,
+		Eps:  1e-5,
+		Gain: NewParam(name+".gain", gain),
+		Bias: NewParam(name+".bias", tensor.New(1, dim)),
+	}
+}
+
+// Forward normalizes x (N×dim).
+func (l *LayerNorm) Forward(ctx *Ctx, x *autograd.Node) (*autograd.Node, error) {
+	n, err := ctx.Tape.LayerNorm(x, ctx.Node(l.Gain), ctx.Node(l.Bias), l.Eps)
+	if err != nil {
+		return nil, fmt.Errorf("nn: layernorm %s: %w", l.Gain.Name, err)
+	}
+	return n, nil
+}
+
+// Params implements Module.
+func (l *LayerNorm) Params() []*Param { return []*Param{l.Gain, l.Bias} }
+
+var _ Module = (*LayerNorm)(nil)

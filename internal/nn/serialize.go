@@ -1,0 +1,135 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"clinfl/internal/tensor"
+)
+
+// weightsMagic identifies the checkpoint / parameter-exchange format.
+const weightsMagic = "CFLW1\n"
+
+// WriteWeights serializes params (in name-sorted canonical order) to w.
+// The format is the wire format used both for model checkpoints and for FL
+// parameter upload/download.
+func WriteWeights(w io.Writer, params []*Param) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(weightsMagic); err != nil {
+		return fmt.Errorf("nn: write magic: %w", err)
+	}
+	sorted := SortedByName(params)
+	var count [8]byte
+	binary.LittleEndian.PutUint64(count[:], uint64(len(sorted)))
+	if _, err := bw.Write(count[:]); err != nil {
+		return fmt.Errorf("nn: write count: %w", err)
+	}
+	for _, p := range sorted {
+		if err := writeString(bw, p.Name); err != nil {
+			return fmt.Errorf("nn: write name %q: %w", p.Name, err)
+		}
+		if _, err := p.W.WriteTo(bw); err != nil {
+			return fmt.Errorf("nn: write tensor %q: %w", p.Name, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("nn: flush weights: %w", err)
+	}
+	return nil
+}
+
+// ReadWeights deserializes a weight map from r.
+func ReadWeights(r io.Reader) (map[string]*tensor.Matrix, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(weightsMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("nn: read magic: %w", err)
+	}
+	if string(magic) != weightsMagic {
+		return nil, fmt.Errorf("nn: bad weights magic %q", magic)
+	}
+	var count [8]byte
+	if _, err := io.ReadFull(br, count[:]); err != nil {
+		return nil, fmt.Errorf("nn: read count: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(count[:])
+	if n > 1<<20 {
+		return nil, fmt.Errorf("nn: implausible parameter count %d", n)
+	}
+	out := make(map[string]*tensor.Matrix, n)
+	for i := uint64(0); i < n; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("nn: read name %d: %w", i, err)
+		}
+		var m tensor.Matrix
+		if _, err := m.ReadFrom(br); err != nil {
+			return nil, fmt.Errorf("nn: read tensor %q: %w", name, err)
+		}
+		out[name] = &m
+	}
+	return out, nil
+}
+
+// LoadWeights copies values from a weight map into matching params,
+// verifying every parameter is present with the right shape.
+func LoadWeights(params []*Param, weights map[string]*tensor.Matrix) error {
+	for _, p := range params {
+		m, ok := weights[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: missing weight %q", p.Name)
+		}
+		if err := p.W.CopyFrom(m); err != nil {
+			return fmt.Errorf("nn: load %q: %w", p.Name, err)
+		}
+	}
+	return nil
+}
+
+// SnapshotWeights deep-copies the current parameter values into a map.
+func SnapshotWeights(params []*Param) map[string]*tensor.Matrix {
+	out := make(map[string]*tensor.Matrix, len(params))
+	for _, p := range params {
+		out[p.Name] = p.W.Clone()
+	}
+	return out
+}
+
+// WriteWeightMap serializes a raw name→matrix map in the same wire format
+// as WriteWeights (name-sorted). Used for FL parameter exchange where the
+// sender may hold a snapshot rather than live parameters.
+func WriteWeightMap(w io.Writer, weights map[string]*tensor.Matrix) error {
+	params := make([]*Param, 0, len(weights))
+	for name, m := range weights {
+		params = append(params, &Param{Name: name, W: m})
+	}
+	return WriteWeights(w, params)
+}
+
+func writeString(w io.Writer, s string) error {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+	if _, err := w.Write(n[:]); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n [4]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return "", err
+	}
+	ln := binary.LittleEndian.Uint32(n[:])
+	if ln > 1<<16 {
+		return "", fmt.Errorf("implausible string length %d", ln)
+	}
+	buf := make([]byte, ln)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,156 @@
+package nn
+
+import (
+	"fmt"
+
+	"clinfl/internal/autograd"
+	"clinfl/internal/tensor"
+)
+
+// FeedForward is the transformer position-wise MLP: GELU(xW1+b1)W2+b2.
+type FeedForward struct {
+	Dim, Hidden int
+	W1, W2      *Linear
+}
+
+// NewFeedForward builds the MLP with the conventional 4x expansion unless
+// hidden is given explicitly (>0).
+func NewFeedForward(name string, dim, hidden int, rng *tensor.RNG) *FeedForward {
+	if hidden <= 0 {
+		hidden = 4 * dim
+	}
+	return &FeedForward{
+		Dim:    dim,
+		Hidden: hidden,
+		W1:     NewLinear(name+".fc1", dim, hidden, rng),
+		W2:     NewLinear(name+".fc2", hidden, dim, rng),
+	}
+}
+
+// Forward applies the MLP to x (seq×dim).
+func (f *FeedForward) Forward(ctx *Ctx, x *autograd.Node) (*autograd.Node, error) {
+	h, err := f.W1.Forward(ctx, x)
+	if err != nil {
+		return nil, err
+	}
+	h = ctx.Tape.GELU(h)
+	return f.W2.Forward(ctx, h)
+}
+
+// Params implements Module.
+func (f *FeedForward) Params() []*Param {
+	return append(f.W1.Params(), f.W2.Params()...)
+}
+
+var _ Module = (*FeedForward)(nil)
+
+// EncoderLayer is one pre-LN transformer encoder block:
+//
+//	x = x + Attn(LN1(x));  x = x + FFN(LN2(x))
+//
+// Pre-LN is used instead of the original post-LN because it trains stably at
+// depth 12 without a warmup schedule (documented substitution in DESIGN.md).
+type EncoderLayer struct {
+	Attn     *MultiHeadSelfAttention
+	FFN      *FeedForward
+	LN1, LN2 *LayerNorm
+	Dropout  float64
+}
+
+// NewEncoderLayer builds an encoder block of width dim with the given head
+// count and feed-forward width.
+func NewEncoderLayer(name string, dim, heads, headDim, ffnHidden int, dropout float64, rng *tensor.RNG) (*EncoderLayer, error) {
+	attn, err := NewMultiHeadSelfAttention(name+".attn", dim, heads, headDim, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &EncoderLayer{
+		Attn:    attn,
+		FFN:     NewFeedForward(name+".ffn", dim, ffnHidden, rng),
+		LN1:     NewLayerNorm(name+".ln1", dim),
+		LN2:     NewLayerNorm(name+".ln2", dim),
+		Dropout: dropout,
+	}, nil
+}
+
+// Forward applies the block to x (seq×dim) with an optional key-padding mask.
+func (e *EncoderLayer) Forward(ctx *Ctx, x *autograd.Node, padMask []bool) (*autograd.Node, error) {
+	h, err := e.LN1.Forward(ctx, x)
+	if err != nil {
+		return nil, err
+	}
+	h, err = e.Attn.Forward(ctx, h, padMask)
+	if err != nil {
+		return nil, err
+	}
+	h = ctx.Tape.Dropout(h, e.Dropout, ctx.RNG, ctx.Training)
+	x, err = ctx.Tape.Add(x, h)
+	if err != nil {
+		return nil, err
+	}
+	h, err = e.LN2.Forward(ctx, x)
+	if err != nil {
+		return nil, err
+	}
+	h, err = e.FFN.Forward(ctx, h)
+	if err != nil {
+		return nil, err
+	}
+	h = ctx.Tape.Dropout(h, e.Dropout, ctx.RNG, ctx.Training)
+	return ctx.Tape.Add(x, h)
+}
+
+// Params implements Module.
+func (e *EncoderLayer) Params() []*Param {
+	var out []*Param
+	out = append(out, e.Attn.Params()...)
+	out = append(out, e.FFN.Params()...)
+	out = append(out, e.LN1.Params()...)
+	out = append(out, e.LN2.Params()...)
+	return out
+}
+
+var _ Module = (*EncoderLayer)(nil)
+
+// Encoder stacks N encoder layers with a final LayerNorm (pre-LN
+// convention).
+type Encoder struct {
+	Layers  []*EncoderLayer
+	FinalLN *LayerNorm
+}
+
+// NewEncoder builds a stack of n encoder layers.
+func NewEncoder(name string, n, dim, heads, headDim, ffnHidden int, dropout float64, rng *tensor.RNG) (*Encoder, error) {
+	enc := &Encoder{FinalLN: NewLayerNorm(name+".final_ln", dim)}
+	for i := 0; i < n; i++ {
+		layer, err := NewEncoderLayer(fmt.Sprintf("%s.layer%d", name, i), dim, heads, headDim, ffnHidden, dropout, rng)
+		if err != nil {
+			return nil, err
+		}
+		enc.Layers = append(enc.Layers, layer)
+	}
+	return enc, nil
+}
+
+// Forward runs the full stack over x (seq×dim).
+func (e *Encoder) Forward(ctx *Ctx, x *autograd.Node, padMask []bool) (*autograd.Node, error) {
+	var err error
+	for _, layer := range e.Layers {
+		x, err = layer.Forward(ctx, x, padMask)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e.FinalLN.Forward(ctx, x)
+}
+
+// Params implements Module.
+func (e *Encoder) Params() []*Param {
+	var out []*Param
+	for _, l := range e.Layers {
+		out = append(out, l.Params()...)
+	}
+	return append(out, e.FinalLN.Params()...)
+}
+
+var _ Module = (*Encoder)(nil)

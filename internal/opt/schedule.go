@@ -1,0 +1,112 @@
+package opt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"clinfl/internal/nn"
+)
+
+// Schedule maps a 0-based step index to a learning rate. Schedules let the
+// experiments reproduce transformer training recipes (linear warmup then
+// decay) without hard-coding them into the optimizers.
+type Schedule interface {
+	// LR returns the learning rate for step.
+	LR(step int) float64
+	// Name identifies the schedule in experiment records.
+	Name() string
+}
+
+// ConstantSchedule always returns Base.
+type ConstantSchedule struct {
+	Base float64
+}
+
+// Name implements Schedule.
+func (ConstantSchedule) Name() string { return "constant" }
+
+// LR implements Schedule.
+func (s ConstantSchedule) LR(int) float64 { return s.Base }
+
+// WarmupCosineSchedule ramps linearly from 0 to Base over WarmupSteps, then
+// decays to Floor along a half-cosine over the remaining TotalSteps — the
+// standard BERT fine-tuning schedule.
+type WarmupCosineSchedule struct {
+	Base        float64
+	Floor       float64
+	WarmupSteps int
+	TotalSteps  int
+}
+
+// Name implements Schedule.
+func (WarmupCosineSchedule) Name() string { return "warmup-cosine" }
+
+// Validate checks the schedule's shape.
+func (s WarmupCosineSchedule) Validate() error {
+	if s.Base <= 0 {
+		return errors.New("opt: schedule base LR must be positive")
+	}
+	if s.WarmupSteps < 0 || s.TotalSteps <= s.WarmupSteps {
+		return fmt.Errorf("opt: schedule needs 0 <= warmup (%d) < total (%d)", s.WarmupSteps, s.TotalSteps)
+	}
+	if s.Floor < 0 || s.Floor > s.Base {
+		return fmt.Errorf("opt: schedule floor %v outside [0, base]", s.Floor)
+	}
+	return nil
+}
+
+// LR implements Schedule.
+func (s WarmupCosineSchedule) LR(step int) float64 {
+	if s.WarmupSteps > 0 && step < s.WarmupSteps {
+		return s.Base * float64(step+1) / float64(s.WarmupSteps)
+	}
+	if step >= s.TotalSteps {
+		return s.Floor
+	}
+	progress := float64(step-s.WarmupSteps) / float64(s.TotalSteps-s.WarmupSteps)
+	return s.Floor + (s.Base-s.Floor)*0.5*(1+math.Cos(math.Pi*progress))
+}
+
+// StepDecaySchedule multiplies Base by Gamma every StepSize steps.
+type StepDecaySchedule struct {
+	Base     float64
+	Gamma    float64
+	StepSize int
+}
+
+// Name implements Schedule.
+func (StepDecaySchedule) Name() string { return "step-decay" }
+
+// LR implements Schedule.
+func (s StepDecaySchedule) LR(step int) float64 {
+	if s.StepSize <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Gamma, float64(step/s.StepSize))
+}
+
+// Scheduled wraps an Adam optimizer so each Step consults the schedule.
+type Scheduled struct {
+	inner    *Adam
+	schedule Schedule
+}
+
+// NewScheduled wraps adam with schedule.
+func NewScheduled(adam *Adam, schedule Schedule) *Scheduled {
+	return &Scheduled{inner: adam, schedule: schedule}
+}
+
+// Name implements Optimizer.
+func (s *Scheduled) Name() string {
+	return fmt.Sprintf("%s+%s", s.inner.Name(), s.schedule.Name())
+}
+
+// Step implements Optimizer: it sets the Adam LR from the schedule using
+// the optimizer's own step counter, then applies the update.
+func (s *Scheduled) Step(params []*nn.Param) error {
+	s.inner.LR = s.schedule.LR(s.inner.StepCount())
+	return s.inner.Step(params)
+}
+
+var _ Optimizer = (*Scheduled)(nil)

@@ -1,0 +1,113 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"clinfl/internal/nn"
+	"clinfl/internal/tensor"
+)
+
+func TestConstantSchedule(t *testing.T) {
+	s := ConstantSchedule{Base: 0.01}
+	for _, step := range []int{0, 1, 100} {
+		if s.LR(step) != 0.01 {
+			t.Fatalf("LR(%d) = %v", step, s.LR(step))
+		}
+	}
+}
+
+func TestWarmupCosineShape(t *testing.T) {
+	s := WarmupCosineSchedule{Base: 1, WarmupSteps: 10, TotalSteps: 110}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Warmup ramps monotonically to Base.
+	prev := 0.0
+	for step := 0; step < 10; step++ {
+		lr := s.LR(step)
+		if lr <= prev {
+			t.Fatalf("warmup not increasing at step %d: %v <= %v", step, lr, prev)
+		}
+		prev = lr
+	}
+	if got := s.LR(9); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("end of warmup LR %v, want 1", got)
+	}
+	// Cosine decays monotonically to the floor.
+	prev = 2
+	for step := 10; step < 110; step++ {
+		lr := s.LR(step)
+		if lr > prev+1e-12 {
+			t.Fatalf("cosine increased at step %d", step)
+		}
+		prev = lr
+	}
+	if got := s.LR(200); got != 0 {
+		t.Fatalf("post-total LR %v, want floor 0", got)
+	}
+}
+
+func TestWarmupCosineFloor(t *testing.T) {
+	s := WarmupCosineSchedule{Base: 1, Floor: 0.1, WarmupSteps: 0, TotalSteps: 10}
+	if got := s.LR(9999); got != 0.1 {
+		t.Fatalf("floor %v, want 0.1", got)
+	}
+	// Midpoint of the cosine sits halfway between base and floor.
+	if got := s.LR(5); math.Abs(got-0.55) > 1e-12 {
+		t.Fatalf("midpoint %v, want 0.55", got)
+	}
+}
+
+func TestWarmupCosineValidation(t *testing.T) {
+	bad := []WarmupCosineSchedule{
+		{Base: 0, TotalSteps: 10},
+		{Base: 1, WarmupSteps: 10, TotalSteps: 5},
+		{Base: 1, Floor: 2, TotalSteps: 10},
+		{Base: 1, WarmupSteps: -1, TotalSteps: 10},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("case %d: want validation error", i)
+		}
+	}
+}
+
+func TestStepDecaySchedule(t *testing.T) {
+	s := StepDecaySchedule{Base: 1, Gamma: 0.5, StepSize: 10}
+	if s.LR(0) != 1 || s.LR(9) != 1 {
+		t.Fatal("first decade should be base")
+	}
+	if s.LR(10) != 0.5 || s.LR(25) != 0.25 {
+		t.Fatalf("decay wrong: %v %v", s.LR(10), s.LR(25))
+	}
+	if (StepDecaySchedule{Base: 1}).LR(100) != 1 {
+		t.Fatal("zero step size should be constant")
+	}
+}
+
+func TestScheduledOptimizerAppliesLR(t *testing.T) {
+	w := tensor.New(1, 1)
+	p := nn.NewParam("x", w)
+	adam := NewAdam(999) // overwritten by the schedule each step
+	sched := NewScheduled(adam, ConstantSchedule{Base: 0.05})
+	p.Grad.Set(0, 0, 1)
+	if err := sched.Step([]*nn.Param{p}); err != nil {
+		t.Fatal(err)
+	}
+	// Adam's first bias-corrected step ≈ lr.
+	if got := math.Abs(p.W.At(0, 0)); math.Abs(got-0.05) > 1e-4 {
+		t.Fatalf("scheduled first step %v, want ~0.05", got)
+	}
+	if sched.Name() != "adam+constant" {
+		t.Fatalf("name %q", sched.Name())
+	}
+}
+
+func TestScheduleNames(t *testing.T) {
+	if (ConstantSchedule{}).Name() != "constant" ||
+		(WarmupCosineSchedule{}).Name() != "warmup-cosine" ||
+		(StepDecaySchedule{}).Name() != "step-decay" {
+		t.Fatal("schedule names wrong")
+	}
+}

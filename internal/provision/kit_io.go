@@ -1,0 +1,118 @@
+package provision
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteKit persists a startup kit as a directory of PEM/JSON files, the
+// on-disk layout NVFlare ships to each site:
+//
+//	<dir>/kit.json      — identity + token
+//	<dir>/ca.crt        — project CA certificate
+//	<dir>/site.crt      — participant certificate
+//	<dir>/site.key      — participant private key (0600)
+func WriteKit(dir string, kit *StartupKit) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("provision: mkdir %s: %w", dir, err)
+	}
+	meta := *kit
+	meta.CACertPEM, meta.CertPEM, meta.KeyPEM = nil, nil, nil
+	blob, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("provision: marshal kit: %w", err)
+	}
+	files := []struct {
+		name string
+		data []byte
+		mode os.FileMode
+	}{
+		{"kit.json", blob, 0o644},
+		{"ca.crt", kit.CACertPEM, 0o644},
+		{"site.crt", kit.CertPEM, 0o644},
+		{"site.key", kit.KeyPEM, 0o600},
+	}
+	for _, f := range files {
+		if err := os.WriteFile(filepath.Join(dir, f.name), f.data, f.mode); err != nil {
+			return fmt.Errorf("provision: write %s: %w", f.name, err)
+		}
+	}
+	return nil
+}
+
+// ReadKit loads a startup kit directory written by WriteKit.
+func ReadKit(dir string) (*StartupKit, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, "kit.json"))
+	if err != nil {
+		return nil, fmt.Errorf("provision: read kit.json: %w", err)
+	}
+	var kit StartupKit
+	if err := json.Unmarshal(blob, &kit); err != nil {
+		return nil, fmt.Errorf("provision: parse kit.json: %w", err)
+	}
+	if kit.CACertPEM, err = os.ReadFile(filepath.Join(dir, "ca.crt")); err != nil {
+		return nil, fmt.Errorf("provision: read ca.crt: %w", err)
+	}
+	if kit.CertPEM, err = os.ReadFile(filepath.Join(dir, "site.crt")); err != nil {
+		return nil, fmt.Errorf("provision: read site.crt: %w", err)
+	}
+	if kit.KeyPEM, err = os.ReadFile(filepath.Join(dir, "site.key")); err != nil {
+		return nil, fmt.Errorf("provision: read site.key: %w", err)
+	}
+	return &kit, nil
+}
+
+// WriteProject writes the server kit and every client kit under root
+// (root/server/, root/<client>/), plus the server-side admission-token
+// list (root/server/tokens.json) the server authenticates against.
+func WriteProject(root string, p *Project) error {
+	if err := WriteKit(filepath.Join(root, "server"), p.ServerKit); err != nil {
+		return err
+	}
+	tokens := make(map[string]string, len(p.ClientKits))
+	for name, kit := range p.ClientKits {
+		if err := WriteKit(filepath.Join(root, name), kit); err != nil {
+			return err
+		}
+		tokens[name] = kit.Token
+	}
+	blob, err := json.MarshalIndent(tokens, "", "  ")
+	if err != nil {
+		return fmt.Errorf("provision: marshal tokens: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "server", "tokens.json"), blob, 0o600); err != nil {
+		return fmt.Errorf("provision: write tokens.json: %w", err)
+	}
+	return nil
+}
+
+// TokenVerifier loads root/server/tokens.json (written by WriteProject)
+// and returns a verify function for fl.ServerConfig.
+func TokenVerifier(serverKitDir string) (func(name, token string) bool, error) {
+	blob, err := os.ReadFile(filepath.Join(serverKitDir, "tokens.json"))
+	if err != nil {
+		return nil, fmt.Errorf("provision: read tokens.json: %w", err)
+	}
+	var tokens map[string]string
+	if err := json.Unmarshal(blob, &tokens); err != nil {
+		return nil, fmt.Errorf("provision: parse tokens.json: %w", err)
+	}
+	return func(name, token string) bool {
+		want, ok := tokens[name]
+		return ok && subtleEqual(want, token)
+	}, nil
+}
+
+// subtleEqual is a constant-time string comparison.
+func subtleEqual(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var diff byte
+	for i := 0; i < len(a); i++ {
+		diff |= a[i] ^ b[i]
+	}
+	return diff == 0
+}

@@ -1,0 +1,271 @@
+// Package provision reimplements the NVFlare provisioning stage (Fig. 1,
+// "NVFlare provision"): it generates the security artifacts that establish
+// the server–client trust relationship before federated learning begins —
+// a project certificate authority, per-participant X.509 certificates for
+// mutual TLS, and HMAC admission tokens — and bundles them into per-site
+// "startup kits" exactly as NVFlare's `provision` CLI emits.
+package provision
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/hex"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+)
+
+// Role distinguishes server and client kits.
+type Role string
+
+// Participant roles.
+const (
+	RoleServer Role = "server"
+	RoleClient Role = "client"
+)
+
+// Config describes a federation project to provision.
+type Config struct {
+	// ProjectName names the federation (appears in certificate subjects).
+	ProjectName string
+	// ServerName is the DNS name clients dial (also the cert SAN).
+	ServerName string
+	// ClientNames are the participating site identities.
+	ClientNames []string
+	// Validity bounds certificate lifetimes (default 90 days).
+	Validity time.Duration
+}
+
+// Validate checks the project description.
+func (c Config) Validate() error {
+	if c.ProjectName == "" {
+		return errors.New("provision: empty project name")
+	}
+	if c.ServerName == "" {
+		return errors.New("provision: empty server name")
+	}
+	if len(c.ClientNames) == 0 {
+		return errors.New("provision: no clients")
+	}
+	seen := make(map[string]bool, len(c.ClientNames))
+	for _, n := range c.ClientNames {
+		if n == "" {
+			return errors.New("provision: empty client name")
+		}
+		if seen[n] {
+			return fmt.Errorf("provision: duplicate client %q", n)
+		}
+		seen[n] = true
+	}
+	return nil
+}
+
+// StartupKit is the per-participant bundle: identity, certificates (PEM),
+// and the admission token presented during registration.
+type StartupKit struct {
+	Project    string `json:"project"`
+	Role       Role   `json:"role"`
+	Name       string `json:"name"`
+	ServerName string `json:"serverName"`
+	CACertPEM  []byte `json:"caCertPem"`
+	CertPEM    []byte `json:"certPem"`
+	KeyPEM     []byte `json:"keyPem"`
+	Token      string `json:"token"`
+}
+
+// Project is the full provisioning output.
+type Project struct {
+	Config     Config
+	CACertPEM  []byte
+	ServerKit  *StartupKit
+	ClientKits map[string]*StartupKit
+	// tokenSecret signs and verifies admission tokens server-side.
+	tokenSecret []byte
+}
+
+// Provision generates the CA, all certificates, and tokens for cfg.
+func Provision(cfg Config) (*Project, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Validity <= 0 {
+		cfg.Validity = 90 * 24 * time.Hour
+	}
+
+	caCert, caKey, caPEM, err := generateCA(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("provision: CA: %w", err)
+	}
+	secret := make([]byte, 32)
+	if _, err := rand.Read(secret); err != nil {
+		return nil, fmt.Errorf("provision: token secret: %w", err)
+	}
+
+	proj := &Project{
+		Config:      cfg,
+		CACertPEM:   caPEM,
+		ClientKits:  make(map[string]*StartupKit, len(cfg.ClientNames)),
+		tokenSecret: secret,
+	}
+
+	serverCert, serverKey, err := issueCert(cfg, caCert, caKey, cfg.ServerName, true)
+	if err != nil {
+		return nil, fmt.Errorf("provision: server cert: %w", err)
+	}
+	proj.ServerKit = &StartupKit{
+		Project:    cfg.ProjectName,
+		Role:       RoleServer,
+		Name:       cfg.ServerName,
+		ServerName: cfg.ServerName,
+		CACertPEM:  caPEM,
+		CertPEM:    serverCert,
+		KeyPEM:     serverKey,
+		Token:      proj.TokenFor(cfg.ServerName),
+	}
+
+	for _, name := range cfg.ClientNames {
+		certPEM, keyPEM, err := issueCert(cfg, caCert, caKey, name, false)
+		if err != nil {
+			return nil, fmt.Errorf("provision: client %q cert: %w", name, err)
+		}
+		proj.ClientKits[name] = &StartupKit{
+			Project:    cfg.ProjectName,
+			Role:       RoleClient,
+			Name:       name,
+			ServerName: cfg.ServerName,
+			CACertPEM:  caPEM,
+			CertPEM:    certPEM,
+			KeyPEM:     keyPEM,
+			Token:      proj.TokenFor(name),
+		}
+	}
+	return proj, nil
+}
+
+// TokenFor derives the HMAC admission token for a participant name.
+func (p *Project) TokenFor(name string) string {
+	mac := hmac.New(sha256.New, p.tokenSecret)
+	mac.Write([]byte(p.Config.ProjectName))
+	mac.Write([]byte{0})
+	mac.Write([]byte(name))
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// VerifyToken checks an admission token presented by name.
+func (p *Project) VerifyToken(name, tok string) bool {
+	want := p.TokenFor(name)
+	return hmac.Equal([]byte(want), []byte(tok))
+}
+
+// generateCA creates the project root certificate authority.
+func generateCA(cfg Config) (*x509.Certificate, *ecdsa.PrivateKey, []byte, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: cfg.ProjectName + " CA", Organization: []string{cfg.ProjectName}},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(cfg.Validity),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pemBytes := pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+	return cert, key, pemBytes, nil
+}
+
+// issueCert creates a leaf certificate signed by the project CA.
+func issueCert(cfg Config, caCert *x509.Certificate, caKey *ecdsa.PrivateKey, name string, isServer bool) (certPEM, keyPEM []byte, err error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	serial, err := rand.Int(rand.Reader, big.NewInt(1<<62))
+	if err != nil {
+		return nil, nil, err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: serial,
+		Subject:      pkix.Name{CommonName: name, Organization: []string{cfg.ProjectName}},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(cfg.Validity),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+	}
+	if isServer {
+		tmpl.ExtKeyUsage = []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth}
+		tmpl.DNSNames = []string{name, "localhost"}
+	} else {
+		tmpl.ExtKeyUsage = []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, caCert, &key.PublicKey, caKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	certPEM = pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+	keyPEM = pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER})
+	return certPEM, keyPEM, nil
+}
+
+// ServerTLS builds the mutual-TLS server configuration from a server kit.
+func (k *StartupKit) ServerTLS() (*tls.Config, error) {
+	if k.Role != RoleServer {
+		return nil, fmt.Errorf("provision: ServerTLS on %s kit", k.Role)
+	}
+	cert, err := tls.X509KeyPair(k.CertPEM, k.KeyPEM)
+	if err != nil {
+		return nil, fmt.Errorf("provision: server keypair: %w", err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(k.CACertPEM) {
+		return nil, errors.New("provision: bad CA PEM")
+	}
+	return &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		ClientAuth:   tls.RequireAndVerifyClientCert,
+		ClientCAs:    pool,
+		MinVersion:   tls.VersionTLS12,
+	}, nil
+}
+
+// ClientTLS builds the mutual-TLS client configuration from a client kit.
+func (k *StartupKit) ClientTLS() (*tls.Config, error) {
+	if k.Role != RoleClient {
+		return nil, fmt.Errorf("provision: ClientTLS on %s kit", k.Role)
+	}
+	cert, err := tls.X509KeyPair(k.CertPEM, k.KeyPEM)
+	if err != nil {
+		return nil, fmt.Errorf("provision: client keypair: %w", err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(k.CACertPEM) {
+		return nil, errors.New("provision: bad CA PEM")
+	}
+	return &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		RootCAs:      pool,
+		ServerName:   k.ServerName,
+		MinVersion:   tls.VersionTLS12,
+	}, nil
+}

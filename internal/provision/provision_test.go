@@ -1,0 +1,214 @@
+package provision
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"encoding/pem"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testProvision(t *testing.T) *Project {
+	t.Helper()
+	proj, err := Provision(Config{
+		ProjectName: "test-fed",
+		ServerName:  "localhost",
+		ClientNames: []string{"alpha", "beta"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proj
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{ServerName: "s", ClientNames: []string{"a"}},
+		{ProjectName: "p", ClientNames: []string{"a"}},
+		{ProjectName: "p", ServerName: "s"},
+		{ProjectName: "p", ServerName: "s", ClientNames: []string{""}},
+		{ProjectName: "p", ServerName: "s", ClientNames: []string{"a", "a"}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("case %d: want validation error", i)
+		}
+	}
+}
+
+func TestProvisionEmitsAllKits(t *testing.T) {
+	proj := testProvision(t)
+	if proj.ServerKit == nil || proj.ServerKit.Role != RoleServer {
+		t.Fatal("server kit missing or misrolled")
+	}
+	if len(proj.ClientKits) != 2 {
+		t.Fatalf("client kits %d", len(proj.ClientKits))
+	}
+	for name, kit := range proj.ClientKits {
+		if kit.Role != RoleClient || kit.Name != name {
+			t.Fatalf("kit %q malformed: %+v", name, kit.Role)
+		}
+		if kit.Token == "" {
+			t.Fatal("empty admission token")
+		}
+		if kit.ServerName != "localhost" {
+			t.Fatalf("kit server name %q", kit.ServerName)
+		}
+	}
+}
+
+func TestCertificatesChainToProjectCA(t *testing.T) {
+	proj := testProvision(t)
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(proj.CACertPEM) {
+		t.Fatal("bad CA PEM")
+	}
+	for _, kit := range []*StartupKit{proj.ServerKit, proj.ClientKits["alpha"]} {
+		block, _ := pem.Decode(kit.CertPEM)
+		if block == nil {
+			t.Fatal("bad cert PEM")
+		}
+		cert, err := x509.ParseCertificate(block.Bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		usage := x509.ExtKeyUsageClientAuth
+		if kit.Role == RoleServer {
+			usage = x509.ExtKeyUsageServerAuth
+		}
+		if _, err := cert.Verify(x509.VerifyOptions{
+			Roots:     pool,
+			KeyUsages: []x509.ExtKeyUsage{usage},
+		}); err != nil {
+			t.Fatalf("%s cert does not chain to CA: %v", kit.Role, err)
+		}
+		if cert.Subject.CommonName != kit.Name {
+			t.Fatalf("cert CN %q != kit name %q", cert.Subject.CommonName, kit.Name)
+		}
+	}
+}
+
+func TestTokens(t *testing.T) {
+	proj := testProvision(t)
+	tok := proj.ClientKits["alpha"].Token
+	if !proj.VerifyToken("alpha", tok) {
+		t.Fatal("valid token rejected")
+	}
+	if proj.VerifyToken("beta", tok) {
+		t.Fatal("token valid for wrong identity")
+	}
+	if proj.VerifyToken("alpha", "forged") {
+		t.Fatal("forged token accepted")
+	}
+	// Two provisioning runs must not share tokens (fresh secrets).
+	proj2 := testProvision(t)
+	if proj2.VerifyToken("alpha", tok) {
+		t.Fatal("token from another project accepted")
+	}
+}
+
+func TestMutualTLSHandshake(t *testing.T) {
+	proj := testProvision(t)
+	serverCfg, err := proj.ServerKit.ServerTLS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientCfg, err := proj.ClientKits["alpha"].ClientTLS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", serverCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 5)
+		if _, err := conn.Read(buf); err != nil {
+			done <- err
+			return
+		}
+		_, err = conn.Write(buf)
+		done <- err
+	}()
+
+	d := &net.Dialer{Timeout: 2 * time.Second}
+	conn, err := tls.DialWithDialer(d, "tcp", ln.Addr().String(), clientCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("echo got %q", buf)
+	}
+}
+
+func TestTLSRoleMisuse(t *testing.T) {
+	proj := testProvision(t)
+	if _, err := proj.ServerKit.ClientTLS(); err == nil {
+		t.Fatal("server kit should not build client TLS")
+	}
+	if _, err := proj.ClientKits["alpha"].ServerTLS(); err == nil {
+		t.Fatal("client kit should not build server TLS")
+	}
+}
+
+func TestKitDiskRoundTrip(t *testing.T) {
+	proj := testProvision(t)
+	dir := t.TempDir()
+	if err := WriteProject(dir, proj); err != nil {
+		t.Fatal(err)
+	}
+	kit, err := ReadKit(filepath.Join(dir, "alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := proj.ClientKits["alpha"]
+	if kit.Name != orig.Name || kit.Token != orig.Token || kit.Role != orig.Role {
+		t.Fatal("kit metadata changed on disk round trip")
+	}
+	if string(kit.CertPEM) != string(orig.CertPEM) || string(kit.KeyPEM) != string(orig.KeyPEM) {
+		t.Fatal("kit PEMs changed on disk round trip")
+	}
+	// Loaded kits must still build TLS configs.
+	if _, err := kit.ClientTLS(); err != nil {
+		t.Fatal(err)
+	}
+
+	verify, err := TokenVerifier(filepath.Join(dir, "server"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verify("alpha", orig.Token) {
+		t.Fatal("disk token verifier rejected valid token")
+	}
+	if verify("alpha", "forged") || verify("gamma", orig.Token) {
+		t.Fatal("disk token verifier accepted invalid credentials")
+	}
+}
+
+func TestReadKitMissingDir(t *testing.T) {
+	if _, err := ReadKit(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("want error for missing kit")
+	}
+}

@@ -1,0 +1,67 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// binary wire format: int64 rows, int64 cols, then rows*cols float64 bits,
+// all little-endian. Used for model checkpoints and FL parameter transfer.
+
+// WriteTo serializes m to w in the package's binary format.
+func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(m.rows))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(m.cols))
+	k, err := w.Write(hdr)
+	n += int64(k)
+	if err != nil {
+		return n, fmt.Errorf("tensor: write header: %w", err)
+	}
+	buf := make([]byte, 8*len(m.data))
+	for i, v := range m.data {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	k, err = w.Write(buf)
+	n += int64(k)
+	if err != nil {
+		return n, fmt.Errorf("tensor: write data: %w", err)
+	}
+	return n, nil
+}
+
+// ReadFrom deserializes a matrix from r, replacing m's contents.
+func (m *Matrix) ReadFrom(r io.Reader) (int64, error) {
+	var n int64
+	hdr := make([]byte, 16)
+	k, err := io.ReadFull(r, hdr)
+	n += int64(k)
+	if err != nil {
+		return n, fmt.Errorf("tensor: read header: %w", err)
+	}
+	rows := int(binary.LittleEndian.Uint64(hdr[0:8]))
+	cols := int(binary.LittleEndian.Uint64(hdr[8:16]))
+	if rows < 0 || cols < 0 || rows*cols > 1<<30 {
+		return n, fmt.Errorf("tensor: implausible dimensions %dx%d", rows, cols)
+	}
+	buf := make([]byte, 8*rows*cols)
+	k, err = io.ReadFull(r, buf)
+	n += int64(k)
+	if err != nil {
+		return n, fmt.Errorf("tensor: read data: %w", err)
+	}
+	m.rows, m.cols = rows, cols
+	m.data = make([]float64, rows*cols)
+	for i := range m.data {
+		m.data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return n, nil
+}
+
+var (
+	_ io.WriterTo   = (*Matrix)(nil)
+	_ io.ReaderFrom = (*Matrix)(nil)
+)

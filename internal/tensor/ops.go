@@ -1,0 +1,439 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// matmulParallelThreshold is the minimum number of output elements before
+// MatMul fans out across goroutines; below it the goroutine overhead
+// dominates.
+const matmulParallelThreshold = 64 * 64
+
+// MatMul returns a×b. a is m×k, b is k×n, result is m×n.
+func MatMul(a, b *Matrix) (*Matrix, error) {
+	if a.cols != b.rows {
+		return nil, fmt.Errorf("%w: MatMul %dx%d × %dx%d",
+			ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := New(a.rows, b.cols)
+	matmulInto(out, a, b)
+	return out, nil
+}
+
+// MatMulInto computes dst = a×b without allocating. dst must be a.rows×b.cols
+// and is overwritten.
+func MatMulInto(dst, a, b *Matrix) error {
+	if a.cols != b.rows {
+		return fmt.Errorf("%w: MatMulInto %dx%d × %dx%d",
+			ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		return fmt.Errorf("%w: MatMulInto dst %dx%d, want %dx%d",
+			ErrShape, dst.rows, dst.cols, a.rows, b.cols)
+	}
+	dst.Zero()
+	matmulInto(dst, a, b)
+	return nil
+}
+
+// matmulInto accumulates a×b into out (out must be zeroed by the caller).
+// The kernel is an ikj loop (streaming over b's rows) which is cache-friendly
+// for row-major data, parallelized over blocks of output rows.
+func matmulInto(out, a, b *Matrix) {
+	m, k, n := a.rows, a.cols, b.cols
+	work := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*k : (i+1)*k]
+			orow := out.data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b.data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+	if m*n < matmulParallelThreshold {
+		work(0, m)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			work(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMulTransB returns a×bᵀ. a is m×k, b is n×k, result is m×n. This avoids
+// materializing the transpose in attention and backward passes.
+func MatMulTransB(a, b *Matrix) (*Matrix, error) {
+	if a.cols != b.cols {
+		return nil, fmt.Errorf("%w: MatMulTransB %dx%d × (%dx%d)ᵀ",
+			ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	m, k, n := a.rows, a.cols, b.rows
+	out := New(m, n)
+	work := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*k : (i+1)*k]
+			orow := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.data[j*k : (j+1)*k]
+				var s float64
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				orow[j] = s
+			}
+		}
+	}
+	if m*n < matmulParallelThreshold {
+		work(0, m)
+		return out, nil
+	}
+	parallelRows(m, work)
+	return out, nil
+}
+
+// MatMulTransA returns aᵀ×b. a is k×m, b is k×n, result is m×n.
+func MatMulTransA(a, b *Matrix) (*Matrix, error) {
+	if a.rows != b.rows {
+		return nil, fmt.Errorf("%w: MatMulTransA (%dx%d)ᵀ × %dx%d",
+			ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	k, m, n := a.rows, a.cols, b.cols
+	out := New(m, n)
+	// out[i][j] = sum_p a[p][i] * b[p][j]; stream over p for cache locality.
+	work := func(lo, hi int) {
+		for p := 0; p < k; p++ {
+			arow := a.data[p*m : (p+1)*m]
+			brow := b.data[p*n : (p+1)*n]
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				orow := out.data[i*n : (i+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+	work(0, m) // parallelizing over i inside the p loop races on nothing, but keep serial: k is usually small
+	return out, nil
+}
+
+// parallelRows splits [0,m) row ranges across GOMAXPROCS workers and waits.
+func parallelRows(m int, work func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			work(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.data[j*m.rows+i] = v
+		}
+	}
+	return t
+}
+
+// Add returns a+b elementwise.
+func Add(a, b *Matrix) (*Matrix, error) {
+	if !a.SameShape(b) {
+		return nil, fmt.Errorf("%w: Add %dx%d + %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] += v
+	}
+	return out, nil
+}
+
+// AddInPlace computes m += o.
+func (m *Matrix) AddInPlace(o *Matrix) error {
+	if !m.SameShape(o) {
+		return fmt.Errorf("%w: AddInPlace %dx%d += %dx%d", ErrShape, m.rows, m.cols, o.rows, o.cols)
+	}
+	for i, v := range o.data {
+		m.data[i] += v
+	}
+	return nil
+}
+
+// AddScaledInPlace computes m += alpha*o (axpy).
+func (m *Matrix) AddScaledInPlace(alpha float64, o *Matrix) error {
+	if !m.SameShape(o) {
+		return fmt.Errorf("%w: AddScaledInPlace %dx%d += %dx%d",
+			ErrShape, m.rows, m.cols, o.rows, o.cols)
+	}
+	for i, v := range o.data {
+		m.data[i] += alpha * v
+	}
+	return nil
+}
+
+// Sub returns a-b elementwise.
+func Sub(a, b *Matrix) (*Matrix, error) {
+	if !a.SameShape(b) {
+		return nil, fmt.Errorf("%w: Sub %dx%d - %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] -= v
+	}
+	return out, nil
+}
+
+// Mul returns the Hadamard (elementwise) product a⊙b.
+func Mul(a, b *Matrix) (*Matrix, error) {
+	if !a.SameShape(b) {
+		return nil, fmt.Errorf("%w: Mul %dx%d ⊙ %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] *= v
+	}
+	return out, nil
+}
+
+// Scale returns alpha*m.
+func Scale(alpha float64, m *Matrix) *Matrix {
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] *= alpha
+	}
+	return out
+}
+
+// ScaleInPlace computes m *= alpha.
+func (m *Matrix) ScaleInPlace(alpha float64) {
+	for i := range m.data {
+		m.data[i] *= alpha
+	}
+}
+
+// AddRowVector returns m with v (1×cols) added to every row.
+func AddRowVector(m, v *Matrix) (*Matrix, error) {
+	if v.rows != 1 || v.cols != m.cols {
+		return nil, fmt.Errorf("%w: AddRowVector %dx%d + %dx%d",
+			ErrShape, m.rows, m.cols, v.rows, v.cols)
+	}
+	out := m.Clone()
+	for i := 0; i < m.rows; i++ {
+		row := out.Row(i)
+		for j, b := range v.data {
+			row[j] += b
+		}
+	}
+	return out, nil
+}
+
+// SumRows returns a 1×cols matrix with the column sums of m (i.e. the sum
+// over rows).
+func SumRows(m *Matrix) *Matrix {
+	out := New(1, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.data[j] += v
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the mean of all elements (0 for an empty matrix).
+func (m *Matrix) Mean() float64 {
+	if len(m.data) == 0 {
+		return 0
+	}
+	return m.Sum() / float64(len(m.data))
+}
+
+// MaxAbs returns the largest absolute element value (0 for empty).
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Norm returns the Frobenius norm.
+func (m *Matrix) Norm() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Apply returns a new matrix with f applied elementwise.
+func (m *Matrix) Apply(f func(float64) float64) *Matrix {
+	out := New(m.rows, m.cols)
+	for i, v := range m.data {
+		out.data[i] = f(v)
+	}
+	return out
+}
+
+// ApplyInPlace applies f elementwise in place.
+func (m *Matrix) ApplyInPlace(f func(float64) float64) {
+	for i, v := range m.data {
+		m.data[i] = f(v)
+	}
+}
+
+// SoftmaxRows returns row-wise softmax of m, numerically stabilized by
+// subtracting each row's max.
+func SoftmaxRows(m *Matrix) *Matrix {
+	out := New(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		src := m.Row(i)
+		dst := out.Row(i)
+		softmaxRow(dst, src)
+	}
+	return out
+}
+
+// softmaxRow writes softmax(src) into dst.
+func softmaxRow(dst, src []float64) {
+	mx := math.Inf(-1)
+	for _, v := range src {
+		if v > mx {
+			mx = v
+		}
+	}
+	var sum float64
+	for j, v := range src {
+		e := math.Exp(v - mx)
+		dst[j] = e
+		sum += e
+	}
+	if sum == 0 {
+		return
+	}
+	inv := 1 / sum
+	for j := range dst {
+		dst[j] *= inv
+	}
+}
+
+// ArgmaxRows returns, for each row, the index of its maximum element.
+func ArgmaxRows(m *Matrix) []int {
+	out := make([]int, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		best, bi := math.Inf(-1), 0
+		for j, v := range row {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}
+
+// Concat stacks matrices vertically (same column count).
+func Concat(ms ...*Matrix) (*Matrix, error) {
+	if len(ms) == 0 {
+		return New(0, 0), nil
+	}
+	cols := ms[0].cols
+	total := 0
+	for _, m := range ms {
+		if m.cols != cols {
+			return nil, fmt.Errorf("%w: Concat col mismatch %d vs %d", ErrShape, m.cols, cols)
+		}
+		total += m.rows
+	}
+	out := New(total, cols)
+	off := 0
+	for _, m := range ms {
+		copy(out.data[off:off+len(m.data)], m.data)
+		off += len(m.data)
+	}
+	return out, nil
+}
+
+// SliceRows returns a copy of rows [lo, hi).
+func (m *Matrix) SliceRows(lo, hi int) (*Matrix, error) {
+	if lo < 0 || hi > m.rows || lo > hi {
+		return nil, fmt.Errorf("%w: SliceRows [%d,%d) of %d rows", ErrShape, lo, hi, m.rows)
+	}
+	out := New(hi-lo, m.cols)
+	copy(out.data, m.data[lo*m.cols:hi*m.cols])
+	return out, nil
+}
+
+// SliceCols returns a copy of columns [lo, hi).
+func (m *Matrix) SliceCols(lo, hi int) (*Matrix, error) {
+	if lo < 0 || hi > m.cols || lo > hi {
+		return nil, fmt.Errorf("%w: SliceCols [%d,%d) of %d cols", ErrShape, lo, hi, m.cols)
+	}
+	out := New(m.rows, hi-lo)
+	for i := 0; i < m.rows; i++ {
+		copy(out.Row(i), m.Row(i)[lo:hi])
+	}
+	return out, nil
+}

@@ -1,0 +1,234 @@
+// Package token implements the clinical vocabulary and a WordPiece-style
+// tokenizer with the BERT special tokens ([PAD] [UNK] [CLS] [SEP] [MASK]).
+//
+// Clinical event streams are already discrete codes ("RX_CLOPIDOGREL",
+// "DX_I21_4", ...), so whole-token lookup covers the common case; rare or
+// unseen codes fall back to greedy longest-match WordPiece segmentation so
+// the model still sees their sub-structure instead of a bare [UNK].
+package token
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Special-token ids occupy the lowest vocabulary slots, matching BERT's
+// layout.
+const (
+	PAD  = 0
+	UNK  = 1
+	CLS  = 2
+	SEP  = 3
+	MASK = 4
+
+	// NumSpecial is the count of reserved special tokens.
+	NumSpecial = 5
+)
+
+// specialNames maps the reserved ids to their printed forms.
+var specialNames = [NumSpecial]string{"[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]"}
+
+// ErrEmptyCorpus is returned by BuildVocab on empty input.
+var ErrEmptyCorpus = errors.New("token: empty corpus")
+
+// Vocab maps tokens to contiguous ids with the special tokens first.
+type Vocab struct {
+	idOf  map[string]int
+	words []string
+}
+
+// BuildVocab constructs a vocabulary from a tokenized corpus, keeping
+// tokens seen at least minFreq times up to maxSize entries (most frequent
+// first; ties broken lexicographically for determinism). Character-level
+// continuation pieces ("##x") are always added for every byte seen, so
+// WordPiece segmentation can never fail entirely.
+func BuildVocab(corpus [][]string, minFreq, maxSize int) (*Vocab, error) {
+	if len(corpus) == 0 {
+		return nil, ErrEmptyCorpus
+	}
+	if minFreq < 1 {
+		minFreq = 1
+	}
+	freq := make(map[string]int)
+	chars := make(map[byte]bool)
+	for _, sent := range corpus {
+		for _, tok := range sent {
+			freq[tok]++
+			for i := 0; i < len(tok); i++ {
+				chars[tok[i]] = true
+			}
+		}
+	}
+	type tf struct {
+		tok string
+		n   int
+	}
+	cands := make([]tf, 0, len(freq))
+	for tok, n := range freq {
+		if n >= minFreq {
+			cands = append(cands, tf{tok, n})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].n != cands[j].n {
+			return cands[i].n > cands[j].n
+		}
+		return cands[i].tok < cands[j].tok
+	})
+
+	v := &Vocab{idOf: make(map[string]int)}
+	for _, name := range specialNames {
+		v.add(name)
+	}
+	// Character pieces guarantee full coverage.
+	charList := make([]string, 0, 2*len(chars))
+	for c := range chars {
+		charList = append(charList, string(c), "##"+string(c))
+	}
+	sort.Strings(charList)
+	for _, p := range charList {
+		v.add(p)
+	}
+	for _, c := range cands {
+		if maxSize > 0 && v.Size() >= maxSize {
+			break
+		}
+		v.add(c.tok)
+	}
+	return v, nil
+}
+
+// add inserts tok if absent.
+func (v *Vocab) add(tok string) {
+	if _, ok := v.idOf[tok]; ok {
+		return
+	}
+	v.idOf[tok] = len(v.words)
+	v.words = append(v.words, tok)
+}
+
+// Size returns the vocabulary size including specials.
+func (v *Vocab) Size() int { return len(v.words) }
+
+// ID returns the id of tok and whether it is present.
+func (v *Vocab) ID(tok string) (int, bool) {
+	id, ok := v.idOf[tok]
+	return id, ok
+}
+
+// Token returns the string form of id ("[UNK]" for out-of-range).
+func (v *Vocab) Token(id int) string {
+	if id < 0 || id >= len(v.words) {
+		return specialNames[UNK]
+	}
+	return v.words[id]
+}
+
+// Words returns a copy of the vocabulary in id order.
+func (v *Vocab) Words() []string {
+	return append([]string(nil), v.words...)
+}
+
+// Tokenizer encodes clinical token streams into model-ready id sequences.
+type Tokenizer struct {
+	vocab  *Vocab
+	maxLen int
+}
+
+// NewTokenizer wraps vocab with a maximum encoded length (including [CLS]
+// and [SEP]).
+func NewTokenizer(vocab *Vocab, maxLen int) (*Tokenizer, error) {
+	if maxLen < 3 {
+		return nil, fmt.Errorf("token: maxLen %d too small (need >= 3)", maxLen)
+	}
+	return &Tokenizer{vocab: vocab, maxLen: maxLen}, nil
+}
+
+// Vocab returns the underlying vocabulary.
+func (t *Tokenizer) Vocab() *Vocab { return t.vocab }
+
+// MaxLen returns the fixed encoded sequence length.
+func (t *Tokenizer) MaxLen() int { return t.maxLen }
+
+// wordpiece greedily segments tok into vocabulary pieces, returning nil if
+// segmentation fails (which cannot happen for byte-covered vocabularies
+// built by BuildVocab).
+func (t *Tokenizer) wordpiece(tok string) []int {
+	var out []int
+	start := 0
+	for start < len(tok) {
+		end := len(tok)
+		found := -1
+		for end > start {
+			piece := tok[start:end]
+			if start > 0 {
+				piece = "##" + piece
+			}
+			if id, ok := t.vocab.ID(piece); ok {
+				found = id
+				break
+			}
+			end--
+		}
+		if found < 0 {
+			return nil
+		}
+		out = append(out, found)
+		start = end
+	}
+	return out
+}
+
+// EncodeTokens maps raw tokens to ids (no specials, no padding) using
+// whole-token lookup with WordPiece fallback.
+func (t *Tokenizer) EncodeTokens(tokens []string) []int {
+	out := make([]int, 0, len(tokens))
+	for _, tok := range tokens {
+		if id, ok := t.vocab.ID(tok); ok {
+			out = append(out, id)
+			continue
+		}
+		if pieces := t.wordpiece(tok); pieces != nil {
+			out = append(out, pieces...)
+			continue
+		}
+		out = append(out, UNK)
+	}
+	return out
+}
+
+// Encode produces a fixed-length id sequence
+// [CLS] tok... [SEP] [PAD]... together with a padding mask (true = [PAD]).
+// Sequences longer than maxLen-2 are truncated from the end.
+func (t *Tokenizer) Encode(tokens []string) (ids []int, padMask []bool) {
+	body := t.EncodeTokens(tokens)
+	if len(body) > t.maxLen-2 {
+		body = body[:t.maxLen-2]
+	}
+	ids = make([]int, t.maxLen)
+	padMask = make([]bool, t.maxLen)
+	ids[0] = CLS
+	copy(ids[1:], body)
+	ids[1+len(body)] = SEP
+	for i := 2 + len(body); i < t.maxLen; i++ {
+		ids[i] = PAD
+		padMask[i] = true
+	}
+	return ids, padMask
+}
+
+// Decode maps ids back to token strings, skipping [PAD].
+func (t *Tokenizer) Decode(ids []int) []string {
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if id == PAD {
+			continue
+		}
+		out = append(out, t.vocab.Token(id))
+	}
+	return out
+}
+
+// IsSpecial reports whether id is one of the reserved special tokens.
+func IsSpecial(id int) bool { return id >= 0 && id < NumSpecial }

@@ -1,0 +1,227 @@
+package token
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func buildTestVocab(t *testing.T) *Vocab {
+	t.Helper()
+	corpus := [][]string{
+		{"RX_ASPIRIN", "DX_I10", "RX_ASPIRIN"},
+		{"DX_I10", "LAB_HGB_LOW", "RX_METFORMIN"},
+	}
+	v, err := BuildVocab(corpus, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestBuildVocabEmpty(t *testing.T) {
+	if _, err := BuildVocab(nil, 1, 0); !errors.Is(err, ErrEmptyCorpus) {
+		t.Fatalf("want ErrEmptyCorpus, got %v", err)
+	}
+}
+
+func TestSpecialTokensFirst(t *testing.T) {
+	v := buildTestVocab(t)
+	for id, want := range map[int]string{PAD: "[PAD]", UNK: "[UNK]", CLS: "[CLS]", SEP: "[SEP]", MASK: "[MASK]"} {
+		if got := v.Token(id); got != want {
+			t.Fatalf("Token(%d) = %q, want %q", id, got, want)
+		}
+	}
+}
+
+func TestVocabLookup(t *testing.T) {
+	v := buildTestVocab(t)
+	id, ok := v.ID("RX_ASPIRIN")
+	if !ok {
+		t.Fatal("RX_ASPIRIN missing")
+	}
+	if v.Token(id) != "RX_ASPIRIN" {
+		t.Fatalf("round trip got %q", v.Token(id))
+	}
+	if _, ok := v.ID("NOT_A_TOKEN_ZZZ"); ok {
+		t.Fatal("unexpected token present")
+	}
+}
+
+func TestVocabFrequencyOrdering(t *testing.T) {
+	corpus := [][]string{{"COMMON", "COMMON", "COMMON", "RARE"}}
+	v, err := BuildVocab(corpus, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, _ := v.ID("COMMON")
+	ri, _ := v.ID("RARE")
+	if ci >= ri {
+		t.Fatalf("COMMON id %d should precede RARE id %d", ci, ri)
+	}
+}
+
+func TestVocabMinFreq(t *testing.T) {
+	corpus := [][]string{{"AAA", "AAA", "BBB"}}
+	v, err := BuildVocab(corpus, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v.ID("AAA"); !ok {
+		t.Fatal("AAA should survive minFreq=2")
+	}
+	if _, ok := v.ID("BBB"); ok {
+		t.Fatal("BBB should be pruned at minFreq=2")
+	}
+}
+
+func TestVocabDeterminism(t *testing.T) {
+	corpus := [][]string{{"B", "A", "C"}, {"C", "A"}}
+	v1, _ := BuildVocab(corpus, 1, 0)
+	v2, _ := BuildVocab(corpus, 1, 0)
+	w1, w2 := v1.Words(), v2.Words()
+	if len(w1) != len(w2) {
+		t.Fatal("sizes differ")
+	}
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatalf("word %d differs: %q vs %q", i, w1[i], w2[i])
+		}
+	}
+}
+
+func TestEncodeLayout(t *testing.T) {
+	v := buildTestVocab(t)
+	tok, err := NewTokenizer(v, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, padMask := tok.Encode([]string{"RX_ASPIRIN", "DX_I10"})
+	if len(ids) != 8 || len(padMask) != 8 {
+		t.Fatalf("lengths %d/%d", len(ids), len(padMask))
+	}
+	if ids[0] != CLS {
+		t.Fatalf("ids[0] = %d, want CLS", ids[0])
+	}
+	if ids[3] != SEP {
+		t.Fatalf("ids[3] = %d, want SEP", ids[3])
+	}
+	for i := 4; i < 8; i++ {
+		if ids[i] != PAD || !padMask[i] {
+			t.Fatalf("position %d should be padding", i)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if padMask[i] {
+			t.Fatalf("position %d wrongly masked", i)
+		}
+	}
+}
+
+func TestEncodeTruncates(t *testing.T) {
+	v := buildTestVocab(t)
+	tok, err := NewTokenizer(v, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := tok.Encode([]string{"RX_ASPIRIN", "DX_I10", "RX_METFORMIN", "LAB_HGB_LOW"})
+	if len(ids) != 4 {
+		t.Fatalf("len %d", len(ids))
+	}
+	if ids[0] != CLS || ids[3] != SEP {
+		t.Fatalf("truncated layout wrong: %v", ids)
+	}
+}
+
+func TestWordPieceFallback(t *testing.T) {
+	v := buildTestVocab(t)
+	tok, err := NewTokenizer(v, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "DX_I10X" is unseen but decomposes into seen characters; must not
+	// produce UNK.
+	out := tok.EncodeTokens([]string{"DX_I10X"})
+	if len(out) == 0 {
+		t.Fatal("empty encoding")
+	}
+	for _, id := range out {
+		if id == UNK {
+			t.Fatal("wordpiece fallback produced UNK for decomposable token")
+		}
+	}
+}
+
+func TestUNKForUndecomposable(t *testing.T) {
+	v := buildTestVocab(t)
+	tok, err := NewTokenizer(v, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 'z' never appears in the corpus so "zzz" cannot be segmented.
+	out := tok.EncodeTokens([]string{"zzz"})
+	if len(out) != 1 || out[0] != UNK {
+		t.Fatalf("want [UNK], got %v", out)
+	}
+}
+
+func TestDecodeSkipsPad(t *testing.T) {
+	v := buildTestVocab(t)
+	tok, _ := NewTokenizer(v, 8)
+	ids, _ := tok.Encode([]string{"DX_I10"})
+	toks := tok.Decode(ids)
+	for _, s := range toks {
+		if s == "[PAD]" {
+			t.Fatal("Decode leaked [PAD]")
+		}
+	}
+	if toks[0] != "[CLS]" || toks[1] != "DX_I10" || toks[2] != "[SEP]" {
+		t.Fatalf("decoded %v", toks)
+	}
+}
+
+func TestNewTokenizerRejectsTinyMaxLen(t *testing.T) {
+	v := buildTestVocab(t)
+	if _, err := NewTokenizer(v, 2); err == nil {
+		t.Fatal("want error for maxLen 2")
+	}
+}
+
+// Property: Encode always emits exactly maxLen ids with CLS first and
+// non-pad positions unmasked.
+func TestEncodeShapeProperty(t *testing.T) {
+	v := buildTestVocab(t)
+	tok, _ := NewTokenizer(v, 10)
+	words := v.Words()[NumSpecial:] // special strings would encode to reserved ids
+	f := func(seed uint32, n uint8) bool {
+		cnt := int(n%20) + 1
+		toks := make([]string, cnt)
+		for i := range toks {
+			toks[i] = words[int(seed+uint32(i)*7)%len(words)]
+		}
+		ids, padMask := tok.Encode(toks)
+		if len(ids) != 10 || len(padMask) != 10 || ids[0] != CLS {
+			return false
+		}
+		for i, pad := range padMask {
+			if pad != (ids[i] == PAD) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsSpecial(t *testing.T) {
+	for id := 0; id < NumSpecial; id++ {
+		if !IsSpecial(id) {
+			t.Fatalf("id %d should be special", id)
+		}
+	}
+	if IsSpecial(NumSpecial) || IsSpecial(-1) {
+		t.Fatal("non-special misclassified")
+	}
+}

@@ -1,0 +1,194 @@
+// Package train implements the local training loop shared by the
+// centralized, standalone and federated experiments: data-parallel
+// minibatch gradient computation across goroutines, gradient clipping, and
+// epoch orchestration.
+//
+// Parallelism model: model parameters are read-only during forward/backward
+// passes, so workers each run their sub-batch on a private autograd tape
+// and harvest gradients into worker-local buffers; the step then reduces
+// buffers into the shared accumulators and applies the optimizer once.
+package train
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"clinfl/internal/autograd"
+	"clinfl/internal/nn"
+	"clinfl/internal/opt"
+	"clinfl/internal/tensor"
+)
+
+// LossFunc computes the summed loss over items on ctx's tape, returning the
+// loss node and the number of loss-contributing units (examples for
+// classification, masked positions for MLM).
+type LossFunc[T any] func(ctx *nn.Ctx, items []T) (*autograd.Node, int, error)
+
+// Config controls the training loop.
+type Config struct {
+	// BatchSize is the minibatch size (default 32).
+	BatchSize int
+	// Workers is the data-parallel goroutine count (default GOMAXPROCS).
+	Workers int
+	// ClipNorm caps the global gradient L2 norm (0 disables).
+	ClipNorm float64
+	// Seed drives shuffling and dropout.
+	Seed int64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Step computes gradients for one minibatch in parallel, applies clipping
+// and one optimizer update, and returns the mean per-unit loss.
+func Step[T any](params []*nn.Param, items []T, lossFn LossFunc[T], optimizer opt.Optimizer, cfg Config) (float64, error) {
+	cfg = cfg.withDefaults()
+	if len(items) == 0 {
+		return 0, errors.New("train: empty batch")
+	}
+	workers := cfg.Workers
+	if workers > len(items) {
+		workers = len(items)
+	}
+
+	type result struct {
+		grads map[*nn.Param]*tensor.Matrix
+		loss  float64
+		count int
+		err   error
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	chunk := (len(items) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(items) {
+			hi = len(items)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			ctx := nn.NewCtx(true, tensor.NewRNG(cfg.Seed+int64(w)*1_000_003))
+			loss, count, err := lossFn(ctx, items[lo:hi])
+			if err != nil {
+				results[w] = result{err: err}
+				return
+			}
+			if err := ctx.Tape.Backward(loss); err != nil {
+				results[w] = result{err: err}
+				return
+			}
+			grads := make(map[*nn.Param]*tensor.Matrix)
+			if err := ctx.HarvestInto(grads); err != nil {
+				results[w] = result{err: err}
+				return
+			}
+			results[w] = result{grads: grads, loss: loss.Value.At(0, 0), count: count}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	var totalLoss float64
+	totalCount := 0
+	for _, r := range results {
+		if r.err != nil {
+			return 0, fmt.Errorf("train: worker: %w", r.err)
+		}
+		totalLoss += r.loss
+		totalCount += r.count
+	}
+	if totalCount == 0 {
+		return 0, errors.New("train: batch contributed no loss units")
+	}
+
+	// Reduce worker gradients into the shared accumulators, normalizing to
+	// a mean over loss units.
+	inv := 1 / float64(totalCount)
+	for _, r := range results {
+		for p, g := range r.grads {
+			if err := p.Grad.AddScaledInPlace(inv, g); err != nil {
+				return 0, fmt.Errorf("train: reduce %q: %w", p.Name, err)
+			}
+		}
+	}
+	opt.ClipGradNorm(params, cfg.ClipNorm)
+	if err := optimizer.Step(params); err != nil {
+		return 0, fmt.Errorf("train: optimizer: %w", err)
+	}
+	opt.ZeroGrads(params)
+	return totalLoss / float64(totalCount), nil
+}
+
+// Epoch shuffles items and runs Step over consecutive minibatches,
+// returning the mean per-unit loss across the epoch.
+func Epoch[T any](params []*nn.Param, items []T, lossFn LossFunc[T], optimizer opt.Optimizer, cfg Config) (float64, error) {
+	cfg = cfg.withDefaults()
+	if len(items) == 0 {
+		return 0, errors.New("train: empty epoch")
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	shuffled := append([]T(nil), items...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	var lossSum float64
+	batches := 0
+	for lo := 0; lo < len(shuffled); lo += cfg.BatchSize {
+		hi := lo + cfg.BatchSize
+		if hi > len(shuffled) {
+			hi = len(shuffled)
+		}
+		stepCfg := cfg
+		stepCfg.Seed = cfg.Seed + int64(lo)
+		loss, err := Step(params, shuffled[lo:hi], lossFn, optimizer, stepCfg)
+		if err != nil {
+			return 0, fmt.Errorf("train: batch at %d: %w", lo, err)
+		}
+		lossSum += loss
+		batches++
+	}
+	return lossSum / float64(batches), nil
+}
+
+// EvalLoss computes the mean per-unit loss over items without updating
+// parameters (used for validation curves).
+func EvalLoss[T any](items []T, lossFn LossFunc[T], batchSize int, seed int64) (float64, error) {
+	if len(items) == 0 {
+		return 0, errors.New("train: empty eval set")
+	}
+	if batchSize <= 0 {
+		batchSize = 32
+	}
+	var total float64
+	count := 0
+	for lo := 0; lo < len(items); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(items) {
+			hi = len(items)
+		}
+		ctx := nn.NewCtx(false, tensor.NewRNG(seed))
+		loss, n, err := lossFn(ctx, items[lo:hi])
+		if err != nil {
+			return 0, fmt.Errorf("train: eval batch at %d: %w", lo, err)
+		}
+		total += loss.Value.At(0, 0)
+		count += n
+	}
+	if count == 0 {
+		return 0, errors.New("train: eval contributed no loss units")
+	}
+	return total / float64(count), nil
+}

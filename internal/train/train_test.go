@@ -1,0 +1,172 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"clinfl/internal/autograd"
+	"clinfl/internal/nn"
+	"clinfl/internal/opt"
+	"clinfl/internal/tensor"
+)
+
+// linReg is a 1-parameter linear regressor y = w*x trained with squared
+// loss; small enough to reason about exactly.
+type linReg struct {
+	w *nn.Param
+}
+
+type sample struct{ x, y float64 }
+
+func newLinReg(w0 float64) *linReg {
+	m := tensor.New(1, 1)
+	m.Set(0, 0, w0)
+	return &linReg{w: nn.NewParam("w", m)}
+}
+
+// loss computes sum_i (w*x_i - y_i)^2 on the tape.
+func (l *linReg) loss(ctx *nn.Ctx, items []sample) (*autograd.Node, int, error) {
+	wn := ctx.Node(l.w)
+	var terms []*autograd.Node
+	for _, s := range items {
+		x := ctx.Tape.Constant(tensor.MustFromSlice(1, 1, []float64{s.x}))
+		pred, err := ctx.Tape.Mul(wn, x)
+		if err != nil {
+			return nil, 0, err
+		}
+		target := ctx.Tape.Constant(tensor.MustFromSlice(1, 1, []float64{s.y}))
+		diff, err := ctx.Tape.Sub(pred, target)
+		if err != nil {
+			return nil, 0, err
+		}
+		sq, err := ctx.Tape.Mul(diff, diff)
+		if err != nil {
+			return nil, 0, err
+		}
+		terms = append(terms, sq)
+	}
+	sum, err := ctx.Tape.SumScalars(terms...)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sum, len(items), nil
+}
+
+func regData(n int, trueW float64) []sample {
+	rng := tensor.NewRNG(1)
+	out := make([]sample, n)
+	for i := range out {
+		x := rng.Float64()*4 - 2
+		out[i] = sample{x: x, y: trueW * x}
+	}
+	return out
+}
+
+func TestStepConvergesToTrueWeight(t *testing.T) {
+	m := newLinReg(0)
+	items := regData(64, 3)
+	o := opt.NewSGD(0.05, 0)
+	cfg := Config{BatchSize: 64, Workers: 2, Seed: 1}
+	var loss float64
+	var err error
+	for i := 0; i < 60; i++ {
+		loss, err = Step([]*nn.Param{m.w}, items, m.loss, o, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.w.W.At(0, 0); math.Abs(got-3) > 0.05 {
+		t.Fatalf("w = %v, want ~3 (final loss %v)", got, loss)
+	}
+}
+
+func TestStepEmptyBatch(t *testing.T) {
+	m := newLinReg(0)
+	o := opt.NewSGD(0.1, 0)
+	if _, err := Step([]*nn.Param{m.w}, nil, m.loss, o, Config{}); err == nil {
+		t.Fatal("want error for empty batch")
+	}
+}
+
+func TestStepWorkerCountsEquivalent(t *testing.T) {
+	// The reduced gradient must not depend on the worker split.
+	items := regData(48, 2)
+	final := func(workers int) float64 {
+		m := newLinReg(0.5)
+		o := opt.NewSGD(0.1, 0)
+		if _, err := Step([]*nn.Param{m.w}, items, m.loss, o, Config{BatchSize: 48, Workers: workers, Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+		return m.w.W.At(0, 0)
+	}
+	w1, w4 := final(1), final(4)
+	if math.Abs(w1-w4) > 1e-9 {
+		t.Fatalf("worker split changed update: %v vs %v", w1, w4)
+	}
+}
+
+func TestEpochShufflesDeterministically(t *testing.T) {
+	items := regData(32, 1.5)
+	run := func() float64 {
+		m := newLinReg(0)
+		o := opt.NewSGD(0.05, 0)
+		loss, err := Epoch([]*nn.Param{m.w}, items, m.loss, o, Config{BatchSize: 8, Workers: 1, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = loss
+		return m.w.W.At(0, 0)
+	}
+	if run() != run() {
+		t.Fatal("same-seed epochs diverged")
+	}
+}
+
+func TestEpochEmpty(t *testing.T) {
+	m := newLinReg(0)
+	o := opt.NewSGD(0.1, 0)
+	if _, err := Epoch([]*nn.Param{m.w}, nil, m.loss, o, Config{}); err == nil {
+		t.Fatal("want error for empty epoch")
+	}
+}
+
+func TestEvalLossMatchesKnownValue(t *testing.T) {
+	m := newLinReg(0) // predicts 0 everywhere
+	items := []sample{{x: 1, y: 2}, {x: 1, y: 4}}
+	// Squared errors: 4 and 16, mean = 10.
+	got, err := EvalLoss(items, m.loss, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-12 {
+		t.Fatalf("eval loss %v, want 10", got)
+	}
+}
+
+func TestEvalLossDoesNotTrain(t *testing.T) {
+	m := newLinReg(1)
+	items := regData(16, 3)
+	if _, err := EvalLoss(items, m.loss, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.w.W.At(0, 0) != 1 {
+		t.Fatal("EvalLoss modified parameters")
+	}
+	if m.w.Grad.Norm() != 0 {
+		t.Fatal("EvalLoss left gradients behind")
+	}
+}
+
+func TestClippingBoundsUpdate(t *testing.T) {
+	// A huge-gradient step with ClipNorm must move the weight by at most
+	// lr * clip.
+	m := newLinReg(0)
+	items := []sample{{x: 100, y: -1000}}
+	o := opt.NewSGD(0.1, 0)
+	if _, err := Step([]*nn.Param{m.w}, items, m.loss, o, Config{BatchSize: 1, Workers: 1, ClipNorm: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Abs(m.w.W.At(0, 0)); got > 0.1+1e-12 {
+		t.Fatalf("clipped update moved weight by %v > lr*clip", got)
+	}
+}

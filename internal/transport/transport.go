@@ -1,0 +1,223 @@
+// Package transport implements the FL wire protocol: length-prefixed,
+// gob-encoded messages exchanged over mutual-TLS connections established
+// from provision startup kits. It corresponds to NVFlare's gRPC channel,
+// reduced to the message kinds the paper's pipeline needs (Fig. 1: client
+// registration, task dispatch, parameter upload, round completion).
+package transport
+
+import (
+	"crypto/tls"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// MsgType enumerates protocol messages.
+type MsgType int
+
+// Protocol message kinds.
+const (
+	// MsgRegister is the client's admission request (token-authenticated).
+	MsgRegister MsgType = iota + 1
+	// MsgRegisterAck accepts or rejects a registration.
+	MsgRegisterAck
+	// MsgTask carries the global model and round instructions to a client.
+	MsgTask
+	// MsgUpdate carries a client's locally-trained parameters back.
+	MsgUpdate
+	// MsgFinish tells clients training is complete (final model attached).
+	MsgFinish
+	// MsgError reports a fatal protocol error.
+	MsgError
+)
+
+// String renders the message kind.
+func (t MsgType) String() string {
+	switch t {
+	case MsgRegister:
+		return "register"
+	case MsgRegisterAck:
+		return "register-ack"
+	case MsgTask:
+		return "task"
+	case MsgUpdate:
+		return "update"
+	case MsgFinish:
+		return "finish"
+	case MsgError:
+		return "error"
+	default:
+		return fmt.Sprintf("msgtype(%d)", int(t))
+	}
+}
+
+// Message is the protocol envelope.
+type Message struct {
+	Type    MsgType
+	Sender  string
+	Token   string // admission token; set on MsgRegister
+	Round   int
+	Payload []byte            // serialized model weights (nn wire format)
+	Meta    map[string]string // task parameters, metrics, error text
+	// NumSamples weights the sender's contribution during aggregation.
+	NumSamples int
+}
+
+// maxMessageSize bounds a single message (64 MiB) to fail fast on
+// corruption rather than allocating unbounded buffers.
+const maxMessageSize = 64 << 20
+
+// ErrMessageTooLarge is returned for frames exceeding maxMessageSize.
+var ErrMessageTooLarge = errors.New("transport: message exceeds size limit")
+
+// Conn frames messages over a net.Conn. Safe for one reader and one writer
+// goroutine concurrently (reads and writes are independently serialized by
+// the caller's usage pattern; this type adds no locking).
+type Conn struct {
+	nc net.Conn
+}
+
+// NewConn wraps nc.
+func NewConn(nc net.Conn) *Conn { return &Conn{nc: nc} }
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// RemoteAddr exposes the peer address for logging.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// SetDeadline bounds the next read/write.
+func (c *Conn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
+
+// Write sends one message: 8-byte little-endian length then gob body.
+func (c *Conn) Write(m *Message) error {
+	var body []byte
+	{
+		enc := gobBuffer{}
+		if err := gob.NewEncoder(&enc).Encode(m); err != nil {
+			return fmt.Errorf("transport: encode %s: %w", m.Type, err)
+		}
+		body = enc.b
+	}
+	if len(body) > maxMessageSize {
+		return fmt.Errorf("%w: %d bytes", ErrMessageTooLarge, len(body))
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(body)))
+	if _, err := c.nc.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write header: %w", err)
+	}
+	if _, err := c.nc.Write(body); err != nil {
+		return fmt.Errorf("transport: write body: %w", err)
+	}
+	return nil
+}
+
+// Read receives one message.
+func (c *Conn) Read() (*Message, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(c.nc, hdr[:]); err != nil {
+		return nil, fmt.Errorf("transport: read header: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(hdr[:])
+	if n > maxMessageSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrMessageTooLarge, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.nc, body); err != nil {
+		return nil, fmt.Errorf("transport: read body: %w", err)
+	}
+	var m Message
+	if err := gob.NewDecoder(&gobReader{b: body}).Decode(&m); err != nil {
+		return nil, fmt.Errorf("transport: decode: %w", err)
+	}
+	return &m, nil
+}
+
+// gobBuffer is a minimal io.Writer accumulating bytes (avoids bytes.Buffer
+// growth churn being visible in the API; trivially small).
+type gobBuffer struct{ b []byte }
+
+func (g *gobBuffer) Write(p []byte) (int, error) {
+	g.b = append(g.b, p...)
+	return len(p), nil
+}
+
+// gobReader is a minimal io.Reader over a byte slice.
+type gobReader struct {
+	b   []byte
+	off int
+}
+
+func (g *gobReader) Read(p []byte) (int, error) {
+	if g.off >= len(g.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, g.b[g.off:])
+	g.off += n
+	return n, nil
+}
+
+// TLSListener accepts TCP connections and wraps them in server-side TLS.
+// Unlike crypto/tls's own listener it exposes SetDeadline (delegated to the
+// TCP listener), which the FL server's bounded registration loop needs.
+type TLSListener struct {
+	tcp *net.TCPListener
+	cfg *tls.Config
+}
+
+// Listen starts a TLS listener on addr with the given config.
+func Listen(addr string, cfg *tls.Config) (*TLSListener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	tcp, ok := ln.(*net.TCPListener)
+	if !ok {
+		_ = ln.Close()
+		return nil, fmt.Errorf("transport: listen %s: unexpected listener type %T", addr, ln)
+	}
+	return &TLSListener{tcp: tcp, cfg: cfg}, nil
+}
+
+// Accept implements net.Listener; the returned connection performs its TLS
+// handshake lazily on first I/O.
+func (l *TLSListener) Accept() (net.Conn, error) {
+	nc, err := l.tcp.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return tls.Server(nc, l.cfg), nil
+}
+
+// Close implements net.Listener.
+func (l *TLSListener) Close() error { return l.tcp.Close() }
+
+// Addr implements net.Listener.
+func (l *TLSListener) Addr() net.Addr { return l.tcp.Addr() }
+
+// SetDeadline bounds the next Accept call.
+func (l *TLSListener) SetDeadline(t time.Time) error { return l.tcp.SetDeadline(t) }
+
+var _ net.Listener = (*TLSListener)(nil)
+
+// Dial connects to addr with the given TLS config, retrying until the
+// deadline to tolerate server startup races.
+func Dial(addr string, cfg *tls.Config, timeout time.Duration) (*Conn, error) {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		d := &net.Dialer{Timeout: time.Second}
+		nc, err := tls.DialWithDialer(d, "tcp", addr, cfg)
+		if err == nil {
+			return NewConn(nc), nil
+		}
+		lastErr = err
+		time.Sleep(50 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("transport: dial %s: %w", addr, lastErr)
+}

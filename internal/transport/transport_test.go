@@ -1,0 +1,158 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeConns returns a connected Conn pair over an in-memory pipe.
+func pipeConns() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+
+	sent := &Message{
+		Type:       MsgUpdate,
+		Sender:     "clinic-1",
+		Round:      7,
+		Payload:    []byte{1, 2, 3, 4, 5},
+		Meta:       map[string]string{"train_loss": "0.25"},
+		NumSamples: 128,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- a.Write(sent) }()
+	got, err := b.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != sent.Type || got.Sender != sent.Sender || got.Round != sent.Round ||
+		got.NumSamples != sent.NumSamples || got.Meta["train_loss"] != "0.25" {
+		t.Fatalf("message changed in transit: %+v", got)
+	}
+	if string(got.Payload) != string(sent.Payload) {
+		t.Fatal("payload changed in transit")
+	}
+}
+
+func TestMultipleMessagesInOrder(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		for i := 0; i < 5; i++ {
+			_ = a.Write(&Message{Type: MsgTask, Round: i})
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		got, err := b.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Round != i {
+			t.Fatalf("message %d arrived as round %d", i, got.Round)
+		}
+	}
+}
+
+func TestLargePayload(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	go func() { _ = a.Write(&Message{Type: MsgTask, Payload: payload}) }()
+	got, err := b.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Payload) != len(payload) {
+		t.Fatalf("payload %d bytes, want %d", len(got.Payload), len(payload))
+	}
+	for i := 0; i < len(payload); i += 4099 {
+		if got.Payload[i] != payload[i] {
+			t.Fatalf("payload corrupted at %d", i)
+		}
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	// Hand-craft a header claiming an absurd size.
+	go func() {
+		hdr := make([]byte, 8)
+		hdr[7] = 0x7f // huge little-endian length
+		nc := a.nc
+		_, _ = nc.Write(hdr)
+	}()
+	if _, err := b.Read(); !errors.Is(err, ErrMessageTooLarge) {
+		t.Fatalf("want ErrMessageTooLarge, got %v", err)
+	}
+}
+
+func TestReadTruncatedStream(t *testing.T) {
+	a, b := pipeConns()
+	defer b.Close()
+	go func() {
+		hdr := make([]byte, 8)
+		hdr[0] = 100 // claims 100 bytes, then closes
+		_, _ = a.nc.Write(hdr)
+		a.Close()
+	}()
+	if _, err := b.Read(); err == nil {
+		t.Fatal("want error for truncated body")
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	cases := map[MsgType]string{
+		MsgRegister:    "register",
+		MsgRegisterAck: "register-ack",
+		MsgTask:        "task",
+		MsgUpdate:      "update",
+		MsgFinish:      "finish",
+		MsgError:       "error",
+		MsgType(99):    "msgtype(99)",
+	}
+	for mt, want := range cases {
+		if got := mt.String(); got != want {
+			t.Fatalf("MsgType(%d).String() = %q, want %q", int(mt), got, want)
+		}
+	}
+}
+
+func TestDialTimeout(t *testing.T) {
+	start := time.Now()
+	_, err := Dial("127.0.0.1:1", nil, 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("want dial error")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("dial retried far past its deadline")
+	}
+}
+
+func TestSetDeadlinePropagates(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	if err := b.SetDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Read(); err == nil {
+		t.Fatal("want deadline error")
+	}
+}
