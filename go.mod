@@ -1,0 +1,3 @@
+module clinfl
+
+go 1.24

@@ -1,0 +1,153 @@
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"clinfl/internal/tensor"
+)
+
+// Block-aware ops for batched transformer execution over the flattened
+// (B·T)×d minibatch layout. Each treats its operands as B independent
+// row blocks of `block` rows, so attention never crosses sequence
+// boundaries while still running as one tape node per minibatch.
+
+// BlockMatMul multiplies row blocks independently: output block g is
+// a_g×b_g (a is (B·block)×block, b is (B·block)×n). Used for attn×V.
+func (t *Tape) BlockMatMul(a, b *Node, block int) (*Node, error) {
+	v, err := tensor.BlockMatMul(a.Value, b.Value, block)
+	if err != nil {
+		return nil, fmt.Errorf("autograd: %w", err)
+	}
+	return t.newOp(v, func(n *Node) {
+		if a.requiresGrad {
+			// d a_g = g_g × b_gᵀ
+			ga, _ := tensor.BlockMatMulTransB(n.Grad, b.Value, block)
+			a.accumulate(ga)
+		}
+		if b.requiresGrad {
+			// d b_g = a_gᵀ × g_g
+			gb, _ := tensor.BlockMatMulTransA(a.Value, n.Grad, block)
+			b.accumulate(gb)
+		}
+	}, a, b), nil
+}
+
+// BlockMatMulTransB computes per-block a_g×b_gᵀ (both (B·block)×k),
+// returning (B·block)×block. Used for per-sequence Q×Kᵀ attention scores.
+func (t *Tape) BlockMatMulTransB(a, b *Node, block int) (*Node, error) {
+	v, err := tensor.BlockMatMulTransB(a.Value, b.Value, block)
+	if err != nil {
+		return nil, fmt.Errorf("autograd: %w", err)
+	}
+	return t.newOp(v, func(n *Node) {
+		if a.requiresGrad {
+			// d a_g = g_g × b_g
+			ga, _ := tensor.BlockMatMul(n.Grad, b.Value, block)
+			a.accumulate(ga)
+		}
+		if b.requiresGrad {
+			// d b_g = g_gᵀ × a_g
+			gb, _ := tensor.BlockMatMulTransA(n.Grad, a.Value, block)
+			b.accumulate(gb)
+		}
+	}, a, b), nil
+}
+
+// BlockSoftmaxRows applies a numerically-stable softmax along every row of a
+// (B·block)×block score matrix, restricted per block to non-padded key
+// columns: row r of block g is normalized over columns j with
+// !padMasks[g][j], and padded columns get exactly 0. padMasks may be nil
+// (no padding anywhere) and individual entries may be nil (no padding in
+// that sequence). This replaces the dense seq×seq additive mask the
+// per-sequence path used to allocate per call.
+func (t *Tape) BlockSoftmaxRows(a *Node, block int, padMasks [][]bool) (*Node, error) {
+	rows, cols := a.Value.Rows(), a.Value.Cols()
+	if block <= 0 || cols != block || rows%block != 0 {
+		return nil, fmt.Errorf("autograd: %w: BlockSoftmaxRows %dx%d with block %d",
+			tensor.ErrShape, rows, cols, block)
+	}
+	nb := rows / block
+	if padMasks != nil && len(padMasks) != nb {
+		return nil, fmt.Errorf("autograd: BlockSoftmaxRows %d masks for %d blocks", len(padMasks), nb)
+	}
+	for g := range padMasks {
+		if padMasks[g] != nil && len(padMasks[g]) != block {
+			return nil, fmt.Errorf("autograd: BlockSoftmaxRows mask %d length %d != block %d",
+				g, len(padMasks[g]), block)
+		}
+	}
+	s := tensor.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		var mask []bool
+		if padMasks != nil {
+			mask = padMasks[i/block]
+		}
+		src, dst := a.Value.Row(i), s.Row(i)
+		mx := math.Inf(-1)
+		for j, v := range src {
+			if (mask == nil || !mask[j]) && v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for j, v := range src {
+			if mask != nil && mask[j] {
+				continue
+			}
+			e := math.Exp(v - mx)
+			dst[j] = e
+			sum += e
+		}
+		if sum == 0 {
+			continue
+		}
+		inv := 1 / sum
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+	return t.newOp(s, func(n *Node) {
+		// Padded columns hold s=0, so the standard softmax VJP already
+		// routes no gradient through them.
+		g := tensor.New(rows, cols)
+		for i := 0; i < rows; i++ {
+			srow, urow, grow := s.Row(i), n.Grad.Row(i), g.Row(i)
+			var dot float64
+			for j := range srow {
+				dot += urow[j] * srow[j]
+			}
+			for j := range srow {
+				grow[j] = srow[j] * (urow[j] - dot)
+			}
+		}
+		a.accumulate(g)
+	}, a), nil
+}
+
+// GatherRows selects rows of a by index: out row i = a row rows[i]. The
+// backward pass scatter-adds upstream gradients into the source rows, so an
+// index may appear more than once. Used to pull [CLS] positions and masked
+// MLM positions out of the flattened (B·T)×d batch layout.
+func (t *Tape) GatherRows(a *Node, rows []int) (*Node, error) {
+	cols := a.Value.Cols()
+	v := tensor.New(len(rows), cols)
+	for i, r := range rows {
+		if r < 0 || r >= a.Value.Rows() {
+			return nil, fmt.Errorf("autograd: GatherRows index %d out of range [0,%d)", r, a.Value.Rows())
+		}
+		copy(v.Row(i), a.Value.Row(r))
+	}
+	rowsCopy := make([]int, len(rows))
+	copy(rowsCopy, rows)
+	return t.newOp(v, func(n *Node) {
+		g := tensor.New(a.Value.Rows(), cols)
+		for i, r := range rowsCopy {
+			dst, src := g.Row(r), n.Grad.Row(i)
+			for j, u := range src {
+				dst[j] += u
+			}
+		}
+		a.accumulate(g)
+	}, a), nil
+}

@@ -38,9 +38,12 @@ type LocalConfig struct {
 	// LR is the Adam learning rate (paper Table I: 1e-2; the experiment
 	// configs use smaller stable values, see DESIGN.md).
 	LR float64
-	// BatchSize / Workers / ClipNorm feed train.Config.
+	// BatchSize / Workers / SubBatch / ClipNorm feed train.Config. SubBatch
+	// bounds the contiguous slice each worker's batched forward processes
+	// per tape (<=0 derives one sub-batch per worker).
 	BatchSize int
 	Workers   int
+	SubBatch  int
 	ClipNorm  float64
 	// Seed derives per-round shuffling and dropout streams.
 	Seed int64
@@ -114,6 +117,7 @@ func (e *ClassifierExecutor) ExecuteRound(round int, global map[string]*tensor.M
 	tcfg := train.Config{
 		BatchSize: e.cfg.BatchSize,
 		Workers:   e.cfg.Workers,
+		SubBatch:  e.cfg.SubBatch,
 		ClipNorm:  e.cfg.ClipNorm,
 	}
 	var lastLoss float64
@@ -139,7 +143,9 @@ func (e *ClassifierExecutor) ExecuteRound(round int, global map[string]*tensor.M
 }
 
 // Validate implements Validator: top-1 accuracy of the global model on the
-// client's validation shard.
+// client's validation shard. Prediction runs in BatchSize chunks so memory
+// stays bounded as the shard grows (each chunk is one batched forward, not
+// one giant whole-shard tape).
 func (e *ClassifierExecutor) Validate(global map[string]*tensor.Matrix) (float64, error) {
 	if len(e.validSet) == 0 {
 		return 0, errors.New("fl: no validation data")
@@ -147,14 +153,20 @@ func (e *ClassifierExecutor) Validate(global map[string]*tensor.Matrix) (float64
 	if err := nn.LoadWeights(e.mdl.Params(), global); err != nil {
 		return 0, fmt.Errorf("fl: %s load global: %w", e.name, err)
 	}
-	preds, err := e.mdl.Predict(e.validSet)
-	if err != nil {
-		return 0, err
-	}
 	hit := 0
-	for i, p := range preds {
-		if p == e.validSet[i].Label {
-			hit++
+	for lo := 0; lo < len(e.validSet); lo += e.cfg.BatchSize {
+		hi := lo + e.cfg.BatchSize
+		if hi > len(e.validSet) {
+			hi = len(e.validSet)
+		}
+		preds, err := e.mdl.Predict(e.validSet[lo:hi])
+		if err != nil {
+			return 0, err
+		}
+		for i, p := range preds {
+			if p == e.validSet[lo+i].Label {
+				hit++
+			}
 		}
 	}
 	return float64(hit) / float64(len(e.validSet)), nil
@@ -226,6 +238,7 @@ func (e *MLMExecutor) ExecuteRound(round int, global map[string]*tensor.Matrix) 
 	tcfg := train.Config{
 		BatchSize: e.cfg.BatchSize,
 		Workers:   e.cfg.Workers,
+		SubBatch:  e.cfg.SubBatch,
 		ClipNorm:  e.cfg.ClipNorm,
 	}
 	var lastLoss float64

@@ -42,8 +42,12 @@ func (c BERTConfig) Validate() error {
 }
 
 // BERT is a bidirectional transformer encoder with MLM and classification
-// heads. Forward passes are per-sequence (seq×dim matrices); minibatch
-// parallelism happens across goroutines in the trainer.
+// heads. Forward passes are batched: a minibatch of B equal-length
+// sequences runs as one flattened (B·T)×dim computation on a single tape,
+// using block-aware attention ops so scores never cross sequence
+// boundaries. Ragged batches are grouped by length, one batched forward per
+// group. Worker goroutines in the trainer each process a contiguous
+// sub-batch this way.
 type BERT struct {
 	cfg BERTConfig
 
@@ -111,19 +115,44 @@ func (b *BERT) Config() BERTConfig { return b.cfg }
 // Params implements Classifier.
 func (b *BERT) Params() []*nn.Param { return b.params }
 
-// encode runs embeddings + encoder over one sequence, returning seq×dim
-// hidden states.
-func (b *BERT) encode(ctx *nn.Ctx, ids []int, padMask []bool) (*autograd.Node, error) {
-	if len(ids) > b.cfg.MaxLen {
-		return nil, fmt.Errorf("model: %s sequence length %d exceeds max %d", b.cfg.Name, len(ids), b.cfg.MaxLen)
+// lengthGroups partitions batch indices by sequence length, preserving
+// order within each group. The batched forward requires uniform T, so a
+// ragged batch runs one batched pass per length group; the common case (a
+// tokenizer padding to a fixed MaxLen) is a single group.
+func lengthGroups(lens []int) [][]int {
+	byLen := make(map[int][]int)
+	var order []int
+	for i, l := range lens {
+		if _, ok := byLen[l]; !ok {
+			order = append(order, l)
+		}
+		byLen[l] = append(byLen[l], i)
 	}
-	tok, err := b.tokEmb.Forward(ctx, ids)
+	out := make([][]int, 0, len(order))
+	for _, l := range order {
+		out = append(out, byLen[l])
+	}
+	return out
+}
+
+// encodeBatch runs embeddings + encoder over a minibatch of equal-length
+// sequences as one flattened (B·T)×dim computation; sequence b occupies
+// rows [b·T, (b+1)·T) of the result.
+func (b *BERT) encodeBatch(ctx *nn.Ctx, idsBatch [][]int, padMasks [][]bool) (*autograd.Node, error) {
+	if len(idsBatch) == 0 {
+		return nil, errors.New("model: empty batch")
+	}
+	seq := len(idsBatch[0])
+	if seq > b.cfg.MaxLen {
+		return nil, fmt.Errorf("model: %s sequence length %d exceeds max %d", b.cfg.Name, seq, b.cfg.MaxLen)
+	}
+	tok, err := b.tokEmb.ForwardBatch(ctx, idsBatch)
 	if err != nil {
 		return nil, err
 	}
-	positions := make([]int, len(ids))
+	positions := make([]int, len(idsBatch)*seq)
 	for i := range positions {
-		positions[i] = i
+		positions[i] = i % seq
 	}
 	pos, err := b.posEmb.Forward(ctx, positions)
 	if err != nil {
@@ -138,17 +167,24 @@ func (b *BERT) encode(ctx *nn.Ctx, ids []int, padMask []bool) (*autograd.Node, e
 		return nil, err
 	}
 	x = ctx.Tape.Dropout(x, b.cfg.Dropout, ctx.RNG, ctx.Training)
-	return b.enc.Forward(ctx, x, padMask)
+	return b.enc.ForwardBatch(ctx, x, len(idsBatch), padMasks)
 }
 
-// classifyLogits returns the 1×NumClasses logits for one sequence using the
-// [CLS] pooler.
-func (b *BERT) classifyLogits(ctx *nn.Ctx, ids []int, padMask []bool) (*autograd.Node, error) {
-	h, err := b.encode(ctx, ids, padMask)
+// classifyLogitsBatch returns B×NumClasses logits for a minibatch of
+// equal-length sequences: one batched encode, a gather of the [CLS] rows
+// out of the flattened layout, then the pooler and output projection over
+// the B×dim matrix.
+func (b *BERT) classifyLogitsBatch(ctx *nn.Ctx, idsBatch [][]int, padMasks [][]bool) (*autograd.Node, error) {
+	h, err := b.encodeBatch(ctx, idsBatch, padMasks)
 	if err != nil {
 		return nil, err
 	}
-	cls, err := ctx.Tape.SliceRows(h, 0, 1)
+	seq := len(idsBatch[0])
+	clsRows := make([]int, len(idsBatch))
+	for i := range clsRows {
+		clsRows[i] = i * seq
+	}
+	cls, err := ctx.Tape.GatherRows(h, clsRows)
 	if err != nil {
 		return nil, err
 	}
@@ -160,22 +196,43 @@ func (b *BERT) classifyLogits(ctx *nn.Ctx, ids []int, padMask []bool) (*autograd
 	return b.clsOut.Forward(ctx, p)
 }
 
-// LossBatch implements Classifier: summed cross-entropy over the batch.
+// groupInputs gathers the ids/masks/labels of one length group.
+func groupInputs(batch []data.Example, idx []int) (idsBatch [][]int, padMasks [][]bool, labels []int) {
+	idsBatch = make([][]int, len(idx))
+	padMasks = make([][]bool, len(idx))
+	labels = make([]int, len(idx))
+	for i, j := range idx {
+		idsBatch[i] = batch[j].IDs
+		padMasks[i] = batch[j].PadMask
+		labels[i] = batch[j].Label
+	}
+	return idsBatch, padMasks, labels
+}
+
+// LossBatch implements Classifier: summed cross-entropy over the batch,
+// computed with one batched forward per length group.
 func (b *BERT) LossBatch(ctx *nn.Ctx, batch []data.Example) (*autograd.Node, int, error) {
 	if len(batch) == 0 {
 		return nil, 0, errors.New("model: empty batch")
 	}
-	losses := make([]*autograd.Node, 0, len(batch))
-	for _, ex := range batch {
-		logits, err := b.classifyLogits(ctx, ex.IDs, ex.PadMask)
+	lens := make([]int, len(batch))
+	for i, ex := range batch {
+		lens[i] = len(ex.IDs)
+	}
+	var losses []*autograd.Node
+	for _, idx := range lengthGroups(lens) {
+		idsBatch, padMasks, labels := groupInputs(batch, idx)
+		logits, err := b.classifyLogitsBatch(ctx, idsBatch, padMasks)
 		if err != nil {
 			return nil, 0, err
 		}
-		loss, _, err := ctx.Tape.CrossEntropy(logits, []int{ex.Label})
+		loss, counted, err := ctx.Tape.CrossEntropy(logits, labels)
 		if err != nil {
 			return nil, 0, err
 		}
-		losses = append(losses, loss)
+		// CrossEntropy returns the mean; rescale to a sum so groups (and
+		// batches) aggregate with equal per-example weight.
+		losses = append(losses, ctx.Tape.Scale(float64(counted), loss))
 	}
 	sum, err := ctx.Tape.SumScalars(losses...)
 	if err != nil {
@@ -184,16 +241,18 @@ func (b *BERT) LossBatch(ctx *nn.Ctx, batch []data.Example) (*autograd.Node, int
 	return sum, len(batch), nil
 }
 
-// Predict implements Classifier.
+// Predict implements Classifier: argmax over one batched eval-mode forward
+// per length group.
 func (b *BERT) Predict(batch []data.Example) ([]int, error) {
 	out := make([]int, len(batch))
-	for i, ex := range batch {
-		ctx := nn.NewCtx(false, nil)
-		logits, err := b.classifyLogits(ctx, ex.IDs, ex.PadMask)
-		if err != nil {
-			return nil, err
+	err := b.evalLogits(batch, func(idx []int, logits *tensor.Matrix) {
+		am := tensor.ArgmaxRows(logits)
+		for i, j := range idx {
+			out[j] = am[i]
 		}
-		out[i] = tensor.ArgmaxRows(logits.Value)[0]
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -201,63 +260,121 @@ func (b *BERT) Predict(batch []data.Example) ([]int, error) {
 // PredictProbs returns positive-class probabilities for AUC computation.
 func (b *BERT) PredictProbs(batch []data.Example) ([]float64, error) {
 	out := make([]float64, len(batch))
-	for i, ex := range batch {
-		ctx := nn.NewCtx(false, nil)
-		logits, err := b.classifyLogits(ctx, ex.IDs, ex.PadMask)
-		if err != nil {
-			return nil, err
+	err := b.evalLogits(batch, func(idx []int, logits *tensor.Matrix) {
+		probs := tensor.SoftmaxRows(logits)
+		for i, j := range idx {
+			out[j] = probs.At(i, 1)
 		}
-		probs := tensor.SoftmaxRows(logits.Value)
-		out[i] = probs.At(0, 1)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// mlmLogits returns seq×vocab logits for the MLM head over one sequence.
-func (b *BERT) mlmLogits(ctx *nn.Ctx, ids []int, padMask []bool) (*autograd.Node, error) {
-	h, err := b.encode(ctx, ids, padMask)
-	if err != nil {
-		return nil, err
+// evalChunk caps how many sequences one eval-mode batched forward
+// processes, so Predict over an arbitrarily large set (whole validation
+// shards) keeps tape memory bounded instead of building one giant
+// (N·T)×dim graph.
+const evalChunk = 64
+
+// evalLogits runs the batched classification forward in eval mode and hands
+// each chunk's logits (chunk-row order) to visit. Batches are grouped by
+// sequence length, then each group is processed in evalChunk slices.
+func (b *BERT) evalLogits(batch []data.Example, visit func(idx []int, logits *tensor.Matrix)) error {
+	if len(batch) == 0 {
+		return nil
 	}
-	d, err := b.mlmDense.Forward(ctx, h)
-	if err != nil {
-		return nil, err
+	lens := make([]int, len(batch))
+	for i, ex := range batch {
+		lens[i] = len(ex.IDs)
 	}
-	d = ctx.Tape.GELU(d)
-	d, err = b.mlmLN.Forward(ctx, d)
-	if err != nil {
-		return nil, err
+	for _, idx := range lengthGroups(lens) {
+		for lo := 0; lo < len(idx); lo += evalChunk {
+			hi := lo + evalChunk
+			if hi > len(idx) {
+				hi = len(idx)
+			}
+			ctx := nn.NewCtx(false, nil)
+			idsBatch, padMasks, _ := groupInputs(batch, idx[lo:hi])
+			logits, err := b.classifyLogitsBatch(ctx, idsBatch, padMasks)
+			if err != nil {
+				return err
+			}
+			visit(idx[lo:hi], logits.Value)
+		}
 	}
-	return b.mlmOut.Forward(ctx, d)
+	return nil
 }
 
 // MLMLossBatch implements Pretrainer: summed masked-LM cross-entropy over
-// all predicted positions in the batch.
+// all predicted positions in the batch. Each length group runs one batched
+// encode; the MLM head (dense+GELU+LN+vocab projection) then runs only over
+// the masked positions, gathered out of the flattened layout, so the large
+// vocab projection touches ~15% of rows instead of all of them.
 func (b *BERT) MLMLossBatch(ctx *nn.Ctx, batch []mlm.MaskedExample) (*autograd.Node, int, error) {
 	if len(batch) == 0 {
 		return nil, 0, errors.New("model: empty MLM batch")
 	}
+	lens := make([]int, len(batch))
+	for i, me := range batch {
+		lens[i] = len(me.Input)
+	}
 	var losses []*autograd.Node
 	total := 0
-	for _, me := range batch {
-		padMask := make([]bool, len(me.Input))
-		for i, id := range me.Input {
-			padMask[i] = id == token.PAD
+	for _, idx := range lengthGroups(lens) {
+		seq := lens[idx[0]]
+		idsBatch := make([][]int, len(idx))
+		padMasks := make([][]bool, len(idx))
+		var maskedRows, maskedTargets []int
+		for i, j := range idx {
+			me := batch[j]
+			if len(me.Targets) != seq {
+				return nil, 0, fmt.Errorf("model: MLM example %d has %d targets for %d inputs",
+					j, len(me.Targets), seq)
+			}
+			idsBatch[i] = me.Input
+			padMask := make([]bool, seq)
+			for p, id := range me.Input {
+				padMask[p] = id == token.PAD
+			}
+			padMasks[i] = padMask
+			for p, tgt := range me.Targets {
+				if tgt != autograd.IgnoreIndex {
+					maskedRows = append(maskedRows, i*seq+p)
+					maskedTargets = append(maskedTargets, tgt)
+				}
+			}
 		}
-		logits, err := b.mlmLogits(ctx, me.Input, padMask)
-		if err != nil {
-			return nil, 0, err
-		}
-		loss, counted, err := ctx.Tape.CrossEntropy(logits, me.Targets)
-		if err != nil {
-			return nil, 0, err
-		}
-		if counted == 0 {
+		if len(maskedRows) == 0 {
 			continue
 		}
+		h, err := b.encodeBatch(ctx, idsBatch, padMasks)
+		if err != nil {
+			return nil, 0, err
+		}
+		h, err = ctx.Tape.GatherRows(h, maskedRows)
+		if err != nil {
+			return nil, 0, err
+		}
+		d, err := b.mlmDense.Forward(ctx, h)
+		if err != nil {
+			return nil, 0, err
+		}
+		d = ctx.Tape.GELU(d)
+		d, err = b.mlmLN.Forward(ctx, d)
+		if err != nil {
+			return nil, 0, err
+		}
+		logits, err := b.mlmOut.Forward(ctx, d)
+		if err != nil {
+			return nil, 0, err
+		}
+		loss, counted, err := ctx.Tape.CrossEntropy(logits, maskedTargets)
+		if err != nil {
+			return nil, 0, err
+		}
 		total += counted
-		// CrossEntropy returns the mean over counted positions; rescale to
-		// a sum so batch aggregation weights positions equally.
 		losses = append(losses, ctx.Tape.Scale(float64(counted), loss))
 	}
 	if total == 0 {

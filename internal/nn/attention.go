@@ -46,12 +46,38 @@ func NewMultiHeadSelfAttention(name string, dim, heads, headDim int, rng *tensor
 	}, nil
 }
 
-// Forward attends over x (seq×dim). padMask, if non-nil, marks padded
-// positions (true = padding) that keys must not attend to.
+// Forward attends over one sequence x (seq×dim). padMask, if non-nil, marks
+// padded positions (true = padding) that keys must not attend to. It is a
+// thin B=1 wrapper over ForwardBatch.
 func (a *MultiHeadSelfAttention) Forward(ctx *Ctx, x *autograd.Node, padMask []bool) (*autograd.Node, error) {
-	seq := x.Value.Rows()
-	if padMask != nil && len(padMask) != seq {
-		return nil, fmt.Errorf("nn: attention: mask length %d != seq %d", len(padMask), seq)
+	var padMasks [][]bool
+	if padMask != nil {
+		padMasks = [][]bool{padMask}
+	}
+	return a.ForwardBatch(ctx, x, 1, padMasks)
+}
+
+// ForwardBatch attends over a flattened minibatch x ((batch·seq)×dim, with
+// each sequence occupying a contiguous block of seq rows). padMasks, if
+// non-nil, holds one key-padding mask per sequence; the block softmax
+// consumes it directly, so no dense seq×seq mask matrix is ever built.
+// Attention scores are computed per row block and never cross sequence
+// boundaries.
+func (a *MultiHeadSelfAttention) ForwardBatch(ctx *Ctx, x *autograd.Node, batch int, padMasks [][]bool) (*autograd.Node, error) {
+	rows := x.Value.Rows()
+	if batch <= 0 || rows%batch != 0 {
+		return nil, fmt.Errorf("nn: attention: %d rows not divisible into %d sequences", rows, batch)
+	}
+	seq := rows / batch
+	if padMasks != nil {
+		if len(padMasks) != batch {
+			return nil, fmt.Errorf("nn: attention: %d masks for %d sequences", len(padMasks), batch)
+		}
+		for i, m := range padMasks {
+			if m != nil && len(m) != seq {
+				return nil, fmt.Errorf("nn: attention: mask %d length %d != seq %d", i, len(m), seq)
+			}
+		}
 	}
 	q, err := a.Wq.Forward(ctx, x)
 	if err != nil {
@@ -64,20 +90,6 @@ func (a *MultiHeadSelfAttention) Forward(ctx *Ctx, x *autograd.Node, padMask []b
 	v, err := a.Wv.Forward(ctx, x)
 	if err != nil {
 		return nil, err
-	}
-
-	var maskNode *autograd.Node
-	if padMask != nil {
-		mask := tensor.New(seq, seq)
-		for j, pad := range padMask {
-			if !pad {
-				continue
-			}
-			for i := 0; i < seq; i++ {
-				mask.Set(i, j, -1e9)
-			}
-		}
-		maskNode = ctx.Tape.Constant(mask)
 	}
 
 	scale := 1 / math.Sqrt(float64(a.HeadDim))
@@ -96,19 +108,16 @@ func (a *MultiHeadSelfAttention) Forward(ctx *Ctx, x *autograd.Node, padMask []b
 		if err != nil {
 			return nil, err
 		}
-		scores, err := ctx.Tape.MatMulTransB(qh, kh)
+		scores, err := ctx.Tape.BlockMatMulTransB(qh, kh, seq)
 		if err != nil {
 			return nil, err
 		}
 		scores = ctx.Tape.Scale(scale, scores)
-		if maskNode != nil {
-			scores, err = ctx.Tape.Add(scores, maskNode)
-			if err != nil {
-				return nil, err
-			}
+		attn, err := ctx.Tape.BlockSoftmaxRows(scores, seq, padMasks)
+		if err != nil {
+			return nil, err
 		}
-		attn := ctx.Tape.SoftmaxRows(scores)
-		out, err := ctx.Tape.MatMul(attn, vh)
+		out, err := ctx.Tape.BlockMatMul(attn, vh, seq)
 		if err != nil {
 			return nil, err
 		}

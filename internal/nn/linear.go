@@ -66,6 +66,25 @@ func (e *Embedding) Forward(ctx *Ctx, ids []int) (*autograd.Node, error) {
 	return n, nil
 }
 
+// ForwardBatch gathers embeddings for a minibatch of equal-length id
+// sequences into the flattened (B·T)×dim layout (sequence b occupies rows
+// [b·T, (b+1)·T)) as a single tape op.
+func (e *Embedding) ForwardBatch(ctx *Ctx, idsBatch [][]int) (*autograd.Node, error) {
+	if len(idsBatch) == 0 {
+		return nil, fmt.Errorf("nn: embedding %s: empty batch", e.Table.Name)
+	}
+	seq := len(idsBatch[0])
+	flat := make([]int, 0, len(idsBatch)*seq)
+	for i, ids := range idsBatch {
+		if len(ids) != seq {
+			return nil, fmt.Errorf("nn: embedding %s: ragged batch, sequence %d has %d ids, want %d",
+				e.Table.Name, i, len(ids), seq)
+		}
+		flat = append(flat, ids...)
+	}
+	return e.Forward(ctx, flat)
+}
+
 // Params implements Module.
 func (e *Embedding) Params() []*Param { return []*Param{e.Table} }
 

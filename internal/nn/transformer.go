@@ -73,13 +73,26 @@ func NewEncoderLayer(name string, dim, heads, headDim, ffnHidden int, dropout fl
 	}, nil
 }
 
-// Forward applies the block to x (seq×dim) with an optional key-padding mask.
+// Forward applies the block to one sequence x (seq×dim) with an optional
+// key-padding mask. It is a thin B=1 wrapper over ForwardBatch.
 func (e *EncoderLayer) Forward(ctx *Ctx, x *autograd.Node, padMask []bool) (*autograd.Node, error) {
+	var padMasks [][]bool
+	if padMask != nil {
+		padMasks = [][]bool{padMask}
+	}
+	return e.ForwardBatch(ctx, x, 1, padMasks)
+}
+
+// ForwardBatch applies the block to a flattened minibatch x
+// ((batch·seq)×dim). LayerNorm, the FFN and dropout are position-wise, so
+// they run over the flattened rows unchanged; only attention needs the
+// block structure.
+func (e *EncoderLayer) ForwardBatch(ctx *Ctx, x *autograd.Node, batch int, padMasks [][]bool) (*autograd.Node, error) {
 	h, err := e.LN1.Forward(ctx, x)
 	if err != nil {
 		return nil, err
 	}
-	h, err = e.Attn.Forward(ctx, h, padMask)
+	h, err = e.Attn.ForwardBatch(ctx, h, batch, padMasks)
 	if err != nil {
 		return nil, err
 	}
@@ -132,11 +145,22 @@ func NewEncoder(name string, n, dim, heads, headDim, ffnHidden int, dropout floa
 	return enc, nil
 }
 
-// Forward runs the full stack over x (seq×dim).
+// Forward runs the full stack over one sequence x (seq×dim). It is a thin
+// B=1 wrapper over ForwardBatch.
 func (e *Encoder) Forward(ctx *Ctx, x *autograd.Node, padMask []bool) (*autograd.Node, error) {
+	var padMasks [][]bool
+	if padMask != nil {
+		padMasks = [][]bool{padMask}
+	}
+	return e.ForwardBatch(ctx, x, 1, padMasks)
+}
+
+// ForwardBatch runs the full stack over a flattened minibatch x
+// ((batch·seq)×dim) on a single tape.
+func (e *Encoder) ForwardBatch(ctx *Ctx, x *autograd.Node, batch int, padMasks [][]bool) (*autograd.Node, error) {
 	var err error
 	for _, layer := range e.Layers {
-		x, err = layer.Forward(ctx, x, padMask)
+		x, err = layer.ForwardBatch(ctx, x, batch, padMasks)
 		if err != nil {
 			return nil, err
 		}

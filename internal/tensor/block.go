@@ -1,0 +1,153 @@
+package tensor
+
+import "fmt"
+
+// Block-aware matmul kernels for batched transformer execution. A matrix
+// whose rows are grouped into B consecutive blocks of `block` rows (the
+// flattened (B·T)×d layout of a minibatch of B sequences of length T) is
+// multiplied block-by-block so attention scores never cross sequence
+// boundaries. The kernels reuse the same ikj/dot loops as the dense ops and
+// parallelize across output rows once the output is large enough.
+
+// checkBlocked validates that m's rows split into whole blocks of size block
+// and returns the block count.
+func checkBlocked(op string, m *Matrix, block int) (int, error) {
+	if block <= 0 {
+		return 0, fmt.Errorf("%w: %s block size %d", ErrShape, op, block)
+	}
+	if m.rows%block != 0 {
+		return 0, fmt.Errorf("%w: %s %d rows not divisible into blocks of %d",
+			ErrShape, op, m.rows, block)
+	}
+	return m.rows / block, nil
+}
+
+// BlockMatMul multiplies B row blocks independently: a is (B·block)×block,
+// b is (B·block)×n, and output block g is a_g×b_g, stacked into (B·block)×n.
+// In attention this is attn×V with per-sequence attention weights.
+func BlockMatMul(a, b *Matrix, block int) (*Matrix, error) {
+	if _, err := checkBlocked("BlockMatMul", a, block); err != nil {
+		return nil, err
+	}
+	if a.cols != block {
+		return nil, fmt.Errorf("%w: BlockMatMul needs %d cols (block), got %dx%d",
+			ErrShape, block, a.rows, a.cols)
+	}
+	if b.rows != a.rows {
+		return nil, fmt.Errorf("%w: BlockMatMul a %dx%d × b %dx%d",
+			ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	n := b.cols
+	out := New(a.rows, n)
+	// Same 4-wide unrolled ikj kernel as matmulInto, with b rows offset to
+	// this row's block.
+	work := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			base := (i / block) * block // first b-row of this row's block
+			arow := a.data[i*block : (i+1)*block]
+			orow := out.data[i*n : (i+1)*n]
+			p := 0
+			for ; p+4 <= block; p += 4 {
+				av0, av1, av2, av3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+				if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
+					continue
+				}
+				b0 := b.data[(base+p)*n : (base+p+1)*n]
+				b1 := b.data[(base+p+1)*n : (base+p+2)*n]
+				b2 := b.data[(base+p+2)*n : (base+p+3)*n]
+				b3 := b.data[(base+p+3)*n : (base+p+4)*n]
+				for j, bv := range b0 {
+					orow[j] += av0*bv + av1*b1[j] + av2*b2[j] + av3*b3[j]
+				}
+			}
+			for ; p < block; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b.data[(base+p)*n : (base+p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+	if a.rows*n < matmulParallelThreshold {
+		work(0, a.rows)
+	} else {
+		parallelRows(a.rows, work)
+	}
+	return out, nil
+}
+
+// BlockMatMulTransB computes per-block a_g×b_gᵀ: a is (B·block)×k, b is
+// (B·block)×k, output block g is block×block, stacked into (B·block)×block.
+// In attention this is Q×Kᵀ restricted to each sequence's own keys.
+func BlockMatMulTransB(a, b *Matrix, block int) (*Matrix, error) {
+	if _, err := checkBlocked("BlockMatMulTransB", a, block); err != nil {
+		return nil, err
+	}
+	if b.rows != a.rows || b.cols != a.cols {
+		return nil, fmt.Errorf("%w: BlockMatMulTransB a %dx%d × (b %dx%d)ᵀ",
+			ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	k := a.cols
+	out := New(a.rows, block)
+	work := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			base := (i / block) * block
+			arow := a.data[i*k : (i+1)*k]
+			orow := out.data[i*block : (i+1)*block]
+			for j := 0; j < block; j++ {
+				orow[j] = dot(arow, b.data[(base+j)*k:(base+j+1)*k])
+			}
+		}
+	}
+	if a.rows*block < matmulParallelThreshold {
+		work(0, a.rows)
+	} else {
+		parallelRows(a.rows, work)
+	}
+	return out, nil
+}
+
+// BlockMatMulTransA computes per-block a_gᵀ×b_g: a is (B·block)×m, b is
+// (B·block)×n, output block g is m×n, stacked into (B·m)×n. It is the
+// remaining vector-Jacobian product needed by the two block ops above.
+func BlockMatMulTransA(a, b *Matrix, block int) (*Matrix, error) {
+	nb, err := checkBlocked("BlockMatMulTransA", a, block)
+	if err != nil {
+		return nil, err
+	}
+	if b.rows != a.rows {
+		return nil, fmt.Errorf("%w: BlockMatMulTransA (a %dx%d)ᵀ × b %dx%d",
+			ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	m, n := a.cols, b.cols
+	out := New(nb*m, n)
+	// out row g*m+i = sum_p a[g*block+p][i] * b row g*block+p; stream over p.
+	work := func(lo, hi int) {
+		for g := lo; g < hi; g++ {
+			for p := 0; p < block; p++ {
+				arow := a.data[(g*block+p)*m : (g*block+p+1)*m]
+				brow := b.data[(g*block+p)*n : (g*block+p+1)*n]
+				for i, av := range arow {
+					if av == 0 {
+						continue
+					}
+					orow := out.data[(g*m+i)*n : (g*m+i+1)*n]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+	// Parallelize over whole blocks: rows within a block share accumulators.
+	if nb*m*n < matmulParallelThreshold {
+		work(0, nb)
+	} else {
+		parallelRows(nb, work)
+	}
+	return out, nil
+}

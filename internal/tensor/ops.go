@@ -42,13 +42,33 @@ func MatMulInto(dst, a, b *Matrix) error {
 // matmulInto accumulates a×b into out (out must be zeroed by the caller).
 // The kernel is an ikj loop (streaming over b's rows) which is cache-friendly
 // for row-major data, parallelized over blocks of output rows.
+//
+// The inner loop is unrolled 4-wide over k: each pass streams four b rows
+// against one output row, quartering the load/store traffic on the output
+// row and exposing independent multiply-adds to the CPU's pipelines. On the
+// single-socket CPUs this reproduction targets that roughly doubles
+// throughput over the scalar ikj loop (see BenchmarkAblation_Matmul).
 func matmulInto(out, a, b *Matrix) {
 	m, k, n := a.rows, a.cols, b.cols
 	work := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.data[i*k : (i+1)*k]
 			orow := out.data[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
+			p := 0
+			for ; p+4 <= k; p += 4 {
+				av0, av1, av2, av3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+				if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
+					continue
+				}
+				b0 := b.data[p*n : (p+1)*n]
+				b1 := b.data[(p+1)*n : (p+2)*n]
+				b2 := b.data[(p+2)*n : (p+3)*n]
+				b3 := b.data[(p+3)*n : (p+4)*n]
+				for j, bv := range b0 {
+					orow[j] += av0*bv + av1*b1[j] + av2*b2[j] + av3*b3[j]
+				}
+			}
+			for ; p < k; p++ {
 				av := arow[p]
 				if av == 0 {
 					continue
@@ -64,28 +84,7 @@ func matmulInto(out, a, b *Matrix) {
 		work(0, m)
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			work(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	parallelRows(m, work)
 }
 
 // MatMulTransB returns a×bᵀ. a is m×k, b is n×k, result is m×n. This avoids
@@ -102,12 +101,7 @@ func MatMulTransB(a, b *Matrix) (*Matrix, error) {
 			arow := a.data[i*k : (i+1)*k]
 			orow := out.data[i*n : (i+1)*n]
 			for j := 0; j < n; j++ {
-				brow := b.data[j*k : (j+1)*k]
-				var s float64
-				for p, av := range arow {
-					s += av * brow[p]
-				}
-				orow[j] = s
+				orow[j] = dot(arow, b.data[j*k:(j+1)*k])
 			}
 		}
 	}
@@ -127,9 +121,32 @@ func MatMulTransA(a, b *Matrix) (*Matrix, error) {
 	}
 	k, m, n := a.rows, a.cols, b.cols
 	out := New(m, n)
-	// out[i][j] = sum_p a[p][i] * b[p][j]; stream over p for cache locality.
+	// out[i][j] = sum_p a[p][i] * b[p][j]; stream over p for cache locality,
+	// 4-wide like matmulInto so each output row is loaded/stored once per
+	// four b rows. The a accesses are column-strided but only 4 per row.
 	work := func(lo, hi int) {
-		for p := 0; p < k; p++ {
+		p := 0
+		for ; p+4 <= k; p += 4 {
+			a0 := a.data[p*m : (p+1)*m]
+			a1 := a.data[(p+1)*m : (p+2)*m]
+			a2 := a.data[(p+2)*m : (p+3)*m]
+			a3 := a.data[(p+3)*m : (p+4)*m]
+			b0 := b.data[p*n : (p+1)*n]
+			b1 := b.data[(p+1)*n : (p+2)*n]
+			b2 := b.data[(p+2)*n : (p+3)*n]
+			b3 := b.data[(p+3)*n : (p+4)*n]
+			for i := lo; i < hi; i++ {
+				av0, av1, av2, av3 := a0[i], a1[i], a2[i], a3[i]
+				if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
+					continue
+				}
+				orow := out.data[i*n : (i+1)*n]
+				for j, bv := range b0 {
+					orow[j] += av0*bv + av1*b1[j] + av2*b2[j] + av3*b3[j]
+				}
+			}
+		}
+		for ; p < k; p++ {
 			arow := a.data[p*m : (p+1)*m]
 			brow := b.data[p*n : (p+1)*n]
 			for i := lo; i < hi; i++ {
@@ -144,15 +161,43 @@ func MatMulTransA(a, b *Matrix) (*Matrix, error) {
 			}
 		}
 	}
-	work(0, m) // parallelizing over i inside the p loop races on nothing, but keep serial: k is usually small
+	if m*n < matmulParallelThreshold {
+		work(0, m)
+	} else {
+		parallelRows(m, work)
+	}
 	return out, nil
 }
 
+// dot returns the inner product of x and y (len(y) >= len(x)), accumulated
+// in four independent lanes so the multiply-adds pipeline instead of
+// serializing on one accumulator.
+func dot(x, y []float64) float64 {
+	var s0, s1, s2, s3 float64
+	p := 0
+	for ; p+4 <= len(x); p += 4 {
+		s0 += x[p] * y[p]
+		s1 += x[p+1] * y[p+1]
+		s2 += x[p+2] * y[p+2]
+		s3 += x[p+3] * y[p+3]
+	}
+	for ; p < len(x); p++ {
+		s0 += x[p] * y[p]
+	}
+	return s0 + s1 + s2 + s3
+}
+
 // parallelRows splits [0,m) row ranges across GOMAXPROCS workers and waits.
+// With a single worker (GOMAXPROCS=1 or m=1) it runs inline, skipping the
+// goroutine spawn entirely.
 func parallelRows(m int, work func(lo, hi int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > m {
 		workers = m
+	}
+	if workers <= 1 {
+		work(0, m)
+		return
 	}
 	var wg sync.WaitGroup
 	chunk := (m + workers - 1) / workers

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"clinfl/internal/autograd"
 	"clinfl/internal/nn"
@@ -32,6 +33,12 @@ type Config struct {
 	BatchSize int
 	// Workers is the data-parallel goroutine count (default GOMAXPROCS).
 	Workers int
+	// SubBatch is the number of contiguous items handed to a worker's loss
+	// function at a time. Models with a batched forward path (BERT, LSTM)
+	// process each sub-batch as one flattened computation on one tape, so
+	// this bounds per-tape memory while keeping matmuls large. <=0 derives
+	// ceil(batch/Workers): one sub-batch per worker.
+	SubBatch int
 	// ClipNorm caps the global gradient L2 norm (0 disables).
 	ClipNorm float64
 	// Seed drives shuffling and dropout.
@@ -51,6 +58,11 @@ func (c Config) withDefaults() Config {
 
 // Step computes gradients for one minibatch in parallel, applies clipping
 // and one optimizer update, and returns the mean per-unit loss.
+//
+// The minibatch is cut into contiguous sub-batches of cfg.SubBatch items;
+// workers pull sub-batches from a shared queue and run each on a fresh tape
+// via lossFn, so a model with a batched forward path sees whole sub-batches
+// as single flattened computations instead of one-example tapes.
 func Step[T any](params []*nn.Param, items []T, lossFn LossFunc[T], optimizer opt.Optimizer, cfg Config) (float64, error) {
 	cfg = cfg.withDefaults()
 	if len(items) == 0 {
@@ -60,45 +72,64 @@ func Step[T any](params []*nn.Param, items []T, lossFn LossFunc[T], optimizer op
 	if workers > len(items) {
 		workers = len(items)
 	}
+	subBatch := cfg.SubBatch
+	if subBatch <= 0 {
+		subBatch = (len(items) + workers - 1) / workers
+	}
+	nSub := (len(items) + subBatch - 1) / subBatch
+	if workers > nSub {
+		workers = nSub
+	}
 
-	type result struct {
-		grads map[*nn.Param]*tensor.Matrix
+	type subResult struct {
 		loss  float64
 		count int
 		err   error
 	}
-	results := make([]result, workers)
+	results := make([]subResult, nSub)
+	workerGrads := make([]map[*nn.Param]*tensor.Matrix, workers)
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	chunk := (len(items) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(items) {
-			hi = len(items)
-		}
-		if lo >= hi {
-			break
-		}
+		// Gradients from every sub-batch a worker processes accumulate into
+		// one worker-local buffer, reduced once after the join.
+		grads := make(map[*nn.Param]*tensor.Matrix)
+		workerGrads[w] = grads
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func() {
 			defer wg.Done()
-			ctx := nn.NewCtx(true, tensor.NewRNG(cfg.Seed+int64(w)*1_000_003))
-			loss, count, err := lossFn(ctx, items[lo:hi])
-			if err != nil {
-				results[w] = result{err: err}
-				return
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= nSub {
+					return
+				}
+				lo := s * subBatch
+				hi := lo + subBatch
+				if hi > len(items) {
+					hi = len(items)
+				}
+				// Seed by sub-batch index, not worker id, so for a fixed
+				// sub-batch partition the dropout streams don't depend on
+				// which worker picks a sub-batch up. Full independence
+				// from the worker count requires an explicit cfg.SubBatch
+				// (the default size is derived from Workers).
+				ctx := nn.NewCtx(true, tensor.NewRNG(cfg.Seed+int64(s)*1_000_003))
+				loss, count, err := lossFn(ctx, items[lo:hi])
+				if err != nil {
+					results[s] = subResult{err: err}
+					return
+				}
+				if err := ctx.Tape.Backward(loss); err != nil {
+					results[s] = subResult{err: err}
+					return
+				}
+				if err := ctx.HarvestInto(grads); err != nil {
+					results[s] = subResult{err: err}
+					return
+				}
+				results[s] = subResult{loss: loss.Value.At(0, 0), count: count}
 			}
-			if err := ctx.Tape.Backward(loss); err != nil {
-				results[w] = result{err: err}
-				return
-			}
-			grads := make(map[*nn.Param]*tensor.Matrix)
-			if err := ctx.HarvestInto(grads); err != nil {
-				results[w] = result{err: err}
-				return
-			}
-			results[w] = result{grads: grads, loss: loss.Value.At(0, 0), count: count}
-		}(w, lo, hi)
+		}()
 	}
 	wg.Wait()
 
@@ -118,8 +149,8 @@ func Step[T any](params []*nn.Param, items []T, lossFn LossFunc[T], optimizer op
 	// Reduce worker gradients into the shared accumulators, normalizing to
 	// a mean over loss units.
 	inv := 1 / float64(totalCount)
-	for _, r := range results {
-		for p, g := range r.grads {
+	for _, grads := range workerGrads {
+		for p, g := range grads {
 			if err := p.Grad.AddScaledInPlace(inv, g); err != nil {
 				return 0, fmt.Errorf("train: reduce %q: %w", p.Name, err)
 			}

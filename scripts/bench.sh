@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# Runs the Table II / Table III scoreboard benchmarks and records the
+# results as BENCH_batched.json at the repo root, so the perf trajectory of
+# the batched execution path is tracked PR over PR.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 3x)
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-3x}"
+OUT="BENCH_batched.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' \
+  -bench 'BenchmarkTable2_ForwardBERT|BenchmarkTable3_FLRoundBERT' \
+  -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
+
+{
+  printf '{\n'
+  printf '  "generated_by": "scripts/bench.sh",\n'
+  printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "benchtime": "%s",\n' "$BENCHTIME"
+  printf '  "cpu": "%s",\n' "$(grep -m1 '^cpu:' "$RAW" | cut -d: -f2- | sed 's/^ *//')"
+  # Pre-batching seed measurement (per-sequence BERT path, scalar matmul
+  # kernels), taken on the reference single-core Xeon 2.10GHz box; kept here
+  # so every regeneration of the JSON preserves the original baseline.
+  printf '  "seed_baseline_ns_per_op": {\n'
+  printf '    "BenchmarkTable2_ForwardBERTMini": 60791589,\n'
+  printf '    "BenchmarkTable2_ForwardBERT": 622974650,\n'
+  printf '    "BenchmarkTable3_FLRoundBERTMini": 864552461,\n'
+  printf '    "BenchmarkTable3_FLRoundBERT": 6958233067\n'
+  printf '  },\n'
+  printf '  "results_ns_per_op": {\n'
+  grep '^Benchmark' "$RAW" | awk '
+    { gsub(/[ \t]+/, " "); n = $1; sub(/-[0-9]+$/, "", n); ns = $3 }
+    { lines[NR] = sprintf("    \"%s\": %s", n, ns) }
+    END {
+      for (i = 1; i <= NR; i++) printf "%s%s\n", lines[i], (i < NR ? "," : "")
+    }'
+  printf '  }\n'
+  printf '}\n'
+} > "$OUT"
+
+echo "wrote $OUT"
