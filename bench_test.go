@@ -79,6 +79,12 @@ func benchmarkForward(b *testing.B, name string) {
 	ds, vocab := benchCohort(b, 64)
 	m := benchModel(b, name, vocab)
 	batch := []data.Example(ds[:16])
+	// One warmup pass grows the model's recycled eval context (arena slabs,
+	// tape node pool) to its working-set size, so the timed iterations
+	// measure the steady state the serving path actually runs in.
+	if _, err := m.Predict(batch); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := m.Predict(batch); err != nil {
@@ -115,16 +121,26 @@ func benchmarkFLRound(b *testing.B, name string, clients int, perClient int) {
 		executors[i] = exec
 	}
 	initial := nn.SnapshotWeights(ref.Params())
+	// Warmup round: grows each executor's persistent Trainer (tapes, arenas,
+	// gradient buffers) so the timed rounds measure steady-state cost.
+	if err := runFLRound(executors, initial); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ctrl, err := fl.NewController(fl.ControllerConfig{Rounds: 1}, executors)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := ctrl.Run(context.Background(), initial); err != nil {
+		if err := runFLRound(executors, initial); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+func runFLRound(executors []fl.Executor, initial map[string]*tensor.Matrix) error {
+	ctrl, err := fl.NewController(fl.ControllerConfig{Rounds: 1}, executors)
+	if err != nil {
+		return err
+	}
+	_, err = ctrl.Run(context.Background(), initial)
+	return err
 }
 
 func BenchmarkTable3_FLRoundLSTM(b *testing.B)     { benchmarkFLRound(b, "lstm", 4, 16) }

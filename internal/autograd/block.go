@@ -15,43 +15,51 @@ import (
 // BlockMatMul multiplies row blocks independently: output block g is
 // a_g×b_g (a is (B·block)×block, b is (B·block)×n). Used for attn×V.
 func (t *Tape) BlockMatMul(a, b *Node, block int) (*Node, error) {
-	v, err := tensor.BlockMatMul(a.Value, b.Value, block)
-	if err != nil {
+	if err := blockShapeCheck("BlockMatMul", a.Value, block); err != nil {
+		return nil, err
+	}
+	v := t.newMatrix(a.Value.Rows(), b.Value.Cols())
+	if err := tensor.BlockMatMulAcc(v, a.Value, b.Value, block, 1); err != nil {
 		return nil, fmt.Errorf("autograd: %w", err)
 	}
-	return t.newOp(v, func(n *Node) {
-		if a.requiresGrad {
-			// d a_g = g_g × b_gᵀ
-			ga, _ := tensor.BlockMatMulTransB(n.Grad, b.Value, block)
-			a.accumulate(ga)
-		}
-		if b.requiresGrad {
-			// d b_g = a_gᵀ × g_g
-			gb, _ := tensor.BlockMatMulTransA(a.Value, n.Grad, block)
-			b.accumulate(gb)
-		}
-	}, a, b), nil
+	n := t.newOp(opBlockMatMul, v, a, b, nil)
+	n.iaux = block
+	return n, nil
 }
 
 // BlockMatMulTransB computes per-block a_g×b_gᵀ (both (B·block)×k),
 // returning (B·block)×block. Used for per-sequence Q×Kᵀ attention scores.
 func (t *Tape) BlockMatMulTransB(a, b *Node, block int) (*Node, error) {
-	v, err := tensor.BlockMatMulTransB(a.Value, b.Value, block)
-	if err != nil {
+	return t.BlockMatMulTransBScaled(a, b, block, 1)
+}
+
+// BlockMatMulTransBScaled computes alpha·(a_g×b_gᵀ) per block as a single
+// fused node. Attention folds its 1/√d score scale in here, deleting the
+// separate Scale node (and its full-score-matrix value and gradient) per
+// head per layer.
+func (t *Tape) BlockMatMulTransBScaled(a, b *Node, block int, alpha float64) (*Node, error) {
+	if err := blockShapeCheck("BlockMatMulTransB", a.Value, block); err != nil {
+		return nil, err
+	}
+	v := t.newMatrix(a.Value.Rows(), block)
+	if err := tensor.BlockMatMulTransBInto(v, a.Value, b.Value, block, alpha); err != nil {
 		return nil, fmt.Errorf("autograd: %w", err)
 	}
-	return t.newOp(v, func(n *Node) {
-		if a.requiresGrad {
-			// d a_g = g_g × b_g
-			ga, _ := tensor.BlockMatMul(n.Grad, b.Value, block)
-			a.accumulate(ga)
-		}
-		if b.requiresGrad {
-			// d b_g = g_gᵀ × a_g
-			gb, _ := tensor.BlockMatMulTransA(n.Grad, a.Value, block)
-			b.accumulate(gb)
-		}
-	}, a, b), nil
+	n := t.newOp(opBlockMatMulTransB, v, a, b, nil)
+	n.iaux = block
+	n.alpha = alpha
+	return n, nil
+}
+
+func blockShapeCheck(op string, m *tensor.Matrix, block int) error {
+	if block <= 0 {
+		return fmt.Errorf("autograd: %w: %s block size %d", tensor.ErrShape, op, block)
+	}
+	if m.Rows()%block != 0 {
+		return fmt.Errorf("autograd: %w: %s %d rows not divisible into blocks of %d",
+			tensor.ErrShape, op, m.Rows(), block)
+	}
+	return nil
 }
 
 // BlockSoftmaxRows applies a numerically-stable softmax along every row of a
@@ -60,7 +68,9 @@ func (t *Tape) BlockMatMulTransB(a, b *Node, block int) (*Node, error) {
 // !padMasks[g][j], and padded columns get exactly 0. padMasks may be nil
 // (no padding anywhere) and individual entries may be nil (no padding in
 // that sequence). This replaces the dense seq×seq additive mask the
-// per-sequence path used to allocate per call.
+// per-sequence path used to allocate per call. The backward rule runs fully
+// in place: the softmax VJP needs only a per-row dot product, so gradients
+// accumulate directly into the parent buffer with no scratch matrix.
 func (t *Tape) BlockSoftmaxRows(a *Node, block int, padMasks [][]bool) (*Node, error) {
 	rows, cols := a.Value.Rows(), a.Value.Cols()
 	if block <= 0 || cols != block || rows%block != 0 {
@@ -77,7 +87,7 @@ func (t *Tape) BlockSoftmaxRows(a *Node, block int, padMasks [][]bool) (*Node, e
 				g, len(padMasks[g]), block)
 		}
 	}
-	s := tensor.New(rows, cols)
+	s := t.newMatrix(rows, cols)
 	for i := 0; i < rows; i++ {
 		var mask []bool
 		if padMasks != nil {
@@ -93,6 +103,7 @@ func (t *Tape) BlockSoftmaxRows(a *Node, block int, padMasks [][]bool) (*Node, e
 		var sum float64
 		for j, v := range src {
 			if mask != nil && mask[j] {
+				dst[j] = 0
 				continue
 			}
 			e := math.Exp(v - mx)
@@ -107,22 +118,9 @@ func (t *Tape) BlockSoftmaxRows(a *Node, block int, padMasks [][]bool) (*Node, e
 			dst[j] *= inv
 		}
 	}
-	return t.newOp(s, func(n *Node) {
-		// Padded columns hold s=0, so the standard softmax VJP already
-		// routes no gradient through them.
-		g := tensor.New(rows, cols)
-		for i := 0; i < rows; i++ {
-			srow, urow, grow := s.Row(i), n.Grad.Row(i), g.Row(i)
-			var dot float64
-			for j := range srow {
-				dot += urow[j] * srow[j]
-			}
-			for j := range srow {
-				grow[j] = srow[j] * (urow[j] - dot)
-			}
-		}
-		a.accumulate(g)
-	}, a), nil
+	n := t.newOp(opBlockSoftmaxRows, s, a, nil, nil)
+	n.iaux = block
+	return n, nil
 }
 
 // GatherRows selects rows of a by index: out row i = a row rows[i]. The
@@ -131,23 +129,14 @@ func (t *Tape) BlockSoftmaxRows(a *Node, block int, padMasks [][]bool) (*Node, e
 // MLM positions out of the flattened (B·T)×d batch layout.
 func (t *Tape) GatherRows(a *Node, rows []int) (*Node, error) {
 	cols := a.Value.Cols()
-	v := tensor.New(len(rows), cols)
+	v := t.newMatrix(len(rows), cols)
 	for i, r := range rows {
 		if r < 0 || r >= a.Value.Rows() {
 			return nil, fmt.Errorf("autograd: GatherRows index %d out of range [0,%d)", r, a.Value.Rows())
 		}
 		copy(v.Row(i), a.Value.Row(r))
 	}
-	rowsCopy := make([]int, len(rows))
-	copy(rowsCopy, rows)
-	return t.newOp(v, func(n *Node) {
-		g := tensor.New(a.Value.Rows(), cols)
-		for i, r := range rowsCopy {
-			dst, src := g.Row(r), n.Grad.Row(i)
-			for j, u := range src {
-				dst[j] += u
-			}
-		}
-		a.accumulate(g)
-	}, a), nil
+	n := t.newOp(opGatherRows, v, a, nil, nil)
+	n.ints = t.takeInts(rows)
+	return n, nil
 }

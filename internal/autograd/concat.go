@@ -12,24 +12,23 @@ func (t *Tape) ConcatRows(nodes ...*Node) (*Node, error) {
 	if len(nodes) == 0 {
 		return t.Constant(tensor.New(0, 0)), nil
 	}
-	mats := make([]*tensor.Matrix, len(nodes))
-	for i, n := range nodes {
-		mats[i] = n.Value
-	}
-	v, err := tensor.Concat(mats...)
-	if err != nil {
-		return nil, fmt.Errorf("autograd: %w", err)
-	}
-	parents := append([]*Node(nil), nodes...)
-	return t.newOp(v, func(n *Node) {
-		off := 0
-		for _, p := range parents {
-			r := p.Value.Rows()
-			if p.requiresGrad {
-				g, _ := n.Grad.SliceRows(off, off+r)
-				p.accumulate(g)
-			}
-			off += r
+	cols := nodes[0].Value.Cols()
+	total := 0
+	for _, p := range nodes {
+		if p.Value.Cols() != cols {
+			return nil, fmt.Errorf("autograd: %w: ConcatRows col mismatch %d vs %d",
+				tensor.ErrShape, p.Value.Cols(), cols)
 		}
-	}, parents...), nil
+		total += p.Value.Rows()
+	}
+	v := t.newMatrix(total, cols)
+	off := 0
+	for _, p := range nodes {
+		r := p.Value.Rows()
+		for i := 0; i < r; i++ {
+			copy(v.Row(off+i), p.Value.Row(i))
+		}
+		off += r
+	}
+	return t.newOpN(opConcatRows, v, nodes), nil
 }

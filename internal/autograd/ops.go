@@ -7,202 +7,223 @@ import (
 	"clinfl/internal/tensor"
 )
 
-// mustAdd wraps tensor shape errors that indicate internal bugs.
-func mustAdd(dst, src *tensor.Matrix) {
-	if err := dst.AddInPlace(src); err != nil {
-		panic(fmt.Sprintf("autograd: internal shape bug: %v", err))
-	}
-}
+// Forward constructors. Each records one node carrying the opcode and the
+// auxiliary state its backward rule (backward.go) needs; values are computed
+// into tape-allocated (arena-recycled) matrices with no intermediate
+// allocation.
 
 // Add returns a+b.
 func (t *Tape) Add(a, b *Node) (*Node, error) {
-	v, err := tensor.Add(a.Value, b.Value)
-	if err != nil {
-		return nil, fmt.Errorf("autograd: %w", err)
+	if !a.Value.SameShape(b.Value) {
+		return nil, fmt.Errorf("autograd: %w: Add %dx%d + %dx%d", tensor.ErrShape,
+			a.Value.Rows(), a.Value.Cols(), b.Value.Rows(), b.Value.Cols())
 	}
-	return t.newOp(v, func(n *Node) {
-		a.accumulate(n.Grad)
-		b.accumulate(n.Grad)
-	}, a, b), nil
+	v := t.newMatrix(a.Value.Rows(), a.Value.Cols())
+	vd, ad, bd := v.Data(), a.Value.Data(), b.Value.Data()
+	for i, av := range ad {
+		vd[i] = av + bd[i]
+	}
+	return t.newOp(opAdd, v, a, b, nil), nil
 }
 
 // Sub returns a-b.
 func (t *Tape) Sub(a, b *Node) (*Node, error) {
-	v, err := tensor.Sub(a.Value, b.Value)
-	if err != nil {
-		return nil, fmt.Errorf("autograd: %w", err)
+	if !a.Value.SameShape(b.Value) {
+		return nil, fmt.Errorf("autograd: %w: Sub %dx%d - %dx%d", tensor.ErrShape,
+			a.Value.Rows(), a.Value.Cols(), b.Value.Rows(), b.Value.Cols())
 	}
-	return t.newOp(v, func(n *Node) {
-		a.accumulate(n.Grad)
-		b.accumulate(tensor.Scale(-1, n.Grad))
-	}, a, b), nil
+	v := t.newMatrix(a.Value.Rows(), a.Value.Cols())
+	vd, ad, bd := v.Data(), a.Value.Data(), b.Value.Data()
+	for i, av := range ad {
+		vd[i] = av - bd[i]
+	}
+	return t.newOp(opSub, v, a, b, nil), nil
 }
 
 // Mul returns the elementwise (Hadamard) product a⊙b.
 func (t *Tape) Mul(a, b *Node) (*Node, error) {
-	v, err := tensor.Mul(a.Value, b.Value)
-	if err != nil {
-		return nil, fmt.Errorf("autograd: %w", err)
+	if !a.Value.SameShape(b.Value) {
+		return nil, fmt.Errorf("autograd: %w: Mul %dx%d ⊙ %dx%d", tensor.ErrShape,
+			a.Value.Rows(), a.Value.Cols(), b.Value.Rows(), b.Value.Cols())
 	}
-	return t.newOp(v, func(n *Node) {
-		if a.requiresGrad {
-			ga, _ := tensor.Mul(n.Grad, b.Value)
-			a.accumulate(ga)
-		}
-		if b.requiresGrad {
-			gb, _ := tensor.Mul(n.Grad, a.Value)
-			b.accumulate(gb)
-		}
-	}, a, b), nil
+	v := t.newMatrix(a.Value.Rows(), a.Value.Cols())
+	vd, ad, bd := v.Data(), a.Value.Data(), b.Value.Data()
+	for i, av := range ad {
+		vd[i] = av * bd[i]
+	}
+	return t.newOp(opMul, v, a, b, nil), nil
 }
 
 // Scale returns alpha*a for a compile-time constant alpha.
 func (t *Tape) Scale(alpha float64, a *Node) *Node {
-	v := tensor.Scale(alpha, a.Value)
-	return t.newOp(v, func(n *Node) {
-		a.accumulate(tensor.Scale(alpha, n.Grad))
-	}, a)
+	v := t.newMatrix(a.Value.Rows(), a.Value.Cols())
+	vd, ad := v.Data(), a.Value.Data()
+	for i, av := range ad {
+		vd[i] = alpha * av
+	}
+	n := t.newOp(opScale, v, a, nil, nil)
+	n.alpha = alpha
+	return n
 }
 
 // MatMul returns a×b.
 func (t *Tape) MatMul(a, b *Node) (*Node, error) {
-	v, err := tensor.MatMul(a.Value, b.Value)
-	if err != nil {
+	if a.Value.Cols() != b.Value.Rows() {
+		return nil, fmt.Errorf("autograd: %w: MatMul %dx%d × %dx%d", tensor.ErrShape,
+			a.Value.Rows(), a.Value.Cols(), b.Value.Rows(), b.Value.Cols())
+	}
+	v := t.newMatrix(a.Value.Rows(), b.Value.Cols())
+	// newMatrix returns zeroed memory, so the accumulate form is a plain
+	// product without the extra clearing pass of MatMulInto.
+	if err := tensor.MatMulAcc(v, a.Value, b.Value); err != nil {
 		return nil, fmt.Errorf("autograd: %w", err)
 	}
-	return t.newOp(v, func(n *Node) {
-		if a.requiresGrad {
-			ga, _ := tensor.MatMulTransB(n.Grad, b.Value)
-			a.accumulate(ga)
-		}
-		if b.requiresGrad {
-			gb, _ := tensor.MatMulTransA(a.Value, n.Grad)
-			b.accumulate(gb)
-		}
-	}, a, b), nil
+	return t.newOp(opMatMul, v, a, b, nil), nil
 }
 
 // MatMulTransB returns a×bᵀ, used by attention score computation.
 func (t *Tape) MatMulTransB(a, b *Node) (*Node, error) {
-	v, err := tensor.MatMulTransB(a.Value, b.Value)
-	if err != nil {
+	if a.Value.Cols() != b.Value.Cols() {
+		return nil, fmt.Errorf("autograd: %w: MatMulTransB %dx%d × (%dx%d)ᵀ", tensor.ErrShape,
+			a.Value.Rows(), a.Value.Cols(), b.Value.Rows(), b.Value.Cols())
+	}
+	v := t.newMatrix(a.Value.Rows(), b.Value.Rows())
+	if err := tensor.MatMulTransBAcc(v, a.Value, b.Value); err != nil {
 		return nil, fmt.Errorf("autograd: %w", err)
 	}
-	return t.newOp(v, func(n *Node) {
-		if a.requiresGrad {
-			// d a = g × b
-			ga, _ := tensor.MatMul(n.Grad, b.Value)
-			a.accumulate(ga)
+	return t.newOp(opMatMulTransB, v, a, b, nil), nil
+}
+
+// Affine returns x×w + b with b a 1×out bias row, fused into a single node.
+// This is the Linear layer's forward; fusing removes one intermediate
+// matrix and one tape node per projection relative to MatMul+AddRowVector.
+func (t *Tape) Affine(x, w, b *Node) (*Node, error) {
+	v, err := t.affineValue("Affine", x, w, b)
+	if err != nil {
+		return nil, err
+	}
+	return t.newOp(opAffine, v, x, w, b), nil
+}
+
+// LinearGELU returns GELU(x×w + b) as one fused node: the transformer
+// feed-forward (and MLM-head) hot chain. The pre-activation is saved for
+// the backward rule; the activation itself is computed in place.
+func (t *Tape) LinearGELU(x, w, b *Node) (*Node, error) {
+	h, err := t.affineValue("LinearGELU", x, w, b)
+	if err != nil {
+		return nil, err
+	}
+	v := t.newMatrix(h.Rows(), h.Cols())
+	vd, hd := v.Data(), h.Data()
+	for i, x := range hd {
+		vd[i] = geluValue(x)
+	}
+	n := t.newOp(opLinearGELU, v, x, w, b)
+	n.m1 = h
+	return n, nil
+}
+
+// affineValue computes x×w + b into a fresh tape matrix.
+func (t *Tape) affineValue(op string, x, w, b *Node) (*tensor.Matrix, error) {
+	if x.Value.Cols() != w.Value.Rows() {
+		return nil, fmt.Errorf("autograd: %w: %s %dx%d × %dx%d", tensor.ErrShape, op,
+			x.Value.Rows(), x.Value.Cols(), w.Value.Rows(), w.Value.Cols())
+	}
+	if b.Value.Rows() != 1 || b.Value.Cols() != w.Value.Cols() {
+		return nil, fmt.Errorf("autograd: %w: %s bias must be 1x%d, got %dx%d", tensor.ErrShape,
+			op, w.Value.Cols(), b.Value.Rows(), b.Value.Cols())
+	}
+	v := t.newMatrix(x.Value.Rows(), w.Value.Cols())
+	if err := tensor.MatMulAcc(v, x.Value, w.Value); err != nil {
+		return nil, fmt.Errorf("autograd: %w", err)
+	}
+	bd := b.Value.Data()
+	for i := 0; i < v.Rows(); i++ {
+		row := v.Row(i)
+		for j, bv := range bd {
+			row[j] += bv
 		}
-		if b.requiresGrad {
-			// d b = gᵀ × a
-			gb, _ := tensor.MatMulTransA(n.Grad, a.Value)
-			b.accumulate(gb)
-		}
-	}, a, b), nil
+	}
+	return v, nil
 }
 
 // AddRowVector returns x with the 1×C bias b added to every row.
 func (t *Tape) AddRowVector(x, b *Node) (*Node, error) {
-	v, err := tensor.AddRowVector(x.Value, b.Value)
-	if err != nil {
-		return nil, fmt.Errorf("autograd: %w", err)
+	if b.Value.Rows() != 1 || b.Value.Cols() != x.Value.Cols() {
+		return nil, fmt.Errorf("autograd: %w: AddRowVector %dx%d + %dx%d", tensor.ErrShape,
+			x.Value.Rows(), x.Value.Cols(), b.Value.Rows(), b.Value.Cols())
 	}
-	return t.newOp(v, func(n *Node) {
-		x.accumulate(n.Grad)
-		if b.requiresGrad {
-			b.accumulate(tensor.SumRows(n.Grad))
+	v := t.newMatrix(x.Value.Rows(), x.Value.Cols())
+	bd := b.Value.Data()
+	for i := 0; i < v.Rows(); i++ {
+		src, dst := x.Value.Row(i), v.Row(i)
+		for j, bv := range bd {
+			dst[j] = src[j] + bv
 		}
-	}, x, b), nil
+	}
+	return t.newOp(opAddRowVector, v, x, b, nil), nil
+}
+
+// apply computes f elementwise into a fresh tape matrix.
+func (t *Tape) apply(a *Node, f func(float64) float64) *tensor.Matrix {
+	v := t.newMatrix(a.Value.Rows(), a.Value.Cols())
+	vd, ad := v.Data(), a.Value.Data()
+	for i, x := range ad {
+		vd[i] = f(x)
+	}
+	return v
 }
 
 // Tanh applies tanh elementwise.
 func (t *Tape) Tanh(a *Node) *Node {
-	v := a.Value.Apply(math.Tanh)
-	return t.newOp(v, func(n *Node) {
-		g := tensor.New(v.Rows(), v.Cols())
-		gd, vd, ud := g.Data(), v.Data(), n.Grad.Data()
-		for i := range gd {
-			gd[i] = ud[i] * (1 - vd[i]*vd[i])
-		}
-		a.accumulate(g)
-	}, a)
+	return t.newOp(opTanh, t.apply(a, math.Tanh), a, nil, nil)
 }
 
 // Sigmoid applies the logistic function elementwise.
 func (t *Tape) Sigmoid(a *Node) *Node {
-	v := a.Value.Apply(func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
-	return t.newOp(v, func(n *Node) {
-		g := tensor.New(v.Rows(), v.Cols())
-		gd, vd, ud := g.Data(), v.Data(), n.Grad.Data()
-		for i := range gd {
-			gd[i] = ud[i] * vd[i] * (1 - vd[i])
-		}
-		a.accumulate(g)
-	}, a)
+	v := t.apply(a, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+	return t.newOp(opSigmoid, v, a, nil, nil)
 }
 
 // ReLU applies max(0, x) elementwise.
 func (t *Tape) ReLU(a *Node) *Node {
-	v := a.Value.Apply(func(x float64) float64 {
+	v := t.apply(a, func(x float64) float64 {
 		if x > 0 {
 			return x
 		}
 		return 0
 	})
-	return t.newOp(v, func(n *Node) {
-		g := tensor.New(v.Rows(), v.Cols())
-		gd, xd, ud := g.Data(), a.Value.Data(), n.Grad.Data()
-		for i := range gd {
-			if xd[i] > 0 {
-				gd[i] = ud[i]
-			}
-		}
-		a.accumulate(g)
-	}, a)
+	return t.newOp(opReLU, v, a, nil, nil)
 }
 
 // geluCoeff is sqrt(2/pi) used by the tanh approximation of GELU.
 var geluCoeff = math.Sqrt(2 / math.Pi)
 
+// geluValue is the tanh approximation of GELU(x). The fused and unfused
+// ops must share it (with geluDeriv) so they stay bit-identical.
+func geluValue(x float64) float64 {
+	return 0.5 * x * (1 + math.Tanh(geluCoeff*(x+0.044715*x*x*x)))
+}
+
+// geluDeriv is d/dx of geluValue.
+func geluDeriv(x float64) float64 {
+	u := geluCoeff * (x + 0.044715*x*x*x)
+	th := math.Tanh(u)
+	du := geluCoeff * (1 + 3*0.044715*x*x)
+	return 0.5*(1+th) + 0.5*x*(1-th*th)*du
+}
+
 // GELU applies the Gaussian error linear unit (tanh approximation), the
 // activation BERT uses in its feed-forward blocks.
 func (t *Tape) GELU(a *Node) *Node {
-	v := a.Value.Apply(func(x float64) float64 {
-		return 0.5 * x * (1 + math.Tanh(geluCoeff*(x+0.044715*x*x*x)))
-	})
-	return t.newOp(v, func(n *Node) {
-		g := tensor.New(v.Rows(), v.Cols())
-		gd, xd, ud := g.Data(), a.Value.Data(), n.Grad.Data()
-		for i := range gd {
-			x := xd[i]
-			u := geluCoeff * (x + 0.044715*x*x*x)
-			th := math.Tanh(u)
-			du := geluCoeff * (1 + 3*0.044715*x*x)
-			gd[i] = ud[i] * (0.5*(1+th) + 0.5*x*(1-th*th)*du)
-		}
-		a.accumulate(g)
-	}, a)
+	return t.newOp(opGELU, t.apply(a, geluValue), a, nil, nil)
 }
 
 // SoftmaxRows applies a numerically-stable softmax along every row.
 func (t *Tape) SoftmaxRows(a *Node) *Node {
-	s := tensor.SoftmaxRows(a.Value)
-	return t.newOp(s, func(n *Node) {
-		rows, cols := s.Rows(), s.Cols()
-		g := tensor.New(rows, cols)
-		for i := 0; i < rows; i++ {
-			srow, urow, grow := s.Row(i), n.Grad.Row(i), g.Row(i)
-			var dot float64
-			for j := range srow {
-				dot += urow[j] * srow[j]
-			}
-			for j := range srow {
-				grow[j] = srow[j] * (urow[j] - dot)
-			}
-		}
-		a.accumulate(g)
-	}, a)
+	s := t.newMatrix(a.Value.Rows(), a.Value.Cols())
+	tensor.SoftmaxRowsInto(s, a.Value)
+	return t.newOp(opSoftmaxRows, s, a, nil, nil)
 }
 
 // LayerNorm normalizes every row of x to zero mean / unit variance, then
@@ -213,9 +234,10 @@ func (t *Tape) LayerNorm(x, gain, bias *Node, eps float64) (*Node, error) {
 		bias.Value.Rows() != 1 || bias.Value.Cols() != cols {
 		return nil, fmt.Errorf("autograd: %w: LayerNorm gain/bias must be 1x%d", tensor.ErrShape, cols)
 	}
-	v := tensor.New(rows, cols)
-	xhat := tensor.New(rows, cols)
-	invStd := make([]float64, rows)
+	v := t.newMatrix(rows, cols)
+	xhat := t.newMatrix(rows, cols)
+	invStd := t.newMatrix(1, rows)
+	isd := invStd.Data()
 	gd, bd := gain.Value.Data(), bias.Value.Data()
 	for i := 0; i < rows; i++ {
 		xr, vr, hr := x.Value.Row(i), v.Row(i), xhat.Row(i)
@@ -231,43 +253,18 @@ func (t *Tape) LayerNorm(x, gain, bias *Node, eps float64) (*Node, error) {
 		}
 		variance /= float64(cols)
 		is := 1 / math.Sqrt(variance+eps)
-		invStd[i] = is
+		isd[i] = is
 		for j, xv := range xr {
 			h := (xv - mean) * is
 			hr[j] = h
 			vr[j] = h*gd[j] + bd[j]
 		}
 	}
-	return t.newOp(v, func(n *Node) {
-		if bias.requiresGrad {
-			bias.accumulate(tensor.SumRows(n.Grad))
-		}
-		if gain.requiresGrad {
-			gg, _ := tensor.Mul(n.Grad, xhat)
-			gain.accumulate(tensor.SumRows(gg))
-		}
-		if !x.requiresGrad {
-			return
-		}
-		gx := tensor.New(rows, cols)
-		for i := 0; i < rows; i++ {
-			ur, hr, gr := n.Grad.Row(i), xhat.Row(i), gx.Row(i)
-			// gy = upstream ⊙ gain; dx = (gy - mean(gy) - xhat*mean(gy⊙xhat)) * invStd
-			var m1, m2 float64
-			for j := range ur {
-				gy := ur[j] * gd[j]
-				m1 += gy
-				m2 += gy * hr[j]
-			}
-			m1 /= float64(cols)
-			m2 /= float64(cols)
-			for j := range ur {
-				gy := ur[j] * gd[j]
-				gr[j] = (gy - m1 - hr[j]*m2) * invStd[i]
-			}
-		}
-		x.accumulate(gx)
-	}, x, gain, bias), nil
+	n := t.newOp(opLayerNorm, v, x, gain, bias)
+	n.m1 = xhat
+	n.m2 = invStd
+	n.alpha = eps
+	return n, nil
 }
 
 // Embedding gathers rows of table by ids: out row i = table row ids[i].
@@ -275,24 +272,16 @@ func (t *Tape) LayerNorm(x, gain, bias *Node, eps float64) (*Node, error) {
 // still receive (zero) updates only when referenced.
 func (t *Tape) Embedding(table *Node, ids []int) (*Node, error) {
 	cols := table.Value.Cols()
-	v := tensor.New(len(ids), cols)
+	v := t.newMatrix(len(ids), cols)
 	for i, id := range ids {
 		if id < 0 || id >= table.Value.Rows() {
 			return nil, fmt.Errorf("autograd: embedding id %d out of range [0,%d)", id, table.Value.Rows())
 		}
 		copy(v.Row(i), table.Value.Row(id))
 	}
-	idsCopy := make([]int, len(ids))
-	copy(idsCopy, ids)
-	return t.newOp(v, func(n *Node) {
-		g := table.ensureGrad()
-		for i, id := range idsCopy {
-			dst, src := g.Row(id), n.Grad.Row(i)
-			for j, u := range src {
-				dst[j] += u
-			}
-		}
-	}, table), nil
+	n := t.newOp(opEmbedding, v, table, nil, nil)
+	n.ints = t.takeInts(ids)
+	return n, nil
 }
 
 // ConcatCols concatenates a (R×Ca) and b (R×Cb) into R×(Ca+Cb).
@@ -301,114 +290,86 @@ func (t *Tape) ConcatCols(a, b *Node) (*Node, error) {
 		return nil, fmt.Errorf("autograd: %w: ConcatCols rows %d vs %d",
 			tensor.ErrShape, a.Value.Rows(), b.Value.Rows())
 	}
-	rows, ca, cb := a.Value.Rows(), a.Value.Cols(), b.Value.Cols()
-	v := tensor.New(rows, ca+cb)
+	rows, ca := a.Value.Rows(), a.Value.Cols()
+	v := t.newMatrix(rows, ca+b.Value.Cols())
 	for i := 0; i < rows; i++ {
 		copy(v.Row(i)[:ca], a.Value.Row(i))
 		copy(v.Row(i)[ca:], b.Value.Row(i))
 	}
-	return t.newOp(v, func(n *Node) {
-		if a.requiresGrad {
-			ga := tensor.New(rows, ca)
-			for i := 0; i < rows; i++ {
-				copy(ga.Row(i), n.Grad.Row(i)[:ca])
-			}
-			a.accumulate(ga)
-		}
-		if b.requiresGrad {
-			gb := tensor.New(rows, cb)
-			for i := 0; i < rows; i++ {
-				copy(gb.Row(i), n.Grad.Row(i)[ca:])
-			}
-			b.accumulate(gb)
-		}
-	}, a, b), nil
+	return t.newOp(opConcatCols, v, a, b, nil), nil
 }
 
 // SliceCols returns columns [lo, hi) of a.
 func (t *Tape) SliceCols(a *Node, lo, hi int) (*Node, error) {
-	v, err := a.Value.SliceCols(lo, hi)
-	if err != nil {
-		return nil, fmt.Errorf("autograd: %w", err)
+	if lo < 0 || hi > a.Value.Cols() || lo > hi {
+		return nil, fmt.Errorf("autograd: %w: SliceCols [%d,%d) of %d cols",
+			tensor.ErrShape, lo, hi, a.Value.Cols())
 	}
-	return t.newOp(v, func(n *Node) {
-		g := tensor.New(a.Value.Rows(), a.Value.Cols())
-		for i := 0; i < v.Rows(); i++ {
-			copy(g.Row(i)[lo:hi], n.Grad.Row(i))
-		}
-		a.accumulate(g)
-	}, a), nil
+	rows := a.Value.Rows()
+	v := t.newMatrix(rows, hi-lo)
+	for i := 0; i < rows; i++ {
+		copy(v.Row(i), a.Value.Row(i)[lo:hi])
+	}
+	n := t.newOp(opSliceCols, v, a, nil, nil)
+	n.iaux, n.jaux = lo, hi
+	return n, nil
 }
 
 // SliceRows returns rows [lo, hi) of a.
 func (t *Tape) SliceRows(a *Node, lo, hi int) (*Node, error) {
-	v, err := a.Value.SliceRows(lo, hi)
-	if err != nil {
-		return nil, fmt.Errorf("autograd: %w", err)
+	if lo < 0 || hi > a.Value.Rows() || lo > hi {
+		return nil, fmt.Errorf("autograd: %w: SliceRows [%d,%d) of %d rows",
+			tensor.ErrShape, lo, hi, a.Value.Rows())
 	}
-	return t.newOp(v, func(n *Node) {
-		g := tensor.New(a.Value.Rows(), a.Value.Cols())
-		for i := lo; i < hi; i++ {
-			copy(g.Row(i), n.Grad.Row(i-lo))
-		}
-		a.accumulate(g)
-	}, a), nil
+	cols := a.Value.Cols()
+	v := t.newMatrix(hi-lo, cols)
+	for i := lo; i < hi; i++ {
+		copy(v.Row(i-lo), a.Value.Row(i))
+	}
+	n := t.newOp(opSliceRows, v, a, nil, nil)
+	n.iaux, n.jaux = lo, hi
+	return n, nil
 }
 
 // MeanRows returns a 1×C node holding the column means of a; used for mean
 // pooling over sequence positions.
 func (t *Tape) MeanRows(a *Node) *Node {
-	rows := a.Value.Rows()
-	v := tensor.SumRows(a.Value)
-	if rows > 0 {
-		v.ScaleInPlace(1 / float64(rows))
+	rows, cols := a.Value.Rows(), a.Value.Cols()
+	v := t.newMatrix(1, cols)
+	vd := v.Data()
+	for i := 0; i < rows; i++ {
+		for j, x := range a.Value.Row(i) {
+			vd[j] += x
+		}
 	}
-	return t.newOp(v, func(n *Node) {
-		if rows == 0 {
-			return
-		}
-		g := tensor.New(rows, a.Value.Cols())
+	if rows > 0 {
 		inv := 1 / float64(rows)
-		for i := 0; i < rows; i++ {
-			row := g.Row(i)
-			for j, u := range n.Grad.Row(0) {
-				row[j] = u * inv
-			}
+		for j := range vd {
+			vd[j] *= inv
 		}
-		a.accumulate(g)
-	}, a)
+	}
+	return t.newOp(opMeanRows, v, a, nil, nil)
 }
 
 // Mean returns the scalar mean of all elements of a.
 func (t *Tape) Mean(a *Node) *Node {
-	size := a.Value.Size()
-	v := tensor.New(1, 1)
+	v := t.newMatrix(1, 1)
 	v.Set(0, 0, a.Value.Mean())
-	return t.newOp(v, func(n *Node) {
-		if size == 0 {
-			return
-		}
-		g := tensor.New(a.Value.Rows(), a.Value.Cols())
-		g.Fill(n.Grad.At(0, 0) / float64(size))
-		a.accumulate(g)
-	}, a)
+	return t.newOp(opMean, v, a, nil, nil)
 }
 
 // SumScalars adds a set of 1×1 nodes; used to combine per-example losses.
 func (t *Tape) SumScalars(nodes ...*Node) (*Node, error) {
-	v := tensor.New(1, 1)
+	v := t.newMatrix(1, 1)
+	var sum float64
 	for _, a := range nodes {
 		if a.Value.Rows() != 1 || a.Value.Cols() != 1 {
 			return nil, fmt.Errorf("autograd: SumScalars got %dx%d node", a.Value.Rows(), a.Value.Cols())
 		}
-		v.Set(0, 0, v.At(0, 0)+a.Value.At(0, 0))
+		sum += a.Value.At(0, 0)
 	}
-	parents := append([]*Node(nil), nodes...)
-	return t.newOp(v, func(n *Node) {
-		for _, a := range parents {
-			a.accumulate(n.Grad)
-		}
-	}, parents...), nil
+	v.Set(0, 0, sum)
+	return t.newOpN(opSumScalars, v, nodes), nil
 }
 
 // Dropout zeroes elements with probability p at train time, scaling the
@@ -419,18 +380,23 @@ func (t *Tape) Dropout(a *Node, p float64, rng *tensor.RNG, training bool) *Node
 		return a
 	}
 	keep := 1 - p
-	mask := tensor.New(a.Value.Rows(), a.Value.Cols())
+	mask := t.newMatrix(a.Value.Rows(), a.Value.Cols())
 	md := mask.Data()
 	for i := range md {
 		if rng.Float64() < keep {
 			md[i] = 1 / keep
+		} else {
+			md[i] = 0
 		}
 	}
-	v, _ := tensor.Mul(a.Value, mask)
-	return t.newOp(v, func(n *Node) {
-		g, _ := tensor.Mul(n.Grad, mask)
-		a.accumulate(g)
-	}, a)
+	v := t.newMatrix(a.Value.Rows(), a.Value.Cols())
+	vd, ad := v.Data(), a.Value.Data()
+	for i, av := range ad {
+		vd[i] = av * md[i]
+	}
+	n := t.newOp(opDropout, v, a, nil, nil)
+	n.m1 = mask
+	return n
 }
 
 // IgnoreIndex marks a target position excluded from the cross-entropy loss
@@ -445,7 +411,8 @@ func (t *Tape) CrossEntropy(logits *Node, targets []int) (*Node, int, error) {
 	if len(targets) != rows {
 		return nil, 0, fmt.Errorf("autograd: CrossEntropy %d targets for %d rows", len(targets), rows)
 	}
-	probs := tensor.SoftmaxRows(logits.Value)
+	probs := t.newMatrix(rows, cols)
+	tensor.SoftmaxRowsInto(probs, logits.Value)
 	counted := 0
 	var total float64
 	for i, tgt := range targets {
@@ -462,29 +429,13 @@ func (t *Tape) CrossEntropy(logits *Node, targets []int) (*Node, int, error) {
 		}
 		total -= math.Log(p)
 	}
-	v := tensor.New(1, 1)
+	v := t.newMatrix(1, 1)
 	if counted > 0 {
 		v.Set(0, 0, total/float64(counted))
 	}
-	tgtCopy := make([]int, len(targets))
-	copy(tgtCopy, targets)
-	node := t.newOp(v, func(n *Node) {
-		if counted == 0 {
-			return
-		}
-		scale := n.Grad.At(0, 0) / float64(counted)
-		g := tensor.New(rows, cols)
-		for i, tgt := range tgtCopy {
-			if tgt == IgnoreIndex {
-				continue
-			}
-			grow, prow := g.Row(i), probs.Row(i)
-			for j, p := range prow {
-				grow[j] = p * scale
-			}
-			grow[tgt] -= scale
-		}
-		logits.accumulate(g)
-	}, logits)
-	return node, counted, nil
+	n := t.newOp(opCrossEntropy, v, logits, nil, nil)
+	n.m1 = probs
+	n.ints = t.takeInts(targets)
+	n.iaux = counted
+	return n, counted, nil
 }

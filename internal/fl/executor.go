@@ -67,7 +67,9 @@ func (c LocalConfig) withDefaults() LocalConfig {
 }
 
 // ClassifierExecutor fine-tunes a classification model on a local shard
-// (the paper's ADR fine-tuning task).
+// (the paper's ADR fine-tuning task). It holds one train.Trainer for the
+// life of the client, so every round of every epoch reuses the same tapes,
+// arenas and gradient buffers instead of rebuilding them per batch.
 type ClassifierExecutor struct {
 	name      string
 	mdl       model.Classifier
@@ -75,6 +77,7 @@ type ClassifierExecutor struct {
 	validSet  data.Dataset
 	cfg       LocalConfig
 	optimizer opt.Optimizer
+	trainer   *train.Trainer[data.Example]
 }
 
 var (
@@ -92,14 +95,21 @@ func NewClassifierExecutor(name string, mdl model.Classifier, trainSet, validSet
 		return nil, fmt.Errorf("fl: executor %q has no training data", name)
 	}
 	cfg = cfg.withDefaults()
-	return &ClassifierExecutor{
+	e := &ClassifierExecutor{
 		name:      name,
 		mdl:       mdl,
 		trainSet:  trainSet,
 		validSet:  validSet,
 		cfg:       cfg,
 		optimizer: opt.NewAdam(cfg.LR),
-	}, nil
+	}
+	e.trainer = train.NewTrainer(mdl.Params(), mdl.LossBatch, e.optimizer, train.Config{
+		BatchSize: cfg.BatchSize,
+		Workers:   cfg.Workers,
+		SubBatch:  cfg.SubBatch,
+		ClipNorm:  cfg.ClipNorm,
+	})
+	return e, nil
 }
 
 // Name implements Executor.
@@ -114,17 +124,11 @@ func (e *ClassifierExecutor) ExecuteRound(round int, global map[string]*tensor.M
 	if err := nn.LoadWeights(e.mdl.Params(), global); err != nil {
 		return nil, fmt.Errorf("fl: %s load global: %w", e.name, err)
 	}
-	tcfg := train.Config{
-		BatchSize: e.cfg.BatchSize,
-		Workers:   e.cfg.Workers,
-		SubBatch:  e.cfg.SubBatch,
-		ClipNorm:  e.cfg.ClipNorm,
-	}
 	var lastLoss float64
 	for ep := 0; ep < e.cfg.Epochs; ep++ {
-		tcfg.Seed = e.cfg.Seed + int64(round)*1000 + int64(ep)
+		seed := e.cfg.Seed + int64(round)*1000 + int64(ep)
 		start := time.Now()
-		loss, err := train.Epoch(e.mdl.Params(), []data.Example(e.trainSet), e.mdl.LossBatch, e.optimizer, tcfg)
+		loss, err := e.trainer.Epoch([]data.Example(e.trainSet), seed)
 		if err != nil {
 			return nil, fmt.Errorf("fl: %s round %d epoch %d: %w", e.name, round, ep, err)
 		}
@@ -174,7 +178,8 @@ func (e *ClassifierExecutor) Validate(global map[string]*tensor.Matrix) (float64
 
 // MLMExecutor pretrains a BERT-family model with the masked-language-model
 // objective on a local corpus shard (the paper's federated pretraining
-// feasibility study, Fig. 2).
+// feasibility study, Fig. 2). Like ClassifierExecutor it holds one
+// train.Trainer (and a recycled masked-example buffer) for its lifetime.
 type MLMExecutor struct {
 	name      string
 	mdl       model.Pretrainer
@@ -183,6 +188,8 @@ type MLMExecutor struct {
 	maskCfg   mlm.Config
 	cfg       LocalConfig
 	optimizer opt.Optimizer
+	trainer   *train.Trainer[mlm.MaskedExample]
+	masked    []mlm.MaskedExample // reused epoch masking buffer
 }
 
 var _ Executor = (*MLMExecutor)(nil)
@@ -199,15 +206,23 @@ func NewMLMExecutor(name string, mdl model.Pretrainer, params []*nn.Param, seque
 	if err := maskCfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &MLMExecutor{
+	cfg = cfg.withDefaults()
+	e := &MLMExecutor{
 		name:      name,
 		mdl:       mdl,
 		params:    params,
 		sequences: sequences,
 		maskCfg:   maskCfg,
-		cfg:       cfg.withDefaults(),
-		optimizer: opt.NewAdam(cfg.withDefaults().LR),
-	}, nil
+		cfg:       cfg,
+		optimizer: opt.NewAdam(cfg.LR),
+	}
+	e.trainer = train.NewTrainer(params, mdl.MLMLossBatch, e.optimizer, train.Config{
+		BatchSize: cfg.BatchSize,
+		Workers:   cfg.Workers,
+		SubBatch:  cfg.SubBatch,
+		ClipNorm:  cfg.ClipNorm,
+	})
+	return e, nil
 }
 
 // Name implements Executor.
@@ -216,30 +231,28 @@ func (e *MLMExecutor) Name() string { return e.name }
 // NumSamples implements Executor.
 func (e *MLMExecutor) NumSamples() int { return len(e.sequences) }
 
-// maskAll corrupts every sequence with a round/epoch-specific RNG.
+// maskAll corrupts every sequence with a round/epoch-specific RNG into the
+// executor's recycled masking buffer.
 func (e *MLMExecutor) maskAll(seed int64) ([]mlm.MaskedExample, error) {
 	rng := tensor.NewRNG(seed)
-	out := make([]mlm.MaskedExample, len(e.sequences))
+	if cap(e.masked) < len(e.sequences) {
+		e.masked = make([]mlm.MaskedExample, len(e.sequences))
+	}
+	e.masked = e.masked[:len(e.sequences)]
 	for i, ids := range e.sequences {
 		me, err := mlm.Mask(e.maskCfg, ids, rng)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = me
+		e.masked[i] = me
 	}
-	return out, nil
+	return e.masked, nil
 }
 
 // ExecuteRound implements Executor.
 func (e *MLMExecutor) ExecuteRound(round int, global map[string]*tensor.Matrix) (*ClientUpdate, error) {
 	if err := nn.LoadWeights(e.params, global); err != nil {
 		return nil, fmt.Errorf("fl: %s load global: %w", e.name, err)
-	}
-	tcfg := train.Config{
-		BatchSize: e.cfg.BatchSize,
-		Workers:   e.cfg.Workers,
-		SubBatch:  e.cfg.SubBatch,
-		ClipNorm:  e.cfg.ClipNorm,
 	}
 	var lastLoss float64
 	for ep := 0; ep < e.cfg.Epochs; ep++ {
@@ -248,9 +261,8 @@ func (e *MLMExecutor) ExecuteRound(round int, global map[string]*tensor.Matrix) 
 		if err != nil {
 			return nil, fmt.Errorf("fl: %s mask: %w", e.name, err)
 		}
-		tcfg.Seed = seed
 		start := time.Now()
-		loss, err := train.Epoch(e.params, masked, e.mdl.MLMLossBatch, e.optimizer, tcfg)
+		loss, err := e.trainer.Epoch(masked, seed)
 		if err != nil {
 			return nil, fmt.Errorf("fl: %s round %d epoch %d: %w", e.name, round, ep, err)
 		}

@@ -3,6 +3,7 @@ package model
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"clinfl/internal/autograd"
 	"clinfl/internal/data"
@@ -66,6 +67,11 @@ type BERT struct {
 	clsOut *nn.Linear
 
 	params []*nn.Param
+
+	// evalPool recycles arena-backed eval contexts across Predict /
+	// PredictProbs calls, so steady-state inference reuses every tape node
+	// and activation matrix instead of rebuilding the graph on the heap.
+	evalPool sync.Pool
 }
 
 var (
@@ -280,11 +286,19 @@ const evalChunk = 64
 
 // evalLogits runs the batched classification forward in eval mode and hands
 // each chunk's logits (chunk-row order) to visit. Batches are grouped by
-// sequence length, then each group is processed in evalChunk slices.
+// sequence length, then each group is processed in evalChunk slices, all on
+// one pooled arena-backed context that is reset (not reallocated) per
+// chunk. visit must copy out anything it needs: the logits matrix lives in
+// the context's arena and is recycled by the next chunk.
 func (b *BERT) evalLogits(batch []data.Example, visit func(idx []int, logits *tensor.Matrix)) error {
 	if len(batch) == 0 {
 		return nil
 	}
+	ctx, _ := b.evalPool.Get().(*nn.Ctx)
+	if ctx == nil {
+		ctx = nn.NewArenaCtx(false, nil)
+	}
+	defer b.evalPool.Put(ctx)
 	lens := make([]int, len(batch))
 	for i, ex := range batch {
 		lens[i] = len(ex.IDs)
@@ -295,7 +309,7 @@ func (b *BERT) evalLogits(batch []data.Example, visit func(idx []int, logits *te
 			if hi > len(idx) {
 				hi = len(idx)
 			}
-			ctx := nn.NewCtx(false, nil)
+			ctx.Reset(false, 0)
 			idsBatch, padMasks, _ := groupInputs(batch, idx[lo:hi])
 			logits, err := b.classifyLogitsBatch(ctx, idsBatch, padMasks)
 			if err != nil {
@@ -357,11 +371,10 @@ func (b *BERT) MLMLossBatch(ctx *nn.Ctx, batch []mlm.MaskedExample) (*autograd.N
 		if err != nil {
 			return nil, 0, err
 		}
-		d, err := b.mlmDense.Forward(ctx, h)
+		d, err := b.mlmDense.ForwardGELU(ctx, h)
 		if err != nil {
 			return nil, 0, err
 		}
-		d = ctx.Tape.GELU(d)
 		d, err = b.mlmLN.Forward(ctx, d)
 		if err != nil {
 			return nil, 0, err

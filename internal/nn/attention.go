@@ -108,11 +108,12 @@ func (a *MultiHeadSelfAttention) ForwardBatch(ctx *Ctx, x *autograd.Node, batch 
 		if err != nil {
 			return nil, err
 		}
-		scores, err := ctx.Tape.BlockMatMulTransB(qh, kh, seq)
+		// The 1/√d score scale is folded into the fused block matmul, so no
+		// separate Scale node (or full score-matrix copy) is recorded.
+		scores, err := ctx.Tape.BlockMatMulTransBScaled(qh, kh, seq, scale)
 		if err != nil {
 			return nil, err
 		}
-		scores = ctx.Tape.Scale(scale, scores)
 		attn, err := ctx.Tape.BlockSoftmaxRows(scores, seq, padMasks)
 		if err != nil {
 			return nil, err

@@ -23,15 +23,22 @@ func NewLinear(name string, in, out int, rng *tensor.RNG) *Linear {
 	}
 }
 
-// Forward applies the layer to x (N×in) returning N×out.
+// Forward applies the layer to x (N×in) returning N×out, as one fused
+// affine tape node (matmul + bias).
 func (l *Linear) Forward(ctx *Ctx, x *autograd.Node) (*autograd.Node, error) {
-	h, err := ctx.Tape.MatMul(x, ctx.Node(l.W))
+	h, err := ctx.Tape.Affine(x, ctx.Node(l.W), ctx.Node(l.B))
 	if err != nil {
 		return nil, fmt.Errorf("nn: linear %s: %w", l.W.Name, err)
 	}
-	h, err = ctx.Tape.AddRowVector(h, ctx.Node(l.B))
+	return h, nil
+}
+
+// ForwardGELU applies GELU(xW + b) as one fused tape node; the transformer
+// feed-forward and MLM-head hot path.
+func (l *Linear) ForwardGELU(ctx *Ctx, x *autograd.Node) (*autograd.Node, error) {
+	h, err := ctx.Tape.LinearGELU(x, ctx.Node(l.W), ctx.Node(l.B))
 	if err != nil {
-		return nil, fmt.Errorf("nn: linear %s bias: %w", l.B.Name, err)
+		return nil, fmt.Errorf("nn: linear %s: %w", l.W.Name, err)
 	}
 	return h, nil
 }

@@ -80,6 +80,10 @@ func SortedByName(params []*Param) []*Param {
 // Ctx carries per-forward-pass state: the autograd tape, the train/eval
 // mode, and the RNG used by dropout. A Ctx must not be shared across
 // goroutines; concurrent workers each build their own.
+//
+// A Ctx is reusable: Reset recycles the tape (and its arena, if built with
+// NewArenaCtx) so a long-lived worker runs every sub-batch through the same
+// context with zero steady-state allocation.
 type Ctx struct {
 	Tape     *autograd.Tape
 	Training bool
@@ -88,13 +92,38 @@ type Ctx struct {
 	leaves map[*Param]*autograd.Node
 }
 
-// NewCtx returns a forward-pass context on a fresh tape.
+// NewCtx returns a forward-pass context on a fresh heap-backed tape.
 func NewCtx(training bool, rng *tensor.RNG) *Ctx {
 	return &Ctx{
 		Tape:     autograd.NewTape(),
 		Training: training,
 		RNG:      rng,
 		leaves:   make(map[*Param]*autograd.Node),
+	}
+}
+
+// NewArenaCtx returns a reusable forward-pass context whose tape draws all
+// node values, gradients and scratch from a private arena. Every matrix the
+// tape produces is invalidated by Reset; callers must copy out anything
+// (losses, logits, harvested gradients) they need across resets.
+func NewArenaCtx(training bool, rng *tensor.RNG) *Ctx {
+	return &Ctx{
+		Tape:     autograd.NewTapeArena(tensor.NewArena()),
+		Training: training,
+		RNG:      rng,
+		leaves:   make(map[*Param]*autograd.Node),
+	}
+}
+
+// Reset recycles the context for the next forward pass: the tape (and
+// arena) rewind, leaf bindings clear, and the dropout RNG reseeds to the
+// stream NewRNG(seed) would produce. No memory is released or allocated.
+func (c *Ctx) Reset(training bool, seed int64) {
+	c.Tape.Reset()
+	clear(c.leaves)
+	c.Training = training
+	if c.RNG != nil {
+		c.RNG.Reseed(seed)
 	}
 }
 
@@ -142,6 +171,29 @@ func (c *Ctx) HarvestInto(dst map[*Param]*tensor.Matrix) error {
 		if err := buf.AddInPlace(leaf.Grad); err != nil {
 			return fmt.Errorf("nn: harvest %q: %w", p.Name, err)
 		}
+	}
+	return nil
+}
+
+// HarvestGrads accumulates leaf gradients into dst, a flat buffer slice
+// keyed by parameter index (index maps each parameter to its position), and
+// marks each harvested index in touched. Unlike the map form, the buffers
+// are caller-owned and recycled across steps, so steady-state harvesting
+// allocates nothing. Buffers of untouched indices are left alone; callers
+// zero touched buffers between steps.
+func (c *Ctx) HarvestGrads(index map[*Param]int, dst []*tensor.Matrix, touched []bool) error {
+	for p, leaf := range c.leaves {
+		if leaf.Grad == nil {
+			continue
+		}
+		i, ok := index[p]
+		if !ok {
+			return fmt.Errorf("nn: harvest %q: parameter not in index", p.Name)
+		}
+		if err := dst[i].AddInPlace(leaf.Grad); err != nil {
+			return fmt.Errorf("nn: harvest %q: %w", p.Name, err)
+		}
+		touched[i] = true
 	}
 	return nil
 }

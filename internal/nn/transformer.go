@@ -27,13 +27,13 @@ func NewFeedForward(name string, dim, hidden int, rng *tensor.RNG) *FeedForward 
 	}
 }
 
-// Forward applies the MLP to x (seq×dim).
+// Forward applies the MLP to x (seq×dim). The first projection and its GELU
+// run as a single fused tape node.
 func (f *FeedForward) Forward(ctx *Ctx, x *autograd.Node) (*autograd.Node, error) {
-	h, err := f.W1.Forward(ctx, x)
+	h, err := f.W1.ForwardGELU(ctx, x)
 	if err != nil {
 		return nil, err
 	}
-	h = ctx.Tape.GELU(h)
 	return f.W2.Forward(ctx, h)
 }
 

@@ -99,14 +99,20 @@ func (a *Adam) Name() string { return "adam" }
 // StepCount returns the number of updates applied so far.
 func (a *Adam) StepCount() int { return a.step }
 
-// Step implements Optimizer.
+// Step implements Optimizer. The fused loop reuses the moment buffers the
+// optimizer already owns; all per-step constants (decay complements, bias-
+// correction reciprocals, the weight-decay branch) are hoisted out of the
+// per-element loop.
 func (a *Adam) Step(params []*nn.Param) error {
 	if len(params) == 0 {
 		return ErrNoParams
 	}
 	a.step++
-	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
-	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	b1, b2 := a.Beta1, a.Beta2
+	omb1, omb2 := 1-b1, 1-b2
+	invBc1 := 1 / (1 - math.Pow(b1, float64(a.step)))
+	invBc2 := 1 / (1 - math.Pow(b2, float64(a.step)))
+	lr, eps, decay := a.LR, a.Eps, a.WeightDecay
 	for _, p := range params {
 		m, ok := a.m[p]
 		if !ok {
@@ -119,17 +125,21 @@ func (a *Adam) Step(params []*nn.Param) error {
 			return fmt.Errorf("opt: adam %q: %w", p.Name, tensor.ErrShape)
 		}
 		wd, md, vd, gd := p.W.Data(), m.Data(), v.Data(), p.Grad.Data()
-		for i := range wd {
-			g := gd[i]
-			md[i] = a.Beta1*md[i] + (1-a.Beta1)*g
-			vd[i] = a.Beta2*vd[i] + (1-a.Beta2)*g*g
-			mhat := md[i] / bc1
-			vhat := vd[i] / bc2
-			upd := mhat / (math.Sqrt(vhat) + a.Eps)
-			if a.WeightDecay > 0 {
-				upd += a.WeightDecay * wd[i]
+		if decay > 0 {
+			for i := range wd {
+				g := gd[i]
+				md[i] = b1*md[i] + omb1*g
+				vd[i] = b2*vd[i] + omb2*g*g
+				upd := md[i] * invBc1 / (math.Sqrt(vd[i]*invBc2) + eps)
+				wd[i] -= lr * (upd + decay*wd[i])
 			}
-			wd[i] -= a.LR * upd
+		} else {
+			for i := range wd {
+				g := gd[i]
+				md[i] = b1*md[i] + omb1*g
+				vd[i] = b2*vd[i] + omb2*g*g
+				wd[i] -= lr * md[i] * invBc1 / (math.Sqrt(vd[i]*invBc2) + eps)
+			}
 		}
 	}
 	return nil

@@ -7,7 +7,14 @@ import "fmt"
 // flattened (B·T)×d layout of a minibatch of B sequences of length T) is
 // multiplied block-by-block so attention scores never cross sequence
 // boundaries. The kernels reuse the same ikj/dot loops as the dense ops and
-// parallelize across output rows once the output is large enough.
+// parallelize across output rows once the work amortizes the goroutines.
+//
+// Every kernel comes in three forms: an allocating wrapper (BlockMatMul*),
+// an overwriting Into form, and an accumulating Acc form used by autograd
+// backward rules to add vector-Jacobian products straight into gradient
+// buffers. All forms fold an alpha scale into the product (attention uses
+// alpha = 1/√d on the score kernel), which costs nothing here and deletes a
+// whole Scale node per head from the tape.
 
 // checkBlocked validates that m's rows split into whole blocks of size block
 // and returns the block count.
@@ -26,21 +33,63 @@ func checkBlocked(op string, m *Matrix, block int) (int, error) {
 // b is (B·block)×n, and output block g is a_g×b_g, stacked into (B·block)×n.
 // In attention this is attn×V with per-sequence attention weights.
 func BlockMatMul(a, b *Matrix, block int) (*Matrix, error) {
-	if _, err := checkBlocked("BlockMatMul", a, block); err != nil {
+	if err := checkBlockMatMul("BlockMatMul", a, b, block); err != nil {
 		return nil, err
 	}
+	out := New(a.rows, b.cols)
+	blockMatMul(out, a, b, block, 1)
+	return out, nil
+}
+
+// BlockMatMulInto computes dst = alpha·(a×b per block) without allocating,
+// overwriting dst.
+func BlockMatMulInto(dst, a, b *Matrix, block int, alpha float64) error {
+	if err := checkBlockMatMul("BlockMatMulInto", a, b, block); err != nil {
+		return err
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		return fmt.Errorf("%w: BlockMatMulInto dst %dx%d, want %dx%d",
+			ErrShape, dst.rows, dst.cols, a.rows, b.cols)
+	}
+	dst.Zero()
+	blockMatMul(dst, a, b, block, alpha)
+	return nil
+}
+
+// BlockMatMulAcc accumulates dst += alpha·(a×b per block) without allocating.
+func BlockMatMulAcc(dst, a, b *Matrix, block int, alpha float64) error {
+	if err := checkBlockMatMul("BlockMatMulAcc", a, b, block); err != nil {
+		return err
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		return fmt.Errorf("%w: BlockMatMulAcc dst %dx%d, want %dx%d",
+			ErrShape, dst.rows, dst.cols, a.rows, b.cols)
+	}
+	blockMatMul(dst, a, b, block, alpha)
+	return nil
+}
+
+func checkBlockMatMul(op string, a, b *Matrix, block int) error {
+	if _, err := checkBlocked(op, a, block); err != nil {
+		return err
+	}
 	if a.cols != block {
-		return nil, fmt.Errorf("%w: BlockMatMul needs %d cols (block), got %dx%d",
-			ErrShape, block, a.rows, a.cols)
+		return fmt.Errorf("%w: %s needs %d cols (block), got %dx%d",
+			ErrShape, op, block, a.rows, a.cols)
 	}
 	if b.rows != a.rows {
-		return nil, fmt.Errorf("%w: BlockMatMul a %dx%d × b %dx%d",
-			ErrShape, a.rows, a.cols, b.rows, b.cols)
+		return fmt.Errorf("%w: %s a %dx%d × b %dx%d",
+			ErrShape, op, a.rows, a.cols, b.rows, b.cols)
 	}
+	return nil
+}
+
+// blockMatMul accumulates alpha·(a×b per block) into out. Same 4-wide
+// unrolled ikj kernel as the dense matmul tail, with b rows offset to this
+// row's block. The zero-quad skip matters here: attention weights at padded
+// key positions are exactly zero.
+func blockMatMul(out, a, b *Matrix, block int, alpha float64) {
 	n := b.cols
-	out := New(a.rows, n)
-	// Same 4-wide unrolled ikj kernel as matmulInto, with b rows offset to
-	// this row's block.
 	work := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			base := (i / block) * block // first b-row of this row's block
@@ -52,6 +101,10 @@ func BlockMatMul(a, b *Matrix, block int) (*Matrix, error) {
 				if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
 					continue
 				}
+				av0 *= alpha
+				av1 *= alpha
+				av2 *= alpha
+				av3 *= alpha
 				b0 := b.data[(base+p)*n : (base+p+1)*n]
 				b1 := b.data[(base+p+1)*n : (base+p+2)*n]
 				b2 := b.data[(base+p+2)*n : (base+p+3)*n]
@@ -65,6 +118,7 @@ func BlockMatMul(a, b *Matrix, block int) (*Matrix, error) {
 				if av == 0 {
 					continue
 				}
+				av *= alpha
 				brow := b.data[(base+p)*n : (base+p+1)*n]
 				for j, bv := range brow {
 					orow[j] += av * bv
@@ -72,60 +126,126 @@ func BlockMatMul(a, b *Matrix, block int) (*Matrix, error) {
 			}
 		}
 	}
-	if a.rows*n < matmulParallelThreshold {
-		work(0, a.rows)
-	} else {
-		parallelRows(a.rows, work)
-	}
-	return out, nil
+	parallelRows(a.rows, 2*a.rows*block*n, work)
 }
 
 // BlockMatMulTransB computes per-block a_g×b_gᵀ: a is (B·block)×k, b is
 // (B·block)×k, output block g is block×block, stacked into (B·block)×block.
 // In attention this is Q×Kᵀ restricted to each sequence's own keys.
 func BlockMatMulTransB(a, b *Matrix, block int) (*Matrix, error) {
-	if _, err := checkBlocked("BlockMatMulTransB", a, block); err != nil {
+	if err := checkBlockTransB("BlockMatMulTransB", a, b, block); err != nil {
 		return nil, err
 	}
-	if b.rows != a.rows || b.cols != a.cols {
-		return nil, fmt.Errorf("%w: BlockMatMulTransB a %dx%d × (b %dx%d)ᵀ",
-			ErrShape, a.rows, a.cols, b.rows, b.cols)
-	}
-	k := a.cols
 	out := New(a.rows, block)
+	blockMatMulTransB(out, a, b, block, 1, false)
+	return out, nil
+}
+
+// BlockMatMulTransBInto computes dst = alpha·(a×bᵀ per block) without
+// allocating, overwriting dst. The attention score kernel: alpha carries the
+// 1/√d scale so no separate scaling pass over the scores is needed.
+func BlockMatMulTransBInto(dst, a, b *Matrix, block int, alpha float64) error {
+	if err := checkBlockTransB("BlockMatMulTransBInto", a, b, block); err != nil {
+		return err
+	}
+	if dst.rows != a.rows || dst.cols != block {
+		return fmt.Errorf("%w: BlockMatMulTransBInto dst %dx%d, want %dx%d",
+			ErrShape, dst.rows, dst.cols, a.rows, block)
+	}
+	blockMatMulTransB(dst, a, b, block, alpha, false)
+	return nil
+}
+
+// BlockMatMulTransBAcc accumulates dst += alpha·(a×bᵀ per block).
+func BlockMatMulTransBAcc(dst, a, b *Matrix, block int, alpha float64) error {
+	if err := checkBlockTransB("BlockMatMulTransBAcc", a, b, block); err != nil {
+		return err
+	}
+	if dst.rows != a.rows || dst.cols != block {
+		return fmt.Errorf("%w: BlockMatMulTransBAcc dst %dx%d, want %dx%d",
+			ErrShape, dst.rows, dst.cols, a.rows, block)
+	}
+	blockMatMulTransB(dst, a, b, block, alpha, true)
+	return nil
+}
+
+func checkBlockTransB(op string, a, b *Matrix, block int) error {
+	if _, err := checkBlocked(op, a, block); err != nil {
+		return err
+	}
+	if b.rows != a.rows || b.cols != a.cols {
+		return fmt.Errorf("%w: %s a %dx%d × (b %dx%d)ᵀ",
+			ErrShape, op, a.rows, a.cols, b.rows, b.cols)
+	}
+	return nil
+}
+
+func blockMatMulTransB(out, a, b *Matrix, block int, alpha float64, acc bool) {
+	k := a.cols
 	work := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			base := (i / block) * block
 			arow := a.data[i*k : (i+1)*k]
 			orow := out.data[i*block : (i+1)*block]
-			for j := 0; j < block; j++ {
-				orow[j] = dot(arow, b.data[(base+j)*k:(base+j+1)*k])
+			if acc {
+				for j := 0; j < block; j++ {
+					orow[j] += alpha * dot(arow, b.data[(base+j)*k:(base+j+1)*k])
+				}
+			} else {
+				for j := 0; j < block; j++ {
+					orow[j] = alpha * dot(arow, b.data[(base+j)*k:(base+j+1)*k])
+				}
 			}
 		}
 	}
-	if a.rows*block < matmulParallelThreshold {
-		work(0, a.rows)
-	} else {
-		parallelRows(a.rows, work)
-	}
-	return out, nil
+	parallelRows(a.rows, 2*a.rows*block*k, work)
 }
 
 // BlockMatMulTransA computes per-block a_gᵀ×b_g: a is (B·block)×m, b is
 // (B·block)×n, output block g is m×n, stacked into (B·m)×n. It is the
 // remaining vector-Jacobian product needed by the two block ops above.
 func BlockMatMulTransA(a, b *Matrix, block int) (*Matrix, error) {
-	nb, err := checkBlocked("BlockMatMulTransA", a, block)
+	nb, err := checkBlockTransA("BlockMatMulTransA", a, b, block)
 	if err != nil {
 		return nil, err
 	}
-	if b.rows != a.rows {
-		return nil, fmt.Errorf("%w: BlockMatMulTransA (a %dx%d)ᵀ × b %dx%d",
-			ErrShape, a.rows, a.cols, b.rows, b.cols)
+	out := New(nb*a.cols, b.cols)
+	blockMatMulTransA(out, a, b, block, 1)
+	return out, nil
+}
+
+// BlockMatMulTransAAcc accumulates dst += alpha·(aᵀ×b per block).
+func BlockMatMulTransAAcc(dst, a, b *Matrix, block int, alpha float64) error {
+	nb, err := checkBlockTransA("BlockMatMulTransAAcc", a, b, block)
+	if err != nil {
+		return err
 	}
+	if dst.rows != nb*a.cols || dst.cols != b.cols {
+		return fmt.Errorf("%w: BlockMatMulTransAAcc dst %dx%d, want %dx%d",
+			ErrShape, dst.rows, dst.cols, nb*a.cols, b.cols)
+	}
+	blockMatMulTransA(dst, a, b, block, alpha)
+	return nil
+}
+
+func checkBlockTransA(op string, a, b *Matrix, block int) (int, error) {
+	nb, err := checkBlocked(op, a, block)
+	if err != nil {
+		return 0, err
+	}
+	if b.rows != a.rows {
+		return 0, fmt.Errorf("%w: %s (a %dx%d)ᵀ × b %dx%d",
+			ErrShape, op, a.rows, a.cols, b.rows, b.cols)
+	}
+	return nb, nil
+}
+
+// blockMatMulTransA accumulates alpha·(aᵀ×b per block) into out.
+// out row g*m+i += sum_p a[g*block+p][i] * b row g*block+p; stream over p.
+// Parallelized over whole blocks: rows within a block share accumulators.
+func blockMatMulTransA(out, a, b *Matrix, block int, alpha float64) {
+	nb := a.rows / block
 	m, n := a.cols, b.cols
-	out := New(nb*m, n)
-	// out row g*m+i = sum_p a[g*block+p][i] * b row g*block+p; stream over p.
 	work := func(lo, hi int) {
 		for g := lo; g < hi; g++ {
 			for p := 0; p < block; p++ {
@@ -135,6 +255,7 @@ func BlockMatMulTransA(a, b *Matrix, block int) (*Matrix, error) {
 					if av == 0 {
 						continue
 					}
+					av *= alpha
 					orow := out.data[(g*m+i)*n : (g*m+i+1)*n]
 					for j, bv := range brow {
 						orow[j] += av * bv
@@ -143,11 +264,5 @@ func BlockMatMulTransA(a, b *Matrix, block int) (*Matrix, error) {
 			}
 		}
 	}
-	// Parallelize over whole blocks: rows within a block share accumulators.
-	if nb*m*n < matmulParallelThreshold {
-		work(0, nb)
-	} else {
-		parallelRows(nb, work)
-	}
-	return out, nil
+	parallelRows(nb, 2*a.rows*m*n, work)
 }

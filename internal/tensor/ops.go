@@ -7,11 +7,6 @@ import (
 	"sync"
 )
 
-// matmulParallelThreshold is the minimum number of output elements before
-// MatMul fans out across goroutines; below it the goroutine overhead
-// dominates.
-const matmulParallelThreshold = 64 * 64
-
 // MatMul returns a×b. a is m×k, b is k×n, result is m×n.
 func MatMul(a, b *Matrix) (*Matrix, error) {
 	if a.cols != b.rows {
@@ -26,65 +21,163 @@ func MatMul(a, b *Matrix) (*Matrix, error) {
 // MatMulInto computes dst = a×b without allocating. dst must be a.rows×b.cols
 // and is overwritten.
 func MatMulInto(dst, a, b *Matrix) error {
-	if a.cols != b.rows {
-		return fmt.Errorf("%w: MatMulInto %dx%d × %dx%d",
-			ErrShape, a.rows, a.cols, b.rows, b.cols)
-	}
-	if dst.rows != a.rows || dst.cols != b.cols {
-		return fmt.Errorf("%w: MatMulInto dst %dx%d, want %dx%d",
-			ErrShape, dst.rows, dst.cols, a.rows, b.cols)
+	if err := checkMatMul("MatMulInto", dst, a, b); err != nil {
+		return err
 	}
 	dst.Zero()
 	matmulInto(dst, a, b)
 	return nil
 }
 
-// matmulInto accumulates a×b into out (out must be zeroed by the caller).
-// The kernel is an ikj loop (streaming over b's rows) which is cache-friendly
-// for row-major data, parallelized over blocks of output rows.
+// MatMulAcc accumulates dst += a×b without allocating; the in-place form the
+// autograd backward rules use to add matmul vector-Jacobian products directly
+// into existing gradient buffers.
+func MatMulAcc(dst, a, b *Matrix) error {
+	if err := checkMatMul("MatMulAcc", dst, a, b); err != nil {
+		return err
+	}
+	matmulInto(dst, a, b)
+	return nil
+}
+
+func checkMatMul(op string, dst, a, b *Matrix) error {
+	if a.cols != b.rows {
+		return fmt.Errorf("%w: %s %dx%d × %dx%d",
+			ErrShape, op, a.rows, a.cols, b.rows, b.cols)
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		return fmt.Errorf("%w: %s dst %dx%d, want %dx%d",
+			ErrShape, op, dst.rows, dst.cols, a.rows, b.cols)
+	}
+	return nil
+}
+
+// packPool recycles the A-panel buffers used by the tiled matmul kernel, so
+// steady-state matmuls allocate nothing.
+var packPool = sync.Pool{New: func() any { s := make([]float64, 0, 4*256); return &s }}
+
+// matmulPanelMinBFloats gates the 4×4 row-panel micro-kernel on the b
+// operand's cache footprint. When b (k×n floats) is cache-resident the
+// one-row 4-wide kernel is ALU-bound and slightly faster (it keeps fewer
+// live values, so nothing spills); once b spills the last-level cache the
+// kernel turns memory-bound and the panel path's 4× reduction in b traffic
+// wins ~10% (measured on the reference Xeon: 16 MiB b, 105ms → 95ms).
+// 512K floats = 4 MiB, between the measured break-even (2 MiB: wash) and
+// the first clear win.
+const matmulPanelMinBFloats = 512 * 1024
+
+// matmulInto accumulates a×b into out (out must hold valid initial values:
+// zeroed for a plain product, existing gradients for an accumulate).
 //
-// The inner loop is unrolled 4-wide over k: each pass streams four b rows
-// against one output row, quartering the load/store traffic on the output
-// row and exposing independent multiply-adds to the CPU's pipelines. On the
-// single-socket CPUs this reproduction targets that roughly doubles
-// throughput over the scalar ikj loop (see BenchmarkAblation_Matmul).
+// Cache-resident b: a one-output-row kernel unrolled 4-wide over k streams
+// four b rows against each output row.
+//
+// Large b (see matmulPanelMinBFloats): output rows are processed in panels
+// of 4 with a 4×4 micro-kernel — each inner-loop iteration streams four b
+// rows against four output rows, performing 16 multiply-adds per 4 b-row
+// loads, quartering b traffic for the GEMMs too large to keep b in cache.
+// The 4-row A panel is packed k-major ([p][row] interleaved) into a pooled
+// buffer so the micro-kernel reads its 16 a values from 16 contiguous
+// floats instead of four k-strided rows. Both paths consume k in aligned
+// quads, so per-element summation order is identical between them.
 func matmulInto(out, a, b *Matrix) {
 	m, k, n := a.rows, a.cols, b.cols
+	panels := k*n >= matmulPanelMinBFloats
 	work := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.data[i*k : (i+1)*k]
-			orow := out.data[i*n : (i+1)*n]
+		i := lo
+		if !panels {
+			for ; i < hi; i++ {
+				matmulRow(out.data[i*n:(i+1)*n], a.data[i*k:(i+1)*k], b, k, n)
+			}
+			return
+		}
+		bufp := packPool.Get().(*[]float64)
+		pk := *bufp
+		if cap(pk) < 4*k {
+			pk = make([]float64, 4*k)
+		}
+		pk = pk[:cap(pk)]
+		for ; i+4 <= hi; i += 4 {
+			a0 := a.data[i*k : (i+1)*k]
+			a1 := a.data[(i+1)*k : (i+2)*k]
+			a2 := a.data[(i+2)*k : (i+3)*k]
+			a3 := a.data[(i+3)*k : (i+4)*k]
+			for p := 0; p < k; p++ {
+				pk[4*p] = a0[p]
+				pk[4*p+1] = a1[p]
+				pk[4*p+2] = a2[p]
+				pk[4*p+3] = a3[p]
+			}
+			o0 := out.data[i*n : (i+1)*n]
+			o1 := out.data[(i+1)*n : (i+2)*n]
+			o2 := out.data[(i+2)*n : (i+3)*n]
+			o3 := out.data[(i+3)*n : (i+4)*n]
 			p := 0
 			for ; p+4 <= k; p += 4 {
-				av0, av1, av2, av3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
-				if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
-					continue
-				}
+				q := pk[4*p : 4*p+16 : 4*p+16]
+				a00, a10, a20, a30 := q[0], q[1], q[2], q[3]
+				a01, a11, a21, a31 := q[4], q[5], q[6], q[7]
+				a02, a12, a22, a32 := q[8], q[9], q[10], q[11]
+				a03, a13, a23, a33 := q[12], q[13], q[14], q[15]
 				b0 := b.data[p*n : (p+1)*n]
 				b1 := b.data[(p+1)*n : (p+2)*n]
 				b2 := b.data[(p+2)*n : (p+3)*n]
 				b3 := b.data[(p+3)*n : (p+4)*n]
-				for j, bv := range b0 {
-					orow[j] += av0*bv + av1*b1[j] + av2*b2[j] + av3*b3[j]
+				for j, bv0 := range b0 {
+					bv1, bv2, bv3 := b1[j], b2[j], b3[j]
+					o0[j] += a00*bv0 + a01*bv1 + a02*bv2 + a03*bv3
+					o1[j] += a10*bv0 + a11*bv1 + a12*bv2 + a13*bv3
+					o2[j] += a20*bv0 + a21*bv1 + a22*bv2 + a23*bv3
+					o3[j] += a30*bv0 + a31*bv1 + a32*bv2 + a33*bv3
 				}
 			}
 			for ; p < k; p++ {
-				av := arow[p]
-				if av == 0 {
-					continue
-				}
+				av0, av1, av2, av3 := pk[4*p], pk[4*p+1], pk[4*p+2], pk[4*p+3]
 				brow := b.data[p*n : (p+1)*n]
 				for j, bv := range brow {
-					orow[j] += av * bv
+					o0[j] += av0 * bv
+					o1[j] += av1 * bv
+					o2[j] += av2 * bv
+					o3[j] += av3 * bv
 				}
 			}
 		}
+		for ; i < hi; i++ {
+			matmulRow(out.data[i*n:(i+1)*n], a.data[i*k:(i+1)*k], b, k, n)
+		}
+		*bufp = pk
+		packPool.Put(bufp)
 	}
-	if m*n < matmulParallelThreshold {
-		work(0, m)
-		return
+	parallelRows(m, 2*m*n*k, work)
+}
+
+// matmulRow accumulates one output row (the <4-row tail of the panel loop),
+// 4-wide over k like the pre-tiling kernel.
+func matmulRow(orow, arow []float64, b *Matrix, k, n int) {
+	p := 0
+	for ; p+4 <= k; p += 4 {
+		av0, av1, av2, av3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+		if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
+			continue
+		}
+		b0 := b.data[p*n : (p+1)*n]
+		b1 := b.data[(p+1)*n : (p+2)*n]
+		b2 := b.data[(p+2)*n : (p+3)*n]
+		b3 := b.data[(p+3)*n : (p+4)*n]
+		for j, bv := range b0 {
+			orow[j] += av0*bv + av1*b1[j] + av2*b2[j] + av3*b3[j]
+		}
 	}
-	parallelRows(m, work)
+	for ; p < k; p++ {
+		av := arow[p]
+		if av == 0 {
+			continue
+		}
+		brow := b.data[p*n : (p+1)*n]
+		for j, bv := range brow {
+			orow[j] += av * bv
+		}
+	}
 }
 
 // MatMulTransB returns a×bᵀ. a is m×k, b is n×k, result is m×n. This avoids
@@ -94,23 +187,43 @@ func MatMulTransB(a, b *Matrix) (*Matrix, error) {
 		return nil, fmt.Errorf("%w: MatMulTransB %dx%d × (%dx%d)ᵀ",
 			ErrShape, a.rows, a.cols, b.rows, b.cols)
 	}
+	out := New(a.rows, b.rows)
+	matmulTransB(out, a, b, false)
+	return out, nil
+}
+
+// MatMulTransBAcc accumulates dst += a×bᵀ without allocating.
+func MatMulTransBAcc(dst, a, b *Matrix) error {
+	if a.cols != b.cols {
+		return fmt.Errorf("%w: MatMulTransBAcc %dx%d × (%dx%d)ᵀ",
+			ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	if dst.rows != a.rows || dst.cols != b.rows {
+		return fmt.Errorf("%w: MatMulTransBAcc dst %dx%d, want %dx%d",
+			ErrShape, dst.rows, dst.cols, a.rows, b.rows)
+	}
+	matmulTransB(dst, a, b, true)
+	return nil
+}
+
+func matmulTransB(out, a, b *Matrix, acc bool) {
 	m, k, n := a.rows, a.cols, b.rows
-	out := New(m, n)
 	work := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.data[i*k : (i+1)*k]
 			orow := out.data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] = dot(arow, b.data[j*k:(j+1)*k])
+			if acc {
+				for j := 0; j < n; j++ {
+					orow[j] += dot(arow, b.data[j*k:(j+1)*k])
+				}
+			} else {
+				for j := 0; j < n; j++ {
+					orow[j] = dot(arow, b.data[j*k:(j+1)*k])
+				}
 			}
 		}
 	}
-	if m*n < matmulParallelThreshold {
-		work(0, m)
-		return out, nil
-	}
-	parallelRows(m, work)
-	return out, nil
+	parallelRows(m, 2*m*n*k, work)
 }
 
 // MatMulTransA returns aᵀ×b. a is k×m, b is k×n, result is m×n.
@@ -119,11 +232,32 @@ func MatMulTransA(a, b *Matrix) (*Matrix, error) {
 		return nil, fmt.Errorf("%w: MatMulTransA (%dx%d)ᵀ × %dx%d",
 			ErrShape, a.rows, a.cols, b.rows, b.cols)
 	}
+	out := New(a.cols, b.cols)
+	matmulTransA(out, a, b)
+	return out, nil
+}
+
+// MatMulTransAAcc accumulates dst += aᵀ×b without allocating; the weight-
+// gradient form (xᵀ×upstream) of the affine backward rules.
+func MatMulTransAAcc(dst, a, b *Matrix) error {
+	if a.rows != b.rows {
+		return fmt.Errorf("%w: MatMulTransAAcc (%dx%d)ᵀ × %dx%d",
+			ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	if dst.rows != a.cols || dst.cols != b.cols {
+		return fmt.Errorf("%w: MatMulTransAAcc dst %dx%d, want %dx%d",
+			ErrShape, dst.rows, dst.cols, a.cols, b.cols)
+	}
+	matmulTransA(dst, a, b)
+	return nil
+}
+
+// matmulTransA accumulates aᵀ×b into out.
+// out[i][j] += sum_p a[p][i] * b[p][j]; stream over p for cache locality,
+// 4-wide like matmulInto so each output row is loaded/stored once per
+// four b rows. The a accesses are column-strided but only 4 per row.
+func matmulTransA(out, a, b *Matrix) {
 	k, m, n := a.rows, a.cols, b.cols
-	out := New(m, n)
-	// out[i][j] = sum_p a[p][i] * b[p][j]; stream over p for cache locality,
-	// 4-wide like matmulInto so each output row is loaded/stored once per
-	// four b rows. The a accesses are column-strided but only 4 per row.
 	work := func(lo, hi int) {
 		p := 0
 		for ; p+4 <= k; p += 4 {
@@ -161,12 +295,7 @@ func MatMulTransA(a, b *Matrix) (*Matrix, error) {
 			}
 		}
 	}
-	if m*n < matmulParallelThreshold {
-		work(0, m)
-	} else {
-		parallelRows(m, work)
-	}
-	return out, nil
+	parallelRows(m, 2*m*n*k, work)
 }
 
 // dot returns the inner product of x and y (len(y) >= len(x)), accumulated
@@ -187,11 +316,25 @@ func dot(x, y []float64) float64 {
 	return s0 + s1 + s2 + s3
 }
 
-// parallelRows splits [0,m) row ranges across GOMAXPROCS workers and waits.
-// With a single worker (GOMAXPROCS=1 or m=1) it runs inline, skipping the
-// goroutine spawn entirely.
-func parallelRows(m int, work func(lo, hi int)) {
+// parallelFlopsPerWorker is the minimum kernel work (counted in flops,
+// i.e. one multiply-add = 2) a goroutine must amortize before parallelRows
+// spawns it. Spawn+join of one goroutine costs ~1-2µs on the reference
+// Xeon box; 1<<17 flops is ~15-30µs of kernel work at the measured 4-8
+// GFLOP/s, keeping spawn overhead under ~10%. Gating on work rather than
+// row count stops tiny-but-tall shapes (a B×1 loss column with thousands
+// of rows) from fanning out GOMAXPROCS goroutines for microseconds of
+// arithmetic.
+const parallelFlopsPerWorker = 1 << 17
+
+// parallelRows splits [0,m) row ranges across workers and waits. The worker
+// count is bounded by GOMAXPROCS, by m, and by flops/parallelFlopsPerWorker
+// so each goroutine gets enough work to amortize its spawn; with a single
+// worker it runs inline, skipping the goroutine spawn entirely.
+func parallelRows(m int, flops int, work func(lo, hi int)) {
 	workers := runtime.GOMAXPROCS(0)
+	if byWork := flops / parallelFlopsPerWorker; workers > byWork {
+		workers = byWork
+	}
 	if workers > m {
 		workers = m
 	}
@@ -392,12 +535,16 @@ func (m *Matrix) ApplyInPlace(f func(float64) float64) {
 // subtracting each row's max.
 func SoftmaxRows(m *Matrix) *Matrix {
 	out := New(m.rows, m.cols)
-	for i := 0; i < m.rows; i++ {
-		src := m.Row(i)
-		dst := out.Row(i)
-		softmaxRow(dst, src)
-	}
+	SoftmaxRowsInto(out, m)
 	return out
+}
+
+// SoftmaxRowsInto writes the row-wise softmax of src into dst (same shape)
+// without allocating.
+func SoftmaxRowsInto(dst, src *Matrix) {
+	for i := 0; i < src.rows; i++ {
+		softmaxRow(dst.Row(i), src.Row(i))
+	}
 }
 
 // softmaxRow writes softmax(src) into dst.

@@ -20,6 +20,11 @@ func NewRNG(seed int64) *RNG {
 // Rand exposes the underlying *rand.Rand for callers that need scalar draws.
 func (g *RNG) Rand() *rand.Rand { return g.r }
 
+// Reseed resets the RNG to the exact stream NewRNG(seed) would produce,
+// without allocating; recycled training contexts reseed their dropout
+// streams per sub-batch this way.
+func (g *RNG) Reseed(seed int64) { g.r.Seed(seed) }
+
 // Uniform returns a rows×cols matrix with entries drawn from U[lo, hi).
 func (g *RNG) Uniform(rows, cols int, lo, hi float64) *Matrix {
 	m := New(rows, cols)

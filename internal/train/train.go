@@ -7,6 +7,13 @@
 // passes, so workers each run their sub-batch on a private autograd tape
 // and harvest gradients into worker-local buffers; the step then reduces
 // buffers into the shared accumulators and applies the optimizer once.
+//
+// Allocation model: a Trainer owns all per-worker state — an arena-backed
+// context (tape + activation/gradient memory) and flat gradient buffers
+// keyed by parameter index — and recycles it across steps, so a
+// steady-state Step performs no per-batch allocation. The package-level
+// Step/Epoch helpers construct a throwaway Trainer; long-lived callers
+// (federated executors, pretraining loops) hold one Trainer per model.
 package train
 
 import (
@@ -56,23 +63,132 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// subResult carries one sub-batch's outcome from a worker to the reduce.
+type subResult struct {
+	loss  float64
+	count int
+	err   error
+}
+
+// trainWorker is the reusable per-worker state: an arena-backed context and
+// gradient buffers keyed by parameter index.
+type trainWorker struct {
+	ctx     *nn.Ctx
+	grads   []*tensor.Matrix
+	touched []bool
+}
+
+// Trainer runs minibatch steps for one model, recycling all per-step state.
+//
+// A Trainer is not safe for concurrent Steps; it owns its workers. It may
+// live as long as the model: federated executors keep one across rounds so
+// a whole FL run reuses the same tapes, arenas and gradient buffers.
+type Trainer[T any] struct {
+	params    []*nn.Param
+	lossFn    LossFunc[T]
+	optimizer opt.Optimizer
+	cfg       Config
+
+	index    map[*nn.Param]int
+	workers  []*trainWorker
+	results  []subResult
+	shuffled []T
+	epochRNG *tensor.RNG
+}
+
+// NewTrainer builds a reusable trainer. cfg is normalized once; per-step
+// seeds are passed to Step/Epoch explicitly.
+func NewTrainer[T any](params []*nn.Param, lossFn LossFunc[T], optimizer opt.Optimizer, cfg Config) *Trainer[T] {
+	cfg = cfg.withDefaults()
+	index := make(map[*nn.Param]int, len(params))
+	for i, p := range params {
+		index[p] = i
+	}
+	return &Trainer[T]{
+		params:    params,
+		lossFn:    lossFn,
+		optimizer: optimizer,
+		cfg:       cfg,
+		index:     index,
+		workers:   make([]*trainWorker, cfg.Workers),
+	}
+}
+
+// worker returns worker w's state, building it on first use.
+func (tr *Trainer[T]) worker(w int) *trainWorker {
+	ws := tr.workers[w]
+	if ws == nil {
+		ws = &trainWorker{
+			ctx:     nn.NewArenaCtx(true, tensor.NewRNG(0)),
+			grads:   make([]*tensor.Matrix, len(tr.params)),
+			touched: make([]bool, len(tr.params)),
+		}
+		for i, p := range tr.params {
+			ws.grads[i] = tensor.New(p.W.Rows(), p.W.Cols())
+		}
+		tr.workers[w] = ws
+	}
+	return ws
+}
+
+// clearTouched zeroes the gradient buffers dirtied by the previous step and
+// resets the touch marks, leaving untouched buffers (already zero) alone.
+func (ws *trainWorker) clearTouched() {
+	for i, t := range ws.touched {
+		if t {
+			ws.grads[i].Zero()
+			ws.touched[i] = false
+		}
+	}
+}
+
+// runSub processes sub-batch s on worker ws: forward, backward, harvest.
+func (tr *Trainer[T]) runSub(ws *trainWorker, s, subBatch int, items []T, seed int64) {
+	lo := s * subBatch
+	hi := lo + subBatch
+	if hi > len(items) {
+		hi = len(items)
+	}
+	// Seed by sub-batch index, not worker id, so for a fixed sub-batch
+	// partition the dropout streams don't depend on which worker picks a
+	// sub-batch up. Full independence from the worker count requires an
+	// explicit cfg.SubBatch (the default size is derived from Workers).
+	ws.ctx.Reset(true, seed+int64(s)*1_000_003)
+	loss, count, err := tr.lossFn(ws.ctx, items[lo:hi])
+	if err != nil {
+		tr.results[s] = subResult{err: err}
+		return
+	}
+	if err := ws.ctx.Tape.Backward(loss); err != nil {
+		tr.results[s] = subResult{err: err}
+		return
+	}
+	if err := ws.ctx.HarvestGrads(tr.index, ws.grads, ws.touched); err != nil {
+		tr.results[s] = subResult{err: err}
+		return
+	}
+	tr.results[s] = subResult{loss: loss.Value.At(0, 0), count: count}
+}
+
 // Step computes gradients for one minibatch in parallel, applies clipping
-// and one optimizer update, and returns the mean per-unit loss.
+// and one optimizer update, and returns the mean per-unit loss. seed drives
+// the sub-batch dropout streams.
 //
 // The minibatch is cut into contiguous sub-batches of cfg.SubBatch items;
-// workers pull sub-batches from a shared queue and run each on a fresh tape
-// via lossFn, so a model with a batched forward path sees whole sub-batches
-// as single flattened computations instead of one-example tapes.
-func Step[T any](params []*nn.Param, items []T, lossFn LossFunc[T], optimizer opt.Optimizer, cfg Config) (float64, error) {
-	cfg = cfg.withDefaults()
+// workers pull sub-batches from a shared queue and run each on their
+// recycled tape via lossFn, so a model with a batched forward path sees
+// whole sub-batches as single flattened computations. With one effective
+// worker the queue and goroutine spawn are skipped entirely and the step
+// runs inline, allocation-free in steady state.
+func (tr *Trainer[T]) Step(items []T, seed int64) (float64, error) {
 	if len(items) == 0 {
 		return 0, errors.New("train: empty batch")
 	}
-	workers := cfg.Workers
+	workers := tr.cfg.Workers
 	if workers > len(items) {
 		workers = len(items)
 	}
-	subBatch := cfg.SubBatch
+	subBatch := tr.cfg.SubBatch
 	if subBatch <= 0 {
 		subBatch = (len(items) + workers - 1) / workers
 	}
@@ -81,61 +197,34 @@ func Step[T any](params []*nn.Param, items []T, lossFn LossFunc[T], optimizer op
 		workers = nSub
 	}
 
-	type subResult struct {
-		loss  float64
-		count int
-		err   error
+	if cap(tr.results) < nSub {
+		tr.results = make([]subResult, nSub)
 	}
-	results := make([]subResult, nSub)
-	workerGrads := make([]map[*nn.Param]*tensor.Matrix, workers)
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	tr.results = tr.results[:nSub]
+	for i := range tr.results {
+		tr.results[i] = subResult{}
+	}
 	for w := 0; w < workers; w++ {
-		// Gradients from every sub-batch a worker processes accumulate into
-		// one worker-local buffer, reduced once after the join.
-		grads := make(map[*nn.Param]*tensor.Matrix)
-		workerGrads[w] = grads
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				s := int(next.Add(1)) - 1
-				if s >= nSub {
-					return
-				}
-				lo := s * subBatch
-				hi := lo + subBatch
-				if hi > len(items) {
-					hi = len(items)
-				}
-				// Seed by sub-batch index, not worker id, so for a fixed
-				// sub-batch partition the dropout streams don't depend on
-				// which worker picks a sub-batch up. Full independence
-				// from the worker count requires an explicit cfg.SubBatch
-				// (the default size is derived from Workers).
-				ctx := nn.NewCtx(true, tensor.NewRNG(cfg.Seed+int64(s)*1_000_003))
-				loss, count, err := lossFn(ctx, items[lo:hi])
-				if err != nil {
-					results[s] = subResult{err: err}
-					return
-				}
-				if err := ctx.Tape.Backward(loss); err != nil {
-					results[s] = subResult{err: err}
-					return
-				}
-				if err := ctx.HarvestInto(grads); err != nil {
-					results[s] = subResult{err: err}
-					return
-				}
-				results[s] = subResult{loss: loss.Value.At(0, 0), count: count}
-			}
-		}()
+		tr.worker(w).clearTouched()
 	}
-	wg.Wait()
+
+	if workers == 1 {
+		ws := tr.worker(0)
+		for s := 0; s < nSub; s++ {
+			tr.runSub(ws, s, subBatch, items, seed)
+			if tr.results[s].err != nil {
+				break
+			}
+		}
+	} else {
+		// In its own method so the escaping queue counter and WaitGroup
+		// aren't heap-allocated on the single-worker inline path.
+		tr.stepParallel(workers, nSub, subBatch, items, seed)
+	}
 
 	var totalLoss float64
 	totalCount := 0
-	for _, r := range results {
+	for _, r := range tr.results {
 		if r.err != nil {
 			return 0, fmt.Errorf("train: worker: %w", r.err)
 		}
@@ -149,42 +238,74 @@ func Step[T any](params []*nn.Param, items []T, lossFn LossFunc[T], optimizer op
 	// Reduce worker gradients into the shared accumulators, normalizing to
 	// a mean over loss units.
 	inv := 1 / float64(totalCount)
-	for _, grads := range workerGrads {
-		for p, g := range grads {
-			if err := p.Grad.AddScaledInPlace(inv, g); err != nil {
-				return 0, fmt.Errorf("train: reduce %q: %w", p.Name, err)
+	for w := 0; w < workers; w++ {
+		ws := tr.workers[w]
+		for i, t := range ws.touched {
+			if !t {
+				continue
+			}
+			if err := tr.params[i].Grad.AddScaledInPlace(inv, ws.grads[i]); err != nil {
+				return 0, fmt.Errorf("train: reduce %q: %w", tr.params[i].Name, err)
 			}
 		}
 	}
-	opt.ClipGradNorm(params, cfg.ClipNorm)
-	if err := optimizer.Step(params); err != nil {
+	opt.ClipGradNorm(tr.params, tr.cfg.ClipNorm)
+	if err := tr.optimizer.Step(tr.params); err != nil {
 		return 0, fmt.Errorf("train: optimizer: %w", err)
 	}
-	opt.ZeroGrads(params)
+	opt.ZeroGrads(tr.params)
 	return totalLoss / float64(totalCount), nil
 }
 
-// Epoch shuffles items and runs Step over consecutive minibatches,
-// returning the mean per-unit loss across the epoch.
-func Epoch[T any](params []*nn.Param, items []T, lossFn LossFunc[T], optimizer opt.Optimizer, cfg Config) (float64, error) {
-	cfg = cfg.withDefaults()
+// stepParallel fans the sub-batch queue out across workers goroutines.
+func (tr *Trainer[T]) stepParallel(workers, nSub, subBatch int, items []T, seed int64) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ws := tr.worker(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= nSub {
+					return
+				}
+				tr.runSub(ws, s, subBatch, items, seed)
+				if tr.results[s].err != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Epoch shuffles items (seeded by seed) and runs Step over consecutive
+// minibatches, returning the mean per-unit loss across the epoch. The
+// shuffle buffer and shuffle RNG are recycled across epochs.
+func (tr *Trainer[T]) Epoch(items []T, seed int64) (float64, error) {
 	if len(items) == 0 {
 		return 0, errors.New("train: empty epoch")
 	}
-	rng := tensor.NewRNG(cfg.Seed)
-	shuffled := append([]T(nil), items...)
-	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	if tr.epochRNG == nil {
+		tr.epochRNG = tensor.NewRNG(seed)
+	} else {
+		tr.epochRNG.Reseed(seed)
+	}
+	tr.shuffled = tr.shuffled[:0]
+	tr.shuffled = append(tr.shuffled, items...)
+	shuffled := tr.shuffled
+	tr.epochRNG.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
 
 	var lossSum float64
 	batches := 0
-	for lo := 0; lo < len(shuffled); lo += cfg.BatchSize {
-		hi := lo + cfg.BatchSize
+	for lo := 0; lo < len(shuffled); lo += tr.cfg.BatchSize {
+		hi := lo + tr.cfg.BatchSize
 		if hi > len(shuffled) {
 			hi = len(shuffled)
 		}
-		stepCfg := cfg
-		stepCfg.Seed = cfg.Seed + int64(lo)
-		loss, err := Step(params, shuffled[lo:hi], lossFn, optimizer, stepCfg)
+		loss, err := tr.Step(shuffled[lo:hi], seed+int64(lo))
 		if err != nil {
 			return 0, fmt.Errorf("train: batch at %d: %w", lo, err)
 		}
@@ -194,8 +315,27 @@ func Epoch[T any](params []*nn.Param, items []T, lossFn LossFunc[T], optimizer o
 	return lossSum / float64(batches), nil
 }
 
+// Step computes gradients for one minibatch in parallel, applies clipping
+// and one optimizer update, and returns the mean per-unit loss. It is a
+// convenience wrapper constructing a throwaway Trainer; callers stepping
+// repeatedly should hold a Trainer to reuse its tapes and buffers.
+func Step[T any](params []*nn.Param, items []T, lossFn LossFunc[T], optimizer opt.Optimizer, cfg Config) (float64, error) {
+	cfg = cfg.withDefaults()
+	return NewTrainer(params, lossFn, optimizer, cfg).Step(items, cfg.Seed)
+}
+
+// Epoch shuffles items and runs Step over consecutive minibatches,
+// returning the mean per-unit loss across the epoch. Like Step it wraps a
+// throwaway Trainer (one per epoch; the tapes are still reused across every
+// batch within the epoch).
+func Epoch[T any](params []*nn.Param, items []T, lossFn LossFunc[T], optimizer opt.Optimizer, cfg Config) (float64, error) {
+	cfg = cfg.withDefaults()
+	return NewTrainer(params, lossFn, optimizer, cfg).Epoch(items, cfg.Seed)
+}
+
 // EvalLoss computes the mean per-unit loss over items without updating
-// parameters (used for validation curves).
+// parameters (used for validation curves). All batches run on one recycled
+// arena-backed context.
 func EvalLoss[T any](items []T, lossFn LossFunc[T], batchSize int, seed int64) (float64, error) {
 	if len(items) == 0 {
 		return 0, errors.New("train: empty eval set")
@@ -203,6 +343,7 @@ func EvalLoss[T any](items []T, lossFn LossFunc[T], batchSize int, seed int64) (
 	if batchSize <= 0 {
 		batchSize = 32
 	}
+	ctx := nn.NewArenaCtx(false, tensor.NewRNG(seed))
 	var total float64
 	count := 0
 	for lo := 0; lo < len(items); lo += batchSize {
@@ -210,7 +351,7 @@ func EvalLoss[T any](items []T, lossFn LossFunc[T], batchSize int, seed int64) (
 		if hi > len(items) {
 			hi = len(items)
 		}
-		ctx := nn.NewCtx(false, tensor.NewRNG(seed))
+		ctx.Reset(false, seed)
 		loss, n, err := lossFn(ctx, items[lo:hi])
 		if err != nil {
 			return 0, fmt.Errorf("train: eval batch at %d: %w", lo, err)

@@ -1,20 +1,22 @@
 #!/usr/bin/env sh
-# Runs the Table II / Table III scoreboard benchmarks and records the
-# results as BENCH_batched.json at the repo root, so the perf trajectory of
-# the batched execution path is tracked PR over PR.
+# Runs the Table II / Table III scoreboard benchmarks with -benchmem and
+# records ns/op, B/op and allocs/op as BENCH_arena.json at the repo root,
+# so both the speed and the allocation discipline of the training hot path
+# are tracked PR over PR. BENCH_batched.json (the PR 1 scoreboard) is kept
+# frozen as the previous reference point.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 3x)
 set -eu
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-3x}"
-OUT="BENCH_batched.json"
+OUT="BENCH_arena.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' \
   -bench 'BenchmarkTable2_ForwardBERT|BenchmarkTable3_FLRoundBERT' \
-  -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
+  -benchmem -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
 
 {
   printf '{\n'
@@ -31,12 +33,28 @@ go test -run '^$' \
   printf '    "BenchmarkTable3_FLRoundBERTMini": 864552461,\n'
   printf '    "BenchmarkTable3_FLRoundBERT": 6958233067\n'
   printf '  },\n'
-  printf '  "results_ns_per_op": {\n'
+  # PR 1 (batched path, pre-arena) reference on the same box, including the
+  # allocation profile the arena work is measured against; see
+  # BENCH_batched.json for the full PR 1 scoreboard.
+  printf '  "pr1_batched_baseline": {\n'
+  printf '    "BenchmarkTable2_ForwardBERT": {"ns_per_op": 389830663, "bytes_per_op": 189959456, "allocs_per_op": 4443},\n'
+  printf '    "BenchmarkTable3_FLRoundBERT": {"ns_per_op": 3571771922, "bytes_per_op": 1714803997, "allocs_per_op": 43272}\n'
+  printf '  },\n'
+  printf '  "results": {\n'
   grep '^Benchmark' "$RAW" | awk '
-    { gsub(/[ \t]+/, " "); n = $1; sub(/-[0-9]+$/, "", n); ns = $3 }
-    { lines[NR] = sprintf("    \"%s\": %s", n, ns) }
+    {
+      gsub(/[ \t]+/, " ")
+      n = $1; sub(/-[0-9]+$/, "", n)
+      ns = $3
+      bytes = "null"; allocs = "null"
+      for (i = 4; i <= NF; i++) {
+        if ($(i) == "B/op") bytes = $(i-1)
+        if ($(i) == "allocs/op") allocs = $(i-1)
+      }
+      lines[++cnt] = sprintf("    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", n, ns, bytes, allocs)
+    }
     END {
-      for (i = 1; i <= NR; i++) printf "%s%s\n", lines[i], (i < NR ? "," : "")
+      for (i = 1; i <= cnt; i++) printf "%s%s\n", lines[i], (i < cnt ? "," : "")
     }'
   printf '  }\n'
   printf '}\n'
