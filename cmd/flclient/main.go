@@ -2,11 +2,16 @@
 // fine-tuning. It loads its provision startup kit, regenerates its local
 // shard of the synthetic cohort (standing in for the site's private EHR
 // database — every site sees only its own shard), dials the server over
-// mutual TLS, registers with its admission token, and trains when tasked.
+// mutual TLS, registers with its admission token (negotiating its uplink
+// weight codec), and trains when tasked. Under a sampling/deadline server
+// the client may sit idle for rounds it is not tasked in; -prox adds a
+// FedProx proximal term so partial participation tolerates heterogeneous
+// shards.
 //
-// Usage (site 3 of 8):
+// Usage (site 3 of 8, compressed uplink):
 //
-//	flclient -kit kits/clinic-3 -server localhost:8443 -shard 2 -shards 8
+//	flclient -kit kits/clinic-3 -server localhost:8443 -shard 2 -shards 8 \
+//	    -codec f32 -prox 0.01
 package main
 
 import (
@@ -44,6 +49,8 @@ func run() error {
 		lr         = flag.Float64("lr", 5e-3, "Adam learning rate")
 		trainSize  = flag.Int("train", 640, "total federation train examples")
 		patients   = flag.Int("patients", 8638, "synthetic cohort size")
+		codec      = flag.String("codec", "raw", "uplink weight codec: raw | f32 | topk[:fraction]")
+		proxMu     = flag.Float64("prox", 0, "FedProx proximal strength mu (0 = plain FedAvg local training)")
 	)
 	flag.Parse()
 	if *kitDir == "" {
@@ -112,12 +119,12 @@ func run() error {
 		return err
 	}
 	exec, err := fl.NewClassifierExecutor(kit.Name, mdl, local, nil, fl.LocalConfig{
-		Epochs: *epochs, LR: *lr, Seed: *seed + int64(*shard)*37,
+		Epochs: *epochs, LR: *lr, ProxMu: *proxMu, Seed: *seed + int64(*shard)*37,
 	})
 	if err != nil {
 		return err
 	}
-	client, err := fl.NewClient(fl.ClientConfig{ServerAddr: *serverAddr}, kit, exec)
+	client, err := fl.NewClient(fl.ClientConfig{ServerAddr: *serverAddr, Codec: *codec}, kit, exec)
 	if err != nil {
 		return err
 	}

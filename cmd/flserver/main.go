@@ -3,16 +3,27 @@
 // clients to register with valid tokens over mutual TLS, drives E
 // scatter-and-gather rounds, and writes the final global model.
 //
+// The federation can run fully synchronously (the default: every round
+// waits for every client) or straggler-tolerantly: -sample tasks a random
+// client subset per round, -min-updates aggregates as soon as that many
+// updates arrive, -deadline bounds each round's gather, and -fedasync
+// folds stragglers' late updates in with staleness weighting instead of
+// dropping them. -codec compresses the downlink weight payloads (clients
+// pick their own uplink codec with flclient -codec).
+//
 // Usage:
 //
 //	provision -project demo -server localhost -clients c1,c2 -out kits
 //	flserver -kit kits/server -addr :8443 -clients 2 -rounds 5 -out global.weights
+//	flserver -kit kits/server -clients 8 -rounds 5 \
+//	    -sample 0.5 -min-updates 3 -deadline 30s -fedasync -codec f32
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"clinfl/internal/fl"
 	"clinfl/internal/nn"
@@ -37,6 +48,12 @@ func run() error {
 		maxLen    = flag.Int("maxlen", 24, "sequence length (must match clients)")
 		seed      = flag.Int64("seed", 1, "global model init seed (must match clients)")
 		out       = flag.String("out", "global.weights", "output path for the final model")
+
+		sample     = flag.Float64("sample", 0, "client fraction tasked per round (0 or 1 = all)")
+		minUpdates = flag.Int("min-updates", 0, "aggregate as soon as this many updates arrive (0 = all tasked)")
+		deadline   = flag.Duration("deadline", 0, "round gather deadline; stragglers are dropped or fedasync-merged (0 = wait)")
+		fedasync   = flag.Bool("fedasync", false, "fold stragglers' late updates in with staleness weighting instead of dropping them")
+		codec      = flag.String("codec", "raw", "downlink weight codec: raw | f32 | topk[:fraction]")
 	)
 	flag.Parse()
 
@@ -52,12 +69,21 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	srv, err := fl.NewServer(fl.ServerConfig{
+	scfg := fl.ServerConfig{
 		Addr:            *addr,
 		ExpectedClients: *clients,
 		Rounds:          *rounds,
+		SampleFraction:  *sample,
+		MinUpdates:      *minUpdates,
+		RoundDeadline:   *deadline,
+		Seed:            *seed,
+		Codec:           *codec,
 		VerifyToken:     verify,
-	}, kit)
+	}
+	if *fedasync {
+		scfg.AsyncAggregator = fl.FedAsync{}
+	}
+	srv, err := fl.NewServer(scfg, kit)
 	if err != nil {
 		return err
 	}
@@ -76,6 +102,18 @@ func run() error {
 	if err := nn.WriteWeightMap(f, res.FinalWeights); err != nil {
 		return err
 	}
-	fmt.Printf("flserver: wrote final global model to %s (%d rounds)\n", *out, len(res.History.Rounds))
+	var up, down int64
+	for _, rec := range res.History.Rounds {
+		up += rec.BytesUp
+		down += rec.BytesDown
+	}
+	fmt.Printf("flserver: wrote final global model to %s (%d rounds, payload %d B up / %d B down, framed wire %d B in / %d B out)\n",
+		*out, len(res.History.Rounds), up, down, res.History.WireBytesRead, res.History.WireBytesWritten)
+	for _, rec := range res.History.Rounds {
+		fmt.Printf("flserver: round %d: %d/%d participants, %d late applied, %d late dropped, %d failures, %v\n",
+			rec.Round, len(rec.Participants), len(rec.Sampled),
+			len(rec.LateApplied), len(rec.LateDropped), len(rec.Failures),
+			rec.Duration.Round(time.Millisecond))
+	}
 	return nil
 }

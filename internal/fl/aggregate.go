@@ -25,6 +25,9 @@ type ClientUpdate struct {
 	NumSamples int
 	// TrainLoss is the client's mean local training loss for the round.
 	TrainLoss float64
+	// PayloadBytes is the encoded update's size on the wire (0 for
+	// in-process executors); experiments report bytes-on-wire from it.
+	PayloadBytes int
 }
 
 // Aggregator combines client updates into a new global model.
@@ -98,7 +101,60 @@ func weightedAverage(updates []*ClientUpdate, weightOf func(*ClientUpdate) float
 	return out, nil
 }
 
-// EncodeWeights serializes a weight map for transport.
+// AsyncAggregator folds a single (possibly stale) update into the current
+// global model, FedAsync-style: unlike Aggregator it does not wait for a
+// batch of updates, so the controller can apply stragglers' contributions
+// from earlier rounds as they trickle in.
+type AsyncAggregator interface {
+	// Apply mutates global in place with u's contribution. staleness is
+	// how many rounds old the update is (0 = current round).
+	Apply(global map[string]*tensor.Matrix, u *ClientUpdate, staleness int) error
+	// Name identifies the strategy in logs and experiment records.
+	Name() string
+}
+
+// FedAsync is the staleness-damped asynchronous merge of Xie et al.
+// (FedAsync): global ← (1-α_s)·global + α_s·update with α_s =
+// Alpha/(1+staleness), so fresher updates move the model more and ancient
+// ones fade toward no-ops instead of dragging it backward.
+type FedAsync struct {
+	// Alpha is the mixing rate for a fresh (staleness-0) update; values in
+	// (0, 1]. Zero defaults to 0.5.
+	Alpha float64
+}
+
+// Name implements AsyncAggregator.
+func (FedAsync) Name() string { return "fedasync" }
+
+// Apply implements AsyncAggregator.
+func (f FedAsync) Apply(global map[string]*tensor.Matrix, u *ClientUpdate, staleness int) error {
+	alpha := f.Alpha
+	if alpha == 0 {
+		alpha = 0.5
+	}
+	if alpha < 0 || alpha > 1 {
+		return fmt.Errorf("fl: fedasync alpha %v out of (0,1]", alpha)
+	}
+	if staleness < 0 {
+		return fmt.Errorf("fl: fedasync negative staleness %d", staleness)
+	}
+	a := alpha / float64(1+staleness)
+	for name, g := range global {
+		w, ok := u.Weights[name]
+		if !ok {
+			return fmt.Errorf("fl: fedasync: client %q missing param %q", u.ClientName, name)
+		}
+		g.ScaleInPlace(1 - a)
+		if err := g.AddScaledInPlace(a, w); err != nil {
+			return fmt.Errorf("fl: fedasync %q from %q: %w", name, u.ClientName, err)
+		}
+	}
+	return nil
+}
+
+// EncodeWeights serializes a weight map in the raw (exact float64)
+// transport format; senders with a negotiated codec call its Encode
+// instead.
 func EncodeWeights(weights map[string]*tensor.Matrix) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := nn.WriteWeightMap(&buf, weights); err != nil {
@@ -107,9 +163,11 @@ func EncodeWeights(weights map[string]*tensor.Matrix) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// DecodeWeights parses a transported weight map.
+// DecodeWeights parses a transported weight map produced by any registered
+// codec (raw, f32-quantized, top-k sparse), sniffing the format from the
+// payload's magic.
 func DecodeWeights(blob []byte) (map[string]*tensor.Matrix, error) {
-	weights, err := nn.ReadWeights(bytes.NewReader(blob))
+	weights, err := decoderFor(blob).Decode(blob)
 	if err != nil {
 		return nil, fmt.Errorf("fl: decode weights: %w", err)
 	}

@@ -1,0 +1,294 @@
+package fl
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fourClients builds 3 fast fakes plus one straggler delayed by delay.
+func fourClients(delay time.Duration) []Executor {
+	return []Executor{
+		&fakeExecutor{name: "a", samples: 10, value: 1},
+		&fakeExecutor{name: "b", samples: 10, value: 1},
+		&fakeExecutor{name: "c", samples: 10, value: 1},
+		&fakeExecutor{name: "slow", samples: 10, value: 9, delay: delay},
+	}
+}
+
+// The acceptance scenario: 1 of 4 clients delayed beyond RoundDeadline;
+// the federation must complete every round without blocking on it and
+// record per-round participation in the Result.
+func TestControllerAsyncRoundsDoNotBlockOnStraggler(t *testing.T) {
+	execs := fourClients(5 * time.Second)
+	ctrl, err := NewController(ControllerConfig{
+		Rounds:        3,
+		MinClients:    1,
+		MinUpdates:    3,
+		RoundDeadline: 300 * time.Millisecond,
+	}, execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := ctrl.Run(context.Background(), initialWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("async run blocked on straggler: took %v", elapsed)
+	}
+	if len(res.History.Rounds) != 3 {
+		t.Fatalf("completed %d rounds, want 3", len(res.History.Rounds))
+	}
+	for i, rec := range res.History.Rounds {
+		if len(rec.Participants) != 3 {
+			t.Fatalf("round %d aggregated %d participants (%v), want 3",
+				i, len(rec.Participants), rec.Participants)
+		}
+		for _, p := range rec.Participants {
+			if p == "slow" {
+				t.Fatalf("round %d straggler recorded as participant", i)
+			}
+		}
+	}
+	// Round 0 sampled everyone; later rounds exclude the in-flight straggler.
+	if len(res.History.Rounds[0].Sampled) != 4 {
+		t.Fatalf("round 0 sampled %v, want all 4", res.History.Rounds[0].Sampled)
+	}
+	if len(res.History.Rounds[1].Sampled) != 3 {
+		t.Fatalf("round 1 sampled %v, want 3 (straggler in flight)", res.History.Rounds[1].Sampled)
+	}
+	// The straggler never aggregated, so the global stays at the fast value.
+	if got := res.FinalWeights["layer.w"].At(0, 0); got != 1 {
+		t.Fatalf("final weight %v, want 1", got)
+	}
+}
+
+func TestControllerSamplingSubsetPerRound(t *testing.T) {
+	execs := fourClients(0)
+	ctrl, err := NewController(ControllerConfig{
+		Rounds: 4, MinClients: 1, SampleFraction: 0.5, Seed: 3,
+	}, execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.Run(context.Background(), initialWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for i, rec := range res.History.Rounds {
+		if len(rec.Sampled) != 2 {
+			t.Fatalf("round %d sampled %v, want 2 clients", i, rec.Sampled)
+		}
+		if len(rec.Participants) != 2 {
+			t.Fatalf("round %d participants %v, want the 2 sampled", i, rec.Participants)
+		}
+		for _, name := range rec.Sampled {
+			seen[name]++
+		}
+	}
+	if len(seen) < 3 {
+		t.Fatalf("sampling never rotated: only %v tasked over 4 rounds", seen)
+	}
+}
+
+// lateUpdateScenario runs 2 rounds where the straggler's round-0 update
+// arrives while round 1 is gathering.
+func lateUpdateScenario(t *testing.T, async AsyncAggregator) *Result {
+	t.Helper()
+	execs := []Executor{
+		&fakeExecutor{name: "a", samples: 10, value: 1, delay: 400 * time.Millisecond},
+		&fakeExecutor{name: "b", samples: 10, value: 1, delay: 400 * time.Millisecond},
+		&fakeExecutor{name: "c", samples: 10, value: 1, delay: 400 * time.Millisecond},
+		&fakeExecutor{name: "slow", samples: 10, value: 9, delay: 600 * time.Millisecond},
+	}
+	ctrl, err := NewController(ControllerConfig{
+		Rounds:          2,
+		MinClients:      1,
+		MinUpdates:      3,
+		RoundDeadline:   5 * time.Second,
+		AsyncAggregator: async,
+	}, execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.Run(context.Background(), initialWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestControllerDropsLateUpdatesByDefault(t *testing.T) {
+	// Round 0 aggregates the three 400ms clients at ~400ms (MinUpdates=3);
+	// the straggler's round-0 update lands at ~600ms, mid round 1.
+	res := lateUpdateScenario(t, nil)
+	var dropped []string
+	for _, rec := range res.History.Rounds {
+		dropped = append(dropped, rec.LateDropped...)
+		if len(rec.LateApplied) != 0 {
+			t.Fatalf("no async aggregator, yet late update applied: %+v", rec)
+		}
+	}
+	if len(dropped) != 1 || dropped[0] != "slow" {
+		t.Fatalf("late drops %v, want [slow]", dropped)
+	}
+	if got := res.FinalWeights["layer.w"].At(0, 0); got != 1 {
+		t.Fatalf("dropped straggler leaked into the model: %v", got)
+	}
+}
+
+func TestControllerFedAsyncFoldsLateUpdates(t *testing.T) {
+	res := lateUpdateScenario(t, FedAsync{Alpha: 0.5})
+	var applied []string
+	for _, rec := range res.History.Rounds {
+		applied = append(applied, rec.LateApplied...)
+	}
+	if len(applied) != 1 || applied[0] != "slow" {
+		t.Fatalf("late applies %v, want [slow]", applied)
+	}
+	// Round 1 aggregate of fast clients = 1; then the staleness-1 merge:
+	// a = 0.5/(1+1) = 0.25 -> 0.75*1 + 0.25*9 = 3.
+	if got := res.FinalWeights["layer.w"].At(0, 0); got != 3 {
+		t.Fatalf("fedasync final weight %v, want 3", got)
+	}
+}
+
+func TestControllerDeadlinePartialAggregationQuorum(t *testing.T) {
+	// Without MinUpdates the deadline alone triggers partial aggregation,
+	// and MinClients still guards against aggregating too few.
+	execs := fourClients(2 * time.Second)
+	ctrl, err := NewController(ControllerConfig{
+		Rounds: 1, MinClients: 4, RoundDeadline: 200 * time.Millisecond,
+	}, execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Run(context.Background(), initialWeights()); err == nil ||
+		!strings.Contains(err.Error(), "quorum") {
+		t.Fatalf("want quorum error with MinClients=4, got %v", err)
+	}
+
+	execs = fourClients(2 * time.Second)
+	ctrl, err = NewController(ControllerConfig{
+		Rounds: 1, MinClients: 3, RoundDeadline: 200 * time.Millisecond,
+	}, execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.Run(context.Background(), initialWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History.Rounds[0].Participants) != 3 {
+		t.Fatalf("participants %v, want 3", res.History.Rounds[0].Participants)
+	}
+}
+
+func TestControllerExplicitQuorumAboveMinUpdates(t *testing.T) {
+	// MinClients > MinUpdates: the gather must wait for the quorum rather
+	// than cutting the round at MinUpdates and then failing the check.
+	execs := fourClients(0)
+	ctrl, err := NewController(ControllerConfig{
+		Rounds: 2, MinUpdates: 1, MinClients: 3,
+	}, execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.Run(context.Background(), initialWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range res.History.Rounds {
+		if len(rec.Participants) < 3 {
+			t.Fatalf("round %d aggregated %d < MinClients participants", i, len(rec.Participants))
+		}
+	}
+}
+
+func TestControllerRecordsFailuresInResult(t *testing.T) {
+	execs := []Executor{
+		&fakeExecutor{name: "ok", samples: 1, value: 2},
+		&fakeExecutor{name: "broken", samples: 1, value: 1, fail: true},
+	}
+	ctrl, err := NewController(ControllerConfig{Rounds: 1, MinClients: 1}, execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.Run(context.Background(), initialWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures := res.History.Rounds[0].Failures
+	if len(failures) != 1 || !strings.Contains(failures[0], "broken") {
+		t.Fatalf("failures %v, want broken client recorded", failures)
+	}
+}
+
+func TestCodecSimFilterSetsPayloadBytes(t *testing.T) {
+	execs := fourClients(0)
+	ctrl, err := NewController(ControllerConfig{
+		Rounds:  2,
+		Filters: []Filter{CodecSimFilter{Codec: Float32Codec{}}},
+	}, execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.Run(context.Background(), initialWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := EncodeWeights(initialWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range res.History.Rounds {
+		if rec.BytesUp == 0 {
+			t.Fatalf("round %d recorded no uplink bytes", i)
+		}
+		if float64(rec.BytesUp) > 0.6*float64(4*len(raw)) {
+			t.Fatalf("round %d f32 uplink %d bytes, want <= 60%% of raw %d", i, rec.BytesUp, 4*len(raw))
+		}
+	}
+}
+
+func TestFaultyExecutorInjectsDropsAndDelays(t *testing.T) {
+	inner := &fakeExecutor{name: "x", samples: 5, value: 2}
+	f := WrapFaulty(inner, FaultConfig{
+		Delay:       50 * time.Millisecond,
+		DelayRounds: []int{1},
+		DropRounds:  []int{2},
+	})
+	if f.Name() != "x" || f.NumSamples() != 5 {
+		t.Fatal("wrapper must be transparent for identity")
+	}
+	start := time.Now()
+	if _, err := f.ExecuteRound(0, initialWeights()); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 40*time.Millisecond {
+		t.Fatal("round 0 should not be delayed")
+	}
+	start = time.Now()
+	if _, err := f.ExecuteRound(1, initialWeights()); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		t.Fatal("round 1 delay not injected")
+	}
+	if _, err := f.ExecuteRound(2, initialWeights()); err == nil ||
+		!strings.Contains(err.Error(), "injected dropout") {
+		t.Fatalf("round 2 should drop, got %v", err)
+	}
+	if inner.calls != 2 {
+		t.Fatalf("inner executed %d rounds, want 2 (drop short-circuits)", inner.calls)
+	}
+
+	always := WrapFaulty(&fakeExecutor{name: "y"}, FaultConfig{DropProb: 1, Seed: 9})
+	if _, err := always.ExecuteRound(0, initialWeights()); err == nil {
+		t.Fatal("DropProb=1 must always fail")
+	}
+}

@@ -18,17 +18,23 @@ type ClientConfig struct {
 	ServerAddr string
 	// DialTimeout bounds connection establishment (default 10s).
 	DialTimeout time.Duration
+	// Codec names the uplink weight codec this client requests at
+	// registration ("raw", "f32", "topk[:fraction]"); default raw. The
+	// server may fall back to raw, echoed in the registration ack.
+	Codec string
 	// Logf receives progress lines (default log.Printf).
 	Logf func(format string, args ...any)
 }
 
 // Client is the networked federation participant: it dials the server with
-// its startup-kit credentials, registers with its admission token, then
-// serves task messages by running its executor until MsgFinish.
+// its startup-kit credentials, registers with its admission token (and its
+// uplink codec preference), then serves task messages by running its
+// executor until MsgFinish.
 type Client struct {
-	cfg  ClientConfig
-	kit  *provision.StartupKit
-	exec Executor
+	cfg   ClientConfig
+	kit   *provision.StartupKit
+	exec  Executor
+	codec WeightCodec // requested uplink codec; re-resolved after the ack
 }
 
 // NewClient builds a networked client around an executor.
@@ -39,13 +45,17 @@ func NewClient(cfg ClientConfig, kit *provision.StartupKit, exec Executor) (*Cli
 	if exec == nil {
 		return nil, errors.New("fl: client needs an executor")
 	}
+	codec, err := CodecByName(cfg.Codec)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 10 * time.Second
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
-	return &Client{cfg: cfg, kit: kit, exec: exec}, nil
+	return &Client{cfg: cfg, kit: kit, exec: exec, codec: codec}, nil
 }
 
 // Run connects, registers, and participates until the server finishes.
@@ -63,6 +73,7 @@ func (c *Client) Run() (map[string]*tensor.Matrix, error) {
 
 	if err := conn.Write(&transport.Message{
 		Type: transport.MsgRegister, Sender: c.kit.Name, Token: c.kit.Token,
+		Meta: map[string]string{transport.MetaCodec: c.codec.Name()},
 	}); err != nil {
 		return nil, fmt.Errorf("fl: %s register: %w", c.kit.Name, err)
 	}
@@ -73,7 +84,15 @@ func (c *Client) Run() (map[string]*tensor.Matrix, error) {
 	if ack.Type != transport.MsgRegisterAck || ack.Meta["accepted"] != "true" {
 		return nil, fmt.Errorf("fl: %s registration rejected: %s", c.kit.Name, ack.Meta["reason"])
 	}
-	c.cfg.Logf("fl client %s: registered with server", c.kit.Name)
+	// Honor the server's codec decision (it may have fallen back to raw).
+	if accepted := ack.Meta[transport.MetaCodec]; accepted != "" && accepted != c.codec.Name() {
+		codec, err := CodecByName(accepted)
+		if err != nil {
+			return nil, fmt.Errorf("fl: %s server chose unusable codec: %w", c.kit.Name, err)
+		}
+		c.codec = codec
+	}
+	c.cfg.Logf("fl client %s: registered with server (uplink codec %s)", c.kit.Name, c.codec.Name())
 
 	for {
 		msg, err := conn.Read()
@@ -96,7 +115,7 @@ func (c *Client) Run() (map[string]*tensor.Matrix, error) {
 				})
 				return nil, fmt.Errorf("fl: %s round %d: %w", c.kit.Name, msg.Round, err)
 			}
-			blob, err := EncodeWeights(update.Weights)
+			blob, err := c.codec.Encode(update.Weights)
 			if err != nil {
 				return nil, fmt.Errorf("fl: %s encode update: %w", c.kit.Name, err)
 			}

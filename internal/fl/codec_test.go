@@ -1,0 +1,216 @@
+package fl
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"clinfl/internal/tensor"
+)
+
+// codecTestWeights builds a weight map with a spread of magnitudes.
+func codecTestWeights(seed int64) map[string]*tensor.Matrix {
+	rng := tensor.NewRNG(seed)
+	w := map[string]*tensor.Matrix{
+		"enc.w": rng.Normal(16, 32, 0, 1),
+		"enc.b": rng.Normal(1, 32, 0, 0.01),
+		"out.w": rng.Normal(32, 2, 0, 3),
+	}
+	return w
+}
+
+func TestRawCodecRoundTripExact(t *testing.T) {
+	weights := codecTestWeights(1)
+	blob, err := RawCodec{}.Encode(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RawCodec{}.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range weights {
+		if !got[name].Equal(m) {
+			t.Fatalf("raw codec changed %q", name)
+		}
+	}
+}
+
+func TestFloat32CodecBoundedErrorAndSize(t *testing.T) {
+	weights := codecTestWeights(2)
+	raw, err := RawCodec{}.Encode(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := Float32Codec{}.Encode(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance bar: quantized transport cuts bytes-on-wire by >=40%.
+	if float64(len(blob)) > 0.6*float64(len(raw)) {
+		t.Fatalf("f32 payload %d bytes, want <= 60%% of raw %d", len(blob), len(raw))
+	}
+	got, err := Float32Codec{}.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range weights {
+		g := got[name]
+		if !g.SameShape(m) {
+			t.Fatalf("f32 codec changed shape of %q", name)
+		}
+		for i, v := range m.Data() {
+			q := g.Data()[i]
+			if math.Abs(q-v) > 1e-6*math.Max(1, math.Abs(v)) {
+				t.Fatalf("f32 %q[%d]: %v -> %v exceeds float32 error bound", name, i, v, q)
+			}
+		}
+	}
+}
+
+func TestTopKCodecKeepsLargestAndShrinks(t *testing.T) {
+	weights := codecTestWeights(3)
+	raw, err := RawCodec{}.Encode(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := TopKCodec{Fraction: 0.25}
+	blob, err := c.Encode(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(len(blob)) > 0.4*float64(len(raw)) {
+		t.Fatalf("top-k 25%% payload %d bytes, want well under raw %d", len(blob), len(raw))
+	}
+	got, err := c.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range weights {
+		g := got[name]
+		d, gd := m.Data(), g.Data()
+		k := int(math.Ceil(0.25 * float64(len(d))))
+		// Threshold = magnitude of the k-th largest element; everything
+		// strictly above it must survive, everything kept must round-trip
+		// at float32 precision, everything dropped must read zero.
+		mags := make([]float64, len(d))
+		for i, v := range d {
+			mags[i] = math.Abs(v)
+		}
+		thresh := kthLargest(mags, k)
+		kept := 0
+		for i, v := range d {
+			switch {
+			case gd[i] == 0 && math.Abs(v) > thresh:
+				t.Fatalf("top-k %q[%d]: dropped element |%v| above threshold %v", name, i, v, thresh)
+			case gd[i] != 0:
+				kept++
+				if math.Abs(gd[i]-v) > 1e-6*math.Max(1, math.Abs(v)) {
+					t.Fatalf("top-k %q[%d]: kept value %v -> %v beyond float32 error", name, i, v, gd[i])
+				}
+			}
+		}
+		if kept > k {
+			t.Fatalf("top-k %q kept %d > k=%d elements", name, kept, k)
+		}
+	}
+}
+
+// kthLargest returns the k-th largest value of vals (1-based).
+func kthLargest(vals []float64, k int) float64 {
+	cp := append([]float64(nil), vals...)
+	for i := 0; i < k; i++ { // tiny n; selection sort is fine
+		maxJ := i
+		for j := i + 1; j < len(cp); j++ {
+			if cp[j] > cp[maxJ] {
+				maxJ = j
+			}
+		}
+		cp[i], cp[maxJ] = cp[maxJ], cp[i]
+	}
+	return cp[k-1]
+}
+
+func TestDecodeWeightsSniffsEveryCodec(t *testing.T) {
+	weights := codecTestWeights(4)
+	for _, codec := range []WeightCodec{RawCodec{}, Float32Codec{}, TopKCodec{Fraction: 0.5}} {
+		blob, err := codec.Encode(weights)
+		if err != nil {
+			t.Fatalf("%s encode: %v", codec.Name(), err)
+		}
+		got, err := DecodeWeights(blob)
+		if err != nil {
+			t.Fatalf("%s sniffed decode: %v", codec.Name(), err)
+		}
+		if len(got) != len(weights) {
+			t.Fatalf("%s sniffed decode returned %d params, want %d", codec.Name(), len(got), len(weights))
+		}
+		for name, m := range weights {
+			if !got[name].SameShape(m) {
+				t.Fatalf("%s sniffed decode changed shape of %q", codec.Name(), name)
+			}
+		}
+	}
+	if _, err := DecodeWeights([]byte("junk")); err == nil {
+		t.Fatal("want error decoding junk")
+	}
+}
+
+func TestCodecByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"":          "raw",
+		"raw":       "raw",
+		"f32":       "f32",
+		"topk":      "topk:0.1",
+		"topk:0.25": "topk:0.25",
+	} {
+		c, err := CodecByName(name)
+		if err != nil {
+			t.Fatalf("CodecByName(%q): %v", name, err)
+		}
+		if c.Name() != want {
+			t.Fatalf("CodecByName(%q).Name() = %q, want %q", name, c.Name(), want)
+		}
+	}
+	for _, bad := range []string{"gzip", "topk:0", "topk:2", "topk:x"} {
+		if _, err := CodecByName(bad); err == nil {
+			t.Fatalf("CodecByName(%q) should fail", bad)
+		}
+	}
+}
+
+func TestTopKCodecRejectsBadFraction(t *testing.T) {
+	for _, f := range []float64{0, -1, 1.5} {
+		if _, err := (TopKCodec{Fraction: f}).Encode(codecTestWeights(5)); err == nil {
+			t.Fatalf("fraction %v should fail", f)
+		}
+	}
+}
+
+func TestFedAsyncApply(t *testing.T) {
+	g := tensor.New(1, 2)
+	g.Fill(1)
+	global := map[string]*tensor.Matrix{"w": g}
+	w := tensor.New(1, 2)
+	w.Fill(5)
+	u := &ClientUpdate{ClientName: "late", Weights: map[string]*tensor.Matrix{"w": w}}
+
+	// staleness 1 with alpha 0.5 -> a = 0.25: 0.75*1 + 0.25*5 = 2.
+	if err := (FedAsync{Alpha: 0.5}).Apply(global, u, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := global["w"].At(0, 0); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("fedasync result %v, want 2", got)
+	}
+
+	if err := (FedAsync{}).Apply(global, &ClientUpdate{ClientName: "x", Weights: map[string]*tensor.Matrix{}}, 0); err == nil ||
+		!strings.Contains(err.Error(), "missing param") {
+		t.Fatalf("want missing-param error, got %v", err)
+	}
+	if err := (FedAsync{Alpha: 2}).Apply(global, u, 0); err == nil {
+		t.Fatal("want alpha range error")
+	}
+	if err := (FedAsync{}).Apply(global, u, -1); err == nil {
+		t.Fatal("want staleness error")
+	}
+}

@@ -4,22 +4,44 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
+	"math"
 	"time"
 
 	"clinfl/internal/tensor"
 )
 
 // ControllerConfig parameterizes the server-side scatter-and-gather
-// workflow.
+// workflow. The zero value (plus Rounds) reproduces the paper's fully
+// synchronous federation; SampleFraction, MinUpdates and RoundDeadline
+// progressively relax it toward a production asynchronous one.
 type ControllerConfig struct {
 	// Rounds is E, the number of communication rounds (Fig. 1).
 	Rounds int
 	// MinClients is the quorum required per round; fewer successful
-	// updates fail the round. 0 means all clients must respond.
+	// updates fail the round. 0 means all sampled clients must respond
+	// (or, when MinUpdates is set, that many).
 	MinClients int
-	// RoundTimeout bounds one round's local training (0 = no limit).
+	// SampleFraction selects a random subset of clients each round
+	// (production FL's partial participation). Values in (0, 1) sample
+	// ceil(fraction * N) of the idle clients; 0 or >= 1 uses them all.
+	SampleFraction float64
+	// MinUpdates, when > 0, aggregates as soon as this many updates have
+	// arrived instead of waiting for every sampled client — the fast path
+	// of NVFlare's wait_time_after_min_received. 0 waits for all sampled.
+	MinUpdates int
+	// RoundDeadline bounds one round's gather: when it fires, whatever
+	// has arrived (subject to MinClients) is aggregated and the
+	// stragglers' eventual updates are handled by the staleness policy
+	// below. 0 falls back to RoundTimeout.
+	RoundDeadline time.Duration
+	// RoundTimeout is the legacy name for RoundDeadline (0 = no limit).
 	RoundTimeout time.Duration
+	// AsyncAggregator, when non-nil, folds late updates (stragglers from
+	// round r arriving during round r' > r) into the global model with
+	// staleness weighting (FedAsync). Nil drops late updates.
+	AsyncAggregator AsyncAggregator
+	// Seed drives the per-round client sampling stream.
+	Seed int64
 	// Aggregator combines updates (default FedAvg).
 	Aggregator Aggregator
 	// Filters run over every client update before aggregation (NVFlare's
@@ -41,6 +63,14 @@ func (c ControllerConfig) withDefaults(numClients int) ControllerConfig {
 	}
 	if c.MinClients <= 0 || c.MinClients > numClients {
 		c.MinClients = numClients
+		if c.MinUpdates > 0 && c.MinUpdates < numClients {
+			// Partial aggregation on: the quorum floor follows the early
+			// trigger, not the full roster.
+			c.MinClients = c.MinUpdates
+		}
+	}
+	if c.RoundDeadline <= 0 {
+		c.RoundDeadline = c.RoundTimeout
 	}
 	if c.Aggregator == nil {
 		c.Aggregator = FedAvg{}
@@ -57,8 +87,25 @@ type RoundRecord struct {
 	// ValScore is the post-aggregation validation score (NaN if no
 	// validator configured).
 	ValScore float64
-	// Participants lists clients whose updates were aggregated.
+	// Sampled lists the clients tasked this round (all clients when
+	// sampling is off).
+	Sampled []string
+	// Participants lists clients whose updates were aggregated in-round.
 	Participants []string
+	// LateApplied lists stale updates from earlier rounds folded into the
+	// global model this round via the AsyncAggregator.
+	LateApplied []string
+	// LateDropped lists stale updates discarded this round (no
+	// AsyncAggregator configured).
+	LateDropped []string
+	// Failures records per-client send/receive/training errors as
+	// "client: error" strings; a failed client is never silently absent.
+	Failures []string
+	// BytesUp / BytesDown are the round's weight-payload bytes: encoded
+	// update payloads received / task payloads sent. Populated by the
+	// networked server from real payload sizes and in-process when a
+	// CodecSimFilter stamps PayloadBytes.
+	BytesUp, BytesDown int64
 	// Duration is the wall-clock round time.
 	Duration time.Duration
 }
@@ -71,6 +118,14 @@ type History struct {
 	BestRound int
 	// BestScore is the corresponding score.
 	BestScore float64
+	// FinishFailures records clients the final-model broadcast could not
+	// reach (networked server only).
+	FinishFailures []string
+	// WireBytesRead / WireBytesWritten are the run's total framed bytes
+	// on the wire across all client connections — headers, metadata and
+	// gob overhead included, unlike the per-round payload counters
+	// (networked server only).
+	WireBytesRead, WireBytesWritten int64
 }
 
 // Result is the controller's output: the final and selected models plus
@@ -84,12 +139,30 @@ type Result struct {
 	History     History
 }
 
+// execOutcome carries one executor's result, tagged with the round it was
+// tasked for so stragglers finishing after their round's deadline are
+// recognized as late.
+type execOutcome struct {
+	update *ClientUpdate
+	err    error
+	name   string
+	round  int
+}
+
 // Controller drives the federated run over a set of executors in-process
 // (NVFlare simulator mode: every client is a goroutine rather than a
 // remote site; the networked deployment in server.go shares this logic).
 type Controller struct {
 	cfg       ControllerConfig
 	executors []Executor
+
+	// results is the run-long gather channel: buffered so a straggler
+	// finishing rounds later never blocks, even after Run returns.
+	results chan execOutcome
+	// inFlight marks executors still working on a previous round's task;
+	// they are excluded from sampling until their outcome arrives.
+	inFlight map[string]bool
+	rng      *tensor.RNG
 }
 
 // NewController builds a controller over executors.
@@ -104,7 +177,13 @@ func NewController(cfg ControllerConfig, executors []Executor) (*Controller, err
 		}
 		names[e.Name()] = true
 	}
-	return &Controller{cfg: cfg.withDefaults(len(executors)), executors: executors}, nil
+	return &Controller{
+		cfg:       cfg.withDefaults(len(executors)),
+		executors: executors,
+		results:   make(chan execOutcome, 2*len(executors)*cfg.withDefaults(len(executors)).Rounds),
+		inFlight:  make(map[string]bool, len(executors)),
+		rng:       tensor.NewRNG(cfg.Seed + 7919),
+	}, nil
 }
 
 // Run executes the scatter-and-gather workflow for E rounds starting from
@@ -121,7 +200,8 @@ func (c *Controller) Run(ctx context.Context, initialWeights map[string]*tensor.
 		default:
 		}
 		start := time.Now()
-		updates, err := c.scatterGather(ctx, round, global)
+		rec := RoundRecord{Round: round}
+		updates, late, err := c.scatterGather(ctx, round, global, &rec)
 		if err != nil {
 			return nil, err
 		}
@@ -133,11 +213,19 @@ func (c *Controller) Run(ctx context.Context, initialWeights map[string]*tensor.
 			return nil, fmt.Errorf("fl: round %d: %w", round, err)
 		}
 		global = aggregated
+		// Stragglers from earlier rounds merge after the in-round
+		// aggregate so the fresh average is never clobbered.
+		for _, lu := range late {
+			if err := c.cfg.AsyncAggregator.Apply(global, lu.update, round-lu.update.Round); err != nil {
+				return nil, fmt.Errorf("fl: round %d late merge: %w", round, err)
+			}
+		}
 
-		rec := RoundRecord{Round: round, Duration: time.Since(start)}
+		rec.Duration = time.Since(start)
 		var lossSum, weightSum float64
 		for _, u := range updates {
 			rec.Participants = append(rec.Participants, u.ClientName)
+			rec.BytesUp += int64(u.PayloadBytes)
 			lossSum += u.TrainLoss * float64(u.NumSamples)
 			weightSum += float64(u.NumSamples)
 		}
@@ -171,65 +259,134 @@ func (c *Controller) Run(ctx context.Context, initialWeights map[string]*tensor.
 	return res, nil
 }
 
-// scatterGather runs one round: every executor trains concurrently on the
-// current global model; updates are gathered with quorum/timeout handling.
-func (c *Controller) scatterGather(ctx context.Context, round int, global map[string]*tensor.Matrix) ([]*ClientUpdate, error) {
-	type outcome struct {
-		update *ClientUpdate
-		err    error
-		name   string
-	}
-	results := make(chan outcome, len(c.executors))
-	var wg sync.WaitGroup
+// sampleClients picks this round's participants among executors that are
+// not still busy with an earlier round's task.
+func (c *Controller) sampleClients() ([]Executor, error) {
+	idle := make([]Executor, 0, len(c.executors))
 	for _, ex := range c.executors {
-		wg.Add(1)
+		if !c.inFlight[ex.Name()] {
+			idle = append(idle, ex)
+		}
+	}
+	if len(idle) == 0 {
+		return nil, errors.New("fl: no idle clients to sample (every executor is a straggler)")
+	}
+	if c.cfg.SampleFraction <= 0 || c.cfg.SampleFraction >= 1 {
+		return idle, nil
+	}
+	k := int(math.Ceil(float64(len(c.executors)) * c.cfg.SampleFraction))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(idle) {
+		k = len(idle)
+	}
+	c.rng.Shuffle(len(idle), func(i, j int) { idle[i], idle[j] = idle[j], idle[i] })
+	return idle[:k], nil
+}
+
+// lateUpdate is a straggler's update from an earlier round.
+type lateUpdate struct{ update *ClientUpdate }
+
+// scatterGather runs one round: the sampled executors train concurrently
+// on the current global model; updates are gathered until all sampled
+// clients respond, MinUpdates arrive, or the round deadline fires.
+// Outcomes from earlier rounds' stragglers drain through the same channel
+// and are returned as late updates (to merge via the AsyncAggregator) or
+// recorded as dropped.
+func (c *Controller) scatterGather(ctx context.Context, round int, global map[string]*tensor.Matrix, rec *RoundRecord) ([]*ClientUpdate, []lateUpdate, error) {
+	// Drain stragglers that finished between rounds first, so they become
+	// idle (sample-able) again and their updates enter this round's
+	// staleness handling instead of rotting in the channel.
+	var late []lateUpdate
+drain:
+	for {
+		select {
+		case o := <-c.results:
+			delete(c.inFlight, o.name)
+			switch {
+			case o.err != nil:
+				rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", o.name, o.err))
+			case c.cfg.AsyncAggregator != nil:
+				rec.LateApplied = append(rec.LateApplied, o.name)
+				late = append(late, lateUpdate{update: o.update})
+			default:
+				rec.LateDropped = append(rec.LateDropped, o.name)
+			}
+		default:
+			break drain
+		}
+	}
+
+	sampled, err := c.sampleClients()
+	if err != nil {
+		return nil, nil, fmt.Errorf("fl: round %d: %w", round, err)
+	}
+	for _, ex := range sampled {
+		rec.Sampled = append(rec.Sampled, ex.Name())
+		c.inFlight[ex.Name()] = true
 		go func(ex Executor) {
-			defer wg.Done()
 			u, err := ex.ExecuteRound(round, global)
-			results <- outcome{update: u, err: err, name: ex.Name()}
+			c.results <- execOutcome{update: u, err: err, name: ex.Name(), round: round}
 		}(ex)
 	}
-	done := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(done)
-	}()
 
-	var timeout <-chan time.Time
-	if c.cfg.RoundTimeout > 0 {
-		timer := time.NewTimer(c.cfg.RoundTimeout)
+	var deadline <-chan time.Time
+	if c.cfg.RoundDeadline > 0 {
+		timer := time.NewTimer(c.cfg.RoundDeadline)
 		defer timer.Stop()
-		timeout = timer.C
+		deadline = timer.C
+	}
+	quorum := c.cfg.MinClients
+	if quorum > len(sampled) {
+		quorum = len(sampled)
+	}
+	minUpdates := c.cfg.MinUpdates
+	if minUpdates <= 0 || minUpdates > len(sampled) {
+		minUpdates = len(sampled)
+	}
+	if minUpdates < quorum {
+		// An early aggregate below the quorum would always fail it; wait
+		// for the quorum before cutting the round short.
+		minUpdates = quorum
 	}
 
 	var updates []*ClientUpdate
-	var failures []string
-	remaining := len(c.executors)
+	pending := len(sampled)
 gather:
-	for remaining > 0 {
+	for pending > 0 && len(updates) < minUpdates {
 		select {
-		case o := <-results:
-			remaining--
-			if o.err != nil {
-				failures = append(failures, fmt.Sprintf("%s: %v", o.name, o.err))
-				continue
+		case o := <-c.results:
+			delete(c.inFlight, o.name)
+			switch {
+			case o.err != nil:
+				rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", o.name, o.err))
+				if o.round == round {
+					pending--
+				}
+			case o.round == round:
+				pending--
+				updates = append(updates, o.update)
+			case c.cfg.AsyncAggregator != nil:
+				rec.LateApplied = append(rec.LateApplied, o.name)
+				late = append(late, lateUpdate{update: o.update})
+			default:
+				rec.LateDropped = append(rec.LateDropped, o.name)
 			}
-			updates = append(updates, o.update)
-		case <-timeout:
-			// Stragglers are dropped for this round (NVFlare's
-			// wait_time_after_min_received semantics, simplified).
+		case <-deadline:
+			// Stragglers stay in flight; their updates surface as late
+			// outcomes in a future round's gather (NVFlare's
+			// wait_time_after_min_received semantics, made durable).
 			break gather
 		case <-ctx.Done():
-			<-done
-			return nil, fmt.Errorf("fl: round %d cancelled: %w", round, ctx.Err())
+			return nil, nil, fmt.Errorf("fl: round %d cancelled: %w", round, ctx.Err())
 		}
 	}
-	if len(updates) < c.cfg.MinClients {
-		<-done
-		return nil, fmt.Errorf("fl: round %d quorum not met: %d/%d updates (failures: %v)",
-			round, len(updates), c.cfg.MinClients, failures)
+	if len(updates) < quorum {
+		return nil, nil, fmt.Errorf("fl: round %d quorum not met: %d/%d updates (failures: %v)",
+			round, len(updates), quorum, rec.Failures)
 	}
-	return updates, nil
+	return updates, late, nil
 }
 
 // cloneWeights deep-copies a weight map.

@@ -45,6 +45,10 @@ type LocalConfig struct {
 	Workers   int
 	SubBatch  int
 	ClipNorm  float64
+	// ProxMu adds a FedProx proximal term anchored at each round's global
+	// model, taming client drift under partial participation and
+	// heterogeneous shards. 0 keeps plain local SGD (FedAvg semantics).
+	ProxMu float64
 	// Seed derives per-round shuffling and dropout streams.
 	Seed int64
 	// EpochHook, if non-nil, observes each completed local epoch (used by
@@ -108,6 +112,7 @@ func NewClassifierExecutor(name string, mdl model.Classifier, trainSet, validSet
 		Workers:   cfg.Workers,
 		SubBatch:  cfg.SubBatch,
 		ClipNorm:  cfg.ClipNorm,
+		ProxMu:    cfg.ProxMu,
 	})
 	return e, nil
 }
@@ -123,6 +128,11 @@ func (e *ClassifierExecutor) NumSamples() int { return len(e.trainSet) }
 func (e *ClassifierExecutor) ExecuteRound(round int, global map[string]*tensor.Matrix) (*ClientUpdate, error) {
 	if err := nn.LoadWeights(e.mdl.Params(), global); err != nil {
 		return nil, fmt.Errorf("fl: %s load global: %w", e.name, err)
+	}
+	if e.cfg.ProxMu > 0 {
+		if err := e.trainer.SetProxRef(global); err != nil {
+			return nil, fmt.Errorf("fl: %s prox ref: %w", e.name, err)
+		}
 	}
 	var lastLoss float64
 	for ep := 0; ep < e.cfg.Epochs; ep++ {
@@ -221,6 +231,7 @@ func NewMLMExecutor(name string, mdl model.Pretrainer, params []*nn.Param, seque
 		Workers:   cfg.Workers,
 		SubBatch:  cfg.SubBatch,
 		ClipNorm:  cfg.ClipNorm,
+		ProxMu:    cfg.ProxMu,
 	})
 	return e, nil
 }
@@ -253,6 +264,11 @@ func (e *MLMExecutor) maskAll(seed int64) ([]mlm.MaskedExample, error) {
 func (e *MLMExecutor) ExecuteRound(round int, global map[string]*tensor.Matrix) (*ClientUpdate, error) {
 	if err := nn.LoadWeights(e.params, global); err != nil {
 		return nil, fmt.Errorf("fl: %s load global: %w", e.name, err)
+	}
+	if e.cfg.ProxMu > 0 {
+		if err := e.trainer.SetProxRef(global); err != nil {
+			return nil, fmt.Errorf("fl: %s prox ref: %w", e.name, err)
+		}
 	}
 	var lastLoss float64
 	for ep := 0; ep < e.cfg.Epochs; ep++ {

@@ -8,6 +8,7 @@ import (
 
 	"clinfl/internal/provision"
 	"clinfl/internal/tensor"
+	"clinfl/internal/transport"
 )
 
 // testProject provisions a tiny federation for networked tests.
@@ -166,6 +167,223 @@ func TestServerRejectsUnprovisionedTLSPeer(t *testing.T) {
 	}
 	if cerr := <-clientDone; cerr == nil {
 		t.Fatal("cross-CA client should fail")
+	}
+}
+
+// TestServerPropagatesKilledClientIntoResult kills a client mid-round (its
+// TCP connection dies after it receives the round-0 task) and checks the
+// server records the failure in the Result instead of silently treating
+// the client as absent, then finishes the remaining rounds without it.
+func TestServerPropagatesKilledClientIntoResult(t *testing.T) {
+	proj := testProject(t, "c1", "c2")
+	srv, err := NewServer(ServerConfig{
+		Addr:            "127.0.0.1:0",
+		ExpectedClients: 2,
+		Rounds:          2,
+		RegisterTimeout: 10 * time.Second,
+		VerifyToken:     proj.VerifyToken,
+		Logf:            quietLogf,
+	}, proj.ServerKit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Healthy client.
+	cl, err := NewClient(ClientConfig{ServerAddr: srv.Addr(), Logf: quietLogf},
+		proj.ClientKits["c1"], &fakeExecutor{name: "c1", samples: 10, value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientDone := make(chan error, 1)
+	go func() {
+		_, err := cl.Run()
+		clientDone <- err
+	}()
+
+	// Doomed client: speaks the protocol by hand, then dies mid-round.
+	killed := make(chan error, 1)
+	go func() {
+		killed <- func() error {
+			tlsCfg, err := proj.ClientKits["c2"].ClientTLS()
+			if err != nil {
+				return err
+			}
+			conn, err := transport.Dial(srv.Addr(), tlsCfg, 5*time.Second)
+			if err != nil {
+				return err
+			}
+			kit := proj.ClientKits["c2"]
+			if err := conn.Write(&transport.Message{
+				Type: transport.MsgRegister, Sender: kit.Name, Token: kit.Token,
+			}); err != nil {
+				return err
+			}
+			if _, err := conn.Read(); err != nil { // ack
+				return err
+			}
+			if _, err := conn.Read(); err != nil { // round-0 task
+				return err
+			}
+			return conn.Close() // die mid-round, update never sent
+		}()
+	}()
+
+	res, err := srv.Run(initialWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr := <-clientDone; cerr != nil {
+		t.Fatalf("healthy client: %v", cerr)
+	}
+	if kerr := <-killed; kerr != nil {
+		t.Fatalf("killed client setup: %v", kerr)
+	}
+
+	if len(res.History.Rounds) != 2 {
+		t.Fatalf("server completed %d rounds, want 2", len(res.History.Rounds))
+	}
+	r0 := res.History.Rounds[0]
+	if len(r0.Participants) != 1 || r0.Participants[0] != "c1" {
+		t.Fatalf("round 0 participants %v, want [c1]", r0.Participants)
+	}
+	found := false
+	for _, f := range r0.Failures {
+		if strings.HasPrefix(f, "c2:") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("killed client missing from round-0 failures: %v", r0.Failures)
+	}
+	r1 := res.History.Rounds[1]
+	if len(r1.Sampled) != 1 || r1.Sampled[0] != "c1" {
+		t.Fatalf("round 1 should task only the survivor, got %v", r1.Sampled)
+	}
+	// The final-model broadcast cannot reach the dead client either; that
+	// lands in the Result too instead of vanishing into a log line.
+	found = false
+	for _, f := range res.History.FinishFailures {
+		if strings.HasPrefix(f, "c2:") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dead client missing from finish failures: %v", res.History.FinishFailures)
+	}
+}
+
+// runAsyncFederation drives the acceptance federation: 4 networked
+// clients, one delayed beyond any useful round budget, MinUpdates=3, and
+// the given uplink codec on every client. Returns the server result.
+func runAsyncFederation(t *testing.T, codec string) *Result {
+	t.Helper()
+	names := []string{"c1", "c2", "c3", "c4"}
+	proj := testProject(t, names...)
+	srv, err := NewServer(ServerConfig{
+		Addr:            "127.0.0.1:0",
+		ExpectedClients: 4,
+		Rounds:          3,
+		RegisterTimeout: 10 * time.Second,
+		MinUpdates:      3,
+		RoundDeadline:   20 * time.Second,
+		VerifyToken:     proj.VerifyToken,
+		Logf:            quietLogf,
+	}, proj.ServerKit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	clientErrs := make(chan error, len(names))
+	for i, name := range names {
+		exec := &fakeExecutor{name: name, samples: 10, value: float64(i + 1)}
+		if name == "c4" {
+			exec.delay = 1200 * time.Millisecond // straggler: last every round
+		}
+		cl, err := NewClient(ClientConfig{
+			ServerAddr: srv.Addr(), Codec: codec, Logf: quietLogf,
+		}, proj.ClientKits[name], exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := cl.Run()
+			clientErrs <- err
+		}()
+	}
+
+	start := time.Now()
+	res, err := srv.Run(initialWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("federation blocked on the straggler: %v", elapsed)
+	}
+	wg.Wait()
+	close(clientErrs)
+	for cerr := range clientErrs {
+		if cerr != nil {
+			t.Fatalf("client: %v", cerr)
+		}
+	}
+	return res
+}
+
+// TestNetworkedAsyncFederationCodecCutsBytes pins the acceptance criteria:
+// a 4-client federation with one straggler completes all rounds without
+// blocking, reports per-round participation, and the f32-quantized uplink
+// cuts measured bytes-on-wire per round by >= 40% against raw.
+func TestNetworkedAsyncFederationCodecCutsBytes(t *testing.T) {
+	byCodec := map[string]int64{}
+	for _, codec := range []string{"raw", "f32"} {
+		res := runAsyncFederation(t, codec)
+		if len(res.History.Rounds) != 3 {
+			t.Fatalf("[%s] completed %d rounds, want 3", codec, len(res.History.Rounds))
+		}
+		var total int64
+		for i, rec := range res.History.Rounds {
+			if len(rec.Participants) != 3 {
+				t.Fatalf("[%s] round %d participants %v, want 3 (straggler dropped)",
+					codec, i, rec.Participants)
+			}
+			for _, p := range rec.Participants {
+				if p == "c4" {
+					t.Fatalf("[%s] round %d straggler aggregated", codec, i)
+				}
+			}
+			if rec.BytesUp <= 0 || rec.BytesDown <= 0 {
+				t.Fatalf("[%s] round %d bytes unrecorded: up=%d down=%d",
+					codec, i, rec.BytesUp, rec.BytesDown)
+			}
+			total += rec.BytesUp
+		}
+		byCodec[codec] = total
+	}
+	if f32, raw := byCodec["f32"], byCodec["raw"]; float64(f32) > 0.6*float64(raw) {
+		t.Fatalf("f32 uplink %d bytes, want >= 40%% below raw %d", f32, raw)
+	}
+}
+
+func TestServerRecordsFramedWireTotals(t *testing.T) {
+	res := runAsyncFederation(t, "f32")
+	var payloadUp int64
+	for _, rec := range res.History.Rounds {
+		payloadUp += rec.BytesUp
+	}
+	// Framed totals include headers/metadata/gob overhead on top of the
+	// payloads (and the straggler's late uploads), so they must exceed
+	// the payload sum.
+	if res.History.WireBytesRead <= payloadUp {
+		t.Fatalf("framed wire bytes read %d should exceed payload bytes %d",
+			res.History.WireBytesRead, payloadUp)
+	}
+	if res.History.WireBytesWritten <= 0 {
+		t.Fatal("framed wire bytes written unrecorded")
 	}
 }
 

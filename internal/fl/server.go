@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net"
 	"strconv"
 	"sync"
@@ -14,7 +15,11 @@ import (
 	"clinfl/internal/transport"
 )
 
-// ServerConfig parameterizes the networked FL server.
+// ServerConfig parameterizes the networked FL server. As with
+// ControllerConfig, the zero value (plus Rounds/ExpectedClients) is the
+// paper's synchronous scatter-gather; SampleFraction, MinUpdates and
+// RoundDeadline make rounds straggler-tolerant, and Codec compresses the
+// downlink weight payloads.
 type ServerConfig struct {
 	// Addr is the TCP listen address (e.g. ":8443" or "127.0.0.1:0").
 	Addr string
@@ -23,10 +28,31 @@ type ServerConfig struct {
 	ExpectedClients int
 	// RegisterTimeout bounds the registration phase.
 	RegisterTimeout time.Duration
-	// Controller settings reused round-by-round.
-	Rounds       int
+	// Rounds is E, the communication-round count.
+	Rounds int
+	// RoundDeadline bounds one round's gather; on expiry the round
+	// aggregates whatever arrived and stragglers are handled by the
+	// staleness policy. 0 falls back to RoundTimeout.
+	RoundDeadline time.Duration
+	// RoundTimeout is the legacy name for RoundDeadline (0 = no limit).
 	RoundTimeout time.Duration
-	Aggregator   Aggregator
+	// SampleFraction tasks a random subset of idle clients each round;
+	// 0 or >= 1 tasks them all.
+	SampleFraction float64
+	// MinUpdates, when > 0, aggregates as soon as this many updates have
+	// arrived instead of waiting for every tasked client.
+	MinUpdates int
+	// Seed drives the client-sampling stream.
+	Seed int64
+	// Codec names the downlink weight codec for task/finish payloads
+	// ("raw", "f32", "topk[:fraction]"); default raw. Each client's
+	// uplink codec is its own choice, negotiated at registration.
+	Codec string
+	// Aggregator combines updates (default FedAvg).
+	Aggregator Aggregator
+	// AsyncAggregator, when non-nil, folds stragglers' late updates into
+	// the global model with staleness weighting; nil drops them.
+	AsyncAggregator AsyncAggregator
 	// Filters run over every client update before aggregation.
 	Filters []Filter
 	// Validate, if non-nil, scores each aggregated model for selection.
@@ -39,17 +65,43 @@ type ServerConfig struct {
 	Logf func(format string, args ...any)
 }
 
+// serverClient is one registered client's connection state. Reads happen
+// on a dedicated reader goroutine feeding the server inbox; writes happen
+// only from the Run goroutine, so the Conn's one-reader/one-writer
+// contract holds.
+type serverClient struct {
+	name string
+	conn *transport.Conn
+	// taskedRound is the round the client is currently working on
+	// (-1 when idle). A straggler stays tasked — and excluded from
+	// sampling — until its reply or its connection error drains in.
+	taskedRound int
+	// dead marks a failed connection; dead clients are skipped.
+	dead bool
+}
+
+// inboxMsg is one reader goroutine's delivery: a message or a terminal
+// connection error.
+type inboxMsg struct {
+	name string
+	msg  *transport.Message
+	err  error
+}
+
 // Server is the networked federation server: it terminates mutual-TLS
 // connections from provisioned clients, verifies admission tokens, and
-// drives the same scatter-and-gather workflow as the in-process Controller
-// over the wire.
+// drives the same straggler-tolerant scatter-and-gather workflow as the
+// in-process Controller over the wire.
 type Server struct {
-	cfg ServerConfig
-	kit *provision.StartupKit
-	ln  net.Listener
+	cfg       ServerConfig
+	kit       *provision.StartupKit
+	ln        net.Listener
+	downCodec WeightCodec
+	rng       *tensor.RNG
+	inbox     chan inboxMsg
 
 	mu      sync.Mutex
-	clients map[string]*transport.Conn
+	clients map[string]*serverClient
 }
 
 // NewServer builds a server from its startup kit.
@@ -63,6 +115,9 @@ func NewServer(cfg ServerConfig, kit *provision.StartupKit) (*Server, error) {
 	if cfg.Rounds <= 0 {
 		cfg.Rounds = 1
 	}
+	if cfg.RoundDeadline <= 0 {
+		cfg.RoundDeadline = cfg.RoundTimeout
+	}
 	if cfg.Aggregator == nil {
 		cfg.Aggregator = FedAvg{}
 	}
@@ -71,6 +126,10 @@ func NewServer(cfg ServerConfig, kit *provision.StartupKit) (*Server, error) {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
+	}
+	downCodec, err := CodecByName(cfg.Codec)
+	if err != nil {
+		return nil, err
 	}
 	tlsCfg, err := kit.ServerTLS()
 	if err != nil {
@@ -81,10 +140,16 @@ func NewServer(cfg ServerConfig, kit *provision.StartupKit) (*Server, error) {
 		return nil, err
 	}
 	return &Server{
-		cfg:     cfg,
-		kit:     kit,
-		ln:      ln,
-		clients: make(map[string]*transport.Conn),
+		cfg:       cfg,
+		kit:       kit,
+		ln:        ln,
+		downCodec: downCodec,
+		rng:       tensor.NewRNG(cfg.Seed + 7919),
+		// Buffered so reader goroutines never block on a drained server:
+		// each client sends at most one reply per round plus one terminal
+		// error.
+		inbox:   make(chan inboxMsg, cfg.ExpectedClients*(cfg.Rounds+2)),
+		clients: make(map[string]*serverClient),
 	}, nil
 }
 
@@ -97,7 +162,7 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, c := range s.clients {
-		_ = c.Close()
+		_ = c.conn.Close()
 	}
 	return err
 }
@@ -135,7 +200,9 @@ func (s *Server) acceptClients() error {
 	}
 }
 
-// register handles one client's MsgRegister handshake.
+// register handles one client's MsgRegister handshake, including uplink
+// codec negotiation: the client's requested codec is accepted if known,
+// with a fallback to raw, and the decision is echoed in the ack.
 func (s *Server) register(conn *transport.Conn) error {
 	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
 	msg, err := conn.Read()
@@ -153,18 +220,46 @@ func (s *Server) register(conn *transport.Conn) error {
 		})
 		return fmt.Errorf("fl: bad token from %q", msg.Sender)
 	}
+	codecName := msg.Meta[transport.MetaCodec]
+	if _, err := CodecByName(codecName); err != nil {
+		s.cfg.Logf("fl server: client %q requested unknown codec %q, falling back to raw", msg.Sender, codecName)
+		codecName = "raw"
+	} else if codecName == "" {
+		codecName = "raw"
+	}
 	s.mu.Lock()
 	if _, dup := s.clients[msg.Sender]; dup {
 		s.mu.Unlock()
 		return fmt.Errorf("fl: duplicate client %q", msg.Sender)
 	}
-	s.clients[msg.Sender] = conn
+	s.clients[msg.Sender] = &serverClient{name: msg.Sender, conn: conn, taskedRound: -1}
 	s.mu.Unlock()
-	s.cfg.Logf("fl server: client %q registered (token ok)", msg.Sender)
+	s.cfg.Logf("fl server: client %q registered (token ok, uplink codec %s)", msg.Sender, codecName)
 	return conn.Write(&transport.Message{
 		Type: transport.MsgRegisterAck, Sender: s.kit.Name,
-		Meta: map[string]string{"accepted": "true"},
+		Meta: map[string]string{"accepted": "true", transport.MetaCodec: codecName},
 	})
+}
+
+// startReaders launches one reader goroutine per registered client. Each
+// forwards every inbound message (and finally the terminal read error)
+// into the server inbox, so a straggler's late reply is never stranded in
+// a socket buffer and a dead connection is reported, not silently absent.
+func (s *Server) startReaders() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.clients {
+		go func(c *serverClient) {
+			for {
+				msg, err := c.conn.Read()
+				if err != nil {
+					s.inbox <- inboxMsg{name: c.name, err: err}
+					return
+				}
+				s.inbox <- inboxMsg{name: c.name, msg: msg}
+			}
+		}(c)
+	}
 }
 
 // Run performs registration then E federated rounds, returning the result.
@@ -174,12 +269,14 @@ func (s *Server) Run(initialWeights map[string]*tensor.Matrix) (*Result, error) 
 	if err := s.acceptClients(); err != nil {
 		return nil, err
 	}
+	s.startReaders()
 	global := cloneWeights(initialWeights)
 	res := &Result{History: History{BestRound: -1}}
 
 	for round := 0; round < s.cfg.Rounds; round++ {
 		start := time.Now()
-		updates, err := s.runRound(round, global)
+		rec := RoundRecord{Round: round}
+		updates, late, err := s.runRound(round, global, &rec)
 		if err != nil {
 			return nil, err
 		}
@@ -190,7 +287,12 @@ func (s *Server) Run(initialWeights map[string]*tensor.Matrix) (*Result, error) 
 		if err != nil {
 			return nil, fmt.Errorf("fl: round %d aggregate: %w", round, err)
 		}
-		rec := RoundRecord{Round: round, Duration: time.Since(start)}
+		for _, lu := range late {
+			if err := s.cfg.AsyncAggregator.Apply(global, lu.update, round-lu.update.Round); err != nil {
+				return nil, fmt.Errorf("fl: round %d late merge: %w", round, err)
+			}
+		}
+		rec.Duration = time.Since(start)
 		var lossSum, weightSum float64
 		for _, u := range updates {
 			rec.Participants = append(rec.Participants, u.ClientName)
@@ -213,16 +315,27 @@ func (s *Server) Run(initialWeights map[string]*tensor.Matrix) (*Result, error) 
 			}
 		}
 		res.History.Rounds = append(res.History.Rounds, rec)
-		s.cfg.Logf("fl server: round %d/%d done in %v (mean loss %.4f)",
-			round+1, s.cfg.Rounds, rec.Duration.Round(time.Millisecond), rec.MeanTrainLoss)
+		s.cfg.Logf("fl server: round %d/%d done in %v (mean loss %.4f, %d/%d participants, %d up / %d down bytes)",
+			round+1, s.cfg.Rounds, rec.Duration.Round(time.Millisecond), rec.MeanTrainLoss,
+			len(rec.Participants), len(rec.Sampled), rec.BytesUp, rec.BytesDown)
 	}
 
 	// Distribute the final model and release the clients.
-	blob, err := EncodeWeights(global)
+	blob, err := s.downCodec.Encode(global)
 	if err != nil {
 		return nil, err
 	}
-	s.broadcast(&transport.Message{Type: transport.MsgFinish, Sender: s.kit.Name, Payload: blob})
+	res.History.FinishFailures = s.broadcast(&transport.Message{
+		Type: transport.MsgFinish, Sender: s.kit.Name, Payload: blob,
+	})
+	// Framed wire totals (headers + metadata + gob overhead included),
+	// complementing the per-round payload counters.
+	s.mu.Lock()
+	for _, c := range s.clients {
+		res.History.WireBytesRead += c.conn.BytesRead()
+		res.History.WireBytesWritten += c.conn.BytesWritten()
+	}
+	s.mu.Unlock()
 	res.FinalWeights = global
 	if res.BestWeights == nil {
 		res.BestWeights = cloneWeights(global)
@@ -230,89 +343,216 @@ func (s *Server) Run(initialWeights map[string]*tensor.Matrix) (*Result, error) 
 	return res, nil
 }
 
-// runRound scatters the global model to every registered client and
-// gathers their updates.
-func (s *Server) runRound(round int, global map[string]*tensor.Matrix) ([]*ClientUpdate, error) {
-	blob, err := EncodeWeights(global)
-	if err != nil {
-		return nil, err
-	}
+// sampleLive picks this round's task recipients among clients that are
+// alive and not still chewing on an earlier round's task.
+func (s *Server) sampleLive() []*serverClient {
 	s.mu.Lock()
-	conns := make(map[string]*transport.Conn, len(s.clients))
-	for name, c := range s.clients {
-		conns[name] = c
+	defer s.mu.Unlock()
+	idle := make([]*serverClient, 0, len(s.clients))
+	total := 0
+	for _, c := range s.clients {
+		if c.dead {
+			continue
+		}
+		total++
+		if c.taskedRound < 0 {
+			idle = append(idle, c)
+		}
 	}
-	s.mu.Unlock()
+	// Deterministic shuffle order needs a stable starting order.
+	for i := 1; i < len(idle); i++ {
+		for j := i; j > 0 && idle[j].name < idle[j-1].name; j-- {
+			idle[j], idle[j-1] = idle[j-1], idle[j]
+		}
+	}
+	if s.cfg.SampleFraction <= 0 || s.cfg.SampleFraction >= 1 {
+		return idle
+	}
+	k := int(math.Ceil(float64(total) * s.cfg.SampleFraction))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(idle) {
+		k = len(idle)
+	}
+	s.rng.Shuffle(len(idle), func(i, j int) { idle[i], idle[j] = idle[j], idle[i] })
+	return idle[:k]
+}
 
-	type outcome struct {
-		update *ClientUpdate
-		err    error
-		name   string
+// runRound scatters the global model to this round's sampled clients and
+// gathers their updates until everyone tasked replies, MinUpdates arrive,
+// or the round deadline fires. Per-client send/receive errors land in
+// rec.Failures — a failed client is recorded, never silently absent.
+func (s *Server) runRound(round int, global map[string]*tensor.Matrix, rec *RoundRecord) ([]*ClientUpdate, []lateUpdate, error) {
+	blob, err := s.downCodec.Encode(global)
+	if err != nil {
+		return nil, nil, err
 	}
-	results := make(chan outcome, len(conns))
-	for name, conn := range conns {
-		go func(name string, conn *transport.Conn) {
-			task := &transport.Message{
-				Type: transport.MsgTask, Sender: s.kit.Name, Round: round, Payload: blob,
-				Meta: map[string]string{"round": strconv.Itoa(round)},
+	// Drain stragglers' replies that landed between rounds so they become
+	// idle (sample-able) again and enter this round's staleness handling.
+	var late []lateUpdate
+drain:
+	for {
+		select {
+		case in := <-s.inbox:
+			s.setTasked(in.name, -1)
+			switch {
+			case in.err != nil:
+				rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", in.name, in.err))
+				s.markDead(in.name)
+			default:
+				u, uerr := s.handleReply(in.name, in.msg)
+				switch {
+				case uerr != nil:
+					rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", in.name, uerr))
+				case s.cfg.AsyncAggregator != nil:
+					rec.LateApplied = append(rec.LateApplied, in.name)
+					rec.BytesUp += int64(u.PayloadBytes)
+					late = append(late, lateUpdate{update: u})
+				default:
+					rec.LateDropped = append(rec.LateDropped, in.name)
+				}
 			}
-			if err := conn.Write(task); err != nil {
-				results <- outcome{err: err, name: name}
-				return
-			}
-			if s.cfg.RoundTimeout > 0 {
-				_ = conn.SetDeadline(time.Now().Add(s.cfg.RoundTimeout))
-			}
-			reply, err := conn.Read()
-			_ = conn.SetDeadline(time.Time{})
-			if err != nil {
-				results <- outcome{err: err, name: name}
-				return
-			}
-			if reply.Type != transport.MsgUpdate {
-				results <- outcome{err: fmt.Errorf("expected update, got %s: %s", reply.Type, reply.Meta["error"]), name: name}
-				return
-			}
-			weights, err := DecodeWeights(reply.Payload)
-			if err != nil {
-				results <- outcome{err: err, name: name}
-				return
-			}
-			loss, _ := strconv.ParseFloat(reply.Meta["train_loss"], 64)
-			results <- outcome{name: name, update: &ClientUpdate{
-				ClientName: name, Round: round, Weights: weights,
-				NumSamples: reply.NumSamples, TrainLoss: loss,
-			}}
-		}(name, conn)
+		default:
+			break drain
+		}
+	}
+
+	sampled := s.sampleLive()
+	if len(sampled) == 0 {
+		return nil, nil, fmt.Errorf("fl: round %d: no live idle clients to task", round)
+	}
+	pending := 0
+	for _, c := range sampled {
+		rec.Sampled = append(rec.Sampled, c.name)
+		task := &transport.Message{
+			Type: transport.MsgTask, Sender: s.kit.Name, Round: round, Payload: blob,
+			Meta: map[string]string{"round": strconv.Itoa(round)},
+		}
+		if err := c.conn.Write(task); err != nil {
+			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: send task: %v", c.name, err))
+			s.markDead(c.name)
+			continue
+		}
+		s.setTasked(c.name, round)
+		rec.BytesDown += int64(len(blob))
+		pending++
+	}
+
+	var deadline <-chan time.Time
+	if s.cfg.RoundDeadline > 0 {
+		timer := time.NewTimer(s.cfg.RoundDeadline)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	minUpdates := s.cfg.MinUpdates
+	if minUpdates <= 0 || minUpdates > pending {
+		minUpdates = pending
 	}
 
 	var updates []*ClientUpdate
-	var failures []string
-	for i := 0; i < len(conns); i++ {
-		o := <-results
-		if o.err != nil {
-			failures = append(failures, fmt.Sprintf("%s: %v", o.name, o.err))
-			continue
+gather:
+	for pending > 0 && len(updates) < minUpdates {
+		select {
+		case in := <-s.inbox:
+			wasTasked := s.setTasked(in.name, -1)
+			if in.err != nil {
+				rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", in.name, in.err))
+				s.markDead(in.name)
+				if wasTasked == round {
+					pending--
+				}
+				continue
+			}
+			u, uerr := s.handleReply(in.name, in.msg)
+			switch {
+			case uerr != nil:
+				rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", in.name, uerr))
+				if in.msg.Round == round && wasTasked == round {
+					pending--
+				}
+			case in.msg.Round == round:
+				pending--
+				rec.BytesUp += int64(u.PayloadBytes)
+				updates = append(updates, u)
+			case s.cfg.AsyncAggregator != nil:
+				rec.LateApplied = append(rec.LateApplied, in.name)
+				rec.BytesUp += int64(u.PayloadBytes)
+				late = append(late, lateUpdate{update: u})
+			default:
+				rec.LateDropped = append(rec.LateDropped, in.name)
+			}
+		case <-deadline:
+			// Stragglers stay tasked; their replies drain as late
+			// messages in a future round's gather.
+			break gather
 		}
-		updates = append(updates, o.update)
 	}
 	if len(updates) == 0 {
-		return nil, fmt.Errorf("fl: round %d: no updates (failures: %v)", round, failures)
+		return nil, nil, fmt.Errorf("fl: round %d: no updates (failures: %v)", round, rec.Failures)
 	}
-	if len(failures) > 0 {
+	if len(rec.Failures) > 0 || len(updates) < len(rec.Sampled) {
 		s.cfg.Logf("fl server: round %d proceeded with %d/%d clients (failures: %v)",
-			round, len(updates), len(conns), failures)
+			round, len(updates), len(rec.Sampled), rec.Failures)
 	}
-	return updates, nil
+	return updates, late, nil
 }
 
-// broadcast best-effort sends msg to every client.
-func (s *Server) broadcast(msg *transport.Message) {
+// handleReply turns one inbound message into a ClientUpdate.
+func (s *Server) handleReply(name string, msg *transport.Message) (*ClientUpdate, error) {
+	if msg.Type != transport.MsgUpdate {
+		return nil, fmt.Errorf("expected update, got %s: %s", msg.Type, msg.Meta["error"])
+	}
+	weights, err := DecodeWeights(msg.Payload)
+	if err != nil {
+		return nil, err
+	}
+	loss, _ := strconv.ParseFloat(msg.Meta["train_loss"], 64)
+	return &ClientUpdate{
+		ClientName: name, Round: msg.Round, Weights: weights,
+		NumSamples: msg.NumSamples, TrainLoss: loss,
+		PayloadBytes: len(msg.Payload),
+	}, nil
+}
+
+// setTasked updates a client's tasked round, returning the previous value.
+func (s *Server) setTasked(name string, round int) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for name, conn := range s.clients {
-		if err := conn.Write(msg); err != nil {
+	c, ok := s.clients[name]
+	if !ok {
+		return -1
+	}
+	prev := c.taskedRound
+	c.taskedRound = round
+	return prev
+}
+
+// markDead flags a client's connection as failed.
+func (s *Server) markDead(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.clients[name]; ok {
+		c.dead = true
+	}
+}
+
+// broadcast best-effort sends msg to every live client, returning
+// "client: error" strings for the ones it could not reach so the caller
+// can record them in the Result.
+func (s *Server) broadcast(msg *transport.Message) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var failures []string
+	for name, c := range s.clients {
+		if c.dead {
+			failures = append(failures, fmt.Sprintf("%s: connection already failed", name))
+			continue
+		}
+		if err := c.conn.Write(msg); err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", name, err))
 			s.cfg.Logf("fl server: broadcast to %q: %v", name, err)
 		}
 	}
+	return failures
 }

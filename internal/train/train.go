@@ -48,6 +48,12 @@ type Config struct {
 	SubBatch int
 	// ClipNorm caps the global gradient L2 norm (0 disables).
 	ClipNorm float64
+	// ProxMu enables a FedProx proximal term: each step adds
+	// mu*(w - w_ref) to the gradient, pulling local training toward the
+	// reference weights set via Trainer.SetProxRef (the round's global
+	// model in federated use) so heterogeneous clients sampled under
+	// partial participation don't drift apart. 0 disables.
+	ProxMu float64
 	// Seed drives shuffling and dropout.
 	Seed int64
 }
@@ -94,6 +100,9 @@ type Trainer[T any] struct {
 	results  []subResult
 	shuffled []T
 	epochRNG *tensor.RNG
+	// proxRef holds the FedProx anchor weights by parameter index
+	// (nil entries until SetProxRef; buffers are recycled across rounds).
+	proxRef []*tensor.Matrix
 }
 
 // NewTrainer builds a reusable trainer. cfg is normalized once; per-step
@@ -112,6 +121,29 @@ func NewTrainer[T any](params []*nn.Param, lossFn LossFunc[T], optimizer opt.Opt
 		index:     index,
 		workers:   make([]*trainWorker, cfg.Workers),
 	}
+}
+
+// SetProxRef anchors the FedProx proximal term (Config.ProxMu) at the
+// given weights — in federated use, the global model a round started
+// from. The values are copied into trainer-owned buffers, so the caller's
+// map may be mutated afterwards. Missing or mis-shaped parameters error.
+func (tr *Trainer[T]) SetProxRef(weights map[string]*tensor.Matrix) error {
+	if tr.proxRef == nil {
+		tr.proxRef = make([]*tensor.Matrix, len(tr.params))
+	}
+	for i, p := range tr.params {
+		m, ok := weights[p.Name]
+		if !ok {
+			return fmt.Errorf("train: prox ref missing %q", p.Name)
+		}
+		if tr.proxRef[i] == nil {
+			tr.proxRef[i] = tensor.New(p.W.Rows(), p.W.Cols())
+		}
+		if err := tr.proxRef[i].CopyFrom(m); err != nil {
+			return fmt.Errorf("train: prox ref %q: %w", p.Name, err)
+		}
+	}
+	return nil
 }
 
 // worker returns worker w's state, building it on first use.
@@ -246,6 +278,18 @@ func (tr *Trainer[T]) Step(items []T, seed int64) (float64, error) {
 			}
 			if err := tr.params[i].Grad.AddScaledInPlace(inv, ws.grads[i]); err != nil {
 				return 0, fmt.Errorf("train: reduce %q: %w", tr.params[i].Name, err)
+			}
+		}
+	}
+	if tr.cfg.ProxMu > 0 && tr.proxRef != nil {
+		// FedProx: grad += mu*(w - w_ref), applied after the data-gradient
+		// reduce so clipping sees the full proximal objective's gradient.
+		for i, p := range tr.params {
+			if err := p.Grad.AddScaledInPlace(tr.cfg.ProxMu, p.W); err != nil {
+				return 0, fmt.Errorf("train: prox %q: %w", p.Name, err)
+			}
+			if err := p.Grad.AddScaledInPlace(-tr.cfg.ProxMu, tr.proxRef[i]); err != nil {
+				return 0, fmt.Errorf("train: prox %q: %w", p.Name, err)
 			}
 		}
 	}

@@ -157,6 +157,50 @@ func TestEvalLossDoesNotTrain(t *testing.T) {
 	}
 }
 
+func TestProxTermAnchorsToReference(t *testing.T) {
+	// Data pulls w toward 3; with a strong proximal anchor at w_ref = 0 the
+	// trained weight must land much closer to 0 than the unanchored run.
+	items := regData(64, 3)
+	run := func(mu float64) float64 {
+		m := newLinReg(0)
+		o := opt.NewSGD(0.05, 0)
+		tr := NewTrainer([]*nn.Param{m.w}, m.loss, o, Config{BatchSize: 64, Workers: 1, ProxMu: mu})
+		if mu > 0 {
+			ref := tensor.New(1, 1) // anchor at 0
+			if err := tr.SetProxRef(map[string]*tensor.Matrix{"w": ref}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 60; i++ {
+			if _, err := tr.Step(items, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m.w.W.At(0, 0)
+	}
+	free, anchored := run(0), run(20)
+	if math.Abs(free-3) > 0.05 {
+		t.Fatalf("unanchored run did not converge: w = %v", free)
+	}
+	if math.Abs(anchored) > 0.6 {
+		t.Fatalf("mu=20 anchor should pin w near 0, got %v", anchored)
+	}
+	if math.Abs(anchored) >= math.Abs(free-0)/2 {
+		t.Fatalf("proximal term too weak: |w_prox| = %v vs free %v", anchored, free)
+	}
+}
+
+func TestProxRefValidation(t *testing.T) {
+	m := newLinReg(0)
+	tr := NewTrainer([]*nn.Param{m.w}, m.loss, opt.NewSGD(0.1, 0), Config{ProxMu: 1})
+	if err := tr.SetProxRef(map[string]*tensor.Matrix{}); err == nil {
+		t.Fatal("want error for missing param")
+	}
+	if err := tr.SetProxRef(map[string]*tensor.Matrix{"w": tensor.New(2, 2)}); err == nil {
+		t.Fatal("want error for shape mismatch")
+	}
+}
+
 func TestClippingBoundsUpdate(t *testing.T) {
 	// A huge-gradient step with ClipNorm must move the weight by at most
 	// lr * clip.

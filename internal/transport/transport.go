@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync/atomic"
 	"time"
 )
 
@@ -55,13 +56,20 @@ func (t MsgType) String() string {
 	}
 }
 
+// MetaCodec is the Meta key carrying the weight-codec name during
+// registration: the client requests its uplink codec on MsgRegister and
+// the server echoes the accepted codec on MsgRegisterAck (falling back to
+// "raw" for unknown names). Payloads stay self-describing, so negotiation
+// only fixes what each side *emits*.
+const MetaCodec = "codec"
+
 // Message is the protocol envelope.
 type Message struct {
 	Type    MsgType
 	Sender  string
 	Token   string // admission token; set on MsgRegister
 	Round   int
-	Payload []byte            // serialized model weights (nn wire format)
+	Payload []byte            // serialized model weights (fl codec format)
 	Meta    map[string]string // task parameters, metrics, error text
 	// NumSamples weights the sender's contribution during aggregation.
 	NumSamples int
@@ -79,10 +87,21 @@ var ErrMessageTooLarge = errors.New("transport: message exceeds size limit")
 // the caller's usage pattern; this type adds no locking).
 type Conn struct {
 	nc net.Conn
+	// bytesRead / bytesWritten count framed message bytes (header + body)
+	// so callers can report bytes-on-wire per round; atomics because stats
+	// are read while the reader/writer goroutines are live.
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
 }
 
 // NewConn wraps nc.
 func NewConn(nc net.Conn) *Conn { return &Conn{nc: nc} }
+
+// BytesRead reports total framed bytes received on this connection.
+func (c *Conn) BytesRead() int64 { return c.bytesRead.Load() }
+
+// BytesWritten reports total framed bytes sent on this connection.
+func (c *Conn) BytesWritten() int64 { return c.bytesWritten.Load() }
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.nc.Close() }
@@ -114,6 +133,7 @@ func (c *Conn) Write(m *Message) error {
 	if _, err := c.nc.Write(body); err != nil {
 		return fmt.Errorf("transport: write body: %w", err)
 	}
+	c.bytesWritten.Add(int64(len(hdr) + len(body)))
 	return nil
 }
 
@@ -131,6 +151,7 @@ func (c *Conn) Read() (*Message, error) {
 	if _, err := io.ReadFull(c.nc, body); err != nil {
 		return nil, fmt.Errorf("transport: read body: %w", err)
 	}
+	c.bytesRead.Add(int64(len(hdr)) + int64(n))
 	var m Message
 	if err := gob.NewDecoder(&gobReader{b: body}).Decode(&m); err != nil {
 		return nil, fmt.Errorf("transport: decode: %w", err)

@@ -117,6 +117,34 @@ func TestReadTruncatedStream(t *testing.T) {
 	}
 }
 
+func TestByteCountersMatchAcrossPeers(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	const n = 20
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			_ = a.Write(&Message{Type: MsgTask, Round: i, Payload: make([]byte, 128)})
+			_ = a.BytesWritten() // stats read concurrent with traffic (race job)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if _, err := b.Read(); err != nil {
+			t.Fatal(err)
+		}
+		_ = b.BytesRead()
+	}
+	<-done
+	if a.BytesWritten() == 0 || a.BytesWritten() != b.BytesRead() {
+		t.Fatalf("byte accounting diverged: wrote %d, read %d", a.BytesWritten(), b.BytesRead())
+	}
+	if b.BytesWritten() != 0 || a.BytesRead() != 0 {
+		t.Fatal("idle directions should count zero bytes")
+	}
+}
+
 func TestMsgTypeStrings(t *testing.T) {
 	cases := map[MsgType]string{
 		MsgRegister:    "register",

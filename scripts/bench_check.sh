@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# Compares a freshly generated BENCH_arena.json against a baseline copy
+# and fails if the named benchmark regressed by more than the allowed
+# percentage. Used by the CI bench-smoke job to gate PRs on the training
+# hot path:
+#
+#   cp BENCH_arena.json /tmp/bench_baseline.json   # checked-in baseline
+#   scripts/bench.sh 1x                            # regenerates BENCH_arena.json
+#   scripts/bench_check.sh /tmp/bench_baseline.json BENCH_arena.json \
+#       BenchmarkTable3_FLRoundBERT 25
+#
+# Exit status: 0 when within budget, 1 on regression or missing data.
+set -eu
+
+BASELINE="${1:?usage: bench_check.sh baseline.json fresh.json benchmark max_regression_pct}"
+FRESH="${2:?missing fresh.json}"
+BENCH="${3:-BenchmarkTable3_FLRoundBERT}"
+MAXPCT="${4:-25}"
+
+# extract <file> <bench> pulls ns_per_op for one benchmark out of the
+# "results" object (the baseline blocks in the JSON repeat benchmark names,
+# so only lines inside "results" count).
+extract() {
+    awk -v bench="\"$2\":" '
+        /"results": \{/ { inres = 1 }
+        inres && index($0, bench) {
+            if (match($0, /"ns_per_op": [0-9]+/)) {
+                print substr($0, RSTART + 13, RLENGTH - 13)
+                exit
+            }
+        }
+    ' "$1"
+}
+
+base_ns="$(extract "$BASELINE" "$BENCH")"
+fresh_ns="$(extract "$FRESH" "$BENCH")"
+if [ -z "$base_ns" ]; then
+    echo "bench_check: $BENCH missing from baseline $BASELINE" >&2
+    exit 1
+fi
+if [ -z "$fresh_ns" ]; then
+    echo "bench_check: $BENCH missing from fresh results $FRESH" >&2
+    exit 1
+fi
+
+# Integer arithmetic in awk (64-bit doubles are exact well past these
+# magnitudes); regression% = 100 * (fresh - base) / base.
+awk -v base="$base_ns" -v fresh="$fresh_ns" -v maxpct="$MAXPCT" -v bench="$BENCH" '
+    BEGIN {
+        pct = 100 * (fresh - base) / base
+        printf "bench_check: %s baseline %.0f ns/op, fresh %.0f ns/op (%+.1f%%, budget +%s%%)\n",
+            bench, base, fresh, pct, maxpct
+        exit (pct > maxpct) ? 1 : 0
+    }
+'
