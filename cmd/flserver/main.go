@@ -9,7 +9,9 @@
 // updates arrive, -deadline bounds each round's gather, and -fedasync
 // folds stragglers' late updates in with staleness weighting instead of
 // dropping them. -codec compresses the downlink weight payloads (clients
-// pick their own uplink codec with flclient -codec).
+// pick their own uplink codec with flclient -codec; the lossy top-k
+// uplink is rejected at registration unless -allow-topk-uplink is set,
+// because top-k of a full weight map zeroes most of every parameter).
 //
 // Usage:
 //
@@ -51,9 +53,11 @@ func run() error {
 
 		sample     = flag.Float64("sample", 0, "client fraction tasked per round (0 or 1 = all)")
 		minUpdates = flag.Int("min-updates", 0, "aggregate as soon as this many updates arrive (0 = all tasked)")
+		minClients = flag.Int("min-clients", 0, "per-round quorum: fail the run if fewer updates gathered (0 = accept any)")
 		deadline   = flag.Duration("deadline", 0, "round gather deadline; stragglers are dropped or fedasync-merged (0 = wait)")
 		fedasync   = flag.Bool("fedasync", false, "fold stragglers' late updates in with staleness weighting instead of dropping them")
 		codec      = flag.String("codec", "raw", "downlink weight codec: raw | f32 | topk[:fraction]")
+		allowTopK  = flag.Bool("allow-topk-uplink", false, "accept clients' lossy top-k uplink codec (zeroes most of each full weight map; otherwise they fall back to raw)")
 	)
 	flag.Parse()
 
@@ -75,9 +79,11 @@ func run() error {
 		Rounds:          *rounds,
 		SampleFraction:  *sample,
 		MinUpdates:      *minUpdates,
+		MinClients:      *minClients,
 		RoundDeadline:   *deadline,
 		Seed:            *seed,
 		Codec:           *codec,
+		AllowTopKUplink: *allowTopK,
 		VerifyToken:     verify,
 	}
 	if *fedasync {

@@ -2,9 +2,12 @@ package fl
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
+
+	"clinfl/internal/tensor"
 )
 
 // fourClients builds 3 fast fakes plus one straggler delayed by delay.
@@ -154,6 +157,117 @@ func TestControllerFedAsyncFoldsLateUpdates(t *testing.T) {
 	// a = 0.5/(1+1) = 0.25 -> 0.75*1 + 0.25*9 = 3.
 	if got := res.FinalWeights["layer.w"].At(0, 0); got != 3 {
 		t.Fatalf("fedasync final weight %v, want 3", got)
+	}
+}
+
+// recordingFilter logs every update the filter chain sees.
+type recordingFilter struct{ seen []string }
+
+func (f *recordingFilter) Name() string { return "recording" }
+func (f *recordingFilter) Apply(u *ClientUpdate, _ map[string]*tensor.Matrix) error {
+	f.seen = append(f.seen, u.ClientName)
+	return nil
+}
+
+// Privacy filters must see every update that reaches the global model —
+// including stragglers' late updates merged via the AsyncAggregator, which
+// would otherwise carry raw unclipped/unnoised weights past the chain.
+func TestControllerFiltersRunOnLateUpdates(t *testing.T) {
+	flt := &recordingFilter{}
+	execs := []Executor{
+		&fakeExecutor{name: "a", samples: 10, value: 1, delay: 400 * time.Millisecond},
+		&fakeExecutor{name: "b", samples: 10, value: 1, delay: 400 * time.Millisecond},
+		&fakeExecutor{name: "c", samples: 10, value: 1, delay: 400 * time.Millisecond},
+		&fakeExecutor{name: "slow", samples: 10, value: 9, delay: 600 * time.Millisecond},
+	}
+	ctrl, err := NewController(ControllerConfig{
+		Rounds:          2,
+		MinClients:      1,
+		MinUpdates:      3,
+		RoundDeadline:   5 * time.Second,
+		AsyncAggregator: FedAsync{Alpha: 0.5},
+		Filters:         []Filter{flt},
+	}, execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.Run(context.Background(), initialWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var applied []string
+	for _, rec := range res.History.Rounds {
+		applied = append(applied, rec.LateApplied...)
+	}
+	if len(applied) != 1 || applied[0] != "slow" {
+		t.Fatalf("late applies %v, want [slow]", applied)
+	}
+	slowSeen := 0
+	for _, name := range flt.seen {
+		if name == "slow" {
+			slowSeen++
+		}
+	}
+	if slowSeen != 1 {
+		t.Fatalf("filter chain saw the straggler's late update %d times (chain: %v), want 1",
+			slowSeen, flt.seen)
+	}
+}
+
+// vetoFilter rejects one client's updates.
+type vetoFilter struct{ client string }
+
+func (f vetoFilter) Name() string { return "veto" }
+func (f vetoFilter) Apply(u *ClientUpdate, _ map[string]*tensor.Matrix) error {
+	if u.ClientName == f.client {
+		return errors.New("vetoed")
+	}
+	return nil
+}
+
+// A late update that fails the filter chain must be recorded as that
+// client's failure and skipped — not abort the whole federation run.
+func TestControllerBadLateUpdateDoesNotAbortRun(t *testing.T) {
+	execs := []Executor{
+		&fakeExecutor{name: "a", samples: 10, value: 1, delay: 400 * time.Millisecond},
+		&fakeExecutor{name: "b", samples: 10, value: 1, delay: 400 * time.Millisecond},
+		&fakeExecutor{name: "c", samples: 10, value: 1, delay: 400 * time.Millisecond},
+		&fakeExecutor{name: "slow", samples: 10, value: 9, delay: 600 * time.Millisecond},
+	}
+	ctrl, err := NewController(ControllerConfig{
+		Rounds:          2,
+		MinClients:      1,
+		MinUpdates:      3,
+		RoundDeadline:   5 * time.Second,
+		AsyncAggregator: FedAsync{Alpha: 0.5},
+		Filters:         []Filter{vetoFilter{client: "slow"}},
+	}, execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.Run(context.Background(), initialWeights())
+	if err != nil {
+		t.Fatalf("one bad late update aborted the run: %v", err)
+	}
+	var failures, applied []string
+	for _, rec := range res.History.Rounds {
+		failures = append(failures, rec.Failures...)
+		applied = append(applied, rec.LateApplied...)
+	}
+	if len(applied) != 0 {
+		t.Fatalf("vetoed late update still applied: %v", applied)
+	}
+	found := false
+	for _, f := range failures {
+		if strings.HasPrefix(f, "slow:") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("vetoed late update missing from failures: %v", failures)
+	}
+	if got := res.FinalWeights["layer.w"].At(0, 0); got != 1 {
+		t.Fatalf("vetoed straggler leaked into the model: %v", got)
 	}
 }
 

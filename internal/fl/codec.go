@@ -97,6 +97,11 @@ func (Float32Codec) Decode(blob []byte) (map[string]*tensor.Matrix, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Dense payload: the remaining bytes must cover the declared
+		// shape, so allocation is bounded by the blob size.
+		if int64(rows)*int64(cols)*4 > int64(r.Len()) {
+			return nil, fmt.Errorf("fl: f32 decode %q: payload truncated for shape %dx%d", name, rows, cols)
+		}
 		m := tensor.New(rows, cols)
 		d := m.Data()
 		var w [4]byte
@@ -127,7 +132,9 @@ func (c TopKCodec) Name() string { return "topk:" + strconv.FormatFloat(c.Fracti
 
 // Encode implements WeightCodec.
 func (c TopKCodec) Encode(weights map[string]*tensor.Matrix) ([]byte, error) {
-	if c.Fraction <= 0 || c.Fraction > 1 {
+	// Negated form so a NaN fraction is rejected rather than slipping
+	// through and silently keeping one element per parameter.
+	if !(c.Fraction > 0 && c.Fraction <= 1) {
 		return nil, fmt.Errorf("fl: top-k fraction %v out of (0,1]", c.Fraction)
 	}
 	var buf bytes.Buffer
@@ -164,10 +171,17 @@ func (TopKCodec) Decode(blob []byte) (map[string]*tensor.Matrix, error) {
 		return nil, err
 	}
 	out := make(map[string]*tensor.Matrix, n)
+	var totalElems int64
 	for i := 0; i < n; i++ {
 		name, rows, cols, err := readParamHeader(r, "top-k")
 		if err != nil {
 			return nil, err
+		}
+		// Sparse payload bytes don't bound the dense allocation the shape
+		// demands, so cap the blob's cumulative element count instead.
+		totalElems += int64(rows) * int64(cols)
+		if totalElems > maxTotalElems {
+			return nil, fmt.Errorf("fl: top-k decode %q: cumulative shape exceeds %d elements", name, int64(maxTotalElems))
 		}
 		var kb [4]byte
 		if _, err := io.ReadFull(r, kb[:]); err != nil {
@@ -176,8 +190,9 @@ func (TopKCodec) Decode(blob []byte) (map[string]*tensor.Matrix, error) {
 		k := int(binary.LittleEndian.Uint32(kb[:]))
 		m := tensor.New(rows, cols)
 		d := m.Data()
-		if k > len(d) {
-			return nil, fmt.Errorf("fl: top-k decode %q: k %d exceeds %d elements", name, k, len(d))
+		// The encoder always keeps at least one element per parameter.
+		if k < 1 || k > len(d) {
+			return nil, fmt.Errorf("fl: top-k decode %q: k %d out of [1, %d]", name, k, len(d))
 		}
 		var w [8]byte
 		for j := 0; j < k; j++ {
@@ -225,7 +240,7 @@ func CodecByName(name string) (WeightCodec, error) {
 		return TopKCodec{Fraction: 0.1}, nil
 	case strings.HasPrefix(name, "topk:"):
 		f, err := strconv.ParseFloat(strings.TrimPrefix(name, "topk:"), 64)
-		if err != nil || f <= 0 || f > 1 {
+		if err != nil || !(f > 0 && f <= 1) {
 			return nil, fmt.Errorf("fl: bad top-k fraction in codec %q", name)
 		}
 		return TopKCodec{Fraction: f}, nil
@@ -333,8 +348,21 @@ func readParamHeader(r *bytes.Reader, codec string) (string, int, int, error) {
 	}
 	rows := int(binary.LittleEndian.Uint32(sb[:4]))
 	cols := int(binary.LittleEndian.Uint32(sb[4:]))
-	if rows < 0 || cols < 0 || rows*cols > 1<<30 {
+	// Each dimension is capped before the product is taken (in int64), so
+	// a corrupt shape cannot wrap past the element cap on any GOARCH; 2^27
+	// elements (1 GiB of float64) per parameter is far above any real
+	// model and far below an OOM.
+	if rows < 0 || cols < 0 || rows > maxParamElems || cols > maxParamElems ||
+		int64(rows)*int64(cols) > maxParamElems {
 		return "", 0, 0, fmt.Errorf("fl: %s decode %q: implausible shape %dx%d", codec, nb, rows, cols)
 	}
 	return string(nb), rows, cols, nil
 }
+
+// Decode-time allocation bounds: per-parameter and whole-blob element caps
+// keep a tiny corrupt payload from demanding gigabytes before any data
+// bytes are read (transport frames are capped at 64 MiB).
+const (
+	maxParamElems = 1 << 27
+	maxTotalElems = 1 << 28
+)

@@ -1,6 +1,7 @@
 package fl
 
 import (
+	"bytes"
 	"math"
 	"strings"
 	"testing"
@@ -172,7 +173,7 @@ func TestCodecByName(t *testing.T) {
 			t.Fatalf("CodecByName(%q).Name() = %q, want %q", name, c.Name(), want)
 		}
 	}
-	for _, bad := range []string{"gzip", "topk:0", "topk:2", "topk:x"} {
+	for _, bad := range []string{"gzip", "topk:0", "topk:2", "topk:x", "topk:NaN"} {
 		if _, err := CodecByName(bad); err == nil {
 			t.Fatalf("CodecByName(%q) should fail", bad)
 		}
@@ -212,5 +213,51 @@ func TestFedAsyncApply(t *testing.T) {
 	}
 	if err := (FedAsync{}).Apply(global, u, -1); err == nil {
 		t.Fatal("want staleness error")
+	}
+}
+
+func TestCodecRejectsOverflowingShape(t *testing.T) {
+	// rows*cols here overflows int64 (each ~3.2e9, product ~1e19), so a
+	// naive product check would wrap negative and wave the header through.
+	var buf bytes.Buffer
+	buf.WriteString(f32Magic)
+	writeUint32(&buf, 1)
+	writeName(&buf, "w")
+	writeUint32(&buf, 3<<30)
+	writeUint32(&buf, 3<<30)
+	if _, err := (Float32Codec{}).Decode(buf.Bytes()); err == nil ||
+		!strings.Contains(err.Error(), "implausible shape") {
+		t.Fatalf("want implausible-shape error, got %v", err)
+	}
+}
+
+func TestFloat32CodecRejectsTruncatedPayload(t *testing.T) {
+	// A dense shape declaring 16M elements backed by zero data bytes must
+	// be rejected before the decoder allocates for it.
+	var buf bytes.Buffer
+	buf.WriteString(f32Magic)
+	writeUint32(&buf, 1)
+	writeName(&buf, "w")
+	writeUint32(&buf, 4096)
+	writeUint32(&buf, 4096)
+	if _, err := (Float32Codec{}).Decode(buf.Bytes()); err == nil ||
+		!strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("want truncated-payload error, got %v", err)
+	}
+}
+
+func TestTopKCodecRejectsZeroK(t *testing.T) {
+	// The encoder always keeps at least one element per parameter, so k=0
+	// only appears in corrupt payloads.
+	var buf bytes.Buffer
+	buf.WriteString(topKMagic)
+	writeUint32(&buf, 1)
+	writeName(&buf, "w")
+	writeUint32(&buf, 2)
+	writeUint32(&buf, 2)
+	writeUint32(&buf, 0)
+	if _, err := (TopKCodec{}).Decode(buf.Bytes()); err == nil ||
+		!strings.Contains(err.Error(), "out of [1") {
+		t.Fatalf("want k-out-of-range error, got %v", err)
 	}
 }

@@ -180,9 +180,13 @@ func NewController(cfg ControllerConfig, executors []Executor) (*Controller, err
 	return &Controller{
 		cfg:       cfg.withDefaults(len(executors)),
 		executors: executors,
-		results:   make(chan execOutcome, 2*len(executors)*cfg.withDefaults(len(executors)).Rounds),
-		inFlight:  make(map[string]bool, len(executors)),
-		rng:       tensor.NewRNG(cfg.Seed + 7919),
+		// Each executor has at most one outcome outstanding (it is never
+		// re-tasked until its previous outcome drains), so one slot per
+		// executor — doubled for margin — guarantees senders never block,
+		// even for stragglers finishing after Run returns.
+		results:  make(chan execOutcome, 2*len(executors)),
+		inFlight: make(map[string]bool, len(executors)),
+		rng:      tensor.NewRNG(cfg.Seed + 7919),
 	}, nil
 }
 
@@ -205,20 +209,10 @@ func (c *Controller) Run(ctx context.Context, initialWeights map[string]*tensor.
 		if err != nil {
 			return nil, err
 		}
-		if err := applyFilters(c.cfg.Filters, updates, global); err != nil {
-			return nil, fmt.Errorf("fl: round %d: %w", round, err)
-		}
-		aggregated, err := c.cfg.Aggregator.Aggregate(updates)
+		global, err = finalizeRound(c.cfg.Filters, c.cfg.Aggregator, c.cfg.AsyncAggregator,
+			updates, late, round, global, &rec)
 		if err != nil {
-			return nil, fmt.Errorf("fl: round %d: %w", round, err)
-		}
-		global = aggregated
-		// Stragglers from earlier rounds merge after the in-round
-		// aggregate so the fresh average is never clobbered.
-		for _, lu := range late {
-			if err := c.cfg.AsyncAggregator.Apply(global, lu.update, round-lu.update.Round); err != nil {
-				return nil, fmt.Errorf("fl: round %d late merge: %w", round, err)
-			}
+			return nil, err
 		}
 
 		rec.Duration = time.Since(start)
@@ -285,8 +279,67 @@ func (c *Controller) sampleClients() ([]Executor, error) {
 	return idle[:k], nil
 }
 
-// lateUpdate is a straggler's update from an earlier round.
-type lateUpdate struct{ update *ClientUpdate }
+// finalizeRound runs the shared end-of-round aggregation for both the
+// in-process controller and the networked server: the filter chain over the
+// in-round updates, the batch aggregate, then the filter chain and the
+// staleness-weighted merge for each late update. Late updates pass through
+// the same filters before they can reach the global model — privacy filters
+// (clipping, DP noise) must see every merged update, stale or not — against
+// this round's starting weights, the closest surviving reference. A late
+// update that fails filtering, shape-checking, or merging lands in
+// rec.Failures and is skipped: one straggler's bad payload must not abort
+// the federation.
+func finalizeRound(filters []Filter, agg Aggregator, async AsyncAggregator,
+	updates, late []*ClientUpdate, round int, global map[string]*tensor.Matrix, rec *RoundRecord) (map[string]*tensor.Matrix, error) {
+	if err := applyFilters(filters, updates, global); err != nil {
+		return nil, fmt.Errorf("fl: round %d: %w", round, err)
+	}
+	var merged []*ClientUpdate
+	for _, lu := range late {
+		if err := applyFilters(filters, []*ClientUpdate{lu}, global); err != nil {
+			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: late update: %v", lu.ClientName, err))
+			continue
+		}
+		merged = append(merged, lu)
+	}
+	next, err := agg.Aggregate(updates)
+	if err != nil {
+		return nil, fmt.Errorf("fl: round %d aggregate: %w", round, err)
+	}
+	// Stragglers' updates merge after the in-round aggregate so the fresh
+	// average is never clobbered. The shape pre-check keeps a mismatched
+	// update from partially mutating the model inside Apply; LateApplied
+	// records a merge only once it actually reached the global model.
+	for _, lu := range merged {
+		if err := checkShapes(next, lu); err != nil {
+			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: late update: %v", lu.ClientName, err))
+			continue
+		}
+		if err := async.Apply(next, lu, round-lu.Round); err != nil {
+			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: late merge: %v", lu.ClientName, err))
+			continue
+		}
+		rec.LateApplied = append(rec.LateApplied, lu.ClientName)
+		rec.BytesUp += int64(lu.PayloadBytes)
+	}
+	return next, nil
+}
+
+// checkShapes verifies an update covers every global parameter with
+// matching dimensions.
+func checkShapes(global map[string]*tensor.Matrix, u *ClientUpdate) error {
+	for name, g := range global {
+		w, ok := u.Weights[name]
+		if !ok {
+			return fmt.Errorf("missing param %q", name)
+		}
+		if w.Rows() != g.Rows() || w.Cols() != g.Cols() {
+			return fmt.Errorf("param %q shape %dx%d, want %dx%d",
+				name, w.Rows(), w.Cols(), g.Rows(), g.Cols())
+		}
+	}
+	return nil
+}
 
 // scatterGather runs one round: the sampled executors train concurrently
 // on the current global model; updates are gathered until all sampled
@@ -294,11 +347,11 @@ type lateUpdate struct{ update *ClientUpdate }
 // Outcomes from earlier rounds' stragglers drain through the same channel
 // and are returned as late updates (to merge via the AsyncAggregator) or
 // recorded as dropped.
-func (c *Controller) scatterGather(ctx context.Context, round int, global map[string]*tensor.Matrix, rec *RoundRecord) ([]*ClientUpdate, []lateUpdate, error) {
+func (c *Controller) scatterGather(ctx context.Context, round int, global map[string]*tensor.Matrix, rec *RoundRecord) ([]*ClientUpdate, []*ClientUpdate, error) {
 	// Drain stragglers that finished between rounds first, so they become
 	// idle (sample-able) again and their updates enter this round's
 	// staleness handling instead of rotting in the channel.
-	var late []lateUpdate
+	var late []*ClientUpdate
 drain:
 	for {
 		select {
@@ -308,8 +361,7 @@ drain:
 			case o.err != nil:
 				rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", o.name, o.err))
 			case c.cfg.AsyncAggregator != nil:
-				rec.LateApplied = append(rec.LateApplied, o.name)
-				late = append(late, lateUpdate{update: o.update})
+				late = append(late, o.update)
 			default:
 				rec.LateDropped = append(rec.LateDropped, o.name)
 			}
@@ -368,8 +420,7 @@ gather:
 				pending--
 				updates = append(updates, o.update)
 			case c.cfg.AsyncAggregator != nil:
-				rec.LateApplied = append(rec.LateApplied, o.name)
-				late = append(late, lateUpdate{update: o.update})
+				late = append(late, o.update)
 			default:
 				rec.LateDropped = append(rec.LateDropped, o.name)
 			}

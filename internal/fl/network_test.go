@@ -387,6 +387,320 @@ func TestServerRecordsFramedWireTotals(t *testing.T) {
 	}
 }
 
+// TestServerRejectsTopKUplinkByDefault: top-k sparsifies full weight maps
+// (not deltas), so unless the operator opts in the server must negotiate
+// the client back to raw — the exact FedAvg result proves no parameter was
+// zeroed on the uplink.
+func TestServerRejectsTopKUplinkByDefault(t *testing.T) {
+	proj := testProject(t, "c1", "c2")
+	srv, err := NewServer(ServerConfig{
+		Addr:            "127.0.0.1:0",
+		ExpectedClients: 2,
+		Rounds:          1,
+		RegisterTimeout: 10 * time.Second,
+		VerifyToken:     proj.VerifyToken,
+		Logf:            quietLogf,
+	}, proj.ServerKit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for name, exec := range map[string]*fakeExecutor{
+		"c1": {name: "c1", samples: 10, value: 1},
+		"c2": {name: "c2", samples: 30, value: 2},
+	} {
+		cl, err := NewClient(ClientConfig{
+			ServerAddr: srv.Addr(), Codec: "topk:0.1", Logf: quietLogf,
+		}, proj.ClientKits[name], exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			if _, err := cl.Run(); err != nil {
+				t.Errorf("client %s: %v", name, err)
+			}
+		}(name)
+	}
+	res, err := srv.Run(initialWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	// FedAvg of 1 (n=10) and 2 (n=30) = 1.75, exactly — a top-k uplink
+	// would have zeroed 90% of every parameter before averaging.
+	if got := res.FinalWeights["layer.w"].At(0, 0); got != 1.75 {
+		t.Fatalf("final weight %v, want exact 1.75 (raw fallback)", got)
+	}
+}
+
+// TestServerTrustsTaskRecordOverWireRound: a tasked client replying with a
+// bogus wire round number must still release its pending slot and count as
+// an in-round participant; with no RoundDeadline the old msg.Round-based
+// accounting would block the round forever.
+func TestServerTrustsTaskRecordOverWireRound(t *testing.T) {
+	proj := testProject(t, "c1", "c2")
+	srv, err := NewServer(ServerConfig{
+		Addr:            "127.0.0.1:0",
+		ExpectedClients: 2,
+		Rounds:          1,
+		RegisterTimeout: 10 * time.Second,
+		VerifyToken:     proj.VerifyToken,
+		Logf:            quietLogf,
+	}, proj.ServerKit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := NewClient(ClientConfig{ServerAddr: srv.Addr(), Logf: quietLogf},
+		proj.ClientKits["c1"], &fakeExecutor{name: "c1", samples: 10, value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientDone := make(chan error, 1)
+	go func() {
+		_, err := cl.Run()
+		clientDone <- err
+	}()
+
+	// Hand-rolled client: valid update payload, garbage round number.
+	rogueDone := make(chan error, 1)
+	go func() {
+		rogueDone <- func() error {
+			kit := proj.ClientKits["c2"]
+			tlsCfg, err := kit.ClientTLS()
+			if err != nil {
+				return err
+			}
+			conn, err := transport.Dial(srv.Addr(), tlsCfg, 5*time.Second)
+			if err != nil {
+				return err
+			}
+			defer conn.Close()
+			if err := conn.Write(&transport.Message{
+				Type: transport.MsgRegister, Sender: kit.Name, Token: kit.Token,
+			}); err != nil {
+				return err
+			}
+			if _, err := conn.Read(); err != nil { // ack
+				return err
+			}
+			task, err := conn.Read() // round-0 task
+			if err != nil {
+				return err
+			}
+			weights, err := DecodeWeights(task.Payload)
+			if err != nil {
+				return err
+			}
+			blob, err := EncodeWeights(weights)
+			if err != nil {
+				return err
+			}
+			if err := conn.Write(&transport.Message{
+				Type: transport.MsgUpdate, Sender: kit.Name, Round: 97, // bogus
+				Payload: blob, NumSamples: 10,
+			}); err != nil {
+				return err
+			}
+			_, err = conn.Read() // finish
+			return err
+		}()
+	}()
+
+	done := make(chan struct{})
+	var res *Result
+	var runErr error
+	go func() {
+		res, runErr = srv.Run(initialWeights())
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("round blocked on a tasked client's bogus wire round")
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if cerr := <-clientDone; cerr != nil {
+		t.Fatalf("healthy client: %v", cerr)
+	}
+	if rerr := <-rogueDone; rerr != nil {
+		t.Fatalf("rogue client: %v", rerr)
+	}
+	if got := len(res.History.Rounds[0].Participants); got != 2 {
+		t.Fatalf("participants %v, want both clients counted in-round",
+			res.History.Rounds[0].Participants)
+	}
+}
+
+// TestServerRejectsTopKPayloadOnWire: the top-k gate must hold at
+// ingestion, not just negotiation — a client that registered raw but sends
+// a top-k payload anyway is recorded as a failure, never aggregated.
+func TestServerRejectsTopKPayloadOnWire(t *testing.T) {
+	proj := testProject(t, "c1", "c2")
+	srv, err := NewServer(ServerConfig{
+		Addr:            "127.0.0.1:0",
+		ExpectedClients: 2,
+		Rounds:          1,
+		RegisterTimeout: 10 * time.Second,
+		VerifyToken:     proj.VerifyToken,
+		Logf:            quietLogf,
+	}, proj.ServerKit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := NewClient(ClientConfig{ServerAddr: srv.Addr(), Logf: quietLogf},
+		proj.ClientKits["c1"], &fakeExecutor{name: "c1", samples: 10, value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientDone := make(chan error, 1)
+	go func() {
+		_, err := cl.Run()
+		clientDone <- err
+	}()
+
+	// Rogue client: negotiates raw (no codec meta) but uploads top-k.
+	rogueDone := make(chan error, 1)
+	go func() {
+		rogueDone <- func() error {
+			kit := proj.ClientKits["c2"]
+			tlsCfg, err := kit.ClientTLS()
+			if err != nil {
+				return err
+			}
+			conn, err := transport.Dial(srv.Addr(), tlsCfg, 5*time.Second)
+			if err != nil {
+				return err
+			}
+			defer conn.Close()
+			if err := conn.Write(&transport.Message{
+				Type: transport.MsgRegister, Sender: kit.Name, Token: kit.Token,
+			}); err != nil {
+				return err
+			}
+			if _, err := conn.Read(); err != nil { // ack
+				return err
+			}
+			task, err := conn.Read() // round-0 task
+			if err != nil {
+				return err
+			}
+			weights, err := DecodeWeights(task.Payload)
+			if err != nil {
+				return err
+			}
+			blob, err := TopKCodec{Fraction: 0.1}.Encode(weights)
+			if err != nil {
+				return err
+			}
+			if err := conn.Write(&transport.Message{
+				Type: transport.MsgUpdate, Sender: kit.Name, Round: 0,
+				Payload: blob, NumSamples: 10,
+			}); err != nil {
+				return err
+			}
+			_, err = conn.Read() // finish
+			return err
+		}()
+	}()
+
+	res, err := srv.Run(initialWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr := <-clientDone; cerr != nil {
+		t.Fatalf("healthy client: %v", cerr)
+	}
+	if rerr := <-rogueDone; rerr != nil {
+		t.Fatalf("rogue client: %v", rerr)
+	}
+	r0 := res.History.Rounds[0]
+	if len(r0.Participants) != 1 || r0.Participants[0] != "c1" {
+		t.Fatalf("participants %v, want only the honest client", r0.Participants)
+	}
+	found := false
+	for _, f := range r0.Failures {
+		if strings.HasPrefix(f, "c2:") && strings.Contains(f, "top-k") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("rejected top-k payload missing from failures: %v", r0.Failures)
+	}
+}
+
+// TestServerQuorumNotMet: with MinClients set, a round that gathers fewer
+// successful updates fails the run instead of publishing one site's raw
+// weights as the global model.
+func TestServerQuorumNotMet(t *testing.T) {
+	proj := testProject(t, "c1", "c2")
+	srv, err := NewServer(ServerConfig{
+		Addr:            "127.0.0.1:0",
+		ExpectedClients: 2,
+		Rounds:          1,
+		MinClients:      2,
+		RegisterTimeout: 10 * time.Second,
+		VerifyToken:     proj.VerifyToken,
+		Logf:            quietLogf,
+	}, proj.ServerKit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := NewClient(ClientConfig{ServerAddr: srv.Addr(), Logf: quietLogf},
+		proj.ClientKits["c1"], &fakeExecutor{name: "c1", samples: 10, value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _, _ = cl.Run() }() // dies with the server; error irrelevant
+
+	// Doomed client: registers, receives the task, dies mid-round.
+	killed := make(chan error, 1)
+	go func() {
+		killed <- func() error {
+			kit := proj.ClientKits["c2"]
+			tlsCfg, err := kit.ClientTLS()
+			if err != nil {
+				return err
+			}
+			conn, err := transport.Dial(srv.Addr(), tlsCfg, 5*time.Second)
+			if err != nil {
+				return err
+			}
+			if err := conn.Write(&transport.Message{
+				Type: transport.MsgRegister, Sender: kit.Name, Token: kit.Token,
+			}); err != nil {
+				return err
+			}
+			if _, err := conn.Read(); err != nil { // ack
+				return err
+			}
+			if _, err := conn.Read(); err != nil { // round-0 task
+				return err
+			}
+			return conn.Close()
+		}()
+	}()
+
+	if _, err := srv.Run(initialWeights()); err == nil ||
+		!strings.Contains(err.Error(), "quorum") {
+		t.Fatalf("want quorum error with MinClients=2, got %v", err)
+	}
+	if kerr := <-killed; kerr != nil {
+		t.Fatalf("killed client setup: %v", kerr)
+	}
+}
+
 func TestNewClientValidation(t *testing.T) {
 	proj := testProject(t, "c1")
 	if _, err := NewClient(ClientConfig{}, proj.ServerKit, &fakeExecutor{name: "x"}); err == nil {

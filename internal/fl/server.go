@@ -1,12 +1,14 @@
 package fl
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"log"
 	"math"
 	"net"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -42,12 +44,21 @@ type ServerConfig struct {
 	// MinUpdates, when > 0, aggregates as soon as this many updates have
 	// arrived instead of waiting for every tasked client.
 	MinUpdates int
+	// MinClients is the per-round quorum: a round that gathers fewer
+	// successful updates fails the run. 0 keeps the legacy floor of one
+	// update, so deadline rounds aggregate whatever arrived.
+	MinClients int
 	// Seed drives the client-sampling stream.
 	Seed int64
 	// Codec names the downlink weight codec for task/finish payloads
 	// ("raw", "f32", "topk[:fraction]"); default raw. Each client's
 	// uplink codec is its own choice, negotiated at registration.
 	Codec string
+	// AllowTopKUplink permits clients to negotiate the top-k sparsifying
+	// uplink codec. Top-k transmits full weight maps, not deltas, so
+	// ~(1-fraction) of every parameter decodes as zero and averages into
+	// the global model; off by default, registration falls back to raw.
+	AllowTopKUplink bool
 	// Aggregator combines updates (default FedAvg).
 	Aggregator Aggregator
 	// AsyncAggregator, when non-nil, folds stragglers' late updates into
@@ -146,9 +157,9 @@ func NewServer(cfg ServerConfig, kit *provision.StartupKit) (*Server, error) {
 		downCodec: downCodec,
 		rng:       tensor.NewRNG(cfg.Seed + 7919),
 		// Buffered so reader goroutines never block on a drained server:
-		// each client sends at most one reply per round plus one terminal
-		// error.
-		inbox:   make(chan inboxMsg, cfg.ExpectedClients*(cfg.Rounds+2)),
+		// a cooperative client has at most one reply outstanding (it is
+		// not re-tasked until that reply drains) plus one terminal error.
+		inbox:   make(chan inboxMsg, 2*cfg.ExpectedClients),
 		clients: make(map[string]*serverClient),
 	}, nil
 }
@@ -227,6 +238,10 @@ func (s *Server) register(conn *transport.Conn) error {
 	} else if codecName == "" {
 		codecName = "raw"
 	}
+	if strings.HasPrefix(codecName, "topk") && !s.cfg.AllowTopKUplink {
+		s.cfg.Logf("fl server: client %q requested top-k uplink codec %q: rejected (top-k zeroes most of a full weight map; set AllowTopKUplink to accept), falling back to raw", msg.Sender, codecName)
+		codecName = "raw"
+	}
 	s.mu.Lock()
 	if _, dup := s.clients[msg.Sender]; dup {
 		s.mu.Unlock()
@@ -280,17 +295,10 @@ func (s *Server) Run(initialWeights map[string]*tensor.Matrix) (*Result, error) 
 		if err != nil {
 			return nil, err
 		}
-		if err := applyFilters(s.cfg.Filters, updates, global); err != nil {
-			return nil, fmt.Errorf("fl: round %d: %w", round, err)
-		}
-		global, err = s.cfg.Aggregator.Aggregate(updates)
+		global, err = finalizeRound(s.cfg.Filters, s.cfg.Aggregator, s.cfg.AsyncAggregator,
+			updates, late, round, global, &rec)
 		if err != nil {
-			return nil, fmt.Errorf("fl: round %d aggregate: %w", round, err)
-		}
-		for _, lu := range late {
-			if err := s.cfg.AsyncAggregator.Apply(global, lu.update, round-lu.update.Round); err != nil {
-				return nil, fmt.Errorf("fl: round %d late merge: %w", round, err)
-			}
+			return nil, err
 		}
 		rec.Duration = time.Since(start)
 		var lossSum, weightSum float64
@@ -383,19 +391,19 @@ func (s *Server) sampleLive() []*serverClient {
 // gathers their updates until everyone tasked replies, MinUpdates arrive,
 // or the round deadline fires. Per-client send/receive errors land in
 // rec.Failures — a failed client is recorded, never silently absent.
-func (s *Server) runRound(round int, global map[string]*tensor.Matrix, rec *RoundRecord) ([]*ClientUpdate, []lateUpdate, error) {
+func (s *Server) runRound(round int, global map[string]*tensor.Matrix, rec *RoundRecord) ([]*ClientUpdate, []*ClientUpdate, error) {
 	blob, err := s.downCodec.Encode(global)
 	if err != nil {
 		return nil, nil, err
 	}
 	// Drain stragglers' replies that landed between rounds so they become
 	// idle (sample-able) again and enter this round's staleness handling.
-	var late []lateUpdate
+	var late []*ClientUpdate
 drain:
 	for {
 		select {
 		case in := <-s.inbox:
-			s.setTasked(in.name, -1)
+			wasTasked := s.setTasked(in.name, -1)
 			switch {
 			case in.err != nil:
 				rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", in.name, in.err))
@@ -405,10 +413,14 @@ drain:
 				switch {
 				case uerr != nil:
 					rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", in.name, uerr))
+				case wasTasked < 0:
+					rec.Failures = append(rec.Failures, fmt.Sprintf("%s: unsolicited update (not tasked)", in.name))
 				case s.cfg.AsyncAggregator != nil:
-					rec.LateApplied = append(rec.LateApplied, in.name)
-					rec.BytesUp += int64(u.PayloadBytes)
-					late = append(late, lateUpdate{update: u})
+					// Staleness comes from the server-side task record,
+					// never the client-supplied msg.Round. Payload bytes
+					// are counted at merge time in finalizeRound.
+					u.Round = wasTasked
+					late = append(late, u)
 				default:
 					rec.LateDropped = append(rec.LateDropped, in.name)
 				}
@@ -445,9 +457,24 @@ drain:
 		defer timer.Stop()
 		deadline = timer.C
 	}
+	// The quorum is clamped to the sampled count, not to the clients whose
+	// task send succeeded: send failures must count against an explicitly
+	// configured floor, never silently lower it.
+	quorum := s.cfg.MinClients
+	if quorum > len(sampled) {
+		quorum = len(sampled)
+	}
+	if quorum < 1 {
+		quorum = 1
+	}
 	minUpdates := s.cfg.MinUpdates
 	if minUpdates <= 0 || minUpdates > pending {
 		minUpdates = pending
+	}
+	if minUpdates < quorum {
+		// An early aggregate below the quorum would always fail it; wait
+		// for the quorum before cutting the round short.
+		minUpdates = quorum
 	}
 
 	var updates []*ClientUpdate
@@ -465,20 +492,26 @@ gather:
 				continue
 			}
 			u, uerr := s.handleReply(in.name, in.msg)
+			// Classify by the server-side task record, never the
+			// client-supplied msg.Round: a tasked client sending a
+			// malformed round must still release its pending slot, and an
+			// untasked one must not be able to claim participation.
 			switch {
 			case uerr != nil:
 				rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", in.name, uerr))
-				if in.msg.Round == round && wasTasked == round {
+				if wasTasked == round {
 					pending--
 				}
-			case in.msg.Round == round:
+			case wasTasked == round:
 				pending--
+				u.Round = round
 				rec.BytesUp += int64(u.PayloadBytes)
 				updates = append(updates, u)
+			case wasTasked < 0:
+				rec.Failures = append(rec.Failures, fmt.Sprintf("%s: unsolicited update (not tasked)", in.name))
 			case s.cfg.AsyncAggregator != nil:
-				rec.LateApplied = append(rec.LateApplied, in.name)
-				rec.BytesUp += int64(u.PayloadBytes)
-				late = append(late, lateUpdate{update: u})
+				u.Round = wasTasked
+				late = append(late, u)
 			default:
 				rec.LateDropped = append(rec.LateDropped, in.name)
 			}
@@ -488,8 +521,9 @@ gather:
 			break gather
 		}
 	}
-	if len(updates) == 0 {
-		return nil, nil, fmt.Errorf("fl: round %d: no updates (failures: %v)", round, rec.Failures)
+	if len(updates) < quorum {
+		return nil, nil, fmt.Errorf("fl: round %d quorum not met: %d/%d updates (failures: %v)",
+			round, len(updates), quorum, rec.Failures)
 	}
 	if len(rec.Failures) > 0 || len(updates) < len(rec.Sampled) {
 		s.cfg.Logf("fl server: round %d proceeded with %d/%d clients (failures: %v)",
@@ -502,6 +536,13 @@ gather:
 func (s *Server) handleReply(name string, msg *transport.Message) (*ClientUpdate, error) {
 	if msg.Type != transport.MsgUpdate {
 		return nil, fmt.Errorf("expected update, got %s: %s", msg.Type, msg.Meta["error"])
+	}
+	// Enforce the top-k gate on the payload itself, not just at
+	// negotiation: DecodeWeights sniffs any magic, so a client ignoring
+	// the registration ack could otherwise push sparsified weights (most
+	// of every parameter zeroed) straight into the average.
+	if !s.cfg.AllowTopKUplink && bytes.HasPrefix(msg.Payload, []byte(topKMagic)) {
+		return nil, errors.New("top-k update payload rejected (not negotiated; set AllowTopKUplink)")
 	}
 	weights, err := DecodeWeights(msg.Payload)
 	if err != nil {
