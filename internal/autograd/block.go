@@ -2,7 +2,6 @@ package autograd
 
 import (
 	"fmt"
-	"math"
 
 	"clinfl/internal/tensor"
 )
@@ -88,36 +87,7 @@ func (t *Tape) BlockSoftmaxRows(a *Node, block int, padMasks [][]bool) (*Node, e
 		}
 	}
 	s := t.newMatrix(rows, cols)
-	for i := 0; i < rows; i++ {
-		var mask []bool
-		if padMasks != nil {
-			mask = padMasks[i/block]
-		}
-		src, dst := a.Value.Row(i), s.Row(i)
-		mx := math.Inf(-1)
-		for j, v := range src {
-			if (mask == nil || !mask[j]) && v > mx {
-				mx = v
-			}
-		}
-		var sum float64
-		for j, v := range src {
-			if mask != nil && mask[j] {
-				dst[j] = 0
-				continue
-			}
-			e := math.Exp(v - mx)
-			dst[j] = e
-			sum += e
-		}
-		if sum == 0 {
-			continue
-		}
-		inv := 1 / sum
-		for j := range dst {
-			dst[j] *= inv
-		}
-	}
+	tensor.BlockSoftmaxRowsInto(s, a.Value, block, padMasks)
 	n := t.newOp(opBlockSoftmaxRows, s, a, nil, nil)
 	n.iaux = block
 	return n, nil

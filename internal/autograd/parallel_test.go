@@ -1,0 +1,199 @@
+package autograd
+
+import (
+	"testing"
+
+	"clinfl/internal/sched"
+	"clinfl/internal/tensor"
+)
+
+// Coverage for the parallel tape backward: the dependency-wave replay
+// must produce gradients bit-identical to the serial reverse scan at
+// every pool width, on graphs with real branch structure (shared parents
+// fanned into many heads, re-converging sums — the attention shape).
+
+// branchyLoss records a multi-head graph on tape: x×W fans into `heads`
+// column slices, each head runs softmax(tanh(slice))×slice-of-W2-ish
+// work, heads concat back and collapse to a scalar. W and W2 are shared
+// parents of every head, so the consumer-ordering chains are exercised
+// hard, and the node count comfortably exceeds the parallel threshold.
+func branchyLoss(t *testing.T, tape *Tape, w, w2, x *tensor.Matrix, heads int) *Node {
+	t.Helper()
+	wn := tape.Leaf(w)
+	w2n := tape.Leaf(w2)
+	xn := tape.Constant(x)
+	h, err := tape.MatMul(xn, wn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2t := tape.Tanh(w2n) // shared by every head: exercises the chains
+	dim := w.Cols() / heads
+	var scalars []*Node
+	for hd := 0; hd < heads; hd++ {
+		s, err := tape.SliceCols(h, hd*dim, (hd+1)*dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := tape.SoftmaxRows(tape.Tanh(s))
+		ws, err := tape.SliceCols(w2t, hd*dim, (hd+1)*dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := tape.MatMulTransB(a, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := tape.GELU(p)
+		scalars = append(scalars, tape.Mean(g))
+	}
+	loss, err := tape.SumScalars(scalars...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loss
+}
+
+// runBranchyGrads runs forward+backward under a pinned pool width and
+// returns copies of the two parameter gradients.
+func runBranchyGrads(t *testing.T, width, heads int) (*tensor.Matrix, *tensor.Matrix, int) {
+	t.Helper()
+	pool := sched.New(width)
+	defer pool.Close()
+	defer sched.SetDefault(sched.SetDefault(pool))
+
+	rng := tensor.NewRNG(42)
+	w := rng.Normal(24, 8*heads, 0, 0.5)
+	w2 := rng.Normal(24, 8*heads, 0, 0.5)
+	x := rng.Normal(16, 24, 0, 1)
+
+	tape := NewTapeArena(tensor.NewArena())
+	loss := branchyLoss(t, tape, w, w2, x, heads)
+	if err := tape.Backward(loss); err != nil {
+		t.Fatal(err)
+	}
+	var gw, gw2 *tensor.Matrix
+	for _, n := range tape.nodes {
+		if n.op == opLeaf && n.Grad != nil {
+			if n.Value == w {
+				gw = n.Grad.Clone()
+			}
+			if n.Value == w2 {
+				gw2 = n.Grad.Clone()
+			}
+		}
+	}
+	if gw == nil || gw2 == nil {
+		t.Fatal("missing leaf gradients")
+	}
+	return gw, gw2, tape.Len()
+}
+
+// TestParallelBackwardBitIdenticalAcrossWidths pins the tentpole
+// determinism guarantee: pool widths 1 (serial scan), 2 and 4 must
+// produce byte-for-byte identical gradients.
+func TestParallelBackwardBitIdenticalAcrossWidths(t *testing.T) {
+	const heads = 10
+	refW, refW2, nodes := runBranchyGrads(t, 1, heads)
+	if nodes < parallelBackwardMinNodes {
+		t.Fatalf("test graph has %d nodes, below the parallel threshold %d",
+			nodes, parallelBackwardMinNodes)
+	}
+	for _, width := range []int{2, 4} {
+		gw, gw2, _ := runBranchyGrads(t, width, heads)
+		for name, pair := range map[string][2]*tensor.Matrix{
+			"W":  {refW, gw},
+			"W2": {refW2, gw2},
+		} {
+			a, b := pair[0].Data(), pair[1].Data()
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("width %d: grad %s[%d] = %x, serial %x",
+						width, name, i, b[i], a[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelBackwardRepeatedRunsStable re-runs the parallel replay many
+// times on one recycled tape; every run must reproduce the same bits
+// (catches ordering races that only strike under particular schedules).
+func TestParallelBackwardRepeatedRunsStable(t *testing.T) {
+	pool := sched.New(4)
+	defer pool.Close()
+	defer sched.SetDefault(sched.SetDefault(pool))
+
+	rng := tensor.NewRNG(7)
+	const heads = 10
+	w := rng.Normal(24, 8*heads, 0, 0.5)
+	w2 := rng.Normal(24, 8*heads, 0, 0.5)
+	x := rng.Normal(16, 24, 0, 1)
+
+	tape := NewTapeArena(tensor.NewArena())
+	var ref []float64
+	for run := 0; run < 30; run++ {
+		tape.Reset()
+		loss := branchyLoss(t, tape, w, w2, x, heads)
+		if err := tape.Backward(loss); err != nil {
+			t.Fatal(err)
+		}
+		var got []float64
+		for _, n := range tape.nodes {
+			if n.op == opLeaf && n.Grad != nil && n.Value == w {
+				got = append([]float64(nil), n.Grad.Data()...)
+			}
+		}
+		if got == nil {
+			t.Fatal("missing W gradient")
+		}
+		if run == 0 {
+			ref = got
+			continue
+		}
+		for i := range ref {
+			if ref[i] != got[i] {
+				t.Fatalf("run %d: grad[%d] drifted: %x vs %x", run, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestParallelBackwardMatchesGradcheck keeps the numeric ground truth in
+// the loop: finite differences against the parallel replay.
+func TestParallelBackwardMatchesGradcheck(t *testing.T) {
+	pool := sched.New(4)
+	defer pool.Close()
+	defer sched.SetDefault(sched.SetDefault(pool))
+
+	rng := tensor.NewRNG(3)
+	w := rng.Normal(12, 48, 0, 0.5)
+	x := rng.Normal(8, 12, 0, 1)
+	// Forward builder for GradCheck: enough ops to clear the threshold.
+	build := func(tape *Tape, params []*Node) (*Node, error) {
+		h, err := tape.MatMul(tape.Constant(x), params[0])
+		if err != nil {
+			return nil, err
+		}
+		var scalars []*Node
+		for hd := 0; hd < 12; hd++ {
+			s, err := tape.SliceCols(h, hd*4, (hd+1)*4)
+			if err != nil {
+				return nil, err
+			}
+			a := tape.SoftmaxRows(tape.Tanh(s))
+			p, err := tape.MatMulTransB(a, s)
+			if err != nil {
+				return nil, err
+			}
+			scalars = append(scalars, tape.Mean(tape.GELU(p)))
+		}
+		return tape.SumScalars(scalars...)
+	}
+	maxRel, err := GradCheck([]*tensor.Matrix{w}, build, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxRel > 2e-6 {
+		t.Fatalf("gradcheck max relative error %.3g under parallel backward", maxRel)
+	}
+}

@@ -3,6 +3,8 @@ package fl
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"clinfl/internal/data"
@@ -10,6 +12,7 @@ import (
 	"clinfl/internal/model"
 	"clinfl/internal/nn"
 	"clinfl/internal/opt"
+	"clinfl/internal/sched"
 	"clinfl/internal/tensor"
 	"clinfl/internal/train"
 )
@@ -156,10 +159,61 @@ func (e *ClassifierExecutor) ExecuteRound(round int, global map[string]*tensor.M
 	}, nil
 }
 
+// validateFan scores validation chunks from Fan slots: each participant
+// claims BatchSize chunks off a shared queue and runs eval-mode batched
+// forwards through the model's recycled eval-context pool (Predict pulls a
+// private arena-backed context per concurrent call, and parameters are
+// read-only during eval), accumulating hits atomically — integer sums, so
+// the score is identical at any participant count.
+type validateFan struct {
+	e      *ClassifierExecutor
+	next   atomic.Int64
+	hits   atomic.Int64
+	failed atomic.Bool
+
+	errMu sync.Mutex
+	err   error
+}
+
+// RunSlot implements sched.SlotRunner.
+func (v *validateFan) RunSlot(int) {
+	e := v.e
+	nChunks := (len(e.validSet) + e.cfg.BatchSize - 1) / e.cfg.BatchSize
+	for !v.failed.Load() {
+		c := int(v.next.Add(1)) - 1
+		if c >= nChunks {
+			return
+		}
+		lo := c * e.cfg.BatchSize
+		hi := lo + e.cfg.BatchSize
+		if hi > len(e.validSet) {
+			hi = len(e.validSet)
+		}
+		preds, err := e.mdl.Predict(e.validSet[lo:hi])
+		if err != nil {
+			v.errMu.Lock()
+			if v.err == nil {
+				v.err = err
+			}
+			v.errMu.Unlock()
+			v.failed.Store(true)
+			return
+		}
+		hit := int64(0)
+		for i, p := range preds {
+			if p == e.validSet[lo+i].Label {
+				hit++
+			}
+		}
+		v.hits.Add(hit)
+	}
+}
+
 // Validate implements Validator: top-1 accuracy of the global model on the
 // client's validation shard. Prediction runs in BatchSize chunks so memory
 // stays bounded as the shard grows (each chunk is one batched forward, not
-// one giant whole-shard tape).
+// one giant whole-shard tape), and the chunks fan out across the shared
+// sched pool so validation is no longer a serial tail on every round.
 func (e *ClassifierExecutor) Validate(global map[string]*tensor.Matrix) (float64, error) {
 	if len(e.validSet) == 0 {
 		return 0, errors.New("fl: no validation data")
@@ -167,23 +221,18 @@ func (e *ClassifierExecutor) Validate(global map[string]*tensor.Matrix) (float64
 	if err := nn.LoadWeights(e.mdl.Params(), global); err != nil {
 		return 0, fmt.Errorf("fl: %s load global: %w", e.name, err)
 	}
-	hit := 0
-	for lo := 0; lo < len(e.validSet); lo += e.cfg.BatchSize {
-		hi := lo + e.cfg.BatchSize
-		if hi > len(e.validSet) {
-			hi = len(e.validSet)
-		}
-		preds, err := e.mdl.Predict(e.validSet[lo:hi])
-		if err != nil {
-			return 0, err
-		}
-		for i, p := range preds {
-			if p == e.validSet[lo+i].Label {
-				hit++
-			}
-		}
+	v := validateFan{e: e}
+	nChunks := (len(e.validSet) + e.cfg.BatchSize - 1) / e.cfg.BatchSize
+	pool := sched.Default()
+	slots := pool.Size()
+	if slots > nChunks {
+		slots = nChunks
 	}
-	return float64(hit) / float64(len(e.validSet)), nil
+	pool.Fan(slots, &v)
+	if v.err != nil {
+		return 0, v.err
+	}
+	return float64(v.hits.Load()) / float64(len(e.validSet)), nil
 }
 
 // MLMExecutor pretrains a BERT-family model with the masked-language-model

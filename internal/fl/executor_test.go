@@ -7,6 +7,7 @@ import (
 	"clinfl/internal/mlm"
 	"clinfl/internal/model"
 	"clinfl/internal/nn"
+	"clinfl/internal/sched"
 	"clinfl/internal/tensor"
 	"clinfl/internal/token"
 )
@@ -215,5 +216,40 @@ func TestMLMExecutorConstructionErrors(t *testing.T) {
 	bad.MaskProb = 0
 	if _, err := NewMLMExecutor("site", bc, bc.Params(), [][]int{{token.CLS}}, bad, LocalConfig{}); err == nil {
 		t.Fatal("want error for bad mask config")
+	}
+}
+
+// TestClassifierExecutorValidateParallelMatchesSerial pins the parallel
+// chunked validation: the accuracy computed with the eval chunks fanned
+// across a multi-worker pool must equal the single-worker result exactly
+// (hit counting is integer arithmetic, so any divergence means a chunk
+// was dropped or double-counted).
+func TestClassifierExecutorValidateParallelMatchesSerial(t *testing.T) {
+	mdl := tinyClassifier(t, 1)
+	ds := tinyDataset(130, 6) // odd size: exercises the ragged final chunk
+	exec, err := NewClassifierExecutor("site", mdl, ds[:16], ds[16:], LocalConfig{
+		Epochs: 1, LR: 1e-2, BatchSize: 8, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := nn.SnapshotWeights(mdl.Params())
+
+	run := func(width int) float64 {
+		pool := sched.New(width)
+		defer pool.Close()
+		defer sched.SetDefault(sched.SetDefault(pool))
+		acc, err := exec.Validate(global)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return acc
+	}
+
+	serial := run(1)
+	for _, width := range []int{2, 4} {
+		if got := run(width); got != serial {
+			t.Fatalf("width %d: accuracy %v, serial %v", width, got, serial)
+		}
 	}
 }

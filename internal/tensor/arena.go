@@ -1,5 +1,7 @@
 package tensor
 
+import "sync"
+
 // Arena is a bump allocator for step-scoped Matrix values.
 //
 // Training builds thousands of short-lived matrices per step (activation
@@ -11,9 +13,12 @@ package tensor
 //
 // Lifetime rule: a Matrix returned by Get (and anything aliasing its Data)
 // is valid only until the next Reset. Callers that need a value to survive
-// Reset must Clone it into the heap first. An Arena is single-goroutine, the
-// same discipline as the Tape that owns it.
+// Reset must Clone it into the heap first. Get is safe for concurrent use
+// (the parallel tape backward allocates gradient buffers from pool
+// workers); Reset still requires the owning tape to be quiescent, the same
+// discipline as Tape.Reset itself.
 type Arena struct {
+	mu    sync.Mutex
 	slabs [][]float64
 	slab  int // index of the slab currently being bumped
 	off   int // offset into slabs[slab]
@@ -38,6 +43,8 @@ func (a *Arena) Get(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
 		panic("tensor: arena Get with negative dimensions")
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	var data []float64
 	if n > 0 {
 		for a.slab >= len(a.slabs) || a.off+n > len(a.slabs[a.slab]) {

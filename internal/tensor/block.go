@@ -84,13 +84,24 @@ func checkBlockMatMul(op string, a, b *Matrix, block int) error {
 	return nil
 }
 
-// blockMatMul accumulates alpha·(a×b per block) into out. Same 4-wide
-// unrolled ikj kernel as the dense matmul tail, with b rows offset to this
-// row's block. The zero-quad skip matters here: attention weights at padded
-// key positions are exactly zero.
+// blockMatMul accumulates alpha·(a×b per block) into out. The real
+// per-row cost (2·block·n flops) is threaded to the pool, so the small
+// per-head score×V products of short sequences run inline instead of
+// fanning out workers for microseconds of work.
 func blockMatMul(out, a, b *Matrix, block int, alpha float64) {
+	var j kernelJob
+	j.kind, j.out, j.a, j.b = kBlockMatMul, out, a, b
+	j.block, j.alpha = block, alpha
+	runKernel(a.rows, 2*block*b.cols, &j)
+}
+
+// blockMatMulRange accumulates rows [lo, hi) of alpha·(a×b per block) into
+// out. Same 4-wide unrolled ikj kernel as the dense matmul tail, with b
+// rows offset to this row's block. The zero-quad skip matters here:
+// attention weights at padded key positions are exactly zero.
+func blockMatMulRange(out, a, b *Matrix, block int, alpha float64, lo, hi int) {
 	n := b.cols
-	work := func(lo, hi int) {
+	{
 		for i := lo; i < hi; i++ {
 			base := (i / block) * block // first b-row of this row's block
 			arow := a.data[i*block : (i+1)*block]
@@ -126,7 +137,6 @@ func blockMatMul(out, a, b *Matrix, block int, alpha float64) {
 			}
 		}
 	}
-	parallelRows(a.rows, 2*a.rows*block*n, work)
 }
 
 // BlockMatMulTransB computes per-block a_g×b_gᵀ: a is (B·block)×k, b is
@@ -181,24 +191,30 @@ func checkBlockTransB(op string, a, b *Matrix, block int) error {
 }
 
 func blockMatMulTransB(out, a, b *Matrix, block int, alpha float64, acc bool) {
+	var j kernelJob
+	j.kind, j.out, j.a, j.b = kBlockMatMulTransB, out, a, b
+	j.block, j.alpha, j.flag = block, alpha, acc
+	runKernel(a.rows, 2*block*a.cols, &j)
+}
+
+// blockMatMulTransBRange computes rows [lo, hi) of alpha·(a×bᵀ per block)
+// into out (accumulating when acc).
+func blockMatMulTransBRange(out, a, b *Matrix, block int, alpha float64, acc bool, lo, hi int) {
 	k := a.cols
-	work := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			base := (i / block) * block
-			arow := a.data[i*k : (i+1)*k]
-			orow := out.data[i*block : (i+1)*block]
-			if acc {
-				for j := 0; j < block; j++ {
-					orow[j] += alpha * dot(arow, b.data[(base+j)*k:(base+j+1)*k])
-				}
-			} else {
-				for j := 0; j < block; j++ {
-					orow[j] = alpha * dot(arow, b.data[(base+j)*k:(base+j+1)*k])
-				}
+	for i := lo; i < hi; i++ {
+		base := (i / block) * block
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*block : (i+1)*block]
+		if acc {
+			for j := 0; j < block; j++ {
+				orow[j] += alpha * dot(arow, b.data[(base+j)*k:(base+j+1)*k])
+			}
+		} else {
+			for j := 0; j < block; j++ {
+				orow[j] = alpha * dot(arow, b.data[(base+j)*k:(base+j+1)*k])
 			}
 		}
 	}
-	parallelRows(a.rows, 2*a.rows*block*k, work)
 }
 
 // BlockMatMulTransA computes per-block a_gᵀ×b_g: a is (B·block)×m, b is
@@ -240,29 +256,36 @@ func checkBlockTransA(op string, a, b *Matrix, block int) (int, error) {
 	return nb, nil
 }
 
-// blockMatMulTransA accumulates alpha·(aᵀ×b per block) into out.
-// out row g*m+i += sum_p a[g*block+p][i] * b row g*block+p; stream over p.
-// Parallelized over whole blocks: rows within a block share accumulators.
+// blockMatMulTransA accumulates alpha·(aᵀ×b per block) into out,
+// parallelized over whole blocks (rows within a block share accumulators),
+// with the true per-block cost (2·block·m·n flops) threaded to the pool.
 func blockMatMulTransA(out, a, b *Matrix, block int, alpha float64) {
-	nb := a.rows / block
 	m, n := a.cols, b.cols
-	work := func(lo, hi int) {
-		for g := lo; g < hi; g++ {
-			for p := 0; p < block; p++ {
-				arow := a.data[(g*block+p)*m : (g*block+p+1)*m]
-				brow := b.data[(g*block+p)*n : (g*block+p+1)*n]
-				for i, av := range arow {
-					if av == 0 {
-						continue
-					}
-					av *= alpha
-					orow := out.data[(g*m+i)*n : (g*m+i+1)*n]
-					for j, bv := range brow {
-						orow[j] += av * bv
-					}
+	var j kernelJob
+	j.kind, j.out, j.a, j.b = kBlockMatMulTransA, out, a, b
+	j.block, j.alpha = block, alpha
+	runKernel(a.rows/block, 2*block*m*n, &j)
+}
+
+// blockMatMulTransARange accumulates blocks [lo, hi) of alpha·(aᵀ×b per
+// block) into out. out row g*m+i += sum_p a[g*block+p][i] * b row
+// g*block+p; stream over p.
+func blockMatMulTransARange(out, a, b *Matrix, block int, alpha float64, lo, hi int) {
+	m, n := a.cols, b.cols
+	for g := lo; g < hi; g++ {
+		for p := 0; p < block; p++ {
+			arow := a.data[(g*block+p)*m : (g*block+p+1)*m]
+			brow := b.data[(g*block+p)*n : (g*block+p+1)*n]
+			for i, av := range arow {
+				if av == 0 {
+					continue
+				}
+				av *= alpha
+				orow := out.data[(g*m+i)*n : (g*m+i+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
 				}
 			}
 		}
 	}
-	parallelRows(nb, 2*a.rows*m*n, work)
 }

@@ -3,8 +3,9 @@ package tensor
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
+
+	"clinfl/internal/sched"
 )
 
 // MatMul returns a×b. a is m×k, b is k×n, result is m×n.
@@ -82,15 +83,35 @@ const matmulPanelMinBFloats = 512 * 1024
 // quads, so per-element summation order is identical between them.
 func matmulInto(out, a, b *Matrix) {
 	m, k, n := a.rows, a.cols, b.cols
-	panels := k*n >= matmulPanelMinBFloats
-	work := func(lo, hi int) {
-		i := lo
-		if !panels {
-			for ; i < hi; i++ {
-				matmulRow(out.data[i*n:(i+1)*n], a.data[i*k:(i+1)*k], b, k, n)
-			}
-			return
+	var j kernelJob
+	j.kind, j.out, j.a, j.b = kMatMul, out, a, b
+	j.flag = k*n >= matmulPanelMinBFloats
+	if j.flag {
+		// Panel path: dispatch row QUADS as the parallel items. The pool
+		// sizes steal chunks by per-item flops, and panel-class matmuls
+		// are so heavy per row that row-items would shrink chunks to one
+		// row — below the 4-row micro-kernel, silently degrading every
+		// multi-core run to the tail kernel. Quad items keep each chunk
+		// panel-aligned; boundaries are still shape-only, so results stay
+		// bit-identical at every width.
+		runKernel((m+3)/4, 8*n*k, &j)
+		return
+	}
+	runKernel(m, 2*n*k, &j)
+}
+
+// matmulRange accumulates rows [lo, hi) of a×b into out; panels selects
+// the 4×4 panel-packed micro-kernel for cache-spilling b operands.
+func matmulRange(out, a, b *Matrix, lo, hi int, panels bool) {
+	k, n := a.cols, b.cols
+	i := lo
+	if !panels {
+		for ; i < hi; i++ {
+			matmulRow(out.data[i*n:(i+1)*n], a.data[i*k:(i+1)*k], b, k, n)
 		}
+		return
+	}
+	{
 		bufp := packPool.Get().(*[]float64)
 		pk := *bufp
 		if cap(pk) < 4*k {
@@ -148,7 +169,6 @@ func matmulInto(out, a, b *Matrix) {
 		*bufp = pk
 		packPool.Put(bufp)
 	}
-	parallelRows(m, 2*m*n*k, work)
 }
 
 // matmulRow accumulates one output row (the <4-row tail of the panel loop),
@@ -208,22 +228,29 @@ func MatMulTransBAcc(dst, a, b *Matrix) error {
 
 func matmulTransB(out, a, b *Matrix, acc bool) {
 	m, k, n := a.rows, a.cols, b.rows
-	work := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.data[i*k : (i+1)*k]
-			orow := out.data[i*n : (i+1)*n]
-			if acc {
-				for j := 0; j < n; j++ {
-					orow[j] += dot(arow, b.data[j*k:(j+1)*k])
-				}
-			} else {
-				for j := 0; j < n; j++ {
-					orow[j] = dot(arow, b.data[j*k:(j+1)*k])
-				}
+	var j kernelJob
+	j.kind, j.out, j.a, j.b = kMatMulTransB, out, a, b
+	j.flag = acc
+	runKernel(m, 2*n*k, &j)
+}
+
+// matmulTransBRange computes rows [lo, hi) of a×bᵀ into out (accumulating
+// when acc).
+func matmulTransBRange(out, a, b *Matrix, lo, hi int, acc bool) {
+	k, n := a.cols, b.rows
+	for i := lo; i < hi; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		if acc {
+			for j := 0; j < n; j++ {
+				orow[j] += dot(arow, b.data[j*k:(j+1)*k])
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				orow[j] = dot(arow, b.data[j*k:(j+1)*k])
 			}
 		}
 	}
-	parallelRows(m, 2*m*n*k, work)
 }
 
 // MatMulTransA returns aᵀ×b. a is k×m, b is k×n, result is m×n.
@@ -257,8 +284,16 @@ func MatMulTransAAcc(dst, a, b *Matrix) error {
 // 4-wide like matmulInto so each output row is loaded/stored once per
 // four b rows. The a accesses are column-strided but only 4 per row.
 func matmulTransA(out, a, b *Matrix) {
+	m := a.cols
+	var j kernelJob
+	j.kind, j.out, j.a, j.b = kMatMulTransA, out, a, b
+	runKernel(m, 2*a.rows*b.cols, &j)
+}
+
+// matmulTransARange accumulates output rows [lo, hi) of aᵀ×b into out.
+func matmulTransARange(out, a, b *Matrix, lo, hi int) {
 	k, m, n := a.rows, a.cols, b.cols
-	work := func(lo, hi int) {
+	{
 		p := 0
 		for ; p+4 <= k; p += 4 {
 			a0 := a.data[p*m : (p+1)*m]
@@ -295,7 +330,6 @@ func matmulTransA(out, a, b *Matrix) {
 			}
 		}
 	}
-	parallelRows(m, 2*m*n*k, work)
 }
 
 // dot returns the inner product of x and y (len(y) >= len(x)), accumulated
@@ -316,50 +350,100 @@ func dot(x, y []float64) float64 {
 	return s0 + s1 + s2 + s3
 }
 
-// parallelFlopsPerWorker is the minimum kernel work (counted in flops,
-// i.e. one multiply-add = 2) a goroutine must amortize before parallelRows
-// spawns it. Spawn+join of one goroutine costs ~1-2µs on the reference
-// Xeon box; 1<<17 flops is ~15-30µs of kernel work at the measured 4-8
-// GFLOP/s, keeping spawn overhead under ~10%. Gating on work rather than
-// row count stops tiny-but-tall shapes (a B×1 loss column with thousands
-// of rows) from fanning out GOMAXPROCS goroutines for microseconds of
-// arithmetic.
-const parallelFlopsPerWorker = 1 << 17
+// kernelKind selects a kernelJob's row-range routine.
+type kernelKind uint8
 
-// parallelRows splits [0,m) row ranges across workers and waits. The worker
-// count is bounded by GOMAXPROCS, by m, and by flops/parallelFlopsPerWorker
-// so each goroutine gets enough work to amortize its spawn; with a single
-// worker it runs inline, skipping the goroutine spawn entirely.
-func parallelRows(m int, flops int, work func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if byWork := flops / parallelFlopsPerWorker; workers > byWork {
-		workers = byWork
+const (
+	kMatMul kernelKind = iota
+	kMatMulTransB
+	kMatMulTransA
+	kBlockMatMul
+	kBlockMatMulTransB
+	kBlockMatMulTransA
+	kSoftmaxRows
+)
+
+// kernelJob carries one kernel invocation's operands onto the shared
+// fork-join pool. It implements sched.Body so pool workers can execute
+// disjoint row ranges directly; job structs are recycled through a free
+// list, keeping the pooled dispatch allocation-free (a closure per call
+// would escape to the heap).
+type kernelJob struct {
+	kind   kernelKind
+	out    *Matrix
+	a, b   *Matrix
+	block  int
+	alpha  float64
+	flag   bool // kMatMul: panel path; kMatMulTransB/kBlockMatMulTransB: accumulate
+	blocks [][]bool
+}
+
+// Run implements sched.Body over item range [lo, hi): output rows for the
+// dense kernels, row blocks for kBlockMatMulTransA.
+func (j *kernelJob) Run(lo, hi int) {
+	switch j.kind {
+	case kMatMul:
+		if j.flag {
+			// Panel path items are row quads (see matmulInto).
+			lo *= 4
+			if hi = hi * 4; hi > j.a.rows {
+				hi = j.a.rows
+			}
+		}
+		matmulRange(j.out, j.a, j.b, lo, hi, j.flag)
+	case kMatMulTransB:
+		matmulTransBRange(j.out, j.a, j.b, lo, hi, j.flag)
+	case kMatMulTransA:
+		matmulTransARange(j.out, j.a, j.b, lo, hi)
+	case kBlockMatMul:
+		blockMatMulRange(j.out, j.a, j.b, j.block, j.alpha, lo, hi)
+	case kBlockMatMulTransB:
+		blockMatMulTransBRange(j.out, j.a, j.b, j.block, j.alpha, j.flag, lo, hi)
+	case kBlockMatMulTransA:
+		blockMatMulTransARange(j.out, j.a, j.b, j.block, j.alpha, lo, hi)
+	case kSoftmaxRows:
+		softmaxRowsRange(j.out, j.a, j.block, j.blocks, lo, hi)
 	}
-	if workers > m {
-		workers = m
-	}
-	if workers <= 1 {
-		work(0, m)
+}
+
+// kernelJobs recycles job structs across forked kernel calls. A plain
+// mutex-guarded free list (rather than sync.Pool) guarantees the steady
+// state allocates nothing even across GC cycles.
+var (
+	kernelJobMu   sync.Mutex
+	kernelJobFree []*kernelJob
+)
+
+// runKernel dispatches n items of flopsPerItem real work each (one
+// multiply-add = 2 flops) onto the shared pool. Threading the per-item
+// cost through is what lets the pool gate fan-out exactly: small block
+// kernels no longer wake workers for microseconds of arithmetic, and
+// tiny-but-tall shapes (a B×1 loss column) stay inline. kj is the
+// caller's stack value; it runs in place when the loop would stay inline
+// (no shared state touched at all) and is copied into a recycled
+// heap job only when the pool will actually fork.
+func runKernel(n, flopsPerItem int, kj *kernelJob) {
+	pool := sched.Default()
+	if !pool.WouldFork(n, flopsPerItem) {
+		kj.Run(0, n)
 		return
 	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			work(lo, hi)
-		}(lo, hi)
+	kernelJobMu.Lock()
+	var j *kernelJob
+	if k := len(kernelJobFree); k > 0 {
+		j = kernelJobFree[k-1]
+		kernelJobFree[k-1] = nil
+		kernelJobFree = kernelJobFree[:k-1]
+	} else {
+		j = new(kernelJob)
 	}
-	wg.Wait()
+	kernelJobMu.Unlock()
+	*j = *kj
+	pool.ParallelFor(n, flopsPerItem, j)
+	*j = kernelJob{}
+	kernelJobMu.Lock()
+	kernelJobFree = append(kernelJobFree, j)
+	kernelJobMu.Unlock()
 }
 
 // Transpose returns mᵀ.
@@ -540,10 +624,74 @@ func SoftmaxRows(m *Matrix) *Matrix {
 }
 
 // SoftmaxRowsInto writes the row-wise softmax of src into dst (same shape)
-// without allocating.
+// without allocating. Rows are independent, so the kernel parallelizes on
+// the shared pool once the work amortizes the handoff.
 func SoftmaxRowsInto(dst, src *Matrix) {
-	for i := 0; i < src.rows; i++ {
-		softmaxRow(dst.Row(i), src.Row(i))
+	var j kernelJob
+	j.kind, j.out, j.a = kSoftmaxRows, dst, src
+	runKernel(src.rows, softmaxFlopsPerCol*src.cols, &j)
+}
+
+// BlockSoftmaxRowsInto writes the row-wise softmax of src into dst,
+// restricted per row block to non-padded key columns: row r of block g is
+// normalized over columns j with !padMasks[g][j], and padded columns get
+// exactly 0. padMasks may be nil (no padding anywhere) and individual
+// entries may be nil. This is the attention-probability kernel; shape and
+// mask validation is the caller's job (the autograd op does it once per
+// node).
+func BlockSoftmaxRowsInto(dst, src *Matrix, block int, padMasks [][]bool) {
+	var j kernelJob
+	j.kind, j.out, j.a = kSoftmaxRows, dst, src
+	j.block = block
+	j.blocks = padMasks
+	runKernel(src.rows, softmaxFlopsPerCol*src.cols, &j)
+}
+
+// softmaxFlopsPerCol approximates the per-element cost of a softmax row in
+// multiply-add-equivalent flops (exp dominates at ~15-20 simple ops).
+const softmaxFlopsPerCol = 16
+
+// softmaxRowsRange computes rows [lo, hi) of the (optionally block-masked)
+// row softmax.
+func softmaxRowsRange(dst, src *Matrix, block int, padMasks [][]bool, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var mask []bool
+		if padMasks != nil {
+			mask = padMasks[i/block]
+		}
+		if mask == nil {
+			softmaxRow(dst.Row(i), src.Row(i))
+			continue
+		}
+		maskedSoftmaxRow(dst.Row(i), src.Row(i), mask)
+	}
+}
+
+// maskedSoftmaxRow writes softmax(src) over columns with !mask[j] into
+// dst, zeroing masked columns exactly.
+func maskedSoftmaxRow(dst, src []float64, mask []bool) {
+	mx := math.Inf(-1)
+	for j, v := range src {
+		if !mask[j] && v > mx {
+			mx = v
+		}
+	}
+	var sum float64
+	for j, v := range src {
+		if mask[j] {
+			dst[j] = 0
+			continue
+		}
+		e := math.Exp(v - mx)
+		dst[j] = e
+		sum += e
+	}
+	if sum == 0 {
+		return
+	}
+	inv := 1 / sum
+	for j := range dst {
+		dst[j] *= inv
 	}
 }
 

@@ -1,0 +1,47 @@
+package tensor
+
+import (
+	"testing"
+
+	"clinfl/internal/sched"
+)
+
+// TestMatMulBitIdenticalAcrossPoolWidths pins the pooled kernel contract:
+// results (including the panel-packed path, whose parallel items are row
+// quads) must be byte-for-byte identical at every pool width, on shapes
+// both below and above the panel threshold.
+func TestMatMulBitIdenticalAcrossPoolWidths(t *testing.T) {
+	rng := NewRNG(11)
+	shapes := [][3]int{
+		{37, 64, 50},    // small: row-item dispatch, row kernel
+		{67, 512, 1024}, // k*n = 512K floats: panel threshold, quad dispatch
+	}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := rng.Normal(m, k, 0, 1)
+		b := rng.Normal(k, n, 0, 1)
+
+		run := func(width int) *Matrix {
+			pool := sched.New(width)
+			defer pool.Close()
+			defer sched.SetDefault(sched.SetDefault(pool))
+			out := New(m, n)
+			if err := MatMulInto(out, a, b); err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+
+		ref := run(1)
+		for _, width := range []int{2, 4} {
+			got := run(width)
+			rd, gd := ref.Data(), got.Data()
+			for i := range rd {
+				if rd[i] != gd[i] {
+					t.Fatalf("shape %v width %d: out[%d] = %x, serial %x",
+						sh, width, i, gd[i], rd[i])
+				}
+			}
+		}
+	}
+}

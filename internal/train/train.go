@@ -4,28 +4,37 @@
 // epoch orchestration.
 //
 // Parallelism model: model parameters are read-only during forward/backward
-// passes, so workers each run their sub-batch on a private autograd tape
-// and harvest gradients into worker-local buffers; the step then reduces
-// buffers into the shared accumulators and applies the optimizer once.
+// passes, so participants each run sub-batches on a private autograd tape
+// and harvest gradients into per-sub-batch buffers; the step then reduces
+// the buffers into the shared accumulators in sub-batch order and applies
+// the optimizer once. Sub-batches are drained from a shared queue by a
+// fork-join Fan on the process-wide sched pool: the stepping goroutine
+// always participates, and idle pool workers join opportunistically, so
+// concurrent trainers (federated clients in one round) share the machine
+// instead of each spawning their own worker set and oversubscribing it.
+// Because gradients are staged per sub-batch and reduced in a fixed
+// order, a step's arithmetic is bit-identical at every pool width — and,
+// when SubBatch is set explicitly, at every Workers count too.
 //
-// Allocation model: a Trainer owns all per-worker state — an arena-backed
-// context (tape + activation/gradient memory) and flat gradient buffers
-// keyed by parameter index — and recycles it across steps, so a
-// steady-state Step performs no per-batch allocation. The package-level
-// Step/Epoch helpers construct a throwaway Trainer; long-lived callers
-// (federated executors, pretraining loops) hold one Trainer per model.
+// Allocation model: a Trainer owns all per-participant state — arena-
+// backed contexts (tape + activation/gradient memory) and per-sub-batch
+// flat gradient buffers keyed by parameter index — and recycles it across
+// steps, so a steady-state Step performs no per-batch allocation. The
+// package-level Step/Epoch helpers construct a throwaway Trainer;
+// long-lived callers (federated executors, pretraining loops) hold one
+// Trainer per model.
 package train
 
 import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"clinfl/internal/autograd"
 	"clinfl/internal/nn"
 	"clinfl/internal/opt"
+	"clinfl/internal/sched"
 	"clinfl/internal/tensor"
 )
 
@@ -44,7 +53,12 @@ type Config struct {
 	// function at a time. Models with a batched forward path (BERT, LSTM)
 	// process each sub-batch as one flattened computation on one tape, so
 	// this bounds per-tape memory while keeping matmuls large. <=0 derives
-	// ceil(batch/Workers): one sub-batch per worker.
+	// ceil(batch/Workers): one sub-batch per worker. Gradients stage per
+	// sub-batch (the fixed reduce order that makes steps bit-identical at
+	// any pool width), so an explicitly small SubBatch also multiplies the
+	// staging footprint: ceil(batch/SubBatch) full parameter-sized buffer
+	// sets live for the Trainer's lifetime, versus Workers sets at the
+	// default.
 	SubBatch int
 	// ClipNorm caps the global gradient L2 norm (0 disables).
 	ClipNorm float64
@@ -76,12 +90,31 @@ type subResult struct {
 	err   error
 }
 
-// trainWorker is the reusable per-worker state: an arena-backed context and
-// gradient buffers keyed by parameter index.
+// trainWorker is the reusable per-participant state: an arena-backed
+// context whose tape and activation memory are recycled across steps.
 type trainWorker struct {
-	ctx     *nn.Ctx
+	ctx *nn.Ctx
+}
+
+// subSlot stages one sub-batch's gradients: flat buffers keyed by
+// parameter index plus touch marks. Staging per sub-batch (rather than
+// per worker) is what makes the reduce order — and therefore the step's
+// floating-point arithmetic — independent of which participant happened
+// to claim which sub-batch.
+type subSlot struct {
 	grads   []*tensor.Matrix
 	touched []bool
+}
+
+// clearTouched zeroes the buffers dirtied by the previous step and resets
+// the marks, leaving untouched (already zero) buffers alone.
+func (s *subSlot) clearTouched() {
+	for i, t := range s.touched {
+		if t {
+			s.grads[i].Zero()
+			s.touched[i] = false
+		}
+	}
 }
 
 // Trainer runs minibatch steps for one model, recycling all per-step state.
@@ -97,9 +130,11 @@ type Trainer[T any] struct {
 
 	index    map[*nn.Param]int
 	workers  []*trainWorker
+	subs     []*subSlot
 	results  []subResult
 	shuffled []T
 	epochRNG *tensor.RNG
+	fan      stepFan[T]
 	// proxRef holds the FedProx anchor weights by parameter index
 	// (nil entries until SetProxRef; buffers are recycled across rounds).
 	proxRef []*tensor.Matrix
@@ -146,35 +181,35 @@ func (tr *Trainer[T]) SetProxRef(weights map[string]*tensor.Matrix) error {
 	return nil
 }
 
-// worker returns worker w's state, building it on first use.
+// worker returns participant w's state, building it on first use.
 func (tr *Trainer[T]) worker(w int) *trainWorker {
 	ws := tr.workers[w]
 	if ws == nil {
-		ws = &trainWorker{
-			ctx:     nn.NewArenaCtx(true, tensor.NewRNG(0)),
-			grads:   make([]*tensor.Matrix, len(tr.params)),
-			touched: make([]bool, len(tr.params)),
-		}
-		for i, p := range tr.params {
-			ws.grads[i] = tensor.New(p.W.Rows(), p.W.Cols())
-		}
+		ws = &trainWorker{ctx: nn.NewArenaCtx(true, tensor.NewRNG(0))}
 		tr.workers[w] = ws
 	}
 	return ws
 }
 
-// clearTouched zeroes the gradient buffers dirtied by the previous step and
-// resets the touch marks, leaving untouched buffers (already zero) alone.
-func (ws *trainWorker) clearTouched() {
-	for i, t := range ws.touched {
-		if t {
-			ws.grads[i].Zero()
-			ws.touched[i] = false
+// sub returns sub-batch slot s's staging buffers, building them on first
+// use (the slot count follows the largest nSub a step has seen).
+func (tr *Trainer[T]) sub(s int) *subSlot {
+	sl := tr.subs[s]
+	if sl == nil {
+		sl = &subSlot{
+			grads:   make([]*tensor.Matrix, len(tr.params)),
+			touched: make([]bool, len(tr.params)),
 		}
+		for i, p := range tr.params {
+			sl.grads[i] = tensor.New(p.W.Rows(), p.W.Cols())
+		}
+		tr.subs[s] = sl
 	}
+	return sl
 }
 
-// runSub processes sub-batch s on worker ws: forward, backward, harvest.
+// runSub processes sub-batch s on worker ws: forward, backward, harvest
+// into the sub-batch's own staging slot.
 func (tr *Trainer[T]) runSub(ws *trainWorker, s, subBatch int, items []T, seed int64) {
 	lo := s * subBatch
 	hi := lo + subBatch
@@ -195,7 +230,8 @@ func (tr *Trainer[T]) runSub(ws *trainWorker, s, subBatch int, items []T, seed i
 		tr.results[s] = subResult{err: err}
 		return
 	}
-	if err := ws.ctx.HarvestGrads(tr.index, ws.grads, ws.touched); err != nil {
+	slot := tr.sub(s)
+	if err := ws.ctx.HarvestGrads(tr.index, slot.grads, slot.touched); err != nil {
 		tr.results[s] = subResult{err: err}
 		return
 	}
@@ -207,11 +243,15 @@ func (tr *Trainer[T]) runSub(ws *trainWorker, s, subBatch int, items []T, seed i
 // the sub-batch dropout streams.
 //
 // The minibatch is cut into contiguous sub-batches of cfg.SubBatch items;
-// workers pull sub-batches from a shared queue and run each on their
+// participants pull sub-batches from a shared queue and run each on their
 // recycled tape via lossFn, so a model with a batched forward path sees
-// whole sub-batches as single flattened computations. With one effective
-// worker the queue and goroutine spawn are skipped entirely and the step
-// runs inline, allocation-free in steady state.
+// whole sub-batches as single flattened computations. The queue is drained
+// by a Fan on the shared sched pool: the caller always participates, and
+// up to Workers-1 idle pool workers join. With one effective worker the
+// fork is skipped entirely and the step runs inline, allocation-free in
+// steady state. Gradients stage per sub-batch and reduce in sub-batch
+// order, so the update is bit-identical regardless of how many pool
+// workers actually showed up.
 func (tr *Trainer[T]) Step(items []T, seed int64) (float64, error) {
 	if len(items) == 0 {
 		return 0, errors.New("train: empty batch")
@@ -236,8 +276,15 @@ func (tr *Trainer[T]) Step(items []T, seed int64) (float64, error) {
 	for i := range tr.results {
 		tr.results[i] = subResult{}
 	}
-	for w := 0; w < workers; w++ {
-		tr.worker(w).clearTouched()
+	if len(tr.subs) < nSub {
+		grown := make([]*subSlot, nSub)
+		copy(grown, tr.subs)
+		tr.subs = grown
+	}
+	for _, sl := range tr.subs {
+		if sl != nil {
+			sl.clearTouched()
+		}
 	}
 
 	if workers == 1 {
@@ -249,8 +296,8 @@ func (tr *Trainer[T]) Step(items []T, seed int64) (float64, error) {
 			}
 		}
 	} else {
-		// In its own method so the escaping queue counter and WaitGroup
-		// aren't heap-allocated on the single-worker inline path.
+		// In its own method so the fan state never escapes to the heap on
+		// the single-worker inline path.
 		tr.stepParallel(workers, nSub, subBatch, items, seed)
 	}
 
@@ -267,16 +314,20 @@ func (tr *Trainer[T]) Step(items []T, seed int64) (float64, error) {
 		return 0, errors.New("train: batch contributed no loss units")
 	}
 
-	// Reduce worker gradients into the shared accumulators, normalizing to
-	// a mean over loss units.
+	// Reduce staged gradients into the shared accumulators in sub-batch
+	// order (fixed regardless of scheduling), normalizing to a mean over
+	// loss units.
 	inv := 1 / float64(totalCount)
-	for w := 0; w < workers; w++ {
-		ws := tr.workers[w]
-		for i, t := range ws.touched {
+	for s := 0; s < nSub; s++ {
+		sl := tr.subs[s]
+		if sl == nil {
+			continue
+		}
+		for i, t := range sl.touched {
 			if !t {
 				continue
 			}
-			if err := tr.params[i].Grad.AddScaledInPlace(inv, ws.grads[i]); err != nil {
+			if err := tr.params[i].Grad.AddScaledInPlace(inv, sl.grads[i]); err != nil {
 				return 0, fmt.Errorf("train: reduce %q: %w", tr.params[i].Name, err)
 			}
 		}
@@ -301,28 +352,50 @@ func (tr *Trainer[T]) Step(items []T, seed int64) (float64, error) {
 	return totalLoss / float64(totalCount), nil
 }
 
-// stepParallel fans the sub-batch queue out across workers goroutines.
-func (tr *Trainer[T]) stepParallel(workers, nSub, subBatch int, items []T, seed int64) {
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		ws := tr.worker(w)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				s := int(next.Add(1)) - 1
-				if s >= nSub {
-					return
-				}
-				tr.runSub(ws, s, subBatch, items, seed)
-				if tr.results[s].err != nil {
-					return
-				}
-			}
-		}()
+// stepFan drains the sub-batch queue from Fan slots. It lives on the
+// Trainer (not the stack) so forking a step allocates nothing; each slot
+// lazily owns one trainWorker, so participants never share a tape.
+type stepFan[T any] struct {
+	tr       *Trainer[T]
+	items    []T
+	subBatch int
+	nSub     int
+	seed     int64
+	next     atomic.Int64
+	failed   atomic.Bool
+}
+
+// RunSlot implements sched.SlotRunner: claim sub-batches until the queue
+// (or the step, on error) is exhausted.
+func (f *stepFan[T]) RunSlot(slot int) {
+	for !f.failed.Load() {
+		s := int(f.next.Add(1)) - 1
+		if s >= f.nSub {
+			return
+		}
+		f.tr.runSub(f.tr.worker(slot), s, f.subBatch, f.items, f.seed)
+		if f.tr.results[s].err != nil {
+			f.failed.Store(true)
+			return
+		}
 	}
-	wg.Wait()
+}
+
+// stepParallel fans the sub-batch queue across the shared pool: the
+// stepping goroutine drains as slot 0 and up to workers-1 idle pool
+// workers join. When every pool worker is busy (other federated clients
+// training), the step simply runs on its caller — concurrency across
+// clients is arbitrated by the one pool rather than stacking goroutines.
+func (tr *Trainer[T]) stepParallel(workers, nSub, subBatch int, items []T, seed int64) {
+	tr.fan.tr = tr
+	tr.fan.items = items
+	tr.fan.subBatch = subBatch
+	tr.fan.nSub = nSub
+	tr.fan.seed = seed
+	tr.fan.next.Store(0)
+	tr.fan.failed.Store(false)
+	sched.Default().Fan(workers, &tr.fan)
+	tr.fan.items = nil
 }
 
 // Epoch shuffles items (seeded by seed) and runs Step over consecutive

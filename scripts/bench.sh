@@ -1,50 +1,46 @@
 #!/usr/bin/env sh
 # Runs the Table II / Table III scoreboard benchmarks with -benchmem and
-# records ns/op, B/op and allocs/op as BENCH_arena.json at the repo root,
-# so both the speed and the allocation discipline of the training hot path
-# are tracked PR over PR. BENCH_batched.json (the PR 1 scoreboard) is kept
-# frozen as the previous reference point.
+# records ns/op, B/op and allocs/op as BENCH_parallel.json at the repo
+# root, so both the speed and the allocation discipline of the training
+# hot path are tracked PR over PR. A second pass sweeps -cpu 1,2,4 into a
+# "cpu_scaling" block (keys keep the go-test -N suffix) so the fork-join
+# runtime's scaling is measured, not assumed. BENCH_batched.json (PR 1)
+# and BENCH_arena.json (PR 2) are kept frozen as previous reference
+# points.
 #
-# Usage: scripts/bench.sh [benchtime]   (default 3x)
+# Usage: scripts/bench.sh [benchtime] [cpus]   (default 3x and 1,2,4)
 set -eu
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-3x}"
-OUT="BENCH_arena.json"
+CPUS="${2:-1,2,4}"
+OUT="BENCH_parallel.json"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+RAWCPU="$(mktemp)"
+trap 'rm -f "$RAW" "$RAWCPU"' EXIT
 
+# Pass 1: the scoreboard at the machine's default GOMAXPROCS (the numbers
+# CI gates on, comparable to previous scoreboards).
 go test -run '^$' \
   -bench 'BenchmarkTable2_ForwardBERT|BenchmarkTable3_FLRoundBERT' \
   -benchmem -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
 
-{
-  printf '{\n'
-  printf '  "generated_by": "scripts/bench.sh",\n'
-  printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
-  printf '  "benchtime": "%s",\n' "$BENCHTIME"
-  printf '  "cpu": "%s",\n' "$(grep -m1 '^cpu:' "$RAW" | cut -d: -f2- | sed 's/^ *//')"
-  # Pre-batching seed measurement (per-sequence BERT path, scalar matmul
-  # kernels), taken on the reference single-core Xeon 2.10GHz box; kept here
-  # so every regeneration of the JSON preserves the original baseline.
-  printf '  "seed_baseline_ns_per_op": {\n'
-  printf '    "BenchmarkTable2_ForwardBERTMini": 60791589,\n'
-  printf '    "BenchmarkTable2_ForwardBERT": 622974650,\n'
-  printf '    "BenchmarkTable3_FLRoundBERTMini": 864552461,\n'
-  printf '    "BenchmarkTable3_FLRoundBERT": 6958233067\n'
-  printf '  },\n'
-  # PR 1 (batched path, pre-arena) reference on the same box, including the
-  # allocation profile the arena work is measured against; see
-  # BENCH_batched.json for the full PR 1 scoreboard.
-  printf '  "pr1_batched_baseline": {\n'
-  printf '    "BenchmarkTable2_ForwardBERT": {"ns_per_op": 389830663, "bytes_per_op": 189959456, "allocs_per_op": 4443},\n'
-  printf '    "BenchmarkTable3_FLRoundBERT": {"ns_per_op": 3571771922, "bytes_per_op": 1714803997, "allocs_per_op": 43272}\n'
-  printf '  },\n'
-  printf '  "results": {\n'
-  grep '^Benchmark' "$RAW" | awk '
+# Pass 2: CPU scaling of the two headline benchmarks. The shared sched
+# pool resizes with GOMAXPROCS, so each -cpu value exercises the pool at
+# that width.
+go test -run '^$' \
+  -bench 'BenchmarkTable2_ForwardBERT$|BenchmarkTable3_FLRoundBERT$' \
+  -benchmem -benchtime "$BENCHTIME" -cpu "$CPUS" -count 1 . | tee "$RAWCPU"
+
+# results_json <file> <strip> emits one "name": {...} line per benchmark;
+# strip=1 removes go test's -N GOMAXPROCS suffix (default pass), strip=0
+# keeps it (cpu-scaling pass, where the suffix is the datum).
+results_json() {
+    grep '^Benchmark' "$1" | awk -v strip="$2" '
     {
       gsub(/[ \t]+/, " ")
-      n = $1; sub(/-[0-9]+$/, "", n)
+      n = $1
+      if (strip) sub(/-[0-9]+$/, "", n)
       ns = $3
       bytes = "null"; allocs = "null"
       for (i = 4; i <= NF; i++) {
@@ -56,6 +52,44 @@ go test -run '^$' \
     END {
       for (i = 1; i <= cnt; i++) printf "%s%s\n", lines[i], (i < cnt ? "," : "")
     }'
+}
+
+{
+  printf '{\n'
+  printf '  "generated_by": "scripts/bench.sh",\n'
+  printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "benchtime": "%s",\n' "$BENCHTIME"
+  printf '  "cpu": "%s",\n' "$(grep -m1 '^cpu:' "$RAW" | cut -d: -f2- | sed 's/^ *//')"
+  printf '  "num_cpu": %s,\n' "$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+  # go test suffixes each benchmark with -GOMAXPROCS; read it back from
+  # the default pass so the JSON records the width the scoreboard ran at.
+  printf '  "gomaxprocs": %s,\n' "$(grep -m1 '^Benchmark' "$RAW" | awk '{n=$1; if (match(n, /-[0-9]+$/)) print substr(n, RSTART+1); else print 1}')"
+  printf '  "cpu_matrix": "%s",\n' "$CPUS"
+  # Pre-batching seed measurement (per-sequence BERT path, scalar matmul
+  # kernels), taken on the reference single-core Xeon 2.10GHz box; kept
+  # here so every regeneration of the JSON preserves the original
+  # baseline.
+  printf '  "seed_baseline_ns_per_op": {\n'
+  printf '    "BenchmarkTable2_ForwardBERTMini": 60791589,\n'
+  printf '    "BenchmarkTable2_ForwardBERT": 622974650,\n'
+  printf '    "BenchmarkTable3_FLRoundBERTMini": 864552461,\n'
+  printf '    "BenchmarkTable3_FLRoundBERT": 6958233067\n'
+  printf '  },\n'
+  # PR 1 (batched path) and PR 2 (arena path) references on the same box;
+  # see BENCH_batched.json / BENCH_arena.json for the full scoreboards.
+  printf '  "pr1_batched_baseline": {\n'
+  printf '    "BenchmarkTable2_ForwardBERT": {"ns_per_op": 389830663, "bytes_per_op": 189959456, "allocs_per_op": 4443},\n'
+  printf '    "BenchmarkTable3_FLRoundBERT": {"ns_per_op": 3571771922, "bytes_per_op": 1714803997, "allocs_per_op": 43272}\n'
+  printf '  },\n'
+  printf '  "pr2_arena_baseline": {\n'
+  printf '    "BenchmarkTable2_ForwardBERT": {"ns_per_op": 319339288, "bytes_per_op": 24621, "allocs_per_op": 246},\n'
+  printf '    "BenchmarkTable3_FLRoundBERT": {"ns_per_op": 2430453728, "bytes_per_op": 140832424, "allocs_per_op": 5688}\n'
+  printf '  },\n'
+  printf '  "results": {\n'
+  results_json "$RAW" 1
+  printf '  },\n'
+  printf '  "cpu_scaling": {\n'
+  results_json "$RAWCPU" 0
   printf '  }\n'
   printf '}\n'
 } > "$OUT"
