@@ -9,7 +9,7 @@ import (
 )
 
 func TestRegistryContainsAllArtifacts(t *testing.T) {
-	want := []string{"fig2", "fig3", "stragglers", "sweep", "table1", "table2", "table3"}
+	want := []string{"fig2", "fig3", "scale", "stragglers", "sweep", "table1", "table2", "table3"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("experiments %v, want %v", got, want)
@@ -103,6 +103,21 @@ func TestFig2SchemesMatchPaper(t *testing.T) {
 	for _, want := range []string{"centralized", "small-dataset", "fl-imbalanced", "fl-balanced"} {
 		if !names[want] {
 			t.Fatalf("fig2 missing scheme %q", want)
+		}
+	}
+}
+
+// TestScaleSimExperiment runs the simulator experiment at a heavy
+// scale-down and checks it proves its own determinism.
+func TestScaleSimExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := (ScaleSim{}).Run(context.Background(), &sb, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, needle := range []string{"DETERMINISTIC FEDERATION", "holdout MSE", "deterministic replay", "true"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("scale output missing %q:\n%s", needle, out)
 		}
 	}
 }

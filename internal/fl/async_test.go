@@ -1,13 +1,17 @@
 package fl
 
+// Timing-free controller tests for sampling, quorum interplay, failure
+// records and codec simulation. The straggler/deadline scenarios that used
+// to live here on real goroutine sleeps — flaky whenever CI stalled — now
+// run deterministically on the simulator's virtual clock in
+// async_virtual_test.go, and as conformance invariants for every
+// deployment shape in internal/fl/fltest.
+
 import (
 	"context"
-	"errors"
 	"strings"
 	"testing"
 	"time"
-
-	"clinfl/internal/tensor"
 )
 
 // fourClients builds 3 fast fakes plus one straggler delayed by delay.
@@ -17,55 +21,6 @@ func fourClients(delay time.Duration) []Executor {
 		&fakeExecutor{name: "b", samples: 10, value: 1},
 		&fakeExecutor{name: "c", samples: 10, value: 1},
 		&fakeExecutor{name: "slow", samples: 10, value: 9, delay: delay},
-	}
-}
-
-// The acceptance scenario: 1 of 4 clients delayed beyond RoundDeadline;
-// the federation must complete every round without blocking on it and
-// record per-round participation in the Result.
-func TestControllerAsyncRoundsDoNotBlockOnStraggler(t *testing.T) {
-	execs := fourClients(5 * time.Second)
-	ctrl, err := NewController(ControllerConfig{
-		Rounds:        3,
-		MinClients:    1,
-		MinUpdates:    3,
-		RoundDeadline: 300 * time.Millisecond,
-	}, execs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	start := time.Now()
-	res, err := ctrl.Run(context.Background(), initialWeights())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if elapsed := time.Since(start); elapsed > 2*time.Second {
-		t.Fatalf("async run blocked on straggler: took %v", elapsed)
-	}
-	if len(res.History.Rounds) != 3 {
-		t.Fatalf("completed %d rounds, want 3", len(res.History.Rounds))
-	}
-	for i, rec := range res.History.Rounds {
-		if len(rec.Participants) != 3 {
-			t.Fatalf("round %d aggregated %d participants (%v), want 3",
-				i, len(rec.Participants), rec.Participants)
-		}
-		for _, p := range rec.Participants {
-			if p == "slow" {
-				t.Fatalf("round %d straggler recorded as participant", i)
-			}
-		}
-	}
-	// Round 0 sampled everyone; later rounds exclude the in-flight straggler.
-	if len(res.History.Rounds[0].Sampled) != 4 {
-		t.Fatalf("round 0 sampled %v, want all 4", res.History.Rounds[0].Sampled)
-	}
-	if len(res.History.Rounds[1].Sampled) != 3 {
-		t.Fatalf("round 1 sampled %v, want 3 (straggler in flight)", res.History.Rounds[1].Sampled)
-	}
-	// The straggler never aggregated, so the global stays at the fast value.
-	if got := res.FinalWeights["layer.w"].At(0, 0); got != 1 {
-		t.Fatalf("final weight %v, want 1", got)
 	}
 }
 
@@ -95,210 +50,6 @@ func TestControllerSamplingSubsetPerRound(t *testing.T) {
 	}
 	if len(seen) < 3 {
 		t.Fatalf("sampling never rotated: only %v tasked over 4 rounds", seen)
-	}
-}
-
-// lateUpdateScenario runs 2 rounds where the straggler's round-0 update
-// arrives while round 1 is gathering.
-func lateUpdateScenario(t *testing.T, async AsyncAggregator) *Result {
-	t.Helper()
-	execs := []Executor{
-		&fakeExecutor{name: "a", samples: 10, value: 1, delay: 400 * time.Millisecond},
-		&fakeExecutor{name: "b", samples: 10, value: 1, delay: 400 * time.Millisecond},
-		&fakeExecutor{name: "c", samples: 10, value: 1, delay: 400 * time.Millisecond},
-		&fakeExecutor{name: "slow", samples: 10, value: 9, delay: 600 * time.Millisecond},
-	}
-	ctrl, err := NewController(ControllerConfig{
-		Rounds:          2,
-		MinClients:      1,
-		MinUpdates:      3,
-		RoundDeadline:   5 * time.Second,
-		AsyncAggregator: async,
-	}, execs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := ctrl.Run(context.Background(), initialWeights())
-	if err != nil {
-		t.Fatal(err)
-	}
-	return res
-}
-
-func TestControllerDropsLateUpdatesByDefault(t *testing.T) {
-	// Round 0 aggregates the three 400ms clients at ~400ms (MinUpdates=3);
-	// the straggler's round-0 update lands at ~600ms, mid round 1.
-	res := lateUpdateScenario(t, nil)
-	var dropped []string
-	for _, rec := range res.History.Rounds {
-		dropped = append(dropped, rec.LateDropped...)
-		if len(rec.LateApplied) != 0 {
-			t.Fatalf("no async aggregator, yet late update applied: %+v", rec)
-		}
-	}
-	if len(dropped) != 1 || dropped[0] != "slow" {
-		t.Fatalf("late drops %v, want [slow]", dropped)
-	}
-	if got := res.FinalWeights["layer.w"].At(0, 0); got != 1 {
-		t.Fatalf("dropped straggler leaked into the model: %v", got)
-	}
-}
-
-func TestControllerFedAsyncFoldsLateUpdates(t *testing.T) {
-	res := lateUpdateScenario(t, FedAsync{Alpha: 0.5})
-	var applied []string
-	for _, rec := range res.History.Rounds {
-		applied = append(applied, rec.LateApplied...)
-	}
-	if len(applied) != 1 || applied[0] != "slow" {
-		t.Fatalf("late applies %v, want [slow]", applied)
-	}
-	// Round 1 aggregate of fast clients = 1; then the staleness-1 merge:
-	// a = 0.5/(1+1) = 0.25 -> 0.75*1 + 0.25*9 = 3.
-	if got := res.FinalWeights["layer.w"].At(0, 0); got != 3 {
-		t.Fatalf("fedasync final weight %v, want 3", got)
-	}
-}
-
-// recordingFilter logs every update the filter chain sees.
-type recordingFilter struct{ seen []string }
-
-func (f *recordingFilter) Name() string { return "recording" }
-func (f *recordingFilter) Apply(u *ClientUpdate, _ map[string]*tensor.Matrix) error {
-	f.seen = append(f.seen, u.ClientName)
-	return nil
-}
-
-// Privacy filters must see every update that reaches the global model —
-// including stragglers' late updates merged via the AsyncAggregator, which
-// would otherwise carry raw unclipped/unnoised weights past the chain.
-func TestControllerFiltersRunOnLateUpdates(t *testing.T) {
-	flt := &recordingFilter{}
-	execs := []Executor{
-		&fakeExecutor{name: "a", samples: 10, value: 1, delay: 400 * time.Millisecond},
-		&fakeExecutor{name: "b", samples: 10, value: 1, delay: 400 * time.Millisecond},
-		&fakeExecutor{name: "c", samples: 10, value: 1, delay: 400 * time.Millisecond},
-		&fakeExecutor{name: "slow", samples: 10, value: 9, delay: 600 * time.Millisecond},
-	}
-	ctrl, err := NewController(ControllerConfig{
-		Rounds:          2,
-		MinClients:      1,
-		MinUpdates:      3,
-		RoundDeadline:   5 * time.Second,
-		AsyncAggregator: FedAsync{Alpha: 0.5},
-		Filters:         []Filter{flt},
-	}, execs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := ctrl.Run(context.Background(), initialWeights())
-	if err != nil {
-		t.Fatal(err)
-	}
-	var applied []string
-	for _, rec := range res.History.Rounds {
-		applied = append(applied, rec.LateApplied...)
-	}
-	if len(applied) != 1 || applied[0] != "slow" {
-		t.Fatalf("late applies %v, want [slow]", applied)
-	}
-	slowSeen := 0
-	for _, name := range flt.seen {
-		if name == "slow" {
-			slowSeen++
-		}
-	}
-	if slowSeen != 1 {
-		t.Fatalf("filter chain saw the straggler's late update %d times (chain: %v), want 1",
-			slowSeen, flt.seen)
-	}
-}
-
-// vetoFilter rejects one client's updates.
-type vetoFilter struct{ client string }
-
-func (f vetoFilter) Name() string { return "veto" }
-func (f vetoFilter) Apply(u *ClientUpdate, _ map[string]*tensor.Matrix) error {
-	if u.ClientName == f.client {
-		return errors.New("vetoed")
-	}
-	return nil
-}
-
-// A late update that fails the filter chain must be recorded as that
-// client's failure and skipped — not abort the whole federation run.
-func TestControllerBadLateUpdateDoesNotAbortRun(t *testing.T) {
-	execs := []Executor{
-		&fakeExecutor{name: "a", samples: 10, value: 1, delay: 400 * time.Millisecond},
-		&fakeExecutor{name: "b", samples: 10, value: 1, delay: 400 * time.Millisecond},
-		&fakeExecutor{name: "c", samples: 10, value: 1, delay: 400 * time.Millisecond},
-		&fakeExecutor{name: "slow", samples: 10, value: 9, delay: 600 * time.Millisecond},
-	}
-	ctrl, err := NewController(ControllerConfig{
-		Rounds:          2,
-		MinClients:      1,
-		MinUpdates:      3,
-		RoundDeadline:   5 * time.Second,
-		AsyncAggregator: FedAsync{Alpha: 0.5},
-		Filters:         []Filter{vetoFilter{client: "slow"}},
-	}, execs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := ctrl.Run(context.Background(), initialWeights())
-	if err != nil {
-		t.Fatalf("one bad late update aborted the run: %v", err)
-	}
-	var failures, applied []string
-	for _, rec := range res.History.Rounds {
-		failures = append(failures, rec.Failures...)
-		applied = append(applied, rec.LateApplied...)
-	}
-	if len(applied) != 0 {
-		t.Fatalf("vetoed late update still applied: %v", applied)
-	}
-	found := false
-	for _, f := range failures {
-		if strings.HasPrefix(f, "slow:") {
-			found = true
-		}
-	}
-	if !found {
-		t.Fatalf("vetoed late update missing from failures: %v", failures)
-	}
-	if got := res.FinalWeights["layer.w"].At(0, 0); got != 1 {
-		t.Fatalf("vetoed straggler leaked into the model: %v", got)
-	}
-}
-
-func TestControllerDeadlinePartialAggregationQuorum(t *testing.T) {
-	// Without MinUpdates the deadline alone triggers partial aggregation,
-	// and MinClients still guards against aggregating too few.
-	execs := fourClients(2 * time.Second)
-	ctrl, err := NewController(ControllerConfig{
-		Rounds: 1, MinClients: 4, RoundDeadline: 200 * time.Millisecond,
-	}, execs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := ctrl.Run(context.Background(), initialWeights()); err == nil ||
-		!strings.Contains(err.Error(), "quorum") {
-		t.Fatalf("want quorum error with MinClients=4, got %v", err)
-	}
-
-	execs = fourClients(2 * time.Second)
-	ctrl, err = NewController(ControllerConfig{
-		Rounds: 1, MinClients: 3, RoundDeadline: 200 * time.Millisecond,
-	}, execs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := ctrl.Run(context.Background(), initialWeights())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(res.History.Rounds[0].Participants) != 3 {
-		t.Fatalf("participants %v, want 3", res.History.Rounds[0].Participants)
 	}
 }
 
@@ -339,6 +90,32 @@ func TestControllerRecordsFailuresInResult(t *testing.T) {
 	failures := res.History.Rounds[0].Failures
 	if len(failures) != 1 || !strings.Contains(failures[0], "broken") {
 		t.Fatalf("failures %v, want broken client recorded", failures)
+	}
+}
+
+// TestControllerAggregationOrderIsCanonical pins the determinism contract
+// finalizeRound provides: participants (and so the FedAvg accumulation
+// order) are sorted by client name regardless of arrival order.
+func TestControllerAggregationOrderIsCanonical(t *testing.T) {
+	execs := []Executor{
+		&fakeExecutor{name: "zeta", samples: 10, value: 1},
+		&fakeExecutor{name: "alpha", samples: 20, value: 2, delay: 30 * time.Millisecond},
+		&fakeExecutor{name: "mid", samples: 30, value: 3, delay: 10 * time.Millisecond},
+	}
+	ctrl, err := NewController(ControllerConfig{Rounds: 1}, execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.Run(context.Background(), initialWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.History.Rounds[0].Participants
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("participants %v, want canonical order %v", got, want)
+		}
 	}
 }
 

@@ -1,0 +1,354 @@
+package fl_test
+
+// Virtual-clock rewrites of the controller's straggler/deadline tests.
+// The originals in async_test.go drove real goroutine sleeps against real
+// timers — hundreds of milliseconds per test and flaky the moment CI
+// stalls at the wrong instant. Here the same scenarios run on
+// sim.NewVirtualClock: delays are virtual (the suite finishes in
+// microseconds), deadline outcomes are deterministic, and the assertions
+// can therefore be exact instead of margin-padded. This file lives in
+// package fl_test because sim imports fl.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"clinfl/internal/fl"
+	"clinfl/internal/sim"
+	"clinfl/internal/tensor"
+)
+
+// vexec is the canned virtual-delay executor.
+type vexec struct {
+	name    string
+	samples int
+	value   float64
+	delay   time.Duration
+	fail    bool
+	clock   fl.Clock
+}
+
+func (e *vexec) Name() string    { return e.name }
+func (e *vexec) NumSamples() int { return e.samples }
+
+func (e *vexec) ExecuteRound(round int, global map[string]*tensor.Matrix) (*fl.ClientUpdate, error) {
+	if e.delay > 0 {
+		e.clock.Sleep(e.delay)
+	}
+	if e.fail {
+		return nil, errors.New("injected failure")
+	}
+	weights := make(map[string]*tensor.Matrix, len(global))
+	for name, m := range global {
+		w := tensor.New(m.Rows(), m.Cols())
+		w.Fill(e.value)
+		weights[name] = w
+	}
+	return &fl.ClientUpdate{
+		ClientName: e.name, Round: round, Weights: weights,
+		NumSamples: e.samples, TrainLoss: 1,
+	}, nil
+}
+
+func vinitial() map[string]*tensor.Matrix {
+	return map[string]*tensor.Matrix{
+		"layer.w": tensor.New(2, 3),
+		"layer.b": tensor.New(1, 3),
+	}
+}
+
+// runVirtual builds a controller over the executors (wiring the clock into
+// each vexec), runs it, and drains straggler actors.
+func runVirtual(t *testing.T, cfg fl.ControllerConfig, execs []*vexec) (*fl.Result, error) {
+	t.Helper()
+	clock := sim.NewVirtualClock()
+	cfg.Clock = clock
+	els := make([]fl.Executor, len(execs))
+	for i, e := range execs {
+		e.clock = clock
+		els[i] = e
+	}
+	ctrl, err := fl.NewController(cfg, els)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.Run(context.Background(), vinitial())
+	clock.Drain()
+	return res, err
+}
+
+// vfour is the canonical roster: 3 fast clients plus one straggler.
+func vfour(delay time.Duration) []*vexec {
+	return []*vexec{
+		{name: "a", samples: 10, value: 1},
+		{name: "b", samples: 10, value: 1},
+		{name: "c", samples: 10, value: 1},
+		{name: "slow", samples: 10, value: 9, delay: delay},
+	}
+}
+
+// The acceptance scenario, deterministic: 1 of 4 clients delayed 5s
+// (virtual) beyond a 300ms round deadline; every round completes without
+// it, instantly in real time.
+func TestVirtualAsyncRoundsDoNotBlockOnStraggler(t *testing.T) {
+	start := time.Now()
+	res, err := runVirtual(t, fl.ControllerConfig{
+		Rounds:        3,
+		MinClients:    1,
+		MinUpdates:    3,
+		RoundDeadline: 300 * time.Millisecond,
+	}, vfour(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("virtual run consumed %v real time", elapsed)
+	}
+	if len(res.History.Rounds) != 3 {
+		t.Fatalf("completed %d rounds, want 3", len(res.History.Rounds))
+	}
+	for i, rec := range res.History.Rounds {
+		if len(rec.Participants) != 3 {
+			t.Fatalf("round %d aggregated %v, want the 3 fast clients", i, rec.Participants)
+		}
+		for _, p := range rec.Participants {
+			if p == "slow" {
+				t.Fatalf("round %d straggler recorded as participant", i)
+			}
+		}
+	}
+	if len(res.History.Rounds[0].Sampled) != 4 {
+		t.Fatalf("round 0 sampled %v, want all 4", res.History.Rounds[0].Sampled)
+	}
+	if len(res.History.Rounds[1].Sampled) != 3 {
+		t.Fatalf("round 1 sampled %v, want 3 (straggler in flight)", res.History.Rounds[1].Sampled)
+	}
+	if got := res.FinalWeights["layer.w"].At(0, 0); got != 1 {
+		t.Fatalf("final weight %v, want 1", got)
+	}
+	// Virtual round durations are exact: each round ends at MinUpdates (no
+	// fast-client delay) except none run past the deadline.
+	for i, rec := range res.History.Rounds {
+		if rec.Duration > 300*time.Millisecond {
+			t.Fatalf("round %d virtual duration %v exceeded the deadline", i, rec.Duration)
+		}
+	}
+}
+
+// lateVirtualScenario: the straggler's round-0 update arrives during round
+// 1's gather — exactly, every run.
+func lateVirtualScenario(t *testing.T, async fl.AsyncAggregator, filters []fl.Filter) (*fl.Result, error) {
+	execs := []*vexec{
+		{name: "a", samples: 10, value: 1, delay: 400 * time.Millisecond},
+		{name: "b", samples: 10, value: 1, delay: 400 * time.Millisecond},
+		{name: "c", samples: 10, value: 1, delay: 400 * time.Millisecond},
+		{name: "slow", samples: 10, value: 9, delay: 600 * time.Millisecond},
+	}
+	return runVirtual(t, fl.ControllerConfig{
+		Rounds:          2,
+		MinClients:      1,
+		MinUpdates:      3,
+		RoundDeadline:   5 * time.Second,
+		AsyncAggregator: async,
+		Filters:         filters,
+	}, execs)
+}
+
+func TestVirtualLateUpdatesDroppedByDefault(t *testing.T) {
+	res, err := lateVirtualScenario(t, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dropped []string
+	for _, rec := range res.History.Rounds {
+		dropped = append(dropped, rec.LateDropped...)
+		if len(rec.LateApplied) != 0 {
+			t.Fatalf("no async aggregator, yet late update applied: %+v", rec)
+		}
+	}
+	if len(dropped) != 1 || dropped[0] != "slow" {
+		t.Fatalf("late drops %v, want [slow]", dropped)
+	}
+	if got := res.FinalWeights["layer.w"].At(0, 0); got != 1 {
+		t.Fatalf("dropped straggler leaked into the model: %v", got)
+	}
+}
+
+func TestVirtualFedAsyncFoldsLateUpdates(t *testing.T) {
+	res, err := lateVirtualScenario(t, fl.FedAsync{Alpha: 0.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var applied []string
+	for _, rec := range res.History.Rounds {
+		applied = append(applied, rec.LateApplied...)
+	}
+	if len(applied) != 1 || applied[0] != "slow" {
+		t.Fatalf("late applies %v, want [slow]", applied)
+	}
+	// Round 1 aggregate of fast clients = 1; staleness-1 merge:
+	// a = 0.5/(1+1) = 0.25 -> 0.75*1 + 0.25*9 = 3. Exact, every run.
+	if got := res.FinalWeights["layer.w"].At(0, 0); got != 3 {
+		t.Fatalf("fedasync final weight %v, want exactly 3", got)
+	}
+}
+
+// recordingFilter logs every update the filter chain sees.
+type recordingFilter struct{ seen []string }
+
+func (f *recordingFilter) Name() string { return "recording" }
+func (f *recordingFilter) Apply(u *fl.ClientUpdate, _ map[string]*tensor.Matrix) error {
+	f.seen = append(f.seen, u.ClientName)
+	return nil
+}
+
+func TestVirtualFiltersRunOnLateUpdates(t *testing.T) {
+	flt := &recordingFilter{}
+	res, err := lateVirtualScenario(t, fl.FedAsync{Alpha: 0.5}, []fl.Filter{flt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var applied []string
+	for _, rec := range res.History.Rounds {
+		applied = append(applied, rec.LateApplied...)
+	}
+	if len(applied) != 1 || applied[0] != "slow" {
+		t.Fatalf("late applies %v, want [slow]", applied)
+	}
+	slowSeen := 0
+	for _, name := range flt.seen {
+		if name == "slow" {
+			slowSeen++
+		}
+	}
+	if slowSeen != 1 {
+		t.Fatalf("filter chain saw the late update %d times (chain: %v), want 1", slowSeen, flt.seen)
+	}
+}
+
+// vetoFilter rejects one client's updates.
+type vetoFilter struct{ client string }
+
+func (f vetoFilter) Name() string { return "veto" }
+func (f vetoFilter) Apply(u *fl.ClientUpdate, _ map[string]*tensor.Matrix) error {
+	if u.ClientName == f.client {
+		return errors.New("vetoed")
+	}
+	return nil
+}
+
+func TestVirtualBadLateUpdateDoesNotAbortRun(t *testing.T) {
+	res, err := lateVirtualScenario(t, fl.FedAsync{Alpha: 0.5}, []fl.Filter{vetoFilter{client: "slow"}})
+	if err != nil {
+		t.Fatalf("one bad late update aborted the run: %v", err)
+	}
+	var failures, applied []string
+	for _, rec := range res.History.Rounds {
+		failures = append(failures, rec.Failures...)
+		applied = append(applied, rec.LateApplied...)
+	}
+	if len(applied) != 0 {
+		t.Fatalf("vetoed late update still applied: %v", applied)
+	}
+	found := false
+	for _, f := range failures {
+		if strings.HasPrefix(f, "slow:") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("vetoed late update missing from failures: %v", failures)
+	}
+	if got := res.FinalWeights["layer.w"].At(0, 0); got != 1 {
+		t.Fatalf("vetoed straggler leaked into the model: %v", got)
+	}
+}
+
+func TestVirtualDeadlinePartialAggregationQuorum(t *testing.T) {
+	// Quorum above what the deadline leaves standing: the run must error.
+	_, err := runVirtual(t, fl.ControllerConfig{
+		Rounds: 1, MinClients: 4, RoundDeadline: 200 * time.Millisecond,
+	}, vfour(2*time.Second))
+	if err == nil || !strings.Contains(err.Error(), "quorum") {
+		t.Fatalf("want quorum error with MinClients=4, got %v", err)
+	}
+
+	// Quorum the deadline can satisfy: partial aggregation proceeds.
+	res, err := runVirtual(t, fl.ControllerConfig{
+		Rounds: 1, MinClients: 3, RoundDeadline: 200 * time.Millisecond,
+	}, vfour(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History.Rounds[0].Participants) != 3 {
+		t.Fatalf("participants %v, want 3", res.History.Rounds[0].Participants)
+	}
+}
+
+func TestVirtualStragglerLegacyTimeout(t *testing.T) {
+	// RoundTimeout is the legacy alias of RoundDeadline; under the virtual
+	// clock a 2s straggler against a 200ms timeout costs no real time.
+	res, err := runVirtual(t, fl.ControllerConfig{
+		Rounds: 1, MinClients: 1, RoundTimeout: 200 * time.Millisecond,
+	}, []*vexec{
+		{name: "fast", samples: 1, value: 1},
+		{name: "slow", samples: 1, value: 9, delay: 2 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.FinalWeights["layer.w"].At(0, 0); got != 1 {
+		t.Fatalf("straggler's update should be dropped, got %v", got)
+	}
+}
+
+// TestVirtualFaultyExecutorUsesInjectedClock: WrapFaulty's injected delays
+// consume virtual time when the scenario's clock is wired in.
+func TestVirtualFaultyExecutorUsesInjectedClock(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	inner := &vexec{name: "x", samples: 5, value: 2, clock: clock}
+	faulty := fl.WrapFaulty(inner, fl.FaultConfig{
+		Delay:       10 * time.Minute, // virtual: free
+		DelayRounds: []int{0},
+		Clock:       clock,
+	})
+	ctrl, err := fl.NewController(fl.ControllerConfig{Rounds: 1, Clock: clock}, []fl.Executor{faulty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := ctrl.Run(context.Background(), vinitial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real := time.Since(start); real > 2*time.Second {
+		t.Fatalf("10 virtual minutes cost %v real time", real)
+	}
+	if got := res.History.Rounds[0].Duration; got != 10*time.Minute {
+		t.Fatalf("round duration %v, want exactly the injected 10m", got)
+	}
+}
+
+// TestVirtualHistoryReplaysBitIdentical: the full async scenario replays
+// byte-for-byte — the determinism contract async_test.go could never pin.
+func TestVirtualHistoryReplaysBitIdentical(t *testing.T) {
+	run := func() []byte {
+		res, err := lateVirtualScenario(t, fl.FedAsync{Alpha: 0.5}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.Marshal(res.History)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Fatalf("History not reproducible:\n%s\n%s", a, b)
+	}
+}

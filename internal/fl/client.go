@@ -24,6 +24,10 @@ type ClientConfig struct {
 	Codec string
 	// Logf receives progress lines (default log.Printf).
 	Logf func(format string, args ...any)
+	// Dialer, when non-nil, replaces the TLS dial entirely — the
+	// simulator and fltest pass a transport.MemNetwork Dial closure so
+	// the client runs over an in-memory link with scripted faults.
+	Dialer func() (transport.MessageConn, error)
 }
 
 // Client is the networked federation participant: it dials the server with
@@ -61,13 +65,23 @@ func NewClient(cfg ClientConfig, kit *provision.StartupKit, exec Executor) (*Cli
 // Run connects, registers, and participates until the server finishes.
 // It returns the final global weights distributed by the server.
 func (c *Client) Run() (map[string]*tensor.Matrix, error) {
-	tlsCfg, err := c.kit.ClientTLS()
-	if err != nil {
-		return nil, err
-	}
-	conn, err := transport.Dial(c.cfg.ServerAddr, tlsCfg, c.cfg.DialTimeout)
-	if err != nil {
-		return nil, err
+	var conn transport.MessageConn
+	if c.cfg.Dialer != nil {
+		mc, err := c.cfg.Dialer()
+		if err != nil {
+			return nil, err
+		}
+		conn = mc
+	} else {
+		tlsCfg, err := c.kit.ClientTLS()
+		if err != nil {
+			return nil, err
+		}
+		tc, err := transport.Dial(c.cfg.ServerAddr, tlsCfg, c.cfg.DialTimeout)
+		if err != nil {
+			return nil, err
+		}
+		conn = tc
 	}
 	defer conn.Close()
 

@@ -1,0 +1,118 @@
+package fl
+
+import "time"
+
+// Clock abstracts every use of wall-clock time in the federation stack —
+// round timestamps, gather deadlines, injected client delays, and the
+// goroutines that carry client work — so a whole federated run can execute
+// under a simulated clock. The contract is shared with sim.Clock (the
+// canonical name; internal/sim aliases this interface): production code
+// uses the real clock returned by RealClock, and internal/sim provides a
+// deterministic discrete-event VirtualClock that advances virtual time
+// only when every tracked activity is blocked.
+type Clock interface {
+	// Now returns the current (possibly virtual) time.
+	Now() time.Time
+	// Since is Now().Sub(t).
+	Since(t time.Time) time.Duration
+	// Sleep blocks the caller for d. Under a virtual clock, Sleep must be
+	// called from a goroutine started via Go — it yields to the event loop
+	// and resumes when virtual time reaches the wake point.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the time once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Go runs fn concurrently as an activity tracked by the clock. The
+	// real clock spawns a plain goroutine; a virtual clock registers fn as
+	// a simulated actor so its sleeps drive — and are driven by — the
+	// event loop.
+	Go(fn func())
+}
+
+// Waiter is the optional deterministic-wait capability of a virtual clock.
+// Wait evaluates poll between simulated events: it returns true as soon as
+// poll succeeds, advancing virtual time event by event in between, and
+// false once virtual time reaches deadline (a zero deadline never fires).
+// The gather loops in Controller and Server use it, when available, instead
+// of a select over real timer channels — that is what makes "which updates
+// beat the round deadline" a pure function of the scenario rather than of
+// goroutine scheduling.
+type Waiter interface {
+	Wait(poll func() bool, deadline time.Time) bool
+}
+
+// realClock is the production Clock: thin wrappers over package time.
+type realClock struct{}
+
+// RealClock returns the wall-clock Clock used by default everywhere a
+// config leaves Clock nil.
+func RealClock() Clock { return realClock{} }
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) Since(t time.Time) time.Duration        { return time.Since(t) }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) Go(fn func())                           { go fn() }
+
+// waitStatus reports how a gather wait ended.
+type waitStatus int
+
+const (
+	waitOK waitStatus = iota
+	waitDeadline
+	waitCancelled
+)
+
+// gatherDeadline prepares one round's gather deadline for waitRecv: the
+// absolute virtual instant (for a Waiter clock) and, for every other
+// clock, a single timer channel shared by all of the round's receives —
+// one timer per round, not one per message. Zero d means no deadline.
+func gatherDeadline(clk Clock, d time.Duration) (time.Time, <-chan time.Time) {
+	if d <= 0 {
+		return time.Time{}, nil
+	}
+	at := clk.Now().Add(d)
+	if _, ok := clk.(Waiter); ok {
+		return at, nil
+	}
+	return at, clk.After(d)
+}
+
+// waitRecv waits for the next value on ch until the gatherDeadline pair
+// fires (zero/nil = no deadline), optionally aborting when done (a
+// context's Done channel; nil = never) is closed. Under a Waiter clock the
+// wait is mediated by the event loop, so delivery order and deadline
+// outcomes are deterministic; under any other clock it is a plain select
+// on the round's shared timer channel.
+func waitRecv[T any](clk Clock, ch <-chan T, done <-chan struct{}, deadlineAt time.Time, deadlineCh <-chan time.Time) (T, waitStatus) {
+	var zero T
+	if w, ok := clk.(Waiter); ok {
+		var got T
+		status := waitOK
+		if w.Wait(func() bool {
+			select {
+			case <-done:
+				status = waitCancelled
+				return true
+			default:
+			}
+			select {
+			case v := <-ch:
+				got = v
+				return true
+			default:
+				return false
+			}
+		}, deadlineAt) {
+			return got, status
+		}
+		return zero, waitDeadline
+	}
+	select {
+	case v := <-ch:
+		return v, waitOK
+	case <-deadlineCh:
+		return zero, waitDeadline
+	case <-done:
+		return zero, waitCancelled
+	}
+}

@@ -352,7 +352,7 @@ func readParamHeader(r *bytes.Reader, codec string) (string, int, int, error) {
 	// a corrupt shape cannot wrap past the element cap on any GOARCH; 2^27
 	// elements (1 GiB of float64) per parameter is far above any real
 	// model and far below an OOM.
-	if rows < 0 || cols < 0 || rows > maxParamElems || cols > maxParamElems ||
+	if rows < 0 || cols < 0 || int64(rows) > maxParamElems || int64(cols) > maxParamElems ||
 		int64(rows)*int64(cols) > maxParamElems {
 		return "", 0, 0, fmt.Errorf("fl: %s decode %q: implausible shape %dx%d", codec, nb, rows, cols)
 	}
@@ -361,8 +361,10 @@ func readParamHeader(r *bytes.Reader, codec string) (string, int, int, error) {
 
 // Decode-time allocation bounds: per-parameter and whole-blob element caps
 // keep a tiny corrupt payload from demanding gigabytes before any data
-// bytes are read (transport frames are capped at 64 MiB).
-const (
-	maxParamElems = 1 << 27
-	maxTotalElems = 1 << 28
+// bytes are read (transport frames are capped at 64 MiB). Variables, not
+// constants, so the fuzz harness can shrink them and explore the rejection
+// logic without thrashing on legitimately-huge allocations.
+var (
+	maxParamElems int64 = 1 << 27
+	maxTotalElems int64 = 1 << 28
 )

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"clinfl/internal/tensor"
@@ -54,6 +55,12 @@ type ControllerConfig struct {
 	// Patience, when > 0 and Validate is set, stops the run early after
 	// this many consecutive rounds without a new best validation score.
 	Patience int
+	// Clock supplies round timestamps, gather deadlines, and the
+	// goroutines carrying client work. Nil means the real wall clock;
+	// internal/sim injects a deterministic virtual clock here so scenarios
+	// with hours of simulated straggling replay identically in
+	// milliseconds of real time.
+	Clock Clock
 }
 
 // withDefaults fills zero fields.
@@ -74,6 +81,9 @@ func (c ControllerConfig) withDefaults(numClients int) ControllerConfig {
 	}
 	if c.Aggregator == nil {
 		c.Aggregator = FedAvg{}
+	}
+	if c.Clock == nil {
+		c.Clock = RealClock()
 	}
 	return c
 }
@@ -203,7 +213,7 @@ func (c *Controller) Run(ctx context.Context, initialWeights map[string]*tensor.
 			return nil, fmt.Errorf("fl: cancelled before round %d: %w", round, ctx.Err())
 		default:
 		}
-		start := time.Now()
+		start := c.cfg.Clock.Now()
 		rec := RoundRecord{Round: round}
 		updates, late, err := c.scatterGather(ctx, round, global, &rec)
 		if err != nil {
@@ -215,7 +225,7 @@ func (c *Controller) Run(ctx context.Context, initialWeights map[string]*tensor.
 			return nil, err
 		}
 
-		rec.Duration = time.Since(start)
+		rec.Duration = c.cfg.Clock.Since(start)
 		var lossSum, weightSum float64
 		for _, u := range updates {
 			rec.Participants = append(rec.Participants, u.ClientName)
@@ -289,8 +299,22 @@ func (c *Controller) sampleClients() ([]Executor, error) {
 // update that fails filtering, shape-checking, or merging lands in
 // rec.Failures and is skipped: one straggler's bad payload must not abort
 // the federation.
+//
+// Both update batches are sorted into a canonical order (in-round by client
+// name, late by round then name) before any floating-point accumulation, so
+// the aggregated model is a pure function of the participating set: the
+// order updates happened to arrive — a race under the real clock — can
+// never change the global weights, and fixed-seed simulator runs reproduce
+// bit-identically at any GOMAXPROCS.
 func finalizeRound(filters []Filter, agg Aggregator, async AsyncAggregator,
 	updates, late []*ClientUpdate, round int, global map[string]*tensor.Matrix, rec *RoundRecord) (map[string]*tensor.Matrix, error) {
+	sort.Slice(updates, func(i, j int) bool { return updates[i].ClientName < updates[j].ClientName })
+	sort.Slice(late, func(i, j int) bool {
+		if late[i].Round != late[j].Round {
+			return late[i].Round < late[j].Round
+		}
+		return late[i].ClientName < late[j].ClientName
+	})
 	if err := applyFilters(filters, updates, global); err != nil {
 		return nil, fmt.Errorf("fl: round %d: %w", round, err)
 	}
@@ -377,18 +401,14 @@ drain:
 	for _, ex := range sampled {
 		rec.Sampled = append(rec.Sampled, ex.Name())
 		c.inFlight[ex.Name()] = true
-		go func(ex Executor) {
+		ex := ex
+		c.cfg.Clock.Go(func() {
 			u, err := ex.ExecuteRound(round, global)
 			c.results <- execOutcome{update: u, err: err, name: ex.Name(), round: round}
-		}(ex)
+		})
 	}
 
-	var deadline <-chan time.Time
-	if c.cfg.RoundDeadline > 0 {
-		timer := time.NewTimer(c.cfg.RoundDeadline)
-		defer timer.Stop()
-		deadline = timer.C
-	}
+	deadlineAt, deadlineCh := gatherDeadline(c.cfg.Clock, c.cfg.RoundDeadline)
 	quorum := c.cfg.MinClients
 	if quorum > len(sampled) {
 		quorum = len(sampled)
@@ -407,30 +427,30 @@ drain:
 	pending := len(sampled)
 gather:
 	for pending > 0 && len(updates) < minUpdates {
-		select {
-		case o := <-c.results:
-			delete(c.inFlight, o.name)
-			switch {
-			case o.err != nil:
-				rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", o.name, o.err))
-				if o.round == round {
-					pending--
-				}
-			case o.round == round:
-				pending--
-				updates = append(updates, o.update)
-			case c.cfg.AsyncAggregator != nil:
-				late = append(late, o.update)
-			default:
-				rec.LateDropped = append(rec.LateDropped, o.name)
-			}
-		case <-deadline:
+		o, status := waitRecv(c.cfg.Clock, c.results, ctx.Done(), deadlineAt, deadlineCh)
+		switch status {
+		case waitDeadline:
 			// Stragglers stay in flight; their updates surface as late
 			// outcomes in a future round's gather (NVFlare's
 			// wait_time_after_min_received semantics, made durable).
 			break gather
-		case <-ctx.Done():
+		case waitCancelled:
 			return nil, nil, fmt.Errorf("fl: round %d cancelled: %w", round, ctx.Err())
+		}
+		delete(c.inFlight, o.name)
+		switch {
+		case o.err != nil:
+			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", o.name, o.err))
+			if o.round == round {
+				pending--
+			}
+		case o.round == round:
+			pending--
+			updates = append(updates, o.update)
+		case c.cfg.AsyncAggregator != nil:
+			late = append(late, o.update)
+		default:
+			rec.LateDropped = append(rec.LateDropped, o.name)
 		}
 	}
 	if len(updates) < quorum {

@@ -27,6 +27,10 @@ type FaultConfig struct {
 	DropProb float64
 	// Seed drives the jitter/drop streams.
 	Seed int64
+	// Clock injects the delays (default: real wall clock). A scenario
+	// running under sim's virtual clock passes it here so injected
+	// straggling consumes virtual, not real, time.
+	Clock Clock
 }
 
 // FaultyExecutor wraps an Executor with injected delays and dropouts —
@@ -45,6 +49,9 @@ var _ Executor = (*FaultyExecutor)(nil)
 
 // WrapFaulty decorates an executor with fault injection.
 func WrapFaulty(inner Executor, cfg FaultConfig) *FaultyExecutor {
+	if cfg.Clock == nil {
+		cfg.Clock = RealClock()
+	}
 	return &FaultyExecutor{inner: inner, cfg: cfg, rng: tensor.NewRNG(cfg.Seed + 5381)}
 }
 
@@ -67,7 +74,7 @@ func (f *FaultyExecutor) Validate(global map[string]*tensor.Matrix) (float64, er
 // round.
 func (f *FaultyExecutor) ExecuteRound(round int, global map[string]*tensor.Matrix) (*ClientUpdate, error) {
 	if d := f.delayFor(round); d > 0 {
-		time.Sleep(d)
+		f.cfg.Clock.Sleep(d)
 	}
 	if f.dropsRound(round) {
 		return nil, fmt.Errorf("fl: %s injected dropout on round %d", f.Name(), round)

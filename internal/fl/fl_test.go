@@ -299,29 +299,9 @@ func TestControllerRejectsDuplicateNames(t *testing.T) {
 	}
 }
 
-func TestControllerStragglerTimeout(t *testing.T) {
-	execs := []Executor{
-		&fakeExecutor{name: "fast", samples: 1, value: 1},
-		&fakeExecutor{name: "slow", samples: 1, value: 9, delay: 2 * time.Second},
-	}
-	ctrl, err := NewController(ControllerConfig{
-		Rounds: 1, MinClients: 1, RoundTimeout: 200 * time.Millisecond,
-	}, execs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	start := time.Now()
-	res, err := ctrl.Run(context.Background(), initialWeights())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if time.Since(start) > 1500*time.Millisecond {
-		t.Fatal("controller waited for the straggler")
-	}
-	if got := res.FinalWeights["layer.w"].At(0, 0); got != 1 {
-		t.Fatalf("straggler's update should be dropped, got %v", got)
-	}
-}
+// The straggler-timeout scenario now runs deterministically on the
+// virtual clock: see TestVirtualStragglerLegacyTimeout in
+// async_virtual_test.go.
 
 func TestEncodeDecodeWeightsRoundTrip(t *testing.T) {
 	rng := tensor.NewRNG(1)

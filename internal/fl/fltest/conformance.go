@@ -1,0 +1,335 @@
+package fltest
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"clinfl/internal/fl"
+	"clinfl/internal/sim"
+)
+
+// RunConformance asserts the shared federation invariants against one
+// harness. Every invariant holds on every deployment shape; assertions
+// that depend on exact timing run only when the harness is deterministic.
+func RunConformance(t *testing.T, h Harness) {
+	t.Run("FedAvgExact", func(t *testing.T) { conformFedAvgExact(t, h) })
+	t.Run("ArrivalOrderIrrelevant", func(t *testing.T) { conformArrivalOrder(t, h) })
+	t.Run("StragglerNeverAggregatedInRound", func(t *testing.T) { conformStraggler(t, h) })
+	t.Run("QuorumBelowErrors", func(t *testing.T) { conformQuorum(t, h) })
+	t.Run("FailedClientRecorded", func(t *testing.T) { conformFailureRecorded(t, h) })
+	t.Run("CodecBytesAccounted", func(t *testing.T) { conformCodecBytes(t, h) })
+	t.Run("LinearConvergence", func(t *testing.T) { conformConvergence(t, h) })
+	if h.Deterministic() {
+		t.Run("BitIdenticalReplay", func(t *testing.T) { conformBitIdentical(t, h) })
+	}
+}
+
+// checkRecords asserts structural History invariants every run must keep:
+// participants are a sorted subset of the sampled set, never duplicated,
+// and never double-counted as late; failures carry the client name.
+func checkRecords(t *testing.T, res *fl.Result) {
+	t.Helper()
+	for _, rec := range res.History.Rounds {
+		sampled := map[string]bool{}
+		for _, s := range rec.Sampled {
+			sampled[s] = true
+		}
+		seen := map[string]bool{}
+		for _, p := range rec.Participants {
+			if seen[p] {
+				t.Fatalf("round %d: participant %s duplicated", rec.Round, p)
+			}
+			seen[p] = true
+			if !sampled[p] {
+				t.Fatalf("round %d: participant %s was never sampled", rec.Round, p)
+			}
+		}
+		if !sort.StringsAreSorted(rec.Participants) {
+			t.Fatalf("round %d: participants %v not in canonical order", rec.Round, rec.Participants)
+		}
+		for _, l := range append(append([]string{}, rec.LateApplied...), rec.LateDropped...) {
+			if seen[l] {
+				t.Fatalf("round %d: client %s is both participant and late", rec.Round, l)
+			}
+		}
+		for _, f := range rec.Failures {
+			if !strings.Contains(f, ":") {
+				t.Fatalf("round %d: failure %q carries no client name", rec.Round, f)
+			}
+		}
+		if rec.BytesUp < 0 || rec.BytesDown < 0 {
+			t.Fatalf("round %d: negative byte counters: up=%d down=%d", rec.Round, rec.BytesUp, rec.BytesDown)
+		}
+	}
+}
+
+// conformFedAvgExact: full participation, canned values — the final model
+// is the exact sample-weighted average, every round.
+func conformFedAvgExact(t *testing.T, h Harness) {
+	spec := RunSpec{
+		Rounds: 2, MinClients: 1,
+		Clients: []ClientSpec{
+			{Name: "a", Samples: 10, Value: 1},
+			{Name: "b", Samples: 30, Value: 2},
+			{Name: "c", Samples: 20, Value: 7},
+		},
+	}
+	res, err := h.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, res)
+	want := ExpectedFedAvg(spec.Clients) // (10 + 60 + 140) / 60 = 3.5
+	for name, m := range res.FinalWeights {
+		for _, v := range m.Data() {
+			if v != want {
+				t.Fatalf("final %s = %v, want exact %v", name, v, want)
+			}
+		}
+	}
+	for _, rec := range res.History.Rounds {
+		if len(rec.Participants) != 3 {
+			t.Fatalf("round %d participants %v, want all 3", rec.Round, rec.Participants)
+		}
+	}
+}
+
+// conformArrivalOrder: permuting the client roster (and with it arrival
+// order) never changes the aggregated model — aggregation is canonically
+// ordered before any floating-point accumulation.
+func conformArrivalOrder(t *testing.T, h Harness) {
+	clients := []ClientSpec{
+		{Name: "a", Samples: 7, Value: 0.3, Delay: 30 * time.Millisecond},
+		{Name: "b", Samples: 13, Value: -1.7},
+		{Name: "c", Samples: 29, Value: 2.9, Delay: 10 * time.Millisecond},
+		{Name: "d", Samples: 5, Value: 0.01, Delay: 20 * time.Millisecond},
+	}
+	permuted := []ClientSpec{clients[2], clients[0], clients[3], clients[1]}
+	permuted[0].Delay, permuted[1].Delay, permuted[2].Delay, permuted[3].Delay =
+		40*time.Millisecond, 0, 5*time.Millisecond, 25*time.Millisecond
+
+	run := func(cs []ClientSpec) map[string]float64 {
+		res, err := h.Run(RunSpec{Rounds: 2, MinClients: 1, Clients: cs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkRecords(t, res)
+		out := map[string]float64{}
+		for name, m := range res.FinalWeights {
+			out[name] = m.Data()[0]
+		}
+		return out
+	}
+	base, perm := run(clients), run(permuted)
+	for name, v := range base {
+		if perm[name] != v {
+			t.Fatalf("param %s: %v (roster order) != %v (permuted order)", name, v, perm[name])
+		}
+	}
+}
+
+// conformStraggler: one client delayed past the round deadline never
+// aggregates in-round, and the federation never blocks on it.
+func conformStraggler(t *testing.T, h Harness) {
+	spec := RunSpec{
+		Rounds: 4, MinClients: 1, MinUpdates: 3,
+		RoundDeadline: 250 * time.Millisecond,
+		Clients: []ClientSpec{
+			{Name: "a", Samples: 10, Value: 1, Delay: 150 * time.Millisecond},
+			{Name: "b", Samples: 10, Value: 1, Delay: 150 * time.Millisecond},
+			{Name: "c", Samples: 10, Value: 1, Delay: 150 * time.Millisecond},
+			{Name: "slow", Samples: 10, Value: 9, Delay: 500 * time.Millisecond},
+		},
+	}
+	start := time.Now()
+	res, err := h.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real := time.Since(start); real > 10*time.Second {
+		t.Fatalf("federation blocked on straggler: %v", real)
+	}
+	checkRecords(t, res)
+	if len(res.History.Rounds) != 4 {
+		t.Fatalf("completed %d rounds, want 4", len(res.History.Rounds))
+	}
+	for _, rec := range res.History.Rounds {
+		for _, p := range rec.Participants {
+			if p == "slow" {
+				t.Fatalf("round %d aggregated the straggler in-round", rec.Round)
+			}
+		}
+	}
+	if got := res.FinalWeights["layer.w"].Data()[0]; got != 1 {
+		t.Fatalf("straggler's value leaked into the model: %v", got)
+	}
+	if h.Deterministic() {
+		// Exact timing: the straggler finishes its round-0 task at 500ms,
+		// inside round 3's gather window, and with no async aggregator its
+		// late update must be recorded as dropped there.
+		var dropped []string
+		for _, rec := range res.History.Rounds {
+			dropped = append(dropped, rec.LateDropped...)
+		}
+		if len(dropped) != 1 || dropped[0] != "slow" {
+			t.Fatalf("late drops %v, want exactly [slow]", dropped)
+		}
+	}
+}
+
+// conformQuorum: losing stragglers below the configured quorum always
+// fails the run — a deadline round must never publish a sub-quorum model.
+func conformQuorum(t *testing.T, h Harness) {
+	_, err := h.Run(RunSpec{
+		Rounds: 1, MinClients: 2,
+		RoundDeadline: 200 * time.Millisecond,
+		Clients: []ClientSpec{
+			{Name: "a", Samples: 10, Value: 1},
+			{Name: "slow1", Samples: 10, Value: 2, Delay: 700 * time.Millisecond},
+			{Name: "slow2", Samples: 10, Value: 3, Delay: 700 * time.Millisecond},
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "quorum") {
+		t.Fatalf("want quorum error with 1/2 updates, got %v", err)
+	}
+}
+
+// conformFailureRecorded: a failing client is a named failure in the round
+// record, never a silent absence, and never a participant.
+func conformFailureRecorded(t *testing.T, h Harness) {
+	res, err := h.Run(RunSpec{
+		Rounds: 1, MinClients: 1,
+		Clients: []ClientSpec{
+			{Name: "ok", Samples: 10, Value: 2},
+			{Name: "broken", Samples: 10, Value: 5, FailRounds: []int{0}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, res)
+	rec := res.History.Rounds[0]
+	if len(rec.Participants) != 1 || rec.Participants[0] != "ok" {
+		t.Fatalf("participants %v, want [ok]", rec.Participants)
+	}
+	found := false
+	for _, f := range rec.Failures {
+		if strings.HasPrefix(f, "broken:") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("broken client missing from failures: %v", rec.Failures)
+	}
+	if got := res.FinalWeights["layer.w"].Data()[0]; got != 2 {
+		t.Fatalf("failed client leaked into the model: %v", got)
+	}
+}
+
+// conformCodecBytes: with a lossy-free compressed uplink codec, every
+// round's record carries byte counters and f32 cuts payloads well below
+// raw.
+func conformCodecBytes(t *testing.T, h Harness) {
+	run := func(codec string) int64 {
+		clients := []ClientSpec{
+			{Name: "a", Samples: 10, Value: 1, Codec: codec},
+			{Name: "b", Samples: 10, Value: 2, Codec: codec},
+		}
+		res, err := h.Run(RunSpec{Rounds: 2, MinClients: 1, Clients: clients})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkRecords(t, res)
+		var total int64
+		for _, rec := range res.History.Rounds {
+			if rec.BytesUp <= 0 {
+				t.Fatalf("[%s] round %d BytesUp unrecorded", codec, rec.Round)
+			}
+			total += rec.BytesUp
+		}
+		return total
+	}
+	raw, f32 := run("raw"), run("f32")
+	if float64(f32) > 0.7*float64(raw) {
+		t.Fatalf("f32 uplink %d bytes, want well below raw %d", f32, raw)
+	}
+}
+
+// conformConvergence: FedAvg (and FedAsync when late merging is on) on
+// sharded linear regression converges to near the ground truth.
+func conformConvergence(t *testing.T, h Harness) {
+	for _, mode := range []struct {
+		name  string
+		alpha float64
+	}{{"fedavg", 0}, {"fedasync", 0.5}} {
+		t.Run(mode.name, func(t *testing.T) {
+			lin := &LinearSpec{Seed: 11}
+			spec := RunSpec{
+				Rounds: 14, MinClients: 1, FedAsyncAlpha: mode.alpha,
+				Linear: lin,
+				Clients: []ClientSpec{
+					{Name: "a"}, {Name: "b"}, {Name: "c"},
+					{Name: "d"}, {Name: "e"}, {Name: "f"},
+				},
+			}
+			res, err := h.Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkRecords(t, res)
+			// Same task seed → same population; score the trained model on
+			// its noise-free holdout.
+			pop := lin.Task.NewPopulation(lin.Seed, len(spec.Clients))
+			initialMSE, err := pop.Eval(sim.InitialLinearWeights(pop.Task.Dim))
+			if err != nil {
+				t.Fatal(err)
+			}
+			finalMSE, err := pop.Eval(res.FinalWeights)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if finalMSE >= initialMSE/10 {
+				t.Fatalf("%s did not converge: MSE %v -> %v", mode.name, initialMSE, finalMSE)
+			}
+		})
+	}
+}
+
+// conformBitIdentical: a deterministic harness reproduces History JSON
+// byte-for-byte for a fixed spec — stragglers, deadline, async merging,
+// sampling and codecs all included.
+func conformBitIdentical(t *testing.T, h Harness) {
+	spec := RunSpec{
+		Rounds: 5, MinClients: 1, MinUpdates: 3,
+		RoundDeadline:  300 * time.Millisecond,
+		SampleFraction: 0.8,
+		FedAsyncAlpha:  0.5,
+		Seed:           17,
+		Clients: []ClientSpec{
+			{Name: "a", Samples: 10, Value: 1, Delay: 100 * time.Millisecond, Codec: "raw"},
+			{Name: "b", Samples: 20, Value: 2, Delay: 150 * time.Millisecond, Codec: "f32"},
+			{Name: "c", Samples: 30, Value: 3, Delay: 200 * time.Millisecond, Codec: "raw"},
+			{Name: "d", Samples: 15, Value: 4, Delay: 120 * time.Millisecond, Codec: "f32"},
+			{Name: "slow", Samples: 25, Value: 9, Delay: 800 * time.Millisecond, Codec: "raw"},
+		},
+	}
+	js := func() []byte {
+		res, err := h.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res.History)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := js(), js()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("histories differ across identical runs:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,18 @@
+package fltest
+
+import "testing"
+
+// TestConformance runs the shared invariant suite against every harness:
+// the in-process Controller under the deterministic virtual clock, the
+// same Controller under the real clock, and the networked Server speaking
+// the full wire protocol over in-memory transport. One suite, three
+// deployment shapes — the acceptance gate for every federation change.
+func TestConformance(t *testing.T) {
+	for _, h := range Harnesses() {
+		h := h
+		t.Run(h.Name(), func(t *testing.T) {
+			t.Parallel()
+			RunConformance(t, h)
+		})
+	}
+}

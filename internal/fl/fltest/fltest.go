@@ -1,0 +1,348 @@
+// Package fltest is the shared federation conformance kit: one declarative
+// run spec, several interchangeable harnesses (the in-process Controller
+// under the real or the simulator's virtual clock, and the networked
+// Server over in-memory transport), and one suite of invariants that every
+// harness must satisfy — quorum enforcement, straggler exclusion, late
+// update handling, record consistency, FedAvg exactness, convergence on a
+// linear task, and (for deterministic harnesses) bit-identical replay.
+// Every future federation feature should land with its invariant expressed
+// here once and enforced against all deployment shapes at once.
+package fltest
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"clinfl/internal/fl"
+	"clinfl/internal/provision"
+	"clinfl/internal/sim"
+	"clinfl/internal/tensor"
+	"clinfl/internal/transport"
+)
+
+// ClientSpec describes one simulated client.
+type ClientSpec struct {
+	// Name is the client identity; Samples its aggregation weight.
+	Name    string
+	Samples int
+	// Value is the canned model value: after "training" every weight
+	// element equals Value, so aggregation results are exact rationals
+	// the invariants can check precisely. Ignored for linear-task runs.
+	Value float64
+	// Delay postpones each round's update (virtual time under a virtual
+	// harness, real time otherwise — keep it small).
+	Delay time.Duration
+	// FailRounds lists rounds on which the client's executor errors.
+	FailRounds []int
+	// Codec round-trips the client's updates through an uplink codec
+	// ("raw", "f32", "topk:f"); empty means raw without byte stamping for
+	// in-process harnesses and raw on the wire for the server harness.
+	Codec string
+}
+
+// RunSpec is one declarative federation run.
+type RunSpec struct {
+	Rounds         int
+	MinUpdates     int
+	MinClients     int
+	RoundDeadline  time.Duration
+	SampleFraction float64
+	// FedAsyncAlpha > 0 merges late updates FedAsync-style; 0 drops them.
+	FedAsyncAlpha float64
+	Seed          int64
+	Clients       []ClientSpec
+	// Linear, when non-nil, replaces canned values with real local
+	// training on sharded linear regression (one shard per client, in
+	// spec order), so convergence invariants have a learning signal.
+	Linear *LinearSpec
+}
+
+// LinearSpec configures a linear-task run.
+type LinearSpec struct {
+	Task sim.LinearTask
+	Seed int64
+}
+
+// Harness runs a RunSpec on one deployment shape of the fl stack.
+type Harness interface {
+	// Name labels the harness in subtests.
+	Name() string
+	// Deterministic reports whether a fixed spec+seed reproduces History
+	// bit-for-bit (true only under the virtual clock).
+	Deterministic() bool
+	// Run executes the federation and returns the controller/server
+	// result.
+	Run(spec RunSpec) (*fl.Result, error)
+}
+
+// Harnesses returns the full conformance matrix: the in-process
+// Controller under the virtual and the real clock, and the networked
+// Server over in-memory transport.
+func Harnesses() []Harness {
+	return []Harness{
+		ControllerHarness{Virtual: true},
+		ControllerHarness{},
+		ServerHarness{},
+	}
+}
+
+// InitialWeights is the starting model canned-value runs use.
+func InitialWeights() map[string]*tensor.Matrix {
+	return map[string]*tensor.Matrix{
+		"layer.w": tensor.New(2, 3),
+		"layer.b": tensor.New(1, 3),
+	}
+}
+
+// ExpectedFedAvg is the exact sample-weighted average of the spec's canned
+// values — what every harness's final model must equal after one or more
+// full-participation FedAvg rounds.
+func ExpectedFedAvg(clients []ClientSpec) float64 {
+	var num, den float64
+	for _, c := range clients {
+		num += c.Value * float64(c.Samples)
+		den += float64(c.Samples)
+	}
+	return num / den
+}
+
+// cannedExecutor is the canned-value client: sleep, maybe fail, return a
+// model filled with Value, optionally round-tripped through its codec.
+type cannedExecutor struct {
+	spec  ClientSpec
+	clock fl.Clock
+	codec fl.WeightCodec
+	shard *sim.LinearShard // non-nil for linear-task runs
+}
+
+func newExecutor(spec ClientSpec, clock fl.Clock, shard *sim.LinearShard) (*cannedExecutor, error) {
+	codec, err := fl.CodecByName(spec.Codec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Codec == "" {
+		codec = nil
+	}
+	return &cannedExecutor{spec: spec, clock: clock, codec: codec, shard: shard}, nil
+}
+
+// Name implements fl.Executor.
+func (e *cannedExecutor) Name() string { return e.spec.Name }
+
+// NumSamples implements fl.Executor.
+func (e *cannedExecutor) NumSamples() int {
+	if e.shard != nil {
+		return e.shard.Samples()
+	}
+	return e.spec.Samples
+}
+
+// ExecuteRound implements fl.Executor.
+func (e *cannedExecutor) ExecuteRound(round int, global map[string]*tensor.Matrix) (*fl.ClientUpdate, error) {
+	if e.spec.Delay > 0 {
+		e.clock.Sleep(e.spec.Delay)
+	}
+	for _, r := range e.spec.FailRounds {
+		if r == round {
+			return nil, fmt.Errorf("fltest: %s scripted failure on round %d", e.spec.Name, round)
+		}
+	}
+	var weights map[string]*tensor.Matrix
+	loss := 1.0 / float64(round+1)
+	if e.shard != nil {
+		var err error
+		weights, loss, err = e.shard.Train(global)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		weights = make(map[string]*tensor.Matrix, len(global))
+		for name, m := range global {
+			w := tensor.New(m.Rows(), m.Cols())
+			w.Fill(e.spec.Value)
+			weights[name] = w
+		}
+	}
+	u := &fl.ClientUpdate{
+		ClientName: e.spec.Name, Round: round, Weights: weights,
+		NumSamples: e.NumSamples(), TrainLoss: loss,
+	}
+	if e.codec != nil {
+		blob, err := e.codec.Encode(weights)
+		if err != nil {
+			return nil, err
+		}
+		decoded, err := fl.DecodeWeights(blob)
+		if err != nil {
+			return nil, err
+		}
+		u.Weights = decoded
+		u.PayloadBytes = len(blob)
+	}
+	return u, nil
+}
+
+// initialFor picks the starting model and shards for a spec.
+func initialFor(spec RunSpec) (map[string]*tensor.Matrix, []*sim.LinearShard) {
+	if spec.Linear == nil {
+		return InitialWeights(), nil
+	}
+	pop := spec.Linear.Task.NewPopulation(spec.Linear.Seed, len(spec.Clients))
+	return sim.InitialLinearWeights(pop.Task.Dim), pop.Shards
+}
+
+// ControllerHarness runs specs on the in-process fl.Controller, under the
+// simulator's virtual clock when Virtual is set (deterministic, instant)
+// or the real wall clock otherwise.
+type ControllerHarness struct {
+	Virtual bool
+}
+
+// Name implements Harness.
+func (h ControllerHarness) Name() string {
+	if h.Virtual {
+		return "controller-virtual"
+	}
+	return "controller-real"
+}
+
+// Deterministic implements Harness.
+func (h ControllerHarness) Deterministic() bool { return h.Virtual }
+
+// Run implements Harness.
+func (h ControllerHarness) Run(spec RunSpec) (*fl.Result, error) {
+	var clock fl.Clock = fl.RealClock()
+	var vc *sim.VirtualClock
+	if h.Virtual {
+		vc = sim.NewVirtualClock()
+		clock = vc
+	}
+	initial, shards := initialFor(spec)
+	execs := make([]fl.Executor, len(spec.Clients))
+	for i, cs := range spec.Clients {
+		var shard *sim.LinearShard
+		if shards != nil {
+			shard = shards[i]
+		}
+		e, err := newExecutor(cs, clock, shard)
+		if err != nil {
+			return nil, err
+		}
+		execs[i] = e
+	}
+	cfg := fl.ControllerConfig{
+		Rounds:         spec.Rounds,
+		MinUpdates:     spec.MinUpdates,
+		MinClients:     spec.MinClients,
+		RoundDeadline:  spec.RoundDeadline,
+		SampleFraction: spec.SampleFraction,
+		Seed:           spec.Seed,
+		Clock:          clock,
+	}
+	if spec.FedAsyncAlpha > 0 {
+		cfg.AsyncAggregator = fl.FedAsync{Alpha: spec.FedAsyncAlpha}
+	}
+	ctrl, err := fl.NewController(cfg, execs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ctrl.Run(context.Background(), initial)
+	if vc != nil {
+		vc.Drain() // finish straggler actors in virtual time
+	}
+	return res, err
+}
+
+// ServerHarness runs specs on the networked fl.Server: every client is a
+// real fl.Client speaking the full registration/task/update protocol over
+// an in-memory transport.MemNetwork link. It exercises codec negotiation,
+// payload byte accounting, reader-goroutine delivery and the server-side
+// task bookkeeping that in-process runs cannot.
+type ServerHarness struct{}
+
+// Name implements Harness.
+func (ServerHarness) Name() string { return "server-memnet" }
+
+// Deterministic implements Harness.
+func (ServerHarness) Deterministic() bool { return false }
+
+// Run implements Harness.
+func (ServerHarness) Run(spec RunSpec) (*fl.Result, error) {
+	network := transport.NewMemNetwork()
+	defer network.Close()
+	allowTopK := false
+	for _, c := range spec.Clients {
+		if strings.HasPrefix(c.Codec, "topk") {
+			allowTopK = true
+		}
+	}
+	srv, err := fl.NewServer(fl.ServerConfig{
+		ExpectedClients: len(spec.Clients),
+		RegisterTimeout: 30 * time.Second,
+		Rounds:          spec.Rounds,
+		MinUpdates:      spec.MinUpdates,
+		MinClients:      spec.MinClients,
+		RoundDeadline:   spec.RoundDeadline,
+		SampleFraction:  spec.SampleFraction,
+		Seed:            spec.Seed,
+		AllowTopKUplink: allowTopK,
+		AsyncAggregator: asyncFor(spec),
+		VerifyToken:     func(name, token string) bool { return token == "tok-"+name },
+		Logf:            func(string, ...any) {},
+		Listener:        network,
+	}, &provision.StartupKit{Role: provision.RoleServer, Name: "server"})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	initial, shards := initialFor(spec)
+	var wg sync.WaitGroup
+	for i, cs := range spec.Clients {
+		var shard *sim.LinearShard
+		if shards != nil {
+			shard = shards[i]
+		}
+		exec, err := newExecutor(cs, fl.RealClock(), shard)
+		if err != nil {
+			return nil, err
+		}
+		// The wire handles codec framing; the executor must not
+		// double-encode.
+		exec.codec = nil
+		name := cs.Name
+		cl, err := fl.NewClient(fl.ClientConfig{
+			Codec: cs.Codec,
+			Logf:  func(string, ...any) {},
+			Dialer: func() (transport.MessageConn, error) {
+				return network.Dial(name, transport.LinkProfile{}, transport.LinkProfile{})
+			},
+		}, &provision.StartupKit{Role: provision.RoleClient, Name: name, Token: "tok-" + name}, exec)
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Client errors are the server's to report: a scripted
+			// executor failure or an aborted run surfaces in the Result's
+			// failure records, which is what the suite asserts on.
+			_, _ = cl.Run()
+		}()
+	}
+	res, err := srv.Run(initial)
+	srv.Close() // release clients still blocked on a dead run
+	wg.Wait()
+	return res, err
+}
+
+// asyncFor builds the spec's async aggregator.
+func asyncFor(spec RunSpec) fl.AsyncAggregator {
+	if spec.FedAsyncAlpha > 0 {
+		return fl.FedAsync{Alpha: spec.FedAsyncAlpha}
+	}
+	return nil
+}

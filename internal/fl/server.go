@@ -74,6 +74,14 @@ type ServerConfig struct {
 	VerifyToken func(name, token string) bool
 	// Logf receives progress lines (default log.Printf).
 	Logf func(format string, args ...any)
+	// Listener, when non-nil, overrides Addr and the startup kit's TLS
+	// stack with a caller-supplied transport — the simulator and the
+	// fltest conformance kit pass a transport.MemNetwork here so the same
+	// server logic runs over in-memory links with scripted faults.
+	Listener transport.MessageListener
+	// Clock supplies round timestamps and gather deadlines (default: real
+	// wall clock).
+	Clock Clock
 }
 
 // serverClient is one registered client's connection state. Reads happen
@@ -82,7 +90,7 @@ type ServerConfig struct {
 // contract holds.
 type serverClient struct {
 	name string
-	conn *transport.Conn
+	conn transport.MessageConn
 	// taskedRound is the round the client is currently working on
 	// (-1 when idle). A straggler stays tasked — and excluded from
 	// sampling — until its reply or its connection error drains in.
@@ -106,7 +114,7 @@ type inboxMsg struct {
 type Server struct {
 	cfg       ServerConfig
 	kit       *provision.StartupKit
-	ln        net.Listener
+	ln        transport.MessageListener
 	downCodec WeightCodec
 	rng       *tensor.RNG
 	inbox     chan inboxMsg
@@ -138,17 +146,23 @@ func NewServer(cfg ServerConfig, kit *provision.StartupKit) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = RealClock()
+	}
 	downCodec, err := CodecByName(cfg.Codec)
 	if err != nil {
 		return nil, err
 	}
-	tlsCfg, err := kit.ServerTLS()
-	if err != nil {
-		return nil, err
-	}
-	ln, err := transport.Listen(cfg.Addr, tlsCfg)
-	if err != nil {
-		return nil, err
+	ln := cfg.Listener
+	if ln == nil {
+		tlsCfg, err := kit.ServerTLS()
+		if err != nil {
+			return nil, err
+		}
+		ln, err = transport.ListenMessages(cfg.Addr, tlsCfg)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return &Server{
 		cfg:       cfg,
@@ -181,6 +195,10 @@ func (s *Server) Close() error {
 // acceptClients runs the registration phase until ExpectedClients have
 // presented valid tokens.
 func (s *Server) acceptClients() error {
+	// Registration is pure socket I/O, so its timeout is wall time even
+	// when a simulated Clock drives the rounds: a virtual clock only
+	// advances inside round gathers, and a registration deadline measured
+	// against it would never fire.
 	deadline := time.Now().Add(s.cfg.RegisterTimeout)
 	for {
 		s.mu.Lock()
@@ -192,18 +210,17 @@ func (s *Server) acceptClients() error {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("fl: registration timed out with %d/%d clients", n, s.cfg.ExpectedClients)
 		}
-		type deadliner interface{ SetDeadline(time.Time) error }
-		if d, ok := s.ln.(deadliner); ok {
-			_ = d.SetDeadline(time.Now().Add(time.Second))
-		}
-		nc, err := s.ln.Accept()
+		// The per-accept deadline is wall time: it bounds socket waits so
+		// the registration loop can re-check its own (clock-driven)
+		// timeout, not a simulated quantity.
+		_ = s.ln.SetDeadline(time.Now().Add(time.Second))
+		conn, err := s.ln.AcceptConn()
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				continue
 			}
 			return fmt.Errorf("fl: accept: %w", err)
 		}
-		conn := transport.NewConn(nc)
 		if err := s.register(conn); err != nil {
 			s.cfg.Logf("fl server: rejected registration from %s: %v", conn.RemoteAddr(), err)
 			_ = conn.Close()
@@ -214,7 +231,7 @@ func (s *Server) acceptClients() error {
 // register handles one client's MsgRegister handshake, including uplink
 // codec negotiation: the client's requested codec is accepted if known,
 // with a fallback to raw, and the decision is echoed in the ack.
-func (s *Server) register(conn *transport.Conn) error {
+func (s *Server) register(conn transport.MessageConn) error {
 	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
 	msg, err := conn.Read()
 	if err != nil {
@@ -289,7 +306,7 @@ func (s *Server) Run(initialWeights map[string]*tensor.Matrix) (*Result, error) 
 	res := &Result{History: History{BestRound: -1}}
 
 	for round := 0; round < s.cfg.Rounds; round++ {
-		start := time.Now()
+		start := s.cfg.Clock.Now()
 		rec := RoundRecord{Round: round}
 		updates, late, err := s.runRound(round, global, &rec)
 		if err != nil {
@@ -300,7 +317,7 @@ func (s *Server) Run(initialWeights map[string]*tensor.Matrix) (*Result, error) 
 		if err != nil {
 			return nil, err
 		}
-		rec.Duration = time.Since(start)
+		rec.Duration = s.cfg.Clock.Since(start)
 		var lossSum, weightSum float64
 		for _, u := range updates {
 			rec.Participants = append(rec.Participants, u.ClientName)
@@ -451,12 +468,7 @@ drain:
 		pending++
 	}
 
-	var deadline <-chan time.Time
-	if s.cfg.RoundDeadline > 0 {
-		timer := time.NewTimer(s.cfg.RoundDeadline)
-		defer timer.Stop()
-		deadline = timer.C
-	}
+	deadlineAt, deadlineCh := gatherDeadline(s.cfg.Clock, s.cfg.RoundDeadline)
 	// The quorum is clamped to the sampled count, not to the clients whose
 	// task send succeeded: send failures must count against an explicitly
 	// configured floor, never silently lower it.
@@ -480,45 +492,44 @@ drain:
 	var updates []*ClientUpdate
 gather:
 	for pending > 0 && len(updates) < minUpdates {
-		select {
-		case in := <-s.inbox:
-			wasTasked := s.setTasked(in.name, -1)
-			if in.err != nil {
-				rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", in.name, in.err))
-				s.markDead(in.name)
-				if wasTasked == round {
-					pending--
-				}
-				continue
-			}
-			u, uerr := s.handleReply(in.name, in.msg)
-			// Classify by the server-side task record, never the
-			// client-supplied msg.Round: a tasked client sending a
-			// malformed round must still release its pending slot, and an
-			// untasked one must not be able to claim participation.
-			switch {
-			case uerr != nil:
-				rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", in.name, uerr))
-				if wasTasked == round {
-					pending--
-				}
-			case wasTasked == round:
-				pending--
-				u.Round = round
-				rec.BytesUp += int64(u.PayloadBytes)
-				updates = append(updates, u)
-			case wasTasked < 0:
-				rec.Failures = append(rec.Failures, fmt.Sprintf("%s: unsolicited update (not tasked)", in.name))
-			case s.cfg.AsyncAggregator != nil:
-				u.Round = wasTasked
-				late = append(late, u)
-			default:
-				rec.LateDropped = append(rec.LateDropped, in.name)
-			}
-		case <-deadline:
+		in, status := waitRecv(s.cfg.Clock, s.inbox, nil, deadlineAt, deadlineCh)
+		if status == waitDeadline {
 			// Stragglers stay tasked; their replies drain as late
 			// messages in a future round's gather.
 			break gather
+		}
+		wasTasked := s.setTasked(in.name, -1)
+		if in.err != nil {
+			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", in.name, in.err))
+			s.markDead(in.name)
+			if wasTasked == round {
+				pending--
+			}
+			continue
+		}
+		u, uerr := s.handleReply(in.name, in.msg)
+		// Classify by the server-side task record, never the
+		// client-supplied msg.Round: a tasked client sending a
+		// malformed round must still release its pending slot, and an
+		// untasked one must not be able to claim participation.
+		switch {
+		case uerr != nil:
+			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", in.name, uerr))
+			if wasTasked == round {
+				pending--
+			}
+		case wasTasked == round:
+			pending--
+			u.Round = round
+			rec.BytesUp += int64(u.PayloadBytes)
+			updates = append(updates, u)
+		case wasTasked < 0:
+			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: unsolicited update (not tasked)", in.name))
+		case s.cfg.AsyncAggregator != nil:
+			u.Round = wasTasked
+			late = append(late, u)
+		default:
+			rec.LateDropped = append(rec.LateDropped, in.name)
 		}
 	}
 	if len(updates) < quorum {

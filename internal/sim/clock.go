@@ -1,0 +1,217 @@
+// Package sim is the deterministic large-scale federation simulator: a
+// discrete-event virtual clock that replaces wall time throughout the fl
+// stack, plus a scenario spec (N clients × data/speed/fault/codec
+// profiles) that drives the unmodified fl.Controller round loop. Hundreds
+// of clients with minutes of simulated straggling, scripted dropouts and
+// mixed weight codecs run in milliseconds of real time — and, because
+// every event fires in a single deterministic order, a fixed seed
+// reproduces the run's History bit-for-bit at any GOMAXPROCS.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+
+	"clinfl/internal/fl"
+)
+
+// Clock is the canonical time-injection interface of the federation
+// stack. It is an alias of fl.Clock (defined there so fl does not import
+// this package); sim provides the deterministic implementation.
+type Clock = fl.Clock
+
+// Real returns the production wall clock.
+func Real() Clock { return fl.RealClock() }
+
+// event is one scheduled occurrence in virtual time. Exactly one of gate
+// (a simulated actor waiting to run) and notify (an After timer channel)
+// is non-nil.
+type event struct {
+	at     time.Time
+	seq    uint64
+	gate   chan struct{}
+	notify chan time.Time
+}
+
+// eventHeap orders events by (time, schedule sequence): ties fire in the
+// order they were scheduled, which is itself deterministic because
+// scheduling is serialized by the run token.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event { return h[0] }
+
+var _ heap.Interface = (*eventHeap)(nil)
+
+// VirtualClock is a discrete-event clock with cooperative, single-token
+// scheduling: at any instant either the driver (the goroutine running the
+// federation's round loop and calling Wait) or exactly one simulated actor
+// (a goroutine started via Go) executes. Actors yield the token by
+// sleeping or finishing; the driver's Wait loop advances virtual time to
+// the next scheduled event and hands the token to whichever actor it
+// wakes. Because nothing ever runs concurrently with anything else, event
+// order — and therefore channel delivery order, aggregation membership,
+// and every floating-point accumulation — is a pure function of the
+// scenario, not of the Go scheduler or GOMAXPROCS.
+//
+// Rules: the driver must block only through Wait (fl's gather loops do,
+// via their injected clock); Sleep must only be called from goroutines
+// started with Go.
+type VirtualClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    uint64
+	pq     eventHeap
+	actors int
+
+	// idle is the token's return path: an actor sends exactly one value
+	// when it yields (sleeps or finishes) for each grant it received.
+	idle chan struct{}
+}
+
+// epoch is the fixed virtual origin, so simulated timestamps (and the
+// History durations derived from them) are identical across runs and
+// machines.
+var epoch = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// NewVirtualClock returns a virtual clock starting at a fixed epoch.
+func NewVirtualClock() *VirtualClock {
+	return &VirtualClock{now: epoch, idle: make(chan struct{})}
+}
+
+var (
+	_ Clock     = (*VirtualClock)(nil)
+	_ fl.Waiter = (*VirtualClock)(nil)
+)
+
+// Now implements Clock.
+func (vc *VirtualClock) Now() time.Time {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return vc.now
+}
+
+// Since implements Clock.
+func (vc *VirtualClock) Since(t time.Time) time.Duration { return vc.Now().Sub(t) }
+
+// schedule registers an event at now+d and returns it.
+func (vc *VirtualClock) schedule(d time.Duration, gate chan struct{}, notify chan time.Time) {
+	if d < 0 {
+		d = 0
+	}
+	vc.mu.Lock()
+	vc.seq++
+	heap.Push(&vc.pq, &event{at: vc.now.Add(d), seq: vc.seq, gate: gate, notify: notify})
+	vc.mu.Unlock()
+}
+
+// Go implements Clock: fn becomes a simulated actor, scheduled to start at
+// the current virtual time the next time the driver waits.
+func (vc *VirtualClock) Go(fn func()) {
+	g := make(chan struct{})
+	vc.mu.Lock()
+	vc.actors++
+	vc.mu.Unlock()
+	vc.schedule(0, g, nil)
+	go func() {
+		<-g
+		fn()
+		vc.mu.Lock()
+		vc.actors--
+		vc.mu.Unlock()
+		vc.idle <- struct{}{}
+	}()
+}
+
+// Sleep implements Clock for actors: yield the token, resume when virtual
+// time reaches the wake point.
+func (vc *VirtualClock) Sleep(d time.Duration) {
+	g := make(chan struct{})
+	vc.schedule(d, g, nil)
+	vc.idle <- struct{}{}
+	<-g
+}
+
+// After implements Clock: the returned channel delivers the virtual time
+// once the driver's Wait loop advances past it.
+func (vc *VirtualClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	vc.schedule(d, nil, ch)
+	return ch
+}
+
+// Wait implements fl.Waiter: evaluate poll between events, advancing
+// virtual time and running one actor at a time, until poll succeeds (true)
+// or virtual time reaches deadline (false; zero deadline never fires). An
+// actor event scheduled exactly at the deadline loses the tie: the
+// deadline fires first, deterministically.
+func (vc *VirtualClock) Wait(poll func() bool, deadline time.Time) bool {
+	for {
+		if poll() {
+			return true
+		}
+		vc.mu.Lock()
+		if vc.pq.Len() == 0 {
+			if deadline.IsZero() {
+				n := vc.actors
+				vc.mu.Unlock()
+				panic(fmt.Sprintf("sim: virtual clock deadlock: nothing to advance (%d actors alive, no pending events, no deadline)", n))
+			}
+			if deadline.After(vc.now) {
+				vc.now = deadline
+			}
+			vc.mu.Unlock()
+			return false
+		}
+		ev := vc.pq.peek()
+		if !deadline.IsZero() && !ev.at.Before(deadline) {
+			if deadline.After(vc.now) {
+				vc.now = deadline
+			}
+			vc.mu.Unlock()
+			return false
+		}
+		heap.Pop(&vc.pq)
+		if ev.at.After(vc.now) {
+			vc.now = ev.at
+		}
+		now := vc.now
+		vc.mu.Unlock()
+		if ev.notify != nil {
+			ev.notify <- now
+			continue
+		}
+		ev.gate <- struct{}{}
+		<-vc.idle
+	}
+}
+
+// Drain advances virtual time until every pending event has fired and
+// every actor has run to completion — typically called after a federation
+// returns, so stragglers still sleeping past the final round finish
+// instead of leaking blocked goroutines.
+func (vc *VirtualClock) Drain() {
+	vc.Wait(func() bool {
+		vc.mu.Lock()
+		defer vc.mu.Unlock()
+		return vc.pq.Len() == 0
+	}, time.Time{})
+}

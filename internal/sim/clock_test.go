@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// collectOrder runs n actors with the given virtual sleeps and returns the
+// order their completions were observed by a driver Wait loop.
+func collectOrder(t *testing.T, sleeps map[string]time.Duration) []string {
+	t.Helper()
+	vc := NewVirtualClock()
+	done := make(chan string, len(sleeps))
+	// Spawn in deterministic name order.
+	names := []string{"a", "b", "c", "d"}
+	for _, name := range names {
+		d, ok := sleeps[name]
+		if !ok {
+			continue
+		}
+		name, d := name, d
+		vc.Go(func() {
+			vc.Sleep(d)
+			done <- name
+		})
+	}
+	var got []string
+	for len(got) < len(sleeps) {
+		var v string
+		if !vc.Wait(func() bool {
+			select {
+			case v = <-done:
+				return true
+			default:
+				return false
+			}
+		}, time.Time{}) {
+			t.Fatal("Wait returned deadline with zero deadline")
+		}
+		got = append(got, v)
+	}
+	return got
+}
+
+func TestVirtualClockFiresInTimeOrder(t *testing.T) {
+	got := collectOrder(t, map[string]time.Duration{
+		"a": 300 * time.Millisecond,
+		"b": 100 * time.Millisecond,
+		"c": 200 * time.Millisecond,
+	})
+	want := []string{"b", "c", "a"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("completion order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVirtualClockTiesFireInScheduleOrder(t *testing.T) {
+	for run := 0; run < 20; run++ {
+		got := collectOrder(t, map[string]time.Duration{
+			"a": 50 * time.Millisecond,
+			"b": 50 * time.Millisecond,
+			"c": 50 * time.Millisecond,
+			"d": 50 * time.Millisecond,
+		})
+		for i, want := range []string{"a", "b", "c", "d"} {
+			if got[i] != want {
+				t.Fatalf("run %d: tie order %v, want spawn order abcd", run, got)
+			}
+		}
+	}
+}
+
+func TestVirtualClockAdvancesNoRealTime(t *testing.T) {
+	vc := NewVirtualClock()
+	start := vc.Now()
+	realStart := time.Now()
+	finished := false
+	vc.Go(func() {
+		vc.Sleep(24 * time.Hour)
+		finished = true
+	})
+	vc.Drain()
+	if !finished {
+		t.Fatal("actor did not finish")
+	}
+	if got := vc.Since(start); got != 24*time.Hour {
+		t.Fatalf("virtual elapsed %v, want 24h", got)
+	}
+	if real := time.Since(realStart); real > 2*time.Second {
+		t.Fatalf("simulating 24h took %v of real time", real)
+	}
+}
+
+func TestVirtualClockDeadlineWinsTies(t *testing.T) {
+	vc := NewVirtualClock()
+	deadline := vc.Now().Add(100 * time.Millisecond)
+	done := make(chan struct{}, 1)
+	vc.Go(func() {
+		vc.Sleep(100 * time.Millisecond) // lands exactly on the deadline
+		done <- struct{}{}
+	})
+	ok := vc.Wait(func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}, deadline)
+	if ok {
+		t.Fatal("event at the deadline should lose the tie to the deadline")
+	}
+	if got := vc.Now(); !got.Equal(deadline) {
+		t.Fatalf("clock at %v, want the deadline %v", got, deadline)
+	}
+	vc.Drain() // let the actor finish
+}
+
+func TestVirtualClockAfter(t *testing.T) {
+	vc := NewVirtualClock()
+	ch := vc.After(time.Second)
+	fired := false
+	vc.Wait(func() bool {
+		select {
+		case <-ch:
+			fired = true
+			return true
+		default:
+			return false
+		}
+	}, vc.Now().Add(2*time.Second))
+	if !fired {
+		t.Fatal("After timer did not fire before the 2s deadline")
+	}
+	if got := vc.Since(epoch); got != time.Second {
+		t.Fatalf("After fired at +%v, want +1s", got)
+	}
+}
+
+func TestVirtualClockDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Wait with nothing to advance and no deadline must panic")
+		}
+	}()
+	NewVirtualClock().Wait(func() bool { return false }, time.Time{})
+}

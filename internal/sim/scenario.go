@@ -1,0 +1,447 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"clinfl/internal/fl"
+	"clinfl/internal/tensor"
+)
+
+// ComputeProfile shapes per-client local-training speed.
+type ComputeProfile struct {
+	// Mean is the nominal per-round compute time (default 200ms of
+	// virtual time); each client's base is drawn from [0.5, 1.5)×Mean.
+	Mean time.Duration
+	// Jitter adds a fresh uniform [0, Jitter) delay every round.
+	Jitter time.Duration
+	// StragglerFraction marks this fraction of clients as stragglers
+	// whose compute is multiplied by StragglerFactor (default 20×).
+	StragglerFraction float64
+	StragglerFactor   float64
+}
+
+// withDefaults fills zero fields.
+func (p ComputeProfile) withDefaults() ComputeProfile {
+	if p.Mean <= 0 {
+		p.Mean = 200 * time.Millisecond
+	}
+	if p.StragglerFactor <= 0 {
+		p.StragglerFactor = 20
+	}
+	return p
+}
+
+// NetProfile shapes per-client link behavior: every task download and
+// update upload pays latency plus serialization time for its encoded
+// bytes, so codec choices show up as round-time differences exactly as
+// they would on a real WAN.
+type NetProfile struct {
+	// Latency is the nominal one-way per-message delay (default 10ms);
+	// each client's actual latency is drawn from [0.5, 1.5)×Latency.
+	Latency time.Duration
+	// BytesPerSec is the link bandwidth (default 20 MB/s; 0 keeps the
+	// default — use NoTransferCost to disable transfer modeling).
+	BytesPerSec int64
+	// NoTransferCost turns off transfer-time modeling (bytes are still
+	// accounted).
+	NoTransferCost bool
+}
+
+// withDefaults fills zero fields.
+func (p NetProfile) withDefaults() NetProfile {
+	if p.Latency <= 0 {
+		p.Latency = 10 * time.Millisecond
+	}
+	if p.BytesPerSec <= 0 {
+		p.BytesPerSec = 20 << 20
+	}
+	return p
+}
+
+// FaultProfile scripts client failures.
+type FaultProfile struct {
+	// FaultyFraction marks this fraction of clients as faulty.
+	FaultyFraction float64
+	// DropProb is a faulty client's per-round failure probability
+	// (default 0.3 when FaultyFraction > 0).
+	DropProb float64
+	// DropRounds lists rounds on which every faulty client fails
+	// outright (a correlated outage).
+	DropRounds []int
+}
+
+// withDefaults fills zero fields.
+func (p FaultProfile) withDefaults() FaultProfile {
+	if p.FaultyFraction > 0 && p.DropProb == 0 && len(p.DropRounds) == 0 {
+		p.DropProb = 0.3
+	}
+	return p
+}
+
+// Scenario is the declarative spec of one simulated federation: N clients
+// drawn from data/speed/fault/codec profiles, driving the unmodified
+// fl.Controller round loop under a virtual clock.
+type Scenario struct {
+	// Name labels the scenario in output.
+	Name string
+	// Seed pins every random choice: datasets, speeds, fault draws,
+	// client sampling. Two runs with the same spec and seed produce
+	// byte-identical History at any GOMAXPROCS.
+	Seed int64
+	// Clients is N (default 8); Rounds is E (default 5).
+	Clients, Rounds int
+
+	// Federation knobs, mirroring fl.ControllerConfig.
+	SampleFraction float64
+	MinUpdates     int
+	MinClients     int
+	RoundDeadline  time.Duration
+	// FedAsyncAlpha, when > 0, merges stragglers' late updates with
+	// staleness weighting; 0 drops them.
+	FedAsyncAlpha float64
+	// Validate scores every round's global model on the noise-free
+	// holdout (score = -MSE) so History carries a convergence curve.
+	Validate bool
+
+	// Codecs cycles uplink codecs across clients by index ("raw", "f32",
+	// "topk:0.1", ...); empty means raw everywhere. DownCodec encodes the
+	// simulated task downloads (default raw).
+	Codecs    []string
+	DownCodec string
+
+	// Population profiles.
+	Task    LinearTask
+	Compute ComputeProfile
+	Net     NetProfile
+	Faults  FaultProfile
+}
+
+// withDefaults fills zero fields.
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Name == "" {
+		sc.Name = "scenario"
+	}
+	if sc.Clients <= 0 {
+		sc.Clients = 8
+	}
+	if sc.Rounds <= 0 {
+		sc.Rounds = 5
+	}
+	if sc.MinClients <= 0 {
+		sc.MinClients = 1
+	}
+	sc.Task = sc.Task.withDefaults()
+	sc.Compute = sc.Compute.withDefaults()
+	sc.Net = sc.Net.withDefaults()
+	sc.Faults = sc.Faults.withDefaults()
+	return sc
+}
+
+// RunResult is one simulated federation's outcome plus simulator stats.
+type RunResult struct {
+	// Result is the controller's output, exactly as a real federation
+	// would report it; Result.History under the virtual clock carries
+	// deterministic virtual durations.
+	Result *fl.Result
+	// VirtualElapsed is the simulated wall time of the whole federation;
+	// RealElapsed is what it actually cost.
+	VirtualElapsed, RealElapsed time.Duration
+	// BytesUp / BytesDown total the encoded weight payload bytes moved
+	// up- and downlink (8-byte frame headers included), summed over all
+	// clients including stragglers whose updates arrived late or never.
+	BytesUp, BytesDown int64
+	// Stragglers / Faulty name the clients the profiles marked.
+	Stragglers, Faulty []string
+	// InitialMSE / FinalMSE score the zero model and the final global
+	// model on the noise-free holdout.
+	InitialMSE, FinalMSE float64
+}
+
+// HistoryJSON renders the run's History in a canonical (indented,
+// key-stable) form — the byte string golden determinism tests compare.
+func (r *RunResult) HistoryJSON() ([]byte, error) {
+	return json.MarshalIndent(r.Result.History, "", "  ")
+}
+
+// simClient is one scenario client: an fl.Executor whose round execution
+// pays virtual time for task download, local compute, and update upload,
+// fails per its fault script, and round-trips its update through its
+// uplink codec for byte accounting and honest quantization loss.
+type simClient struct {
+	name      string
+	clock     Clock
+	shard     *LinearShard
+	codec     fl.WeightCodec
+	downCodec fl.WeightCodec
+	net       NetProfile
+
+	computeBase time.Duration
+	jitter      time.Duration
+	latency     time.Duration
+
+	faulty     bool
+	dropProb   float64
+	dropRounds []int
+	rng        *tensor.RNG
+
+	bytesUp, bytesDown *atomic.Int64
+}
+
+var _ fl.Executor = (*simClient)(nil)
+
+// Name implements fl.Executor.
+func (c *simClient) Name() string { return c.name }
+
+// NumSamples implements fl.Executor.
+func (c *simClient) NumSamples() int { return c.shard.Samples() }
+
+// transfer returns the virtual time one message of n payload bytes costs.
+func (c *simClient) transfer(n int) time.Duration {
+	if c.net.NoTransferCost {
+		return 0
+	}
+	return c.latency + time.Duration(int64(n+8)*int64(time.Second)/c.net.BytesPerSec)
+}
+
+// ExecuteRound implements fl.Executor.
+func (c *simClient) ExecuteRound(round int, global map[string]*tensor.Matrix) (*fl.ClientUpdate, error) {
+	downBlob, err := c.downCodec.Encode(global)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s encode task: %w", c.name, err)
+	}
+	c.bytesDown.Add(int64(len(downBlob) + 8))
+	c.clock.Sleep(c.transfer(len(downBlob)))
+
+	compute := c.computeBase
+	if c.jitter > 0 {
+		compute += time.Duration(c.rng.Float64() * float64(c.jitter))
+	}
+	c.clock.Sleep(compute)
+
+	if c.drops(round) {
+		return nil, fmt.Errorf("sim: %s faulted on round %d", c.name, round)
+	}
+
+	weights, loss, err := c.shard.Train(global)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := c.codec.Encode(weights)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s encode update: %w", c.name, err)
+	}
+	c.bytesUp.Add(int64(len(blob) + 8))
+	c.clock.Sleep(c.transfer(len(blob)))
+	decoded, err := fl.DecodeWeights(blob)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s decode update: %w", c.name, err)
+	}
+	return &fl.ClientUpdate{
+		ClientName:   c.name,
+		Round:        round,
+		Weights:      decoded,
+		NumSamples:   c.shard.Samples(),
+		TrainLoss:    loss,
+		PayloadBytes: len(blob),
+	}, nil
+}
+
+// drops decides whether this round fails, from the client's fault script.
+func (c *simClient) drops(round int) bool {
+	if !c.faulty {
+		return false
+	}
+	for _, r := range c.dropRounds {
+		if r == round {
+			return true
+		}
+	}
+	return c.dropProb > 0 && c.rng.Float64() < c.dropProb
+}
+
+// Run executes the scenario under a fresh virtual clock and returns the
+// federation result plus simulator stats.
+func (sc Scenario) Run() (*RunResult, error) {
+	sc = sc.withDefaults()
+	clock := NewVirtualClock()
+	start := clock.Now()
+	realStart := time.Now()
+
+	pop := sc.Task.NewPopulation(sc.Seed, sc.Clients)
+	downCodec, err := fl.CodecByName(sc.DownCodec)
+	if err != nil {
+		return nil, err
+	}
+	var bytesUp, bytesDown atomic.Int64
+
+	// Role assignment: one deterministic shuffle of the client indices,
+	// stragglers from the front, faulty clients right after (disjoint).
+	rng := tensor.NewRNG(sc.Seed + 104729)
+	order := make([]int, sc.Clients)
+	for i := range order {
+		order[i] = i
+	}
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	nStrag := int(sc.Compute.StragglerFraction * float64(sc.Clients))
+	nFaulty := int(sc.Faults.FaultyFraction * float64(sc.Clients))
+	if nStrag+nFaulty > sc.Clients {
+		nFaulty = sc.Clients - nStrag
+	}
+	isStraggler := make(map[int]bool, nStrag)
+	isFaulty := make(map[int]bool, nFaulty)
+	for _, i := range order[:nStrag] {
+		isStraggler[i] = true
+	}
+	for _, i := range order[nStrag : nStrag+nFaulty] {
+		isFaulty[i] = true
+	}
+
+	res := &RunResult{}
+	execs := make([]fl.Executor, sc.Clients)
+	for i := 0; i < sc.Clients; i++ {
+		name := fmt.Sprintf("site-%03d", i)
+		codecName := ""
+		if len(sc.Codecs) > 0 {
+			codecName = sc.Codecs[i%len(sc.Codecs)]
+		}
+		codec, err := fl.CodecByName(codecName)
+		if err != nil {
+			return nil, err
+		}
+		crng := rng.Split()
+		base := time.Duration((0.5 + crng.Float64()) * float64(sc.Compute.Mean))
+		if isStraggler[i] {
+			base = time.Duration(float64(base) * sc.Compute.StragglerFactor)
+			res.Stragglers = append(res.Stragglers, name)
+		}
+		if isFaulty[i] {
+			res.Faulty = append(res.Faulty, name)
+		}
+		execs[i] = &simClient{
+			name:        name,
+			clock:       clock,
+			shard:       pop.Shards[i],
+			codec:       codec,
+			downCodec:   downCodec,
+			net:         sc.Net,
+			computeBase: base,
+			jitter:      sc.Compute.Jitter,
+			latency:     time.Duration((0.5 + crng.Float64()) * float64(sc.Net.Latency)),
+			faulty:      isFaulty[i],
+			dropProb:    sc.Faults.DropProb,
+			dropRounds:  sc.Faults.DropRounds,
+			rng:         crng,
+			bytesUp:     &bytesUp,
+			bytesDown:   &bytesDown,
+		}
+	}
+	sort.Strings(res.Stragglers)
+	sort.Strings(res.Faulty)
+
+	cfg := fl.ControllerConfig{
+		Rounds:         sc.Rounds,
+		MinClients:     sc.MinClients,
+		SampleFraction: sc.SampleFraction,
+		MinUpdates:     sc.MinUpdates,
+		RoundDeadline:  sc.RoundDeadline,
+		Seed:           sc.Seed,
+		Clock:          clock,
+	}
+	if sc.FedAsyncAlpha > 0 {
+		cfg.AsyncAggregator = fl.FedAsync{Alpha: sc.FedAsyncAlpha}
+	}
+	if sc.Validate {
+		cfg.Validate = func(w map[string]*tensor.Matrix) (float64, error) {
+			mse, err := pop.Eval(w)
+			return -mse, err
+		}
+	}
+
+	initial := InitialLinearWeights(sc.Task.Dim)
+	res.InitialMSE, err = pop.Eval(initial)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := fl.NewController(cfg, execs)
+	if err != nil {
+		return nil, err
+	}
+	out, err := ctrl.Run(context.Background(), initial)
+	if err != nil {
+		return nil, fmt.Errorf("sim: scenario %s: %w", sc.Name, err)
+	}
+	// Let stragglers still in flight finish in virtual time, so every
+	// spawned actor exits and their uplink bytes are fully accounted.
+	clock.Drain()
+
+	res.Result = out
+	res.VirtualElapsed = clock.Since(start)
+	res.RealElapsed = time.Since(realStart)
+	res.BytesUp = bytesUp.Load()
+	res.BytesDown = bytesDown.Load()
+	res.FinalMSE, err = pop.Eval(out.FinalWeights)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ScaleScenario is the acceptance-scale spec: 200 clients × 20 rounds
+// with 10% stragglers (20× slower than the deadline allows), 5% faulty
+// clients, mixed raw/f32 codecs, deadline-based partial aggregation and
+// FedAsync late merging. Under the virtual clock it simulates roughly an
+// hour of federation wall time in a couple of seconds of real time.
+func ScaleScenario(seed int64) Scenario {
+	return Scenario{
+		Name:           "scale-200",
+		Seed:           seed,
+		Clients:        200,
+		Rounds:         20,
+		SampleFraction: 0.5,
+		MinUpdates:     80,
+		MinClients:     20,
+		RoundDeadline:  2 * time.Second,
+		FedAsyncAlpha:  0.5,
+		Validate:       true,
+		Codecs:         []string{"raw", "f32"},
+		Compute: ComputeProfile{
+			Mean:              200 * time.Millisecond,
+			Jitter:            100 * time.Millisecond,
+			StragglerFraction: 0.10,
+			StragglerFactor:   20,
+		},
+		Faults: FaultProfile{FaultyFraction: 0.05, DropProb: 0.3},
+	}
+}
+
+// Golden16Scenario is the pinned mixed-codec spec behind the golden
+// determinism test: 16 clients, every codec in the negotiation set, a
+// deadline tight enough to strand its stragglers, and fault injection on.
+// Do not re-tune casually — its History JSON is checked in byte-for-byte.
+func Golden16Scenario() Scenario {
+	return Scenario{
+		Name:           "golden-16",
+		Seed:           42,
+		Clients:        16,
+		Rounds:         6,
+		SampleFraction: 0.75,
+		MinUpdates:     8,
+		MinClients:     4,
+		RoundDeadline:  1500 * time.Millisecond,
+		FedAsyncAlpha:  0.5,
+		Validate:       true,
+		Codecs:         []string{"raw", "f32", "topk:0.25"},
+		Compute: ComputeProfile{
+			Mean:              150 * time.Millisecond,
+			Jitter:            50 * time.Millisecond,
+			StragglerFraction: 0.25,
+			StragglerFactor:   15,
+		},
+		Faults: FaultProfile{FaultyFraction: 0.125, DropProb: 0.25},
+	}
+}

@@ -33,7 +33,17 @@ func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
 	return n, nil
 }
 
-// ReadFrom deserializes a matrix from r, replacing m's contents.
+// maxReadElems caps a deserialized matrix at 2^27 elements (1 GiB of
+// float64) — far above any model here, far below an OOM. Each dimension is
+// capped before the product is taken in int64, so a corrupt header cannot
+// wrap the check on any GOARCH (a fuzzed wire payload once slipped a
+// makeslice panic through the old int-arithmetic bound).
+const maxReadElems = 1 << 27
+
+// ReadFrom deserializes a matrix from r, replacing m's contents. Data is
+// read and decoded in bounded chunks, so a tiny corrupt blob declaring a
+// huge shape fails with a read error after a small allocation instead of
+// demanding the full declared size up front.
 func (m *Matrix) ReadFrom(r io.Reader) (int64, error) {
 	var n int64
 	hdr := make([]byte, 16)
@@ -42,22 +52,28 @@ func (m *Matrix) ReadFrom(r io.Reader) (int64, error) {
 	if err != nil {
 		return n, fmt.Errorf("tensor: read header: %w", err)
 	}
-	rows := int(binary.LittleEndian.Uint64(hdr[0:8]))
-	cols := int(binary.LittleEndian.Uint64(hdr[8:16]))
-	if rows < 0 || cols < 0 || rows*cols > 1<<30 {
+	rows := int64(binary.LittleEndian.Uint64(hdr[0:8]))
+	cols := int64(binary.LittleEndian.Uint64(hdr[8:16]))
+	if rows < 0 || cols < 0 || rows > maxReadElems || cols > maxReadElems ||
+		rows*cols > maxReadElems {
 		return n, fmt.Errorf("tensor: implausible dimensions %dx%d", rows, cols)
 	}
-	buf := make([]byte, 8*rows*cols)
-	k, err = io.ReadFull(r, buf)
-	n += int64(k)
-	if err != nil {
-		return n, fmt.Errorf("tensor: read data: %w", err)
+	elems := int(rows * cols)
+	data := make([]float64, 0, min(elems, 64*1024/8))
+	buf := make([]byte, 64*1024)
+	for len(data) < elems {
+		c := min(len(buf)/8, elems-len(data))
+		k, err = io.ReadFull(r, buf[:c*8])
+		n += int64(k)
+		if err != nil {
+			return n, fmt.Errorf("tensor: read data: %w", err)
+		}
+		for i := 0; i < c; i++ {
+			data = append(data, math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:])))
+		}
 	}
-	m.rows, m.cols = rows, cols
-	m.data = make([]float64, rows*cols)
-	for i := range m.data {
-		m.data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
-	}
+	m.rows, m.cols = int(rows), int(cols)
+	m.data = data[:elems:elems]
 	return n, nil
 }
 

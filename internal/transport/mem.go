@@ -1,0 +1,309 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"slices"
+	"sync"
+	"time"
+)
+
+// This file is the in-memory substrate of the federation simulator: a
+// MemNetwork hands out MessageConn pairs that behave like the framed TLS
+// links in this package — same message encoding, same byte accounting,
+// same failure surface (a corrupted frame fails decode on the reader, a
+// closed peer fails reads) — but shaped by configurable per-client
+// latency/bandwidth and scripted fault schedules instead of a real
+// network. A 200-client federation registers in microseconds instead of
+// 200 TLS handshakes, and every fault is reproducible.
+
+// LinkProfile shapes one direction of a simulated link.
+type LinkProfile struct {
+	// Latency is the per-message propagation delay.
+	Latency time.Duration
+	// BytesPerSec models serialization bandwidth: each message adds
+	// framedBytes/BytesPerSec of delay. 0 means infinite bandwidth.
+	BytesPerSec int64
+	// Faults scripts message loss and corruption on this direction.
+	Faults FaultSchedule
+}
+
+// FaultSchedule scripts per-message faults for one link direction.
+// Indexed faults key on the 0-based sequence number of messages written to
+// the direction; probabilistic faults draw from a stream seeded by Seed,
+// so a schedule replays identically.
+type FaultSchedule struct {
+	// DropMsgs lists message indices that vanish in transit (the sender
+	// sees success; the reader never sees the message).
+	DropMsgs []int
+	// CorruptMsgs lists message indices whose body is bit-flipped in
+	// transit; the reader's decode fails, like a damaged frame.
+	CorruptMsgs []int
+	// DelayMsgs adds extra one-off delay to specific message indices.
+	DelayMsgs map[int]time.Duration
+	// DropProb / CorruptProb apply the same faults probabilistically.
+	DropProb, CorruptProb float64
+	// Seed drives the probabilistic fault stream.
+	Seed int64
+}
+
+// memFrame is one in-flight message body plus its modeled transit delay.
+type memFrame struct {
+	body  []byte
+	delay time.Duration
+}
+
+// memLink is the shared state of one MemConn pair: two directed queues and
+// a single close signal (closing either end kills the link, as with TCP).
+type memLink struct {
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func (l *memLink) close() { l.closeOnce.Do(func() { close(l.done) }) }
+
+// memDir is one direction of a link.
+type memDir struct {
+	ch   chan memFrame
+	prof LinkProfile
+
+	mu  sync.Mutex
+	seq int
+	rng *rand.Rand
+}
+
+// send encodes, applies the fault schedule, and enqueues m.
+func (d *memDir) send(body []byte) {
+	d.mu.Lock()
+	i := d.seq
+	d.seq++
+	drop := slices.Contains(d.prof.Faults.DropMsgs, i) ||
+		(d.prof.Faults.DropProb > 0 && d.rng.Float64() < d.prof.Faults.DropProb)
+	corrupt := slices.Contains(d.prof.Faults.CorruptMsgs, i) ||
+		(d.prof.Faults.CorruptProb > 0 && d.rng.Float64() < d.prof.Faults.CorruptProb)
+	extra := d.prof.Faults.DelayMsgs[i]
+	d.mu.Unlock()
+	if drop {
+		return
+	}
+	if corrupt {
+		body = append([]byte(nil), body...)
+		body[len(body)/2] ^= 0xFF
+	}
+	delay := d.prof.Latency + extra
+	if d.prof.BytesPerSec > 0 {
+		delay += time.Duration(int64(len(body)+8) * int64(time.Second) / d.prof.BytesPerSec)
+	}
+	d.ch <- memFrame{body: body, delay: delay}
+}
+
+// MemConn is one end of an in-memory message link.
+type MemConn struct {
+	local, remote string
+	link          *memLink
+	in, out       *memDir
+	counters      connCounters
+
+	mu       sync.Mutex
+	deadline time.Time
+}
+
+// connCounters tracks framed byte totals like *Conn does.
+type connCounters struct {
+	mu            sync.Mutex
+	read, written int64
+}
+
+var _ MessageConn = (*MemConn)(nil)
+
+// Write implements MessageConn: encode, account bytes, enqueue through the
+// fault/latency model. A dropped message still counts as written — the
+// sender did the work — but never as read.
+func (c *MemConn) Write(m *Message) error {
+	select {
+	case <-c.link.done:
+		return fmt.Errorf("transport: mem conn %s: write on closed link", c.local)
+	default:
+	}
+	body, err := encodeMessage(m)
+	if err != nil {
+		return err
+	}
+	c.counters.mu.Lock()
+	c.counters.written += int64(len(body)) + 8
+	c.counters.mu.Unlock()
+	c.out.send(body)
+	return nil
+}
+
+// memTimeoutError satisfies net.Error with Timeout() == true, so deadline
+// expiry on mem conns/listeners is retried by the same loops that handle
+// socket timeouts.
+type memTimeoutError struct{ op string }
+
+func (e memTimeoutError) Error() string   { return "transport: mem " + e.op + " deadline exceeded" }
+func (e memTimeoutError) Timeout() bool   { return true }
+func (e memTimeoutError) Temporary() bool { return true }
+
+// Read implements MessageConn: dequeue, pay the modeled transit delay,
+// decode. A corrupted frame fails here, on the reader's side, exactly like
+// a damaged TLS frame would — with its framed bytes still counted, as on
+// the socket path. The transit delay is interruptible: Close and the read
+// deadline both cut it short, keeping the MessageConn contract that
+// blocked reads fail.
+func (c *MemConn) Read() (*Message, error) {
+	c.mu.Lock()
+	deadline := c.deadline
+	c.mu.Unlock()
+	var timeout <-chan time.Time
+	if !deadline.IsZero() {
+		timeout = time.After(time.Until(deadline))
+	}
+	select {
+	case f := <-c.in.ch:
+		if f.delay > 0 {
+			transit := time.NewTimer(f.delay)
+			defer transit.Stop()
+			select {
+			case <-transit.C:
+			case <-c.link.done:
+				return nil, fmt.Errorf("transport: mem conn %s: link closed", c.local)
+			case <-timeout:
+				return nil, memTimeoutError{op: "read"}
+			}
+		}
+		c.counters.mu.Lock()
+		c.counters.read += int64(len(f.body)) + 8
+		c.counters.mu.Unlock()
+		return decodeMessage(f.body)
+	case <-c.link.done:
+		return nil, fmt.Errorf("transport: mem conn %s: link closed", c.local)
+	case <-timeout:
+		return nil, memTimeoutError{op: "read"}
+	}
+}
+
+// Close implements MessageConn; both ends of the link die.
+func (c *MemConn) Close() error {
+	c.link.close()
+	return nil
+}
+
+// BytesRead implements MessageConn.
+func (c *MemConn) BytesRead() int64 {
+	c.counters.mu.Lock()
+	defer c.counters.mu.Unlock()
+	return c.counters.read
+}
+
+// BytesWritten implements MessageConn.
+func (c *MemConn) BytesWritten() int64 {
+	c.counters.mu.Lock()
+	defer c.counters.mu.Unlock()
+	return c.counters.written
+}
+
+// SetDeadline implements MessageConn (reads only: mem writes never block
+// beyond queue capacity).
+func (c *MemConn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.deadline = t
+	c.mu.Unlock()
+	return nil
+}
+
+// memAddr names a mem endpoint.
+type memAddr string
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return string(a) }
+
+// RemoteAddr implements MessageConn.
+func (c *MemConn) RemoteAddr() net.Addr { return memAddr(c.remote) }
+
+// MemNetwork is an in-process rendezvous between one listening server and
+// any number of dialing clients. It implements MessageListener directly:
+// pass it as ServerConfig.Listener and give each client a Dial closure.
+type MemNetwork struct {
+	accept    chan *MemConn
+	done      chan struct{}
+	closeOnce sync.Once
+
+	mu       sync.Mutex
+	deadline time.Time
+}
+
+// NewMemNetwork creates an in-memory network with room for a backlog of
+// pending connections.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{
+		accept: make(chan *MemConn, 1024),
+		done:   make(chan struct{}),
+	}
+}
+
+var _ MessageListener = (*MemNetwork)(nil)
+
+// Dial connects a named client to the network's listener. up shapes the
+// client→server direction, down the server→client direction. The returned
+// conn is the client end; the server end is delivered to AcceptConn.
+func (n *MemNetwork) Dial(name string, up, down LinkProfile) (MessageConn, error) {
+	link := &memLink{done: make(chan struct{})}
+	upDir := &memDir{ch: make(chan memFrame, 1024), prof: up,
+		rng: rand.New(rand.NewSource(up.Faults.Seed + 1))}
+	downDir := &memDir{ch: make(chan memFrame, 1024), prof: down,
+		rng: rand.New(rand.NewSource(down.Faults.Seed + 2))}
+	client := &MemConn{local: name, remote: "server", link: link, in: downDir, out: upDir}
+	server := &MemConn{local: "server", remote: name, link: link, in: upDir, out: downDir}
+	// Check done first: the buffered accept channel would otherwise win
+	// the select against an already-closed network.
+	select {
+	case <-n.done:
+		return nil, errors.New("transport: mem network closed")
+	default:
+	}
+	select {
+	case n.accept <- server:
+		return client, nil
+	case <-n.done:
+		return nil, errors.New("transport: mem network closed")
+	}
+}
+
+// AcceptConn implements MessageListener.
+func (n *MemNetwork) AcceptConn() (MessageConn, error) {
+	n.mu.Lock()
+	deadline := n.deadline
+	n.mu.Unlock()
+	var timeout <-chan time.Time
+	if !deadline.IsZero() {
+		timeout = time.After(time.Until(deadline))
+	}
+	select {
+	case c := <-n.accept:
+		return c, nil
+	case <-n.done:
+		return nil, errors.New("transport: mem network closed")
+	case <-timeout:
+		return nil, memTimeoutError{op: "accept"}
+	}
+}
+
+// Close implements MessageListener.
+func (n *MemNetwork) Close() error {
+	n.closeOnce.Do(func() { close(n.done) })
+	return nil
+}
+
+// Addr implements MessageListener.
+func (n *MemNetwork) Addr() net.Addr { return memAddr("mem") }
+
+// SetDeadline implements MessageListener.
+func (n *MemNetwork) SetDeadline(t time.Time) error {
+	n.mu.Lock()
+	n.deadline = t
+	n.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// memPair dials one link and returns (client, server) ends.
+func memPair(t *testing.T, up, down LinkProfile) (MessageConn, MessageConn) {
+	t.Helper()
+	n := NewMemNetwork()
+	t.Cleanup(func() { n.Close() })
+	client, err := n.Dial("c1", up, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := n.AcceptConn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, server
+}
+
+func TestMemConnRoundTripAndBytes(t *testing.T) {
+	client, server := memPair(t, LinkProfile{}, LinkProfile{})
+	msg := &Message{Type: MsgUpdate, Sender: "c1", Round: 2, Payload: []byte("payload"), NumSamples: 7}
+	if err := client.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != MsgUpdate || got.Sender != "c1" || got.Round != 2 ||
+		string(got.Payload) != "payload" || got.NumSamples != 7 {
+		t.Fatalf("message mangled in transit: %+v", got)
+	}
+	if client.BytesWritten() <= 0 || server.BytesRead() != client.BytesWritten() {
+		t.Fatalf("byte accounting mismatch: wrote %d, read %d",
+			client.BytesWritten(), server.BytesRead())
+	}
+}
+
+func TestMemConnCorruptFrameFailsDecodeButCountsBytes(t *testing.T) {
+	client, server := memPair(t, LinkProfile{Faults: FaultSchedule{CorruptMsgs: []int{0}}}, LinkProfile{})
+	if err := client.Write(&Message{Type: MsgUpdate, Sender: "c1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Read(); err == nil {
+		t.Fatal("corrupted frame must fail decode on the reader")
+	}
+	// The bytes crossed the link even though decode failed — same contract
+	// as the socket path.
+	if server.BytesRead() <= 0 {
+		t.Fatal("corrupt frame's bytes not accounted")
+	}
+}
+
+func TestMemConnDropSchedule(t *testing.T) {
+	client, server := memPair(t, LinkProfile{Faults: FaultSchedule{DropMsgs: []int{0}}}, LinkProfile{})
+	if err := client.Write(&Message{Type: MsgUpdate, Sender: "c1", Round: 0}); err != nil {
+		t.Fatal(err) // dropped in transit: sender still sees success
+	}
+	if err := client.Write(&Message{Type: MsgUpdate, Sender: "c1", Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 1 {
+		t.Fatalf("read round %d, want the surviving message 1", got.Round)
+	}
+}
+
+func TestMemConnReadDeadlineInterruptsTransitDelay(t *testing.T) {
+	client, server := memPair(t, LinkProfile{Latency: time.Minute}, LinkProfile{})
+	if err := client.Write(&Message{Type: MsgUpdate, Sender: "c1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.SetDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := server.Read()
+	if err == nil {
+		t.Fatal("want deadline error")
+	}
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("want net.Error timeout, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline did not interrupt the modeled transit delay")
+	}
+}
+
+func TestMemConnCloseInterruptsBlockedRead(t *testing.T) {
+	client, server := memPair(t, LinkProfile{Latency: time.Minute}, LinkProfile{})
+	if err := client.Write(&Message{Type: MsgUpdate, Sender: "c1"}); err != nil {
+		t.Fatal(err)
+	}
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := server.Read()
+		readErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the read enter the transit wait
+	_ = client.Close()
+	select {
+	case err := <-readErr:
+		if err == nil || !strings.Contains(err.Error(), "closed") {
+			t.Fatalf("want link-closed error, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not interrupt a read blocked in the transit delay")
+	}
+}
+
+func TestMemListenerDeadlineAndClose(t *testing.T) {
+	n := NewMemNetwork()
+	if err := n.SetDeadline(time.Now().Add(30 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AcceptConn(); err == nil {
+		t.Fatal("want accept timeout")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("want net.Error timeout, got %v", err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Dial("c1", LinkProfile{}, LinkProfile{}); err == nil {
+		t.Fatal("dial on a closed network must fail")
+	}
+}

@@ -82,6 +82,42 @@ const maxMessageSize = 64 << 20
 // ErrMessageTooLarge is returned for frames exceeding maxMessageSize.
 var ErrMessageTooLarge = errors.New("transport: message exceeds size limit")
 
+// MessageConn is one framed, bidirectional message channel between a
+// server and a client. The FL stack is written against this interface so
+// the same Server/Client code runs over mutual-TLS sockets (*Conn) and
+// over the in-memory simulated links (*MemConn) the federation simulator
+// and the fltest conformance kit use.
+type MessageConn interface {
+	// Read receives the next message, blocking until one arrives, the
+	// read deadline passes, or the connection dies.
+	Read() (*Message, error)
+	// Write sends one message.
+	Write(m *Message) error
+	// Close tears the connection down; blocked reads fail.
+	Close() error
+	// BytesRead / BytesWritten report total framed bytes so callers can
+	// account bytes-on-wire per round.
+	BytesRead() int64
+	BytesWritten() int64
+	// SetDeadline bounds the next read/write (zero clears it).
+	SetDeadline(t time.Time) error
+	// RemoteAddr exposes the peer address for logging.
+	RemoteAddr() net.Addr
+}
+
+// MessageListener accepts MessageConns. TLS listeners and the in-memory
+// network both implement it.
+type MessageListener interface {
+	// AcceptConn waits for the next inbound connection.
+	AcceptConn() (MessageConn, error)
+	// Close stops accepting; blocked AcceptConn calls fail.
+	Close() error
+	// Addr is the listener's address.
+	Addr() net.Addr
+	// SetDeadline bounds the next AcceptConn call.
+	SetDeadline(t time.Time) error
+}
+
 // Conn frames messages over a net.Conn. Safe for one reader and one writer
 // goroutine concurrently (reads and writes are independently serialized by
 // the caller's usage pattern; this type adds no locking).
@@ -112,18 +148,68 @@ func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
 // SetDeadline bounds the next read/write.
 func (c *Conn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
 
+// encodeMessage renders m as one frame body (gob, no length header).
+func encodeMessage(m *Message) ([]byte, error) {
+	enc := gobBuffer{}
+	if err := gob.NewEncoder(&enc).Encode(m); err != nil {
+		return nil, fmt.Errorf("transport: encode %s: %w", m.Type, err)
+	}
+	if len(enc.b) > maxMessageSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrMessageTooLarge, len(enc.b))
+	}
+	return enc.b, nil
+}
+
+// decodeMessage parses one frame body produced by encodeMessage.
+func decodeMessage(body []byte) (*Message, error) {
+	var m Message
+	if err := gob.NewDecoder(&gobReader{b: body}).Decode(&m); err != nil {
+		return nil, fmt.Errorf("transport: decode: %w", err)
+	}
+	return &m, nil
+}
+
+// readFrame reads one length-prefixed frame body from r, returning the
+// body and the total framed bytes consumed. Factored out of Conn.Read so
+// the frame parser can be fuzzed against arbitrary byte streams.
+func readFrame(r io.Reader) ([]byte, int64, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("transport: read header: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(hdr[:])
+	if n > maxMessageSize {
+		return nil, 0, fmt.Errorf("%w: %d bytes", ErrMessageTooLarge, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, 0, fmt.Errorf("transport: read body: %w", err)
+	}
+	return body, int64(len(hdr)) + int64(n), nil
+}
+
+// ReadMessage parses one framed message from r (frame header, size cap,
+// gob body). Conn.Read goes through it; fuzz targets drive it directly.
+// When a complete frame is consumed but its body fails to decode, the
+// framed byte count is still returned alongside the error — those bytes
+// crossed the wire and must stay in the accounting.
+func ReadMessage(r io.Reader) (*Message, int64, error) {
+	body, n, err := readFrame(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	m, err := decodeMessage(body)
+	if err != nil {
+		return nil, n, err
+	}
+	return m, n, nil
+}
+
 // Write sends one message: 8-byte little-endian length then gob body.
 func (c *Conn) Write(m *Message) error {
-	var body []byte
-	{
-		enc := gobBuffer{}
-		if err := gob.NewEncoder(&enc).Encode(m); err != nil {
-			return fmt.Errorf("transport: encode %s: %w", m.Type, err)
-		}
-		body = enc.b
-	}
-	if len(body) > maxMessageSize {
-		return fmt.Errorf("%w: %d bytes", ErrMessageTooLarge, len(body))
+	body, err := encodeMessage(m)
+	if err != nil {
+		return err
 	}
 	var hdr [8]byte
 	binary.LittleEndian.PutUint64(hdr[:], uint64(len(body)))
@@ -139,24 +225,12 @@ func (c *Conn) Write(m *Message) error {
 
 // Read receives one message.
 func (c *Conn) Read() (*Message, error) {
-	var hdr [8]byte
-	if _, err := io.ReadFull(c.nc, hdr[:]); err != nil {
-		return nil, fmt.Errorf("transport: read header: %w", err)
+	m, n, err := ReadMessage(c.nc)
+	c.bytesRead.Add(n)
+	if err != nil {
+		return nil, err
 	}
-	n := binary.LittleEndian.Uint64(hdr[:])
-	if n > maxMessageSize {
-		return nil, fmt.Errorf("%w: %d bytes", ErrMessageTooLarge, n)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(c.nc, body); err != nil {
-		return nil, fmt.Errorf("transport: read body: %w", err)
-	}
-	c.bytesRead.Add(int64(len(hdr)) + int64(n))
-	var m Message
-	if err := gob.NewDecoder(&gobReader{b: body}).Decode(&m); err != nil {
-		return nil, fmt.Errorf("transport: decode: %w", err)
-	}
-	return &m, nil
+	return m, nil
 }
 
 // gobBuffer is a minimal io.Writer accumulating bytes (avoids bytes.Buffer
@@ -225,6 +299,48 @@ func (l *TLSListener) Addr() net.Addr { return l.tcp.Addr() }
 func (l *TLSListener) SetDeadline(t time.Time) error { return l.tcp.SetDeadline(t) }
 
 var _ net.Listener = (*TLSListener)(nil)
+
+var _ MessageConn = (*Conn)(nil)
+
+// connListener adapts a net.Listener (in practice *TLSListener) into a
+// MessageListener by framing accepted connections with NewConn.
+type connListener struct {
+	ln net.Listener
+}
+
+// ListenMessages starts a TLS MessageListener on addr: the socket-backed
+// counterpart of (*MemNetwork).Listener.
+func ListenMessages(addr string, cfg *tls.Config) (MessageListener, error) {
+	ln, err := Listen(addr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return connListener{ln: ln}, nil
+}
+
+// AcceptConn implements MessageListener.
+func (l connListener) AcceptConn() (MessageConn, error) {
+	nc, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(nc), nil
+}
+
+// Close implements MessageListener.
+func (l connListener) Close() error { return l.ln.Close() }
+
+// Addr implements MessageListener.
+func (l connListener) Addr() net.Addr { return l.ln.Addr() }
+
+// SetDeadline implements MessageListener.
+func (l connListener) SetDeadline(t time.Time) error {
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := l.ln.(deadliner); ok {
+		return d.SetDeadline(t)
+	}
+	return errors.New("transport: listener does not support deadlines")
+}
 
 // Dial connects to addr with the given TLS config, retrying until the
 // deadline to tolerate server startup races.
