@@ -18,7 +18,7 @@ func (t *Tape) Add(a, b *Node) (*Node, error) {
 		return nil, fmt.Errorf("autograd: %w: Add %dx%d + %dx%d", tensor.ErrShape,
 			a.Value.Rows(), a.Value.Cols(), b.Value.Rows(), b.Value.Cols())
 	}
-	v := t.newMatrix(a.Value.Rows(), a.Value.Cols())
+	v := t.newMatrixUninit(a.Value.Rows(), a.Value.Cols())
 	vd, ad, bd := v.Data(), a.Value.Data(), b.Value.Data()
 	for i, av := range ad {
 		vd[i] = av + bd[i]
@@ -32,7 +32,7 @@ func (t *Tape) Sub(a, b *Node) (*Node, error) {
 		return nil, fmt.Errorf("autograd: %w: Sub %dx%d - %dx%d", tensor.ErrShape,
 			a.Value.Rows(), a.Value.Cols(), b.Value.Rows(), b.Value.Cols())
 	}
-	v := t.newMatrix(a.Value.Rows(), a.Value.Cols())
+	v := t.newMatrixUninit(a.Value.Rows(), a.Value.Cols())
 	vd, ad, bd := v.Data(), a.Value.Data(), b.Value.Data()
 	for i, av := range ad {
 		vd[i] = av - bd[i]
@@ -46,7 +46,7 @@ func (t *Tape) Mul(a, b *Node) (*Node, error) {
 		return nil, fmt.Errorf("autograd: %w: Mul %dx%d ⊙ %dx%d", tensor.ErrShape,
 			a.Value.Rows(), a.Value.Cols(), b.Value.Rows(), b.Value.Cols())
 	}
-	v := t.newMatrix(a.Value.Rows(), a.Value.Cols())
+	v := t.newMatrixUninit(a.Value.Rows(), a.Value.Cols())
 	vd, ad, bd := v.Data(), a.Value.Data(), b.Value.Data()
 	for i, av := range ad {
 		vd[i] = av * bd[i]
@@ -56,7 +56,7 @@ func (t *Tape) Mul(a, b *Node) (*Node, error) {
 
 // Scale returns alpha*a for a compile-time constant alpha.
 func (t *Tape) Scale(alpha float64, a *Node) *Node {
-	v := t.newMatrix(a.Value.Rows(), a.Value.Cols())
+	v := t.newMatrixUninit(a.Value.Rows(), a.Value.Cols())
 	vd, ad := v.Data(), a.Value.Data()
 	for i, av := range ad {
 		vd[i] = alpha * av
@@ -72,10 +72,10 @@ func (t *Tape) MatMul(a, b *Node) (*Node, error) {
 		return nil, fmt.Errorf("autograd: %w: MatMul %dx%d × %dx%d", tensor.ErrShape,
 			a.Value.Rows(), a.Value.Cols(), b.Value.Rows(), b.Value.Cols())
 	}
-	v := t.newMatrix(a.Value.Rows(), b.Value.Cols())
-	// newMatrix returns zeroed memory, so the accumulate form is a plain
-	// product without the extra clearing pass of MatMulInto.
-	if err := tensor.MatMulAcc(v, a.Value, b.Value); err != nil {
+	// Assign-mode kernel writes every element, so the output can skip the
+	// arena's zeroing pass.
+	v := t.newMatrixUninit(a.Value.Rows(), b.Value.Cols())
+	if err := tensor.EvalMatMul(v, a.Value, b.Value, t.evalPrec); err != nil {
 		return nil, fmt.Errorf("autograd: %w", err)
 	}
 	return t.newOp(opMatMul, v, a, b, nil), nil
@@ -87,8 +87,8 @@ func (t *Tape) MatMulTransB(a, b *Node) (*Node, error) {
 		return nil, fmt.Errorf("autograd: %w: MatMulTransB %dx%d × (%dx%d)ᵀ", tensor.ErrShape,
 			a.Value.Rows(), a.Value.Cols(), b.Value.Rows(), b.Value.Cols())
 	}
-	v := t.newMatrix(a.Value.Rows(), b.Value.Rows())
-	if err := tensor.MatMulTransBAcc(v, a.Value, b.Value); err != nil {
+	v := t.newMatrixUninit(a.Value.Rows(), b.Value.Rows())
+	if err := tensor.MatMulTransBInto(v, a.Value, b.Value); err != nil {
 		return nil, fmt.Errorf("autograd: %w", err)
 	}
 	return t.newOp(opMatMulTransB, v, a, b, nil), nil
@@ -113,7 +113,7 @@ func (t *Tape) LinearGELU(x, w, b *Node) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	v := t.newMatrix(h.Rows(), h.Cols())
+	v := t.newMatrixUninit(h.Rows(), h.Cols())
 	vd, hd := v.Data(), h.Data()
 	for i, x := range hd {
 		vd[i] = geluValue(x)
@@ -133,8 +133,10 @@ func (t *Tape) affineValue(op string, x, w, b *Node) (*tensor.Matrix, error) {
 		return nil, fmt.Errorf("autograd: %w: %s bias must be 1x%d, got %dx%d", tensor.ErrShape,
 			op, w.Value.Cols(), b.Value.Rows(), b.Value.Cols())
 	}
-	v := t.newMatrix(x.Value.Rows(), w.Value.Cols())
-	if err := tensor.MatMulAcc(v, x.Value, w.Value); err != nil {
+	// Weight matmuls honor the tape's eval precision (f64 in training;
+	// the backward rules always differentiate the exact product).
+	v := t.newMatrixUninit(x.Value.Rows(), w.Value.Cols())
+	if err := tensor.EvalMatMul(v, x.Value, w.Value, t.evalPrec); err != nil {
 		return nil, fmt.Errorf("autograd: %w", err)
 	}
 	bd := b.Value.Data()
@@ -153,7 +155,7 @@ func (t *Tape) AddRowVector(x, b *Node) (*Node, error) {
 		return nil, fmt.Errorf("autograd: %w: AddRowVector %dx%d + %dx%d", tensor.ErrShape,
 			x.Value.Rows(), x.Value.Cols(), b.Value.Rows(), b.Value.Cols())
 	}
-	v := t.newMatrix(x.Value.Rows(), x.Value.Cols())
+	v := t.newMatrixUninit(x.Value.Rows(), x.Value.Cols())
 	bd := b.Value.Data()
 	for i := 0; i < v.Rows(); i++ {
 		src, dst := x.Value.Row(i), v.Row(i)
@@ -166,7 +168,7 @@ func (t *Tape) AddRowVector(x, b *Node) (*Node, error) {
 
 // apply computes f elementwise into a fresh tape matrix.
 func (t *Tape) apply(a *Node, f func(float64) float64) *tensor.Matrix {
-	v := t.newMatrix(a.Value.Rows(), a.Value.Cols())
+	v := t.newMatrixUninit(a.Value.Rows(), a.Value.Cols())
 	vd, ad := v.Data(), a.Value.Data()
 	for i, x := range ad {
 		vd[i] = f(x)

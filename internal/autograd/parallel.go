@@ -62,6 +62,8 @@ type bwSched struct {
 	succOff  []int32 // flattened successor-list offsets (len nodes+1)
 	succ     []int32 // successor indices; -1 = duplicate-parent sentinel
 
+	live []bool // grad-liveness per node, set by the pre-allocation pass
+
 	wave []int32 // the ready set currently replaying
 
 	mu       sync.Mutex
@@ -139,9 +141,9 @@ func (s *bwSched) exec(i int32) {
 }
 
 // grow returns buf resized to n valid elements without shrinking capacity.
-func grow(buf []int32, n int) []int32 {
+func grow[T any](buf []T, n int) []T {
 	if cap(buf) < n {
-		return make([]int32, n)
+		return make([]T, n)
 	}
 	return buf[:n]
 }
@@ -186,6 +188,40 @@ func (s *bwSched) build() {
 		}
 	}
 
+	// Pass 3: liveness and deterministic gradient pre-allocation. Backward
+	// rules allocate a parent's gradient buffer at its first accumulation,
+	// which under the wave replay happens on whichever pool worker gets
+	// there — arena slabs then fill in a run- and GOMAXPROCS-dependent
+	// order, fragmenting them differently on every round and forcing slab
+	// churn (the bytes/op regression BENCH_parallel.json showed at -cpu
+	// 2/4). Instead, replay the serial scan's allocation decisions here, on
+	// the owner goroutine, before any wave runs: walking the tape in
+	// descending order, a node will execute iff it is scheduled and either
+	// has a seeded gradient (the loss) or was marked live by an executing
+	// consumer (all consumers have higher indices, so they are already
+	// decided). Executing nodes allocate their backward scratch and their
+	// grad-requiring parents' buffers in fixed tape order, so the arena
+	// layout is identical at every pool width and the waves themselves
+	// allocate nothing.
+	s.live = grow(s.live, n)
+	clear(s.live)
+	for i := n - 1; i >= 0; i-- {
+		nd := nodes[i]
+		if !scheduled(nd) || (nd.Grad == nil && !s.live[i]) {
+			continue
+		}
+		if nd.op == opLinearGELU && nd.m2 == nil {
+			// dh scratch for the GELU chain rule; see backward().
+			nd.m2 = s.tape.newMatrixUninit(nd.m1.Rows(), nd.m1.Cols())
+		}
+		s.prealloc(nd.a)
+		s.prealloc(nd.b)
+		s.prealloc(nd.c)
+		for _, p := range nd.parents {
+			s.prealloc(p)
+		}
+	}
+
 	// Seed: scheduled nodes with no unmet dependencies (the loss node and
 	// any dead-end branches).
 	s.wave = s.wave[:0]
@@ -199,6 +235,17 @@ func (s *bwSched) build() {
 		}
 	}
 	s.panicked = nil
+}
+
+// prealloc marks parent p live and allocates its gradient buffer. Safe to
+// call repeatedly (ensureGrad is idempotent); skips parents that take no
+// gradient, matching the requiresGrad guards inside the backward rules.
+func (s *bwSched) prealloc(p *Node) {
+	if p == nil || !p.requiresGrad {
+		return
+	}
+	s.live[p.idx] = true
+	p.ensureGrad()
 }
 
 // gradParentCount returns how many of nd's parents receive gradients.

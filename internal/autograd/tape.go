@@ -163,6 +163,12 @@ type Tape struct {
 	// bw holds the parallel-backward scheduler's recycled state (dependency
 	// arrays, ready queue); see parallel.go.
 	bw bwSched
+
+	// evalPrec routes weight matmuls (MatMul, Affine, LinearGELU) through
+	// reduced-precision kernels. Only meaningful for inference tapes: the
+	// backward rules differentiate the full-precision product, so owners
+	// (nn.Ctx) must reset this to PrecF64 whenever the tape trains.
+	evalPrec tensor.Precision
 }
 
 // NewTape returns an empty tape whose values and gradients live on the heap.
@@ -183,11 +189,31 @@ func NewTapeArena(arena *tensor.Arena) *Tape {
 // Arena returns the tape's arena (nil for a heap tape).
 func (t *Tape) Arena() *tensor.Arena { return t.arena }
 
+// SetEvalPrecision routes subsequent weight matmuls through the given
+// storage precision (see tensor.EvalMatMul). Callers must keep this at
+// PrecF64 for any tape that will run Backward: quantized forwards would
+// otherwise be differentiated as if they were exact.
+func (t *Tape) SetEvalPrecision(p tensor.Precision) { t.evalPrec = p }
+
+// EvalPrecision reports the precision weight matmuls currently run in.
+func (t *Tape) EvalPrecision() tensor.Precision { return t.evalPrec }
+
 // newMatrix allocates a zeroed matrix from the arena, or the heap when the
 // tape has none.
 func (t *Tape) newMatrix(rows, cols int) *tensor.Matrix {
 	if t.arena != nil {
 		return t.arena.Get(rows, cols)
+	}
+	return tensor.New(rows, cols)
+}
+
+// newMatrixUninit allocates without zeroing, for values every element of
+// which is written before being read (assign-mode matmuls, elementwise
+// maps). Heap-backed tapes still hand out zeroed memory (make does), but
+// arena-backed steady-state steps skip the clearing pass entirely.
+func (t *Tape) newMatrixUninit(rows, cols int) *tensor.Matrix {
+	if t.arena != nil {
+		return t.arena.GetUninit(rows, cols)
 	}
 	return tensor.New(rows, cols)
 }

@@ -9,7 +9,7 @@ import (
 )
 
 func TestRegistryContainsAllArtifacts(t *testing.T) {
-	want := []string{"fig2", "fig3", "scale", "stragglers", "sweep", "table1", "table2", "table3"}
+	want := []string{"fig2", "fig3", "kernels", "scale", "stragglers", "sweep", "table1", "table2", "table3"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("experiments %v, want %v", got, want)
@@ -119,6 +119,39 @@ func TestScaleSimExperiment(t *testing.T) {
 		if !strings.Contains(out, needle) {
 			t.Fatalf("scale output missing %q:\n%s", needle, out)
 		}
+	}
+}
+
+// TestKernelsExperimentPinsInt8Accuracy runs the kernels sweep at full
+// scale (the federation is a cheap linear task) and enforces the
+// acceptance pin: int8 eval accuracy within 0.5pt of f64.
+func TestKernelsExperimentPinsInt8Accuracy(t *testing.T) {
+	points, err := RunKernels(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 || points[0].Precision != "f64" || points[2].Precision != "int8" {
+		t.Fatalf("unexpected points %+v", points)
+	}
+	for _, p := range points {
+		if p.Accuracy < 90 {
+			t.Fatalf("[%s] accuracy %.2f%%: the trained linear model should classify signs nearly perfectly", p.Precision, p.Accuracy)
+		}
+		if p.MSE > 0.1 {
+			t.Fatalf("[%s] holdout MSE %v did not converge", p.Precision, p.MSE)
+		}
+	}
+	if d := points[2].Accuracy - points[0].Accuracy; d > KernelPin || d < -KernelPin {
+		t.Fatalf("int8 accuracy %.2f%% drifts %.2fpt from f64 %.2f%% (pin %.1fpt)",
+			points[2].Accuracy, d, points[0].Accuracy, KernelPin)
+	}
+	// The experiment's Run wrapper must render the pin verdict.
+	var sb strings.Builder
+	if err := (Kernels{}).Run(context.Background(), &sb, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "pass=true") {
+		t.Fatalf("kernels output missing passing pin:\n%s", sb.String())
 	}
 }
 

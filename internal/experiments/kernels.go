@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"clinfl/internal/sim"
+	"clinfl/internal/tensor"
+)
+
+// Kernels quantifies what the reduced-precision eval kernels cost in
+// model quality: it trains a federation to convergence on the simulator's
+// LinearTask, then scores the same final global model on the noise-free
+// holdout through the f64, f16 and int8 matmul paths clients use for
+// Validate/Predict. The acceptance pin — int8 accuracy within 0.5pt of
+// f64 — is what justifies defaulting bandwidth- and compute-constrained
+// clients to quantized eval.
+type Kernels struct{}
+
+// ID implements Runner.
+func (Kernels) ID() string { return "kernels" }
+
+// Describe implements Runner.
+func (Kernels) Describe() string {
+	return "Extension: client eval quality under f64/f16/int8 kernels on the sim LinearTask"
+}
+
+// KernelPoint is one precision's holdout score.
+type KernelPoint struct {
+	Precision string
+	// Accuracy is sign-classification accuracy [%] on holdout examples
+	// outside the label-noise band.
+	Accuracy float64
+	// MSE is the holdout regression error under this precision's kernels.
+	MSE float64
+}
+
+// KernelPin is the acceptance bound on |accuracy(int8) − accuracy(f64)|
+// in percentage points.
+const KernelPin = 0.5
+
+// RunKernels trains the federation once and scores its final model under
+// every eval precision. Everything is seeded, so the points (and the pin
+// margin) are deterministic.
+func RunKernels(ctx context.Context, scale Scale) ([]KernelPoint, error) {
+	rounds := 12
+	if scale > 1 {
+		rounds = max(2, rounds/int(scale))
+	}
+	const clients, seed = 8, 7
+	sc := sim.Scenario{
+		Name:    "kernels",
+		Seed:    seed,
+		Clients: clients,
+		Rounds:  rounds,
+		Net:     sim.NetProfile{NoTransferCost: true},
+	}
+	res, err := sc.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: kernels federation: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Population generation is pinned by (task, seed, n), so this holdout
+	// is byte-identical to the one the scenario trained against.
+	pop := sim.LinearTask{}.NewPopulation(seed, clients)
+	x, y := pop.Holdout()
+	w, ok := res.Result.FinalWeights["w"]
+	if !ok {
+		return nil, fmt.Errorf("experiments: kernels: final weights missing \"w\"")
+	}
+	wt := w.Transpose() // dim×1 weight column for x·w
+	bias := res.Result.FinalWeights["b"].At(0, 0)
+
+	var out []KernelPoint
+	for _, prec := range []tensor.Precision{tensor.PrecF64, tensor.PrecF16, tensor.PrecInt8} {
+		pred := tensor.New(x.Rows(), 1)
+		if err := tensor.EvalMatMul(pred, x, wt, prec); err != nil {
+			return nil, fmt.Errorf("experiments: kernels %s: %w", prec, err)
+		}
+		var mse float64
+		hits, counted := 0, 0
+		for i, yi := range y {
+			p := pred.At(i, 0) + bias
+			r := p - yi
+			mse += r * r
+			// Sign classification, excluding labels inside the task's
+			// noise band where the "true" class is itself ambiguous.
+			if math.Abs(yi) < 0.05 {
+				continue
+			}
+			counted++
+			if (p >= 0) == (yi >= 0) {
+				hits++
+			}
+		}
+		out = append(out, KernelPoint{
+			Precision: prec.String(),
+			Accuracy:  100 * float64(hits) / float64(counted),
+			MSE:       mse / float64(len(y)),
+		})
+	}
+	return out, nil
+}
+
+// Run implements Runner.
+func (Kernels) Run(ctx context.Context, w io.Writer, scale Scale) error {
+	points, err := RunKernels(ctx, scale)
+	if err != nil {
+		return err
+	}
+	f64Acc := points[0].Accuracy
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "EXTENSION — CLIENT EVAL QUALITY BY KERNEL PRECISION (sim LinearTask holdout)")
+	fmt.Fprintln(tw, "Precision\tAccuracy [%]\tΔ vs f64 [pt]\tHoldout MSE")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%s\t%.2f\t%+.2f\t%.2e\n", p.Precision, p.Accuracy, p.Accuracy-f64Acc, p.MSE)
+	}
+	fmt.Fprintln(tw)
+	delta := math.Abs(points[2].Accuracy - f64Acc)
+	fmt.Fprintf(tw, "acceptance pin: |accuracy(int8) − accuracy(f64)| = %.2fpt (bound %.1fpt) — pass=%v\n",
+		delta, KernelPin, delta <= KernelPin)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if delta > KernelPin {
+		return fmt.Errorf("experiments: kernels: int8 accuracy drifts %.2fpt from f64 (pin %.1fpt)", delta, KernelPin)
+	}
+	return nil
+}

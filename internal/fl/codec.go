@@ -16,9 +16,11 @@ import (
 
 // WeightCodec serializes a weight map for transport. Codecs trade payload
 // bytes for precision: the raw codec is exact float64, the f32 codec
-// quantizes to float32 (~50% of raw), and the top-k codec keeps only the
-// largest-magnitude fraction of each parameter (sparse index+float32
-// pairs). Every codec's output is self-describing (distinct magic), so
+// quantizes to float32 (~50% of raw), the int8 codec quantizes each row to
+// symmetric int8 with a float32 scale (~12.5% of raw), and the top-k codec
+// keeps only the largest-magnitude fraction of each parameter (sparse
+// index+float32 pairs). Every codec's output is self-describing (distinct
+// magic), so
 // DecodeWeights can decode any of them without out-of-band negotiation;
 // negotiation only decides what the *sender* emits.
 type WeightCodec interface {
@@ -34,6 +36,7 @@ type WeightCodec interface {
 const (
 	f32Magic  = "CFLQ1\n"
 	topKMagic = "CFLS1\n"
+	int8Magic = "CFLI1\n"
 )
 
 // RawCodec is the exact float64 wire format (nn checkpoint format); the
@@ -110,6 +113,108 @@ func (Float32Codec) Decode(blob []byte) (map[string]*tensor.Matrix, error) {
 				return nil, fmt.Errorf("fl: f32 decode %q: %w", name, err)
 			}
 			d[j] = float64(math.Float32frombits(binary.LittleEndian.Uint32(w[:])))
+		}
+		out[name] = m
+	}
+	return out, nil
+}
+
+// Int8Codec quantizes each parameter row to symmetric int8: one float32
+// scale (max|row|/127) followed by one signed byte per element. That is
+// ~1/8 of the raw float64 payload (the per-row scale adds 4 bytes per
+// `cols` elements) at a worst-case per-element error of scale/2 =
+// max|row|/254 — comparable to the noise a single local epoch injects, and
+// the same error model the client-side int8 eval kernels use. Rows that
+// are all zero carry scale 0 and decode exactly.
+type Int8Codec struct{}
+
+// Name implements WeightCodec.
+func (Int8Codec) Name() string { return "int8" }
+
+// Encode implements WeightCodec.
+func (Int8Codec) Encode(weights map[string]*tensor.Matrix) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(int8Magic)
+	names := sortedNames(weights)
+	writeUint32(&buf, uint32(len(names)))
+	var w [4]byte
+	for _, name := range names {
+		m := weights[name]
+		writeName(&buf, name)
+		writeUint32(&buf, uint32(m.Rows()))
+		writeUint32(&buf, uint32(m.Cols()))
+		d := m.Data()
+		cols := m.Cols()
+		for r := 0; r < m.Rows(); r++ {
+			row := d[r*cols : (r+1)*cols]
+			maxAbs := 0.0
+			for _, v := range row {
+				if a := math.Abs(v); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			scale := maxAbs / 127
+			binary.LittleEndian.PutUint32(w[:], math.Float32bits(float32(scale)))
+			buf.Write(w[:])
+			if scale == 0 {
+				for range row {
+					buf.WriteByte(0)
+				}
+				continue
+			}
+			// Quantize against the float32-rounded scale the decoder will
+			// use, so encode/decode agree on the grid.
+			s := float64(float32(scale))
+			for _, v := range row {
+				q := math.Round(v / s)
+				if q > 127 {
+					q = 127
+				} else if q < -127 {
+					q = -127
+				}
+				buf.WriteByte(byte(int8(q)))
+			}
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode implements WeightCodec.
+func (Int8Codec) Decode(blob []byte) (map[string]*tensor.Matrix, error) {
+	r, n, err := codecHeader(blob, int8Magic, "int8")
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*tensor.Matrix, n)
+	for i := 0; i < n; i++ {
+		name, rows, cols, err := readParamHeader(r, "int8")
+		if err != nil {
+			return nil, err
+		}
+		// Dense payload: 4 scale bytes + cols code bytes per row must fit
+		// in what remains, so allocation is bounded by the blob size.
+		if int64(rows)*(4+int64(cols)) > int64(r.Len()) {
+			return nil, fmt.Errorf("fl: int8 decode %q: payload truncated for shape %dx%d", name, rows, cols)
+		}
+		m := tensor.New(rows, cols)
+		d := m.Data()
+		var sb [4]byte
+		codes := make([]byte, cols)
+		for row := 0; row < rows; row++ {
+			if _, err := io.ReadFull(r, sb[:]); err != nil {
+				return nil, fmt.Errorf("fl: int8 decode %q: %w", name, err)
+			}
+			scale := float64(math.Float32frombits(binary.LittleEndian.Uint32(sb[:])))
+			if math.IsNaN(scale) || math.IsInf(scale, 0) || scale < 0 {
+				return nil, fmt.Errorf("fl: int8 decode %q: bad row scale %v", name, scale)
+			}
+			if _, err := io.ReadFull(r, codes); err != nil {
+				return nil, fmt.Errorf("fl: int8 decode %q: %w", name, err)
+			}
+			dr := d[row*cols : (row+1)*cols]
+			for j, c := range codes {
+				dr[j] = float64(int8(c)) * scale
+			}
 		}
 		out[name] = m
 	}
@@ -236,6 +341,8 @@ func CodecByName(name string) (WeightCodec, error) {
 		return RawCodec{}, nil
 	case name == "f32":
 		return Float32Codec{}, nil
+	case name == "int8":
+		return Int8Codec{}, nil
 	case name == "topk":
 		return TopKCodec{Fraction: 0.1}, nil
 	case strings.HasPrefix(name, "topk:"):
@@ -245,7 +352,7 @@ func CodecByName(name string) (WeightCodec, error) {
 		}
 		return TopKCodec{Fraction: f}, nil
 	default:
-		return nil, fmt.Errorf("fl: unknown codec %q (have raw, f32, topk[:fraction])", name)
+		return nil, fmt.Errorf("fl: unknown codec %q (have raw, f32, int8, topk[:fraction])", name)
 	}
 }
 
@@ -256,6 +363,8 @@ func decoderFor(blob []byte) WeightCodec {
 		return Float32Codec{}
 	case bytes.HasPrefix(blob, []byte(topKMagic)):
 		return TopKCodec{Fraction: 1}
+	case bytes.HasPrefix(blob, []byte(int8Magic)):
+		return Int8Codec{}
 	default:
 		// Raw (nn magic) or junk; RawCodec reports precise errors for junk.
 		return RawCodec{}

@@ -69,6 +69,83 @@ func TestFloat32CodecBoundedErrorAndSize(t *testing.T) {
 	}
 }
 
+func TestInt8CodecBoundedErrorAndSize(t *testing.T) {
+	weights := codecTestWeights(6)
+	// Add an all-zero parameter to exercise the scale-0 row path.
+	weights["zero.w"] = tensor.New(4, 8)
+	raw, err := RawCodec{}.Encode(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := Int8Codec{}.Encode(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance bar: int8 transport cuts bytes-on-wire by >= 60%.
+	if float64(len(blob)) > 0.4*float64(len(raw)) {
+		t.Fatalf("int8 payload %d bytes, want <= 40%% of raw %d", len(blob), len(raw))
+	}
+	got, err := Int8Codec{}.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range weights {
+		g := got[name]
+		if !g.SameShape(m) {
+			t.Fatalf("int8 codec changed shape of %q", name)
+		}
+		d, gd := m.Data(), g.Data()
+		cols := m.Cols()
+		for r := 0; r < m.Rows(); r++ {
+			maxAbs := 0.0
+			for _, v := range d[r*cols : (r+1)*cols] {
+				maxAbs = math.Max(maxAbs, math.Abs(v))
+			}
+			// Symmetric int8 grid: half a step per element, plus the
+			// float32 rounding of the scale itself.
+			bound := maxAbs/254*(1+1e-6) + 1e-15
+			for j := r * cols; j < (r+1)*cols; j++ {
+				if math.Abs(gd[j]-d[j]) > bound {
+					t.Fatalf("int8 %q[%d]: %v -> %v exceeds bound %v", name, j, d[j], gd[j], bound)
+				}
+			}
+		}
+	}
+	if !got["zero.w"].Equal(weights["zero.w"]) {
+		t.Fatal("int8 codec perturbed all-zero parameter")
+	}
+}
+
+func TestInt8CodecRejectsTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(int8Magic)
+	writeUint32(&buf, 1)
+	writeName(&buf, "w")
+	writeUint32(&buf, 4096)
+	writeUint32(&buf, 4096)
+	if _, err := (Int8Codec{}).Decode(buf.Bytes()); err == nil ||
+		!strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("want truncated-payload error, got %v", err)
+	}
+}
+
+func TestInt8CodecRejectsBadScale(t *testing.T) {
+	for _, scale := range []float32{float32(math.NaN()), float32(math.Inf(1)), -1} {
+		var buf bytes.Buffer
+		buf.WriteString(int8Magic)
+		writeUint32(&buf, 1)
+		writeName(&buf, "w")
+		writeUint32(&buf, 1)
+		writeUint32(&buf, 2)
+		writeUint32(&buf, math.Float32bits(scale))
+		buf.Write([]byte{1, 2})
+		if _, err := (Int8Codec{}).Decode(buf.Bytes()); err == nil ||
+			!strings.Contains(err.Error(), "bad row scale") {
+			t.Fatalf("scale %v: want bad-scale error, got %v", scale, err)
+		}
+	}
+}
+
 func TestTopKCodecKeepsLargestAndShrinks(t *testing.T) {
 	weights := codecTestWeights(3)
 	raw, err := RawCodec{}.Encode(weights)
@@ -134,7 +211,7 @@ func kthLargest(vals []float64, k int) float64 {
 
 func TestDecodeWeightsSniffsEveryCodec(t *testing.T) {
 	weights := codecTestWeights(4)
-	for _, codec := range []WeightCodec{RawCodec{}, Float32Codec{}, TopKCodec{Fraction: 0.5}} {
+	for _, codec := range []WeightCodec{RawCodec{}, Float32Codec{}, Int8Codec{}, TopKCodec{Fraction: 0.5}} {
 		blob, err := codec.Encode(weights)
 		if err != nil {
 			t.Fatalf("%s encode: %v", codec.Name(), err)
@@ -162,6 +239,7 @@ func TestCodecByName(t *testing.T) {
 		"":          "raw",
 		"raw":       "raw",
 		"f32":       "f32",
+		"int8":      "int8",
 		"topk":      "topk:0.1",
 		"topk:0.25": "topk:0.25",
 	} {

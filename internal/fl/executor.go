@@ -43,7 +43,10 @@ type LocalConfig struct {
 	LR float64
 	// BatchSize / Workers / SubBatch / ClipNorm feed train.Config. SubBatch
 	// bounds the contiguous slice each worker's batched forward processes
-	// per tape (<=0 derives one sub-batch per worker).
+	// per tape. <=0 pins SubBatch = BatchSize (one sub-batch per step), so
+	// a client's gradient bits and trainer memory are independent of
+	// GOMAXPROCS; set Workers and SubBatch explicitly to enable the
+	// intra-client data-parallel fan.
 	BatchSize int
 	Workers   int
 	SubBatch  int
@@ -52,6 +55,12 @@ type LocalConfig struct {
 	// model, taming client drift under partial participation and
 	// heterogeneous shards. 0 keeps plain local SGD (FedAvg semantics).
 	ProxMu float64
+	// EvalPrecision selects the storage precision for eval-mode weight
+	// matmuls on this client ("f64"/"" exact, "f16" half storage, "int8"
+	// symmetric per-row×per-column quantization). It affects only
+	// Validate/Predict; local training always runs full precision. Requires
+	// a model implementing model.EvalPrecisioner for non-f64 values.
+	EvalPrecision string
 	// Seed derives per-round shuffling and dropout streams.
 	Seed int64
 	// EpochHook, if non-nil, observes each completed local epoch (used by
@@ -69,6 +78,20 @@ func (c LocalConfig) withDefaults() LocalConfig {
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 32
+	}
+	if c.SubBatch <= 0 {
+		// Pin the sub-batch geometry instead of inheriting train's
+		// Workers-derived default. Federated clients already run
+		// concurrently, so an intra-client data-parallel fan adds no
+		// throughput — but its Workers=GOMAXPROCS default made each
+		// client's trainer footprint (worker contexts plus full
+		// parameter-sized gradient staging sets, one per sub-batch) scale
+		// with the machine, and made gradient bitstreams depend on
+		// GOMAXPROCS through the dropout-stream partition. One sub-batch
+		// per step keeps both invariant: the same buffers, and the same
+		// bits, on every box. Callers that do want the fan set Workers and
+		// SubBatch explicitly.
+		c.SubBatch = c.BatchSize
 	}
 	return c
 }
@@ -102,6 +125,15 @@ func NewClassifierExecutor(name string, mdl model.Classifier, trainSet, validSet
 		return nil, fmt.Errorf("fl: executor %q has no training data", name)
 	}
 	cfg = cfg.withDefaults()
+	prec, err := tensor.ParsePrecision(cfg.EvalPrecision)
+	if err != nil {
+		return nil, fmt.Errorf("fl: executor %q: %w", name, err)
+	}
+	if ep, ok := mdl.(model.EvalPrecisioner); ok {
+		ep.SetEvalPrecision(prec)
+	} else if prec != tensor.PrecF64 {
+		return nil, fmt.Errorf("fl: executor %q: model %q does not support eval precision %q", name, mdl.Name(), cfg.EvalPrecision)
+	}
 	e := &ClassifierExecutor{
 		name:      name,
 		mdl:       mdl,

@@ -46,7 +46,7 @@ func fuzzSeeds(t testing.TB) [][]byte {
 		"layer.b": rng.Normal(1, 5, 0, 1),
 	}
 	var seeds [][]byte
-	for _, c := range []WeightCodec{RawCodec{}, Float32Codec{}, TopKCodec{Fraction: 0.4}} {
+	for _, c := range []WeightCodec{RawCodec{}, Float32Codec{}, Int8Codec{}, TopKCodec{Fraction: 0.4}} {
 		blob, err := c.Encode(weights)
 		if err != nil {
 			t.Fatal(err)
@@ -87,6 +87,12 @@ func fuzzSeeds(t testing.TB) [][]byte {
 		buildCodecBlob(f32Magic, []fuzzParam{{name: "w", rows: 1 << 20, cols: 64}}),
 		// Top-k sparse blob demanding a big dense allocation with k=1.
 		buildCodecBlob(topKMagic, []fuzzParam{{name: "w", rows: 1 << 20, cols: 128, body: k1}}),
+		// Int8 blobs: overflow-wrapping shape, huge unbacked dense shape,
+		// and a NaN row scale ahead of otherwise-valid codes.
+		buildCodecBlob(int8Magic, []fuzzParam{{name: "w", rows: 1 << 16, cols: 1 << 16}}),
+		buildCodecBlob(int8Magic, []fuzzParam{{name: "w", rows: 1 << 20, cols: 64}}),
+		buildCodecBlob(int8Magic, []fuzzParam{{name: "w", rows: 1, cols: 2,
+			body: []byte{0, 0, 0xc0, 0x7f, 1, 2}}}),
 		// Implausible name length.
 		append([]byte(f32Magic), bytes.Repeat([]byte{0xFF}, 16)...),
 		[]byte("junk"),
@@ -143,7 +149,7 @@ func FuzzDecodeWeights(f *testing.F) {
 }
 
 func FuzzCodecByName(f *testing.F) {
-	for _, s := range []string{"", "raw", "f32", "topk", "topk:0.1", "topk:1", "topk:NaN", "topk:-1", "topk:1e309", "zstd"} {
+	for _, s := range []string{"", "raw", "f32", "int8", "topk", "topk:0.1", "topk:1", "topk:NaN", "topk:-1", "topk:1e309", "zstd"} {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, name string) {

@@ -336,11 +336,12 @@ func runAsyncFederation(t *testing.T, codec string) *Result {
 
 // TestNetworkedAsyncFederationCodecCutsBytes pins the acceptance criteria:
 // a 4-client federation with one straggler completes all rounds without
-// blocking, reports per-round participation, and the f32-quantized uplink
-// cuts measured bytes-on-wire per round by >= 40% against raw.
+// blocking, reports per-round participation, the f32-quantized uplink cuts
+// measured bytes-on-wire per round by >= 40% against raw, and the int8
+// uplink undercuts f32.
 func TestNetworkedAsyncFederationCodecCutsBytes(t *testing.T) {
 	byCodec := map[string]int64{}
-	for _, codec := range []string{"raw", "f32"} {
+	for _, codec := range []string{"raw", "f32", "int8"} {
 		res := runAsyncFederation(t, codec)
 		if len(res.History.Rounds) != 3 {
 			t.Fatalf("[%s] completed %d rounds, want 3", codec, len(res.History.Rounds))
@@ -366,6 +367,12 @@ func TestNetworkedAsyncFederationCodecCutsBytes(t *testing.T) {
 	}
 	if f32, raw := byCodec["f32"], byCodec["raw"]; float64(f32) > 0.6*float64(raw) {
 		t.Fatalf("f32 uplink %d bytes, want >= 40%% below raw %d", f32, raw)
+	}
+	// The test model is tiny, so fixed per-parameter headers blunt the
+	// ratio on the wire; int8 must still beat f32. The >= 60% payload
+	// reduction bar is pinned on realistic shapes in codec_test.go.
+	if i8, f32 := byCodec["int8"], byCodec["f32"]; i8 >= f32 {
+		t.Fatalf("int8 uplink %d bytes, want below f32 %d", i8, f32)
 	}
 }
 

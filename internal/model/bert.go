@@ -68,10 +68,19 @@ type BERT struct {
 
 	params []*nn.Param
 
-	// evalPool recycles arena-backed eval contexts across Predict /
+	// evalMu/evalFree recycle arena-backed eval contexts across Predict /
 	// PredictProbs calls, so steady-state inference reuses every tape node
 	// and activation matrix instead of rebuilding the graph on the heap.
-	evalPool sync.Pool
+	// A plain free list rather than sync.Pool: the GC empties a sync.Pool
+	// on every cycle, and training rounds GC often enough that eval ctxs
+	// (multi-MB arenas) were freed and rebuilt each round — part of the
+	// -cpu 2/4 bytes/op regression. The list is bounded by the peak number
+	// of concurrent eval calls on this model.
+	evalMu   sync.Mutex
+	evalFree []*nn.Ctx
+	// evalPrec is the storage precision eval-mode weight matmuls run in
+	// (Predict/PredictProbs/Validate); training is always full precision.
+	evalPrec tensor.Precision
 }
 
 var (
@@ -278,6 +287,41 @@ func (b *BERT) PredictProbs(batch []data.Example) ([]float64, error) {
 	return out, nil
 }
 
+// getEvalCtx pops a recycled eval context off the persistent free list, or
+// builds a fresh arena-backed one on first use / under concurrency.
+func (b *BERT) getEvalCtx() *nn.Ctx {
+	b.evalMu.Lock()
+	var ctx *nn.Ctx
+	if k := len(b.evalFree); k > 0 {
+		ctx = b.evalFree[k-1]
+		b.evalFree = b.evalFree[:k-1]
+	}
+	prec := b.evalPrec
+	b.evalMu.Unlock()
+	if ctx == nil {
+		ctx = nn.NewArenaCtx(false, nil)
+	}
+	// Recycled contexts may carry a stale precision; Reset applies this
+	// before every chunk.
+	ctx.EvalPrecision = prec
+	return ctx
+}
+
+// SetEvalPrecision selects the storage precision for eval-mode weight
+// matmuls (see tensor.EvalMatMul). Training is unaffected.
+func (b *BERT) SetEvalPrecision(p tensor.Precision) {
+	b.evalMu.Lock()
+	b.evalPrec = p
+	b.evalMu.Unlock()
+}
+
+// putEvalCtx returns an eval context to the free list for the next call.
+func (b *BERT) putEvalCtx(ctx *nn.Ctx) {
+	b.evalMu.Lock()
+	b.evalFree = append(b.evalFree, ctx)
+	b.evalMu.Unlock()
+}
+
 // evalChunk caps how many sequences one eval-mode batched forward
 // processes, so Predict over an arbitrarily large set (whole validation
 // shards) keeps tape memory bounded instead of building one giant
@@ -294,11 +338,8 @@ func (b *BERT) evalLogits(batch []data.Example, visit func(idx []int, logits *te
 	if len(batch) == 0 {
 		return nil
 	}
-	ctx, _ := b.evalPool.Get().(*nn.Ctx)
-	if ctx == nil {
-		ctx = nn.NewArenaCtx(false, nil)
-	}
-	defer b.evalPool.Put(ctx)
+	ctx := b.getEvalCtx()
+	defer b.putEvalCtx(ctx)
 	lens := make([]int, len(batch))
 	for i, ex := range batch {
 		lens[i] = len(ex.IDs)

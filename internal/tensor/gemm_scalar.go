@@ -1,0 +1,26 @@
+//go:build !amd64.v3
+
+package tensor
+
+// Portable scalar kernel variant: streaming k-quad kernels that sit at the
+// two-FP-ops-per-cycle port bound. See gemm.go for the calibration story
+// and gemm_fma.go for the GOAMD64=v3 fused variant.
+
+const kernelVariant = "scalar"
+
+// matmulRowsKernel computes output rows [lo, hi) of a×b, assigning when
+// assign (callers may pass uninitialized output memory) and accumulating
+// otherwise. Each row's element order is fixed (ascending k), so results
+// are bit-identical at every pool width.
+func matmulRowsKernel(out, a, b *Matrix, lo, hi int, assign bool) {
+	k, n := a.cols, b.cols
+	for i := lo; i < hi; i++ {
+		orow := out.data[i*n : (i+1)*n]
+		arow := a.data[i*k : (i+1)*k]
+		if assign {
+			matmulRowAssign(orow, arow, b, k, n)
+		} else {
+			matmulRow(orow, arow, b, k, n)
+		}
+	}
+}

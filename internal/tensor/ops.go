@@ -15,18 +15,17 @@ func MatMul(a, b *Matrix) (*Matrix, error) {
 			ErrShape, a.rows, a.cols, b.rows, b.cols)
 	}
 	out := New(a.rows, b.cols)
-	matmulInto(out, a, b)
+	matmulInto(out, a, b, true)
 	return out, nil
 }
 
 // MatMulInto computes dst = a×b without allocating. dst must be a.rows×b.cols
-// and is overwritten.
+// and is overwritten (no pre-clearing pass: the kernels store in assign mode).
 func MatMulInto(dst, a, b *Matrix) error {
 	if err := checkMatMul("MatMulInto", dst, a, b); err != nil {
 		return err
 	}
-	dst.Zero()
-	matmulInto(dst, a, b)
+	matmulInto(dst, a, b, true)
 	return nil
 }
 
@@ -37,7 +36,7 @@ func MatMulAcc(dst, a, b *Matrix) error {
 	if err := checkMatMul("MatMulAcc", dst, a, b); err != nil {
 		return err
 	}
-	matmulInto(dst, a, b)
+	matmulInto(dst, a, b, false)
 	return nil
 }
 
@@ -53,126 +52,20 @@ func checkMatMul(op string, dst, a, b *Matrix) error {
 	return nil
 }
 
-// packPool recycles the A-panel buffers used by the tiled matmul kernel, so
-// steady-state matmuls allocate nothing.
-var packPool = sync.Pool{New: func() any { s := make([]float64, 0, 4*256); return &s }}
-
-// matmulPanelMinBFloats gates the 4×4 row-panel micro-kernel on the b
-// operand's cache footprint. When b (k×n floats) is cache-resident the
-// one-row 4-wide kernel is ALU-bound and slightly faster (it keeps fewer
-// live values, so nothing spills); once b spills the last-level cache the
-// kernel turns memory-bound and the panel path's 4× reduction in b traffic
-// wins ~10% (measured on the reference Xeon: 16 MiB b, 105ms → 95ms).
-// 512K floats = 4 MiB, between the measured break-even (2 MiB: wash) and
-// the first clear win.
-const matmulPanelMinBFloats = 512 * 1024
-
-// matmulInto accumulates a×b into out (out must hold valid initial values:
-// zeroed for a plain product, existing gradients for an accumulate).
-//
-// Cache-resident b: a one-output-row kernel unrolled 4-wide over k streams
-// four b rows against each output row.
-//
-// Large b (see matmulPanelMinBFloats): output rows are processed in panels
-// of 4 with a 4×4 micro-kernel — each inner-loop iteration streams four b
-// rows against four output rows, performing 16 multiply-adds per 4 b-row
-// loads, quartering b traffic for the GEMMs too large to keep b in cache.
-// The 4-row A panel is packed k-major ([p][row] interleaved) into a pooled
-// buffer so the micro-kernel reads its 16 a values from 16 contiguous
-// floats instead of four k-strided rows. Both paths consume k in aligned
-// quads, so per-element summation order is identical between them.
-func matmulInto(out, a, b *Matrix) {
-	m, k, n := a.rows, a.cols, b.cols
+// matmulInto computes a×b into out, assigning (assign: callers may pass
+// uninitialized output memory) or accumulating into existing values (the
+// Acc VJP forms). Parallel items are whole output rows with their true flop
+// cost threaded to the pool gate; the per-row kernel is chosen at build
+// time (gemm_scalar.go / gemm_fma.go).
+func matmulInto(out, a, b *Matrix, assign bool) {
 	var j kernelJob
 	j.kind, j.out, j.a, j.b = kMatMul, out, a, b
-	j.flag = k*n >= matmulPanelMinBFloats
-	if j.flag {
-		// Panel path: dispatch row QUADS as the parallel items. The pool
-		// sizes steal chunks by per-item flops, and panel-class matmuls
-		// are so heavy per row that row-items would shrink chunks to one
-		// row — below the 4-row micro-kernel, silently degrading every
-		// multi-core run to the tail kernel. Quad items keep each chunk
-		// panel-aligned; boundaries are still shape-only, so results stay
-		// bit-identical at every width.
-		runKernel((m+3)/4, 8*n*k, &j)
-		return
-	}
-	runKernel(m, 2*n*k, &j)
+	j.flag = assign
+	runKernel(a.rows, 2*b.cols*a.cols, &j)
 }
 
-// matmulRange accumulates rows [lo, hi) of a×b into out; panels selects
-// the 4×4 panel-packed micro-kernel for cache-spilling b operands.
-func matmulRange(out, a, b *Matrix, lo, hi int, panels bool) {
-	k, n := a.cols, b.cols
-	i := lo
-	if !panels {
-		for ; i < hi; i++ {
-			matmulRow(out.data[i*n:(i+1)*n], a.data[i*k:(i+1)*k], b, k, n)
-		}
-		return
-	}
-	{
-		bufp := packPool.Get().(*[]float64)
-		pk := *bufp
-		if cap(pk) < 4*k {
-			pk = make([]float64, 4*k)
-		}
-		pk = pk[:cap(pk)]
-		for ; i+4 <= hi; i += 4 {
-			a0 := a.data[i*k : (i+1)*k]
-			a1 := a.data[(i+1)*k : (i+2)*k]
-			a2 := a.data[(i+2)*k : (i+3)*k]
-			a3 := a.data[(i+3)*k : (i+4)*k]
-			for p := 0; p < k; p++ {
-				pk[4*p] = a0[p]
-				pk[4*p+1] = a1[p]
-				pk[4*p+2] = a2[p]
-				pk[4*p+3] = a3[p]
-			}
-			o0 := out.data[i*n : (i+1)*n]
-			o1 := out.data[(i+1)*n : (i+2)*n]
-			o2 := out.data[(i+2)*n : (i+3)*n]
-			o3 := out.data[(i+3)*n : (i+4)*n]
-			p := 0
-			for ; p+4 <= k; p += 4 {
-				q := pk[4*p : 4*p+16 : 4*p+16]
-				a00, a10, a20, a30 := q[0], q[1], q[2], q[3]
-				a01, a11, a21, a31 := q[4], q[5], q[6], q[7]
-				a02, a12, a22, a32 := q[8], q[9], q[10], q[11]
-				a03, a13, a23, a33 := q[12], q[13], q[14], q[15]
-				b0 := b.data[p*n : (p+1)*n]
-				b1 := b.data[(p+1)*n : (p+2)*n]
-				b2 := b.data[(p+2)*n : (p+3)*n]
-				b3 := b.data[(p+3)*n : (p+4)*n]
-				for j, bv0 := range b0 {
-					bv1, bv2, bv3 := b1[j], b2[j], b3[j]
-					o0[j] += a00*bv0 + a01*bv1 + a02*bv2 + a03*bv3
-					o1[j] += a10*bv0 + a11*bv1 + a12*bv2 + a13*bv3
-					o2[j] += a20*bv0 + a21*bv1 + a22*bv2 + a23*bv3
-					o3[j] += a30*bv0 + a31*bv1 + a32*bv2 + a33*bv3
-				}
-			}
-			for ; p < k; p++ {
-				av0, av1, av2, av3 := pk[4*p], pk[4*p+1], pk[4*p+2], pk[4*p+3]
-				brow := b.data[p*n : (p+1)*n]
-				for j, bv := range brow {
-					o0[j] += av0 * bv
-					o1[j] += av1 * bv
-					o2[j] += av2 * bv
-					o3[j] += av3 * bv
-				}
-			}
-		}
-		for ; i < hi; i++ {
-			matmulRow(out.data[i*n:(i+1)*n], a.data[i*k:(i+1)*k], b, k, n)
-		}
-		*bufp = pk
-		packPool.Put(bufp)
-	}
-}
-
-// matmulRow accumulates one output row (the <4-row tail of the panel loop),
-// 4-wide over k like the pre-tiling kernel.
+// matmulRow accumulates one output row, streaming four b rows per k-quad
+// with `range` inner loops (bounds-check free under gc).
 func matmulRow(orow, arow []float64, b *Matrix, k, n int) {
 	p := 0
 	for ; p+4 <= k; p += 4 {
@@ -212,6 +105,21 @@ func MatMulTransB(a, b *Matrix) (*Matrix, error) {
 	return out, nil
 }
 
+// MatMulTransBInto computes dst = a×bᵀ without allocating. dst is
+// overwritten in assign mode, so it may be uninitialized memory.
+func MatMulTransBInto(dst, a, b *Matrix) error {
+	if a.cols != b.cols {
+		return fmt.Errorf("%w: MatMulTransBInto %dx%d × (%dx%d)ᵀ",
+			ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	if dst.rows != a.rows || dst.cols != b.rows {
+		return fmt.Errorf("%w: MatMulTransBInto dst %dx%d, want %dx%d",
+			ErrShape, dst.rows, dst.cols, a.rows, b.rows)
+	}
+	matmulTransB(dst, a, b, false)
+	return nil
+}
+
 // MatMulTransBAcc accumulates dst += a×bᵀ without allocating.
 func MatMulTransBAcc(dst, a, b *Matrix) error {
 	if a.cols != b.cols {
@@ -227,11 +135,10 @@ func MatMulTransBAcc(dst, a, b *Matrix) error {
 }
 
 func matmulTransB(out, a, b *Matrix, acc bool) {
-	m, k, n := a.rows, a.cols, b.rows
 	var j kernelJob
 	j.kind, j.out, j.a, j.b = kMatMulTransB, out, a, b
 	j.flag = acc
-	runKernel(m, 2*n*k, &j)
+	runKernel(a.rows, 2*b.rows*a.cols, &j)
 }
 
 // matmulTransBRange computes rows [lo, hi) of a×bᵀ into out (accumulating
@@ -279,15 +186,11 @@ func MatMulTransAAcc(dst, a, b *Matrix) error {
 	return nil
 }
 
-// matmulTransA accumulates aᵀ×b into out.
-// out[i][j] += sum_p a[p][i] * b[p][j]; stream over p for cache locality,
-// 4-wide like matmulInto so each output row is loaded/stored once per
-// four b rows. The a accesses are column-strided but only 4 per row.
+// matmulTransA accumulates aᵀ×b into out (out[i][j] += sum_p a[p][i]·b[p][j]).
 func matmulTransA(out, a, b *Matrix) {
-	m := a.cols
 	var j kernelJob
 	j.kind, j.out, j.a, j.b = kMatMulTransA, out, a, b
-	runKernel(m, 2*a.rows*b.cols, &j)
+	runKernel(a.cols, 2*a.rows*b.cols, &j)
 }
 
 // matmulTransARange accumulates output rows [lo, hi) of aᵀ×b into out.
@@ -374,7 +277,7 @@ type kernelJob struct {
 	a, b   *Matrix
 	block  int
 	alpha  float64
-	flag   bool // kMatMul: panel path; kMatMulTransB/kBlockMatMulTransB: accumulate
+	flag   bool // kMatMul: assign; kMatMulTransB/kBlockMatMulTransB: accumulate
 	blocks [][]bool
 }
 
@@ -383,14 +286,7 @@ type kernelJob struct {
 func (j *kernelJob) Run(lo, hi int) {
 	switch j.kind {
 	case kMatMul:
-		if j.flag {
-			// Panel path items are row quads (see matmulInto).
-			lo *= 4
-			if hi = hi * 4; hi > j.a.rows {
-				hi = j.a.rows
-			}
-		}
-		matmulRange(j.out, j.a, j.b, lo, hi, j.flag)
+		matmulRowsKernel(j.out, j.a, j.b, lo, hi, j.flag)
 	case kMatMulTransB:
 		matmulTransBRange(j.out, j.a, j.b, lo, hi, j.flag)
 	case kMatMulTransA:

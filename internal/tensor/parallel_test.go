@@ -7,41 +7,111 @@ import (
 )
 
 // TestMatMulBitIdenticalAcrossPoolWidths pins the pooled kernel contract:
-// results (including the panel-packed path, whose parallel items are row
-// quads) must be byte-for-byte identical at every pool width, on shapes
-// both below and above the panel threshold.
+// parallel items are whole output rows with a fixed per-row accumulation
+// order, so results must be byte-for-byte identical at every pool width —
+// in assign mode (MatMulInto), accumulate mode (MatMulAcc), and the
+// transposed-B assign kernel (MatMulTransBInto), on shapes below and above
+// the fork threshold. Within one build variant ("scalar" or "fma") this
+// holds exactly; see gemm.go for the cross-variant caveat.
 func TestMatMulBitIdenticalAcrossPoolWidths(t *testing.T) {
 	rng := NewRNG(11)
 	shapes := [][3]int{
-		{37, 64, 50},    // small: row-item dispatch, row kernel
-		{67, 512, 1024}, // k*n = 512K floats: panel threshold, quad dispatch
+		{37, 64, 50},    // small: stays inline at width 1
+		{67, 512, 1024}, // large: forks with row-chunk stealing
 	}
 	for _, sh := range shapes {
 		m, k, n := sh[0], sh[1], sh[2]
 		a := rng.Normal(m, k, 0, 1)
 		b := rng.Normal(k, n, 0, 1)
+		bt := b.Transpose()
 
-		run := func(width int) *Matrix {
+		run := func(width int) (assign, acc, transB *Matrix) {
 			pool := sched.New(width)
 			defer pool.Close()
 			defer sched.SetDefault(sched.SetDefault(pool))
-			out := New(m, n)
-			if err := MatMulInto(out, a, b); err != nil {
+			assign = New(m, n)
+			if err := MatMulInto(assign, a, b); err != nil {
 				t.Fatal(err)
 			}
-			return out
+			acc = New(m, n)
+			if err := MatMulAcc(acc, a, b); err != nil {
+				t.Fatal(err)
+			}
+			transB = New(m, n)
+			if err := MatMulTransBInto(transB, a, bt); err != nil {
+				t.Fatal(err)
+			}
+			return assign, acc, transB
 		}
 
-		ref := run(1)
+		refAssign, refAcc, refTransB := run(1)
 		for _, width := range []int{2, 4} {
-			got := run(width)
-			rd, gd := ref.Data(), got.Data()
-			for i := range rd {
-				if rd[i] != gd[i] {
-					t.Fatalf("shape %v width %d: out[%d] = %x, serial %x",
-						sh, width, i, gd[i], rd[i])
+			gotAssign, gotAcc, gotTransB := run(width)
+			for _, c := range []struct {
+				name     string
+				ref, got *Matrix
+			}{
+				{"assign", refAssign, gotAssign},
+				{"acc", refAcc, gotAcc},
+				{"transB", refTransB, gotTransB},
+			} {
+				if !c.got.Equal(c.ref) {
+					t.Fatalf("shape %v width %d: %s kernel not bit-identical to width 1",
+						sh, width, c.name)
 				}
 			}
 		}
+	}
+}
+
+// naiveMatMul is the textbook triple loop, the semantic reference for every
+// dense kernel variant. Its summation order differs from the k-quad
+// kernels', so comparisons are tolerance-based, not bit-based.
+func naiveMatMul(a, b *Matrix) *Matrix {
+	m, k, n := a.Rows(), b.Rows(), b.Cols()
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			av := a.Data()[i*k+p]
+			for j := 0; j < n; j++ {
+				out.Data()[i*n+j] += av * b.Data()[p*n+j]
+			}
+		}
+	}
+	return out
+}
+
+// TestMatMulMatchesNaiveReference checks the streaming kernels (assign
+// first-quad, zero-skip accumulation quads, scalar tail) against the
+// naive triple loop across k values that exercise every code path: k<4
+// (clear+row fallback), exact quads, and quad+tail shapes.
+func TestMatMulMatchesNaiveReference(t *testing.T) {
+	rng := NewRNG(12)
+	for _, k := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 31} {
+		a := rng.Normal(6, k, 0, 1)
+		b := rng.Normal(k, 11, 0, 1)
+		got, err := MatMul(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := naiveMatMul(a, b); !got.AllClose(want, 1e-12, 1e-12) {
+			t.Fatalf("k=%d: kernel differs from naive reference", k)
+		}
+	}
+	// Zero-heavy A rows exercise the zero-skip quads without changing the
+	// result (skipped terms contribute exactly zero in both orders).
+	a := rng.Normal(5, 16, 0, 1)
+	for i := 0; i < 5; i++ {
+		for p := 4; p < 12; p++ {
+			a.Set(i, p, 0)
+		}
+	}
+	b := rng.Normal(16, 9, 0, 1)
+	got, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := naiveMatMul(a, b); !got.AllClose(want, 1e-12, 1e-12) {
+		t.Fatal("zero-skip path differs from naive reference")
 	}
 }

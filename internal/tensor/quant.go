@@ -1,0 +1,470 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"clinfl/internal/sched"
+)
+
+// Quantized storage formats for client-side inference and uplink transport.
+//
+// Two formats, chosen for where each actually pays on commodity federated
+// clients (see DESIGN.md "Quantization error model"):
+//
+//   - f16 (IEEE 754 binary16): a storage format. Weights round-trip through
+//     half precision (~3 decimal digits, unit roundoff 2^-11) and compute
+//     upcasts to f64 — scalar CPUs have no half-precision ALU, so the win
+//     is halved weight bytes, not flops.
+//   - int8 symmetric: per-row (activations) and per-column (weights)
+//     scales, int32 accumulation. 8× smaller than f64 on the wire, which
+//     is what the federated uplink codec cares about; on scalar CPUs the
+//     int8 ALU is no faster than f64 FMA, so compute again values memory
+//     traffic over arithmetic.
+//
+// Both formats are exercised by the eval-precision path (EvalMatMul) so the
+// accuracy cost is measurable end to end (`flsim -exp kernels`).
+
+// Precision selects the numeric format eval-mode dense compute runs in.
+// The zero value is full f64.
+type Precision uint8
+
+const (
+	// PrecF64 is the full-precision default.
+	PrecF64 Precision = iota
+	// PrecF16 rounds weights through IEEE half precision.
+	PrecF16
+	// PrecInt8 quantizes weights per-column and activations per-row to
+	// symmetric int8 with int32 accumulation.
+	PrecInt8
+)
+
+// String returns the flag-friendly name ("f64", "f16", "int8").
+func (p Precision) String() string {
+	switch p {
+	case PrecF16:
+		return "f16"
+	case PrecInt8:
+		return "int8"
+	default:
+		return "f64"
+	}
+}
+
+// ParsePrecision parses a precision name as accepted by config flags.
+// The empty string means f64.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", "f64":
+		return PrecF64, nil
+	case "f16":
+		return PrecF16, nil
+	case "int8":
+		return PrecInt8, nil
+	}
+	return PrecF64, fmt.Errorf("tensor: unknown precision %q (want f64, f16 or int8)", s)
+}
+
+// --- IEEE 754 binary16 conversions ---
+
+// F16FromF32 converts f to IEEE 754 binary16 with round-to-nearest-even,
+// saturating overflow to ±Inf and flushing sub-2^-24 magnitudes to ±0.
+func F16FromF32(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b >> 16 & 0x8000)
+	exp := int32(b>>23&0xff) - 127
+	man := b & 0x7fffff
+	switch {
+	case exp == 128: // Inf or NaN
+		if man != 0 {
+			return sign | 0x7e00 // quiet NaN
+		}
+		return sign | 0x7c00
+	case exp > 15: // too large for binary16: ±Inf
+		return sign | 0x7c00
+	case exp >= -14: // normal range: 10-bit mantissa, RNE on 13 dropped bits
+		m := man >> 13
+		if rem := man & 0x1fff; rem > 0x1000 || (rem == 0x1000 && m&1 == 1) {
+			m++ // a mantissa carry overflows into the exponent correctly
+		}
+		return sign | uint16(uint32(exp+15)<<10+m)
+	case exp >= -24: // subnormal: value becomes man16 × 2^-24
+		// Restore the implicit bit: |f| = (man|1<<23) × 2^(exp-23), so the
+		// binary16 mantissa is that integer shifted right by -(exp+1)+13
+		// bits, rounded to nearest even.
+		full := man | 1<<23
+		shift := uint32(13 - (exp + 1))
+		m := full >> shift
+		rem := full & (1<<shift - 1)
+		half := uint32(1) << (shift - 1)
+		if rem > half || (rem == half && m&1 == 1) {
+			m++
+		}
+		return sign | uint16(m)
+	default: // underflow to signed zero
+		return sign
+	}
+}
+
+// F16ToF32 converts an IEEE 754 binary16 value to float32 (exact).
+func F16ToF32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	man := uint32(h & 0x3ff)
+	switch {
+	case exp == 0x1f: // Inf or NaN
+		return math.Float32frombits(sign | 0x7f800000 | man<<13)
+	case exp != 0: // normal
+		return math.Float32frombits(sign | (exp+112)<<23 | man<<13)
+	case man != 0: // subnormal: man × 2^-24
+		f := float32(man) * (1.0 / (1 << 24))
+		if sign != 0 {
+			return -f
+		}
+		return f
+	default:
+		return math.Float32frombits(sign) // signed zero
+	}
+}
+
+// F16FromF64 rounds x through float32 and then binary16. The double
+// rounding can differ from a direct f64→f16 RNE by one ulp in rare
+// mid-point cases; the uplink and storage paths all quantize from f32
+// payloads, so this matches what a wire round-trip produces.
+func F16FromF64(x float64) uint16 { return F16FromF32(float32(x)) }
+
+// F16ToF64 converts a binary16 value to float64 (exact).
+func F16ToF64(h uint16) float64 { return float64(F16ToF32(h)) }
+
+// F16Matrix is a matrix stored in IEEE 754 binary16, halving weight bytes.
+type F16Matrix struct {
+	rows, cols int
+	data       []uint16
+}
+
+// QuantizeF16 converts m to binary16 storage.
+func QuantizeF16(m *Matrix) *F16Matrix {
+	q := &F16Matrix{rows: m.rows, cols: m.cols, data: make([]uint16, len(m.data))}
+	for i, x := range m.data {
+		q.data[i] = F16FromF64(x)
+	}
+	return q
+}
+
+// Rows returns the row count.
+func (q *F16Matrix) Rows() int { return q.rows }
+
+// Cols returns the column count.
+func (q *F16Matrix) Cols() int { return q.cols }
+
+// Dequantize expands the matrix back to float64.
+func (q *F16Matrix) Dequantize() *Matrix {
+	m := New(q.rows, q.cols)
+	for i, h := range q.data {
+		m.data[i] = F16ToF64(h)
+	}
+	return m
+}
+
+// --- symmetric int8 quantization ---
+
+// int8AccMaxK bounds the inner dimension of int8 matmuls: int8×int8
+// products reach 127² = 16129, so int32 accumulation is exact while
+// k ≤ (2³¹−1)/16129 ≈ 133k. Shapes in this codebase top out at a few
+// thousand; the bound exists so the kernel can promise exactness.
+const int8AccMaxK = (1<<31 - 1) / (127 * 127)
+
+// Int8ColMatrix stores a k×n weight matrix quantized per column to
+// symmetric int8, laid out column-major so a matmul's inner loop streams
+// one contiguous column per output element. scales[j] dequantizes column
+// j: w[i][j] ≈ float64(data[j*k+i]) * scales[j].
+type Int8ColMatrix struct {
+	k, n   int
+	data   []int8
+	scales []float64
+}
+
+// QuantizeInt8Cols quantizes w per column: scale = maxabs/127, values
+// round to nearest. An all-zero column gets scale 0 and zero codes.
+func QuantizeInt8Cols(w *Matrix) *Int8ColMatrix {
+	k, n := w.rows, w.cols
+	q := &Int8ColMatrix{k: k, n: n, data: make([]int8, k*n), scales: make([]float64, n)}
+	for j := 0; j < n; j++ {
+		maxAbs := 0.0
+		for i := 0; i < k; i++ {
+			if v := math.Abs(w.data[i*n+j]); v > maxAbs {
+				maxAbs = v
+			}
+		}
+		if maxAbs == 0 {
+			continue
+		}
+		scale := maxAbs / 127
+		q.scales[j] = scale
+		inv := 1 / scale
+		col := q.data[j*k : (j+1)*k]
+		for i := 0; i < k; i++ {
+			col[i] = int8(math.Round(w.data[i*n+j] * inv))
+		}
+	}
+	return q
+}
+
+// Rows returns the inner (k) dimension.
+func (q *Int8ColMatrix) Rows() int { return q.k }
+
+// Cols returns the column count.
+func (q *Int8ColMatrix) Cols() int { return q.n }
+
+// Dequantize expands the matrix back to float64.
+func (q *Int8ColMatrix) Dequantize() *Matrix {
+	m := New(q.k, q.n)
+	for j := 0; j < q.n; j++ {
+		col := q.data[j*q.k : (j+1)*q.k]
+		for i, c := range col {
+			m.data[i*q.n+j] = float64(c) * q.scales[j]
+		}
+	}
+	return m
+}
+
+// quantizeRowInt8 quantizes one activation row symmetrically, returning
+// the dequantization scale (maxabs/127; 0 for an all-zero row).
+func quantizeRowInt8(dst []int8, row []float64) float64 {
+	maxAbs := 0.0
+	for _, v := range row {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		clear(dst)
+		return 0
+	}
+	scale := maxAbs / 127
+	inv := 1 / scale
+	for i, v := range row {
+		dst[i] = int8(math.Round(v * inv))
+	}
+	return scale
+}
+
+// quantScratch recycles the int8 / float64 scratch EvalMatMul needs, so
+// steady-state quantized eval allocates nothing. A plain mutex-guarded
+// free list (like the kernel-job pool) survives GC cycles.
+var quantScratch struct {
+	mu  sync.Mutex
+	i8  [][]int8
+	f64 [][]float64
+}
+
+func getI8(n int) []int8 {
+	quantScratch.mu.Lock()
+	defer quantScratch.mu.Unlock()
+	if k := len(quantScratch.i8); k > 0 {
+		s := quantScratch.i8[k-1]
+		quantScratch.i8 = quantScratch.i8[:k-1]
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]int8, n)
+}
+
+func putI8(s []int8) {
+	quantScratch.mu.Lock()
+	quantScratch.i8 = append(quantScratch.i8, s)
+	quantScratch.mu.Unlock()
+}
+
+func getF64(n int) []float64 {
+	quantScratch.mu.Lock()
+	defer quantScratch.mu.Unlock()
+	if k := len(quantScratch.f64); k > 0 {
+		s := quantScratch.f64[k-1]
+		quantScratch.f64 = quantScratch.f64[:k-1]
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+func putF64(s []float64) {
+	quantScratch.mu.Lock()
+	quantScratch.f64 = append(quantScratch.f64, s)
+	quantScratch.mu.Unlock()
+}
+
+// MatMulInt8Into computes dst = x·dequant(w) with x quantized per row to
+// symmetric int8 and exact int32 accumulation: dst[i][j] =
+// (Σ_k qx[i][k]·qw[k][j]) · sx[i] · sw[j]. dst must be x.rows×w.n and may
+// be uninitialized memory. Output rows fan out on the shared pool; each
+// element is one int32 dot, so results are bit-identical at every width.
+func MatMulInt8Into(dst, x *Matrix, w *Int8ColMatrix) error {
+	if x.cols != w.k {
+		return fmt.Errorf("%w: MatMulInt8Into %dx%d × %dx%d",
+			ErrShape, x.rows, x.cols, w.k, w.n)
+	}
+	if dst.rows != x.rows || dst.cols != w.n {
+		return fmt.Errorf("%w: MatMulInt8Into dst %dx%d, want %dx%d",
+			ErrShape, dst.rows, dst.cols, x.rows, w.n)
+	}
+	if x.cols > int8AccMaxK {
+		return fmt.Errorf("%w: MatMulInt8Into inner dim %d exceeds exact int32 accumulation bound %d",
+			ErrShape, x.cols, int8AccMaxK)
+	}
+	m, k := x.rows, x.cols
+	qx := getI8(m * k)
+	sx := getF64(m)
+	for i := 0; i < m; i++ {
+		sx[i] = quantizeRowInt8(qx[i*k:(i+1)*k], x.data[i*k:(i+1)*k])
+	}
+	j := int8MatMulJob{dst: dst, w: w, qx: qx, sx: sx}
+	pool := sched.Default()
+	if pool.WouldFork(m, 2*k*w.n) {
+		pool.ParallelFor(m, 2*k*w.n, &j)
+	} else {
+		j.Run(0, m)
+	}
+	putI8(qx)
+	putF64(sx)
+	return nil
+}
+
+// int8MatMulJob is the sched.Body fanning int8 matmul output rows.
+type int8MatMulJob struct {
+	dst *Matrix
+	w   *Int8ColMatrix
+	qx  []int8
+	sx  []float64
+}
+
+// Run computes output rows [lo, hi).
+func (j *int8MatMulJob) Run(lo, hi int) {
+	k, n := j.w.k, j.w.n
+	for i := lo; i < hi; i++ {
+		orow := j.dst.data[i*n : (i+1)*n]
+		if j.sx[i] == 0 {
+			clear(orow)
+			continue
+		}
+		xrow := j.qx[i*k : (i+1)*k]
+		for col := 0; col < n; col++ {
+			wcol := j.w.data[col*k : (col+1)*k]
+			var acc int32
+			for p, xv := range xrow {
+				acc += int32(xv) * int32(wcol[p])
+			}
+			orow[col] = float64(acc) * j.sx[i] * j.w.scales[col]
+		}
+	}
+}
+
+// MatMulF16Into computes dst = x·dequant(w) for binary16-stored weights.
+// Scalar CPUs have no half ALU, so the kernel dequantizes w into pooled
+// f64 scratch once (O(k·n), amortized against the O(m·k·n) matmul) and
+// runs the full-precision kernels. dst may be uninitialized memory.
+func MatMulF16Into(dst, x *Matrix, w *F16Matrix) error {
+	if x.cols != w.rows {
+		return fmt.Errorf("%w: MatMulF16Into %dx%d × %dx%d",
+			ErrShape, x.rows, x.cols, w.rows, w.cols)
+	}
+	if dst.rows != x.rows || dst.cols != w.cols {
+		return fmt.Errorf("%w: MatMulF16Into dst %dx%d, want %dx%d",
+			ErrShape, dst.rows, dst.cols, x.rows, w.cols)
+	}
+	buf := getF64(len(w.data))
+	for i, h := range w.data {
+		buf[i] = F16ToF64(h)
+	}
+	bm := Matrix{rows: w.rows, cols: w.cols, data: buf}
+	matmulInto(dst, x, &bm, true)
+	putF64(buf)
+	return nil
+}
+
+// EvalMatMul computes dst = x·w with w passed through storage precision p:
+// PrecF64 runs the plain kernels, PrecF16 rounds w through binary16, and
+// PrecInt8 quantizes w per column and x per row to symmetric int8. The
+// quantized paths use pooled scratch, so steady-state eval stays
+// allocation-light; dst may be uninitialized memory in every mode.
+func EvalMatMul(dst, x, w *Matrix, p Precision) error {
+	switch p {
+	case PrecF16:
+		q := F16Matrix{rows: w.rows, cols: w.cols, data: quantizeF16Pooled(w)}
+		err := MatMulF16Into(dst, x, &q)
+		putU16(q.data)
+		return err
+	case PrecInt8:
+		q := quantizeInt8ColsPooled(w)
+		err := MatMulInt8Into(dst, x, q)
+		putI8(q.data)
+		putF64(q.scales)
+		return err
+	default:
+		return MatMulInto(dst, x, w)
+	}
+}
+
+// u16 scratch pool for the pooled f16 quantizer.
+var u16Scratch struct {
+	mu   sync.Mutex
+	free [][]uint16
+}
+
+func getU16(n int) []uint16 {
+	u16Scratch.mu.Lock()
+	defer u16Scratch.mu.Unlock()
+	if k := len(u16Scratch.free); k > 0 {
+		s := u16Scratch.free[k-1]
+		u16Scratch.free = u16Scratch.free[:k-1]
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]uint16, n)
+}
+
+func putU16(s []uint16) {
+	u16Scratch.mu.Lock()
+	u16Scratch.free = append(u16Scratch.free, s)
+	u16Scratch.mu.Unlock()
+}
+
+// quantizeF16Pooled converts w to binary16 codes in pooled scratch.
+func quantizeF16Pooled(w *Matrix) []uint16 {
+	data := getU16(len(w.data))
+	for i, x := range w.data {
+		data[i] = F16FromF64(x)
+	}
+	return data
+}
+
+// quantizeInt8ColsPooled is QuantizeInt8Cols backed by pooled scratch.
+func quantizeInt8ColsPooled(w *Matrix) *Int8ColMatrix {
+	k, n := w.rows, w.cols
+	q := &Int8ColMatrix{k: k, n: n, data: getI8(k * n), scales: getF64(n)}
+	for j := 0; j < n; j++ {
+		maxAbs := 0.0
+		for i := 0; i < k; i++ {
+			if v := math.Abs(w.data[i*n+j]); v > maxAbs {
+				maxAbs = v
+			}
+		}
+		col := q.data[j*k : (j+1)*k]
+		if maxAbs == 0 {
+			q.scales[j] = 0
+			clear(col)
+			continue
+		}
+		scale := maxAbs / 127
+		q.scales[j] = scale
+		inv := 1 / scale
+		for i := 0; i < k; i++ {
+			col[i] = int8(math.Round(w.data[i*n+j] * inv))
+		}
+	}
+	return q
+}

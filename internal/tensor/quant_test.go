@@ -1,0 +1,291 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clinfl/internal/sched"
+)
+
+// TestF16KnownCodes pins the binary16 encoding against hand-checked values.
+func TestF16KnownCodes(t *testing.T) {
+	cases := []struct {
+		x    float64
+		code uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-2, 0xc000},
+		{65504, 0x7bff}, // largest finite binary16
+		{65536, 0x7c00}, // overflow saturates to +Inf
+		{math.Inf(1), 0x7c00},
+		{math.Inf(-1), 0xfc00},
+		{0x1p-14, 0x0400}, // smallest normal
+		{0x1p-24, 0x0001}, // smallest subnormal
+		{0x1p-26, 0x0000}, // underflows to zero (RNE: below half ulp)
+		{0.5, 0x3800},
+		{0.099975586, 0x2e66}, // nearest binary16 to 0.1
+	}
+	for _, c := range cases {
+		if got := F16FromF64(c.x); got != c.code {
+			t.Errorf("F16FromF64(%g) = %#04x, want %#04x", c.x, got, c.code)
+		}
+	}
+	if !math.IsNaN(F16ToF64(F16FromF64(math.NaN()))) {
+		t.Error("NaN did not survive the f16 round trip")
+	}
+	if got := F16FromF64(math.Copysign(0, -1)); got != 0x8000 {
+		t.Errorf("-0 encoded as %#04x, want 0x8000", got)
+	}
+}
+
+// TestF16RoundTripBounds checks the property the quantization error model
+// relies on: for finite inputs inside the binary16 range, one round trip
+// is within half an ulp (relative 2^-11 for normals, absolute 2^-25 for
+// subnormals), and a second round trip is exact (idempotence).
+func TestF16RoundTripBounds(t *testing.T) {
+	check := func(x float64) bool {
+		// Map arbitrary float64s into the representable range.
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			x = 0
+		}
+		for math.Abs(x) > 65504 {
+			x /= 1 << 16
+		}
+		h := F16FromF64(x)
+		rt := F16ToF64(h)
+		var ok bool
+		if math.Abs(x) < 0x1p-14 {
+			ok = math.Abs(rt-x) <= 0x1p-25
+		} else {
+			ok = math.Abs(rt-x) <= math.Abs(x)*0x1p-11
+		}
+		if !ok {
+			t.Logf("x=%g rt=%g err=%g", x, rt, math.Abs(rt-x))
+			return false
+		}
+		// Idempotence: re-encoding a representable value changes nothing.
+		return F16FromF64(rt) == h
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestF16MatrixRoundTrip checks QuantizeF16/Dequantize respect the same
+// bound elementwise on a random matrix.
+func TestF16MatrixRoundTrip(t *testing.T) {
+	rng := NewRNG(21)
+	m := rng.Normal(17, 23, 0, 1)
+	rt := QuantizeF16(m).Dequantize()
+	for i, x := range m.Data() {
+		if math.Abs(rt.Data()[i]-x) > math.Abs(x)*0x1p-11+0x1p-25 {
+			t.Fatalf("element %d: %g -> %g", i, x, rt.Data()[i])
+		}
+	}
+}
+
+// TestInt8RoundTripBound checks symmetric per-column int8 quantization:
+// every element is within half a quantization step (scale/2 = maxabs/254)
+// of its original, per column.
+func TestInt8RoundTripBound(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := NewRNG(seed)
+		w := rng.Normal(13, 7, 0, 3)
+		rt := QuantizeInt8Cols(w).Dequantize()
+		for j := 0; j < w.Cols(); j++ {
+			maxAbs := 0.0
+			for i := 0; i < w.Rows(); i++ {
+				if a := math.Abs(w.At(i, j)); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			bound := maxAbs/254 + 1e-15
+			for i := 0; i < w.Rows(); i++ {
+				if math.Abs(rt.At(i, j)-w.At(i, j)) > bound {
+					t.Logf("col %d: %g -> %g, bound %g", j, w.At(i, j), rt.At(i, j), bound)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// int8Ref recomputes the quantized matmul definition directly: per-row
+// activation codes, per-column weight codes, integer dot, two dequant
+// multiplies. MatMulInt8Into must match it bit for bit.
+func int8Ref(x *Matrix, w *Int8ColMatrix) *Matrix {
+	m, k, n := x.Rows(), w.Rows(), w.Cols()
+	out := New(m, n)
+	q := make([]int8, k)
+	for i := 0; i < m; i++ {
+		sx := quantizeRowInt8(q, x.Data()[i*k:(i+1)*k])
+		if sx == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			var acc int64
+			for p := 0; p < k; p++ {
+				acc += int64(q[p]) * int64(w.data[j*k+p])
+			}
+			out.Data()[i*n+j] = float64(int32(acc)) * sx * w.scales[j]
+		}
+	}
+	return out
+}
+
+// TestMatMulInt8MatchesReference checks the pooled kernel against the
+// direct reference, bit-exactly, at several pool widths (integer dots have
+// one possible answer, so width can never change the bits).
+func TestMatMulInt8MatchesReference(t *testing.T) {
+	rng := NewRNG(31)
+	x := rng.Normal(65, 48, 0, 1)
+	w := rng.Normal(48, 33, 0, 2)
+	qw := QuantizeInt8Cols(w)
+	want := int8Ref(x, qw)
+	for _, width := range []int{1, 2, 4} {
+		pool := sched.New(width)
+		got := New(x.Rows(), w.Cols())
+		func() {
+			defer pool.Close()
+			defer sched.SetDefault(sched.SetDefault(pool))
+			if err := MatMulInt8Into(got, x, qw); err != nil {
+				t.Fatal(err)
+			}
+		}()
+		if !got.Equal(want) {
+			t.Fatalf("width %d: int8 matmul differs from reference", width)
+		}
+	}
+}
+
+// TestMatMulInt8ApproximatesDense sanity-checks the end-to-end error
+// against the full-precision product on well-conditioned inputs.
+func TestMatMulInt8ApproximatesDense(t *testing.T) {
+	rng := NewRNG(32)
+	x := rng.Normal(20, 64, 0, 1)
+	w := rng.Normal(64, 30, 0, 1)
+	want, err := MatMul(x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := New(20, 30)
+	if err := MatMulInt8Into(got, x, QuantizeInt8Cols(w)); err != nil {
+		t.Fatal(err)
+	}
+	// Quantization noise per product is ~maxabs/254 per factor; over k=64
+	// N(0,1) terms the dot error stays well under 0.5 in practice. This is
+	// a sanity rail, not a tight bound — the bit-exact contract lives in
+	// TestMatMulInt8MatchesReference.
+	for i, v := range want.Data() {
+		if math.Abs(got.Data()[i]-v) > 0.5 {
+			t.Fatalf("element %d: int8 %g vs dense %g", i, got.Data()[i], v)
+		}
+	}
+}
+
+// TestMatMulF16MatchesDequantized checks the f16 kernel equals running the
+// plain kernel on the dequantized weights — the kernel is dequantize +
+// dense, so this must be bit-exact.
+func TestMatMulF16MatchesDequantized(t *testing.T) {
+	rng := NewRNG(33)
+	x := rng.Normal(9, 32, 0, 1)
+	w := rng.Normal(32, 21, 0, 1)
+	q := QuantizeF16(w)
+	want, err := MatMul(x, q.Dequantize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := New(9, 21)
+	if err := MatMulF16Into(got, x, q); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("f16 matmul differs from dense on dequantized weights")
+	}
+}
+
+// TestEvalMatMulModes checks EvalMatMul dispatches to the same results as
+// the explicit quantized kernels, and that f64 mode is the plain product.
+func TestEvalMatMulModes(t *testing.T) {
+	rng := NewRNG(34)
+	x := rng.Normal(12, 40, 0, 1)
+	w := rng.Normal(40, 15, 0, 1)
+
+	dense := New(12, 15)
+	if err := MatMulInto(dense, x, w); err != nil {
+		t.Fatal(err)
+	}
+	got := New(12, 15)
+	if err := EvalMatMul(got, x, w, PrecF64); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(dense) {
+		t.Fatal("EvalMatMul f64 differs from MatMulInto")
+	}
+
+	f16Want := New(12, 15)
+	if err := MatMulF16Into(f16Want, x, QuantizeF16(w)); err != nil {
+		t.Fatal(err)
+	}
+	if err := EvalMatMul(got, x, w, PrecF16); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(f16Want) {
+		t.Fatal("EvalMatMul f16 differs from MatMulF16Into")
+	}
+
+	i8Want := New(12, 15)
+	if err := MatMulInt8Into(i8Want, x, QuantizeInt8Cols(w)); err != nil {
+		t.Fatal(err)
+	}
+	if err := EvalMatMul(got, x, w, PrecInt8); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(i8Want) {
+		t.Fatal("EvalMatMul int8 differs from MatMulInt8Into")
+	}
+}
+
+// TestQuantShapeErrors checks every quantized entry point rejects
+// mismatched shapes with ErrShape.
+func TestQuantShapeErrors(t *testing.T) {
+	x := New(3, 4)
+	w := New(5, 2) // inner dim mismatch
+	dst := New(3, 2)
+	if err := MatMulInt8Into(dst, x, QuantizeInt8Cols(w)); err == nil {
+		t.Error("int8 inner mismatch not rejected")
+	}
+	if err := MatMulF16Into(dst, x, QuantizeF16(w)); err == nil {
+		t.Error("f16 inner mismatch not rejected")
+	}
+	wOK := New(4, 2)
+	bad := New(2, 2) // wrong dst
+	if err := MatMulInt8Into(bad, x, QuantizeInt8Cols(wOK)); err == nil {
+		t.Error("int8 dst mismatch not rejected")
+	}
+	if err := MatMulF16Into(bad, x, QuantizeF16(wOK)); err == nil {
+		t.Error("f16 dst mismatch not rejected")
+	}
+}
+
+// TestParsePrecision covers the flag round trip.
+func TestParsePrecision(t *testing.T) {
+	for _, p := range []Precision{PrecF64, PrecF16, PrecInt8} {
+		got, err := ParsePrecision(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePrecision(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if p, err := ParsePrecision(""); err != nil || p != PrecF64 {
+		t.Errorf("empty precision = %v, %v; want f64", p, err)
+	}
+	if _, err := ParsePrecision("bf16"); err == nil {
+		t.Error("unknown precision accepted")
+	}
+}

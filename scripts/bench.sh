@@ -8,6 +8,11 @@
 # and BENCH_arena.json (PR 2) are kept frozen as previous reference
 # points.
 #
+# A third pass runs the per-kernel GEMM microbenchmarks (plus the
+# scoreboard headliners already measured in pass 1) into
+# BENCH_kernels.json, keyed by the GOAMD64 level the binary was built at,
+# so the scalar and FMA kernel variants are tracked separately.
+#
 # Usage: scripts/bench.sh [benchtime] [cpus]   (default 3x and 1,2,4)
 set -eu
 
@@ -15,9 +20,11 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-3x}"
 CPUS="${2:-1,2,4}"
 OUT="BENCH_parallel.json"
+KOUT="BENCH_kernels.json"
 RAW="$(mktemp)"
 RAWCPU="$(mktemp)"
-trap 'rm -f "$RAW" "$RAWCPU"' EXIT
+RAWK="$(mktemp)"
+trap 'rm -f "$RAW" "$RAWCPU" "$RAWK"' EXIT
 
 # Pass 1: the scoreboard at the machine's default GOMAXPROCS (the numbers
 # CI gates on, comparable to previous scoreboards).
@@ -31,6 +38,13 @@ go test -run '^$' \
 go test -run '^$' \
   -bench 'BenchmarkTable2_ForwardBERT$|BenchmarkTable3_FLRoundBERT$' \
   -benchmem -benchtime "$BENCHTIME" -cpu "$CPUS" -count 1 . | tee "$RAWCPU"
+
+# Pass 3: per-kernel GEMM microbenchmarks for BENCH_kernels.json. GEMM
+# iterations are microseconds, so a fixed higher iteration count keeps the
+# GFLOP/s figures stable regardless of the scoreboard benchtime.
+go test -run '^$' \
+  -bench 'BenchmarkGEMM_|BenchmarkAblation_Matmul$' \
+  -benchtime 200x -count 1 . | tee "$RAWK"
 
 # results_json <file> <strip> emits one "name": {...} line per benchmark;
 # strip=1 removes go test's -N GOMAXPROCS suffix (default pass), strip=0
@@ -95,3 +109,60 @@ results_json() {
 } > "$OUT"
 
 echo "wrote $OUT"
+
+# kernels_json emits one "name": {...} line per GEMM benchmark, keeping
+# the GFLOP/s custom metric next to ns/op.
+kernels_json() {
+    grep '^Benchmark' "$1" | awk '
+    {
+      gsub(/[ \t]+/, " ")
+      n = $1
+      sub(/-[0-9]+$/, "", n)
+      ns = $3
+      gf = "null"
+      for (i = 4; i <= NF; i++) {
+        if ($(i) == "GFLOP/s") gf = $(i-1)
+      }
+      lines[++cnt] = sprintf("    \"%s\": {\"ns_per_op\": %s, \"gflops\": %s}", n, ns, gf)
+    }
+    END {
+      for (i = 1; i <= cnt; i++) printf "%s%s\n", lines[i], (i < cnt ? "," : "")
+    }'
+}
+
+{
+  printf '{\n'
+  printf '  "generated_by": "scripts/bench.sh",\n'
+  printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "cpu": "%s",\n' "$(grep -m1 '^cpu:' "$RAWK" | cut -d: -f2- | sed 's/^ *//')"
+  printf '  "num_cpu": %s,\n' "$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+  # The GOAMD64 level the benchmark binary was compiled at selects the
+  # kernel variant (v1/v2 scalar, v3+ FMA row-pair); track it so scalar
+  # and FMA numbers are never conflated.
+  printf '  "goamd64": "%s",\n' "${GOAMD64:-v1}"
+  # PR 4 scoreboard on the reference single-core Xeon 2.10GHz box (from
+  # BENCH_parallel.json at the PR 5 seed): what this PR's kernels are
+  # measured against.
+  printf '  "pr4_baseline_ns_per_op": {\n'
+  printf '    "BenchmarkTable2_ForwardBERT": 325681648,\n'
+  printf '    "BenchmarkTable3_FLRoundBERT": 2456765299,\n'
+  printf '    "BenchmarkAblation_Matmul_gflops": 6.3\n'
+  printf '  },\n'
+  # Per-variant reference numbers measured on the same box while
+  # calibrating this PR (see DESIGN.md "Kernel calibration"): the default
+  # v1 build streams scalar kernels at the FP-port bound; a GOAMD64=v3
+  # build swaps in the FMA row-pair kernel.
+  printf '  "variant_reference": {\n'
+  printf '    "scalar_v1": {"BenchmarkTable2_ForwardBERT_ns": 347000000, "BenchmarkAblation_Matmul_gflops": 6.8},\n'
+  printf '    "fma_v3":    {"BenchmarkTable2_ForwardBERT_ns": 286000000, "BenchmarkAblation_Matmul_gflops": 9.85}\n'
+  printf '  },\n'
+  # Scoreboard headliners from pass 1, for gating kernels against the PR 4
+  # baseline in the same file.
+  printf '  "results": {\n'
+  results_json "$RAW" 1 | sed 's/}$/},/'
+  kernels_json "$RAWK"
+  printf '  }\n'
+  printf '}\n'
+} > "$KOUT"
+
+echo "wrote $KOUT"

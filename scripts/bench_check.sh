@@ -1,26 +1,30 @@
 #!/usr/bin/env sh
 # Compares a freshly generated bench scoreboard (BENCH_parallel.json, or
 # any earlier-generation file with a "results" block) against a baseline
-# copy and fails if the named benchmark regressed by more than the
+# copy and fails if any named benchmark regressed by more than the
 # allowed percentage. Used by the CI bench-smoke job to gate PRs on the
 # training hot path:
 #
 #   scripts/bench.sh 1x                            # writes BENCH_parallel.json
 #   scripts/bench_check.sh /tmp/bench_baseline.json BENCH_parallel.json \
-#       BenchmarkTable3_FLRoundBERT 25
+#       BenchmarkTable3_FLRoundBERT,BenchmarkTable2_ForwardBERT 25
+#
+# The benchmark argument is a comma-separated list; the default gates
+# both scoreboard headliners (the FL round and the forward pass, so a
+# kernel change cannot trade one for the other unnoticed).
 #
 # Both files only need a "results" object keyed by benchmark name, so a
 # BENCH_arena.json baseline from an older base commit still gates a fresh
-# BENCH_parallel.json. The default budget for the FL-round hot path is
-# +25% (same-runner comparisons; the fork-join runtime must never cost
-# more than that even on single-core runners where it cannot win).
+# BENCH_parallel.json. The default budget for the hot paths is +25%
+# (same-runner comparisons; the fork-join runtime must never cost more
+# than that even on single-core runners where it cannot win).
 #
 # Exit status: 0 when within budget, 1 on regression or missing data.
 set -eu
 
-BASELINE="${1:?usage: bench_check.sh baseline.json fresh.json benchmark max_regression_pct}"
+BASELINE="${1:?usage: bench_check.sh baseline.json fresh.json benchmarks max_regression_pct}"
 FRESH="${2:?missing fresh.json}"
-BENCH="${3:-BenchmarkTable3_FLRoundBERT}"
+BENCHES="${3:-BenchmarkTable3_FLRoundBERT,BenchmarkTable2_ForwardBERT}"
 MAXPCT="${4:-25}"
 
 # extract <file> <bench> pulls ns_per_op for one benchmark out of the
@@ -38,24 +42,30 @@ extract() {
     ' "$1"
 }
 
-base_ns="$(extract "$BASELINE" "$BENCH")"
-fresh_ns="$(extract "$FRESH" "$BENCH")"
-if [ -z "$base_ns" ]; then
-    echo "bench_check: $BENCH missing from baseline $BASELINE" >&2
-    exit 1
-fi
-if [ -z "$fresh_ns" ]; then
-    echo "bench_check: $BENCH missing from fresh results $FRESH" >&2
-    exit 1
-fi
+status=0
+for BENCH in $(printf '%s' "$BENCHES" | tr ',' ' '); do
+    base_ns="$(extract "$BASELINE" "$BENCH")"
+    fresh_ns="$(extract "$FRESH" "$BENCH")"
+    if [ -z "$base_ns" ]; then
+        echo "bench_check: $BENCH missing from baseline $BASELINE" >&2
+        status=1
+        continue
+    fi
+    if [ -z "$fresh_ns" ]; then
+        echo "bench_check: $BENCH missing from fresh results $FRESH" >&2
+        status=1
+        continue
+    fi
 
-# Integer arithmetic in awk (64-bit doubles are exact well past these
-# magnitudes); regression% = 100 * (fresh - base) / base.
-awk -v base="$base_ns" -v fresh="$fresh_ns" -v maxpct="$MAXPCT" -v bench="$BENCH" '
-    BEGIN {
-        pct = 100 * (fresh - base) / base
-        printf "bench_check: %s baseline %.0f ns/op, fresh %.0f ns/op (%+.1f%%, budget +%s%%)\n",
-            bench, base, fresh, pct, maxpct
-        exit (pct > maxpct) ? 1 : 0
-    }
-'
+    # Integer arithmetic in awk (64-bit doubles are exact well past these
+    # magnitudes); regression% = 100 * (fresh - base) / base.
+    awk -v base="$base_ns" -v fresh="$fresh_ns" -v maxpct="$MAXPCT" -v bench="$BENCH" '
+        BEGIN {
+            pct = 100 * (fresh - base) / base
+            printf "bench_check: %s baseline %.0f ns/op, fresh %.0f ns/op (%+.1f%%, budget +%s%%)\n",
+                bench, base, fresh, pct, maxpct
+            exit (pct > maxpct) ? 1 : 0
+        }
+    ' || status=1
+done
+exit "$status"
