@@ -6,7 +6,9 @@
 // weight codec), and trains when tasked. Under a sampling/deadline server
 // the client may sit idle for rounds it is not tasked in; -prox adds a
 // FedProx proximal term so partial participation tolerates heterogeneous
-// shards.
+// shards. -reconnect (on by default) rides out connection loss and server
+// restarts: the client redials with jittered exponential backoff and
+// presents its session token, re-attaching to any in-flight task.
 //
 // Usage (site 3 of 8, compressed uplink):
 //
@@ -15,9 +17,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"clinfl/internal/data"
 	"clinfl/internal/ehr"
@@ -51,6 +56,8 @@ func run() error {
 		patients   = flag.Int("patients", 8638, "synthetic cohort size")
 		codec      = flag.String("codec", "raw", "uplink weight codec: raw | f32 | topk[:fraction]")
 		proxMu     = flag.Float64("prox", 0, "FedProx proximal strength mu (0 = plain FedAvg local training)")
+		reconnect  = flag.Bool("reconnect", true, "redial with backoff on connection loss and resume the session")
+		maxRedials = flag.Int("max-reconnects", 8, "redial attempts per connection failure")
 	)
 	flag.Parse()
 	if *kitDir == "" {
@@ -124,12 +131,34 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	client, err := fl.NewClient(fl.ClientConfig{ServerAddr: *serverAddr, Codec: *codec}, kit, exec)
+	client, err := fl.NewClient(fl.ClientConfig{
+		ServerAddr:    *serverAddr,
+		Codec:         *codec,
+		Reconnect:     *reconnect,
+		MaxReconnects: *maxRedials,
+		Backoff:       fl.Backoff{Jitter: 0.5, Seed: *seed + int64(*shard)},
+	}, kit, exec)
 	if err != nil {
 		return err
 	}
-	if _, err := client.Run(); err != nil {
-		return err
+	// SIGINT/SIGTERM abandon the run; a restarted client re-attaches to
+	// its session only within the same process (the token is in memory),
+	// so a signal here simply stops participating — the server treats the
+	// site as failed and the round proceeds without it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Run()
+		done <- err
+	}()
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("interrupted")
+	case err := <-done:
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("flclient %s: done\n", kit.Name)
 	return nil

@@ -13,21 +13,38 @@
 // uplink is rejected at registration unless -allow-topk-uplink is set,
 // because top-k of a full weight map zeroes most of every parameter).
 //
+// -wal makes the run durable: round lifecycle events are fsync'd to a
+// write-ahead log before they take effect, so a crashed or SIGTERM'd
+// server restarted with the same -wal path resumes mid-round — committed
+// rounds are never re-run, durable client updates are never re-trained,
+// and reconnecting clients re-attach to their sessions. -metrics serves
+// Prometheus-format counters (rounds, bytes, failures, recoveries, WAL
+// appends) over HTTP at /metrics.
+//
 // Usage:
 //
 //	provision -project demo -server localhost -clients c1,c2 -out kits
 //	flserver -kit kits/server -addr :8443 -clients 2 -rounds 5 -out global.weights
 //	flserver -kit kits/server -clients 8 -rounds 5 \
 //	    -sample 0.5 -min-updates 3 -deadline 30s -fedasync -codec f32
+//	flserver -kit kits/server -clients 8 -rounds 20 \
+//	    -wal run.wal -metrics :9090   # durable + observable
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"clinfl/internal/fl"
+	"clinfl/internal/fl/durable"
+	"clinfl/internal/metrics"
 	"clinfl/internal/nn"
 	"clinfl/internal/provision"
 )
@@ -58,8 +75,18 @@ func run() error {
 		fedasync   = flag.Bool("fedasync", false, "fold stragglers' late updates in with staleness weighting instead of dropping them")
 		codec      = flag.String("codec", "raw", "downlink weight codec: raw | f32 | topk[:fraction]")
 		allowTopK  = flag.Bool("allow-topk-uplink", false, "accept clients' lossy top-k uplink codec (zeroes most of each full weight map; otherwise they fall back to raw)")
+
+		walPath     = flag.String("wal", "", "write-ahead log path; a restart with the same path resumes the run mid-round (empty = not durable)")
+		metricsAddr = flag.String("metrics", "", "listen address serving Prometheus metrics at /metrics (empty = disabled)")
 	)
 	flag.Parse()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	// SIGINT/SIGTERM cancel the run: the listener and client connections
+	// close, Run returns, and — with -wal — the log is left positioned so
+	// the next start resumes exactly where this one stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	kit, err := provision.ReadKit(*kitDir)
 	if err != nil {
@@ -73,6 +100,20 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	reg := metrics.NewRegistry()
+	var wal *durable.WAL
+	if *walPath != "" {
+		wal, err = durable.Open(*walPath, durable.Options{Metrics: reg})
+		if err != nil {
+			return err
+		}
+		defer wal.Close()
+		if st := wal.Recovered(); st.Records > 0 {
+			logger.Info("resuming from write-ahead log", "path", *walPath,
+				"records", st.Records, "last_committed_round", st.LastRound,
+				"open_round", st.Open != nil)
+		}
+	}
 	scfg := fl.ServerConfig{
 		Addr:            *addr,
 		ExpectedClients: *clients,
@@ -85,6 +126,9 @@ func run() error {
 		Codec:           *codec,
 		AllowTopKUplink: *allowTopK,
 		VerifyToken:     verify,
+		WAL:             wal,
+		Metrics:         reg,
+		Logf:            fl.SlogLogf(logger, slog.LevelInfo),
 	}
 	if *fedasync {
 		scfg.AsyncAggregator = fl.FedAsync{}
@@ -94,10 +138,34 @@ func run() error {
 		return err
 	}
 	defer srv.Close()
+	go func() {
+		<-ctx.Done()
+		logger.Info("shutdown signal received, closing server")
+		_ = srv.Close()
+	}()
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg)
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: mux}
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("metrics server failed", "err", err)
+			}
+		}()
+		defer metricsSrv.Close()
+		logger.Info("serving metrics", "addr", *metricsAddr, "path", "/metrics")
+	}
 	fmt.Printf("flserver: listening on %s, waiting for %d clients\n", srv.Addr(), *clients)
 
 	res, err := srv.Run(initial)
 	if err != nil {
+		if ctx.Err() != nil {
+			if wal != nil {
+				logger.Info("run interrupted; restart with the same -wal path to resume", "path", *walPath)
+			}
+			return fmt.Errorf("interrupted: %w", err)
+		}
 		return err
 	}
 	f, err := os.Create(*out)

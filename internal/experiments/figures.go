@@ -107,9 +107,12 @@ func (Fig3) Describe() string {
 
 // Fig3Result summarizes the demonstration for tests and benches.
 type Fig3Result struct {
-	Clients        int
-	Rounds         int
-	MeanEpochTime  time.Duration
+	Clients       int
+	Rounds        int
+	MeanEpochTime time.Duration
+	// EpochTimes holds the raw local-epoch samples so callers can read
+	// straggler tails (P50/P95/P99), not just the mean the paper quotes.
+	EpochTimes     *metrics.Timing
 	FinalValAcc    float64
 	RoundDurations []time.Duration
 }
@@ -245,6 +248,7 @@ func RunFig3(ctx context.Context, w io.Writer, scale Scale) (*Fig3Result, error)
 		Clients:       cfg.Clients,
 		Rounds:        cfg.Rounds,
 		MeanEpochTime: epochTimes.Mean(),
+		EpochTimes:    epochTimes,
 		FinalValAcc:   res.History.BestScore,
 	}
 	for _, r := range res.History.Rounds {
@@ -263,6 +267,10 @@ func (Fig3) Run(ctx context.Context, w io.Writer, scale Scale) error {
 	fmt.Fprintf(w, "\nclients=%d rounds=%d\n", res.Clients, res.Rounds)
 	fmt.Fprintf(w, "mean local-epoch time: %v (paper reports 12.7 s on its hardware/data scale)\n",
 		res.MeanEpochTime.Round(time.Millisecond))
+	fmt.Fprintf(w, "local-epoch quantiles: p50=%v p95=%v p99=%v max=%v over %d epochs\n",
+		res.EpochTimes.P50().Round(time.Millisecond), res.EpochTimes.P95().Round(time.Millisecond),
+		res.EpochTimes.P99().Round(time.Millisecond), res.EpochTimes.Max().Round(time.Millisecond),
+		res.EpochTimes.Count())
 	fmt.Fprintf(w, "best validation accuracy: %.1f%%\n", 100*res.FinalValAcc)
 	var total time.Duration
 	for _, d := range res.RoundDurations {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"text/tabwriter"
+	"time"
 
 	"clinfl/internal/core"
 )
@@ -25,11 +26,16 @@ func (Sweep) Describe() string {
 	return "Extension (paper future work): accuracy vs dataset size, LSTM vs BERT-mini"
 }
 
-// SweepPoint is one (model, size) cell.
+// SweepPoint is one (model, size) cell. Alongside accuracy it carries the
+// local-epoch time distribution (P50/P95/P99), so the sweep shows how each
+// model's per-epoch cost — and its straggler tail — scales with data.
 type SweepPoint struct {
 	Model     string
 	TrainSize int
 	Accuracy  float64 // percent
+	EpochP50  time.Duration
+	EpochP95  time.Duration
+	EpochP99  time.Duration
 }
 
 // RunSweep executes the sweep and returns its points.
@@ -45,7 +51,12 @@ func RunSweep(ctx context.Context, scale Scale, models []string, sizes []int) ([
 			if err != nil {
 				return nil, fmt.Errorf("experiments: sweep %s/%d: %w", m, size, err)
 			}
-			out = append(out, SweepPoint{Model: m, TrainSize: cfg.TrainSize, Accuracy: 100 * rep.Accuracy})
+			out = append(out, SweepPoint{
+				Model: m, TrainSize: cfg.TrainSize, Accuracy: 100 * rep.Accuracy,
+				EpochP50: rep.EpochTimes.P50(),
+				EpochP95: rep.EpochTimes.P95(),
+				EpochP99: rep.EpochTimes.P99(),
+			})
 		}
 	}
 	return out, nil
@@ -60,9 +71,11 @@ func (Sweep) Run(ctx context.Context, w io.Writer, scale Scale) error {
 	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "EXTENSION — TOP-1 ACCURACY [%] vs TRAINING-SET SIZE (centralized)")
-	fmt.Fprintln(tw, "Model\tTrain size\tAccuracy")
+	fmt.Fprintln(tw, "Model\tTrain size\tAccuracy\tEpoch p50\tp95\tp99")
 	for _, p := range points {
-		fmt.Fprintf(tw, "%s\t%d\t%.1f\n", p.Model, p.TrainSize, p.Accuracy)
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%v\t%v\t%v\n", p.Model, p.TrainSize, p.Accuracy,
+			p.EpochP50.Round(time.Millisecond), p.EpochP95.Round(time.Millisecond),
+			p.EpochP99.Round(time.Millisecond))
 	}
 	fmt.Fprintln(tw)
 	fmt.Fprintln(tw, "Expected shape: both models improve with data; the LSTM dominates at")

@@ -1,0 +1,96 @@
+package fl
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"clinfl/internal/tensor"
+)
+
+// Backoff computes jittered exponential retry delays. The zero value is
+// usable: 100ms base, 30s cap, doubling, no jitter. Delay is a pure
+// function of (config, attempt) — jitter for attempt i is drawn from a
+// stream seeded by Seed+i, not from shared mutable state — so retry
+// schedules are reproducible and a simulated run replays identically.
+type Backoff struct {
+	// Base is the first delay (default 100ms).
+	Base time.Duration
+	// Max caps every delay (default 30s).
+	Max time.Duration
+	// Factor is the per-attempt growth (default 2).
+	Factor float64
+	// Jitter, in [0, 1], scales each delay by a uniform draw from
+	// [1-Jitter, 1]: retries desynchronize without ever exceeding the
+	// deterministic envelope. 0 disables jitter.
+	Jitter float64
+	// Seed drives the jitter stream.
+	Seed int64
+	// Clock supplies the sleeps (default: real wall clock).
+	Clock Clock
+}
+
+// withDefaults fills zero fields.
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 30 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Clock == nil {
+		b.Clock = RealClock()
+	}
+	return b
+}
+
+// Delay returns the wait before retry attempt (0-based): Base×Factor^attempt,
+// capped at Max, scaled down by up to Jitter.
+func (b Backoff) Delay(attempt int) time.Duration {
+	b = b.withDefaults()
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := float64(b.Base) * math.Pow(b.Factor, float64(attempt))
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if b.Jitter > 0 {
+		j := b.Jitter
+		if j > 1 {
+			j = 1
+		}
+		rng := tensor.NewRNG(b.Seed + int64(attempt))
+		d *= 1 - j*rng.Float64()
+	}
+	return time.Duration(d)
+}
+
+// Retry runs fn up to attempts times, sleeping Delay(i) between failures
+// and aborting early when ctx is cancelled. It returns nil on the first
+// success, ctx's error on cancellation, and otherwise the last failure.
+func (b Backoff) Retry(ctx context.Context, attempts int, fn func() error) error {
+	b = b.withDefaults()
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if i == attempts-1 {
+			break
+		}
+		select {
+		case <-b.Clock.After(b.Delay(i)):
+		case <-ctx.Done():
+			return fmt.Errorf("fl: retry cancelled after attempt %d: %w (last error: %v)", i+1, ctx.Err(), err)
+		}
+	}
+	return err
+}

@@ -1,0 +1,128 @@
+package fl
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// recordingClock is a Clock whose After fires immediately and records the
+// requested durations, so retry pacing is asserted without real sleeps.
+type recordingClock struct {
+	realClock
+	waits []time.Duration
+}
+
+func (c *recordingClock) After(d time.Duration) <-chan time.Time {
+	c.waits = append(c.waits, d)
+	ch := make(chan time.Time, 1)
+	ch <- time.Now()
+	return ch
+}
+
+func TestBackoffDelayDefaults(t *testing.T) {
+	var b Backoff // zero value: 100ms base, 30s cap, doubling, no jitter
+	for i, want := range []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+	} {
+		if got := b.Delay(i); got != want {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if got := b.Delay(30); got != 30*time.Second {
+		t.Errorf("Delay(30) = %v, want the 30s cap", got)
+	}
+	if got := b.Delay(-1); got != b.Delay(0) {
+		t.Errorf("Delay(-1) = %v, want Delay(0) = %v", got, b.Delay(0))
+	}
+}
+
+func TestBackoffDelayJitterEnvelope(t *testing.T) {
+	b := Backoff{Base: 50 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.5, Seed: 3}
+	for attempt := 0; attempt < 12; attempt++ {
+		nominal := 50 * time.Millisecond << uint(attempt)
+		if nominal > time.Second {
+			nominal = time.Second
+		}
+		got := b.Delay(attempt)
+		if got > nominal {
+			t.Errorf("Delay(%d) = %v exceeds the deterministic envelope %v", attempt, got, nominal)
+		}
+		if min := time.Duration(float64(nominal) * (1 - b.Jitter)); got < min {
+			t.Errorf("Delay(%d) = %v below the jitter floor %v", attempt, got, min)
+		}
+		// Jitter is a pure function of (config, attempt): repeated calls
+		// must agree, so simulated runs replay identically.
+		if again := b.Delay(attempt); again != got {
+			t.Errorf("Delay(%d) not deterministic: %v then %v", attempt, got, again)
+		}
+	}
+}
+
+func TestBackoffRetrySucceedsAfterFailures(t *testing.T) {
+	clock := &recordingClock{}
+	b := Backoff{Base: 10 * time.Millisecond, Factor: 2, Clock: clock}
+	calls := 0
+	err := b.Retry(context.Background(), 5, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("fn called %d times, want 3", calls)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(clock.waits) != len(want) {
+		t.Fatalf("slept %d times (%v), want %d", len(clock.waits), clock.waits, len(want))
+	}
+	for i, w := range want {
+		if clock.waits[i] != w {
+			t.Errorf("sleep %d = %v, want %v", i, clock.waits[i], w)
+		}
+	}
+}
+
+func TestBackoffRetryExhaustsAttempts(t *testing.T) {
+	clock := &recordingClock{}
+	b := Backoff{Base: time.Millisecond, Clock: clock}
+	calls := 0
+	last := errors.New("still down")
+	err := b.Retry(context.Background(), 3, func() error {
+		calls++
+		return last
+	})
+	if !errors.Is(err, last) {
+		t.Errorf("Retry error = %v, want the last failure", err)
+	}
+	if calls != 3 {
+		t.Errorf("fn called %d times, want 3", calls)
+	}
+	// No sleep after the final attempt.
+	if len(clock.waits) != 2 {
+		t.Errorf("slept %d times, want 2", len(clock.waits))
+	}
+}
+
+func TestBackoffRetryHonorsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A huge base delay: if cancellation were ignored the test would hang.
+	b := Backoff{Base: time.Hour}
+	calls := 0
+	err := b.Retry(ctx, 5, func() error {
+		calls++
+		return errors.New("down")
+	})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Errorf("Retry error = %v, want a context.Canceled wrap", err)
+	}
+	if calls != 1 {
+		t.Errorf("fn called %d times, want 1 (cancelled before the first sleep)", calls)
+	}
+}

@@ -1,6 +1,7 @@
 package fl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -28,6 +29,18 @@ type ClientConfig struct {
 	// simulator and fltest pass a transport.MemNetwork Dial closure so
 	// the client runs over an in-memory link with scripted faults.
 	Dialer func() (transport.MessageConn, error)
+	// Reconnect enables session resume: on a connection failure the
+	// client redials (paced by Backoff) and re-registers presenting its
+	// session token, re-attaching to its pending task instead of
+	// aborting the run. This is what lets a client ride out a server
+	// crash-restart.
+	Reconnect bool
+	// MaxReconnects bounds consecutive redial attempts per failure
+	// (default 5).
+	MaxReconnects int
+	// Backoff paces reconnect attempts (zero value: 100ms doubling to
+	// 30s).
+	Backoff Backoff
 }
 
 // Client is the networked federation participant: it dials the server with
@@ -39,6 +52,9 @@ type Client struct {
 	kit   *provision.StartupKit
 	exec  Executor
 	codec WeightCodec // requested uplink codec; re-resolved after the ack
+	// session is the server-issued session token, presented on
+	// re-registration to resume.
+	session string
 }
 
 // NewClient builds a networked client around an executor.
@@ -56,15 +72,20 @@ func NewClient(cfg ClientConfig, kit *provision.StartupKit, exec Executor) (*Cli
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 10 * time.Second
 	}
+	if cfg.MaxReconnects <= 0 {
+		cfg.MaxReconnects = 5
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
 	return &Client{cfg: cfg, kit: kit, exec: exec, codec: codec}, nil
 }
 
-// Run connects, registers, and participates until the server finishes.
-// It returns the final global weights distributed by the server.
-func (c *Client) Run() (map[string]*tensor.Matrix, error) {
+// connect dials the server and performs the MsgRegister handshake,
+// presenting the stored session token (if any) so a redial re-attaches to
+// the existing session. On success the negotiated codec and the issued
+// session token are stored on the client.
+func (c *Client) connect() (transport.MessageConn, error) {
 	var conn transport.MessageConn
 	if c.cfg.Dialer != nil {
 		mc, err := c.cfg.Dialer()
@@ -83,41 +104,98 @@ func (c *Client) Run() (map[string]*tensor.Matrix, error) {
 		}
 		conn = tc
 	}
-	defer conn.Close()
-
+	meta := map[string]string{transport.MetaCodec: c.codec.Name()}
+	if c.session != "" {
+		meta[transport.MetaSession] = c.session
+	}
 	if err := conn.Write(&transport.Message{
-		Type: transport.MsgRegister, Sender: c.kit.Name, Token: c.kit.Token,
-		Meta: map[string]string{transport.MetaCodec: c.codec.Name()},
+		Type: transport.MsgRegister, Sender: c.kit.Name, Token: c.kit.Token, Meta: meta,
 	}); err != nil {
+		_ = conn.Close()
 		return nil, fmt.Errorf("fl: %s register: %w", c.kit.Name, err)
 	}
 	ack, err := conn.Read()
 	if err != nil {
+		_ = conn.Close()
 		return nil, fmt.Errorf("fl: %s register ack: %w", c.kit.Name, err)
 	}
 	if ack.Type != transport.MsgRegisterAck || ack.Meta["accepted"] != "true" {
+		_ = conn.Close()
 		return nil, fmt.Errorf("fl: %s registration rejected: %s", c.kit.Name, ack.Meta["reason"])
 	}
 	// Honor the server's codec decision (it may have fallen back to raw).
 	if accepted := ack.Meta[transport.MetaCodec]; accepted != "" && accepted != c.codec.Name() {
 		codec, err := CodecByName(accepted)
 		if err != nil {
+			_ = conn.Close()
 			return nil, fmt.Errorf("fl: %s server chose unusable codec: %w", c.kit.Name, err)
 		}
 		c.codec = codec
 	}
+	if sess := ack.Meta[transport.MetaSession]; sess != "" {
+		c.session = sess
+	}
+	return conn, nil
+}
+
+// reconnect closes the failed connection and redials with backoff,
+// re-registering under the stored session token. It returns the original
+// cause when reconnection is disabled, no session was ever issued, or
+// every attempt fails.
+func (c *Client) reconnect(old transport.MessageConn, cause error) (transport.MessageConn, error) {
+	if old != nil {
+		_ = old.Close()
+	}
+	if !c.cfg.Reconnect || c.session == "" {
+		return nil, cause
+	}
+	c.cfg.Logf("fl client %s: connection lost (%v), reconnecting", c.kit.Name, cause)
+	var conn transport.MessageConn
+	err := c.cfg.Backoff.Retry(context.Background(), c.cfg.MaxReconnects, func() error {
+		var err error
+		conn, err = c.connect()
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fl: %s reconnect failed: %w (cause: %v)", c.kit.Name, err, cause)
+	}
+	c.cfg.Logf("fl client %s: session resumed", c.kit.Name)
+	return conn, nil
+}
+
+// Run connects, registers, and participates until the server finishes.
+// It returns the final global weights distributed by the server.
+func (c *Client) Run() (map[string]*tensor.Matrix, error) {
+	conn, err := c.connect()
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if conn != nil {
+			_ = conn.Close()
+		}
+	}()
 	c.cfg.Logf("fl client %s: registered with server (uplink codec %s)", c.kit.Name, c.codec.Name())
 
 	for {
 		msg, err := conn.Read()
 		if err != nil {
-			return nil, fmt.Errorf("fl: %s read: %w", c.kit.Name, err)
+			if conn, err = c.reconnect(conn, err); err != nil {
+				return nil, fmt.Errorf("fl: %s read: %w", c.kit.Name, err)
+			}
+			continue
 		}
 		switch msg.Type {
 		case transport.MsgTask:
 			global, err := DecodeWeights(msg.Payload)
 			if err != nil {
-				return nil, fmt.Errorf("fl: %s decode global: %w", c.kit.Name, err)
+				// Corruption inside the payload passes framing but fails
+				// here; it is the same damaged-in-transit failure as a bad
+				// frame, so reconnect and let the server re-send the task.
+				if conn, err = c.reconnect(conn, err); err != nil {
+					return nil, fmt.Errorf("fl: %s decode global: %w", c.kit.Name, err)
+				}
+				continue
 			}
 			update, err := c.exec.ExecuteRound(msg.Round, global)
 			if err != nil {
@@ -138,7 +216,12 @@ func (c *Client) Run() (map[string]*tensor.Matrix, error) {
 				Payload: blob, NumSamples: update.NumSamples,
 				Meta: map[string]string{"train_loss": strconv.FormatFloat(update.TrainLoss, 'g', -1, 64)},
 			}); err != nil {
-				return nil, fmt.Errorf("fl: %s send update: %w", c.kit.Name, err)
+				// The update is lost with the connection; on resume the
+				// server re-sends the round's task and the client
+				// recomputes.
+				if conn, err = c.reconnect(conn, err); err != nil {
+					return nil, fmt.Errorf("fl: %s send update: %w", c.kit.Name, err)
+				}
 			}
 		case transport.MsgFinish:
 			final, err := DecodeWeights(msg.Payload)

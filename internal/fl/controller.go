@@ -8,6 +8,8 @@ import (
 	"sort"
 	"time"
 
+	"clinfl/internal/fl/durable"
+	"clinfl/internal/metrics"
 	"clinfl/internal/tensor"
 )
 
@@ -61,6 +63,20 @@ type ControllerConfig struct {
 	// with hours of simulated straggling replay identically in
 	// milliseconds of real time.
 	Clock Clock
+	// WAL, when non-nil, makes the run durable: every round lifecycle
+	// event (round open, task assignment, update receipt, model commit)
+	// is appended and fsync'd before the run proceeds, and Run resumes
+	// from the WAL's recovered state — the last committed model, plus any
+	// open round's already-received updates — instead of initialWeights.
+	// A crashed run restarted over the same WAL (with the same executors
+	// and config) converges to the same final model as an uninterrupted
+	// one, because updates are stored at full precision and aggregation
+	// order is canonical.
+	WAL *durable.WAL
+	// Metrics, when non-nil, receives round/byte/failure/straggler
+	// counters and the round-duration histogram. Nil disables metrics at
+	// zero cost.
+	Metrics *metrics.Registry
 }
 
 // withDefaults fills zero fields.
@@ -173,6 +189,7 @@ type Controller struct {
 	// they are excluded from sampling until their outcome arrives.
 	inFlight map[string]bool
 	rng      *tensor.RNG
+	met      flMetrics
 }
 
 // NewController builds a controller over executors.
@@ -197,6 +214,7 @@ func NewController(cfg ControllerConfig, executors []Executor) (*Controller, err
 		results:  make(chan execOutcome, 2*len(executors)),
 		inFlight: make(map[string]bool, len(executors)),
 		rng:      tensor.NewRNG(cfg.Seed + 7919),
+		met:      newFLMetrics(cfg.Metrics),
 	}, nil
 }
 
@@ -207,7 +225,28 @@ func (c *Controller) Run(ctx context.Context, initialWeights map[string]*tensor.
 	res := &Result{History: History{BestRound: -1}}
 	sinceBest := 0
 
-	for round := 0; round < c.cfg.Rounds; round++ {
+	// A durable run picks up where the WAL left off: the last committed
+	// model replaces initialWeights, and a round that was open at the
+	// crash is resumed — its recorded updates re-seeded, only the pending
+	// clients re-executed.
+	startRound := 0
+	var resume *durable.OpenRound
+	if c.cfg.WAL != nil {
+		st := c.cfg.WAL.Recovered()
+		if st.Records > 0 {
+			c.met.reg.Counter("fl_recoveries_total", "runs resumed from a non-empty WAL").Inc()
+		}
+		if st.Weights != nil {
+			global = cloneWeights(st.Weights)
+		}
+		startRound = st.LastRound + 1
+		if st.Open != nil {
+			startRound = st.Open.Round
+			resume = st.Open
+		}
+	}
+
+	for round := startRound; round < c.cfg.Rounds; round++ {
 		select {
 		case <-ctx.Done():
 			return nil, fmt.Errorf("fl: cancelled before round %d: %w", round, ctx.Err())
@@ -215,7 +254,8 @@ func (c *Controller) Run(ctx context.Context, initialWeights map[string]*tensor.
 		}
 		start := c.cfg.Clock.Now()
 		rec := RoundRecord{Round: round}
-		updates, late, err := c.scatterGather(ctx, round, global, &rec)
+		updates, late, err := c.scatterGather(ctx, round, global, &rec, resume)
+		resume = nil
 		if err != nil {
 			return nil, err
 		}
@@ -236,6 +276,18 @@ func (c *Controller) Run(ctx context.Context, initialWeights map[string]*tensor.
 		if weightSum > 0 {
 			rec.MeanTrainLoss = lossSum / weightSum
 		}
+		if c.cfg.WAL != nil {
+			// The commit point: once RecModelCommit is durable (group
+			// committed by the syncer, settled by Close) a restart starts
+			// at round+1 and never re-runs this round.
+			if err := c.cfg.WAL.AppendRoundFinal(round, rec.Participants); err != nil {
+				return nil, fmt.Errorf("fl: round %d: %w", round, err)
+			}
+			if err := c.cfg.WAL.AppendModelCommit(round, global); err != nil {
+				return nil, fmt.Errorf("fl: round %d: %w", round, err)
+			}
+		}
+		c.met.roundDone(&rec)
 		if c.cfg.Validate != nil {
 			score, err := c.cfg.Validate(global)
 			if err != nil {
@@ -371,7 +423,11 @@ func checkShapes(global map[string]*tensor.Matrix, u *ClientUpdate) error {
 // Outcomes from earlier rounds' stragglers drain through the same channel
 // and are returned as late updates (to merge via the AsyncAggregator) or
 // recorded as dropped.
-func (c *Controller) scatterGather(ctx context.Context, round int, global map[string]*tensor.Matrix, rec *RoundRecord) ([]*ClientUpdate, []*ClientUpdate, error) {
+// When resume is non-nil (WAL recovery), the round's recorded updates are
+// re-seeded instead of re-trained and only the tasked-but-unheard clients
+// execute; executors are pure functions of (round, global), so the resumed
+// round aggregates exactly what the uninterrupted one would have.
+func (c *Controller) scatterGather(ctx context.Context, round int, global map[string]*tensor.Matrix, rec *RoundRecord, resume *durable.OpenRound) ([]*ClientUpdate, []*ClientUpdate, error) {
 	// Drain stragglers that finished between rounds first, so they become
 	// idle (sample-able) again and their updates enter this round's
 	// staleness handling instead of rotting in the channel.
@@ -384,6 +440,7 @@ drain:
 			switch {
 			case o.err != nil:
 				rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", o.name, o.err))
+				c.met.failure("exec")
 			case c.cfg.AsyncAggregator != nil:
 				late = append(late, o.update)
 			default:
@@ -394,12 +451,60 @@ drain:
 		}
 	}
 
-	sampled, err := c.sampleClients()
-	if err != nil {
-		return nil, nil, fmt.Errorf("fl: round %d: %w", round, err)
+	var sampled []Executor
+	var preSeeded []*ClientUpdate
+	if resume != nil {
+		byName := make(map[string]Executor, len(c.executors))
+		for _, ex := range c.executors {
+			byName[ex.Name()] = ex
+		}
+		for _, u := range resume.Updates {
+			preSeeded = append(preSeeded, &ClientUpdate{
+				ClientName: u.Client, Round: round, Weights: u.Weights,
+				NumSamples: u.NumSamples, TrainLoss: u.TrainLoss,
+				PayloadBytes: u.PayloadBytes,
+			})
+		}
+		for _, name := range resume.Tasked {
+			rec.Sampled = append(rec.Sampled, name)
+			if resume.HasUpdate(name) {
+				continue
+			}
+			ex, ok := byName[name]
+			if !ok {
+				rec.Failures = append(rec.Failures, fmt.Sprintf("%s: tasked before crash, absent after restart", name))
+				c.met.failure("conn")
+				continue
+			}
+			sampled = append(sampled, ex)
+		}
+	} else {
+		var err error
+		sampled, err = c.sampleClients()
+		if err != nil {
+			return nil, nil, fmt.Errorf("fl: round %d: %w", round, err)
+		}
+		for _, ex := range sampled {
+			rec.Sampled = append(rec.Sampled, ex.Name())
+		}
+		if c.cfg.WAL != nil {
+			if err := c.cfg.WAL.AppendRoundOpen(round); err != nil {
+				return nil, nil, fmt.Errorf("fl: round %d: %w", round, err)
+			}
+			// Task assignments from a resumed round are already on disk.
+			for _, ex := range sampled {
+				if err := c.cfg.WAL.AppendTaskAssigned(round, ex.Name()); err != nil {
+					return nil, nil, fmt.Errorf("fl: round %d: %w", round, err)
+				}
+			}
+		}
 	}
+	// No fsync barrier before the executors start: file order gives the
+	// WAL a durable prefix (an fsync covering this round's open covers
+	// the previous commit too), and a lost suffix re-executes the round
+	// deterministically. The background syncer flushes the scatter while
+	// the executors train.
 	for _, ex := range sampled {
-		rec.Sampled = append(rec.Sampled, ex.Name())
 		c.inFlight[ex.Name()] = true
 		ex := ex
 		c.cfg.Clock.Go(func() {
@@ -409,13 +514,14 @@ drain:
 	}
 
 	deadlineAt, deadlineCh := gatherDeadline(c.cfg.Clock, c.cfg.RoundDeadline)
+	tasked := len(sampled) + len(preSeeded)
 	quorum := c.cfg.MinClients
-	if quorum > len(sampled) {
-		quorum = len(sampled)
+	if quorum > tasked {
+		quorum = tasked
 	}
 	minUpdates := c.cfg.MinUpdates
-	if minUpdates <= 0 || minUpdates > len(sampled) {
-		minUpdates = len(sampled)
+	if minUpdates <= 0 || minUpdates > tasked {
+		minUpdates = tasked
 	}
 	if minUpdates < quorum {
 		// An early aggregate below the quorum would always fail it; wait
@@ -423,7 +529,7 @@ drain:
 		minUpdates = quorum
 	}
 
-	var updates []*ClientUpdate
+	updates := preSeeded
 	pending := len(sampled)
 gather:
 	for pending > 0 && len(updates) < minUpdates {
@@ -433,6 +539,7 @@ gather:
 			// Stragglers stay in flight; their updates surface as late
 			// outcomes in a future round's gather (NVFlare's
 			// wait_time_after_min_received semantics, made durable).
+			c.met.stragglers.Add(int64(pending))
 			break gather
 		case waitCancelled:
 			return nil, nil, fmt.Errorf("fl: round %d cancelled: %w", round, ctx.Err())
@@ -441,11 +548,22 @@ gather:
 		switch {
 		case o.err != nil:
 			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", o.name, o.err))
+			c.met.failure("exec")
 			if o.round == round {
 				pending--
 			}
 		case o.round == round:
 			pending--
+			if c.cfg.WAL != nil {
+				// Lazy append, group-committed by the WAL's syncer. A
+				// crash that loses it re-executes the client on resume —
+				// either way the round's participant set is consistent on
+				// disk and in memory.
+				if err := c.cfg.WAL.AppendUpdate(round, o.name, o.update.NumSamples,
+					o.update.TrainLoss, o.update.PayloadBytes, o.update.Weights); err != nil {
+					return nil, nil, fmt.Errorf("fl: round %d: %w", round, err)
+				}
+			}
 			updates = append(updates, o.update)
 		case c.cfg.AsyncAggregator != nil:
 			late = append(late, o.update)

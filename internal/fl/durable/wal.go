@@ -1,0 +1,556 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"clinfl/internal/metrics"
+	"clinfl/internal/tensor"
+)
+
+// File framing: a magic header, then records as
+//
+//	u32 little-endian body length (capped at maxRecordSize)
+//	u32 CRC-32C of the body
+//	body (see encodeRecord)
+//
+// Durability is group-committed: appends write immediately and a
+// background syncer batches the fsyncs, so the round's record burst
+// flushes while the next round's clients train instead of stalling the
+// server once per record. What survives a crash is always a *prefix* of
+// the append order — an fsync that covers a round's open record covers
+// every earlier record too — and the round protocol is arranged so any
+// durable prefix resumes correctly: replay can never pair a round with
+// stale weights, and a lost suffix only re-runs work whose recomputation
+// is byte-identical. Session grants are the one record an external
+// promise rides on (the token handed to the client must outlive the
+// process), so those sync before returning. A torn tail — the crash
+// landed mid-write or mid-sync — fails the length or CRC check on reopen
+// and is truncated away; every record before it replays exactly.
+
+// walMagic opens every WAL file.
+const walMagic = "CFWAL1\n"
+
+// castagnoli is the CRC-32C table (same polynomial as iSCSI/ext4 —
+// hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures a WAL.
+type Options struct {
+	// NoSync skips every fsync. Only for tests and benchmarks that
+	// measure the encoding path; production records must reach disk
+	// before the actions they back become externally visible.
+	NoSync bool
+	// Metrics, when non-nil, receives wal_appends_total /
+	// wal_fsyncs_total / wal_replayed_records_total counters.
+	Metrics *metrics.Registry
+	// OnAppend, when non-nil, observes every append with the cumulative
+	// append count, synchronously on the appending goroutine, after the
+	// record is written to the file. The record is not necessarily
+	// durable yet — it becomes so at the next Sync, durable append, or
+	// Close. The crash-restart soak harness uses the hook to kill the
+	// run at an exact, reproducible point in the record stream.
+	OnAppend func(total int64, rec *Record)
+}
+
+// Update is one client update recovered from the WAL.
+type Update struct {
+	Client       string
+	NumSamples   int
+	TrainLoss    float64
+	PayloadBytes int
+	Weights      map[string]*tensor.Matrix
+}
+
+// OpenRound is a round that was opened but never committed: the crash
+// happened mid-gather. Tasked is the recorded task-assignment set
+// (sorted, deduplicated); Updates are the updates that reached the WAL,
+// in arrival order, at most one per client.
+type OpenRound struct {
+	Round   int
+	Tasked  []string
+	Updates []*Update
+}
+
+// HasUpdate reports whether client's update is already in the WAL.
+func (o *OpenRound) HasUpdate(client string) bool {
+	for _, u := range o.Updates {
+		if u.Client == client {
+			return true
+		}
+	}
+	return false
+}
+
+// State is the replayed view of a WAL: everything a restarted server
+// needs to resume.
+type State struct {
+	// LastRound is the last committed round (-1 when none committed).
+	LastRound int
+	// Weights is the last committed global model (nil when none).
+	Weights map[string]*tensor.Matrix
+	// Sessions maps client name to issued session token.
+	Sessions map[string]string
+	// Open is the in-flight round, if the crash happened mid-round.
+	Open *OpenRound
+	// Records counts replayed records.
+	Records int64
+	// Torn reports that a corrupt/torn tail was truncated on open.
+	Torn bool
+}
+
+// apply folds one replayed record into the state.
+func (s *State) apply(rec *Record) {
+	switch rec.Type {
+	case RecSession:
+		s.Sessions[rec.Client] = rec.Token
+	case RecRoundOpen:
+		if rec.Round <= s.LastRound {
+			return // stale: already committed
+		}
+		if s.Open == nil || s.Open.Round != rec.Round {
+			s.Open = &OpenRound{Round: rec.Round}
+		}
+	case RecTaskAssigned:
+		if s.Open == nil || s.Open.Round != rec.Round {
+			return
+		}
+		for _, t := range s.Open.Tasked {
+			if t == rec.Client {
+				return
+			}
+		}
+		s.Open.Tasked = append(s.Open.Tasked, rec.Client)
+		sort.Strings(s.Open.Tasked)
+	case RecUpdate:
+		if s.Open == nil || s.Open.Round != rec.Round || s.Open.HasUpdate(rec.Client) {
+			return
+		}
+		s.Open.Updates = append(s.Open.Updates, &Update{
+			Client:       rec.Client,
+			NumSamples:   rec.NumSamples,
+			TrainLoss:    rec.TrainLoss,
+			PayloadBytes: rec.PayloadBytes,
+			Weights:      rec.Weights,
+		})
+	case RecRoundFinal:
+		// Informational; RecModelCommit is the durable commit point. A
+		// crash between the two leaves the round open, and the resumed
+		// round re-finalizes from the recorded updates — byte-identical,
+		// since aggregation order is canonicalized.
+	case RecModelCommit:
+		if rec.Round > s.LastRound {
+			s.LastRound = rec.Round
+			s.Weights = rec.Weights
+		}
+		if s.Open != nil && s.Open.Round <= rec.Round {
+			s.Open = nil
+		}
+	}
+}
+
+// WAL is an open write-ahead log positioned for appends. Appends are
+// safe from multiple goroutines (the server writes sessions from reader
+// goroutines and round records from the run loop); Recovered state is a
+// snapshot taken at Open.
+type WAL struct {
+	opts Options
+	st   *State
+
+	// mu guards file writes and the append/synced counters; it is never
+	// held across an fsync, so group syncs overlap with fresh appends.
+	mu      sync.Mutex
+	f       *os.File
+	scratch []byte // reused encode buffer: one ~update-sized allocation per log, not per append
+	appends int64  // records written through this handle
+	fsyncs  int64
+	synced  int64 // records covered by a completed fsync
+	syncErr error // sticky: first write/fsync failure poisons the log
+
+	// syncMu serializes fsyncs between barrier callers and the syncer.
+	syncMu    sync.Mutex
+	wake      chan struct{} // nudges the background syncer, capacity 1
+	quit      chan struct{}
+	syncerEnd chan struct{}
+	closeOnce sync.Once
+
+	cAppends *metrics.Counter
+	cFsyncs  *metrics.Counter
+}
+
+// Open opens (or creates) the WAL at path, replays every intact record
+// into a State snapshot, truncates any torn tail, and positions the file
+// for appends.
+func Open(path string, opts Options) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: open %s: %w", path, err)
+	}
+	w := &WAL{
+		f:         f,
+		opts:      opts,
+		wake:      make(chan struct{}, 1),
+		quit:      make(chan struct{}),
+		syncerEnd: make(chan struct{}),
+		cAppends:  opts.Metrics.Counter("wal_appends_total", "WAL records appended"),
+		cFsyncs:   opts.Metrics.Counter("wal_fsyncs_total", "WAL fsync calls"),
+	}
+	st, good, err := replayFile(f)
+	if err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("durable: seek %s: %w", path, err)
+	}
+	if size == 0 {
+		// Fresh log: write the magic header.
+		if _, err := f.Write([]byte(walMagic)); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("durable: write header: %w", err)
+		}
+		if err := w.fsync(); err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+	} else if good < size {
+		// Torn or corrupt tail: truncate back to the last intact record.
+		st.Torn = true
+		if err := f.Truncate(good); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("durable: truncate torn tail: %w", err)
+		}
+		if _, err := f.Seek(good, io.SeekStart); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("durable: reposition: %w", err)
+		}
+		if err := w.fsync(); err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+	}
+	opts.Metrics.Counter("wal_replayed_records_total", "WAL records replayed at open").Add(st.Records)
+	w.st = st
+	go w.syncer()
+	return w, nil
+}
+
+// replayFile reads records from the start of f, returning the replayed
+// state and the offset of the end of the last intact record. Any decode
+// failure — short header, implausible length, CRC mismatch, body decode
+// error — ends the replay at the previous good offset; it is reported as
+// a torn tail, never an open error, because a crash mid-append is
+// exactly the failure the WAL exists to absorb.
+func replayFile(f *os.File) (*State, int64, error) {
+	st := &State{LastRound: -1, Sessions: make(map[string]string)}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("durable: seek: %w", err)
+	}
+	hdr := make([]byte, len(walMagic))
+	n, err := io.ReadFull(f, hdr)
+	if err != nil {
+		return st, 0, nil // empty or shorter than the magic: fresh/torn
+	}
+	if string(hdr) != walMagic {
+		return nil, 0, fmt.Errorf("durable: bad WAL magic %q", hdr)
+	}
+	good := int64(n)
+	frame := make([]byte, 8)
+	for {
+		if _, err := io.ReadFull(f, frame); err != nil {
+			return st, good, nil
+		}
+		length := binary.LittleEndian.Uint32(frame[0:4])
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if length > maxRecordSize {
+			return st, good, nil
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(f, body); err != nil {
+			return st, good, nil
+		}
+		if crc32.Checksum(body, castagnoli) != sum {
+			return st, good, nil
+		}
+		rec, err := decodeRecord(body)
+		if err != nil {
+			return st, good, nil
+		}
+		st.apply(rec)
+		st.Records++
+		good += int64(8 + len(body))
+	}
+}
+
+// Recovered returns the state replayed at Open (never nil).
+func (w *WAL) Recovered() *State { return w.st }
+
+// append encodes rec, frames it with length+CRC, and writes it, firing
+// the OnAppend hook on the caller. It returns the record's position in
+// the append sequence; the record is written but not yet durable.
+func (w *WAL) append(rec *Record) (int64, error) {
+	w.mu.Lock()
+	if err := w.syncErr; err != nil {
+		w.mu.Unlock()
+		return 0, err
+	}
+	// Encode into the reused scratch buffer (mu serializes its use): a
+	// round writes tens of MB of update records, and allocating each
+	// body fresh would hand the GC that much garbage per round.
+	body, err := encodeRecordInto(w.scratch[:0], rec)
+	if err != nil {
+		w.mu.Unlock()
+		return 0, err
+	}
+	w.scratch = body
+	// Header and body go out as two writes rather than one concatenated
+	// frame: copying the body just to save a syscall would cost more
+	// than the syscall. A crash between the writes is an ordinary torn
+	// tail.
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(body, castagnoli))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		err = fmt.Errorf("durable: append %s: %w", rec.Type, err)
+		w.syncErr = err
+		w.mu.Unlock()
+		return 0, err
+	}
+	if _, err := w.f.Write(body); err != nil {
+		err = fmt.Errorf("durable: append %s: %w", rec.Type, err)
+		w.syncErr = err
+		w.mu.Unlock()
+		return 0, err
+	}
+	w.appends++
+	n := w.appends
+	w.mu.Unlock()
+	w.cAppends.Inc()
+	if w.opts.OnAppend != nil {
+		w.opts.OnAppend(n, rec)
+	}
+	return n, nil
+}
+
+// Append writes rec and blocks until it is durable. When Append returns
+// nil the record (and, by file order, every record appended before it)
+// survives power loss. The round-lifecycle appenders below are mostly
+// lazy instead; use Append directly when the caller is about to act on
+// the record externally.
+func (w *WAL) Append(rec *Record) error {
+	n, err := w.append(rec)
+	if err != nil {
+		return err
+	}
+	return w.syncTo(n)
+}
+
+// appendLazy writes rec and returns without waiting for durability; the
+// background syncer group-commits it, or the next Sync/durable
+// append/Close does. A write error is returned here; a later fsync
+// failure is sticky and surfaces on the next append, Sync, or Close.
+func (w *WAL) appendLazy(rec *Record) error {
+	if _, err := w.append(rec); err != nil {
+		return err
+	}
+	select {
+	case w.wake <- struct{}{}:
+	default: // syncer already has a pending nudge
+	}
+	return nil
+}
+
+// Sync blocks until every record appended before the call is durable —
+// the explicit group-commit barrier. Close uses it to settle the tail;
+// the round hot path deliberately does not (see the package durability
+// comment above).
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	target, err := w.appends, w.syncErr
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return w.syncTo(target)
+}
+
+// syncTo blocks until the first target appended records are durable.
+// Syncs are serialized by syncMu, but mu is released across the fsync so
+// appends keep flowing while a group commit is in flight.
+func (w *WAL) syncTo(target int64) error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	if err := w.syncErr; err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	if w.synced >= target {
+		w.mu.Unlock()
+		return nil
+	}
+	// Every write that completed before this point is in the file and
+	// will be covered by the fsync; later racing writes wait their turn.
+	covered := w.appends
+	w.mu.Unlock()
+	if !w.opts.NoSync {
+		if err := w.f.Sync(); err != nil {
+			err = fmt.Errorf("durable: fsync: %w", err)
+			w.mu.Lock()
+			if w.syncErr == nil {
+				w.syncErr = err
+			}
+			w.mu.Unlock()
+			return err
+		}
+	}
+	w.mu.Lock()
+	if !w.opts.NoSync {
+		w.fsyncs++
+	}
+	if covered > w.synced {
+		w.synced = covered
+	}
+	w.mu.Unlock()
+	if !w.opts.NoSync {
+		w.cFsyncs.Inc()
+	}
+	return nil
+}
+
+// coalesceDelay is how long the syncer waits for the append stream to go
+// quiet before group-committing. A round's records arrive as a burst
+// (task scatter, then the update gather); fsyncing eagerly inside the
+// burst makes every multi-MB write stall behind the in-flight flush of
+// the previous record, so instead the whole burst settles in one fsync
+// once the writer pauses — off-thread, under the next round's training.
+const coalesceDelay = 5 * time.Millisecond
+
+// syncer is the background group-commit loop: a nudge from a lazy append
+// arms it, it waits out the burst, then flushes everything written so
+// far in one fsync. Errors are sticky in syncTo and surface on the next
+// append, Sync, or Close.
+func (w *WAL) syncer() {
+	defer close(w.syncerEnd)
+	for {
+		select {
+		case <-w.quit:
+			return
+		case <-w.wake:
+		}
+		last := w.Appends()
+		for {
+			select {
+			case <-w.quit:
+				return // Close settles the tail
+			case <-time.After(coalesceDelay):
+			}
+			cur := w.Appends()
+			if cur == last {
+				break
+			}
+			last = cur
+		}
+		_ = w.Sync()
+	}
+}
+
+// fsync flushes the file unless Options.NoSync (used by Open, outside
+// the record-counting group-commit machinery).
+func (w *WAL) fsync() error {
+	if w.opts.NoSync {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("durable: fsync: %w", err)
+	}
+	w.mu.Lock()
+	w.fsyncs++
+	w.mu.Unlock()
+	w.cFsyncs.Inc()
+	return nil
+}
+
+// Appends returns the records appended through this handle.
+func (w *WAL) Appends() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appends
+}
+
+// Fsyncs returns the fsync calls made through this handle.
+func (w *WAL) Fsyncs() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.fsyncs
+}
+
+// Close stops the syncer, flushes any records still awaiting their
+// group commit, and closes the file. Safe to call more than once.
+func (w *WAL) Close() error {
+	w.closeOnce.Do(func() {
+		close(w.quit)
+		<-w.syncerEnd
+	})
+	err := w.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Convenience appenders for the round lifecycle. Their durability
+// follows the protocol's commitment points: session grants are durable
+// before the ack (the token outlives the process); every round record is
+// lazy, group-committed by the background syncer and settled by Close —
+// a suffix lost from an unsynced tail just re-runs its rounds to the
+// byte-identical result.
+
+// AppendSession records a client registration, durably: the token is
+// about to be handed to the client, and a restart must recognize it.
+func (w *WAL) AppendSession(client, token string) error {
+	return w.Append(&Record{Type: RecSession, Client: client, Token: token})
+}
+
+// AppendRoundOpen marks the start of a round (lazy).
+func (w *WAL) AppendRoundOpen(round int) error {
+	return w.appendLazy(&Record{Type: RecRoundOpen, Round: round})
+}
+
+// AppendTaskAssigned records one client receiving the round's task
+// (lazy).
+func (w *WAL) AppendTaskAssigned(round int, client string) error {
+	return w.appendLazy(&Record{Type: RecTaskAssigned, Round: round, Client: client})
+}
+
+// AppendUpdate records one received client update, weights included
+// (lazy; an update lost with an unsynced tail re-tasks the client on
+// resume, whose recomputation is byte-identical).
+func (w *WAL) AppendUpdate(round int, client string, numSamples int, trainLoss float64, payloadBytes int, weights map[string]*tensor.Matrix) error {
+	return w.appendLazy(&Record{
+		Type: RecUpdate, Round: round, Client: client,
+		NumSamples: numSamples, TrainLoss: trainLoss,
+		PayloadBytes: payloadBytes, Weights: weights,
+	})
+}
+
+// AppendRoundFinal records a round's aggregation (lazy; informational).
+func (w *WAL) AppendRoundFinal(round int, participants []string) error {
+	return w.appendLazy(&Record{Type: RecRoundFinal, Round: round, Participants: participants})
+}
+
+// AppendModelCommit commits a round's global model. Lazy: by file order
+// the commit is never durable before the updates it aggregates nor after
+// the next round's open, so replay always resumes a round against the
+// model it actually started from.
+func (w *WAL) AppendModelCommit(round int, weights map[string]*tensor.Matrix) error {
+	return w.appendLazy(&Record{Type: RecModelCommit, Round: round, Weights: weights})
+}

@@ -1,0 +1,458 @@
+package durable
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clinfl/internal/metrics"
+	"clinfl/internal/tensor"
+)
+
+func testWeights(seed float64) map[string]*tensor.Matrix {
+	return map[string]*tensor.Matrix{
+		"w": tensor.MustFromSlice(2, 2, []float64{seed, seed + 0.5, -seed, math.Pi * seed}),
+		"b": tensor.MustFromSlice(1, 2, []float64{seed * 10, 0}),
+	}
+}
+
+func weightsEqual(a, b map[string]*tensor.Matrix) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, m := range a {
+		o, ok := b[k]
+		if !ok || !m.Equal(o) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRecordRoundTripAllTypes(t *testing.T) {
+	recs := []*Record{
+		{Type: RecSession, Client: "hospital-a", Token: "tok-123"},
+		{Type: RecRoundOpen, Round: 7},
+		{Type: RecTaskAssigned, Round: 7, Client: "hospital-a"},
+		{Type: RecUpdate, Round: 7, Client: "hospital-a", NumSamples: 128,
+			TrainLoss: 0.731, PayloadBytes: 4096, Weights: testWeights(1)},
+		{Type: RecRoundFinal, Round: 7, Participants: []string{"hospital-a", "hospital-b"}},
+		{Type: RecModelCommit, Round: 7, Weights: testWeights(2)},
+	}
+	for _, rec := range recs {
+		body, err := encodeRecord(rec)
+		if err != nil {
+			t.Fatalf("encode %s: %v", rec.Type, err)
+		}
+		got, err := decodeRecord(body)
+		if err != nil {
+			t.Fatalf("decode %s: %v", rec.Type, err)
+		}
+		if got.Type != rec.Type || got.Round != rec.Round || got.Client != rec.Client ||
+			got.Token != rec.Token || got.NumSamples != rec.NumSamples ||
+			got.TrainLoss != rec.TrainLoss || got.PayloadBytes != rec.PayloadBytes {
+			t.Fatalf("%s: scalar fields mismatch: %+v vs %+v", rec.Type, got, rec)
+		}
+		if len(got.Participants) != len(rec.Participants) {
+			t.Fatalf("%s: participants %v vs %v", rec.Type, got.Participants, rec.Participants)
+		}
+		for i := range rec.Participants {
+			if got.Participants[i] != rec.Participants[i] {
+				t.Fatalf("%s: participant %d mismatch", rec.Type, i)
+			}
+		}
+		if rec.Weights != nil && !weightsEqual(got.Weights, rec.Weights) {
+			t.Fatalf("%s: weights mismatch", rec.Type)
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	rec := &Record{Type: RecModelCommit, Round: 3, Weights: testWeights(4)}
+	a, err := encodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := encodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same record encoded to different bytes")
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	valid, err := encodeRecord(&Record{Type: RecUpdate, Round: 1, Client: "c",
+		NumSamples: 1, Weights: testWeights(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"unknown type":   {0xFF, 0, 0, 0, 0},
+		"truncated":      valid[:len(valid)-3],
+		"trailing bytes": append(append([]byte(nil), valid...), 0xAB),
+	}
+	for name, body := range cases {
+		if _, err := decodeRecord(body); err == nil {
+			t.Errorf("%s: decode accepted malformed body", name)
+		}
+	}
+}
+
+func TestWALAppendReopenReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fl.wal")
+	w, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := w.Recovered()
+	if st.LastRound != -1 || st.Open != nil || len(st.Sessions) != 0 || st.Torn {
+		t.Fatalf("fresh WAL state: %+v", st)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(w.AppendSession("a", "tok-a"))
+	must(w.AppendSession("b", "tok-b"))
+	must(w.AppendRoundOpen(0))
+	must(w.AppendTaskAssigned(0, "a"))
+	must(w.AppendTaskAssigned(0, "b"))
+	must(w.AppendUpdate(0, "a", 10, 0.5, 100, testWeights(1)))
+	must(w.AppendUpdate(0, "b", 20, 0.4, 200, testWeights(2)))
+	must(w.AppendRoundFinal(0, []string{"a", "b"}))
+	committed := testWeights(3)
+	must(w.AppendModelCommit(0, committed))
+	// Round 1 crashes mid-gather: open, both tasked, only one update in.
+	must(w.AppendRoundOpen(1))
+	must(w.AppendTaskAssigned(1, "b"))
+	must(w.AppendTaskAssigned(1, "a"))
+	must(w.AppendUpdate(1, "a", 10, 0.45, 100, testWeights(4)))
+	if w.Appends() != 13 {
+		t.Fatalf("appends = %d, want 13", w.Appends())
+	}
+	// Group commit: the round records are lazy, so the fsync count stays
+	// far below the append count — only the durable session appends (and
+	// the header) are guaranteed synchronous. Sync is the barrier.
+	must(w.Sync())
+	if got := w.Fsyncs(); got < 3 {
+		t.Fatalf("fsyncs = %d, want >= 3 (header, sessions, barrier)", got)
+	}
+	must(w.Close())
+
+	reg := metrics.NewRegistry()
+	w2, err := Open(path, Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	st = w2.Recovered()
+	if st.Torn {
+		t.Fatal("clean log reported torn")
+	}
+	if st.Records != 13 {
+		t.Fatalf("replayed %d records, want 13", st.Records)
+	}
+	if got := reg.Counter("wal_replayed_records_total", "").Value(); got != 13 {
+		t.Fatalf("replay counter = %d, want 13", got)
+	}
+	if st.LastRound != 0 || !weightsEqual(st.Weights, committed) {
+		t.Fatalf("committed model not recovered: round %d", st.LastRound)
+	}
+	if st.Sessions["a"] != "tok-a" || st.Sessions["b"] != "tok-b" {
+		t.Fatalf("sessions not recovered: %v", st.Sessions)
+	}
+	if st.Open == nil || st.Open.Round != 1 {
+		t.Fatalf("open round not recovered: %+v", st.Open)
+	}
+	if len(st.Open.Tasked) != 2 || st.Open.Tasked[0] != "a" || st.Open.Tasked[1] != "b" {
+		t.Fatalf("tasked set %v, want sorted [a b]", st.Open.Tasked)
+	}
+	if len(st.Open.Updates) != 1 || st.Open.Updates[0].Client != "a" ||
+		st.Open.Updates[0].NumSamples != 10 || !st.Open.HasUpdate("a") || st.Open.HasUpdate("b") {
+		t.Fatalf("open updates %+v", st.Open.Updates)
+	}
+	// Appending after reopen continues the log.
+	must(w2.AppendUpdate(1, "b", 20, 0.35, 200, testWeights(5)))
+	must(w2.AppendModelCommit(1, testWeights(6)))
+	must(w2.Close())
+
+	w3, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	st = w3.Recovered()
+	if st.LastRound != 1 || st.Open != nil {
+		t.Fatalf("after commit: LastRound=%d Open=%+v", st.LastRound, st.Open)
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fl.wal")
+	w, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendSession("a", "tok"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendRoundOpen(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	goodSize := fileSize(t, path)
+	// Simulate a crash mid-append: half a frame of garbage at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{9, 0, 0, 0, 0xDE, 0xAD}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := w2.Recovered()
+	if !st.Torn {
+		t.Fatal("torn tail not reported")
+	}
+	if st.Records != 2 || st.Sessions["a"] != "tok" || st.Open == nil || st.Open.Round != 0 {
+		t.Fatalf("intact prefix lost: %+v", st)
+	}
+	// The tail was truncated and the log accepts fresh appends cleanly.
+	if err := w2.AppendTaskAssigned(0, "a"); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	if got := fileSize(t, path); got <= goodSize {
+		t.Fatalf("file size %d after truncate+append, want > %d", got, goodSize)
+	}
+	w3, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	if st := w3.Recovered(); st.Torn || st.Records != 3 {
+		t.Fatalf("post-truncate log not clean: %+v", st)
+	}
+}
+
+func TestWALCorruptMiddleStopsReplayAtCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fl.wal")
+	w, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendSession("a", "tok"); err != nil {
+		t.Fatal(err)
+	}
+	firstEnd := fileSize(t, path)
+	if err := w.AppendSession("b", "tok2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendSession("c", "tok3"); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	// Flip a byte inside the second record's body: CRC must catch it, and
+	// replay keeps only the records before it.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[firstEnd+12] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	st := w2.Recovered()
+	if !st.Torn || st.Records != 1 || st.Sessions["a"] != "tok" || st.Sessions["b"] != "" {
+		t.Fatalf("corrupt-middle replay: %+v", st)
+	}
+}
+
+func TestWALBadMagicRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a.wal")
+	if err := os.WriteFile(path, []byte("GARBAGE\nmore"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); err == nil {
+		t.Fatal("Open accepted a non-WAL file")
+	}
+}
+
+func TestWALNoSyncSkipsFsync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fl.wal")
+	w, err := Open(path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.AppendRoundOpen(0); err != nil {
+		t.Fatal(err)
+	}
+	if w.Fsyncs() != 0 {
+		t.Fatalf("fsyncs = %d with NoSync", w.Fsyncs())
+	}
+}
+
+func TestWALOnAppendHook(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fl.wal")
+	var seen []int64
+	var types []RecordType
+	w, err := Open(path, Options{NoSync: true, OnAppend: func(n int64, rec *Record) {
+		seen = append(seen, n)
+		types = append(types, rec.Type)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.AppendRoundOpen(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendTaskAssigned(0, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 ||
+		types[0] != RecRoundOpen || types[1] != RecTaskAssigned {
+		t.Fatalf("hook saw %v %v", seen, types)
+	}
+}
+
+func TestWALGroupCommitFlushOnClose(t *testing.T) {
+	// Lazy round records with no explicit Sync must still be on disk
+	// after Close: Close drains the syncer and flushes the tail.
+	path := filepath.Join(t.TempDir(), "fl.wal")
+	w, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendRoundOpen(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendTaskAssigned(0, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendUpdate(0, "a", 10, 0.5, 100, testWeights(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		// Second Close reports the already-closed file; it must not
+		// panic or deadlock. (Error content is os-specific.)
+		t.Log("second Close returned nil")
+	}
+	w2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	st := w2.Recovered()
+	if st.Torn || st.Records != 3 || st.Open == nil || st.Open.Round != 0 ||
+		len(st.Open.Updates) != 1 {
+		t.Fatalf("group-commit tail lost: %+v", st)
+	}
+}
+
+func TestWALSyncBarrierCoversLazyAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fl.wal")
+	w, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	base := w.Fsyncs()
+	for i := 0; i < 5; i++ {
+		if err := w.AppendTaskAssigned(0, string(rune('a'+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Fsyncs(); got <= base {
+		t.Fatalf("barrier did not fsync (fsyncs %d -> %d)", base, got)
+	}
+	// A second barrier with nothing new appended is a no-op.
+	after := w.Fsyncs()
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Fsyncs(); got != after {
+		t.Fatalf("idle barrier fsynced (fsyncs %d -> %d)", after, got)
+	}
+}
+
+func TestReplayIdempotentMerge(t *testing.T) {
+	// A resumed round re-logs RoundOpen/TaskAssigned/Update records for
+	// state it already replayed; the merge must dedupe, first update wins.
+	st := &State{LastRound: -1, Sessions: make(map[string]string)}
+	st.apply(&Record{Type: RecRoundOpen, Round: 2})
+	st.apply(&Record{Type: RecTaskAssigned, Round: 2, Client: "a"})
+	st.apply(&Record{Type: RecTaskAssigned, Round: 2, Client: "a"})
+	st.apply(&Record{Type: RecUpdate, Round: 2, Client: "a", NumSamples: 5})
+	st.apply(&Record{Type: RecRoundOpen, Round: 2}) // resume re-opens same round
+	st.apply(&Record{Type: RecUpdate, Round: 2, Client: "a", NumSamples: 99})
+	if st.Open == nil || len(st.Open.Tasked) != 1 || len(st.Open.Updates) != 1 {
+		t.Fatalf("merge failed: %+v", st.Open)
+	}
+	if st.Open.Updates[0].NumSamples != 5 {
+		t.Fatal("duplicate update overwrote the first durable copy")
+	}
+	// Stale records for already-committed rounds are ignored.
+	st.apply(&Record{Type: RecModelCommit, Round: 2})
+	st.apply(&Record{Type: RecRoundOpen, Round: 1})
+	st.apply(&Record{Type: RecUpdate, Round: 1, Client: "a"})
+	if st.Open != nil || st.LastRound != 2 {
+		t.Fatalf("stale round resurrected: %+v", st)
+	}
+}
+
+func TestEncodeCapsEnforced(t *testing.T) {
+	long := make([]byte, maxNameLen+1)
+	for i := range long {
+		long[i] = 'x'
+	}
+	if _, err := encodeRecord(&Record{Type: RecSession, Client: string(long)}); err == nil {
+		t.Fatal("oversized client name accepted")
+	}
+	if _, err := encodeRecord(&Record{Type: RecRoundOpen, Round: -1}); err == nil {
+		t.Fatal("negative round accepted")
+	}
+	if _, err := encodeRecord(&Record{Type: RecUpdate, NumSamples: -1}); err == nil {
+		t.Fatal("negative sample count accepted")
+	}
+	// A weight map larger than the record cap must fail encode, not OOM.
+	big := map[string]*tensor.Matrix{"w": tensor.New(3000, 3000)} // 72 MB > 64 MiB
+	if _, err := encodeRecord(&Record{Type: RecModelCommit, Weights: big}); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}

@@ -1,0 +1,81 @@
+package fl
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+
+	"clinfl/internal/metrics"
+)
+
+// flMetrics bundles the federation instruments shared by the in-process
+// Controller and the networked Server. Built from a nil registry, every
+// instrument handle is a nil no-op, so the round loops never branch on
+// "is metrics enabled".
+type flMetrics struct {
+	reg          *metrics.Registry
+	rounds       *metrics.Counter
+	updates      *metrics.Counter
+	bytesUp      *metrics.Counter
+	bytesDown    *metrics.Counter
+	lateApplied  *metrics.Counter
+	lateDropped  *metrics.Counter
+	stragglers   *metrics.Counter
+	resumes      *metrics.Counter
+	roundSeconds *metrics.Histogram
+	connected    *metrics.Gauge
+}
+
+// newFLMetrics registers (or re-looks-up) the federation instruments.
+func newFLMetrics(reg *metrics.Registry) flMetrics {
+	return flMetrics{
+		reg:          reg,
+		rounds:       reg.Counter("fl_rounds_total", "federated rounds completed"),
+		updates:      reg.Counter("fl_updates_total", "client updates aggregated in-round"),
+		bytesUp:      reg.Counter("fl_bytes_up_total", "uplink weight-payload bytes received"),
+		bytesDown:    reg.Counter("fl_bytes_down_total", "downlink weight-payload bytes sent"),
+		lateApplied:  reg.Counter("fl_late_applied_total", "stale straggler updates merged via the async aggregator"),
+		lateDropped:  reg.Counter("fl_late_dropped_total", "stale straggler updates dropped"),
+		stragglers:   reg.Counter("fl_stragglers_total", "clients still pending when a round deadline fired"),
+		resumes:      reg.Counter("fl_session_resumes_total", "client sessions re-attached after reconnect"),
+		roundSeconds: reg.Histogram("fl_round_seconds", "round duration", metrics.DurationBuckets),
+		connected:    reg.Gauge("fl_connected_clients", "currently registered live clients"),
+	}
+}
+
+// failure counts one client failure under its cause label ("exec" for
+// local-training errors, "conn" for connection failures, "reject" for
+// protocol/payload rejections, "send" for task-dispatch failures,
+// "late" for late-update handling errors).
+func (m flMetrics) failure(cause string) {
+	m.reg.Counter("fl_failures_total", "client failures by cause", "cause", cause).Inc()
+}
+
+// roundDone records one completed round's aggregate counters.
+func (m flMetrics) roundDone(rec *RoundRecord) {
+	m.rounds.Inc()
+	m.updates.Add(int64(len(rec.Participants)))
+	m.bytesUp.Add(rec.BytesUp)
+	m.bytesDown.Add(rec.BytesDown)
+	m.lateApplied.Add(int64(len(rec.LateApplied)))
+	m.lateDropped.Add(int64(len(rec.LateDropped)))
+	m.roundSeconds.Observe(rec.Duration.Seconds())
+}
+
+// SlogLogf adapts a structured logger to the Logf hooks used throughout
+// the federation configs: each Logf line becomes one record at the given
+// level. Callers that want fully structured attributes log through l
+// directly; this adapter keeps the existing printf call sites flowing
+// into the same sink.
+func SlogLogf(l *slog.Logger, level slog.Level) func(format string, args ...any) {
+	if l == nil {
+		return func(string, ...any) {}
+	}
+	return func(format string, args ...any) {
+		ctx := context.Background()
+		if !l.Enabled(ctx, level) {
+			return
+		}
+		l.Log(ctx, level, fmt.Sprintf(format, args...))
+	}
+}

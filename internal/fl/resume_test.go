@@ -1,0 +1,373 @@
+package fl
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clinfl/internal/fl/durable"
+	"clinfl/internal/metrics"
+	"clinfl/internal/tensor"
+	"clinfl/internal/transport"
+)
+
+// fastBackoff keeps reconnect loops snappy in tests.
+func fastBackoff() Backoff {
+	return Backoff{Base: 5 * time.Millisecond, Max: 100 * time.Millisecond, Factor: 2}
+}
+
+// TestClientSessionResumeAfterCorruptTask corrupts one client's round-0
+// task frame in transit. The client's read fails, it redials presenting
+// its session token, the server re-attaches the session mid-gather and
+// re-sends the in-flight task, and the round still aggregates every
+// tasked client — the corruption costs a retry, not a participant.
+func TestClientSessionResumeAfterCorruptTask(t *testing.T) {
+	network := transport.NewMemNetwork()
+	defer network.Close()
+	proj := testProject(t, "flaky", "steady")
+	reg := metrics.NewRegistry()
+	srv, err := NewServer(ServerConfig{
+		ExpectedClients: 2,
+		Rounds:          2,
+		MinClients:      2,
+		RegisterTimeout: 10 * time.Second,
+		VerifyToken:     proj.VerifyToken,
+		Logf:            quietLogf,
+		Listener:        network,
+		Metrics:         reg,
+	}, proj.ServerKit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	execs := map[string]*fakeExecutor{
+		"flaky": {name: "flaky", samples: 10, value: 1},
+		// steady's training delay holds the gather open while flaky's
+		// reconnect lands, making the re-attach ordering deterministic.
+		"steady": {name: "steady", samples: 30, value: 2, delay: 750 * time.Millisecond},
+	}
+	var flakyDials atomic.Int32
+	dialers := map[string]func() (transport.MessageConn, error){
+		"flaky": func() (transport.MessageConn, error) {
+			down := transport.LinkProfile{}
+			if flakyDials.Add(1) == 1 {
+				// Down-direction message 0 is the register ack; message 1
+				// is the round-0 task, which arrives bit-flipped.
+				down.Faults = transport.FaultSchedule{CorruptMsgs: []int{1}}
+			}
+			return network.Dial("flaky", transport.LinkProfile{}, down)
+		},
+		"steady": func() (transport.MessageConn, error) {
+			return network.Dial("steady", transport.LinkProfile{}, transport.LinkProfile{})
+		},
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	finals := make(map[string]map[string]*tensor.Matrix)
+	for name, exec := range execs {
+		cl, err := NewClient(ClientConfig{
+			Logf:          quietLogf,
+			Dialer:        dialers[name],
+			Reconnect:     true,
+			MaxReconnects: 10,
+			Backoff:       fastBackoff(),
+		}, proj.ClientKits[name], exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			final, err := cl.Run()
+			if err != nil {
+				t.Errorf("client %s: %v", name, err)
+				return
+			}
+			mu.Lock()
+			finals[name] = final
+			mu.Unlock()
+		}(name)
+	}
+
+	res, err := srv.Run(initialWeights())
+	if err != nil {
+		t.Fatalf("server run: %v", err)
+	}
+	wg.Wait()
+
+	want := 1.75 // FedAvg of 1 (n=10) and 2 (n=30)
+	if got := res.FinalWeights["layer.w"].At(0, 0); got != want {
+		t.Errorf("final weight %v, want %v", got, want)
+	}
+	for name, final := range finals {
+		if got := final["layer.w"].At(0, 0); got != want {
+			t.Errorf("client %s final weight %v, want %v", name, got, want)
+		}
+	}
+	for _, rec := range res.History.Rounds {
+		if len(rec.Participants) != 2 {
+			t.Errorf("round %d participants %v, want both clients", rec.Round, rec.Participants)
+		}
+	}
+	// The corrupted task never reached an executor: flaky ran each round
+	// exactly once, off the re-sent task in round 0.
+	if calls := execs["flaky"].calls; calls != 2 {
+		t.Errorf("flaky executed %d rounds, want 2", calls)
+	}
+	if got := flakyDials.Load(); got < 2 {
+		t.Errorf("flaky dialed %d times, want a reconnect after the corrupt frame", got)
+	}
+	if got := reg.Counter("fl_session_resumes_total", "").Value(); got < 1 {
+		t.Errorf("fl_session_resumes_total = %d, want >= 1", got)
+	}
+}
+
+// TestServerRestartResumesFromWAL kills a WAL-backed server mid-gather —
+// after one client's round-1 update is already durable — then starts a
+// fresh server process over the same WAL. The clients ride out the outage
+// via session resume, the replacement server re-seeds the recovered update
+// without re-training that client, re-tasks only the unheard one, and the
+// federation finishes with the exact model an uninterrupted run produces.
+func TestServerRestartResumesFromWAL(t *testing.T) {
+	proj := testProject(t, "c1", "c2")
+	walPath := filepath.Join(t.TempDir(), "run.wal")
+	reg := metrics.NewRegistry()
+
+	net1 := transport.NewMemNetwork()
+	var network atomic.Pointer[transport.MemNetwork]
+	network.Store(net1)
+
+	mkServer := func(wal *durable.WAL, ln transport.MessageListener) *Server {
+		srv, err := NewServer(ServerConfig{
+			ExpectedClients: 2,
+			Rounds:          3,
+			MinClients:      2,
+			RegisterTimeout: 20 * time.Second,
+			VerifyToken:     proj.VerifyToken,
+			Logf:            quietLogf,
+			Listener:        ln,
+			WAL:             wal,
+			Metrics:         reg,
+		}, proj.ServerKit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+
+	// c1 replies instantly; c2's training delay guarantees the crash —
+	// triggered by the first durable round-1 update — fires while c2's
+	// update is still outstanding, so the WAL is left with an open round.
+	execs := map[string]*fakeExecutor{
+		"c1": {name: "c1", samples: 10, value: 1},
+		"c2": {name: "c2", samples: 30, value: 2, delay: 400 * time.Millisecond},
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	finals := make(map[string]map[string]*tensor.Matrix)
+	for name, exec := range execs {
+		name := name
+		cl, err := NewClient(ClientConfig{
+			Logf:          quietLogf,
+			Reconnect:     true,
+			MaxReconnects: 50,
+			Backoff:       fastBackoff(),
+			Dialer: func() (transport.MessageConn, error) {
+				return network.Load().Dial(name, transport.LinkProfile{}, transport.LinkProfile{})
+			},
+		}, proj.ClientKits[name], exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			final, err := cl.Run()
+			if err != nil {
+				t.Errorf("client %s: %v", name, err)
+				return
+			}
+			mu.Lock()
+			finals[name] = final
+			mu.Unlock()
+		}(name)
+	}
+
+	// Server 1: dies the instant round 1's first client update is durable.
+	var srv1 *Server
+	var crash sync.Once
+	wal1, err := durable.Open(walPath, durable.Options{Metrics: reg, OnAppend: func(_ int64, rec *durable.Record) {
+		if rec.Type == durable.RecUpdate && rec.Round == 1 {
+			crash.Do(func() { _ = srv1.Close() })
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 = mkServer(wal1, net1)
+	if _, err := srv1.Run(initialWeights()); err == nil {
+		t.Fatal("server 1 survived its scripted crash")
+	}
+	if err := wal1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server 2: a fresh process over the same WAL and a fresh network the
+	// clients' dialer picks up on their next reconnect attempt.
+	net2 := transport.NewMemNetwork()
+	defer net2.Close()
+	network.Store(net2)
+	wal2, err := durable.Open(walPath, durable.Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal2.Close()
+	st := wal2.Recovered()
+	if st.Open == nil || st.Open.Round != 1 {
+		t.Fatalf("recovered state has no open round 1: %+v", st.Open)
+	}
+	if len(st.Open.Updates) < 1 {
+		t.Fatal("crash left no pending update in the WAL")
+	}
+	srv2 := mkServer(wal2, net2)
+	defer srv2.Close()
+	res, err := srv2.Run(initialWeights())
+	if err != nil {
+		t.Fatalf("server 2 run: %v", err)
+	}
+	srv2.Close() // release any client still blocked on a read
+	wg.Wait()
+
+	want := 1.75 // FedAvg of 1 (n=10) and 2 (n=30)
+	if got := res.FinalWeights["layer.w"].At(0, 0); got != want {
+		t.Errorf("final weight %v, want %v", got, want)
+	}
+	for name, final := range finals {
+		if got := final["layer.w"].At(0, 0); got != want {
+			t.Errorf("client %s final weight %v, want %v", name, got, want)
+		}
+	}
+	// Server 2's history starts at the resumed round, and the resumed
+	// round still aggregated both clients: the durable update plus the
+	// re-tasked one.
+	if len(res.History.Rounds) != 2 {
+		t.Fatalf("server 2 ran %d rounds, want 2 (resume at round 1 of 3)", len(res.History.Rounds))
+	}
+	if got := res.History.Rounds[0].Round; got != 1 {
+		t.Errorf("server 2 first round %d, want the open round 1", got)
+	}
+	if got := len(res.History.Rounds[0].Participants); got != 2 {
+		t.Errorf("resumed round had %d participants, want 2: %v", got, res.History.Rounds[0].Participants)
+	}
+	// c1's durable update was re-seeded, never re-trained: one execution
+	// per round. c2 re-trained round 1 after the re-sent task.
+	if calls := execs["c1"].calls; calls != 3 {
+		t.Errorf("c1 executed %d rounds, want 3 (recovered update must not re-train)", calls)
+	}
+	if calls := execs["c2"].calls; calls < 3 {
+		t.Errorf("c2 executed %d rounds, want >= 3", calls)
+	}
+	if got := reg.Counter("fl_recoveries_total", "").Value(); got < 1 {
+		t.Errorf("fl_recoveries_total = %d, want >= 1", got)
+	}
+}
+
+// TestRoundToleratesCorruptAndDroppedClients scripts one client whose
+// update frame corrupts in transit and one whose executor drops the round
+// outright: both must land as per-client failure records while the round
+// aggregates the healthy clients — a damaged participant never aborts the
+// server.
+func TestRoundToleratesCorruptAndDroppedClients(t *testing.T) {
+	network := transport.NewMemNetwork()
+	defer network.Close()
+	proj := testProject(t, "good", "extra", "corrupt", "dropper")
+	srv, err := NewServer(ServerConfig{
+		ExpectedClients: 4,
+		Rounds:          1,
+		RegisterTimeout: 10 * time.Second,
+		VerifyToken:     proj.VerifyToken,
+		Logf:            quietLogf,
+		Listener:        network,
+	}, proj.ServerKit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	execs := map[string]Executor{
+		"good":    &fakeExecutor{name: "good", samples: 10, value: 1},
+		"extra":   &fakeExecutor{name: "extra", samples: 30, value: 2},
+		"corrupt": &fakeExecutor{name: "corrupt", samples: 50, value: 9},
+		"dropper": WrapFaulty(&fakeExecutor{name: "dropper", samples: 50, value: 9},
+			FaultConfig{DropRounds: []int{0}}),
+	}
+	// Up-direction message 0 is the registration; message 1 — the round-0
+	// update — arrives bit-flipped, so the server's read of it fails.
+	faults := map[string]transport.FaultSchedule{
+		"corrupt": {CorruptMsgs: []int{1}},
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	finals := make(map[string]map[string]*tensor.Matrix)
+	for name, exec := range execs {
+		name := name
+		cl, err := NewClient(ClientConfig{
+			Logf: quietLogf,
+			Dialer: func() (transport.MessageConn, error) {
+				return network.Dial(name, transport.LinkProfile{Faults: faults[name]}, transport.LinkProfile{})
+			},
+		}, proj.ClientKits[name], exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			// The damaged clients' own runs fail; the server-side records
+			// are what this test asserts on.
+			final, err := cl.Run()
+			if err == nil {
+				mu.Lock()
+				finals[name] = final
+				mu.Unlock()
+			}
+		}(name)
+	}
+
+	res, err := srv.Run(initialWeights())
+	if err != nil {
+		t.Fatalf("server run must survive damaged clients, got: %v", err)
+	}
+	srv.Close() // unblock the corrupt client still waiting on a read
+	wg.Wait()
+
+	want := 1.75 // FedAvg of the two healthy clients: 1 (n=10), 2 (n=30)
+	if got := res.FinalWeights["layer.w"].At(0, 0); got != want {
+		t.Errorf("final weight %v, want %v (damaged updates must not aggregate)", got, want)
+	}
+	rec := res.History.Rounds[0]
+	if len(rec.Participants) != 2 {
+		t.Errorf("participants %v, want exactly the healthy pair", rec.Participants)
+	}
+	for _, name := range []string{"corrupt", "dropper"} {
+		found := false
+		for _, f := range rec.Failures {
+			if strings.HasPrefix(f, name+":") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("failures %v missing a record for %q", rec.Failures, name)
+		}
+	}
+	for _, name := range []string{"good", "extra"} {
+		if got := finals[name]["layer.w"].At(0, 0); got != want {
+			t.Errorf("client %s final weight %v, want %v", name, got, want)
+		}
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"time"
 
+	"clinfl/internal/fl/durable"
+	"clinfl/internal/metrics"
 	"clinfl/internal/provision"
 	"clinfl/internal/tensor"
 	"clinfl/internal/transport"
@@ -82,6 +84,16 @@ type ServerConfig struct {
 	// Clock supplies round timestamps and gather deadlines (default: real
 	// wall clock).
 	Clock Clock
+	// WAL, when non-nil, makes the run durable: round lifecycle events are
+	// appended and fsync'd before the run proceeds, client sessions are
+	// recorded so reconnects can re-attach after a server restart, and Run
+	// resumes from the WAL's recovered state — the last committed model
+	// plus any open round's already-received updates.
+	WAL *durable.WAL
+	// Metrics, when non-nil, receives round/byte/failure/straggler/resume
+	// counters, the round-duration histogram, and the connected-clients
+	// gauge. Nil disables metrics at zero cost.
+	Metrics *metrics.Registry
 }
 
 // serverClient is one registered client's connection state. Reads happen
@@ -91,6 +103,13 @@ type ServerConfig struct {
 type serverClient struct {
 	name string
 	conn transport.MessageConn
+	// token is the session token issued at registration; a reconnecting
+	// client presents it to re-attach (transport.MetaSession).
+	token string
+	// gen counts connection generations. Each re-attach bumps it, and
+	// inbox messages carry the generation their reader was started with,
+	// so messages from a superseded connection are recognized as stale.
+	gen int
 	// taskedRound is the round the client is currently working on
 	// (-1 when idle). A straggler stays tasked — and excluded from
 	// sampling — until its reply or its connection error drains in.
@@ -100,11 +119,25 @@ type serverClient struct {
 }
 
 // inboxMsg is one reader goroutine's delivery: a message or a terminal
-// connection error.
+// connection error, or (from the accept loop) a vetted reconnect to
+// re-attach on the Run goroutine.
 type inboxMsg struct {
 	name string
+	gen  int
 	msg  *transport.Message
 	err  error
+	// resume, when non-nil, is a vetted mid-run reconnect; the other
+	// fields are unused.
+	resume *resumeConn
+}
+
+// resumeConn is a reconnecting client that passed admission and session
+// checks in the accept loop; the Run goroutine completes the re-attach.
+type resumeConn struct {
+	name  string
+	token string
+	codec string
+	conn  transport.MessageConn
 }
 
 // Server is the networked federation server: it terminates mutual-TLS
@@ -117,10 +150,15 @@ type Server struct {
 	ln        transport.MessageListener
 	downCodec WeightCodec
 	rng       *tensor.RNG
+	tokenRNG  *tensor.RNG
 	inbox     chan inboxMsg
+	met       flMetrics
 
 	mu      sync.Mutex
 	clients map[string]*serverClient
+	// sessions maps client name to issued session token; recovered from
+	// the WAL on restart so pre-crash clients can re-attach.
+	sessions map[string]string
 }
 
 // NewServer builds a server from its startup kit.
@@ -164,17 +202,29 @@ func NewServer(cfg ServerConfig, kit *provision.StartupKit) (*Server, error) {
 			return nil, err
 		}
 	}
+	sessions := make(map[string]string)
+	if cfg.WAL != nil {
+		for name, token := range cfg.WAL.Recovered().Sessions {
+			sessions[name] = token
+		}
+	}
 	return &Server{
 		cfg:       cfg,
 		kit:       kit,
 		ln:        ln,
 		downCodec: downCodec,
 		rng:       tensor.NewRNG(cfg.Seed + 7919),
+		// The token stream is independent of the sampling stream so adding
+		// session tokens never perturbs which clients a seeded run samples.
+		tokenRNG: tensor.NewRNG(cfg.Seed + 2654435761),
+		met:      newFLMetrics(cfg.Metrics),
 		// Buffered so reader goroutines never block on a drained server:
 		// a cooperative client has at most one reply outstanding (it is
-		// not re-tasked until that reply drains) plus one terminal error.
-		inbox:   make(chan inboxMsg, 2*cfg.ExpectedClients),
-		clients: make(map[string]*serverClient),
+		// not re-tasked until that reply drains) plus one terminal error,
+		// with headroom for reconnect deliveries.
+		inbox:    make(chan inboxMsg, 4*cfg.ExpectedClients),
+		clients:  make(map[string]*serverClient),
+		sessions: sessions,
 	}, nil
 }
 
@@ -228,9 +278,30 @@ func (s *Server) acceptClients() error {
 	}
 }
 
-// register handles one client's MsgRegister handshake, including uplink
-// codec negotiation: the client's requested codec is accepted if known,
-// with a fallback to raw, and the decision is echoed in the ack.
+// negotiateCodec resolves a registration's requested uplink codec: the
+// client's choice is accepted if known (and, for top-k, explicitly
+// allowed), with a fallback to raw.
+func (s *Server) negotiateCodec(msg *transport.Message) string {
+	codecName := msg.Meta[transport.MetaCodec]
+	if _, err := CodecByName(codecName); err != nil {
+		s.cfg.Logf("fl server: client %q requested unknown codec %q, falling back to raw", msg.Sender, codecName)
+		codecName = "raw"
+	} else if codecName == "" {
+		codecName = "raw"
+	}
+	if strings.HasPrefix(codecName, "topk") && !s.cfg.AllowTopKUplink {
+		s.cfg.Logf("fl server: client %q requested top-k uplink codec %q: rejected (top-k zeroes most of a full weight map; set AllowTopKUplink to accept), falling back to raw", msg.Sender, codecName)
+		codecName = "raw"
+	}
+	return codecName
+}
+
+// register handles one client's MsgRegister handshake: admission-token
+// verification, uplink codec negotiation, and session issuance. A new
+// client is issued a session token (durably recorded before the ack when
+// a WAL is configured); a returning client presenting its token — after a
+// server restart, or redialing during the registration window — re-attaches
+// to its session instead of being rejected as a duplicate.
 func (s *Server) register(conn transport.MessageConn) error {
 	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
 	msg, err := conn.Read()
@@ -248,50 +319,225 @@ func (s *Server) register(conn transport.MessageConn) error {
 		})
 		return fmt.Errorf("fl: bad token from %q", msg.Sender)
 	}
-	codecName := msg.Meta[transport.MetaCodec]
-	if _, err := CodecByName(codecName); err != nil {
-		s.cfg.Logf("fl server: client %q requested unknown codec %q, falling back to raw", msg.Sender, codecName)
-		codecName = "raw"
-	} else if codecName == "" {
-		codecName = "raw"
-	}
-	if strings.HasPrefix(codecName, "topk") && !s.cfg.AllowTopKUplink {
-		s.cfg.Logf("fl server: client %q requested top-k uplink codec %q: rejected (top-k zeroes most of a full weight map; set AllowTopKUplink to accept), falling back to raw", msg.Sender, codecName)
-		codecName = "raw"
-	}
+	codecName := s.negotiateCodec(msg)
+	sess := msg.Meta[transport.MetaSession]
+	resumed := sess != ""
 	s.mu.Lock()
-	if _, dup := s.clients[msg.Sender]; dup {
+	if resumed && sess != s.sessions[msg.Sender] {
+		s.mu.Unlock()
+		_ = conn.Write(&transport.Message{
+			Type: transport.MsgRegisterAck, Sender: s.kit.Name,
+			Meta: map[string]string{"accepted": "false", "reason": "unknown session"},
+		})
+		return fmt.Errorf("fl: unknown session from %q", msg.Sender)
+	}
+	if !resumed {
+		sess = fmt.Sprintf("%016x", s.tokenRNG.Rand().Int63())
+		s.sessions[msg.Sender] = sess
+	}
+	c, exists := s.clients[msg.Sender]
+	if exists && !resumed {
 		s.mu.Unlock()
 		return fmt.Errorf("fl: duplicate client %q", msg.Sender)
 	}
-	s.clients[msg.Sender] = &serverClient{name: msg.Sender, conn: conn, taskedRound: -1}
+	if exists {
+		if c.conn != nil {
+			_ = c.conn.Close()
+		}
+		c.conn = conn
+		c.gen++
+		c.dead = false
+	} else {
+		s.clients[msg.Sender] = &serverClient{name: msg.Sender, conn: conn, token: sess, taskedRound: -1}
+	}
 	s.mu.Unlock()
-	s.cfg.Logf("fl server: client %q registered (token ok, uplink codec %s)", msg.Sender, codecName)
+	if !resumed && s.cfg.WAL != nil {
+		if err := s.cfg.WAL.AppendSession(msg.Sender, sess); err != nil {
+			return err
+		}
+	}
+	if resumed {
+		s.met.resumes.Inc()
+		s.cfg.Logf("fl server: client %q session resumed (uplink codec %s)", msg.Sender, codecName)
+	} else {
+		s.cfg.Logf("fl server: client %q registered (token ok, uplink codec %s)", msg.Sender, codecName)
+	}
 	return conn.Write(&transport.Message{
 		Type: transport.MsgRegisterAck, Sender: s.kit.Name,
-		Meta: map[string]string{"accepted": "true", transport.MetaCodec: codecName},
+		Meta: map[string]string{
+			"accepted": "true", transport.MetaCodec: codecName, transport.MetaSession: sess,
+		},
 	})
 }
 
-// startReaders launches one reader goroutine per registered client. Each
-// forwards every inbound message (and finally the terminal read error)
-// into the server inbox, so a straggler's late reply is never stranded in
-// a socket buffer and a dead connection is reported, not silently absent.
+// readLoop forwards conn's inbound messages (and finally its terminal
+// read error) into the server inbox, tagged with the connection generation
+// the reader was started under, so the Run goroutine can discard
+// deliveries from a superseded connection after a session re-attach. conn
+// is a parameter, never read from the shared client entry: the entry's
+// conn is swapped on resume, and this reader must keep draining the
+// connection it was born with.
+func (s *Server) readLoop(name string, conn transport.MessageConn, gen int) {
+	for {
+		msg, err := conn.Read()
+		if err != nil {
+			s.inbox <- inboxMsg{name: name, gen: gen, err: err}
+			return
+		}
+		s.inbox <- inboxMsg{name: name, gen: gen, msg: msg}
+	}
+}
+
+// startReaders launches one reader goroutine per registered client, so a
+// straggler's late reply is never stranded in a socket buffer and a dead
+// connection is reported, not silently absent.
 func (s *Server) startReaders() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, c := range s.clients {
-		go func(c *serverClient) {
-			for {
-				msg, err := c.conn.Read()
-				if err != nil {
-					s.inbox <- inboxMsg{name: c.name, err: err}
-					return
-				}
-				s.inbox <- inboxMsg{name: c.name, msg: msg}
-			}
-		}(c)
+		go s.readLoop(c.name, c.conn, c.gen)
 	}
+}
+
+// acceptLoop keeps accepting connections after the registration window so
+// clients that lost their connection mid-run can re-attach. Admission and
+// session validation happen here, off the round loop; the actual
+// re-attach — swapping the connection, restarting the reader, re-sending
+// an in-flight task — is posted to the inbox and performed by the Run
+// goroutine, which owns all connection writes. The loop ends when the
+// listener closes.
+func (s *Server) acceptLoop() {
+	_ = s.ln.SetDeadline(time.Time{})
+	for {
+		conn, err := s.ln.AcceptConn()
+		if err != nil {
+			return
+		}
+		go func(conn transport.MessageConn) {
+			r, err := s.vetReconnect(conn)
+			if err != nil {
+				s.cfg.Logf("fl server: rejected reconnect from %s: %v", conn.RemoteAddr(), err)
+				_ = conn.Close()
+				return
+			}
+			s.inbox <- inboxMsg{name: r.name, resume: r}
+		}(conn)
+	}
+}
+
+// vetReconnect reads and validates a mid-run registration: the admission
+// token must verify and the presented session token must match the one
+// issued (or recovered from the WAL). New clients cannot join mid-run.
+func (s *Server) vetReconnect(conn transport.MessageConn) (*resumeConn, error) {
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	msg, err := conn.Read()
+	if err != nil {
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	if msg.Type != transport.MsgRegister {
+		return nil, fmt.Errorf("fl: expected register, got %s", msg.Type)
+	}
+	if !s.cfg.VerifyToken(msg.Sender, msg.Token) {
+		_ = conn.Write(&transport.Message{
+			Type: transport.MsgRegisterAck, Sender: s.kit.Name,
+			Meta: map[string]string{"accepted": "false", "reason": "bad token"},
+		})
+		return nil, fmt.Errorf("fl: bad token from %q", msg.Sender)
+	}
+	sess := msg.Meta[transport.MetaSession]
+	s.mu.Lock()
+	known := s.sessions[msg.Sender]
+	s.mu.Unlock()
+	if sess == "" || sess != known {
+		_ = conn.Write(&transport.Message{
+			Type: transport.MsgRegisterAck, Sender: s.kit.Name,
+			Meta: map[string]string{"accepted": "false", "reason": "unknown session"},
+		})
+		return nil, fmt.Errorf("fl: reconnect from %q without a valid session", msg.Sender)
+	}
+	return &resumeConn{name: msg.Sender, token: sess, codec: s.negotiateCodec(msg), conn: conn}, nil
+}
+
+// handleResume completes a vetted reconnect on the Run goroutine: the
+// client's connection is swapped, its reader restarted under a bumped
+// generation (messages from the dead connection become stale), and — when
+// the client was tasked this round and its update has not arrived — the
+// current task is re-sent so the round can still complete. The return
+// value is the delta to the gather's pending count: +1 when a client whose
+// pending slot was already released (its failure drained) is re-tasked,
+// -1 when a still-pending client's re-attach fails.
+func (s *Server) handleResume(r *resumeConn, round int, blob []byte, rec *RoundRecord, tasked, replied map[string]bool) int {
+	s.mu.Lock()
+	c, ok := s.clients[r.name]
+	if !ok {
+		c = &serverClient{name: r.name, token: r.token, taskedRound: -1}
+		s.clients[r.name] = c
+	}
+	old := c.conn
+	wasDead := c.dead
+	slotHeld := c.taskedRound == round
+	c.conn = r.conn
+	c.gen++
+	gen := c.gen
+	c.dead = false
+	c.taskedRound = -1
+	s.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+	release := 0
+	if slotHeld {
+		release = -1 // the slot stays held only if the re-attach fully succeeds
+	}
+	ack := &transport.Message{
+		Type: transport.MsgRegisterAck, Sender: s.kit.Name,
+		Meta: map[string]string{
+			"accepted": "true", transport.MetaCodec: r.codec, transport.MetaSession: r.token,
+		},
+	}
+	if err := r.conn.Write(ack); err != nil {
+		rec.Failures = append(rec.Failures, fmt.Sprintf("%s: resume ack: %v", r.name, err))
+		s.met.failure("conn")
+		s.markDead(r.name)
+		return release
+	}
+	go s.readLoop(r.name, r.conn, gen)
+	s.met.resumes.Inc()
+	if wasDead {
+		s.met.connected.Add(1)
+	}
+	s.cfg.Logf("fl server: client %q session resumed mid-run", r.name)
+	if !tasked[r.name] || replied[r.name] || blob == nil {
+		return release // idle (or already heard from): nothing to re-send
+	}
+	task := &transport.Message{
+		Type: transport.MsgTask, Sender: s.kit.Name, Round: round, Payload: blob,
+		Meta: map[string]string{"round": strconv.Itoa(round)},
+	}
+	if err := r.conn.Write(task); err != nil {
+		rec.Failures = append(rec.Failures, fmt.Sprintf("%s: resend task: %v", r.name, err))
+		s.met.failure("send")
+		s.markDead(r.name)
+		return release
+	}
+	s.setTasked(r.name, round)
+	rec.BytesDown += int64(len(blob))
+	if slotHeld {
+		return 0
+	}
+	return 1
+}
+
+// clientGen returns a client's current connection generation (-1 when
+// unknown).
+func (s *Server) clientGen(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.clients[name]; ok {
+		return c.gen
+	}
+	return -1
 }
 
 // Run performs registration then E federated rounds, returning the result.
@@ -302,13 +548,42 @@ func (s *Server) Run(initialWeights map[string]*tensor.Matrix) (*Result, error) 
 		return nil, err
 	}
 	s.startReaders()
+	go s.acceptLoop()
+	s.mu.Lock()
+	s.met.connected.Set(float64(len(s.clients)))
+	s.mu.Unlock()
 	global := cloneWeights(initialWeights)
 	res := &Result{History: History{BestRound: -1}}
 
-	for round := 0; round < s.cfg.Rounds; round++ {
+	// A durable run picks up where the WAL left off: the last committed
+	// model replaces initialWeights, and a round open at the crash is
+	// resumed with its recorded updates re-seeded.
+	startRound := 0
+	var resume *durable.OpenRound
+	if s.cfg.WAL != nil {
+		st := s.cfg.WAL.Recovered()
+		if st.Records > 0 {
+			s.met.reg.Counter("fl_recoveries_total", "runs resumed from a non-empty WAL").Inc()
+		}
+		if st.Weights != nil {
+			global = cloneWeights(st.Weights)
+		}
+		startRound = st.LastRound + 1
+		if st.Open != nil {
+			startRound = st.Open.Round
+			resume = st.Open
+			s.cfg.Logf("fl server: resuming open round %d from WAL (%d tasked, %d updates recovered)",
+				resume.Round, len(resume.Tasked), len(resume.Updates))
+		} else if st.Records > 0 {
+			s.cfg.Logf("fl server: resuming from WAL at round %d (last committed %d)", startRound, st.LastRound)
+		}
+	}
+
+	for round := startRound; round < s.cfg.Rounds; round++ {
 		start := s.cfg.Clock.Now()
 		rec := RoundRecord{Round: round}
-		updates, late, err := s.runRound(round, global, &rec)
+		updates, late, err := s.runRound(round, global, &rec, resume)
+		resume = nil
 		if err != nil {
 			return nil, err
 		}
@@ -327,6 +602,20 @@ func (s *Server) Run(initialWeights map[string]*tensor.Matrix) (*Result, error) 
 		if weightSum > 0 {
 			rec.MeanTrainLoss = lossSum / weightSum
 		}
+		if s.cfg.WAL != nil {
+			// The commit point: once RecModelCommit is durable (group
+			// committed by the syncer, settled by Close) a restart starts
+			// at round+1 and never re-runs this round. An unsynced commit
+			// lost to a crash just re-runs the round from its durable
+			// updates to the byte-identical model.
+			if err := s.cfg.WAL.AppendRoundFinal(round, rec.Participants); err != nil {
+				return nil, fmt.Errorf("fl: round %d: %w", round, err)
+			}
+			if err := s.cfg.WAL.AppendModelCommit(round, global); err != nil {
+				return nil, fmt.Errorf("fl: round %d: %w", round, err)
+			}
+		}
+		s.met.roundDone(&rec)
 		if s.cfg.Validate != nil {
 			score, err := s.cfg.Validate(global)
 			if err != nil {
@@ -408,7 +697,10 @@ func (s *Server) sampleLive() []*serverClient {
 // gathers their updates until everyone tasked replies, MinUpdates arrive,
 // or the round deadline fires. Per-client send/receive errors land in
 // rec.Failures — a failed client is recorded, never silently absent.
-func (s *Server) runRound(round int, global map[string]*tensor.Matrix, rec *RoundRecord) ([]*ClientUpdate, []*ClientUpdate, error) {
+// When resume is non-nil (WAL recovery after a restart), the round's
+// recorded updates are re-seeded and only the tasked-but-unheard clients
+// are re-tasked.
+func (s *Server) runRound(round int, global map[string]*tensor.Matrix, rec *RoundRecord, resume *durable.OpenRound) ([]*ClientUpdate, []*ClientUpdate, error) {
 	blob, err := s.downCodec.Encode(global)
 	if err != nil {
 		return nil, nil, err
@@ -420,18 +712,30 @@ drain:
 	for {
 		select {
 		case in := <-s.inbox:
+			if in.resume != nil {
+				// No task is in flight yet this round: the re-attach just
+				// revives the connection.
+				s.handleResume(in.resume, round, nil, rec, nil, nil)
+				continue
+			}
+			if s.clientGen(in.name) != in.gen {
+				continue // stale delivery from a superseded connection
+			}
 			wasTasked := s.setTasked(in.name, -1)
 			switch {
 			case in.err != nil:
 				rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", in.name, in.err))
+				s.met.failure("conn")
 				s.markDead(in.name)
 			default:
 				u, uerr := s.handleReply(in.name, in.msg)
 				switch {
 				case uerr != nil:
 					rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", in.name, uerr))
+					s.met.failure("reject")
 				case wasTasked < 0:
 					rec.Failures = append(rec.Failures, fmt.Sprintf("%s: unsolicited update (not tasked)", in.name))
+					s.met.failure("reject")
 				case s.cfg.AsyncAggregator != nil:
 					// Staleness comes from the server-side task record,
 					// never the client-supplied msg.Round. Payload bytes
@@ -447,19 +751,75 @@ drain:
 		}
 	}
 
-	sampled := s.sampleLive()
-	if len(sampled) == 0 {
-		return nil, nil, fmt.Errorf("fl: round %d: no live idle clients to task", round)
+	// tasked / replied track this round's scatter so a mid-gather
+	// re-attach knows whether to re-send the task; preSeeded carries a
+	// resumed round's WAL-recovered updates straight into the aggregate.
+	tasked := make(map[string]bool)
+	replied := make(map[string]bool)
+	var preSeeded []*ClientUpdate
+	var sampled []*serverClient
+	if resume != nil {
+		for _, u := range resume.Updates {
+			preSeeded = append(preSeeded, &ClientUpdate{
+				ClientName: u.Client, Round: round, Weights: u.Weights,
+				NumSamples: u.NumSamples, TrainLoss: u.TrainLoss,
+				PayloadBytes: u.PayloadBytes,
+			})
+			replied[u.Client] = true
+			rec.BytesUp += int64(u.PayloadBytes)
+		}
+		s.mu.Lock()
+		for _, name := range resume.Tasked {
+			rec.Sampled = append(rec.Sampled, name)
+			tasked[name] = true
+			if resume.HasUpdate(name) {
+				continue
+			}
+			c, ok := s.clients[name]
+			if !ok || c.dead {
+				rec.Failures = append(rec.Failures, fmt.Sprintf("%s: tasked before crash, not reconnected", name))
+				s.met.failure("conn")
+				continue
+			}
+			sampled = append(sampled, c)
+		}
+		s.mu.Unlock()
+	} else {
+		sampled = s.sampleLive()
+		if len(sampled) == 0 {
+			return nil, nil, fmt.Errorf("fl: round %d: no live idle clients to task", round)
+		}
+		if s.cfg.WAL != nil {
+			if err := s.cfg.WAL.AppendRoundOpen(round); err != nil {
+				return nil, nil, fmt.Errorf("fl: round %d: %w", round, err)
+			}
+			for _, c := range sampled {
+				if err := s.cfg.WAL.AppendTaskAssigned(round, c.name); err != nil {
+					return nil, nil, fmt.Errorf("fl: round %d: %w", round, err)
+				}
+			}
+		}
 	}
+	// No fsync barrier before dispatch: the WAL's durable prefix is the
+	// invariant. File order means an fsync that covers this round's open
+	// also covers the previous round's commit, so replay can never pair a
+	// new round with stale weights; a crash that loses the whole suffix
+	// just re-opens the round and re-tasks it, and recomputation is
+	// byte-identical. The background syncer flushes the scatter while the
+	// clients train, keeping ~40MB/round of durability off the hot path.
 	pending := 0
 	for _, c := range sampled {
-		rec.Sampled = append(rec.Sampled, c.name)
+		if resume == nil {
+			rec.Sampled = append(rec.Sampled, c.name)
+			tasked[c.name] = true
+		}
 		task := &transport.Message{
 			Type: transport.MsgTask, Sender: s.kit.Name, Round: round, Payload: blob,
 			Meta: map[string]string{"round": strconv.Itoa(round)},
 		}
 		if err := c.conn.Write(task); err != nil {
 			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: send task: %v", c.name, err))
+			s.met.failure("send")
 			s.markDead(c.name)
 			continue
 		}
@@ -472,16 +832,20 @@ drain:
 	// The quorum is clamped to the sampled count, not to the clients whose
 	// task send succeeded: send failures must count against an explicitly
 	// configured floor, never silently lower it.
+	sampleCount := len(sampled)
+	if resume != nil {
+		sampleCount = len(resume.Tasked)
+	}
 	quorum := s.cfg.MinClients
-	if quorum > len(sampled) {
-		quorum = len(sampled)
+	if quorum > sampleCount {
+		quorum = sampleCount
 	}
 	if quorum < 1 {
 		quorum = 1
 	}
 	minUpdates := s.cfg.MinUpdates
-	if minUpdates <= 0 || minUpdates > pending {
-		minUpdates = pending
+	if avail := pending + len(preSeeded); minUpdates <= 0 || minUpdates > avail {
+		minUpdates = avail
 	}
 	if minUpdates < quorum {
 		// An early aggregate below the quorum would always fail it; wait
@@ -489,18 +853,27 @@ drain:
 		minUpdates = quorum
 	}
 
-	var updates []*ClientUpdate
+	updates := preSeeded
 gather:
 	for pending > 0 && len(updates) < minUpdates {
 		in, status := waitRecv(s.cfg.Clock, s.inbox, nil, deadlineAt, deadlineCh)
 		if status == waitDeadline {
 			// Stragglers stay tasked; their replies drain as late
 			// messages in a future round's gather.
+			s.met.stragglers.Add(int64(pending))
 			break gather
+		}
+		if in.resume != nil {
+			pending += s.handleResume(in.resume, round, blob, rec, tasked, replied)
+			continue
+		}
+		if s.clientGen(in.name) != in.gen {
+			continue // stale delivery from a superseded connection
 		}
 		wasTasked := s.setTasked(in.name, -1)
 		if in.err != nil {
 			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", in.name, in.err))
+			s.met.failure("conn")
 			s.markDead(in.name)
 			if wasTasked == round {
 				pending--
@@ -515,16 +888,28 @@ gather:
 		switch {
 		case uerr != nil:
 			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", in.name, uerr))
+			s.met.failure("reject")
 			if wasTasked == round {
 				pending--
 			}
 		case wasTasked == round:
 			pending--
 			u.Round = round
+			replied[in.name] = true
+			if s.cfg.WAL != nil {
+				// Lazy append, group-committed by the WAL's syncer. A
+				// crash that loses it re-tasks the client on resume, and
+				// the recomputation is byte-identical.
+				if err := s.cfg.WAL.AppendUpdate(round, u.ClientName, u.NumSamples,
+					u.TrainLoss, u.PayloadBytes, u.Weights); err != nil {
+					return nil, nil, fmt.Errorf("fl: round %d: %w", round, err)
+				}
+			}
 			rec.BytesUp += int64(u.PayloadBytes)
 			updates = append(updates, u)
 		case wasTasked < 0:
 			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: unsolicited update (not tasked)", in.name))
+			s.met.failure("reject")
 		case s.cfg.AsyncAggregator != nil:
 			u.Round = wasTasked
 			late = append(late, u)
@@ -584,8 +969,9 @@ func (s *Server) setTasked(name string, round int) int {
 func (s *Server) markDead(name string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if c, ok := s.clients[name]; ok {
+	if c, ok := s.clients[name]; ok && !c.dead {
 		c.dead = true
+		s.met.connected.Add(-1)
 	}
 }
 

@@ -272,7 +272,41 @@ func (t *Timing) Max() time.Duration {
 	return m
 }
 
-// String summarizes the aggregate.
+// Quantile returns the q-quantile (0 < q <= 1) of the samples using the
+// nearest-rank method on a sorted copy, so straggler tails are reported
+// from actual observations rather than interpolated values. Returns 0
+// when empty; q outside (0, 1] is clamped.
+func (t *Timing) Quantile(q float64) time.Duration {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), t.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// P50 is the median sample.
+func (t *Timing) P50() time.Duration { return t.Quantile(0.50) }
+
+// P95 is the 95th-percentile sample (the straggler threshold the round
+// deadline should clear).
+func (t *Timing) P95() time.Duration { return t.Quantile(0.95) }
+
+// P99 is the 99th-percentile sample.
+func (t *Timing) P99() time.Duration { return t.Quantile(0.99) }
+
+// String summarizes the aggregate, quantile tail included.
 func (t *Timing) String() string {
-	return fmt.Sprintf("%s: n=%d mean=%v max=%v", t.Name, t.Count(), t.Mean(), t.Max())
+	return fmt.Sprintf("%s: n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		t.Name, t.Count(), t.Mean(), t.P50(), t.P95(), t.P99(), t.Max())
 }

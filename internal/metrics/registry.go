@@ -1,0 +1,329 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the federation service's observability surface: a small
+// Prometheus-style registry of counters, gauges and histograms with a
+// text-format exposition endpoint. It deliberately implements only the
+// subset the FL stack needs — monotonic counters (rounds, bytes,
+// failures, WAL fsyncs), gauges (connected clients), and fixed-bucket
+// histograms (round durations) — in the exposition format version 0.0.4
+// any Prometheus scraper understands. All instruments are safe for
+// concurrent use, and every method tolerates a nil receiver so call
+// sites in the hot path never need an "is metrics enabled?" branch.
+
+// Registry holds named instruments. The zero value is not usable; create
+// one with NewRegistry. A nil *Registry is a valid no-op sink.
+type Registry struct {
+	mu    sync.Mutex
+	names []string // registration order for stable-but-grouped output
+	insts map[string]instrument
+	help  map[string]string // base name -> help text
+}
+
+// instrument is anything the registry can expose.
+type instrument interface {
+	// expose writes the instrument's sample lines (no HELP/TYPE headers).
+	expose(w io.Writer, name string)
+	// kind is the Prometheus TYPE keyword.
+	kind() string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{insts: make(map[string]instrument), help: make(map[string]string)}
+}
+
+// key renders name plus an optional label set ("k1", "v1", "k2", "v2", …)
+// into the exposition sample name. Labels arrive as alternating key/value
+// pairs; an odd trailing key is ignored.
+func key(name string, labels []string) string {
+	if len(labels) < 2 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// baseName strips a label suffix back off an instrument key.
+func baseName(k string) string {
+	if i := strings.IndexByte(k, '{'); i >= 0 {
+		return k[:i]
+	}
+	return k
+}
+
+// lookup returns the instrument registered under k, creating it with
+// mk if absent. Returns nil (a no-op instrument handle) on a nil registry
+// or a name already registered as a different kind.
+func lookup[T instrument](r *Registry, name, help string, labels []string, mk func() T) T {
+	var zero T
+	if r == nil {
+		return zero
+	}
+	k := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if got, ok := r.insts[k]; ok {
+		if t, ok := got.(T); ok {
+			return t
+		}
+		return zero // kind clash: drop the sample rather than panic mid-round
+	}
+	t := mk()
+	r.insts[k] = t
+	r.names = append(r.names, k)
+	if _, ok := r.help[name]; !ok && help != "" {
+		r.help[name] = help
+	}
+	return t
+}
+
+// Counter returns the monotonic counter registered under name and the
+// optional label pairs, creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return lookup(r, name, help, labels, func() *Counter { return &Counter{} })
+}
+
+// Gauge returns the gauge registered under name and the optional label
+// pairs, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return lookup(r, name, help, labels, func() *Gauge { return &Gauge{} })
+}
+
+// Histogram returns the histogram registered under name and the optional
+// label pairs, creating it on first use with the given bucket upper
+// bounds (seconds, ascending; nil picks DurationBuckets). Buckets are
+// fixed at creation; later calls reuse the first creation's buckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	return lookup(r, name, help, labels, func() *Histogram { return newHistogram(buckets) })
+}
+
+// WritePrometheus renders every instrument in exposition text format
+// version 0.0.4: HELP/TYPE headers per base name, then each labeled
+// sample. Output order is registration order grouped by base name, so
+// scrapes diff cleanly run over run.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	keys := append([]string(nil), r.names...)
+	insts := make(map[string]instrument, len(keys))
+	for _, k := range keys {
+		insts[k] = r.insts[k]
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	// Group label variants under their base name, keeping first-seen order
+	// of the bases and sorting variants within a base for stability.
+	var bases []string
+	variants := make(map[string][]string)
+	for _, k := range keys {
+		b := baseName(k)
+		if _, ok := variants[b]; !ok {
+			bases = append(bases, b)
+		}
+		variants[b] = append(variants[b], k)
+	}
+	for _, b := range bases {
+		ks := variants[b]
+		sort.Strings(ks)
+		if h := help[b]; h != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", b, h)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", b, insts[ks[0]].kind())
+		for _, k := range ks {
+			insts[k].expose(w, k)
+		}
+	}
+}
+
+// ServeHTTP implements the /metrics endpoint.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.WritePrometheus(w)
+}
+
+var _ http.Handler = (*Registry)(nil)
+
+// Counter is a monotonically increasing int64. Nil receivers no-op.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) expose(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %d\n", name, c.Value())
+}
+func (c *Counter) kind() string { return "counter" }
+
+// Gauge is a float64 that can go up and down. Nil receivers no-op.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta (CAS loop; gauges are low-frequency).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) expose(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %g\n", name, g.Value())
+}
+func (g *Gauge) kind() string { return "gauge" }
+
+// DurationBuckets is the default histogram bucket ladder for round and
+// request durations, in seconds (5ms .. ~100s, roughly ×3 steps).
+var DurationBuckets = []float64{0.005, 0.015, 0.05, 0.15, 0.5, 1.5, 5, 15, 50, 100}
+
+// Histogram counts observations into fixed cumulative buckets, plus a sum
+// and total count, exposed in the standard _bucket/_sum/_count form. Nil
+// receivers no-op.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []int64   // per-bound (non-cumulative internally)
+	inf    int64
+	sum    float64
+	n      int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DurationBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]int64, len(b))}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.n++
+	for i, ub := range h.bounds {
+		if v <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	h.inf++
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+func (h *Histogram) expose(w io.Writer, name string) {
+	base, labels := name, ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base, labels = name[:i], name[i+1:len(name)-1]
+	}
+	sample := func(le string, cum int64) {
+		if labels != "" {
+			fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", base, labels, le, cum)
+		} else {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", base, le, cum)
+		}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cum int64
+	for i, ub := range h.bounds {
+		cum += h.counts[i]
+		sample(strings.TrimSuffix(fmt.Sprintf("%g", ub), ".0"), cum)
+	}
+	sample("+Inf", cum+h.inf)
+	fmt.Fprintf(w, "%s_sum%s %g\n", base, bracketed(labels), h.sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", base, bracketed(labels), h.n)
+}
+func (h *Histogram) kind() string { return "histogram" }
+
+func bracketed(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("fl_rounds_total", "rounds completed")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same name+labels returns the same instrument.
+	if r.Counter("fl_rounds_total", "") != c {
+		t.Fatal("re-lookup returned a different counter")
+	}
+	g := r.Gauge("fl_clients", "connected clients")
+	g.Set(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %g, want 2", got)
+	}
+}
+
+func TestLabeledCountersExposeSeparately(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fl_failures_total", "failures by cause", "cause", "exec").Add(2)
+	r.Counter("fl_failures_total", "", "cause", "conn").Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP fl_failures_total failures by cause",
+		"# TYPE fl_failures_total counter",
+		`fl_failures_total{cause="conn"} 1`,
+		`fl_failures_total{cause="exec"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("fl_round_seconds", "round duration", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE fl_round_seconds histogram",
+		`fl_round_seconds_bucket{le="0.1"} 1`,
+		`fl_round_seconds_bucket{le="1"} 3`,
+		`fl_round_seconds_bucket{le="10"} 4`,
+		`fl_round_seconds_bucket{le="+Inf"} 5`,
+		"fl_round_seconds_sum 56.05",
+		"fl_round_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilRegistryAndInstrumentsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter accumulated")
+	}
+	g := r.Gauge("y", "")
+	g.Set(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge accumulated")
+	}
+	h := r.Histogram("z", "", nil)
+	h.Observe(1)
+	if h.Count() != 0 {
+		t.Fatal("nil histogram accumulated")
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b) // must not panic
+}
+
+func TestRegistryServeHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "").Add(7)
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "up_total 7") {
+		t.Fatalf("body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("c_total", "").Inc()
+				r.Gauge("g", "").Add(1)
+				r.Histogram("h_seconds", "", nil).Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "").Value(); got != 1600 {
+		t.Fatalf("counter = %d, want 1600", got)
+	}
+	if got := r.Histogram("h_seconds", "", nil).Count(); got != 1600 {
+		t.Fatalf("histogram count = %d, want 1600", got)
+	}
+}
+
+func TestTimingQuantiles(t *testing.T) {
+	tm := NewTiming("epoch")
+	// 1..100 ms in shuffled-ish order: quantiles must sort internally.
+	for i := 100; i >= 1; i-- {
+		tm.Add(time.Duration(i) * time.Millisecond)
+	}
+	if got := tm.P50(); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", got)
+	}
+	if got := tm.P95(); got != 95*time.Millisecond {
+		t.Errorf("p95 = %v, want 95ms", got)
+	}
+	if got := tm.P99(); got != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms", got)
+	}
+	if got := tm.Quantile(1); got != 100*time.Millisecond {
+		t.Errorf("q1.0 = %v, want max", got)
+	}
+	s := tm.String()
+	for _, want := range []string{"p50=50ms", "p95=95ms", "p99=99ms"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestTimingQuantileEmptyAndSingle(t *testing.T) {
+	tm := NewTiming("empty")
+	if tm.P95() != 0 {
+		t.Fatal("empty timing quantile should be 0")
+	}
+	tm.Add(7 * time.Millisecond)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := tm.Quantile(q); got != 7*time.Millisecond {
+			t.Fatalf("single-sample quantile(%g) = %v", q, got)
+		}
+	}
+}

@@ -264,20 +264,32 @@ func (c *simClient) drops(round int) bool {
 	return c.dropProb > 0 && c.rng.Float64() < c.dropProb
 }
 
-// Run executes the scenario under a fresh virtual clock and returns the
-// federation result plus simulator stats.
-func (sc Scenario) Run() (*RunResult, error) {
-	sc = sc.withDefaults()
-	clock := NewVirtualClock()
-	start := clock.Now()
-	realStart := time.Now()
+// scenarioSetup is one materialized scenario: the population, the
+// executor roster bound to a clock, and the controller config. The soak
+// harness rebuilds it per crash segment — the same spec and seed always
+// materialize the same roster, so a restarted segment's clients are pure
+// re-executions of the crashed one's.
+type scenarioSetup struct {
+	pop        *Population
+	execs      []fl.Executor
+	cfg        fl.ControllerConfig
+	bytesUp    *atomic.Int64
+	bytesDown  *atomic.Int64
+	stragglers []string
+	faulty     []string
+	initial    map[string]*tensor.Matrix
+}
 
+// build materializes the scenario's deterministic population and roster
+// under the given clock. Every random choice is a pure function of the
+// spec and seed; the clock only carries virtual time.
+func (sc Scenario) build(clock Clock) (*scenarioSetup, error) {
 	pop := sc.Task.NewPopulation(sc.Seed, sc.Clients)
 	downCodec, err := fl.CodecByName(sc.DownCodec)
 	if err != nil {
 		return nil, err
 	}
-	var bytesUp, bytesDown atomic.Int64
+	set := &scenarioSetup{pop: pop, bytesUp: new(atomic.Int64), bytesDown: new(atomic.Int64)}
 
 	// Role assignment: one deterministic shuffle of the client indices,
 	// stragglers from the front, faulty clients right after (disjoint).
@@ -301,8 +313,7 @@ func (sc Scenario) Run() (*RunResult, error) {
 		isFaulty[i] = true
 	}
 
-	res := &RunResult{}
-	execs := make([]fl.Executor, sc.Clients)
+	set.execs = make([]fl.Executor, sc.Clients)
 	for i := 0; i < sc.Clients; i++ {
 		name := fmt.Sprintf("site-%03d", i)
 		codecName := ""
@@ -317,12 +328,12 @@ func (sc Scenario) Run() (*RunResult, error) {
 		base := time.Duration((0.5 + crng.Float64()) * float64(sc.Compute.Mean))
 		if isStraggler[i] {
 			base = time.Duration(float64(base) * sc.Compute.StragglerFactor)
-			res.Stragglers = append(res.Stragglers, name)
+			set.stragglers = append(set.stragglers, name)
 		}
 		if isFaulty[i] {
-			res.Faulty = append(res.Faulty, name)
+			set.faulty = append(set.faulty, name)
 		}
-		execs[i] = &simClient{
+		set.execs[i] = &simClient{
 			name:        name,
 			clock:       clock,
 			shard:       pop.Shards[i],
@@ -336,14 +347,14 @@ func (sc Scenario) Run() (*RunResult, error) {
 			dropProb:    sc.Faults.DropProb,
 			dropRounds:  sc.Faults.DropRounds,
 			rng:         crng,
-			bytesUp:     &bytesUp,
-			bytesDown:   &bytesDown,
+			bytesUp:     set.bytesUp,
+			bytesDown:   set.bytesDown,
 		}
 	}
-	sort.Strings(res.Stragglers)
-	sort.Strings(res.Faulty)
+	sort.Strings(set.stragglers)
+	sort.Strings(set.faulty)
 
-	cfg := fl.ControllerConfig{
+	set.cfg = fl.ControllerConfig{
 		Rounds:         sc.Rounds,
 		MinClients:     sc.MinClients,
 		SampleFraction: sc.SampleFraction,
@@ -353,25 +364,40 @@ func (sc Scenario) Run() (*RunResult, error) {
 		Clock:          clock,
 	}
 	if sc.FedAsyncAlpha > 0 {
-		cfg.AsyncAggregator = fl.FedAsync{Alpha: sc.FedAsyncAlpha}
+		set.cfg.AsyncAggregator = fl.FedAsync{Alpha: sc.FedAsyncAlpha}
 	}
 	if sc.Validate {
-		cfg.Validate = func(w map[string]*tensor.Matrix) (float64, error) {
+		set.cfg.Validate = func(w map[string]*tensor.Matrix) (float64, error) {
 			mse, err := pop.Eval(w)
 			return -mse, err
 		}
 	}
+	set.initial = InitialLinearWeights(sc.Task.Dim)
+	return set, nil
+}
 
-	initial := InitialLinearWeights(sc.Task.Dim)
-	res.InitialMSE, err = pop.Eval(initial)
+// Run executes the scenario under a fresh virtual clock and returns the
+// federation result plus simulator stats.
+func (sc Scenario) Run() (*RunResult, error) {
+	sc = sc.withDefaults()
+	clock := NewVirtualClock()
+	start := clock.Now()
+	realStart := time.Now()
+
+	set, err := sc.build(clock)
 	if err != nil {
 		return nil, err
 	}
-	ctrl, err := fl.NewController(cfg, execs)
+	res := &RunResult{Stragglers: set.stragglers, Faulty: set.faulty}
+	res.InitialMSE, err = set.pop.Eval(set.initial)
 	if err != nil {
 		return nil, err
 	}
-	out, err := ctrl.Run(context.Background(), initial)
+	ctrl, err := fl.NewController(set.cfg, set.execs)
+	if err != nil {
+		return nil, err
+	}
+	out, err := ctrl.Run(context.Background(), set.initial)
 	if err != nil {
 		return nil, fmt.Errorf("sim: scenario %s: %w", sc.Name, err)
 	}
@@ -382,9 +408,9 @@ func (sc Scenario) Run() (*RunResult, error) {
 	res.Result = out
 	res.VirtualElapsed = clock.Since(start)
 	res.RealElapsed = time.Since(realStart)
-	res.BytesUp = bytesUp.Load()
-	res.BytesDown = bytesDown.Load()
-	res.FinalMSE, err = pop.Eval(out.FinalWeights)
+	res.BytesUp = set.bytesUp.Load()
+	res.BytesDown = set.bytesDown.Load()
+	res.FinalMSE, err = set.pop.Eval(out.FinalWeights)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSoakCrashRestartMatchesGolden is the crash-restart acceptance soak:
+// the scripted scenario kills and restarts the controller three times
+// mid-federation — once with updates already pending in the WAL — and the
+// resumed run must converge to the byte-identical model an uninterrupted
+// run produces.
+func TestSoakCrashRestartMatchesGolden(t *testing.T) {
+	ss := SoakCrashScenario(7)
+	res, err := ss.Run(filepath.Join(t.TempDir(), "soak.wal"))
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	if want := len(ss.Crashes) + 1; res.Segments != want {
+		t.Errorf("segments = %d, want %d (every scripted crash consumed)", res.Segments, want)
+	}
+	if !res.ResumedMidRound {
+		t.Error("no restart recovered an open round")
+	}
+	if res.PendingUpdatesRecovered < 3 {
+		t.Errorf("recovered %d pending updates, want >= 3 (crash was scripted after the 3rd durable update)",
+			res.PendingUpdatesRecovered)
+	}
+	if res.ReplayedRecords == 0 {
+		t.Error("no WAL records replayed across restarts")
+	}
+
+	// The golden reference: the same scenario uninterrupted, no WAL.
+	golden, err := ss.Scenario.Run()
+	if err != nil {
+		t.Fatalf("golden run: %v", err)
+	}
+	goldenDigest, err := CanonicalWeightsDigest(golden.Result.FinalWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soakDigest, err := CanonicalWeightsDigest(res.Final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soakDigest != goldenDigest {
+		t.Errorf("soak final model diverged from uninterrupted run:\nsoak   %s\ngolden %s\n(soak MSE %.9f, golden MSE %.9f)",
+			soakDigest, goldenDigest, res.FinalMSE, golden.FinalMSE)
+	}
+
+	// Cross-version drift guard: the digest is also pinned on disk.
+	pinned, err := os.ReadFile(filepath.Join("testdata", "soak_crash_8.digest"))
+	if err != nil {
+		t.Fatalf("read pinned digest: %v", err)
+	}
+	if got, want := soakDigest, strings.TrimSpace(string(pinned)); got != want {
+		t.Errorf("soak digest drifted from pinned golden:\ngot  %s\nwant %s", got, want)
+	}
+}
+
+// TestSoakMetricsServed asserts the observability surface end to end: a
+// completed soak's shared registry reports nonzero round, byte, failure,
+// recovery, and WAL counters, and serves them over HTTP in Prometheus
+// text format.
+func TestSoakMetricsServed(t *testing.T) {
+	res, err := SoakCrashScenario(7).Run(filepath.Join(t.TempDir(), "soak.wal"))
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	srv := httptest.NewServer(res.Registry)
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+
+	for _, name := range []string{
+		"fl_rounds_total",
+		"fl_bytes_up_total",
+		"fl_failures_total",
+		"fl_recoveries_total",
+		"wal_appends_total",
+		"wal_fsyncs_total",
+		"wal_replayed_records_total",
+	} {
+		zero := false
+		found := false
+		for _, line := range strings.Split(body, "\n") {
+			if strings.HasPrefix(line, "#") || !strings.HasPrefix(line, name) {
+				continue
+			}
+			found = true
+			if strings.HasSuffix(strings.TrimSpace(line), " 0") {
+				zero = true
+			}
+		}
+		if !found {
+			t.Errorf("metric %s missing from /metrics output", name)
+		} else if zero {
+			t.Errorf("metric %s served as zero after soak", name)
+		}
+	}
+}

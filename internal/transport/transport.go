@@ -63,6 +63,13 @@ func (t MsgType) String() string {
 // only fixes what each side *emits*.
 const MetaCodec = "codec"
 
+// MetaSession is the Meta key carrying a client's session token: the
+// server issues it on MsgRegisterAck at first registration, and a
+// reconnecting client presents it on MsgRegister to re-attach to its
+// existing session (and any in-flight round task) instead of being
+// rejected as a duplicate.
+const MetaSession = "session"
+
 // Message is the protocol envelope.
 type Message struct {
 	Type    MsgType

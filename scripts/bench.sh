@@ -32,6 +32,19 @@ go test -run '^$' \
   -bench 'BenchmarkTable2_ForwardBERT|BenchmarkTable3_FLRoundBERT' \
   -benchmem -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
 
+# Pass 1b: the durability tax, at a fixed iteration count so the ratios
+# are stable even when the scoreboard pass runs a 1x CI smoke. CI gates
+# BenchmarkWALAppend (one blocking fsync'd record) at 5% of the LSTM
+# round via bench_check's A/B mode; the plain-vs-WAL round pair is
+# tracked alongside as an observable of the end-to-end group-commit
+# pipeline (ungated — the ratio depends on whether a spare core exists
+# to absorb writeback, see DESIGN.md).
+RAWWAL="$(mktemp)"
+trap 'rm -f "$RAW" "$RAWCPU" "$RAWK" "$RAWWAL"' EXIT
+go test -run '^$' \
+  -bench 'BenchmarkTable3_FLRoundLSTM$|BenchmarkTable3_FLRoundDurableLSTM$|BenchmarkWALAppend' \
+  -benchmem -benchtime 5x -count 1 . | tee "$RAWWAL"
+
 # Pass 2: CPU scaling of the two headline benchmarks. The shared sched
 # pool resizes with GOMAXPROCS, so each -cpu value exercises the pool at
 # that width.
@@ -100,7 +113,8 @@ results_json() {
   printf '    "BenchmarkTable3_FLRoundBERT": {"ns_per_op": 2430453728, "bytes_per_op": 140832424, "allocs_per_op": 5688}\n'
   printf '  },\n'
   printf '  "results": {\n'
-  results_json "$RAW" 1
+  results_json "$RAW" 1 | sed 's/}$/},/'
+  results_json "$RAWWAL" 1
   printf '  },\n'
   printf '  "cpu_scaling": {\n'
   results_json "$RAWCPU" 0

@@ -11,7 +11,15 @@
 #
 # The benchmark argument is a comma-separated list; the default gates
 # both scoreboard headliners (the FL round and the forward pass, so a
-# kernel change cannot trade one for the other unnoticed).
+# kernel change cannot trade one for the other unnoticed). An entry of
+# the form "A/B" is a same-file pair instead: A's ns/op may exceed B's by
+# at most the budget, both read from the fresh file (the baseline is
+# ignored for pairs). That is how CI gates the WAL-backed FL round
+# against the plain one at +5% — an overhead bound, not a regression
+# bound, so it cannot be defeated by a slow baseline:
+#
+#   scripts/bench_check.sh BENCH_parallel.json BENCH_parallel.json \
+#       BenchmarkTable3_FLRoundDurableLSTM/BenchmarkTable3_FLRoundLSTM 5
 #
 # Both files only need a "results" object keyed by benchmark name, so a
 # BENCH_arena.json baseline from an older base commit still gates a fresh
@@ -44,11 +52,36 @@ extract() {
 
 status=0
 for BENCH in $(printf '%s' "$BENCHES" | tr ',' ' '); do
+    case "$BENCH" in
+    */*)
+        # Pair mode: gate A against B within the fresh results.
+        A="${BENCH%%/*}"
+        B="${BENCH#*/}"
+        a_ns="$(extract "$FRESH" "$A")"
+        b_ns="$(extract "$FRESH" "$B")"
+        if [ -z "$a_ns" ] || [ -z "$b_ns" ]; then
+            echo "bench_check: pair $BENCH missing from fresh results $FRESH" >&2
+            status=1
+            continue
+        fi
+        awk -v a="$a_ns" -v b="$b_ns" -v maxpct="$MAXPCT" -v pa="$A" -v pb="$B" '
+            BEGIN {
+                pct = 100 * (a - b) / b
+                printf "bench_check: %s %.0f ns/op vs %s %.0f ns/op (%+.1f%%, budget +%s%%)\n",
+                    pa, a, pb, b, pct, maxpct
+                exit (pct > maxpct) ? 1 : 0
+            }
+        ' || status=1
+        continue
+        ;;
+    esac
     base_ns="$(extract "$BASELINE" "$BENCH")"
     fresh_ns="$(extract "$FRESH" "$BENCH")"
     if [ -z "$base_ns" ]; then
-        echo "bench_check: $BENCH missing from baseline $BASELINE" >&2
-        status=1
+        # A benchmark added in this PR has no baseline yet: report and
+        # skip rather than fail, so new entries can join the gate list in
+        # the same PR that introduces them.
+        echo "bench_check: $BENCH missing from baseline $BASELINE, skipping (new benchmark?)" >&2
         continue
     fi
     if [ -z "$fresh_ns" ]; then
