@@ -54,7 +54,7 @@ func run() error {
 		lr         = flag.Float64("lr", 5e-3, "Adam learning rate")
 		trainSize  = flag.Int("train", 640, "total federation train examples")
 		patients   = flag.Int("patients", 8638, "synthetic cohort size")
-		codec      = flag.String("codec", "raw", "uplink weight codec: raw | f32 | topk[:fraction]")
+		codec      = flag.String("codec", "raw", "uplink weight codec: raw | f32 | int8 | topk[:fraction]")
 		proxMu     = flag.Float64("prox", 0, "FedProx proximal strength mu (0 = plain FedAvg local training)")
 		reconnect  = flag.Bool("reconnect", true, "redial with backoff on connection loss and resume the session")
 		maxRedials = flag.Int("max-reconnects", 8, "redial attempts per connection failure")

@@ -73,7 +73,7 @@ func run() error {
 		minClients = flag.Int("min-clients", 0, "per-round quorum: fail the run if fewer updates gathered (0 = accept any)")
 		deadline   = flag.Duration("deadline", 0, "round gather deadline; stragglers are dropped or fedasync-merged (0 = wait)")
 		fedasync   = flag.Bool("fedasync", false, "fold stragglers' late updates in with staleness weighting instead of dropping them")
-		codec      = flag.String("codec", "raw", "downlink weight codec: raw | f32 | topk[:fraction]")
+		codec      = flag.String("codec", "raw", "downlink weight codec: raw | f32 | int8 | topk[:fraction]")
 		allowTopK  = flag.Bool("allow-topk-uplink", false, "accept clients' lossy top-k uplink codec (zeroes most of each full weight map; otherwise they fall back to raw)")
 
 		walPath     = flag.String("wal", "", "write-ahead log path; a restart with the same path resumes the run mid-round (empty = not durable)")

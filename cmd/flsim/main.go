@@ -6,6 +6,7 @@
 //	flsim -exp table3            # reproduce Table III at reference scale
 //	flsim -exp fig2 -scale 4     # quick smoke run of Fig. 2
 //	flsim -exp scale             # 200-client deterministic simulator scenario
+//	flsim -exp capacity          # 100k-client capacity-planner sweep -> report
 //	flsim -list
 package main
 

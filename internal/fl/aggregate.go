@@ -28,6 +28,14 @@ type ClientUpdate struct {
 	// PayloadBytes is the encoded update's size on the wire (0 for
 	// in-process executors); experiments report bytes-on-wire from it.
 	PayloadBytes int
+	// DownBytes is the encoded task (global model) payload the client paid
+	// to download before training this round — the downlink counterpart of
+	// PayloadBytes, stamped by executors that model or measure their own
+	// transfers (the simulator's clients, cost-replaying surrogates). The
+	// networked server accounts downlink at send time instead and leaves
+	// this zero; it is advisory accounting and is not persisted in WAL
+	// update records.
+	DownBytes int
 }
 
 // Aggregator combines client updates into a new global model.

@@ -129,8 +129,10 @@ type RoundRecord struct {
 	Failures []string
 	// BytesUp / BytesDown are the round's weight-payload bytes: encoded
 	// update payloads received / task payloads sent. Populated by the
-	// networked server from real payload sizes and in-process when a
-	// CodecSimFilter stamps PayloadBytes.
+	// networked server from real payload sizes; in-process, BytesUp comes
+	// from PayloadBytes (stamped by a CodecSimFilter or the executor) and
+	// BytesDown from executors that stamp ClientUpdate.DownBytes (the
+	// simulator's cost-accounting clients).
 	BytesUp, BytesDown int64
 	// Duration is the wall-clock round time.
 	Duration time.Duration
@@ -270,6 +272,7 @@ func (c *Controller) Run(ctx context.Context, initialWeights map[string]*tensor.
 		for _, u := range updates {
 			rec.Participants = append(rec.Participants, u.ClientName)
 			rec.BytesUp += int64(u.PayloadBytes)
+			rec.BytesDown += int64(u.DownBytes)
 			lossSum += u.TrainLoss * float64(u.NumSamples)
 			weightSum += float64(u.NumSamples)
 		}
@@ -397,6 +400,7 @@ func finalizeRound(filters []Filter, agg Aggregator, async AsyncAggregator,
 		}
 		rec.LateApplied = append(rec.LateApplied, lu.ClientName)
 		rec.BytesUp += int64(lu.PayloadBytes)
+		rec.BytesDown += int64(lu.DownBytes)
 	}
 	return next, nil
 }

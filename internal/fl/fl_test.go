@@ -14,12 +14,14 @@ import (
 
 // fakeExecutor returns canned weights for controller tests.
 type fakeExecutor struct {
-	name    string
-	samples int
-	value   float64 // every weight element is set to this after "training"
-	fail    bool
-	delay   time.Duration
-	calls   int
+	name      string
+	samples   int
+	value     float64 // every weight element is set to this after "training"
+	fail      bool
+	delay     time.Duration
+	calls     int
+	upBytes   int // stamped as PayloadBytes when non-zero
+	downBytes int // stamped as DownBytes when non-zero
 }
 
 func (f *fakeExecutor) Name() string    { return f.name }
@@ -42,6 +44,7 @@ func (f *fakeExecutor) ExecuteRound(round int, global map[string]*tensor.Matrix)
 	return &ClientUpdate{
 		ClientName: f.name, Round: round, Weights: weights,
 		NumSamples: f.samples, TrainLoss: 1.0 / float64(round+1),
+		PayloadBytes: f.upBytes, DownBytes: f.downBytes,
 	}, nil
 }
 
@@ -181,6 +184,32 @@ func TestControllerRunsAllRounds(t *testing.T) {
 	for _, e := range execs {
 		if e.(*fakeExecutor).calls != 3 {
 			t.Fatalf("executor called %d times", e.(*fakeExecutor).calls)
+		}
+	}
+}
+
+// Executors that model their own transfers (the simulator's clients,
+// cost-replaying surrogates) stamp PayloadBytes/DownBytes on the update;
+// the controller must fold both into the round record's byte counters.
+func TestControllerAccountsExecutorStampedBytes(t *testing.T) {
+	execs := []Executor{
+		&fakeExecutor{name: "a", samples: 10, value: 1, upBytes: 100, downBytes: 40},
+		&fakeExecutor{name: "b", samples: 30, value: 2, upBytes: 250, downBytes: 40},
+	}
+	ctrl, err := NewController(ControllerConfig{Rounds: 2}, execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.Run(context.Background(), initialWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.History.Rounds {
+		if rec.BytesUp != 350 {
+			t.Fatalf("round %d BytesUp %d, want 350", rec.Round, rec.BytesUp)
+		}
+		if rec.BytesDown != 80 {
+			t.Fatalf("round %d BytesDown %d, want 80", rec.Round, rec.BytesDown)
 		}
 	}
 }

@@ -1,0 +1,36 @@
+package plan
+
+import (
+	"time"
+
+	"clinfl/internal/sim"
+)
+
+// Baseline is the pinned capacity-planning grid behind the checked-in
+// report under docs/capacity/: the paper's 200-client acceptance scale
+// and the 100k-client planner scale, crossed with every uplink codec in
+// the negotiation set and three round deadlines around the straggler
+// knee. 24 cells; the heavy half samples 5000 participants per round.
+// The golden test regenerates docs/capacity/baseline.{json,md} from this
+// grid — change it deliberately and regenerate with -update.
+func Baseline() Grid {
+	return Grid{
+		Name:            "baseline",
+		Seed:            7,
+		Clients:         []int{200, 100_000},
+		Codecs:          []string{"raw", "f32", "int8", "topk:0.25"},
+		Deadlines:       []time.Duration{700 * time.Millisecond, 1500 * time.Millisecond, 3 * time.Second},
+		SampleFractions: []float64{0.05},
+		QuorumFractions: []float64{0.5},
+		Rounds:          5,
+		RealClients:     64,
+		FedAsyncAlpha:   0.5,
+		Compute: sim.ComputeProfile{
+			Mean:              200 * time.Millisecond,
+			Jitter:            100 * time.Millisecond,
+			StragglerFraction: 0.10,
+			StragglerFactor:   20,
+		},
+		Faults: sim.FaultProfile{FaultyFraction: 0.05, DropProb: 0.3},
+	}
+}

@@ -1,0 +1,77 @@
+package plan
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden capacity report under docs/capacity/")
+
+// goldenDir is the published capacity-report directory at the repo root —
+// the goldens double as operator-facing docs, so they live under docs/
+// rather than testdata/.
+func goldenDir(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("..", "..", "..", "docs", "capacity"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestCapacityBaselineGolden sweeps the pinned Baseline grid — 24 cells,
+// half of them 100k-client scenarios — and requires the checked-in JSON
+// and markdown reports to match byte-for-byte. CI runs this at -cpu 1,2,4
+// and regenerates with -update to fail on drift, so the published report
+// can never fall out of sync with the code that produces it.
+func TestCapacityBaselineGolden(t *testing.T) {
+	if raceEnabled {
+		t.Skip("baseline sweep skipped under the race detector (100k-client rosters)")
+	}
+	if testing.Short() {
+		t.Skip("baseline sweep skipped in -short mode")
+	}
+	rep, elapsed, err := Baseline().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("swept %d cells in %v real time", len(rep.Cells), elapsed)
+	js, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := []byte(rep.Markdown())
+
+	dir := goldenDir(t)
+	jsonPath := filepath.Join(dir, "baseline.json")
+	mdPath := filepath.Join(dir, "baseline.md")
+	if *update {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, js, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(mdPath, md, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s and %s", jsonPath, mdPath)
+		return
+	}
+	wantJSON, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if string(js) != string(wantJSON) {
+		t.Errorf("baseline.json drifted from the checked-in report; regenerate with -update and review the diff")
+	}
+	wantMD, err := os.ReadFile(mdPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if string(md) != string(wantMD) {
+		t.Errorf("baseline.md drifted from the checked-in report; regenerate with -update and review the diff")
+	}
+}

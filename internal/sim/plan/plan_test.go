@@ -1,0 +1,138 @@
+package plan
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"clinfl/internal/sim"
+)
+
+// smallGrid is a cheap 2×2×2 sweep for driver-level tests.
+func smallGrid() Grid {
+	return Grid{
+		Name:            "small",
+		Seed:            3,
+		Clients:         []int{12, 24},
+		Codecs:          []string{"raw", "int8"},
+		Deadlines:       []time.Duration{800 * time.Millisecond, 2 * time.Second},
+		SampleFractions: []float64{0.5},
+		QuorumFractions: []float64{0.5},
+		Rounds:          3,
+		RealClients:     6,
+		FedAsyncAlpha:   0.5,
+		Compute: sim.ComputeProfile{
+			Mean:              150 * time.Millisecond,
+			Jitter:            50 * time.Millisecond,
+			StragglerFraction: 0.25,
+			StragglerFactor:   15,
+		},
+		Faults: sim.FaultProfile{FaultyFraction: 0.1, DropProb: 0.25},
+	}
+}
+
+func TestCellsEnumerateInGridOrder(t *testing.T) {
+	cells := smallGrid().Cells()
+	if len(cells) != 8 {
+		t.Fatalf("got %d cells, want 8", len(cells))
+	}
+	// Nested-loop order: clients outermost, quorum innermost.
+	if cells[0].Clients != 12 || cells[0].Codec != "raw" || cells[0].Deadline != 800*time.Millisecond {
+		t.Fatalf("unexpected first cell %+v", cells[0])
+	}
+	if cells[1].Deadline != 2*time.Second {
+		t.Fatalf("deadline should vary before codec: %+v", cells[1])
+	}
+	if cells[4].Clients != 24 {
+		t.Fatalf("clients should be the outermost axis: %+v", cells[4])
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if seen[c.Key()] {
+			t.Fatalf("duplicate cell key %q", c.Key())
+		}
+		seen[c.Key()] = true
+		if c.Seed < 0 {
+			t.Fatalf("cell %q has negative seed %d", c.Key(), c.Seed)
+		}
+	}
+}
+
+// Cell seeds must be a pure function of (grid seed, cell parameters) so a
+// grid edit — adding a codec, dropping a deadline — never silently
+// reshuffles the remaining cells' scenarios.
+func TestCellSeedsStableUnderGridEdits(t *testing.T) {
+	base := smallGrid()
+	seeds := map[string]int64{}
+	for _, c := range base.Cells() {
+		seeds[c.Key()] = c.Seed
+	}
+	edited := smallGrid()
+	edited.Codecs = []string{"int8", "raw", "topk:0.25"} // reordered + grown
+	edited.Deadlines = edited.Deadlines[:1]              // shrunk
+	for _, c := range edited.Cells() {
+		if want, ok := seeds[c.Key()]; ok && c.Seed != want {
+			t.Fatalf("cell %q seed drifted under grid edit: %d -> %d", c.Key(), want, c.Seed)
+		}
+	}
+}
+
+func TestQuorumSizing(t *testing.T) {
+	g := smallGrid()
+	sc := g.Scenario(Cell{Clients: 100, SampleFraction: 0.05, QuorumFraction: 0.5, Codec: "raw"})
+	// 5 sampled per round, half of them as quorum.
+	if sc.MinUpdates != 2 || sc.MinClients != 2 {
+		t.Fatalf("quorum: MinUpdates %d MinClients %d, want 2/2", sc.MinUpdates, sc.MinClients)
+	}
+	sc = g.Scenario(Cell{Clients: 10, SampleFraction: 0, QuorumFraction: 0.5, Codec: "raw"})
+	if sc.MinUpdates != 5 {
+		t.Fatalf("sampling off: MinUpdates %d, want 5 (half the roster)", sc.MinUpdates)
+	}
+	sc = g.Scenario(Cell{Clients: 4, SampleFraction: 0.1, QuorumFraction: 0.1, Codec: "raw"})
+	if sc.MinUpdates != 1 {
+		t.Fatalf("quorum floor: MinUpdates %d, want 1", sc.MinUpdates)
+	}
+}
+
+// The sweep driver fans cells across pool workers; the report must come
+// out in grid order with every cell populated, and two sweeps of the same
+// grid must serialize identically (JSON and markdown).
+func TestSweepDeterministicAcrossRuns(t *testing.T) {
+	rep1, _, err := smallGrid().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := smallGrid().Cells()
+	if len(rep1.Cells) != len(cells) {
+		t.Fatalf("report has %d cells, want %d", len(rep1.Cells), len(cells))
+	}
+	for i, c := range rep1.Cells {
+		if c.Key() != cells[i].Key() {
+			t.Fatalf("cell %d out of order: %q, want %q", i, c.Key(), cells[i].Key())
+		}
+		if c.Rounds == 0 || c.VirtualSeconds == 0 {
+			t.Fatalf("cell %q looks unpopulated: %+v", c.Key(), c)
+		}
+		if c.UpBytesPerRound == 0 || c.DownBytesPerRound == 0 {
+			t.Fatalf("cell %q has no byte accounting: %+v", c.Key(), c)
+		}
+	}
+	rep2, _, err := smallGrid().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	js1, err := rep1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	js2, err := rep2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js1, js2) {
+		t.Fatal("sweep JSON not deterministic across runs")
+	}
+	if rep1.Markdown() != rep2.Markdown() {
+		t.Fatal("sweep markdown not deterministic across runs")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package plan
+
+// raceEnabled reports whether the race detector is compiled in; the heavy
+// baseline golden sweep skips under it (a 100k-client roster under the
+// race runtime is minutes, not seconds).
+const raceEnabled = false

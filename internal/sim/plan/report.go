@@ -1,0 +1,140 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// CellResult is one swept cell's capacity summary. Every field is a pure
+// function of the cell's scenario spec and seed: durations are virtual,
+// counters are deterministic, and no wall-clock or host-dependent value
+// is ever recorded — which is what lets the golden reports under
+// docs/capacity/ replay byte-identically at -cpu 1,2,4.
+type CellResult struct {
+	Cell
+	// Rounds is the number of rounds actually completed (early stop can
+	// trim it below the grid's configured count).
+	Rounds int
+	// VirtualSeconds is the federation's simulated wall time.
+	VirtualSeconds float64
+	// RoundsPerSecond is round throughput in virtual time — the planner's
+	// headline capacity number.
+	RoundsPerSecond float64
+	// MeanParticipants is the average in-round (pre-deadline) aggregation
+	// cohort size.
+	MeanParticipants float64
+	// UpBytesPerRound / DownBytesPerRound average the encoded payload
+	// bytes moved per round in each direction, frame headers included,
+	// over all clients (stragglers' late uploads count).
+	UpBytesPerRound   float64
+	DownBytesPerRound float64
+	// StragglerExclusionRate is the fraction of sampled task assignments
+	// whose updates missed the round deadline (arriving late, to be
+	// staleness-merged or dropped).
+	StragglerExclusionRate float64
+	// FailureRate is the fraction of sampled task assignments that
+	// errored outright.
+	FailureRate float64
+	// InitialMSE / FinalMSE score the zero model and the final global
+	// model on the noise-free holdout — the accuracy axis of the
+	// accuracy-vs-deadline curves.
+	InitialMSE float64
+	FinalMSE   float64
+}
+
+// Report is a completed sweep: grid identity plus one CellResult per cell
+// in grid order.
+type Report struct {
+	// Name and Seed identify the grid; Rounds and RealClients echo the
+	// shared scenario shape.
+	Name        string
+	Seed        int64
+	Rounds      int
+	RealClients int
+	Cells       []CellResult
+}
+
+// JSON renders the report canonically (indented, key-stable, trailing
+// newline) — the machine-readable golden format.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// mb formats a byte count as mebibytes.
+func mb(b float64) string { return fmt.Sprintf("%.3f", b/(1<<20)) }
+
+// pct formats a rate as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.2f%%", 100*f) }
+
+// Markdown renders the human-readable capacity report: one capacity table
+// per client count, then accuracy-vs-deadline curves per (clients, codec)
+// pair. Output is deterministic byte-for-byte for a given report.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Capacity report: %s\n\n", r.Name)
+	fmt.Fprintf(&b, "Grid seed %d; %d rounds per cell; %d real clients multiplexed per scenario (surrogates replay calibrated costs); %d cells.\n\n",
+		r.Seed, r.Rounds, r.RealClients, len(r.Cells))
+	b.WriteString("All durations and rates are virtual time — deterministic under the simulator's clock, independent of host speed and GOMAXPROCS. Regenerate with `go test ./internal/sim/plan -run TestCapacityBaselineGolden -update` or inspect interactively with `flsim -exp capacity`.\n")
+
+	for _, n := range sortedClients(r.Cells) {
+		fmt.Fprintf(&b, "\n## %d clients\n\n", n)
+		b.WriteString("| codec | deadline | sample | quorum | rounds/s | participants/round | MiB up/round | MiB down/round | excluded | failed | final MSE |\n")
+		b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|\n")
+		for _, c := range r.Cells {
+			if c.Clients != n {
+				continue
+			}
+			fmt.Fprintf(&b, "| %s | %s | %g | %g | %.3f | %.1f | %s | %s | %s | %s | %.5f |\n",
+				c.Codec, c.Deadline, c.SampleFraction, c.QuorumFraction,
+				c.RoundsPerSecond, c.MeanParticipants,
+				mb(c.UpBytesPerRound), mb(c.DownBytesPerRound),
+				pct(c.StragglerExclusionRate), pct(c.FailureRate), c.FinalMSE)
+		}
+	}
+
+	deadlines := sortedDeadlines(r.Cells)
+	if len(deadlines) > 1 {
+		b.WriteString("\n## Accuracy vs deadline\n\n")
+		b.WriteString("Final holdout MSE (lower is better) as the round deadline tightens: tighter deadlines exclude more stragglers from in-round aggregation, trading convergence for throughput.\n\n")
+		b.WriteString("| clients | codec |")
+		for _, d := range deadlines {
+			fmt.Fprintf(&b, " %s |", d)
+		}
+		b.WriteString("\n|---|---|")
+		for range deadlines {
+			b.WriteString("---|")
+		}
+		b.WriteString("\n")
+		for _, n := range sortedClients(r.Cells) {
+			for _, codec := range sortedCodecs(r.Cells) {
+				row := make(map[time.Duration]float64, len(deadlines))
+				found := false
+				for _, c := range r.Cells {
+					if c.Clients == n && c.Codec == codec {
+						row[c.Deadline] = c.FinalMSE
+						found = true
+					}
+				}
+				if !found {
+					continue
+				}
+				fmt.Fprintf(&b, "| %d | %s |", n, codec)
+				for _, d := range deadlines {
+					if v, ok := row[d]; ok {
+						fmt.Fprintf(&b, " %.5f |", v)
+					} else {
+						b.WriteString(" — |")
+					}
+				}
+				b.WriteString("\n")
+			}
+		}
+	}
+	return b.String()
+}

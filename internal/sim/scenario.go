@@ -114,6 +114,19 @@ type Scenario struct {
 	Codecs    []string
 	DownCodec string
 
+	// RealClients, when in (0, Clients), enables client multiplexing:
+	// only the first RealClients indices hold real data shards and run
+	// real local training; every client above the cap is a surrogate that
+	// replays calibrated compute-time and byte costs (see surrogate.go)
+	// and submits its twin real client's update. Memory and CPU become
+	// O(RealClients + sampled-per-round) instead of O(Clients), which is
+	// what pushes deterministic scenarios past 100k clients. The system
+	// trajectory (sampling, participation, deadlines, failures, bytes,
+	// durations) is byte-identical to the fully-real run; model quality is
+	// the approximation the surrogate calibration test bounds. 0 (or >=
+	// Clients) keeps every client real.
+	RealClients int
+
 	// Population profiles.
 	Task    LinearTask
 	Compute ComputeProfile
@@ -170,15 +183,24 @@ func (r *RunResult) HistoryJSON() ([]byte, error) {
 
 // simClient is one scenario client: an fl.Executor whose round execution
 // pays virtual time for task download, local compute, and update upload,
-// fails per its fault script, and round-trips its update through its
-// uplink codec for byte accounting and honest quantization loss.
+// and fails per its fault script. A real client (twin == nil surrogate
+// path off) trains its own shard and round-trips its update through its
+// uplink codec for byte accounting and honest quantization loss; a
+// surrogate client replays calibrated byte costs and its twin's training
+// result instead — same virtual-time trajectory, none of the per-client
+// data or codec work.
 type simClient struct {
 	name      string
 	clock     Clock
-	shard     *LinearShard
+	shard     *LinearShard // nil for surrogates
 	codec     fl.WeightCodec
+	codecName string
 	downCodec fl.WeightCodec
 	net       NetProfile
+
+	// twin and costs are set only on surrogates.
+	twin  *twinState
+	costs *CostModel
 
 	computeBase time.Duration
 	jitter      time.Duration
@@ -187,7 +209,7 @@ type simClient struct {
 	faulty     bool
 	dropProb   float64
 	dropRounds []int
-	rng        *tensor.RNG
+	seed       uint64 // per-client draw-stream seed (see surrogate.go)
 
 	bytesUp, bytesDown *atomic.Int64
 }
@@ -198,7 +220,12 @@ var _ fl.Executor = (*simClient)(nil)
 func (c *simClient) Name() string { return c.name }
 
 // NumSamples implements fl.Executor.
-func (c *simClient) NumSamples() int { return c.shard.Samples() }
+func (c *simClient) NumSamples() int {
+	if c.twin != nil {
+		return c.twin.samples
+	}
+	return c.shard.Samples()
+}
 
 // transfer returns the virtual time one message of n payload bytes costs.
 func (c *simClient) transfer(n int) time.Duration {
@@ -210,21 +237,53 @@ func (c *simClient) transfer(n int) time.Duration {
 
 // ExecuteRound implements fl.Executor.
 func (c *simClient) ExecuteRound(round int, global map[string]*tensor.Matrix) (*fl.ClientUpdate, error) {
-	downBlob, err := c.downCodec.Encode(global)
-	if err != nil {
-		return nil, fmt.Errorf("sim: %s encode task: %w", c.name, err)
+	// Task download: real clients encode the actual global weights;
+	// surrogates replay the calibrated size (exact — the codecs are
+	// shape-determined), so both pay identical virtual transfer time.
+	downBytes := 0
+	if c.twin != nil {
+		downBytes = c.costs.DownBytes
+	} else {
+		downBlob, err := c.downCodec.Encode(global)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s encode task: %w", c.name, err)
+		}
+		downBytes = len(downBlob)
 	}
-	c.bytesDown.Add(int64(len(downBlob) + 8))
-	c.clock.Sleep(c.transfer(len(downBlob)))
+	c.bytesDown.Add(int64(downBytes + 8))
+	c.clock.Sleep(c.transfer(downBytes))
 
 	compute := c.computeBase
 	if c.jitter > 0 {
-		compute += time.Duration(c.rng.Float64() * float64(c.jitter))
+		compute += time.Duration(unitDraw(c.seed, streamJitter, uint64(round)) * float64(c.jitter))
 	}
 	c.clock.Sleep(compute)
 
 	if c.drops(round) {
 		return nil, fmt.Errorf("sim: %s faulted on round %d", c.name, round)
+	}
+
+	if c.twin != nil {
+		// Surrogate: replay the twin's training result (computed once per
+		// twin per round) and the calibrated uplink byte cost. No codec
+		// round-trip — the quantization noise a lossy codec would add is
+		// part of the bounded surrogate error.
+		weights, loss, err := c.twin.result(round, global)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s surrogate train: %w", c.name, err)
+		}
+		upBytes := c.costs.UpBytes[c.codecName]
+		c.bytesUp.Add(int64(upBytes + 8))
+		c.clock.Sleep(c.transfer(upBytes))
+		return &fl.ClientUpdate{
+			ClientName:   c.name,
+			Round:        round,
+			Weights:      cloneWeightMap(weights),
+			NumSamples:   c.twin.samples,
+			TrainLoss:    loss,
+			PayloadBytes: upBytes,
+			DownBytes:    downBytes,
+		}, nil
 	}
 
 	weights, loss, err := c.shard.Train(global)
@@ -248,6 +307,7 @@ func (c *simClient) ExecuteRound(round int, global map[string]*tensor.Matrix) (*
 		NumSamples:   c.shard.Samples(),
 		TrainLoss:    loss,
 		PayloadBytes: len(blob),
+		DownBytes:    downBytes,
 	}, nil
 }
 
@@ -261,7 +321,7 @@ func (c *simClient) drops(round int) bool {
 			return true
 		}
 	}
-	return c.dropProb > 0 && c.rng.Float64() < c.dropProb
+	return c.dropProb > 0 && unitDraw(c.seed, streamDrop, uint64(round)) < c.dropProb
 }
 
 // scenarioSetup is one materialized scenario: the population, the
@@ -282,12 +342,31 @@ type scenarioSetup struct {
 
 // build materializes the scenario's deterministic population and roster
 // under the given clock. Every random choice is a pure function of the
-// spec and seed; the clock only carries virtual time.
+// spec and seed; the clock only carries virtual time. With RealClients
+// set, only the real prefix gets data shards — population generation is a
+// fixed-order stream (truth, holdout, shards by index), so the real
+// subset's shards are bit-identical to the first RealClients shards of
+// the fully-real run.
 func (sc Scenario) build(clock Clock) (*scenarioSetup, error) {
-	pop := sc.Task.NewPopulation(sc.Seed, sc.Clients)
+	nReal := sc.Clients
+	if sc.RealClients > 0 && sc.RealClients < sc.Clients {
+		nReal = sc.RealClients
+	}
+	pop := sc.Task.NewPopulation(sc.Seed, nReal)
 	downCodec, err := fl.CodecByName(sc.DownCodec)
 	if err != nil {
 		return nil, err
+	}
+	var costs *CostModel
+	var twins []*twinState
+	if nReal < sc.Clients {
+		if costs, err = calibrateCosts(sc, pop, downCodec); err != nil {
+			return nil, err
+		}
+		twins = make([]*twinState, nReal)
+		for i, shard := range pop.Shards {
+			twins[i] = &twinState{shard: shard, samples: shard.Samples()}
+		}
 	}
 	set := &scenarioSetup{pop: pop, bytesUp: new(atomic.Int64), bytesDown: new(atomic.Int64)}
 
@@ -313,6 +392,9 @@ func (sc Scenario) build(clock Clock) (*scenarioSetup, error) {
 		isFaulty[i] = true
 	}
 
+	// Codec objects are shared across clients (stateless), so a 100k-client
+	// roster allocates one codec per distinct name, not per client.
+	codecByName := map[string]fl.WeightCodec{}
 	set.execs = make([]fl.Executor, sc.Clients)
 	for i := 0; i < sc.Clients; i++ {
 		name := fmt.Sprintf("site-%03d", i)
@@ -320,12 +402,20 @@ func (sc Scenario) build(clock Clock) (*scenarioSetup, error) {
 		if len(sc.Codecs) > 0 {
 			codecName = sc.Codecs[i%len(sc.Codecs)]
 		}
-		codec, err := fl.CodecByName(codecName)
-		if err != nil {
-			return nil, err
+		codec, ok := codecByName[codecName]
+		if !ok {
+			if codec, err = fl.CodecByName(codecName); err != nil {
+				return nil, err
+			}
+			codecByName[codecName] = codec
 		}
-		crng := rng.Split()
-		base := time.Duration((0.5 + crng.Float64()) * float64(sc.Compute.Mean))
+		// Per-client randomness (speed, link, jitter, faults) comes from an
+		// O(1)-memory hash stream keyed on (scenario seed, client index) —
+		// see surrogate.go — so a client's draws are identical whether its
+		// neighbors are real or surrogate, and 100k clients cost 8 bytes of
+		// RNG state each instead of a ~5KB math/rand source.
+		cseed := clientSeed(sc.Seed, i)
+		base := time.Duration((0.5 + unitDraw(cseed, streamComputeBase, 0)) * float64(sc.Compute.Mean))
 		if isStraggler[i] {
 			base = time.Duration(float64(base) * sc.Compute.StragglerFactor)
 			set.stragglers = append(set.stragglers, name)
@@ -333,23 +423,30 @@ func (sc Scenario) build(clock Clock) (*scenarioSetup, error) {
 		if isFaulty[i] {
 			set.faulty = append(set.faulty, name)
 		}
-		set.execs[i] = &simClient{
+		c := &simClient{
 			name:        name,
 			clock:       clock,
-			shard:       pop.Shards[i],
 			codec:       codec,
+			codecName:   codecName,
 			downCodec:   downCodec,
 			net:         sc.Net,
 			computeBase: base,
 			jitter:      sc.Compute.Jitter,
-			latency:     time.Duration((0.5 + crng.Float64()) * float64(sc.Net.Latency)),
+			latency:     time.Duration((0.5 + unitDraw(cseed, streamLatency, 0)) * float64(sc.Net.Latency)),
 			faulty:      isFaulty[i],
 			dropProb:    sc.Faults.DropProb,
 			dropRounds:  sc.Faults.DropRounds,
-			rng:         crng,
+			seed:        cseed,
 			bytesUp:     set.bytesUp,
 			bytesDown:   set.bytesDown,
 		}
+		if i < nReal {
+			c.shard = pop.Shards[i]
+		} else {
+			c.twin = twins[i%nReal]
+			c.costs = costs
+		}
+		set.execs[i] = c
 	}
 	sort.Strings(set.stragglers)
 	sort.Strings(set.faulty)

@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Checks every relative link in the repo's tracked markdown files:
+# [text](target) must name a file or directory that exists, resolved
+# against the linking file's own directory (anchors and external
+# http/https/mailto links are skipped). Dependency-free — POSIX sh plus
+# git/grep/sed only — so the CI docs job needs no link-checker install.
+#
+# Usage: scripts/check_links.sh [file.md ...]   (default: all tracked *.md)
+#
+# Exit status: 0 when every relative link resolves, 1 otherwise.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "$#" -gt 0 ]; then
+    files="$*"
+else
+    files="$(git ls-files '*.md')"
+fi
+
+status=0
+for f in $files; do
+    dir="$(dirname "$f")"
+    # One "](target)" match per line; targets in this repo never contain
+    # spaces or nested parentheses, which keeps the extraction a grep.
+    links="$(grep -o '](\([^)]*\))' "$f" 2>/dev/null | sed 's/^](//; s/)$//')" || continue
+    for l in $links; do
+        case "$l" in
+        http://* | https://* | mailto:* | \#*) continue ;;
+        esac
+        target="${l%%#*}" # strip any #anchor
+        [ -z "$target" ] && continue
+        if [ ! -e "$dir/$target" ]; then
+            echo "check_links: $f links to \"$l\" but $dir/$target does not exist" >&2
+            status=1
+        fi
+    done
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "check_links: all relative markdown links resolve"
+fi
+exit "$status"
