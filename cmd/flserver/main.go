@@ -13,6 +13,15 @@
 // uplink is rejected at registration unless -allow-topk-uplink is set,
 // because top-k of a full weight map zeroes most of every parameter).
 //
+// -quarantine-after N switches the round loop from "a failure is
+// terminal" to reconciliation: failed or timed-out task assignments are
+// requeued with exponential backoff and re-dispatched within the round
+// deadline (to an idle substitute when -substitute is on), N consecutive
+// failures quarantine a client out of the sample pool until a ping probe
+// succeeds (-probe-interval paces the probes), and a round starved below
+// quorum parks until probes revive clients instead of failing. Requires
+// -deadline, which bounds every retry.
+//
 // -wal makes the run durable: round lifecycle events are fsync'd to a
 // write-ahead log before they take effect, so a crashed or SIGTERM'd
 // server restarted with the same -wal path resumes mid-round — committed
@@ -27,6 +36,8 @@
 //	flserver -kit kits/server -addr :8443 -clients 2 -rounds 5 -out global.weights
 //	flserver -kit kits/server -clients 8 -rounds 5 \
 //	    -sample 0.5 -min-updates 3 -deadline 30s -fedasync -codec f32
+//	flserver -kit kits/server -clients 8 -rounds 20 \
+//	    -deadline 30s -fedasync -quarantine-after 4 -probe-interval 10s
 //	flserver -kit kits/server -clients 8 -rounds 20 \
 //	    -wal run.wal -metrics :9090   # durable + observable
 package main
@@ -75,6 +86,10 @@ func run() error {
 		fedasync   = flag.Bool("fedasync", false, "fold stragglers' late updates in with staleness weighting instead of dropping them")
 		codec      = flag.String("codec", "raw", "downlink weight codec: raw | f32 | int8 | topk[:fraction]")
 		allowTopK  = flag.Bool("allow-topk-uplink", false, "accept clients' lossy top-k uplink codec (zeroes most of each full weight map; otherwise they fall back to raw)")
+
+		quarantineAfter = flag.Int("quarantine-after", 0, "enable the reconciliation control plane: quarantine a client after this many consecutive failures, requeue lost task assignments, probe demoted clients (0 = legacy single-shot rounds)")
+		probeInterval   = flag.Duration("probe-interval", 30*time.Second, "base delay between recovery probes of a demoted client (doubles per failed probe; needs -quarantine-after)")
+		substitute      = flag.Bool("substitute", true, "re-dispatch a failed task slot to an idle eligible client when the original is demoted (needs -quarantine-after)")
 
 		walPath     = flag.String("wal", "", "write-ahead log path; a restart with the same path resumes the run mid-round (empty = not durable)")
 		metricsAddr = flag.String("metrics", "", "listen address serving Prometheus metrics at /metrics (empty = disabled)")
@@ -132,6 +147,19 @@ func run() error {
 	}
 	if *fedasync {
 		scfg.AsyncAggregator = fl.FedAsync{}
+	}
+	if *quarantineAfter > 0 {
+		scfg.Reconcile = &fl.ReconcilePolicy{
+			QuarantineAfter: *quarantineAfter,
+			ProbeBackoff:    fl.Backoff{Base: *probeInterval, Seed: *seed},
+			Substitute:      *substitute,
+		}
+		if *deadline <= 0 {
+			// Reconciliation retries and probe-revived re-tasking are
+			// bounded by the round deadline; without one a round with a
+			// permanently failing client would retry forever.
+			return fmt.Errorf("-quarantine-after requires -deadline (retries and parking are bounded by the round deadline)")
+		}
 	}
 	srv, err := fl.NewServer(scfg, kit)
 	if err != nil {

@@ -7,6 +7,7 @@
 //	flsim -exp fig2 -scale 4     # quick smoke run of Fig. 2
 //	flsim -exp scale             # 200-client deterministic simulator scenario
 //	flsim -exp capacity          # 100k-client capacity-planner sweep -> report
+//	flsim -exp chaos             # reconciliation soak under connectivity waves
 //	flsim -list
 package main
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"clinfl/internal/tensor"
@@ -68,6 +69,66 @@ func (b Backoff) Delay(attempt int) time.Duration {
 		d *= 1 - j*rng.Float64()
 	}
 	return time.Duration(d)
+}
+
+// Retrier wraps a Backoff with observable state: how many attempts have
+// failed and what the next delay will be, so operators can see a
+// client's reconnect storm in /metrics instead of guessing from log
+// lines. The counters are atomic — a metrics scrape may read them while
+// the owning goroutine sleeps between attempts.
+type Retrier struct {
+	// Backoff supplies the delay schedule.
+	Backoff Backoff
+	// OnDelay, when non-nil, observes each computed delay just before
+	// the sleep (attempt is 0-based) — the hook the client uses to feed
+	// fl_reconnect_backoff_seconds.
+	OnDelay func(attempt int, d time.Duration)
+
+	attempt atomic.Int64
+}
+
+// Attempt returns how many consecutive failures the current retry cycle
+// has seen (0 after a success or Reset).
+func (r *Retrier) Attempt() int { return int(r.attempt.Load()) }
+
+// NextDelay returns the delay the next failure would sleep.
+func (r *Retrier) NextDelay() time.Duration {
+	return r.Backoff.Delay(int(r.attempt.Load()))
+}
+
+// Reset clears the failure streak (a success outside Retry, e.g. a
+// server-initiated resume, starts the schedule over).
+func (r *Retrier) Reset() { r.attempt.Store(0) }
+
+// Retry runs fn up to attempts times like Backoff.Retry, but the attempt
+// counter and per-attempt delays are visible through the Retrier while
+// it runs. A success resets the streak.
+func (r *Retrier) Retry(ctx context.Context, attempts int, fn func() error) error {
+	b := r.Backoff.withDefaults()
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = fn(); err == nil {
+			r.attempt.Store(0)
+			return nil
+		}
+		r.attempt.Add(1)
+		if i == attempts-1 {
+			break
+		}
+		d := b.Delay(i)
+		if r.OnDelay != nil {
+			r.OnDelay(i, d)
+		}
+		select {
+		case <-b.Clock.After(d):
+		case <-ctx.Done():
+			return fmt.Errorf("fl: retry cancelled after attempt %d: %w (last error: %v)", i+1, ctx.Err(), err)
+		}
+	}
+	return err
 }
 
 // Retry runs fn up to attempts times, sleeping Delay(i) between failures

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"clinfl/internal/metrics"
 	"clinfl/internal/provision"
 	"clinfl/internal/tensor"
 	"clinfl/internal/transport"
@@ -41,6 +42,12 @@ type ClientConfig struct {
 	// Backoff paces reconnect attempts (zero value: 100ms doubling to
 	// 30s).
 	Backoff Backoff
+	// Metrics, when non-nil, receives the client's reconnect
+	// observability: fl_reconnects_total and the
+	// fl_reconnect_backoff_seconds histogram of the delays actually
+	// slept, so a reconnect storm is visible in /metrics while it
+	// happens.
+	Metrics *metrics.Registry
 }
 
 // Client is the networked federation participant: it dials the server with
@@ -55,6 +62,9 @@ type Client struct {
 	// session is the server-issued session token, presented on
 	// re-registration to resume.
 	session string
+	// retrier paces reconnects; its attempt counter and delay schedule
+	// are observable through cfg.Metrics.
+	retrier *Retrier
 }
 
 // NewClient builds a networked client around an executor.
@@ -78,7 +88,13 @@ func NewClient(cfg ClientConfig, kit *provision.StartupKit, exec Executor) (*Cli
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
-	return &Client{cfg: cfg, kit: kit, exec: exec, codec: codec}, nil
+	backoffHist := cfg.Metrics.Histogram("fl_reconnect_backoff_seconds",
+		"reconnect backoff delays actually slept", metrics.DurationBuckets)
+	return &Client{cfg: cfg, kit: kit, exec: exec, codec: codec,
+		retrier: &Retrier{
+			Backoff: cfg.Backoff,
+			OnDelay: func(_ int, d time.Duration) { backoffHist.Observe(d.Seconds()) },
+		}}, nil
 }
 
 // connect dials the server and performs the MsgRegister handshake,
@@ -151,7 +167,8 @@ func (c *Client) reconnect(old transport.MessageConn, cause error) (transport.Me
 	}
 	c.cfg.Logf("fl client %s: connection lost (%v), reconnecting", c.kit.Name, cause)
 	var conn transport.MessageConn
-	err := c.cfg.Backoff.Retry(context.Background(), c.cfg.MaxReconnects, func() error {
+	err := c.retrier.Retry(context.Background(), c.cfg.MaxReconnects, func() error {
+		c.cfg.Metrics.Counter("fl_reconnects_total", "client redial attempts after a lost connection").Inc()
 		var err error
 		conn, err = c.connect()
 		return err
@@ -199,13 +216,22 @@ func (c *Client) Run() (map[string]*tensor.Matrix, error) {
 			}
 			update, err := c.exec.ExecuteRound(msg.Round, global)
 			if err != nil {
-				// Report the failure so the server can drop us from the
-				// round instead of timing out.
-				_ = conn.Write(&transport.Message{
+				// Report the failure so the server can requeue or
+				// substitute the task instead of timing out — then keep
+				// serving. One bad round (a transient data/compute fault)
+				// must not take the client out of the federation; the
+				// server's health monitor decides when a failure streak
+				// warrants quarantine.
+				c.cfg.Logf("fl client %s: round %d failed locally: %v", c.kit.Name, msg.Round, err)
+				if werr := conn.Write(&transport.Message{
 					Type: transport.MsgError, Sender: c.kit.Name, Round: msg.Round,
 					Meta: map[string]string{"error": err.Error()},
-				})
-				return nil, fmt.Errorf("fl: %s round %d: %w", c.kit.Name, msg.Round, err)
+				}); werr != nil {
+					if conn, err = c.reconnect(conn, werr); err != nil {
+						return nil, fmt.Errorf("fl: %s report failure: %w", c.kit.Name, err)
+					}
+				}
+				continue
 			}
 			blob, err := c.codec.Encode(update.Weights)
 			if err != nil {
@@ -221,6 +247,16 @@ func (c *Client) Run() (map[string]*tensor.Matrix, error) {
 				// recomputes.
 				if conn, err = c.reconnect(conn, err); err != nil {
 					return nil, fmt.Errorf("fl: %s send update: %w", c.kit.Name, err)
+				}
+			}
+		case transport.MsgPing:
+			// Liveness probe: the server demoted us after a failure streak
+			// and is checking whether we are worth sampling again.
+			if err := conn.Write(&transport.Message{
+				Type: transport.MsgPong, Sender: c.kit.Name, Round: msg.Round,
+			}); err != nil {
+				if conn, err = c.reconnect(conn, err); err != nil {
+					return nil, fmt.Errorf("fl: %s pong: %w", c.kit.Name, err)
 				}
 			}
 		case transport.MsgFinish:

@@ -77,6 +77,26 @@ func gatherDeadline(clk Clock, d time.Duration) (time.Time, <-chan time.Time) {
 	return at, clk.After(d)
 }
 
+// wakeChan prepares one wait's wake-up for waitRecv from an absolute
+// instant: a Waiter clock takes the time directly; any other clock gets
+// a fresh timer channel. Unlike gatherDeadline (one fixed timer per
+// round), this suits the reconciliation loop, whose nearest wake-up — a
+// requeued task's ready time, the next probe, the park budget — moves
+// between iterations. A zero at means no wake-up.
+func wakeChan(clk Clock, at time.Time) (time.Time, <-chan time.Time) {
+	if at.IsZero() {
+		return time.Time{}, nil
+	}
+	if _, ok := clk.(Waiter); ok {
+		return at, nil
+	}
+	d := at.Sub(clk.Now())
+	if d < 0 {
+		d = 0
+	}
+	return at, clk.After(d)
+}
+
 // waitRecv waits for the next value on ch until the gatherDeadline pair
 // fires (zero/nil = no deadline), optionally aborting when done (a
 // context's Done channel; nil = never) is closed. Under a Waiter clock the

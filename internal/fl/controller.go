@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"clinfl/internal/fl/durable"
+	"clinfl/internal/fl/reconcile"
 	"clinfl/internal/metrics"
 	"clinfl/internal/tensor"
 )
@@ -77,6 +78,14 @@ type ControllerConfig struct {
 	// counters and the round-duration histogram. Nil disables metrics at
 	// zero cost.
 	Metrics *metrics.Registry
+	// Reconcile, when non-nil, turns on the reconciliation control
+	// plane: failed task assignments are requeued with backoff and
+	// re-dispatched (same client or a substitute) within the round
+	// deadline, repeated failures demote clients out of the sample pool
+	// until a recovery probe succeeds, and a round starved below quorum
+	// degrades (FedAsync partial finalize) or parks awaiting probes
+	// instead of failing. Nil preserves the legacy single-shot behavior.
+	Reconcile *ReconcilePolicy
 }
 
 // withDefaults fills zero fields.
@@ -127,6 +136,16 @@ type RoundRecord struct {
 	// Failures records per-client send/receive/training errors as
 	// "client: error" strings; a failed client is never silently absent.
 	Failures []string
+	// Reassigned records every reconciliation re-dispatch this round as
+	// "origin>target" — origin is the client originally sampled for the
+	// slot ("probe" for a parked round re-tasking a revived client),
+	// target the client that received the retry. A retry to the same
+	// client reads "a>a".
+	Reassigned []string
+	// Degraded marks a round finalized below MinUpdates under mass
+	// failure (FedAsync partial finalize, at or above quorum — or below
+	// it when parking could not revive enough clients).
+	Degraded bool
 	// BytesUp / BytesDown are the round's weight-payload bytes: encoded
 	// update payloads received / task payloads sent. Populated by the
 	// networked server from real payload sizes; in-process, BytesUp comes
@@ -165,6 +184,9 @@ type Result struct {
 	// when no validator is configured).
 	BestWeights map[string]*tensor.Matrix
 	History     History
+	// Health snapshots every tracked client's final reconciliation state
+	// (nil when no ReconcilePolicy was configured).
+	Health map[string]string
 }
 
 // execOutcome carries one executor's result, tagged with the round it was
@@ -175,6 +197,9 @@ type execOutcome struct {
 	err    error
 	name   string
 	round  int
+	// probe marks a recovery-probe result (err nil = the demoted client
+	// answered) rather than a round execution.
+	probe bool
 }
 
 // Controller drives the federated run over a set of executors in-process
@@ -192,6 +217,11 @@ type Controller struct {
 	inFlight map[string]bool
 	rng      *tensor.RNG
 	met      flMetrics
+	// mon / pol are the reconciliation state machine and its resolved
+	// policy; nil mon means the legacy single-shot round loop.
+	mon    *reconcile.Monitor
+	pol    ReconcilePolicy
+	byName map[string]Executor
 }
 
 // NewController builds a controller over executors.
@@ -200,24 +230,33 @@ func NewController(cfg ControllerConfig, executors []Executor) (*Controller, err
 		return nil, errors.New("fl: controller needs at least one executor")
 	}
 	names := make(map[string]bool, len(executors))
+	byName := make(map[string]Executor, len(executors))
 	for _, e := range executors {
 		if names[e.Name()] {
 			return nil, fmt.Errorf("fl: duplicate executor name %q", e.Name())
 		}
 		names[e.Name()] = true
+		byName[e.Name()] = e
 	}
-	return &Controller{
+	c := &Controller{
 		cfg:       cfg.withDefaults(len(executors)),
 		executors: executors,
-		// Each executor has at most one outcome outstanding (it is never
-		// re-tasked until its previous outcome drains), so one slot per
-		// executor — doubled for margin — guarantees senders never block,
-		// even for stragglers finishing after Run returns.
+		// Each executor has at most one task outcome and one probe
+		// outcome outstanding (it is never re-tasked until its previous
+		// outcome drains, and an in-flight probe never re-fires), so two
+		// slots per executor guarantee senders never block, even for
+		// stragglers finishing after Run returns.
 		results:  make(chan execOutcome, 2*len(executors)),
 		inFlight: make(map[string]bool, len(executors)),
 		rng:      tensor.NewRNG(cfg.Seed + 7919),
 		met:      newFLMetrics(cfg.Metrics),
-	}, nil
+		byName:   byName,
+	}
+	if cfg.Reconcile != nil {
+		c.pol = cfg.Reconcile.withDefaults()
+		c.mon = c.pol.monitor()
+	}
+	return c, nil
 }
 
 // Run executes the scatter-and-gather workflow for E rounds starting from
@@ -245,6 +284,16 @@ func (c *Controller) Run(ctx context.Context, initialWeights map[string]*tensor.
 		if st.Open != nil {
 			startRound = st.Open.Round
 			resume = st.Open
+		}
+		// Replayed quarantine decisions take effect before any sampling:
+		// a crash must not resurrect a quarantined client into the pool.
+		if c.mon != nil {
+			for name, state := range st.Health {
+				if state == reconcile.Quarantined.String() {
+					c.mon.SetQuarantined(name)
+				}
+			}
+			c.met.syncHealthGauges(c.mon)
 		}
 	}
 
@@ -315,17 +364,32 @@ func (c *Controller) Run(ctx context.Context, initialWeights map[string]*tensor.
 	if res.BestWeights == nil {
 		res.BestWeights = cloneWeights(global)
 	}
+	if c.mon != nil {
+		res.Health = c.mon.Snapshot()
+	}
 	return res, nil
 }
 
 // sampleClients picks this round's participants among executors that are
-// not still busy with an earlier round's task.
+// not still busy with an earlier round's task (and, under a
+// ReconcilePolicy, are health-eligible — Unreachable/Quarantined clients
+// stay out of the pool until a probe succeeds; with every executor
+// demoted the sample is empty and the caller parks the round).
 func (c *Controller) sampleClients() ([]Executor, error) {
 	idle := make([]Executor, 0, len(c.executors))
+	allDemoted := c.mon != nil
 	for _, ex := range c.executors {
-		if !c.inFlight[ex.Name()] {
-			idle = append(idle, ex)
+		if c.inFlight[ex.Name()] {
+			continue
 		}
+		if c.mon != nil && !c.mon.Eligible(ex.Name()) {
+			continue
+		}
+		allDemoted = false
+		idle = append(idle, ex)
+	}
+	if allDemoted {
+		return nil, nil // mass failure: park rather than error
 	}
 	if len(idle) == 0 {
 		return nil, errors.New("fl: no idle clients to sample (every executor is a straggler)")
@@ -440,15 +504,8 @@ drain:
 	for {
 		select {
 		case o := <-c.results:
-			delete(c.inFlight, o.name)
-			switch {
-			case o.err != nil:
-				rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", o.name, o.err))
-				c.met.failure("exec")
-			case c.cfg.AsyncAggregator != nil:
-				late = append(late, o.update)
-			default:
-				rec.LateDropped = append(rec.LateDropped, o.name)
+			if err := c.absorbStale(o, round, rec, &late); err != nil {
+				return nil, nil, err
 			}
 		default:
 			break drain
@@ -458,10 +515,6 @@ drain:
 	var sampled []Executor
 	var preSeeded []*ClientUpdate
 	if resume != nil {
-		byName := make(map[string]Executor, len(c.executors))
-		for _, ex := range c.executors {
-			byName[ex.Name()] = ex
-		}
 		for _, u := range resume.Updates {
 			preSeeded = append(preSeeded, &ClientUpdate{
 				ClientName: u.Client, Round: round, Weights: u.Weights,
@@ -474,10 +527,17 @@ drain:
 			if resume.HasUpdate(name) {
 				continue
 			}
-			ex, ok := byName[name]
+			ex, ok := c.byName[name]
 			if !ok {
 				rec.Failures = append(rec.Failures, fmt.Sprintf("%s: tasked before crash, absent after restart", name))
 				c.met.failure("conn")
+				continue
+			}
+			if c.mon != nil && !c.mon.Eligible(name) {
+				// Quarantined by a replayed health record: the pre-crash
+				// task assignment does not override the quarantine.
+				rec.Failures = append(rec.Failures, fmt.Sprintf("%s: quarantined, not re-tasked on resume", name))
+				c.met.failure("exec")
 				continue
 			}
 			sampled = append(sampled, ex)
@@ -487,6 +547,16 @@ drain:
 		sampled, err = c.sampleClients()
 		if err != nil {
 			return nil, nil, fmt.Errorf("fl: round %d: %w", round, err)
+		}
+		if c.mon != nil && len(sampled) == 0 {
+			// Mass failure: every executor is demoted. Park the round
+			// until recovery probes readmit someone instead of failing.
+			if err := c.parkUntilEligible(ctx, round, rec, &late); err != nil {
+				return nil, nil, err
+			}
+			if sampled, err = c.sampleClients(); err != nil {
+				return nil, nil, fmt.Errorf("fl: round %d: %w", round, err)
+			}
 		}
 		for _, ex := range sampled {
 			rec.Sampled = append(rec.Sampled, ex.Name())
@@ -509,15 +579,9 @@ drain:
 	// deterministically. The background syncer flushes the scatter while
 	// the executors train.
 	for _, ex := range sampled {
-		c.inFlight[ex.Name()] = true
-		ex := ex
-		c.cfg.Clock.Go(func() {
-			u, err := ex.ExecuteRound(round, global)
-			c.results <- execOutcome{update: u, err: err, name: ex.Name(), round: round}
-		})
+		c.dispatch(ex, round, global)
 	}
 
-	deadlineAt, deadlineCh := gatherDeadline(c.cfg.Clock, c.cfg.RoundDeadline)
 	tasked := len(sampled) + len(preSeeded)
 	quorum := c.cfg.MinClients
 	if quorum > tasked {
@@ -535,6 +599,10 @@ drain:
 
 	updates := preSeeded
 	pending := len(sampled)
+	if c.mon != nil {
+		return c.reconcileGather(ctx, round, global, rec, sampled, updates, late, pending, quorum, minUpdates)
+	}
+	deadlineAt, deadlineCh := gatherDeadline(c.cfg.Clock, c.cfg.RoundDeadline)
 gather:
 	for pending > 0 && len(updates) < minUpdates {
 		o, status := waitRecv(c.cfg.Clock, c.results, ctx.Done(), deadlineAt, deadlineCh)
@@ -578,6 +646,361 @@ gather:
 	if len(updates) < quorum {
 		return nil, nil, fmt.Errorf("fl: round %d quorum not met: %d/%d updates (failures: %v)",
 			round, len(updates), quorum, rec.Failures)
+	}
+	return updates, late, nil
+}
+
+// dispatch starts one executor on the round's task.
+func (c *Controller) dispatch(ex Executor, round int, global map[string]*tensor.Matrix) {
+	c.inFlight[ex.Name()] = true
+	c.cfg.Clock.Go(func() {
+		u, err := ex.ExecuteRound(round, global)
+		c.results <- execOutcome{update: u, err: err, name: ex.Name(), round: round}
+	})
+}
+
+// dispatchProbe starts a recovery probe of a demoted client. Executors
+// implementing Prober are actually probed; the rest trivially succeed —
+// for an in-process executor there is nothing to check beyond waiting
+// out the probe backoff.
+func (c *Controller) dispatchProbe(name string) {
+	ex := c.byName[name]
+	c.cfg.Clock.Go(func() {
+		var err error
+		if p, ok := ex.(Prober); ok {
+			err = p.Probe()
+		}
+		c.results <- execOutcome{name: name, err: err, probe: true}
+	})
+}
+
+// healthEdge records a health transition in metrics and — for the
+// durable pool-membership edges, quarantine entry and the rejoin
+// clearing it — in the WAL.
+func (c *Controller) healthEdge(round int, tr reconcile.Transition) error {
+	if !tr.Changed() {
+		return nil
+	}
+	c.met.healthTransition(c.mon, tr)
+	if c.cfg.WAL != nil && (tr.To == reconcile.Quarantined || tr.From == reconcile.Quarantined) {
+		if err := c.cfg.WAL.AppendHealth(round, tr.Client, tr.To.String()); err != nil {
+			return fmt.Errorf("fl: round %d: %w", round, err)
+		}
+	}
+	return nil
+}
+
+// absorbStale handles an outcome that is not part of the current round's
+// gather: recovery-probe results and previous rounds' stragglers
+// (failures, late updates). Shared by the between-rounds drain and the
+// parked-round wait.
+func (c *Controller) absorbStale(o execOutcome, round int, rec *RoundRecord, late *[]*ClientUpdate) error {
+	if o.probe {
+		res := "ok"
+		if o.err != nil {
+			res = "fail"
+		}
+		c.met.probe(res)
+		tr := c.mon.ProbeResult(o.name, o.err == nil, c.cfg.Clock.Now())
+		return c.healthEdge(round, tr)
+	}
+	delete(c.inFlight, o.name)
+	var tr reconcile.Transition
+	switch {
+	case o.err != nil:
+		rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", o.name, o.err))
+		c.met.failure("exec")
+		if c.mon != nil {
+			tr = c.mon.Observe(o.name, false, c.cfg.Clock.Now())
+		}
+	case c.cfg.AsyncAggregator != nil:
+		*late = append(*late, o.update)
+		if c.mon != nil {
+			tr = c.mon.Observe(o.name, true, c.cfg.Clock.Now())
+		}
+	default:
+		rec.LateDropped = append(rec.LateDropped, o.name)
+		if c.mon != nil {
+			tr = c.mon.Observe(o.name, true, c.cfg.Clock.Now())
+		}
+	}
+	if c.mon != nil {
+		return c.healthEdge(round, tr)
+	}
+	return nil
+}
+
+// parkUntilEligible blocks a round whose sample pool is empty (every
+// executor demoted — mass failure) until a recovery probe readmits
+// someone, bounded by MaxPark. Straggler outcomes arriving meanwhile are
+// absorbed like the between-rounds drain.
+func (c *Controller) parkUntilEligible(ctx context.Context, round int, rec *RoundRecord, late *[]*ClientUpdate) error {
+	c.met.parked.Inc()
+	parkDeadline := c.cfg.Clock.Now().Add(c.pol.MaxPark)
+	for {
+		now := c.cfg.Clock.Now()
+		for _, ex := range c.executors {
+			if !c.inFlight[ex.Name()] && c.mon.Eligible(ex.Name()) {
+				return nil
+			}
+		}
+		if !now.Before(parkDeadline) {
+			return fmt.Errorf("fl: round %d: no eligible clients after parking %v (every executor demoted; failures so far: %v)",
+				round, c.pol.MaxPark, rec.Failures)
+		}
+		for _, name := range c.mon.DueProbes(now) {
+			c.dispatchProbe(name)
+		}
+		wake := parkDeadline
+		if at := c.mon.NextProbeAt(); !at.IsZero() && at.Before(wake) {
+			wake = at
+		}
+		at, ch := wakeChan(c.cfg.Clock, wake)
+		o, status := waitRecv(c.cfg.Clock, c.results, ctx.Done(), at, ch)
+		switch status {
+		case waitCancelled:
+			return fmt.Errorf("fl: round %d cancelled: %w", round, ctx.Err())
+		case waitDeadline:
+			continue
+		}
+		if err := c.absorbStale(o, round, rec, late); err != nil {
+			return err
+		}
+	}
+}
+
+// reconcileGather is the reconciliation-aware replacement for the legacy
+// gather loop: failed assignments are requeued with backoff and
+// re-dispatched (to the same client, or — with Substitute — an idle
+// eligible one) until the round deadline; demoted clients are probed and
+// may be re-tasked on recovery; and a round that can no longer reach its
+// aggregate trigger degrades (FedAsync partial finalize) or parks
+// awaiting probes, bounded by MaxPark, instead of deadlocking.
+func (c *Controller) reconcileGather(ctx context.Context, round int, global map[string]*tensor.Matrix, rec *RoundRecord,
+	sampled []Executor, updates, late []*ClientUpdate, pending, quorum, minUpdates int) ([]*ClientUpdate, []*ClientUpdate, error) {
+	var roundDeadlineAt time.Time
+	if c.cfg.RoundDeadline > 0 {
+		roundDeadlineAt = c.cfg.Clock.Now().Add(c.cfg.RoundDeadline)
+	}
+	rq := reconcile.NewQueue()
+	// assignment maps each in-flight executor to its current task so a
+	// failure knows the slot's attempt count and original owner.
+	assignment := make(map[string]reconcile.Task, len(sampled))
+	for _, ex := range sampled {
+		assignment[ex.Name()] = reconcile.Task{Client: ex.Name(), Round: round, Attempt: 1, Origin: ex.Name()}
+	}
+	participated := make(map[string]bool, len(updates))
+	for _, u := range updates {
+		participated[u.ClientName] = true
+	}
+	inSampled := make(map[string]bool, len(rec.Sampled))
+	for _, n := range rec.Sampled {
+		inSampled[n] = true
+	}
+
+	// redispatch hands a ready task to its client — or, when that client
+	// is busy, demoted, or already counted, to the first idle eligible
+	// substitute in roster order (deterministic). A task with no viable
+	// target is abandoned; its triggering failure is already recorded.
+	redispatch := func(t reconcile.Task) error {
+		target := t.Client
+		if c.inFlight[target] || participated[target] || !c.mon.Eligible(target) {
+			target = ""
+			if c.pol.Substitute {
+				for _, ex := range c.executors {
+					n := ex.Name()
+					if !c.inFlight[n] && !participated[n] && c.mon.Eligible(n) {
+						target = n
+						break
+					}
+				}
+			}
+		}
+		if target == "" {
+			return nil
+		}
+		assignment[target] = reconcile.Task{Client: target, Round: round, Attempt: t.Attempt, Origin: t.Origin}
+		rec.Reassigned = append(rec.Reassigned, t.Origin+">"+target)
+		if !inSampled[target] {
+			inSampled[target] = true
+			rec.Sampled = append(rec.Sampled, target)
+		}
+		if c.cfg.WAL != nil {
+			if err := c.cfg.WAL.AppendTaskAssigned(round, target); err != nil {
+				return fmt.Errorf("fl: round %d: %w", round, err)
+			}
+		}
+		c.dispatch(c.byName[target], round, global)
+		pending++
+		return nil
+	}
+
+	deadlineFired := false
+	parked := false
+	var parkDeadline time.Time
+	for {
+		now := c.cfg.Clock.Now()
+		if !deadlineFired && !roundDeadlineAt.IsZero() && !now.Before(roundDeadlineAt) {
+			deadlineFired = true
+			c.met.stragglers.Add(int64(pending))
+			// Queued retries die with the deadline; the failures that
+			// queued them are already in rec.Failures, so nothing is
+			// silently lost.
+			rq.Drain()
+		}
+		if len(updates) >= minUpdates {
+			break
+		}
+		if deadlineFired && len(updates) >= quorum {
+			break
+		}
+		if parked && !now.Before(parkDeadline) {
+			// Parking budget exhausted: degrade if the async path can
+			// finalize a partial round, else fall through to the quorum
+			// check below.
+			break
+		}
+		if !deadlineFired {
+			for _, t := range rq.Due(now) {
+				if err := redispatch(t); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		for _, name := range c.mon.DueProbes(now) {
+			c.dispatchProbe(name)
+		}
+		if pending == 0 && rq.Len() == 0 {
+			// Starved: nothing in flight, nothing queued, below the
+			// trigger. Recoverable only if probes are running or
+			// scheduled; otherwise give up now.
+			if !c.mon.Probing() && c.mon.NextProbeAt().IsZero() {
+				break
+			}
+			if !parked {
+				parked = true
+				parkDeadline = now.Add(c.pol.MaxPark)
+				c.met.parked.Inc()
+			}
+		}
+		var wake time.Time
+		earliest := func(t time.Time) {
+			if !t.IsZero() && (wake.IsZero() || t.Before(wake)) {
+				wake = t
+			}
+		}
+		if !deadlineFired {
+			earliest(roundDeadlineAt)
+			earliest(rq.NextAt())
+		}
+		earliest(c.mon.NextProbeAt())
+		if parked {
+			earliest(parkDeadline)
+		}
+		at, ch := wakeChan(c.cfg.Clock, wake)
+		o, status := waitRecv(c.cfg.Clock, c.results, ctx.Done(), at, ch)
+		switch status {
+		case waitDeadline:
+			continue
+		case waitCancelled:
+			return nil, nil, fmt.Errorf("fl: round %d cancelled: %w", round, ctx.Err())
+		}
+		now = c.cfg.Clock.Now()
+		if o.probe {
+			res := "ok"
+			if o.err != nil {
+				res = "fail"
+			}
+			c.met.probe(res)
+			tr := c.mon.ProbeResult(o.name, o.err == nil, now)
+			if err := c.healthEdge(round, tr); err != nil {
+				return nil, nil, err
+			}
+			if o.err == nil {
+				// Revived mid-round: if the round still cannot reach its
+				// trigger with what is in flight and queued, task the
+				// recovered client (the parked-round resume path).
+				need := minUpdates
+				if deadlineFired {
+					need = quorum
+				}
+				if len(updates)+pending+rq.Len() < need && !participated[o.name] && !c.inFlight[o.name] {
+					if err := redispatch(reconcile.Task{Client: o.name, Round: round, Attempt: 1, Origin: "probe"}); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+			continue
+		}
+		delete(c.inFlight, o.name)
+		t, assigned := assignment[o.name]
+		if assigned {
+			delete(assignment, o.name)
+		}
+		switch {
+		case o.err != nil:
+			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", o.name, o.err))
+			c.met.failure("exec")
+			tr := c.mon.Observe(o.name, false, now)
+			if err := c.healthEdge(round, tr); err != nil {
+				return nil, nil, err
+			}
+			if o.round == round {
+				pending--
+				if assigned && !deadlineFired && t.Attempt < c.pol.MaxAssignAttempts {
+					readyAt := now.Add(c.pol.RequeueBackoff.Delay(t.Attempt - 1))
+					if roundDeadlineAt.IsZero() || readyAt.Before(roundDeadlineAt) {
+						rq.Add(reconcile.Task{Client: t.Client, Round: round, Attempt: t.Attempt + 1, Origin: t.Origin}, readyAt)
+						c.met.requeues.Inc()
+					}
+				}
+			}
+		case o.round == round:
+			pending--
+			tr := c.mon.Observe(o.name, true, now)
+			if err := c.healthEdge(round, tr); err != nil {
+				return nil, nil, err
+			}
+			if c.cfg.WAL != nil {
+				if err := c.cfg.WAL.AppendUpdate(round, o.name, o.update.NumSamples,
+					o.update.TrainLoss, o.update.PayloadBytes, o.update.Weights); err != nil {
+					return nil, nil, fmt.Errorf("fl: round %d: %w", round, err)
+				}
+			}
+			updates = append(updates, o.update)
+			participated[o.name] = true
+		case c.cfg.AsyncAggregator != nil:
+			tr := c.mon.Observe(o.name, true, now)
+			if err := c.healthEdge(round, tr); err != nil {
+				return nil, nil, err
+			}
+			late = append(late, o.update)
+		default:
+			tr := c.mon.Observe(o.name, true, now)
+			if err := c.healthEdge(round, tr); err != nil {
+				return nil, nil, err
+			}
+			rec.LateDropped = append(rec.LateDropped, o.name)
+		}
+	}
+	if len(updates) < quorum {
+		// Mass failure left the round short. The async path finalizes
+		// what it has as a degraded partial round — FedAsync already
+		// tolerates weight drift from missing participants — provided at
+		// least one update arrived; the synchronous path must fail.
+		if c.cfg.AsyncAggregator != nil && len(updates) > 0 {
+			rec.Degraded = true
+			c.met.degraded.Inc()
+			return updates, late, nil
+		}
+		return nil, nil, fmt.Errorf("fl: round %d quorum not met after reconciliation: %d/%d updates (failures: %v)",
+			round, len(updates), quorum, rec.Failures)
+	}
+	if len(updates) < minUpdates {
+		// At or above quorum but short of the trigger: the deadline or
+		// the parking budget cut a mass-failure round short.
+		rec.Degraded = true
+		c.met.degraded.Inc()
 	}
 	return updates, late, nil
 }

@@ -46,6 +46,13 @@ const (
 	// RecModelCommit stores the committed global model for a round. On
 	// replay it closes any open round at or before it.
 	RecModelCommit
+	// RecHealth records a reconciliation health decision for a client
+	// (the state name rides in Token — the layout's existing string
+	// slot). Only pool-membership edges are logged: quarantine entry,
+	// and the rejoin that clears it. Replay applies them last-wins, so a
+	// restart never resurrects a quarantined client into the sample
+	// pool.
+	RecHealth
 )
 
 // String names the record kind.
@@ -63,6 +70,8 @@ func (t RecordType) String() string {
 		return "round-final"
 	case RecModelCommit:
 		return "model-commit"
+	case RecHealth:
+		return "health"
 	default:
 		return fmt.Sprintf("rectype(%d)", uint8(t))
 	}
@@ -231,7 +240,7 @@ func decodeRecord(body []byte) (*Record, error) {
 		return nil, err
 	}
 	rec := &Record{Type: RecordType(t)}
-	if rec.Type < RecSession || rec.Type > RecModelCommit {
+	if rec.Type < RecSession || rec.Type > RecHealth {
 		return nil, fmt.Errorf("durable: unknown record type %d", t)
 	}
 	round, err := r.u32()

@@ -97,6 +97,11 @@ type State struct {
 	Weights map[string]*tensor.Matrix
 	// Sessions maps client name to issued session token.
 	Sessions map[string]string
+	// Health maps client name to its last recorded reconciliation state
+	// ("quarantined" or, after a rejoin, "healthy"); last-wins on
+	// replay. A restart seeds its health monitor from this so a
+	// quarantined client stays out of the sample pool across the crash.
+	Health map[string]string
 	// Open is the in-flight round, if the crash happened mid-round.
 	Open *OpenRound
 	// Records counts replayed records.
@@ -152,6 +157,11 @@ func (s *State) apply(rec *Record) {
 		if s.Open != nil && s.Open.Round <= rec.Round {
 			s.Open = nil
 		}
+	case RecHealth:
+		if s.Health == nil {
+			s.Health = make(map[string]string)
+		}
+		s.Health[rec.Client] = rec.Token
 	}
 }
 
@@ -250,7 +260,7 @@ func Open(path string, opts Options) (*WAL, error) {
 // a torn tail, never an open error, because a crash mid-append is
 // exactly the failure the WAL exists to absorb.
 func replayFile(f *os.File) (*State, int64, error) {
-	st := &State{LastRound: -1, Sessions: make(map[string]string)}
+	st := &State{LastRound: -1, Sessions: make(map[string]string), Health: make(map[string]string)}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, 0, fmt.Errorf("durable: seek: %w", err)
 	}
@@ -553,4 +563,13 @@ func (w *WAL) AppendRoundFinal(round int, participants []string) error {
 // model it actually started from.
 func (w *WAL) AppendModelCommit(round int, weights map[string]*tensor.Matrix) error {
 	return w.appendLazy(&Record{Type: RecModelCommit, Round: round, Weights: weights})
+}
+
+// AppendHealth records a reconciliation pool-membership decision for a
+// client — quarantine entry or the rejoin clearing it — durably: the
+// decision takes effect in the sample pool immediately, so it must
+// survive a crash (a restart that forgot a quarantine would resurrect a
+// misbehaving client into the pool).
+func (w *WAL) AppendHealth(round int, client, state string) error {
+	return w.Append(&Record{Type: RecHealth, Round: round, Client: client, Token: state})
 }

@@ -40,6 +40,7 @@ func TestRecordRoundTripAllTypes(t *testing.T) {
 			TrainLoss: 0.731, PayloadBytes: 4096, Weights: testWeights(1)},
 		{Type: RecRoundFinal, Round: 7, Participants: []string{"hospital-a", "hospital-b"}},
 		{Type: RecModelCommit, Round: 7, Weights: testWeights(2)},
+		{Type: RecHealth, Round: 8, Client: "hospital-b", Token: "quarantined"},
 	}
 	for _, rec := range recs {
 		body, err := encodeRecord(rec)
@@ -424,6 +425,40 @@ func TestReplayIdempotentMerge(t *testing.T) {
 	st.apply(&Record{Type: RecUpdate, Round: 1, Client: "a"})
 	if st.Open != nil || st.LastRound != 2 {
 		t.Fatalf("stale round resurrected: %+v", st)
+	}
+}
+
+func TestWALHealthReplayLastWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fl.wal")
+	w, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendHealth(2, "c1", "quarantined"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendHealth(3, "c2", "quarantined"); err != nil {
+		t.Fatal(err)
+	}
+	// c2 rejoined two rounds later; the replayed view must not keep it
+	// quarantined.
+	if err := w.AppendHealth(5, "c2", "healthy"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	st := r.Recovered()
+	if st.Health["c1"] != "quarantined" {
+		t.Fatalf("c1 health %q, want quarantined", st.Health["c1"])
+	}
+	if st.Health["c2"] != "healthy" {
+		t.Fatalf("c2 health %q, want healthy (last record wins)", st.Health["c2"])
 	}
 }
 

@@ -21,6 +21,9 @@ func RunConformance(t *testing.T, h Harness) {
 	t.Run("StragglerNeverAggregatedInRound", func(t *testing.T) { conformStraggler(t, h) })
 	t.Run("QuorumBelowErrors", func(t *testing.T) { conformQuorum(t, h) })
 	t.Run("FailedClientRecorded", func(t *testing.T) { conformFailureRecorded(t, h) })
+	t.Run("ReassignedTaskSingleUpdate", func(t *testing.T) { conformReassignedSingleUpdate(t, h) })
+	t.Run("FlapNeverBlocksFinalize", func(t *testing.T) { conformFlapNeverBlocks(t, h) })
+	t.Run("HealthDemotionOrderIndependent", func(t *testing.T) { conformHealthOrderIndependent(t, h) })
 	t.Run("CodecBytesAccounted", func(t *testing.T) { conformCodecBytes(t, h) })
 	t.Run("LinearConvergence", func(t *testing.T) { conformConvergence(t, h) })
 	if h.Deterministic() {
@@ -227,6 +230,146 @@ func conformFailureRecorded(t *testing.T, h Harness) {
 	}
 	if got := res.FinalWeights["layer.w"].Data()[0]; got != 2 {
 		t.Fatalf("failed client leaked into the model: %v", got)
+	}
+}
+
+// conformReassignedSingleUpdate: under a ReconcilePolicy, a client whose
+// first execution attempt fails is re-tasked and contributes exactly one
+// applied update — the round's aggregate is the same exact FedAvg a clean
+// run produces, with the flake recorded as a failure and a reassignment.
+func conformReassignedSingleUpdate(t *testing.T, h Harness) {
+	spec := RunSpec{
+		Rounds: 1, MinClients: 1,
+		RoundDeadline: 2 * time.Second,
+		Reconcile: &fl.ReconcilePolicy{
+			RequeueBackoff: fl.Backoff{Base: 20 * time.Millisecond, Max: 100 * time.Millisecond},
+			ProbeBackoff:   fl.Backoff{Base: time.Hour, Max: time.Hour},
+		},
+		Clients: []ClientSpec{
+			{Name: "a", Samples: 10, Value: 1, FlakyRounds: []int{0}},
+			{Name: "b", Samples: 30, Value: 2},
+			{Name: "c", Samples: 20, Value: 7},
+		},
+	}
+	res, err := h.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, res)
+	rec := res.History.Rounds[0]
+	if got := strings.Join(rec.Participants, ","); got != "a,b,c" {
+		t.Fatalf("participants %v, want exactly [a b c]", rec.Participants)
+	}
+	var aFailures int
+	for _, f := range rec.Failures {
+		if strings.HasPrefix(f, "a:") {
+			aFailures++
+		}
+	}
+	if aFailures != 1 {
+		t.Fatalf("failures %v, want exactly one for the flaky first attempt", rec.Failures)
+	}
+	if len(rec.Reassigned) != 1 || rec.Reassigned[0] != "a>a" {
+		t.Fatalf("reassignments %v, want exactly [a>a]", rec.Reassigned)
+	}
+	want := ExpectedFedAvg(spec.Clients)
+	for name, m := range res.FinalWeights {
+		for _, v := range m.Data() {
+			if v != want {
+				t.Fatalf("final %s = %v, want exact %v (retry double-counted?)", name, v, want)
+			}
+		}
+	}
+}
+
+// conformFlapNeverBlocks: a client that flaps (fails every attempt for
+// two rounds, then recovers) is demoted out of the pool and probed back
+// in — every round finalizes, nothing deadlocks, and the flapping client
+// participates again after its probes succeed.
+func conformFlapNeverBlocks(t *testing.T, h Harness) {
+	spec := RunSpec{
+		Rounds: 6, MinClients: 1,
+		RoundDeadline: 400 * time.Millisecond,
+		Reconcile: &fl.ReconcilePolicy{
+			RequeueBackoff: fl.Backoff{Base: 25 * time.Millisecond, Max: 100 * time.Millisecond},
+			ProbeBackoff:   fl.Backoff{Base: 20 * time.Millisecond, Max: 50 * time.Millisecond},
+			Substitute:     true,
+			MaxPark:        2 * time.Second,
+		},
+		Clients: []ClientSpec{
+			{Name: "a", Samples: 10, Value: 1, Delay: 10 * time.Millisecond},
+			{Name: "b", Samples: 10, Value: 1, Delay: 15 * time.Millisecond},
+			{Name: "c", Samples: 10, Value: 1, Delay: 20 * time.Millisecond},
+			{Name: "flappy", Samples: 10, Value: 1, Delay: 10 * time.Millisecond, FailRounds: []int{1, 2}},
+		},
+	}
+	start := time.Now()
+	res, err := h.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real := time.Since(start); real > 20*time.Second {
+		t.Fatalf("federation blocked on the flapping client: %v", real)
+	}
+	checkRecords(t, res)
+	if len(res.History.Rounds) != 6 {
+		t.Fatalf("completed %d rounds, want 6", len(res.History.Rounds))
+	}
+	rejoined := false
+	for _, rec := range res.History.Rounds[3:] {
+		for _, p := range rec.Participants {
+			if p == "flappy" {
+				rejoined = true
+			}
+		}
+	}
+	if !rejoined {
+		t.Fatalf("flappy never rejoined after recovery (health %v, rounds %+v)", res.Health, res.History.Rounds)
+	}
+}
+
+// conformHealthOrderIndependent: final health states are a function of
+// each client's observation sequence, not of roster order or arrival
+// timing — permuting both leaves Result.Health unchanged.
+func conformHealthOrderIndependent(t *testing.T, h Harness) {
+	policy := func() *fl.ReconcilePolicy {
+		return &fl.ReconcilePolicy{
+			RequeueBackoff: fl.Backoff{Base: 20 * time.Millisecond, Max: 50 * time.Millisecond},
+			// Probes far beyond the run: demotions must stick so the final
+			// states are timing-free.
+			ProbeBackoff: fl.Backoff{Base: time.Hour, Max: time.Hour},
+			MaxPark:      300 * time.Millisecond,
+		}
+	}
+	clients := []ClientSpec{
+		{Name: "dead", Samples: 10, Value: 1, FailRounds: []int{0, 1}},
+		{Name: "ok", Samples: 20, Value: 2},
+		{Name: "flaky", Samples: 30, Value: 3, FlakyRounds: []int{0}, Delay: 10 * time.Millisecond},
+	}
+	permuted := []ClientSpec{clients[2], clients[0], clients[1]}
+	permuted[0].Delay, permuted[1].Delay, permuted[2].Delay =
+		0, 25*time.Millisecond, 15*time.Millisecond
+
+	want := map[string]string{"dead": "unreachable", "ok": "healthy", "flaky": "healthy"}
+	for i, cs := range [][]ClientSpec{clients, permuted} {
+		res, err := h.Run(RunSpec{
+			Rounds: 2, MinClients: 1,
+			RoundDeadline: 2 * time.Second,
+			Reconcile:     policy(),
+			Clients:       cs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkRecords(t, res)
+		if len(res.Health) != len(want) {
+			t.Fatalf("roster %d: health %v, want %v", i, res.Health, want)
+		}
+		for name, state := range want {
+			if res.Health[name] != state {
+				t.Fatalf("roster %d: health[%s] = %q, want %q (full: %v)", i, name, res.Health[name], state, res.Health)
+			}
+		}
 	}
 }
 

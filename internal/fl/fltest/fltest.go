@@ -37,6 +37,10 @@ type ClientSpec struct {
 	Delay time.Duration
 	// FailRounds lists rounds on which the client's executor errors.
 	FailRounds []int
+	// FlakyRounds lists rounds on which only the FIRST execution attempt
+	// errors; a re-dispatched retry succeeds. Meaningful with a
+	// RunSpec.Reconcile policy — without one there is no second attempt.
+	FlakyRounds []int
 	// Codec round-trips the client's updates through an uplink codec
 	// ("raw", "f32", "topk:f"); empty means raw without byte stamping for
 	// in-process harnesses and raw on the wire for the server harness.
@@ -54,6 +58,10 @@ type RunSpec struct {
 	FedAsyncAlpha float64
 	Seed          int64
 	Clients       []ClientSpec
+	// Reconcile, when non-nil, turns on the reconciliation control plane
+	// (health state machine, requeue-with-backoff, probes) on whichever
+	// harness runs the spec.
+	Reconcile *fl.ReconcilePolicy
 	// Linear, when non-nil, replaces canned values with real local
 	// training on sharded linear regression (one shard per client, in
 	// spec order), so convergence invariants have a learning signal.
@@ -116,6 +124,12 @@ type cannedExecutor struct {
 	clock fl.Clock
 	codec fl.WeightCodec
 	shard *sim.LinearShard // non-nil for linear-task runs
+
+	// attempts counts ExecuteRound calls per round, so FlakyRounds can
+	// fail only the first one. Guarded for the server harness, where the
+	// executor runs on a client goroutine while the spec may be inspected.
+	mu       sync.Mutex
+	attempts map[int]int
 }
 
 func newExecutor(spec ClientSpec, clock fl.Clock, shard *sim.LinearShard) (*cannedExecutor, error) {
@@ -126,8 +140,12 @@ func newExecutor(spec ClientSpec, clock fl.Clock, shard *sim.LinearShard) (*cann
 	if spec.Codec == "" {
 		codec = nil
 	}
-	return &cannedExecutor{spec: spec, clock: clock, codec: codec, shard: shard}, nil
+	return &cannedExecutor{spec: spec, clock: clock, codec: codec, shard: shard, attempts: make(map[int]int)}, nil
 }
+
+// Probe implements fl.Prober: the canned client is always reachable, so
+// recovery probes succeed once the probe backoff admits them.
+func (e *cannedExecutor) Probe() error { return nil }
 
 // Name implements fl.Executor.
 func (e *cannedExecutor) Name() string { return e.spec.Name }
@@ -148,6 +166,15 @@ func (e *cannedExecutor) ExecuteRound(round int, global map[string]*tensor.Matri
 	for _, r := range e.spec.FailRounds {
 		if r == round {
 			return nil, fmt.Errorf("fltest: %s scripted failure on round %d", e.spec.Name, round)
+		}
+	}
+	e.mu.Lock()
+	e.attempts[round]++
+	attempt := e.attempts[round]
+	e.mu.Unlock()
+	for _, r := range e.spec.FlakyRounds {
+		if r == round && attempt == 1 {
+			return nil, fmt.Errorf("fltest: %s scripted flake on round %d attempt 1", e.spec.Name, round)
 		}
 	}
 	var weights map[string]*tensor.Matrix
@@ -241,6 +268,7 @@ func (h ControllerHarness) Run(spec RunSpec) (*fl.Result, error) {
 		SampleFraction: spec.SampleFraction,
 		Seed:           spec.Seed,
 		Clock:          clock,
+		Reconcile:      spec.Reconcile,
 	}
 	if spec.FedAsyncAlpha > 0 {
 		cfg.AsyncAggregator = fl.FedAsync{Alpha: spec.FedAsyncAlpha}
@@ -290,6 +318,7 @@ func (ServerHarness) Run(spec RunSpec) (*fl.Result, error) {
 		Seed:            spec.Seed,
 		AllowTopKUplink: allowTopK,
 		AsyncAggregator: asyncFor(spec),
+		Reconcile:       spec.Reconcile,
 		VerifyToken:     func(name, token string) bool { return token == "tok-"+name },
 		Logf:            func(string, ...any) {},
 		Listener:        network,

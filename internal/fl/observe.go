@@ -22,6 +22,9 @@ type flMetrics struct {
 	lateDropped  *metrics.Counter
 	stragglers   *metrics.Counter
 	resumes      *metrics.Counter
+	requeues     *metrics.Counter
+	degraded     *metrics.Counter
+	parked       *metrics.Counter
 	roundSeconds *metrics.Histogram
 	connected    *metrics.Gauge
 }
@@ -38,6 +41,9 @@ func newFLMetrics(reg *metrics.Registry) flMetrics {
 		lateDropped:  reg.Counter("fl_late_dropped_total", "stale straggler updates dropped"),
 		stragglers:   reg.Counter("fl_stragglers_total", "clients still pending when a round deadline fired"),
 		resumes:      reg.Counter("fl_session_resumes_total", "client sessions re-attached after reconnect"),
+		requeues:     reg.Counter("fl_requeue_total", "task assignments requeued for retry after a failure"),
+		degraded:     reg.Counter("fl_degraded_rounds_total", "rounds finalized partial under mass failure (below min-updates, at or above quorum)"),
+		parked:       reg.Counter("fl_parked_rounds_total", "starved rounds parked awaiting client recovery probes"),
 		roundSeconds: reg.Histogram("fl_round_seconds", "round duration", metrics.DurationBuckets),
 		connected:    reg.Gauge("fl_connected_clients", "currently registered live clients"),
 	}
@@ -49,6 +55,12 @@ func newFLMetrics(reg *metrics.Registry) flMetrics {
 // "late" for late-update handling errors).
 func (m flMetrics) failure(cause string) {
 	m.reg.Counter("fl_failures_total", "client failures by cause", "cause", cause).Inc()
+}
+
+// probe counts one recovery probe of a demoted client under its result
+// label ("ok" or "fail").
+func (m flMetrics) probe(result string) {
+	m.reg.Counter("fl_probes_total", "recovery probes of demoted clients by result", "result", result).Inc()
 }
 
 // roundDone records one completed round's aggregate counters.

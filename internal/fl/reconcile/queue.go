@@ -1,0 +1,102 @@
+package reconcile
+
+import "time"
+
+// Task is one unit of requeued round work: re-assign the round's task to
+// Client. Attempt counts prior assignments of this work item (the first
+// retry carries Attempt 1); Origin names the client originally sampled
+// for the slot, so a substitute dispatch can be recorded as
+// "origin>substitute" in the round history.
+type Task struct {
+	Client  string
+	Round   int
+	Attempt int
+	Origin  string
+}
+
+// item pairs a task with its ready time and an insertion sequence that
+// breaks ties, making pop order a pure function of Add order.
+type item struct {
+	task    Task
+	readyAt time.Time
+	seq     int
+}
+
+// Queue is a deterministic delayed work queue: tasks added with a ready
+// time are released by Due in (readyAt, insertion) order. Like Monitor
+// it never reads a clock — the round loop passes its own now — and it is
+// not goroutine-safe by design (the loop owns it).
+type Queue struct {
+	items []item
+	seq   int
+}
+
+// NewQueue builds an empty queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Add enqueues t to become ready at readyAt.
+func (q *Queue) Add(t Task, readyAt time.Time) {
+	q.items = append(q.items, item{task: t, readyAt: readyAt, seq: q.seq})
+	q.seq++
+}
+
+// Due pops every task ready at now, ordered by (readyAt, insertion).
+func (q *Queue) Due(now time.Time) []Task {
+	var ready, rest []item
+	for _, it := range q.items {
+		if it.readyAt.After(now) {
+			rest = append(rest, it)
+		} else {
+			ready = append(ready, it)
+		}
+	}
+	q.items = rest
+	// Insertion scan preserves relative order for equal readyAt; sort by
+	// readyAt first so an earlier-ready task added later still pops first.
+	for i := 1; i < len(ready); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ready[j-1], ready[j]
+			if a.readyAt.Before(b.readyAt) || (a.readyAt.Equal(b.readyAt) && a.seq < b.seq) {
+				break
+			}
+			ready[j-1], ready[j] = ready[j], ready[j-1]
+		}
+	}
+	out := make([]Task, len(ready))
+	for i, it := range ready {
+		out[i] = it.task
+	}
+	return out
+}
+
+// NextAt returns the earliest ready time of a queued task (zero when the
+// queue is empty).
+func (q *Queue) NextAt() time.Time {
+	var at time.Time
+	for _, it := range q.items {
+		if at.IsZero() || it.readyAt.Before(at) {
+			at = it.readyAt
+		}
+	}
+	return at
+}
+
+// Drain empties the queue, returning the abandoned tasks in (readyAt,
+// insertion) order — the round deadline fired with retries still
+// waiting, and each must be recorded as a failure, never silently
+// dropped.
+func (q *Queue) Drain() []Task {
+	if len(q.items) == 0 {
+		return nil
+	}
+	latest := q.items[0].readyAt
+	for _, it := range q.items[1:] {
+		if it.readyAt.After(latest) {
+			latest = it.readyAt
+		}
+	}
+	return q.Due(latest)
+}
+
+// Len reports the queued task count.
+func (q *Queue) Len() int { return len(q.items) }

@@ -7,12 +7,14 @@ import (
 	"log"
 	"math"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"clinfl/internal/fl/durable"
+	"clinfl/internal/fl/reconcile"
 	"clinfl/internal/metrics"
 	"clinfl/internal/provision"
 	"clinfl/internal/tensor"
@@ -94,6 +96,12 @@ type ServerConfig struct {
 	// counters, the round-duration histogram, and the connected-clients
 	// gauge. Nil disables metrics at zero cost.
 	Metrics *metrics.Registry
+	// Reconcile, when non-nil, turns on the reconciliation control plane:
+	// per-client health tracking with MsgPing/MsgPong recovery probes,
+	// requeue-with-backoff of failed task assignments (send errors,
+	// execution errors, dropped connections), and degradation modes for
+	// mass failure. Nil keeps the legacy single-shot round behavior.
+	Reconcile *ReconcilePolicy
 }
 
 // serverClient is one registered client's connection state. Reads happen
@@ -153,6 +161,11 @@ type Server struct {
 	tokenRNG  *tensor.RNG
 	inbox     chan inboxMsg
 	met       flMetrics
+	// mon / pol are the reconciliation state machine and its policy, nil /
+	// zero without cfg.Reconcile. The monitor is only touched from the Run
+	// goroutine, like the rest of the round state.
+	mon *reconcile.Monitor
+	pol ReconcilePolicy
 
 	mu      sync.Mutex
 	clients map[string]*serverClient
@@ -208,6 +221,12 @@ func NewServer(cfg ServerConfig, kit *provision.StartupKit) (*Server, error) {
 			sessions[name] = token
 		}
 	}
+	var mon *reconcile.Monitor
+	var pol ReconcilePolicy
+	if cfg.Reconcile != nil {
+		pol = cfg.Reconcile.withDefaults()
+		mon = pol.monitor()
+	}
 	return &Server{
 		cfg:       cfg,
 		kit:       kit,
@@ -218,6 +237,8 @@ func NewServer(cfg ServerConfig, kit *provision.StartupKit) (*Server, error) {
 		// session tokens never perturbs which clients a seeded run samples.
 		tokenRNG: tensor.NewRNG(cfg.Seed + 2654435761),
 		met:      newFLMetrics(cfg.Metrics),
+		mon:      mon,
+		pol:      pol,
 		// Buffered so reader goroutines never block on a drained server:
 		// a cooperative client has at most one reply outstanding (it is
 		// not re-tasked until that reply drains) plus one terminal error,
@@ -468,46 +489,14 @@ func (s *Server) vetReconnect(conn transport.MessageConn) (*resumeConn, error) {
 // pending slot was already released (its failure drained) is re-tasked,
 // -1 when a still-pending client's re-attach fails.
 func (s *Server) handleResume(r *resumeConn, round int, blob []byte, rec *RoundRecord, tasked, replied map[string]bool) int {
-	s.mu.Lock()
-	c, ok := s.clients[r.name]
-	if !ok {
-		c = &serverClient{name: r.name, token: r.token, taskedRound: -1}
-		s.clients[r.name] = c
-	}
-	old := c.conn
-	wasDead := c.dead
-	slotHeld := c.taskedRound == round
-	c.conn = r.conn
-	c.gen++
-	gen := c.gen
-	c.dead = false
-	c.taskedRound = -1
-	s.mu.Unlock()
-	if old != nil {
-		_ = old.Close()
-	}
+	slotHeld, ok := s.reattach(r, round, rec)
 	release := 0
 	if slotHeld {
 		release = -1 // the slot stays held only if the re-attach fully succeeds
 	}
-	ack := &transport.Message{
-		Type: transport.MsgRegisterAck, Sender: s.kit.Name,
-		Meta: map[string]string{
-			"accepted": "true", transport.MetaCodec: r.codec, transport.MetaSession: r.token,
-		},
-	}
-	if err := r.conn.Write(ack); err != nil {
-		rec.Failures = append(rec.Failures, fmt.Sprintf("%s: resume ack: %v", r.name, err))
-		s.met.failure("conn")
-		s.markDead(r.name)
+	if !ok {
 		return release
 	}
-	go s.readLoop(r.name, r.conn, gen)
-	s.met.resumes.Inc()
-	if wasDead {
-		s.met.connected.Add(1)
-	}
-	s.cfg.Logf("fl server: client %q session resumed mid-run", r.name)
 	if !tasked[r.name] || replied[r.name] || blob == nil {
 		return release // idle (or already heard from): nothing to re-send
 	}
@@ -527,6 +516,51 @@ func (s *Server) handleResume(r *resumeConn, round int, blob []byte, rec *RoundR
 		return 0
 	}
 	return 1
+}
+
+// reattach performs the connection-swap half of a vetted reconnect: the
+// client's connection is replaced, its reader restarted under a bumped
+// generation (messages from the dead connection become stale), and the
+// registration ack written. It reports whether the client's task slot for
+// round was held before the swap and whether the re-attach succeeded.
+func (s *Server) reattach(r *resumeConn, round int, rec *RoundRecord) (slotHeld, ok bool) {
+	s.mu.Lock()
+	c, known := s.clients[r.name]
+	if !known {
+		c = &serverClient{name: r.name, token: r.token, taskedRound: -1}
+		s.clients[r.name] = c
+	}
+	old := c.conn
+	wasDead := c.dead
+	slotHeld = c.taskedRound == round
+	c.conn = r.conn
+	c.gen++
+	gen := c.gen
+	c.dead = false
+	c.taskedRound = -1
+	s.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+	ack := &transport.Message{
+		Type: transport.MsgRegisterAck, Sender: s.kit.Name,
+		Meta: map[string]string{
+			"accepted": "true", transport.MetaCodec: r.codec, transport.MetaSession: r.token,
+		},
+	}
+	if err := r.conn.Write(ack); err != nil {
+		rec.Failures = append(rec.Failures, fmt.Sprintf("%s: resume ack: %v", r.name, err))
+		s.met.failure("conn")
+		s.markDead(r.name)
+		return slotHeld, false
+	}
+	go s.readLoop(r.name, r.conn, gen)
+	s.met.resumes.Inc()
+	if wasDead {
+		s.met.connected.Add(1)
+	}
+	s.cfg.Logf("fl server: client %q session resumed mid-run", r.name)
+	return slotHeld, true
 }
 
 // clientGen returns a client's current connection generation (-1 when
@@ -576,6 +610,16 @@ func (s *Server) Run(initialWeights map[string]*tensor.Matrix) (*Result, error) 
 				resume.Round, len(resume.Tasked), len(resume.Updates))
 		} else if st.Records > 0 {
 			s.cfg.Logf("fl server: resuming from WAL at round %d (last committed %d)", startRound, st.LastRound)
+		}
+		// Replayed quarantine decisions take effect before any sampling: a
+		// crash must not resurrect a quarantined client into the pool.
+		if s.mon != nil {
+			for name, state := range st.Health {
+				if state == reconcile.Quarantined.String() {
+					s.mon.SetQuarantined(name)
+				}
+			}
+			s.met.syncHealthGauges(s.mon)
 		}
 	}
 
@@ -654,11 +698,16 @@ func (s *Server) Run(initialWeights map[string]*tensor.Matrix) (*Result, error) 
 	if res.BestWeights == nil {
 		res.BestWeights = cloneWeights(global)
 	}
+	if s.mon != nil {
+		res.Health = s.mon.Snapshot()
+	}
 	return res, nil
 }
 
 // sampleLive picks this round's task recipients among clients that are
-// alive and not still chewing on an earlier round's task.
+// alive, not still chewing on an earlier round's task and — under a
+// ReconcilePolicy — health-eligible: Unreachable/Quarantined clients stay
+// out of the pool until a recovery probe succeeds.
 func (s *Server) sampleLive() []*serverClient {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -669,6 +718,9 @@ func (s *Server) sampleLive() []*serverClient {
 			continue
 		}
 		total++
+		if s.mon != nil && !s.mon.Eligible(c.name) {
+			continue
+		}
 		if c.taskedRound < 0 {
 			idle = append(idle, c)
 		}
@@ -712,6 +764,12 @@ drain:
 	for {
 		select {
 		case in := <-s.inbox:
+			if s.mon != nil {
+				if err := s.absorbStale(in, round, rec, &late); err != nil {
+					return nil, nil, err
+				}
+				continue
+			}
 			if in.resume != nil {
 				// No task is in flight yet this round: the re-attach just
 				// revives the connection.
@@ -781,11 +839,27 @@ drain:
 				s.met.failure("conn")
 				continue
 			}
+			if s.mon != nil && !s.mon.Eligible(name) {
+				// Quarantined by a replayed health record: the pre-crash
+				// task assignment does not override the quarantine.
+				rec.Failures = append(rec.Failures, fmt.Sprintf("%s: quarantined, not re-tasked on resume", name))
+				s.met.failure("exec")
+				continue
+			}
 			sampled = append(sampled, c)
 		}
 		s.mu.Unlock()
 	} else {
 		sampled = s.sampleLive()
+		if s.mon != nil && len(sampled) == 0 {
+			// Mass failure: every client is demoted (or dead). Park the
+			// round until recovery probes readmit someone instead of
+			// failing.
+			if err := s.parkUntilEligible(round, rec, &late); err != nil {
+				return nil, nil, err
+			}
+			sampled = s.sampleLive()
+		}
 		if len(sampled) == 0 {
 			return nil, nil, fmt.Errorf("fl: round %d: no live idle clients to task", round)
 		}
@@ -808,6 +882,7 @@ drain:
 	// byte-identical. The background syncer flushes the scatter while the
 	// clients train, keeping ~40MB/round of durability off the hot path.
 	pending := 0
+	var failedSends []string
 	for _, c := range sampled {
 		if resume == nil {
 			rec.Sampled = append(rec.Sampled, c.name)
@@ -821,14 +896,18 @@ drain:
 			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: send task: %v", c.name, err))
 			s.met.failure("send")
 			s.markDead(c.name)
+			if s.mon != nil {
+				if err := s.healthEdge(round, s.mon.Observe(c.name, false, s.cfg.Clock.Now())); err != nil {
+					return nil, nil, err
+				}
+				failedSends = append(failedSends, c.name)
+			}
 			continue
 		}
 		s.setTasked(c.name, round)
 		rec.BytesDown += int64(len(blob))
 		pending++
 	}
-
-	deadlineAt, deadlineCh := gatherDeadline(s.cfg.Clock, s.cfg.RoundDeadline)
 	// The quorum is clamped to the sampled count, not to the clients whose
 	// task send succeeded: send failures must count against an explicitly
 	// configured floor, never silently lower it.
@@ -854,6 +933,10 @@ drain:
 	}
 
 	updates := preSeeded
+	if s.mon != nil {
+		return s.reconcileGather(round, blob, rec, updates, late, failedSends, pending, quorum, minUpdates)
+	}
+	deadlineAt, deadlineCh := gatherDeadline(s.cfg.Clock, s.cfg.RoundDeadline)
 gather:
 	for pending > 0 && len(updates) < minUpdates {
 		in, status := waitRecv(s.cfg.Clock, s.inbox, nil, deadlineAt, deadlineCh)
@@ -924,6 +1007,474 @@ gather:
 	if len(rec.Failures) > 0 || len(updates) < len(rec.Sampled) {
 		s.cfg.Logf("fl server: round %d proceeded with %d/%d clients (failures: %v)",
 			round, len(updates), len(rec.Sampled), rec.Failures)
+	}
+	return updates, late, nil
+}
+
+// healthEdge records a health transition in metrics and — for the durable
+// pool-membership edges, quarantine entry and the rejoin clearing it — in
+// the WAL.
+func (s *Server) healthEdge(round int, tr reconcile.Transition) error {
+	if !tr.Changed() {
+		return nil
+	}
+	s.met.healthTransition(s.mon, tr)
+	if s.cfg.WAL != nil && (tr.To == reconcile.Quarantined || tr.From == reconcile.Quarantined) {
+		if err := s.cfg.WAL.AppendHealth(round, tr.Client, tr.To.String()); err != nil {
+			return fmt.Errorf("fl: round %d: %w", round, err)
+		}
+	}
+	return nil
+}
+
+// sendPing fires a recovery probe at a demoted client: a MsgPing whose
+// MsgPong answer resolves the probe in the gather (or park) loop. A dead
+// or unwritable connection fails the probe immediately, backing off the
+// next one — the client rejoins by reconnecting and answering a later
+// ping.
+func (s *Server) sendPing(round int, name string) error {
+	s.mu.Lock()
+	c, ok := s.clients[name]
+	var conn transport.MessageConn
+	dead := true
+	if ok {
+		conn, dead = c.conn, c.dead
+	}
+	s.mu.Unlock()
+	if ok && !dead && conn != nil {
+		ping := &transport.Message{Type: transport.MsgPing, Sender: s.kit.Name, Round: round}
+		if err := conn.Write(ping); err == nil {
+			return nil // in flight; the pong (or the conn error) resolves it
+		}
+		s.markDead(name)
+	}
+	s.met.probe("fail")
+	return s.healthEdge(round, s.mon.ProbeResult(name, false, s.cfg.Clock.Now()))
+}
+
+// idleEligible returns, in name order, the live idle clients the health
+// monitor still admits, minus any in skip. Reconcile mode only.
+func (s *Server) idleEligible(skip map[string]bool) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for name, c := range s.clients {
+		if c.dead || c.taskedRound >= 0 || skip[name] || !s.mon.Eligible(name) {
+			continue
+		}
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// absorbStale handles an inbox delivery that is not part of the current
+// round's gather: reconnects, probe answers, and previous rounds'
+// stragglers (conn errors, late updates). Shared by the between-rounds
+// drain and the parked-round wait; reconcile mode only.
+func (s *Server) absorbStale(in inboxMsg, round int, rec *RoundRecord, late *[]*ClientUpdate) error {
+	if in.resume != nil {
+		// No task is in flight this round: the re-attach just revives the
+		// connection; a demoted client rejoins via the next probe.
+		s.handleResume(in.resume, round, nil, rec, nil, nil)
+		return nil
+	}
+	if s.clientGen(in.name) != in.gen {
+		return nil // stale delivery from a superseded connection
+	}
+	now := s.cfg.Clock.Now()
+	if in.msg != nil && in.msg.Type == transport.MsgPong {
+		if s.mon.IsProbing(in.name) {
+			s.met.probe("ok")
+			return s.healthEdge(round, s.mon.ProbeResult(in.name, true, now))
+		}
+		return nil
+	}
+	wasTasked := s.setTasked(in.name, -1)
+	if in.err != nil {
+		rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", in.name, in.err))
+		s.met.failure("conn")
+		s.markDead(in.name)
+		if s.mon.IsProbing(in.name) {
+			// The connection died between the ping and its pong.
+			s.met.probe("fail")
+			return s.healthEdge(round, s.mon.ProbeResult(in.name, false, now))
+		}
+		return s.healthEdge(round, s.mon.Observe(in.name, false, now))
+	}
+	u, uerr := s.handleReply(in.name, in.msg)
+	switch {
+	case uerr != nil:
+		rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", in.name, uerr))
+		s.met.failure("reject")
+	case wasTasked < 0:
+		rec.Failures = append(rec.Failures, fmt.Sprintf("%s: unsolicited update (not tasked)", in.name))
+		s.met.failure("reject")
+	case s.cfg.AsyncAggregator != nil:
+		u.Round = wasTasked
+		*late = append(*late, u)
+		return s.healthEdge(round, s.mon.Observe(in.name, true, now))
+	default:
+		rec.LateDropped = append(rec.LateDropped, in.name)
+		return s.healthEdge(round, s.mon.Observe(in.name, true, now))
+	}
+	return nil
+}
+
+// parkUntilEligible blocks a round whose sample pool is empty (every
+// client demoted or dead — mass failure) until a recovery probe readmits
+// someone, bounded by MaxPark. Inbox traffic arriving meanwhile — above
+// all the reconnects that make recovery possible — is absorbed like the
+// between-rounds drain.
+func (s *Server) parkUntilEligible(round int, rec *RoundRecord, late *[]*ClientUpdate) error {
+	s.met.parked.Inc()
+	parkDeadline := s.cfg.Clock.Now().Add(s.pol.MaxPark)
+	for {
+		now := s.cfg.Clock.Now()
+		if len(s.idleEligible(nil)) > 0 {
+			return nil
+		}
+		if !now.Before(parkDeadline) {
+			return fmt.Errorf("fl: round %d: no eligible clients after parking %v (every client demoted or dead; failures so far: %v)",
+				round, s.pol.MaxPark, rec.Failures)
+		}
+		for _, name := range s.mon.DueProbes(now) {
+			if err := s.sendPing(round, name); err != nil {
+				return err
+			}
+		}
+		wake := parkDeadline
+		if at := s.mon.NextProbeAt(); !at.IsZero() && at.Before(wake) {
+			wake = at
+		}
+		at, ch := wakeChan(s.cfg.Clock, wake)
+		in, status := waitRecv(s.cfg.Clock, s.inbox, nil, at, ch)
+		if status == waitDeadline {
+			continue
+		}
+		if err := s.absorbStale(in, round, rec, late); err != nil {
+			return err
+		}
+	}
+}
+
+// reconcileGather is the reconciliation-aware replacement for the legacy
+// gather loop: failed assignments — send errors, execution errors
+// (MsgError replies), dropped connections — are requeued with backoff and
+// re-dispatched (to the same client, or — with Substitute — an idle
+// eligible one) until the round deadline; demoted clients are pinged and
+// may be re-tasked on recovery; and a round that can no longer reach its
+// aggregate trigger degrades (FedAsync partial finalize) or parks
+// awaiting probes, bounded by MaxPark, instead of deadlocking.
+func (s *Server) reconcileGather(round int, blob []byte, rec *RoundRecord,
+	updates, late []*ClientUpdate, failedSends []string, pending, quorum, minUpdates int) ([]*ClientUpdate, []*ClientUpdate, error) {
+	now := s.cfg.Clock.Now()
+	var roundDeadlineAt time.Time
+	if s.cfg.RoundDeadline > 0 {
+		roundDeadlineAt = now.Add(s.cfg.RoundDeadline)
+	}
+	rq := reconcile.NewQueue()
+	deadlineFired := false
+	// assignment maps each in-flight client to its current task so an
+	// outcome knows the slot's attempt count and original owner. The
+	// scatter already ran: every client it tasked holds this round's slot.
+	assignment := make(map[string]reconcile.Task, pending)
+	s.mu.Lock()
+	for name, c := range s.clients {
+		if c.taskedRound == round && !c.dead {
+			assignment[name] = reconcile.Task{Client: name, Round: round, Attempt: 1, Origin: name}
+		}
+	}
+	s.mu.Unlock()
+	participated := make(map[string]bool, len(updates))
+	for _, u := range updates {
+		participated[u.ClientName] = true
+	}
+	inSampled := make(map[string]bool, len(rec.Sampled))
+	for _, n := range rec.Sampled {
+		inSampled[n] = true
+	}
+	// requeue schedules retry attempt t.Attempt+1 of a failed slot, unless
+	// the slot is out of attempts or the retry could not run before the
+	// round deadline. The triggering failure is already recorded, so a
+	// task that dies here is abandoned, never silently lost.
+	requeue := func(t reconcile.Task, now time.Time) {
+		if deadlineFired || t.Attempt >= s.pol.MaxAssignAttempts {
+			return
+		}
+		readyAt := now.Add(s.pol.RequeueBackoff.Delay(t.Attempt - 1))
+		if !roundDeadlineAt.IsZero() && !readyAt.Before(roundDeadlineAt) {
+			return
+		}
+		rq.Add(reconcile.Task{Client: t.Client, Round: round, Attempt: t.Attempt + 1, Origin: t.Origin}, readyAt)
+		s.met.requeues.Inc()
+	}
+	for _, name := range failedSends {
+		requeue(reconcile.Task{Client: name, Round: round, Attempt: 1, Origin: name}, now)
+	}
+
+	// redispatch hands a ready task to its client — or, when that client is
+	// dead, busy, demoted, or already counted, to the first idle eligible
+	// substitute in name order (deterministic). A task with no viable
+	// target is abandoned; its triggering failure is already recorded.
+	redispatch := func(t reconcile.Task, now time.Time) error {
+		target := ""
+		for _, name := range s.idleEligible(participated) {
+			if name == t.Client {
+				target = name
+				break
+			}
+			if target == "" && s.pol.Substitute {
+				target = name
+			}
+		}
+		if target == "" {
+			return nil
+		}
+		s.mu.Lock()
+		conn := s.clients[target].conn
+		s.mu.Unlock()
+		task := &transport.Message{
+			Type: transport.MsgTask, Sender: s.kit.Name, Round: round, Payload: blob,
+			Meta: map[string]string{"round": strconv.Itoa(round)},
+		}
+		if err := conn.Write(task); err != nil {
+			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: send task: %v", target, err))
+			s.met.failure("send")
+			s.markDead(target)
+			if err := s.healthEdge(round, s.mon.Observe(target, false, now)); err != nil {
+				return err
+			}
+			requeue(t, now)
+			return nil
+		}
+		s.setTasked(target, round)
+		assignment[target] = reconcile.Task{Client: target, Round: round, Attempt: t.Attempt, Origin: t.Origin}
+		rec.Reassigned = append(rec.Reassigned, t.Origin+">"+target)
+		if !inSampled[target] {
+			inSampled[target] = true
+			rec.Sampled = append(rec.Sampled, target)
+		}
+		if s.cfg.WAL != nil {
+			if err := s.cfg.WAL.AppendTaskAssigned(round, target); err != nil {
+				return fmt.Errorf("fl: round %d: %w", round, err)
+			}
+		}
+		rec.BytesDown += int64(len(blob))
+		pending++
+		return nil
+	}
+
+	parked := false
+	var parkDeadline time.Time
+	for {
+		now = s.cfg.Clock.Now()
+		if !deadlineFired && !roundDeadlineAt.IsZero() && !now.Before(roundDeadlineAt) {
+			deadlineFired = true
+			s.met.stragglers.Add(int64(pending))
+			// Queued retries die with the deadline; the failures that
+			// queued them are already in rec.Failures, so nothing is
+			// silently lost.
+			rq.Drain()
+		}
+		if len(updates) >= minUpdates {
+			break
+		}
+		if deadlineFired && len(updates) >= quorum {
+			break
+		}
+		if parked && !now.Before(parkDeadline) {
+			// Parking budget exhausted: degrade if the async path can
+			// finalize a partial round, else fall through to the quorum
+			// check below.
+			break
+		}
+		if !deadlineFired {
+			for _, t := range rq.Due(now) {
+				if err := redispatch(t, now); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		for _, name := range s.mon.DueProbes(now) {
+			if err := s.sendPing(round, name); err != nil {
+				return nil, nil, err
+			}
+		}
+		if pending == 0 && rq.Len() == 0 {
+			// Starved: nothing in flight, nothing queued, below the
+			// trigger. Recoverable only if probes are running or
+			// scheduled; otherwise give up now.
+			if !s.mon.Probing() && s.mon.NextProbeAt().IsZero() {
+				break
+			}
+			if !parked {
+				parked = true
+				parkDeadline = now.Add(s.pol.MaxPark)
+				s.met.parked.Inc()
+			}
+		}
+		var wake time.Time
+		earliest := func(t time.Time) {
+			if !t.IsZero() && (wake.IsZero() || t.Before(wake)) {
+				wake = t
+			}
+		}
+		if !deadlineFired {
+			earliest(roundDeadlineAt)
+			earliest(rq.NextAt())
+		}
+		earliest(s.mon.NextProbeAt())
+		if parked {
+			earliest(parkDeadline)
+		}
+		at, ch := wakeChan(s.cfg.Clock, wake)
+		in, status := waitRecv(s.cfg.Clock, s.inbox, nil, at, ch)
+		if status == waitDeadline {
+			continue
+		}
+		now = s.cfg.Clock.Now()
+		if in.resume != nil {
+			slotHeld, _ := s.reattach(in.resume, round, rec)
+			name := in.resume.name
+			if slotHeld {
+				// The re-attach implies the old connection is gone, and
+				// with it the in-flight assignment; requeue it rather than
+				// racing a blind re-send against the retry machinery.
+				t, assigned := assignment[name]
+				delete(assignment, name)
+				pending--
+				rec.Failures = append(rec.Failures, fmt.Sprintf("%s: connection replaced mid-task", name))
+				s.met.failure("conn")
+				if err := s.healthEdge(round, s.mon.Observe(name, false, now)); err != nil {
+					return nil, nil, err
+				}
+				if assigned {
+					requeue(t, now)
+				}
+			}
+			continue
+		}
+		if s.clientGen(in.name) != in.gen {
+			continue // stale delivery from a superseded connection
+		}
+		if in.msg != nil && in.msg.Type == transport.MsgPong {
+			// Before the tasked-slot bookkeeping: a pong must never release
+			// a pending task.
+			if !s.mon.IsProbing(in.name) {
+				continue
+			}
+			s.met.probe("ok")
+			if err := s.healthEdge(round, s.mon.ProbeResult(in.name, true, now)); err != nil {
+				return nil, nil, err
+			}
+			// Revived mid-round: if the round still cannot reach its
+			// trigger with what is in flight and queued, task the recovered
+			// client (the parked-round resume path).
+			need := minUpdates
+			if deadlineFired {
+				need = quorum
+			}
+			if len(updates)+pending+rq.Len() < need && !participated[in.name] {
+				if err := redispatch(reconcile.Task{Client: in.name, Round: round, Attempt: 1, Origin: "probe"}, now); err != nil {
+					return nil, nil, err
+				}
+			}
+			continue
+		}
+		wasTasked := s.setTasked(in.name, -1)
+		t, assigned := assignment[in.name]
+		if assigned {
+			delete(assignment, in.name)
+		}
+		if in.err != nil {
+			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", in.name, in.err))
+			s.met.failure("conn")
+			s.markDead(in.name)
+			if s.mon.IsProbing(in.name) {
+				// The connection died between the ping and its pong.
+				s.met.probe("fail")
+				if err := s.healthEdge(round, s.mon.ProbeResult(in.name, false, now)); err != nil {
+					return nil, nil, err
+				}
+				continue
+			}
+			if err := s.healthEdge(round, s.mon.Observe(in.name, false, now)); err != nil {
+				return nil, nil, err
+			}
+			if wasTasked == round {
+				pending--
+				if assigned {
+					requeue(t, now)
+				}
+			}
+			continue
+		}
+		u, uerr := s.handleReply(in.name, in.msg)
+		switch {
+		case uerr != nil:
+			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", in.name, uerr))
+			s.met.failure("reject")
+			if wasTasked == round {
+				// An execution failure (MsgError reply) or a garbled
+				// payload: the slot retries like any other failure.
+				pending--
+				if err := s.healthEdge(round, s.mon.Observe(in.name, false, now)); err != nil {
+					return nil, nil, err
+				}
+				if assigned {
+					requeue(t, now)
+				}
+			}
+		case wasTasked == round:
+			pending--
+			if err := s.healthEdge(round, s.mon.Observe(in.name, true, now)); err != nil {
+				return nil, nil, err
+			}
+			u.Round = round
+			if s.cfg.WAL != nil {
+				if err := s.cfg.WAL.AppendUpdate(round, u.ClientName, u.NumSamples,
+					u.TrainLoss, u.PayloadBytes, u.Weights); err != nil {
+					return nil, nil, fmt.Errorf("fl: round %d: %w", round, err)
+				}
+			}
+			rec.BytesUp += int64(u.PayloadBytes)
+			updates = append(updates, u)
+			participated[in.name] = true
+		case wasTasked < 0:
+			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: unsolicited update (not tasked)", in.name))
+			s.met.failure("reject")
+		case s.cfg.AsyncAggregator != nil:
+			if err := s.healthEdge(round, s.mon.Observe(in.name, true, now)); err != nil {
+				return nil, nil, err
+			}
+			u.Round = wasTasked
+			late = append(late, u)
+		default:
+			if err := s.healthEdge(round, s.mon.Observe(in.name, true, now)); err != nil {
+				return nil, nil, err
+			}
+			rec.LateDropped = append(rec.LateDropped, in.name)
+		}
+	}
+	if len(updates) < quorum {
+		// Mass failure left the round short. The async path finalizes what
+		// it has as a degraded partial round — FedAsync already tolerates
+		// weight drift from missing participants — provided at least one
+		// update arrived; the synchronous path must fail.
+		if s.cfg.AsyncAggregator != nil && len(updates) > 0 {
+			rec.Degraded = true
+			s.met.degraded.Inc()
+			return updates, late, nil
+		}
+		return nil, nil, fmt.Errorf("fl: round %d quorum not met after reconciliation: %d/%d updates (failures: %v)",
+			round, len(updates), quorum, rec.Failures)
+	}
+	if len(updates) < minUpdates {
+		// At or above quorum but short of the trigger: the deadline or
+		// the parking budget cut a mass-failure round short.
+		rec.Degraded = true
+		s.met.degraded.Inc()
 	}
 	return updates, late, nil
 }

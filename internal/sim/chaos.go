@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"time"
+
+	"clinfl/internal/fl"
+)
+
+// ChaosFlapScenario is the chaos soak spec behind the reconciliation
+// golden test: 24 clients × 12 rounds under the reconciliation control
+// plane, with two scripted connectivity waves on top of the usual fault
+// draws — a 25% flap early in the run and a 50% mass outage later. Dark
+// clients fail their connection attempts and their recovery probes until
+// the wave passes, so the run exercises the full control-plane surface:
+// requeued re-assignment with substitution, health demotion out of the
+// sample pool, probe-paced rejoin, and degraded partial finalization
+// when the mass wave squeezes a round below MinUpdates. Under the
+// virtual clock the whole soak — including its parks and deadline
+// rounds — is a pure function of the seed; its History digest is pinned
+// in testdata and checked at -cpu 1,2,4. Do not re-tune casually.
+func ChaosFlapScenario(seed int64) Scenario {
+	return Scenario{
+		Name:           "chaos-flap-24",
+		Seed:           seed,
+		Clients:        24,
+		Rounds:         16,
+		SampleFraction: 0.75,
+		MinUpdates:     14,
+		MinClients:     4,
+		RoundDeadline:  time.Second,
+		FedAsyncAlpha:  0.5,
+		Validate:       true,
+		Codecs:         []string{"raw", "f32"},
+		Compute: ComputeProfile{
+			Mean:   100 * time.Millisecond,
+			Jitter: 30 * time.Millisecond,
+		},
+		Faults: FaultProfile{FaultyFraction: 0.125, DropProb: 0.2},
+		Reconcile: &fl.ReconcilePolicy{
+			RequeueBackoff:    fl.Backoff{Base: 50 * time.Millisecond, Max: 400 * time.Millisecond, Jitter: 0.2, Seed: seed + 1},
+			ProbeBackoff:      fl.Backoff{Base: 200 * time.Millisecond, Max: 1600 * time.Millisecond, Jitter: 0.2, Seed: seed + 2},
+			MaxAssignAttempts: 3,
+			Substitute:        true,
+			MaxPark:           5 * time.Second,
+		},
+		Flaps: []FlapWave{
+			{From: 400 * time.Millisecond, Until: 900 * time.Millisecond, Fraction: 0.25},
+			{From: 1500 * time.Millisecond, Until: 2800 * time.Millisecond, Fraction: 0.75},
+		},
+	}
+}

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"clinfl/internal/fl"
+)
+
+// TestChaosFlapSoakDeterministic is the chaos soak: the pinned flap
+// scenario must complete every round (no deadlocked parks, no quorum
+// collapse), reproduce byte-identical History across runs and at every
+// GOMAXPROCS, match the digest pinned in testdata, and account for every
+// lost assignment — a sampled client either participates, has a failure
+// recorded, or lands late; never silently vanishes. Regenerate the
+// digest with -update after an intentional behavior change.
+func TestChaosFlapSoakDeterministic(t *testing.T) {
+	res1, err := ChaosFlapScenario(11).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.RealElapsed > 30*time.Second {
+		t.Fatalf("chaos soak took %v real time, want < 30s", res1.RealElapsed)
+	}
+	js1, err := res1.HistoryJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := ChaosFlapScenario(11).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	js2, err := res2.HistoryJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js1, js2) {
+		t.Fatalf("same seed, different History:\nrun1: %s\nrun2: %s", js1, js2)
+	}
+
+	sum := sha256.Sum256(js1)
+	digest := hex.EncodeToString(sum[:]) + "\n"
+	golden := filepath.Join("testdata", "chaos_flap_24.digest")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(digest), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden digest (regenerate with -update): %v", err)
+	}
+	if digest != string(want) {
+		t.Fatalf("History digest diverged from golden (regenerate with -update if intended)\ngot:  %swant: %s", digest, want)
+	}
+
+	rounds := res1.Result.History.Rounds
+	if len(rounds) != 16 {
+		t.Fatalf("completed %d rounds, want 16", len(rounds))
+	}
+	if len(res1.Flapping) == 0 {
+		t.Fatal("no clients marked flapping")
+	}
+
+	// Lost-assignment accounting: every sampled client of every round
+	// (final round exempt — its in-flight tasks drain after the run)
+	// must show up as a participant or recorded failure that round, or
+	// as a late/failed outcome in a later round.
+	for ri, rec := range rounds {
+		if ri == len(rounds)-1 {
+			break
+		}
+		for _, name := range rec.Sampled {
+			if !accounted(rounds[ri:], name) {
+				t.Errorf("round %d: sampled client %s has no recorded outcome", rec.Round, name)
+			}
+		}
+	}
+
+	// Reassignment origins are never silent: every "x>y" retry implies a
+	// recorded failure for x (the slot that was lost) in the same round.
+	crossClient := false
+	reassigned := 0
+	for _, rec := range rounds {
+		for _, ra := range rec.Reassigned {
+			reassigned++
+			origin, target, ok := strings.Cut(ra, ">")
+			if !ok {
+				t.Fatalf("round %d: malformed Reassigned entry %q", rec.Round, ra)
+			}
+			if origin != target && origin != "probe" {
+				crossClient = true
+			}
+			if origin != "probe" && !failedIn(rec.Failures, origin) {
+				t.Errorf("round %d: reassignment %q without a recorded failure for %s",
+					rec.Round, ra, origin)
+			}
+		}
+	}
+	if reassigned == 0 {
+		t.Fatal("no task was ever reassigned — the flap waves did not exercise the requeue path")
+	}
+	if !crossClient {
+		t.Fatal("no cross-client substitution happened — expected at least one x>y reassignment")
+	}
+
+	// The mass wave must actually degrade service, and the run must
+	// still converge through it.
+	degraded := 0
+	for _, rec := range rounds {
+		if rec.Degraded {
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Error("no round finalized degraded — the mass wave should squeeze at least one below MinUpdates")
+	}
+	if res1.FinalMSE >= res1.InitialMSE/10 {
+		t.Fatalf("chaos scenario did not converge: MSE %v -> %v", res1.InitialMSE, res1.FinalMSE)
+	}
+	if len(res1.Result.Health) == 0 {
+		t.Fatal("result carries no health snapshot")
+	}
+}
+
+// accounted reports whether name has a recorded outcome in recs[0]
+// (participant or failure) or any later record (late or failure).
+func accounted(recs []fl.RoundRecord, name string) bool {
+	for i, rec := range recs {
+		for _, p := range rec.Participants {
+			if i == 0 && p == name {
+				return true
+			}
+		}
+		if failedIn(rec.Failures, name) {
+			return true
+		}
+		if i > 0 {
+			for _, l := range rec.LateApplied {
+				if l == name {
+					return true
+				}
+			}
+			for _, l := range rec.LateDropped {
+				if l == name {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// failedIn reports whether failures contains an entry for name.
+func failedIn(failures []string, name string) bool {
+	prefix := fmt.Sprintf("%s:", name)
+	for _, f := range failures {
+		if strings.HasPrefix(f, prefix) {
+			return true
+		}
+	}
+	return false
+}

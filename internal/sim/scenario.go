@@ -83,6 +83,23 @@ func (p FaultProfile) withDefaults() FaultProfile {
 	return p
 }
 
+// FlapWave scripts a correlated connectivity outage: Fraction of the
+// roster goes dark for the virtual-time window [From, Until) measured
+// from run start. A dark client fails task execution immediately (the
+// connection attempt costs one link latency) and fails recovery probes,
+// then answers again once the wave passes — the signature workload of
+// the reconciliation control plane (Scenario.Reconcile).
+type FlapWave struct {
+	// From / Until bound the outage window in virtual time since run
+	// start (From inclusive, Until exclusive).
+	From, Until time.Duration
+	// Fraction of the roster affected. Waves pick their victims from the
+	// same deterministic role shuffle as stragglers and faulty clients
+	// (disjoint from both, roster permitting), so a larger wave's set is
+	// a superset of a smaller one's.
+	Fraction float64
+}
+
 // Scenario is the declarative spec of one simulated federation: N clients
 // drawn from data/speed/fault/codec profiles, driving the unmodified
 // fl.Controller round loop under a virtual clock.
@@ -127,6 +144,14 @@ type Scenario struct {
 	// Clients) keeps every client real.
 	RealClients int
 
+	// Reconcile, when non-nil, runs the controller with the
+	// reconciliation control plane: health state machines, requeued
+	// task re-assignment, probes and parking. Nil keeps the legacy
+	// single-shot round loop.
+	Reconcile *fl.ReconcilePolicy
+	// Flaps scripts correlated connectivity outages (see FlapWave).
+	Flaps []FlapWave
+
 	// Population profiles.
 	Task    LinearTask
 	Compute ComputeProfile
@@ -168,8 +193,9 @@ type RunResult struct {
 	// up- and downlink (8-byte frame headers included), summed over all
 	// clients including stragglers whose updates arrived late or never.
 	BytesUp, BytesDown int64
-	// Stragglers / Faulty name the clients the profiles marked.
-	Stragglers, Faulty []string
+	// Stragglers / Faulty / Flapping name the clients the profiles and
+	// flap waves marked.
+	Stragglers, Faulty, Flapping []string
 	// InitialMSE / FinalMSE score the zero model and the final global
 	// model on the noise-free holdout.
 	InitialMSE, FinalMSE float64
@@ -211,6 +237,11 @@ type simClient struct {
 	dropRounds []int
 	seed       uint64 // per-client draw-stream seed (see surrogate.go)
 
+	// start anchors the client's flap windows; flaps lists the waves
+	// covering this client (empty for most of the roster).
+	start time.Time
+	flaps []FlapWave
+
 	bytesUp, bytesDown *atomic.Int64
 }
 
@@ -235,8 +266,37 @@ func (c *simClient) transfer(n int) time.Duration {
 	return c.latency + time.Duration(int64(n+8)*int64(time.Second)/c.net.BytesPerSec)
 }
 
+// down reports whether a flap wave covers the client at virtual now.
+func (c *simClient) down(now time.Time) bool {
+	since := now.Sub(c.start)
+	for _, w := range c.flaps {
+		if since >= w.From && since < w.Until {
+			return true
+		}
+	}
+	return false
+}
+
+// Probe implements fl.Prober: a flapping client is unreachable while a
+// wave covers it and answers one link latency later once it has passed.
+func (c *simClient) Probe() error {
+	if c.down(c.clock.Now()) {
+		c.clock.Sleep(c.latency)
+		return fmt.Errorf("sim: %s unreachable (connectivity flap)", c.name)
+	}
+	c.clock.Sleep(2 * c.latency)
+	return nil
+}
+
 // ExecuteRound implements fl.Executor.
 func (c *simClient) ExecuteRound(round int, global map[string]*tensor.Matrix) (*fl.ClientUpdate, error) {
+	// A dark client fails the connection attempt outright: one link
+	// latency, no download or compute.
+	if c.down(c.clock.Now()) {
+		c.clock.Sleep(c.latency)
+		return nil, fmt.Errorf("sim: %s down (connectivity flap) on round %d", c.name, round)
+	}
+
 	// Task download: real clients encode the actual global weights;
 	// surrogates replay the calibrated size (exact — the codecs are
 	// shape-determined), so both pay identical virtual transfer time.
@@ -259,6 +319,10 @@ func (c *simClient) ExecuteRound(round int, global map[string]*tensor.Matrix) (*
 	}
 	c.clock.Sleep(compute)
 
+	if c.down(c.clock.Now()) {
+		// A wave opened while the task was in flight: the upload is lost.
+		return nil, fmt.Errorf("sim: %s dropped mid-round (connectivity flap) on round %d", c.name, round)
+	}
 	if c.drops(round) {
 		return nil, fmt.Errorf("sim: %s faulted on round %d", c.name, round)
 	}
@@ -337,6 +401,7 @@ type scenarioSetup struct {
 	bytesDown  *atomic.Int64
 	stragglers []string
 	faulty     []string
+	flapping   []string
 	initial    map[string]*tensor.Matrix
 }
 
@@ -391,6 +456,21 @@ func (sc Scenario) build(clock Clock) (*scenarioSetup, error) {
 	for _, i := range order[nStrag : nStrag+nFaulty] {
 		isFaulty[i] = true
 	}
+	// Flap victims come from the same shuffle, right after the faulty
+	// block — no extra RNG draws, so legacy scenarios' populations are
+	// untouched. Each wave covers a prefix of the pool, so a larger
+	// wave's set strictly contains a smaller one's.
+	flapPool := order[nStrag+nFaulty:]
+	flapsFor := make(map[int][]FlapWave)
+	for _, w := range sc.Flaps {
+		n := int(w.Fraction * float64(sc.Clients))
+		if n > len(flapPool) {
+			n = len(flapPool)
+		}
+		for _, i := range flapPool[:n] {
+			flapsFor[i] = append(flapsFor[i], w)
+		}
+	}
 
 	// Codec objects are shared across clients (stateless), so a 100k-client
 	// roster allocates one codec per distinct name, not per client.
@@ -423,6 +503,9 @@ func (sc Scenario) build(clock Clock) (*scenarioSetup, error) {
 		if isFaulty[i] {
 			set.faulty = append(set.faulty, name)
 		}
+		if len(flapsFor[i]) > 0 {
+			set.flapping = append(set.flapping, name)
+		}
 		c := &simClient{
 			name:        name,
 			clock:       clock,
@@ -437,6 +520,8 @@ func (sc Scenario) build(clock Clock) (*scenarioSetup, error) {
 			dropProb:    sc.Faults.DropProb,
 			dropRounds:  sc.Faults.DropRounds,
 			seed:        cseed,
+			start:       clock.Now(),
+			flaps:       flapsFor[i],
 			bytesUp:     set.bytesUp,
 			bytesDown:   set.bytesDown,
 		}
@@ -450,6 +535,7 @@ func (sc Scenario) build(clock Clock) (*scenarioSetup, error) {
 	}
 	sort.Strings(set.stragglers)
 	sort.Strings(set.faulty)
+	sort.Strings(set.flapping)
 
 	set.cfg = fl.ControllerConfig{
 		Rounds:         sc.Rounds,
@@ -459,6 +545,7 @@ func (sc Scenario) build(clock Clock) (*scenarioSetup, error) {
 		RoundDeadline:  sc.RoundDeadline,
 		Seed:           sc.Seed,
 		Clock:          clock,
+		Reconcile:      sc.Reconcile,
 	}
 	if sc.FedAsyncAlpha > 0 {
 		set.cfg.AsyncAggregator = fl.FedAsync{Alpha: sc.FedAsyncAlpha}
@@ -485,7 +572,7 @@ func (sc Scenario) Run() (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &RunResult{Stragglers: set.stragglers, Faulty: set.faulty}
+	res := &RunResult{Stragglers: set.stragglers, Faulty: set.faulty, Flapping: set.flapping}
 	res.InitialMSE, err = set.pop.Eval(set.initial)
 	if err != nil {
 		return nil, err

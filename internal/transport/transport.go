@@ -34,6 +34,12 @@ const (
 	MsgFinish
 	// MsgError reports a fatal protocol error.
 	MsgError
+	// MsgPing is the server's liveness probe of a demoted client (no
+	// payload; Round carries the probing round for logging).
+	MsgPing
+	// MsgPong answers a MsgPing, re-admitting the client to the sample
+	// pool.
+	MsgPong
 )
 
 // String renders the message kind.
@@ -51,6 +57,10 @@ func (t MsgType) String() string {
 		return "finish"
 	case MsgError:
 		return "error"
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
 	default:
 		return fmt.Sprintf("msgtype(%d)", int(t))
 	}
