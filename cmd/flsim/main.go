@@ -8,6 +8,7 @@
 //	flsim -exp scale             # 200-client deterministic simulator scenario
 //	flsim -exp capacity          # 100k-client capacity-planner sweep -> report
 //	flsim -exp chaos             # reconciliation soak under connectivity waves
+//	flsim -exp hier              # 10k-client streaming edge-aggregator tier vs flat root
 //	flsim -list
 package main
 

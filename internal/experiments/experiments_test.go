@@ -9,7 +9,7 @@ import (
 )
 
 func TestRegistryContainsAllArtifacts(t *testing.T) {
-	want := []string{"capacity", "chaos", "fig2", "fig3", "kernels", "scale", "stragglers", "sweep", "table1", "table2", "table3"}
+	want := []string{"capacity", "chaos", "fig2", "fig3", "hier", "kernels", "scale", "stragglers", "sweep", "table1", "table2", "table3"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("experiments %v, want %v", got, want)

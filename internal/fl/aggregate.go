@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 
+	"clinfl/internal/fl/hier"
 	"clinfl/internal/nn"
 	"clinfl/internal/tensor"
 )
@@ -36,6 +37,10 @@ type ClientUpdate struct {
 	// this zero; it is advisory accounting and is not persisted in WAL
 	// update records.
 	DownBytes int
+	// hierPartial carries a decoded tier partial when this "update" is an
+	// edge aggregator's merged uplink rather than a single client's
+	// weights; only a tier-enabled server's TierAggregator consumes it.
+	hierPartial *hier.Partial
 }
 
 // Aggregator combines client updates into a new global model.
@@ -145,6 +150,9 @@ func (f FedAsync) Apply(global map[string]*tensor.Matrix, u *ClientUpdate, stale
 	}
 	if staleness < 0 {
 		return fmt.Errorf("fl: fedasync negative staleness %d", staleness)
+	}
+	if len(u.Weights) != len(global) {
+		return fmt.Errorf("fl: fedasync: client %q sent %d params, want %d", u.ClientName, len(u.Weights), len(global))
 	}
 	a := alpha / float64(1+staleness)
 	for name, g := range global {

@@ -282,9 +282,27 @@ func TestFedAsyncApply(t *testing.T) {
 		t.Fatalf("fedasync result %v, want 2", got)
 	}
 
-	if err := (FedAsync{}).Apply(global, &ClientUpdate{ClientName: "x", Weights: map[string]*tensor.Matrix{}}, 0); err == nil ||
+	// Same param count but a different name: the per-param lookup fails.
+	if err := (FedAsync{}).Apply(global, &ClientUpdate{ClientName: "x", Weights: map[string]*tensor.Matrix{"v": w}}, 0); err == nil ||
 		!strings.Contains(err.Error(), "missing param") {
 		t.Fatalf("want missing-param error, got %v", err)
+	}
+	// A short or oversized param set must be rejected outright: extra
+	// params were silently dropped before the count cross-check (the
+	// loop walks global only), so a client could smuggle params past the
+	// late-merge path that weightedAverage would have refused.
+	before := global["w"].At(0, 1)
+	for _, bad := range []map[string]*tensor.Matrix{
+		{},
+		{"w": w, "rogue": w},
+	} {
+		err := (FedAsync{}).Apply(global, &ClientUpdate{ClientName: "x", Weights: bad}, 0)
+		if err == nil || !strings.Contains(err.Error(), "params, want") {
+			t.Fatalf("want param-count error for %d params, got %v", len(bad), err)
+		}
+	}
+	if got := global["w"].At(0, 1); got != before {
+		t.Fatalf("rejected update mutated global: %v -> %v", before, got)
 	}
 	if err := (FedAsync{Alpha: 2}).Apply(global, u, 0); err == nil {
 		t.Fatal("want alpha range error")

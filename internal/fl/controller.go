@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"clinfl/internal/fl/durable"
+	"clinfl/internal/fl/hier"
 	"clinfl/internal/fl/reconcile"
 	"clinfl/internal/metrics"
 	"clinfl/internal/tensor"
@@ -86,6 +87,12 @@ type ControllerConfig struct {
 	// degrades (FedAsync partial finalize) or parks awaiting probes
 	// instead of failing. Nil preserves the legacy single-shot behavior.
 	Reconcile *ReconcilePolicy
+	// Tier, when non-nil, routes rounds through hierarchical streaming
+	// aggregation (see TierConfig): updates fold into O(model) partials
+	// at edge shards as they arrive instead of buffering per-client
+	// weight maps at the root. Nil keeps the legacy flat path
+	// bit-for-bit unchanged.
+	Tier *TierConfig
 }
 
 // withDefaults fills zero fields.
@@ -155,6 +162,15 @@ type RoundRecord struct {
 	BytesUp, BytesDown int64
 	// Duration is the wall-clock round time.
 	Duration time.Duration
+	// TierPartials counts the partial aggregates that crossed tier hops
+	// this round (hierarchical aggregation only; omitted when zero so
+	// legacy histories stay byte-identical).
+	TierPartials int `json:",omitempty"`
+	// TierBytesUp is the encoded-partial bytes those hops carried.
+	TierBytesUp int64 `json:",omitempty"`
+	// TierResidentBytes is the root's resident aggregation state at
+	// finalize — the O(model) quantity, independent of client count.
+	TierResidentBytes int64 `json:",omitempty"`
 }
 
 // History is the full federated run record.
@@ -222,12 +238,20 @@ type Controller struct {
 	mon    *reconcile.Monitor
 	pol    ReconcilePolicy
 	byName map[string]Executor
+	// tierShards recycles the tier path's edge-shard partials across
+	// rounds (Reset keeps each one's O(model) slabs warm), so a round's
+	// aggregation state is allocated once per run, not once per round.
+	tierShards []*hier.Partial
 }
 
 // NewController builds a controller over executors.
 func NewController(cfg ControllerConfig, executors []Executor) (*Controller, error) {
 	if len(executors) == 0 {
 		return nil, errors.New("fl: controller needs at least one executor")
+	}
+	if err := validateTier(cfg.Tier, cfg.Aggregator, cfg.AsyncAggregator,
+		cfg.Filters, cfg.WAL, cfg.Reconcile); err != nil {
+		return nil, err
 	}
 	names := make(map[string]bool, len(executors))
 	byName := make(map[string]Executor, len(executors))
@@ -305,28 +329,40 @@ func (c *Controller) Run(ctx context.Context, initialWeights map[string]*tensor.
 		}
 		start := c.cfg.Clock.Now()
 		rec := RoundRecord{Round: round}
-		updates, late, err := c.scatterGather(ctx, round, global, &rec, resume)
-		resume = nil
-		if err != nil {
-			return nil, err
-		}
-		global, err = finalizeRound(c.cfg.Filters, c.cfg.Aggregator, c.cfg.AsyncAggregator,
-			updates, late, round, global, &rec)
-		if err != nil {
-			return nil, err
-		}
+		if c.cfg.Tier != nil {
+			// Hierarchical path: updates stream into edge-shard partials as
+			// they arrive and merge up the tiers; the root never holds
+			// per-client weight maps.
+			var err error
+			global, err = c.tierRound(ctx, round, global, &rec)
+			if err != nil {
+				return nil, err
+			}
+			rec.Duration = c.cfg.Clock.Since(start)
+		} else {
+			updates, late, err := c.scatterGather(ctx, round, global, &rec, resume)
+			resume = nil
+			if err != nil {
+				return nil, err
+			}
+			global, err = finalizeRound(c.cfg.Filters, c.cfg.Aggregator, c.cfg.AsyncAggregator,
+				updates, late, round, global, &rec)
+			if err != nil {
+				return nil, err
+			}
 
-		rec.Duration = c.cfg.Clock.Since(start)
-		var lossSum, weightSum float64
-		for _, u := range updates {
-			rec.Participants = append(rec.Participants, u.ClientName)
-			rec.BytesUp += int64(u.PayloadBytes)
-			rec.BytesDown += int64(u.DownBytes)
-			lossSum += u.TrainLoss * float64(u.NumSamples)
-			weightSum += float64(u.NumSamples)
-		}
-		if weightSum > 0 {
-			rec.MeanTrainLoss = lossSum / weightSum
+			rec.Duration = c.cfg.Clock.Since(start)
+			var lossSum, weightSum float64
+			for _, u := range updates {
+				rec.Participants = append(rec.Participants, u.ClientName)
+				rec.BytesUp += int64(u.PayloadBytes)
+				rec.BytesDown += int64(u.DownBytes)
+				lossSum += u.TrainLoss * float64(u.NumSamples)
+				weightSum += float64(u.NumSamples)
+			}
+			if weightSum > 0 {
+				rec.MeanTrainLoss = lossSum / weightSum
+			}
 		}
 		if c.cfg.WAL != nil {
 			// The commit point: once RecModelCommit is durable (group

@@ -3,6 +3,7 @@ package fltest
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"sort"
 	"strings"
 	"testing"
@@ -25,6 +26,7 @@ func RunConformance(t *testing.T, h Harness) {
 	t.Run("FlapNeverBlocksFinalize", func(t *testing.T) { conformFlapNeverBlocks(t, h) })
 	t.Run("HealthDemotionOrderIndependent", func(t *testing.T) { conformHealthOrderIndependent(t, h) })
 	t.Run("CodecBytesAccounted", func(t *testing.T) { conformCodecBytes(t, h) })
+	t.Run("TierMatchesFlatFedAvg", func(t *testing.T) { conformTierMatchesFlat(t, h) })
 	t.Run("LinearConvergence", func(t *testing.T) { conformConvergence(t, h) })
 	if h.Deterministic() {
 		t.Run("BitIdenticalReplay", func(t *testing.T) { conformBitIdentical(t, h) })
@@ -399,6 +401,59 @@ func conformCodecBytes(t *testing.T, h Harness) {
 	raw, f32 := run("raw"), run("f32")
 	if float64(f32) > 0.7*float64(raw) {
 		t.Fatalf("f32 uplink %d bytes, want well below raw %d", f32, raw)
+	}
+}
+
+// conformTierMatchesFlat: hierarchical streaming aggregation produces the
+// same global model as the flat deployment, bit for bit, for any tier
+// shape. The spec is dyadic (sample counts summing to a power of two,
+// small-significand values) so the flat float path is itself exact and
+// the comparison is against a well-defined value; the hier package pins
+// the stronger arbitrary-input tree-shape identity separately.
+func conformTierMatchesFlat(t *testing.T, h Harness) {
+	clients := []ClientSpec{
+		{Name: "a", Samples: 8, Value: 1.5},
+		{Name: "b", Samples: 16, Value: -2.25},
+		{Name: "c", Samples: 24, Value: 0.125},
+		{Name: "d", Samples: 16, Value: 3},
+	}
+	base := RunSpec{Rounds: 2, MinClients: 1, Clients: clients}
+	flat, err := h.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, flat)
+	for _, tier := range [][]int{{2}, {3, 2}} {
+		spec := base
+		spec.Tier = tier
+		res, err := h.Run(spec)
+		if err != nil {
+			t.Fatalf("tier %v: %v", tier, err)
+		}
+		checkRecords(t, res)
+		for name, fm := range flat.FinalWeights {
+			tm := res.FinalWeights[name]
+			if tm == nil {
+				t.Fatalf("tier %v: param %q missing", tier, name)
+			}
+			for i, fv := range fm.Data() {
+				if math.Float64bits(fv) != math.Float64bits(tm.Data()[i]) {
+					t.Fatalf("tier %v: %s[%d] = %v, flat = %v (not bit-identical)",
+						tier, name, i, tm.Data()[i], fv)
+				}
+			}
+		}
+		for _, rec := range res.History.Rounds {
+			if rec.TierResidentBytes <= 0 || rec.TierPartials <= 0 {
+				t.Fatalf("tier %v round %d: tier accounting missing (partials=%d resident=%d)",
+					tier, rec.Round, rec.TierPartials, rec.TierResidentBytes)
+			}
+		}
+	}
+	for _, rec := range flat.History.Rounds {
+		if rec.TierPartials != 0 || rec.TierBytesUp != 0 || rec.TierResidentBytes != 0 {
+			t.Fatalf("flat round %d unexpectedly carries tier accounting", rec.Round)
+		}
 	}
 }
 

@@ -12,11 +12,13 @@ package fltest
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"clinfl/internal/fl"
+	"clinfl/internal/fl/hier"
 	"clinfl/internal/provision"
 	"clinfl/internal/sim"
 	"clinfl/internal/tensor"
@@ -66,6 +68,12 @@ type RunSpec struct {
 	// training on sharded linear regression (one shard per client, in
 	// spec order), so convergence invariants have a learning signal.
 	Linear *LinearSpec
+	// Tier, when non-empty, routes the run through hierarchical streaming
+	// aggregation with these fan-in widths (fl.TierConfig.Aggregators).
+	// The controller harnesses shard in-process; the server harness
+	// deploys Tier[0] real hier.Edge nodes over their own in-memory
+	// networks, each fronting a contiguous shard of the roster.
+	Tier []int
 }
 
 // LinearSpec configures a linear-task run.
@@ -270,6 +278,9 @@ func (h ControllerHarness) Run(spec RunSpec) (*fl.Result, error) {
 		Clock:          clock,
 		Reconcile:      spec.Reconcile,
 	}
+	if len(spec.Tier) > 0 {
+		cfg.Tier = &fl.TierConfig{Aggregators: spec.Tier}
+	}
 	if spec.FedAsyncAlpha > 0 {
 		cfg.AsyncAggregator = fl.FedAsync{Alpha: spec.FedAsyncAlpha}
 	}
@@ -298,7 +309,10 @@ func (ServerHarness) Name() string { return "server-memnet" }
 func (ServerHarness) Deterministic() bool { return false }
 
 // Run implements Harness.
-func (ServerHarness) Run(spec RunSpec) (*fl.Result, error) {
+func (h ServerHarness) Run(spec RunSpec) (*fl.Result, error) {
+	if len(spec.Tier) > 0 {
+		return h.runTier(spec)
+	}
 	network := transport.NewMemNetwork()
 	defer network.Close()
 	allowTopK := false
@@ -364,6 +378,121 @@ func (ServerHarness) Run(spec RunSpec) (*fl.Result, error) {
 	}
 	res, err := srv.Run(initial)
 	srv.Close() // release clients still blocked on a dead run
+	wg.Wait()
+	return res, err
+}
+
+// runTier deploys the spec behind real hier.Edge nodes: Tier[0] edges
+// register with the root server, each fronting a contiguous shard of the
+// name-sorted roster over its own in-memory network. The server sees only
+// the edges; exactness makes the final model bit-identical to the flat
+// deployment of the same roster.
+func (ServerHarness) runTier(spec RunSpec) (*fl.Result, error) {
+	rootNet := transport.NewMemNetwork()
+	defer rootNet.Close()
+	edges := spec.Tier[0]
+	if edges > len(spec.Clients) {
+		edges = len(spec.Clients)
+	}
+	deadline := spec.RoundDeadline
+	if deadline <= 0 {
+		deadline = 30 * time.Second
+	}
+	minClients := spec.MinClients
+	if minClients > edges {
+		minClients = edges
+	}
+	srv, err := fl.NewServer(fl.ServerConfig{
+		ExpectedClients: edges,
+		RegisterTimeout: 30 * time.Second,
+		Rounds:          spec.Rounds,
+		MinClients:      minClients,
+		RoundDeadline:   spec.RoundDeadline,
+		Seed:            spec.Seed,
+		Tier:            &fl.TierConfig{Aggregators: spec.Tier},
+		VerifyToken:     func(name, token string) bool { return token == "tok-"+name },
+		Logf:            func(string, ...any) {},
+		Listener:        rootNet,
+	}, &provision.StartupKit{Role: provision.RoleServer, Name: "server"})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	initial, shards := initialFor(spec)
+	// Contiguous shards of the name-sorted roster, mirroring the
+	// controller harness's in-process shard map.
+	order := make([]int, len(spec.Clients))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return spec.Clients[order[a]].Name < spec.Clients[order[b]].Name })
+
+	var wg sync.WaitGroup
+	for e := 0; e < edges; e++ {
+		var shard []int
+		for pos, idx := range order {
+			if pos*edges/len(order) == e {
+				shard = append(shard, idx)
+			}
+		}
+		edgeNet := transport.NewMemNetwork()
+		defer edgeNet.Close()
+		edgeName := fmt.Sprintf("edge-%d", e)
+		ed, err := hier.NewEdge(hier.EdgeConfig{
+			Name:  edgeName,
+			Token: "tok-" + edgeName,
+			DialParent: func() (transport.MessageConn, error) {
+				return rootNet.Dial(edgeName, transport.LinkProfile{}, transport.LinkProfile{})
+			},
+			Listener:        edgeNet,
+			ExpectedClients: len(shard),
+			RegisterTimeout: 30 * time.Second,
+			VerifyToken:     func(name, token string) bool { return token == "tok-"+name },
+			RoundDeadline:   deadline,
+			DecodeWeights:   fl.DecodeWeights,
+		})
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Edge failures surface as root-side round errors, which the
+			// suite asserts on through the server Result.
+			_, _ = ed.Run()
+		}()
+		for _, idx := range shard {
+			cs := spec.Clients[idx]
+			var lshard *sim.LinearShard
+			if shards != nil {
+				lshard = shards[idx]
+			}
+			exec, err := newExecutor(cs, fl.RealClock(), lshard)
+			if err != nil {
+				return nil, err
+			}
+			exec.codec = nil
+			name := cs.Name
+			cl, err := fl.NewClient(fl.ClientConfig{
+				Codec: cs.Codec,
+				Logf:  func(string, ...any) {},
+				Dialer: func() (transport.MessageConn, error) {
+					return edgeNet.Dial(name, transport.LinkProfile{}, transport.LinkProfile{})
+				},
+			}, &provision.StartupKit{Role: provision.RoleClient, Name: name, Token: "tok-" + name}, exec)
+			if err != nil {
+				return nil, err
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, _ = cl.Run()
+			}()
+		}
+	}
+	res, err := srv.Run(initial)
+	srv.Close() // release edges and clients still blocked on a dead run
 	wg.Wait()
 	return res, err
 }

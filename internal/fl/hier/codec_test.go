@@ -1,0 +1,198 @@
+package hier
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"clinfl/internal/tensor"
+)
+
+func testPartial(t *testing.T) *Partial {
+	t.Helper()
+	r := rand.New(rand.NewSource(11))
+	p := NewPartial()
+	for i := 0; i < 5; i++ {
+		w := tensor.New(2, 3)
+		for j := range w.Data() {
+			w.Data()[j] = r.NormFloat64() * math.Pow(2, float64(r.Intn(40)-20))
+		}
+		b := tensor.New(1, 3)
+		for j := range b.Data() {
+			b.Data()[j] = r.NormFloat64()
+		}
+		err := p.Fold(Update{
+			ClientName: string(rune('a' + i)),
+			Weights:    map[string]*tensor.Matrix{"w": w, "b": b},
+			NumSamples: 1 + r.Intn(100),
+			TrainLoss:  r.Float64(),
+			UpBytes:    64 + i,
+			DownBytes:  32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Fail("z: conn: reset")
+	p.AddTierBytes(123)
+	return p
+}
+
+func TestPartialCodecRoundTrip(t *testing.T) {
+	p := testPartial(t)
+	blob, err := EncodePartial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsPartial(blob) {
+		t.Fatal("encoded partial missing magic")
+	}
+	q, err := DecodePartial(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Weight() != p.Weight() || q.Updates() != p.Updates() || q.Merged() != p.Merged() {
+		t.Fatalf("counters differ: %d/%d/%d vs %d/%d/%d",
+			q.Weight(), q.Updates(), q.Merged(), p.Weight(), p.Updates(), p.Merged())
+	}
+	if q.BytesUp() != p.BytesUp() || q.BytesDown() != p.BytesDown() || q.TierBytes() != p.TierBytes() {
+		t.Fatal("byte accounting differs")
+	}
+	wantP, wantF := p.Participants(), p.Failures()
+	gotP, gotF := q.Participants(), q.Failures()
+	if len(gotP) != len(wantP) || len(gotF) != len(wantF) {
+		t.Fatalf("accounting lists differ: %v/%v vs %v/%v", gotP, gotF, wantP, wantF)
+	}
+	if q.MeanLoss() != p.MeanLoss() {
+		t.Fatalf("mean loss %v vs %v", q.MeanLoss(), p.MeanLoss())
+	}
+	want, err := p.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, wm := range want {
+		gm := got[name]
+		if gm == nil {
+			t.Fatalf("missing %q after round trip", name)
+		}
+		for i, v := range wm.Data() {
+			if math.Float64bits(v) != math.Float64bits(gm.Data()[i]) {
+				t.Fatalf("%s[%d] differs after round trip", name, i)
+			}
+		}
+	}
+	// Deterministic: re-encoding yields identical bytes.
+	blob2, err := EncodePartial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("encoding is not deterministic")
+	}
+}
+
+func TestDecodePartialRejectsCorruption(t *testing.T) {
+	blob, err := EncodePartial(testPartial(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("CFXX1\nrest"),
+		"truncated":   blob[:len(blob)/2],
+		"trailing":    append(append([]byte(nil), blob...), 0xFF),
+		"weight only": []byte(PartialMagic),
+	}
+	// Absurd param count.
+	huge := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint32(huge[len(PartialMagic):], 1<<30)
+	cases["param count"] = huge
+	for name, b := range cases {
+		if _, err := DecodePartial(b); !errors.Is(err, ErrBadPartial) {
+			t.Errorf("%s: err = %v, want ErrBadPartial", name, err)
+		}
+	}
+	// Every prefix must fail cleanly, never panic.
+	for i := 0; i < len(blob); i++ {
+		if _, err := DecodePartial(blob[:i]); err == nil {
+			t.Fatalf("prefix of %d bytes decoded successfully", i)
+		}
+	}
+}
+
+func FuzzDecodePartial(f *testing.F) {
+	p := NewPartial()
+	w := tensor.New(1, 2)
+	w.Data()[0], w.Data()[1] = 0.5, -1.25
+	if err := p.Fold(Update{ClientName: "seed", Weights: map[string]*tensor.Matrix{"w": w}, NumSamples: 4, TrainLoss: 0.5}); err != nil {
+		f.Fatal(err)
+	}
+	seed, err := EncodePartial(p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(PartialMagic))
+	f.Add([]byte("CFHP1\n\x01\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := DecodePartial(data)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode and survive a merge.
+		if _, err := EncodePartial(q); err != nil {
+			t.Fatalf("decoded partial failed to re-encode: %v", err)
+		}
+		root := NewPartial()
+		if err := root.Merge(q); err == nil && root.Updates() > 0 && root.Weight() > 0 {
+			if _, err := root.Finalize(); err != nil {
+				t.Fatalf("merged fuzz partial failed finalize: %v", err)
+			}
+		}
+	})
+}
+
+func TestEncodedSizeMatchesEncodePartial(t *testing.T) {
+	cases := map[string]*Partial{
+		"empty":  NewPartial(),
+		"folded": testPartial(t),
+	}
+	merged := NewPartial()
+	if err := merged.Merge(testPartial(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Merge(testPartial(t)); err != nil {
+		t.Fatal(err)
+	}
+	cases["merged"] = merged
+	for name, p := range cases {
+		blob, err := EncodePartial(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size, err := p.EncodedSize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size != int64(len(blob)) {
+			t.Fatalf("%s: EncodedSize %d, EncodePartial produced %d bytes", name, size, len(blob))
+		}
+	}
+	// The validation failures must agree too: an oversized participant
+	// name fails both the same way.
+	bad := testPartial(t)
+	bad.participants[0] = string(make([]byte, maxNameLen+1))
+	if _, err := EncodePartial(bad); err == nil {
+		t.Fatal("EncodePartial accepted an oversized participant name")
+	}
+	if _, err := bad.EncodedSize(); err == nil {
+		t.Fatal("EncodedSize accepted an oversized participant name")
+	}
+}

@@ -1,0 +1,378 @@
+package hier
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"clinfl/internal/tensor"
+	"clinfl/internal/transport"
+)
+
+// EdgeConfig configures an edge aggregator: a tier node that fronts a
+// shard of clients over the ordinary FL wire protocol and forwards one
+// merged partial per round to its parent (the root server or another
+// edge). Leaves talk to an edge exactly as they would to the root — the
+// standard fl.Client needs no changes — and the parent sees the edge as
+// one client whose MsgUpdate payload is an encoded Partial.
+type EdgeConfig struct {
+	// Name identifies the edge to its parent.
+	Name string
+	// Token is the admission token presented to the parent.
+	Token string
+	// DialParent opens the upstream connection.
+	DialParent func() (transport.MessageConn, error)
+	// Listener accepts the downstream shard's connections.
+	Listener transport.MessageListener
+	// ExpectedClients is the shard size; registration blocks until all
+	// have joined.
+	ExpectedClients int
+	// RegisterTimeout bounds the whole registration phase (0 = forever).
+	RegisterTimeout time.Duration
+	// VerifyToken admits downstream clients.
+	VerifyToken func(name, token string) bool
+	// RoundDeadline cuts the downstream gather; stragglers are recorded
+	// as failures in the partial's accounting (0 = wait for all).
+	RoundDeadline time.Duration
+	// MinUpdates is the quorum below which the edge reports the round as
+	// failed to its parent instead of sending a thin partial (0 = 1).
+	MinUpdates int
+	// DecodeWeights parses leaf weight payloads (any negotiated codec).
+	// Injected so hier does not depend on the fl package; callers pass
+	// fl.DecodeWeights.
+	DecodeWeights func([]byte) (map[string]*tensor.Matrix, error)
+	// Logf, when set, receives progress logging.
+	Logf func(string, ...any)
+}
+
+// EdgeResult summarizes a completed edge run.
+type EdgeResult struct {
+	// FinalWeights is the converged global model broadcast by the root.
+	FinalWeights map[string]*tensor.Matrix
+	// Rounds is how many rounds the edge aggregated.
+	Rounds int
+	// TierBytesUp is the total encoded-partial bytes this edge sent to
+	// its parent.
+	TierBytesUp int64
+}
+
+// Edge is a running edge aggregator. Its per-round resident aggregation
+// state is one Partial — O(model), independent of shard size.
+type Edge struct {
+	cfg     EdgeConfig
+	clients map[string]transport.MessageConn
+	inbox   chan downMsg
+}
+
+type downMsg struct {
+	name string
+	msg  *transport.Message
+	err  error
+}
+
+// NewEdge validates the configuration.
+func NewEdge(cfg EdgeConfig) (*Edge, error) {
+	switch {
+	case cfg.Name == "":
+		return nil, errors.New("hier: edge needs a Name")
+	case cfg.DialParent == nil:
+		return nil, errors.New("hier: edge needs DialParent")
+	case cfg.Listener == nil:
+		return nil, errors.New("hier: edge needs a Listener")
+	case cfg.ExpectedClients <= 0:
+		return nil, errors.New("hier: edge needs ExpectedClients > 0")
+	case cfg.VerifyToken == nil:
+		return nil, errors.New("hier: edge needs VerifyToken")
+	case cfg.DecodeWeights == nil:
+		return nil, errors.New("hier: edge needs DecodeWeights")
+	}
+	if cfg.MinUpdates <= 0 {
+		cfg.MinUpdates = 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Edge{cfg: cfg, clients: make(map[string]transport.MessageConn)}, nil
+}
+
+// Run registers the shard, joins the parent, and relays rounds until the
+// parent broadcasts MsgFinish. The caller owns listener/conn cleanup on
+// error paths; Run closes what it opened on success.
+func (e *Edge) Run() (*EdgeResult, error) {
+	if err := e.acceptClients(); err != nil {
+		return nil, err
+	}
+	parent, err := e.joinParent()
+	if err != nil {
+		e.closeClients()
+		return nil, err
+	}
+	defer parent.Close()
+	defer e.closeClients()
+
+	e.inbox = make(chan downMsg, 4*len(e.clients))
+	for name, conn := range e.clients {
+		go func(name string, conn transport.MessageConn) {
+			for {
+				msg, err := conn.Read()
+				if err != nil {
+					e.inbox <- downMsg{name: name, err: err}
+					return
+				}
+				e.inbox <- downMsg{name: name, msg: msg}
+			}
+		}(name, conn)
+	}
+
+	res := &EdgeResult{}
+	for {
+		msg, err := parent.Read()
+		if err != nil {
+			return nil, fmt.Errorf("hier: edge %s: parent read: %w", e.cfg.Name, err)
+		}
+		switch msg.Type {
+		case transport.MsgTask:
+			blob, meanLoss, weight, err := e.runRound(msg)
+			if err != nil {
+				werr := parent.Write(&transport.Message{
+					Type: transport.MsgError, Sender: e.cfg.Name, Round: msg.Round,
+					Meta: map[string]string{"error": err.Error()},
+				})
+				if werr != nil {
+					return nil, fmt.Errorf("hier: edge %s: report round error: %w", e.cfg.Name, werr)
+				}
+				continue
+			}
+			up := &transport.Message{
+				Type: transport.MsgUpdate, Sender: e.cfg.Name, Round: msg.Round,
+				Payload:    blob,
+				NumSamples: clampInt(weight),
+				Meta:       map[string]string{"train_loss": strconv.FormatFloat(meanLoss, 'g', -1, 64)},
+			}
+			if err := parent.Write(up); err != nil {
+				return nil, fmt.Errorf("hier: edge %s: send partial: %w", e.cfg.Name, err)
+			}
+			res.Rounds++
+			res.TierBytesUp += int64(len(blob))
+		case transport.MsgPing:
+			if err := parent.Write(&transport.Message{Type: transport.MsgPong, Sender: e.cfg.Name}); err != nil {
+				return nil, fmt.Errorf("hier: edge %s: pong: %w", e.cfg.Name, err)
+			}
+		case transport.MsgFinish:
+			for name, conn := range e.clients {
+				fin := &transport.Message{Type: transport.MsgFinish, Sender: e.cfg.Name, Payload: msg.Payload}
+				if err := conn.Write(fin); err != nil {
+					e.cfg.Logf("edge %s: finish to %s: %v", e.cfg.Name, name, err)
+				}
+			}
+			if len(msg.Payload) > 0 {
+				final, err := e.cfg.DecodeWeights(msg.Payload)
+				if err != nil {
+					return nil, fmt.Errorf("hier: edge %s: decode final model: %w", e.cfg.Name, err)
+				}
+				res.FinalWeights = final
+			}
+			return res, nil
+		default:
+			return nil, fmt.Errorf("hier: edge %s: unexpected parent message %v", e.cfg.Name, msg.Type)
+		}
+	}
+}
+
+// runRound fans the task out to the shard, folds replies into a fresh
+// Partial as they arrive, and returns the encoded partial. A child that
+// is itself an edge (payload carries PartialMagic) is merged rather than
+// folded, so edges stack into deeper trees.
+func (e *Edge) runRound(task *transport.Message) (blob []byte, meanLoss float64, weight int64, err error) {
+	partial := NewPartial()
+	tasked := make(map[string]bool, len(e.clients))
+	for name, conn := range e.clients {
+		out := &transport.Message{
+			Type: transport.MsgTask, Sender: e.cfg.Name, Round: task.Round,
+			Payload: task.Payload, Meta: task.Meta,
+		}
+		if err := conn.Write(out); err != nil {
+			partial.Fail(name + ": task send: " + err.Error())
+			delete(e.clients, name)
+			continue
+		}
+		tasked[name] = true
+	}
+
+	var deadline <-chan time.Time
+	if e.cfg.RoundDeadline > 0 {
+		timer := time.NewTimer(e.cfg.RoundDeadline)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	pending := len(tasked)
+	for pending > 0 {
+		select {
+		case dm := <-e.inbox:
+			if !tasked[dm.name] {
+				continue
+			}
+			switch {
+			case dm.err != nil:
+				partial.Fail(dm.name + ": conn: " + dm.err.Error())
+				delete(e.clients, dm.name)
+				delete(tasked, dm.name)
+				pending--
+			case dm.msg.Type == transport.MsgError:
+				partial.Fail(dm.name + ": " + dm.msg.Meta["error"])
+				delete(tasked, dm.name)
+				pending--
+			case dm.msg.Type == transport.MsgUpdate && dm.msg.Round == task.Round:
+				e.absorb(partial, dm.name, dm.msg, len(task.Payload))
+				delete(tasked, dm.name)
+				pending--
+			default:
+				// Stale round or unexpected type: drop.
+			}
+		case <-deadline:
+			for name := range tasked {
+				partial.Fail(name + ": straggler past round deadline")
+			}
+			pending = 0
+		}
+	}
+
+	if partial.Updates() < e.cfg.MinUpdates {
+		return nil, 0, 0, fmt.Errorf("round %d: %d updates below quorum %d",
+			task.Round, partial.Updates(), e.cfg.MinUpdates)
+	}
+	b, err := EncodePartial(partial)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return b, partial.MeanLoss(), partial.Weight(), nil
+}
+
+// absorb folds one downstream reply into the round partial.
+func (e *Edge) absorb(p *Partial, name string, msg *transport.Message, downBytes int) {
+	if IsPartial(msg.Payload) {
+		child, err := DecodePartial(msg.Payload)
+		if err != nil {
+			p.Fail(name + ": " + err.Error())
+			return
+		}
+		if err := p.Merge(child); err != nil {
+			p.Fail(name + ": " + err.Error())
+			return
+		}
+		p.AddTierBytes(int64(len(msg.Payload)))
+		return
+	}
+	weights, err := e.cfg.DecodeWeights(msg.Payload)
+	if err != nil {
+		p.Fail(name + ": " + err.Error())
+		return
+	}
+	loss, _ := strconv.ParseFloat(msg.Meta["train_loss"], 64)
+	err = p.Fold(Update{
+		ClientName: name,
+		Weights:    weights,
+		NumSamples: msg.NumSamples,
+		TrainLoss:  loss,
+		UpBytes:    len(msg.Payload),
+		DownBytes:  downBytes,
+	})
+	if err != nil {
+		p.Fail(name + ": " + err.Error())
+	}
+}
+
+// acceptClients admits the downstream shard.
+func (e *Edge) acceptClients() error {
+	if e.cfg.RegisterTimeout > 0 {
+		if err := e.cfg.Listener.SetDeadline(time.Now().Add(e.cfg.RegisterTimeout)); err != nil {
+			return fmt.Errorf("hier: edge %s: listener deadline: %w", e.cfg.Name, err)
+		}
+		defer e.cfg.Listener.SetDeadline(time.Time{}) //nolint:errcheck
+	}
+	for len(e.clients) < e.cfg.ExpectedClients {
+		conn, err := e.cfg.Listener.AcceptConn()
+		if err != nil {
+			e.closeClients()
+			return fmt.Errorf("hier: edge %s: accept: %w", e.cfg.Name, err)
+		}
+		msg, err := conn.Read()
+		if err != nil || msg.Type != transport.MsgRegister {
+			conn.Close()
+			continue
+		}
+		reject := func(reason string) {
+			conn.Write(&transport.Message{ //nolint:errcheck
+				Type: transport.MsgRegisterAck, Sender: e.cfg.Name,
+				Meta: map[string]string{"accepted": "false", "error": reason},
+			})
+			conn.Close()
+		}
+		if _, dup := e.clients[msg.Sender]; dup {
+			reject("duplicate client name")
+			continue
+		}
+		if !e.cfg.VerifyToken(msg.Sender, msg.Token) {
+			reject("invalid token")
+			continue
+		}
+		// Echo the requested uplink codec: the edge decodes by payload
+		// magic, so any registered codec name is acceptable.
+		codec := msg.Meta[transport.MetaCodec]
+		if codec == "" {
+			codec = "raw"
+		}
+		ack := &transport.Message{
+			Type: transport.MsgRegisterAck, Sender: e.cfg.Name,
+			Meta: map[string]string{"accepted": "true", transport.MetaCodec: codec},
+		}
+		if err := conn.Write(ack); err != nil {
+			conn.Close()
+			continue
+		}
+		e.clients[msg.Sender] = conn
+		e.cfg.Logf("edge %s: registered %s (%d/%d)", e.cfg.Name, msg.Sender, len(e.clients), e.cfg.ExpectedClients)
+	}
+	return nil
+}
+
+// joinParent registers this edge with its parent.
+func (e *Edge) joinParent() (transport.MessageConn, error) {
+	parent, err := e.cfg.DialParent()
+	if err != nil {
+		return nil, fmt.Errorf("hier: edge %s: dial parent: %w", e.cfg.Name, err)
+	}
+	reg := &transport.Message{
+		Type: transport.MsgRegister, Sender: e.cfg.Name, Token: e.cfg.Token,
+		Meta: map[string]string{transport.MetaCodec: "raw"},
+	}
+	if err := parent.Write(reg); err != nil {
+		parent.Close()
+		return nil, fmt.Errorf("hier: edge %s: register with parent: %w", e.cfg.Name, err)
+	}
+	ack, err := parent.Read()
+	if err != nil {
+		parent.Close()
+		return nil, fmt.Errorf("hier: edge %s: parent ack: %w", e.cfg.Name, err)
+	}
+	if ack.Type != transport.MsgRegisterAck || ack.Meta["accepted"] != "true" {
+		parent.Close()
+		return nil, fmt.Errorf("hier: edge %s: parent rejected registration: %s", e.cfg.Name, ack.Meta["error"])
+	}
+	return parent, nil
+}
+
+func (e *Edge) closeClients() {
+	for _, conn := range e.clients {
+		conn.Close()
+	}
+}
+
+func clampInt(v int64) int {
+	if v > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(v)
+}

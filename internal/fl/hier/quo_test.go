@@ -1,0 +1,84 @@
+package hier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestQuoFastPathMatchesExact pins the float64 fast-path division
+// against the expPrec-bit exact path bit-for-bit: random expansions in
+// the first half, and adversarial quotients built to land near rounding
+// boundaries in the second (f·w plus a tiny perturbation divided by w,
+// where the fast path must either prove f's side or fall back).
+func TestQuoFastPathMatchesExact(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 5000; trial++ {
+		w := int64(1 + r.Intn(1<<20))
+		var e expansion
+		if trial%2 == 0 {
+			n := 1 + r.Intn(6)
+			for i := 0; i < n; i++ {
+				v := r.NormFloat64() * math.Pow(2, float64(r.Intn(120)-60))
+				e = e.growProduct(float64(1+r.Intn(1000)), v)
+			}
+		} else {
+			f := r.NormFloat64()
+			e = e.growProduct(f, float64(w))
+			e = e.grow(math.Abs(f) * math.Pow(2, float64(-50-r.Intn(60))) * float64(1-2*r.Intn(2)))
+		}
+		d := newDivider(w)
+		got := d.quo(e)
+		want := d.exactQuo(e)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d (w=%d, e=%v): quo %x, exact %x",
+				trial, w, e, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+// TestGrowProductMatchesTwoPass pins the pipelined growProduct against
+// the reference two-pass form (grow the roundoff, then grow the high
+// product) component-for-component: the fusion must not change the
+// emitted sequence, because ResidentBytes — and through it the sim
+// digests — depend on component counts, not just represented values.
+func TestGrowProductMatchesTwoPass(t *testing.T) {
+	twoPass := func(e expansion, a, b float64) expansion {
+		hi := a * b
+		lo := math.FMA(a, b, -hi)
+		if lo != 0 {
+			e = e.grow(lo)
+		}
+		return e.grow(hi)
+	}
+	r := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 3000; trial++ {
+		var got, want expansion
+		for step := 0; step < 1+r.Intn(8); step++ {
+			a := float64(1 + r.Intn(1000))
+			b := r.NormFloat64() * math.Pow(2, float64(r.Intn(100)-50))
+			got = got.growProduct(a, b)
+			want = twoPass(want, a, b)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d step %d: %d components, want %d", trial, step, len(got), len(want))
+			}
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("trial %d step %d comp %d: %x want %x",
+						trial, step, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestQuoExactMidpointRoundsToEven: (2 + 2^-52) / 2 = 1 + 2^-53 sits
+// exactly halfway between 1 and the next float64, so round-half-even
+// must give exactly 1 — the fast path cannot prove a side of a true
+// midpoint, making this the exactQuo-fallback regression.
+func TestQuoExactMidpointRoundsToEven(t *testing.T) {
+	e := expansion(nil).grow(2).grow(0x1p-52)
+	if got := e.quo(2); got != 1 {
+		t.Fatalf("midpoint quotient = %g (%x), want 1", got, math.Float64bits(got))
+	}
+}

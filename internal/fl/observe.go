@@ -27,6 +27,9 @@ type flMetrics struct {
 	parked       *metrics.Counter
 	roundSeconds *metrics.Histogram
 	connected    *metrics.Gauge
+	tierPartials *metrics.Counter
+	tierBytesUp  *metrics.Counter
+	tierResident *metrics.Gauge
 }
 
 // newFLMetrics registers (or re-looks-up) the federation instruments.
@@ -46,6 +49,9 @@ func newFLMetrics(reg *metrics.Registry) flMetrics {
 		parked:       reg.Counter("fl_parked_rounds_total", "starved rounds parked awaiting client recovery probes"),
 		roundSeconds: reg.Histogram("fl_round_seconds", "round duration", metrics.DurationBuckets),
 		connected:    reg.Gauge("fl_connected_clients", "currently registered live clients"),
+		tierPartials: reg.Counter("fl_tier_partials_total", "partial aggregates merged across tier hops"),
+		tierBytesUp:  reg.Counter("fl_tier_bytes_up", "encoded partial-aggregate bytes carried across tier hops"),
+		tierResident: reg.Gauge("fl_tier_resident_bytes", "root resident aggregation state at last finalize (O(model))"),
 	}
 }
 
@@ -72,6 +78,11 @@ func (m flMetrics) roundDone(rec *RoundRecord) {
 	m.lateApplied.Add(int64(len(rec.LateApplied)))
 	m.lateDropped.Add(int64(len(rec.LateDropped)))
 	m.roundSeconds.Observe(rec.Duration.Seconds())
+	if rec.TierPartials > 0 {
+		m.tierPartials.Add(int64(rec.TierPartials))
+		m.tierBytesUp.Add(rec.TierBytesUp)
+		m.tierResident.Set(float64(rec.TierResidentBytes))
+	}
 }
 
 // SlogLogf adapts a structured logger to the Logf hooks used throughout

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"clinfl/internal/fl/durable"
+	"clinfl/internal/fl/hier"
 	"clinfl/internal/fl/reconcile"
 	"clinfl/internal/metrics"
 	"clinfl/internal/provision"
@@ -102,6 +103,14 @@ type ServerConfig struct {
 	// execution errors, dropped connections), and degradation modes for
 	// mass failure. Nil keeps the legacy single-shot round behavior.
 	Reconcile *ReconcilePolicy
+	// Tier, when non-nil, accepts partial-aggregate uplinks from hier.Edge
+	// nodes and aggregates through a TierAggregator: each registered
+	// "client" may be an edge fronting a shard of real clients, so the
+	// root holds O(edges * model) state instead of O(clients * model), and
+	// Participants in the round record are the edge names. A mixed fleet
+	// (edges plus plain clients) is supported. Nil keeps the legacy flat
+	// path bit-for-bit unchanged and rejects partial payloads.
+	Tier *TierConfig
 }
 
 // serverClient is one registered client's connection state. Reads happen
@@ -187,6 +196,16 @@ func NewServer(cfg ServerConfig, kit *provision.StartupKit) (*Server, error) {
 	}
 	if cfg.RoundDeadline <= 0 {
 		cfg.RoundDeadline = cfg.RoundTimeout
+	}
+	if err := validateTier(cfg.Tier, cfg.Aggregator, cfg.AsyncAggregator,
+		cfg.Filters, cfg.WAL, cfg.Reconcile); err != nil {
+		return nil, err
+	}
+	if cfg.Tier != nil {
+		// The tier root merges edge partials and folds plain updates in one
+		// streaming pass; exactness makes the result identical to flat
+		// FedAvg over every leaf.
+		cfg.Aggregator = &TierAggregator{}
 	}
 	if cfg.Aggregator == nil {
 		cfg.Aggregator = FedAvg{}
@@ -635,6 +654,11 @@ func (s *Server) Run(initialWeights map[string]*tensor.Matrix) (*Result, error) 
 			updates, late, round, global, &rec)
 		if err != nil {
 			return nil, err
+		}
+		if ta, ok := s.cfg.Aggregator.(*TierAggregator); ok {
+			rec.TierPartials = ta.Partials
+			rec.TierBytesUp = ta.TierBytes
+			rec.TierResidentBytes = ta.ResidentBytes
 		}
 		rec.Duration = s.cfg.Clock.Since(start)
 		var lossSum, weightSum float64
@@ -1490,6 +1514,26 @@ func (s *Server) handleReply(name string, msg *transport.Message) (*ClientUpdate
 	// of every parameter zeroed) straight into the average.
 	if !s.cfg.AllowTopKUplink && bytes.HasPrefix(msg.Payload, []byte(topKMagic)) {
 		return nil, errors.New("top-k update payload rejected (not negotiated; set AllowTopKUplink)")
+	}
+	if hier.IsPartial(msg.Payload) {
+		// A partial-aggregate uplink from an edge node. The same payload
+		// gate applies as for top-k: a flat server must reject it rather
+		// than let an unexpected codec reach the average.
+		if s.cfg.Tier == nil {
+			return nil, errors.New("partial-aggregate payload rejected (server is not tier-enabled; set Tier)")
+		}
+		p, err := hier.DecodePartial(msg.Payload)
+		if err != nil {
+			return nil, err
+		}
+		// Weight and mean loss come from the partial itself — the exact
+		// fold accounting — not from what the message header claims.
+		return &ClientUpdate{
+			ClientName: name, Round: msg.Round,
+			NumSamples: clampSamples(p.Weight()), TrainLoss: p.MeanLoss(),
+			PayloadBytes: len(msg.Payload),
+			hierPartial:  p,
+		}, nil
 	}
 	weights, err := DecodeWeights(msg.Payload)
 	if err != nil {

@@ -1,0 +1,313 @@
+package fl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"clinfl/internal/fl/durable"
+	"clinfl/internal/fl/hier"
+	"clinfl/internal/tensor"
+)
+
+// TierConfig enables hierarchical streaming aggregation (ROADMAP item 1):
+// client updates fold into O(model) partial aggregates at tier nodes as
+// they arrive, and only merged partials flow upward, so the root never
+// buffers per-client weight maps. Aggregation stays exact — hier.Partial
+// accumulates in floating-point expansions and rounds once at finalize —
+// so any tier shape produces bit-identical global weights (pinned in
+// fltest). Nil TierConfig keeps the legacy flat path bit-for-bit
+// unchanged.
+type TierConfig struct {
+	// Aggregators lists the fan-in widths of the aggregation tiers
+	// between the sampled clients and the root, leaf-most first, for the
+	// in-process Controller: {64, 8} folds the sampled clients into 64
+	// edge partials, merges those into 8 regional partials, and merges
+	// the regionals at the root — each hop's encoded-partial bytes are
+	// accounted in RoundRecord.TierBytesUp. The networked Server ignores
+	// it (its tier shape is the deployed hier.Edge topology). Nil or
+	// empty defaults to a single 8-wide edge tier.
+	Aggregators []int
+}
+
+// widths resolves the configured tier fan-ins.
+func (t *TierConfig) widths() []int {
+	if t == nil || len(t.Aggregators) == 0 {
+		return []int{8}
+	}
+	return t.Aggregators
+}
+
+// validateTier rejects configuration combinations the tier path does not
+// compose with. These are config errors, not silent downgrades: each of
+// these features assumes the root sees raw per-client updates.
+func validateTier(t *TierConfig, agg Aggregator, async AsyncAggregator,
+	filters []Filter, wal *durable.WAL, rp *ReconcilePolicy) error {
+	if t == nil {
+		return nil
+	}
+	for _, w := range t.Aggregators {
+		if w <= 0 {
+			return fmt.Errorf("fl: tier aggregator width %d must be positive", w)
+		}
+	}
+	switch {
+	case async != nil:
+		return errors.New("fl: tier aggregation is incompatible with AsyncAggregator (stragglers are dropped at tier nodes, not merged late)")
+	case len(filters) > 0:
+		return errors.New("fl: tier aggregation is incompatible with Filters (per-client filters need raw updates at the root)")
+	case wal != nil:
+		return errors.New("fl: tier aggregation is incompatible with WAL durability (update records log raw weights)")
+	case rp != nil:
+		return errors.New("fl: tier aggregation is incompatible with Reconcile (per-client requeue needs root-visible clients)")
+	}
+	if agg != nil {
+		if _, ok := agg.(FedAvg); !ok {
+			return errors.New("fl: tier aggregation implies exact streaming FedAvg; custom Aggregator not supported")
+		}
+	}
+	return nil
+}
+
+// TierAggregator is the root-side Aggregator a tier-enabled Server
+// installs: updates from hier.Edge nodes carry decoded partials and are
+// merged; plain client updates (a mixed fleet is fine) are folded
+// directly. The result is exact FedAvg over every leaf, identical to
+// what a flat server would produce. The exported fields snapshot the
+// last Aggregate call's tier accounting for the round record.
+type TierAggregator struct {
+	// Partials counts the lower-tier partials merged.
+	Partials int
+	// TierBytes is the encoded bytes those partials arrived as.
+	TierBytes int64
+	// ResidentBytes is the root's merged aggregation state at finalize —
+	// the O(model) quantity, independent of leaf count.
+	ResidentBytes int64
+}
+
+// Name implements Aggregator.
+func (a *TierAggregator) Name() string { return "hier-fedavg" }
+
+// Aggregate implements Aggregator.
+func (a *TierAggregator) Aggregate(updates []*ClientUpdate) (map[string]*tensor.Matrix, error) {
+	root := hier.NewPartial()
+	a.Partials, a.TierBytes = 0, 0
+	for _, u := range updates {
+		if u.hierPartial != nil {
+			if err := root.Merge(u.hierPartial); err != nil {
+				return nil, fmt.Errorf("fl: merge partial from %q: %w", u.ClientName, err)
+			}
+			a.Partials++
+			a.TierBytes += int64(u.PayloadBytes)
+			continue
+		}
+		err := root.Fold(hier.Update{
+			ClientName: u.ClientName, Weights: u.Weights, NumSamples: u.NumSamples,
+			TrainLoss: u.TrainLoss, UpBytes: u.PayloadBytes, DownBytes: u.DownBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fl: fold update from %q: %w", u.ClientName, err)
+		}
+	}
+	a.ResidentBytes = root.ResidentBytes()
+	return root.Finalize()
+}
+
+// tierRound runs one round of the in-process controller through the
+// aggregation tiers: sampled executors train concurrently, each arriving
+// update is folded immediately into its edge shard's partial (and the
+// raw weights dropped — the streaming O(model) property), shard partials
+// merge up the configured tier widths with per-hop byte accounting, and
+// the root finalizes the exact FedAvg. Stragglers past the deadline are
+// dropped (recorded in LateDropped when they surface), mirroring the
+// legacy no-AsyncAggregator path.
+func (c *Controller) tierRound(ctx context.Context, round int, global map[string]*tensor.Matrix, rec *RoundRecord) (map[string]*tensor.Matrix, error) {
+	// Drain stragglers that finished between rounds so they become
+	// sample-able again (their updates land in LateDropped).
+	var late []*ClientUpdate
+drain:
+	for {
+		select {
+		case o := <-c.results:
+			if err := c.absorbStale(o, round, rec, &late); err != nil {
+				return nil, err
+			}
+		default:
+			break drain
+		}
+	}
+
+	sampled, err := c.sampleClients()
+	if err != nil {
+		return nil, fmt.Errorf("fl: round %d: %w", round, err)
+	}
+	for _, ex := range sampled {
+		rec.Sampled = append(rec.Sampled, ex.Name())
+	}
+	// Deterministic shard map: contiguous blocks of the name-sorted
+	// sample, so the tier shape is a pure function of the sampled set.
+	names := append([]string(nil), rec.Sampled...)
+	sort.Strings(names)
+	widths := c.cfg.Tier.widths()
+	edges := widths[0]
+	if edges > len(names) {
+		edges = len(names)
+	}
+	shardOf := make(map[string]int, len(names))
+	for i, n := range names {
+		shardOf[n] = i * edges / len(names)
+	}
+	// Shard partials are recycled from round to round: a nil slot still
+	// means "no update reached this shard", and a slot is taken from the
+	// run-long scratch (Reset keeps its slabs) the first time a shard
+	// folds. A reset partial accumulates bit-identically to a fresh one.
+	for len(c.tierShards) < edges {
+		c.tierShards = append(c.tierShards, hier.NewPartial())
+	}
+	shards := make([]*hier.Partial, edges)
+
+	for _, ex := range sampled {
+		c.dispatch(ex, round, global)
+	}
+	tasked := len(sampled)
+	quorum := c.cfg.MinClients
+	if quorum > tasked {
+		quorum = tasked
+	}
+	minUpdates := c.cfg.MinUpdates
+	if minUpdates <= 0 || minUpdates > tasked {
+		minUpdates = tasked
+	}
+	if minUpdates < quorum {
+		minUpdates = quorum
+	}
+
+	folded := 0
+	pending := tasked
+	deadlineAt, deadlineCh := gatherDeadline(c.cfg.Clock, c.cfg.RoundDeadline)
+gather:
+	for pending > 0 && folded < minUpdates {
+		o, status := waitRecv(c.cfg.Clock, c.results, ctx.Done(), deadlineAt, deadlineCh)
+		switch status {
+		case waitDeadline:
+			c.met.stragglers.Add(int64(pending))
+			break gather
+		case waitCancelled:
+			return nil, fmt.Errorf("fl: round %d cancelled: %w", round, ctx.Err())
+		}
+		delete(c.inFlight, o.name)
+		switch {
+		case o.err != nil:
+			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", o.name, o.err))
+			c.met.failure("exec")
+			if o.round == round {
+				pending--
+			}
+		case o.round == round:
+			pending--
+			s := shardOf[o.name]
+			if shards[s] == nil {
+				shards[s] = c.tierShards[s]
+				shards[s].Reset()
+			}
+			u := o.update
+			err := shards[s].Fold(hier.Update{
+				ClientName: u.ClientName, Weights: u.Weights, NumSamples: u.NumSamples,
+				TrainLoss: u.TrainLoss, UpBytes: u.PayloadBytes, DownBytes: u.DownBytes,
+			})
+			if err != nil {
+				// A malformed update is a per-client failure at its edge,
+				// not a federation abort: the shard rejects it and the
+				// round proceeds with everyone else.
+				rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", o.name, err))
+				c.met.failure("reject")
+				continue
+			}
+			folded++
+		default:
+			rec.LateDropped = append(rec.LateDropped, o.name)
+		}
+	}
+	if folded < quorum {
+		return nil, fmt.Errorf("fl: round %d quorum not met: %d/%d updates (failures: %v)",
+			round, folded, quorum, rec.Failures)
+	}
+
+	// Merge up the tiers. Each hop accounts the exact wire size the
+	// level's partials would encode to — what an edge would have sent —
+	// without serializing them (EncodedSize is pinned against
+	// EncodePartial); merge order is index order, and exactness makes it
+	// irrelevant to the result anyway.
+	level := make([]*hier.Partial, 0, edges)
+	for _, p := range shards {
+		if p != nil {
+			level = append(level, p)
+		}
+	}
+	climb := func(into []*hier.Partial, groupOf func(i int) int) error {
+		for i, p := range level {
+			size, err := p.EncodedSize()
+			if err != nil {
+				return fmt.Errorf("fl: round %d: encode partial: %w", round, err)
+			}
+			rec.TierPartials++
+			rec.TierBytesUp += size
+			g := groupOf(i)
+			if into[g] == nil {
+				// The group's first partial is adopted, not copied: the lower
+				// level is dead after the climb, and merging is exact, so
+				// "merge into an adopted sibling" and "merge into a fresh
+				// empty partial" finalize bit-identically.
+				into[g] = p
+				into[g].AddTierBytes(size)
+				continue
+			}
+			into[g].AddTierBytes(size)
+			if err := into[g].Merge(p); err != nil {
+				return fmt.Errorf("fl: round %d: merge partial: %w", round, err)
+			}
+		}
+		return nil
+	}
+	for _, width := range widths[1:] {
+		if width > len(level) {
+			width = len(level)
+		}
+		next := make([]*hier.Partial, width)
+		n := len(level)
+		if err := climb(next, func(i int) int { return i * width / n }); err != nil {
+			return nil, err
+		}
+		level = next
+	}
+	rootLevel := make([]*hier.Partial, 1)
+	if err := climb(rootLevel, func(int) int { return 0 }); err != nil {
+		return nil, err
+	}
+	root := rootLevel[0]
+	if root == nil {
+		return nil, fmt.Errorf("fl: round %d: no partials reached the root", round)
+	}
+
+	next, err := root.Finalize()
+	if err != nil {
+		return nil, fmt.Errorf("fl: round %d aggregate: %w", round, err)
+	}
+	rec.Participants = root.Participants()
+	rec.MeanTrainLoss = root.MeanLoss()
+	rec.BytesUp = root.BytesUp()
+	rec.BytesDown = root.BytesDown()
+	rec.TierResidentBytes = root.ResidentBytes()
+	return next, nil
+}
+
+// clampSamples converts an exact partial weight to the int NumSamples
+// field without overflow.
+func clampSamples(v int64) int {
+	if v > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(v)
+}

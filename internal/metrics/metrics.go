@@ -233,21 +233,46 @@ func ASCIIPlot(curves []*Curve, width, height int) string {
 	return b.String()
 }
 
+// TimingWindow bounds how many samples a Timing retains: a ring buffer
+// of the most recent TimingWindow observations. A long-lived flserver
+// records a sample per round for the life of the process; without a
+// bound the slice grows forever. Once more than TimingWindow samples
+// have been recorded, Mean, Max, and the quantiles describe the
+// trailing window rather than the full history (Total still counts
+// every sample ever recorded).
+const TimingWindow = 4096
+
 // Timing aggregates wall-clock durations (e.g. local-epoch times for the
-// Fig. 3 demonstration).
+// Fig. 3 demonstration). Storage is bounded: see TimingWindow.
 type Timing struct {
 	Name    string
-	samples []time.Duration
+	samples []time.Duration // ring storage, at most TimingWindow entries
+	next    int             // ring write cursor once the window is full
+	total   uint64          // lifetime samples recorded
 }
 
 // NewTiming returns a named timing aggregator.
 func NewTiming(name string) *Timing { return &Timing{Name: name} }
 
-// Add records one duration.
-func (t *Timing) Add(d time.Duration) { t.samples = append(t.samples, d) }
+// Add records one duration, evicting the oldest retained sample once
+// TimingWindow observations are held.
+func (t *Timing) Add(d time.Duration) {
+	t.total++
+	if len(t.samples) < TimingWindow {
+		t.samples = append(t.samples, d)
+		return
+	}
+	t.samples[t.next] = d
+	t.next = (t.next + 1) % TimingWindow
+}
 
-// Count returns the number of samples.
+// Count returns the number of retained samples (saturates at
+// TimingWindow).
 func (t *Timing) Count() int { return len(t.samples) }
+
+// Total returns the lifetime number of samples recorded, including ones
+// evicted from the window.
+func (t *Timing) Total() uint64 { return t.total }
 
 // Mean returns the mean duration (0 when empty).
 func (t *Timing) Mean() time.Duration {
@@ -285,12 +310,18 @@ func (t *Timing) Quantile(q float64) time.Duration {
 	if q <= 0 {
 		return sorted[0]
 	}
-	if q > 1 {
+	if q > 1 || math.IsNaN(q) {
 		q = 1
 	}
 	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
 	if rank < 0 {
 		rank = 0
+	}
+	// Ceil(q*n) can land one past the end through float rounding (e.g.
+	// q just above 1 before the clamp existed, or q*n rounding up past
+	// n); never index out of range.
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
 	}
 	return sorted[rank]
 }

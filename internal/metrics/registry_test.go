@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -155,6 +156,45 @@ func TestTimingQuantiles(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("String() missing %q: %s", want, s)
 		}
+	}
+}
+
+func TestTimingQuantileRankClamped(t *testing.T) {
+	tm := NewTiming("clamp")
+	for i := 1; i <= 3; i++ {
+		tm.Add(time.Duration(i) * time.Millisecond)
+	}
+	// q at or beyond 1 (and pathological values) must return the max
+	// sample rather than index past the end of the sorted window.
+	for _, q := range []float64{1, math.Nextafter(1, 2), 2, 1e18, math.Inf(1), math.NaN()} {
+		if got := tm.Quantile(q); got != 3*time.Millisecond {
+			t.Fatalf("Quantile(%v) = %v, want 3ms", q, got)
+		}
+	}
+	if got := tm.Quantile(math.Nextafter(1, 0)); got != 3*time.Millisecond {
+		t.Fatalf("Quantile(just under 1) = %v, want 3ms", got)
+	}
+}
+
+func TestTimingWindowBounded(t *testing.T) {
+	tm := NewTiming("window")
+	n := TimingWindow + 500
+	for i := 1; i <= n; i++ {
+		tm.Add(time.Duration(i) * time.Microsecond)
+	}
+	if got := tm.Count(); got != TimingWindow {
+		t.Fatalf("Count = %d, want window size %d", got, TimingWindow)
+	}
+	if got := tm.Total(); got != uint64(n) {
+		t.Fatalf("Total = %d, want %d", got, n)
+	}
+	// The oldest 500 samples were evicted: the retained minimum is
+	// sample 501 and the maximum is the most recent sample.
+	if got := tm.Quantile(1e-9); got != 501*time.Microsecond {
+		t.Fatalf("window min = %v, want 501µs", got)
+	}
+	if got := tm.Max(); got != time.Duration(n)*time.Microsecond {
+		t.Fatalf("window max = %v, want %dµs", got, n)
 	}
 }
 

@@ -149,6 +149,12 @@ type Scenario struct {
 	// task re-assignment, probes and parking. Nil keeps the legacy
 	// single-shot round loop.
 	Reconcile *fl.ReconcilePolicy
+	// Tier, when non-empty, runs rounds through hierarchical streaming
+	// aggregation with these fan-in widths (fl.TierConfig.Aggregators):
+	// updates fold into edge-shard partials as they arrive and the root
+	// holds O(model) state regardless of Clients. Incompatible with
+	// FedAsyncAlpha and Reconcile (fl validates the combination).
+	Tier []int
 	// Flaps scripts correlated connectivity outages (see FlapWave).
 	Flaps []FlapWave
 
@@ -550,6 +556,9 @@ func (sc Scenario) build(clock Clock) (*scenarioSetup, error) {
 	if sc.FedAsyncAlpha > 0 {
 		set.cfg.AsyncAggregator = fl.FedAsync{Alpha: sc.FedAsyncAlpha}
 	}
+	if len(sc.Tier) > 0 {
+		set.cfg.Tier = &fl.TierConfig{Aggregators: sc.Tier}
+	}
 	if sc.Validate {
 		set.cfg.Validate = func(w map[string]*tensor.Matrix) (float64, error) {
 			mse, err := pop.Eval(w)
@@ -626,6 +635,30 @@ func ScaleScenario(seed int64) Scenario {
 			StragglerFactor:   20,
 		},
 		Faults: FaultProfile{FaultyFraction: 0.05, DropProb: 0.3},
+	}
+}
+
+// TierScenario is the hierarchical-aggregation spec: clients clients (10k
+// in the pinned digest test) fold through a 64-edge, 8-regional tier into
+// the root, with surrogate multiplexing keeping training cost at 64 real
+// shards. Full participation and no faults: every round's tier accounting
+// (TierPartials, TierBytesUp, TierResidentBytes) is exercised at scale,
+// and TierResidentBytes is the memory-independence evidence — it tracks
+// the model size, not the roster size.
+func TierScenario(seed int64, clients int) Scenario {
+	return Scenario{
+		Name:        "tier",
+		Seed:        seed,
+		Clients:     clients,
+		Rounds:      8,
+		RealClients: 64,
+		MinClients:  1,
+		Validate:    true,
+		Tier:        []int{64, 8},
+		Compute: ComputeProfile{
+			Mean:   100 * time.Millisecond,
+			Jitter: 50 * time.Millisecond,
+		},
 	}
 }
 

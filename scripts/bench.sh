@@ -32,19 +32,21 @@ go test -run '^$' \
   -bench 'BenchmarkTable2_ForwardBERT|BenchmarkTable3_FLRoundBERT' \
   -benchmem -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
 
-# Pass 1b: the durability and reconciliation taxes, at a fixed iteration
-# count so the ratios are stable even when the scoreboard pass runs a 1x
-# CI smoke. CI gates BenchmarkWALAppend (one blocking fsync'd record) at
-# 5% of the LSTM round and the reconcile-mode round (health monitor +
-# work queue on a round where nothing fails) at 2% of the plain one via
-# bench_check's A/B mode; the plain-vs-WAL round pair is tracked
-# alongside as an observable of the end-to-end group-commit pipeline
-# (ungated — the ratio depends on whether a spare core exists to absorb
-# writeback, see DESIGN.md).
+# Pass 1b: the durability, reconciliation and streaming-tier taxes, at a
+# fixed iteration count so the ratios are stable even when the scoreboard
+# pass runs a 1x CI smoke. CI gates BenchmarkWALAppend (one blocking
+# fsync'd record) at 5% of the LSTM round, the reconcile-mode round
+# (health monitor + work queue on a round where nothing fails) at 2% of
+# the plain one, and the hier-tier round (expansion folds + big.Float
+# finalize) at 5% of its identical flat control round via bench_check's
+# A/B mode; the
+# plain-vs-WAL round pair is tracked alongside as an observable of the
+# end-to-end group-commit pipeline (ungated — the ratio depends on
+# whether a spare core exists to absorb writeback, see DESIGN.md).
 RAWWAL="$(mktemp)"
 trap 'rm -f "$RAW" "$RAWCPU" "$RAWK" "$RAWWAL"' EXIT
 go test -run '^$' \
-  -bench 'BenchmarkTable3_FLRoundLSTM$|BenchmarkTable3_FLRoundDurableLSTM$|BenchmarkTable3_FLRoundReconcileLSTM$|BenchmarkWALAppend' \
+  -bench 'BenchmarkTable3_FLRoundLSTM$|BenchmarkTable3_FLRoundDurableLSTM$|BenchmarkTable3_FLRoundReconcileLSTM$|BenchmarkTable3_FLRoundHierLSTM$|BenchmarkTable3_FLRoundFlatLSTM$|BenchmarkWALAppend' \
   -benchmem -benchtime 5x -count 1 . | tee "$RAWWAL"
 
 # Pass 2: CPU scaling of the two headline benchmarks. The shared sched
